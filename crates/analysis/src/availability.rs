@@ -1,0 +1,209 @@
+//! Blocking probability: can a quorum be assembled from the up sites?
+//!
+//! Exact computation enumerates the `2^n` up/down patterns of the strong
+//! sites (weak representatives never matter); a Monte-Carlo estimator
+//! cross-checks the enumeration and doubles as the simulated column of the
+//! availability experiment.
+
+use wv_core::votes::VoteAssignment;
+use wv_net::SiteId;
+use wv_sim::DetRng;
+
+use crate::model::SystemModel;
+
+/// Exact probability that the up sites carry at least `needed` votes,
+/// with site `s` up independently with probability `up[s]`.
+pub fn quorum_availability(assignment: &VoteAssignment, needed: u32, up: &[f64]) -> f64 {
+    let strong: Vec<SiteId> = assignment.strong_sites();
+    let n = strong.len();
+    assert!(n <= 24, "exact enumeration is exponential; {n} sites is too many");
+    let mut total = 0.0;
+    for mask in 0u32..(1 << n) {
+        let mut p = 1.0;
+        let mut votes = 0;
+        for (i, site) in strong.iter().enumerate() {
+            let pu = up[site.index()];
+            if mask & (1 << i) != 0 {
+                p *= pu;
+                votes += assignment.votes_of(*site);
+            } else {
+                p *= 1.0 - pu;
+            }
+        }
+        if votes >= needed {
+            total += p;
+        }
+    }
+    total
+}
+
+impl SystemModel {
+    /// Probability a read blocks (no read quorum among up sites).
+    pub fn read_blocking(&self) -> f64 {
+        1.0 - quorum_availability(&self.assignment, self.quorum.read, &self.up)
+    }
+
+    /// Probability a write blocks (no write quorum among up sites).
+    pub fn write_blocking(&self) -> f64 {
+        1.0 - quorum_availability(&self.assignment, self.quorum.write, &self.up)
+    }
+}
+
+/// Monte-Carlo estimate of [`quorum_availability`]: sample `trials`
+/// up/down patterns and count those admitting a quorum.
+pub fn simulate_quorum_availability(
+    assignment: &VoteAssignment,
+    needed: u32,
+    up: &[f64],
+    trials: u64,
+    rng: &mut DetRng,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let strong = assignment.strong_sites();
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        let votes: u32 = strong
+            .iter()
+            .filter(|s| rng.chance(up[s.index()]))
+            .map(|s| assignment.votes_of(*s))
+            .sum();
+        if votes >= needed {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_core::quorum::QuorumSpec;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn paper_example_1_blocking() {
+        let m = SystemModel::paper_example_1(0.99);
+        // Single voting site: both read and write block iff it is down.
+        assert!((m.read_blocking() - 0.01).abs() < EPS);
+        assert!((m.write_blocking() - 0.01).abs() < EPS);
+    }
+
+    #[test]
+    fn paper_example_2_blocking() {
+        let m = SystemModel::paper_example_2(0.99);
+        // Read (2 votes): site 0 alone, or sites 1 and 2 together.
+        // Blocked: s0 down AND (s1 down OR s2 down):
+        //   0.01 * (1 - 0.99^2) = 0.000199.
+        assert!((m.read_blocking() - 0.000199).abs() < EPS);
+        // Write (3 votes): s0 and at least one of s1, s2.
+        // Blocked: s0 down OR (s1 and s2 down):
+        //   0.01 + 0.99 * 0.0001 = 0.010099.
+        assert!((m.write_blocking() - 0.010099).abs() < EPS);
+    }
+
+    #[test]
+    fn paper_example_3_blocking() {
+        let m = SystemModel::paper_example_3(0.99);
+        // Read (1 vote): blocked only if all three are down.
+        assert!((m.read_blocking() - 1e-6).abs() < EPS);
+        // Write (3 votes): blocked unless all three are up.
+        assert!((m.write_blocking() - (1.0 - 0.99f64.powi(3))).abs() < EPS);
+    }
+
+    #[test]
+    fn weak_representatives_do_not_affect_availability() {
+        let with_weak = VoteAssignment::new([
+            (SiteId(0), 1),
+            (SiteId(1), 1),
+            (SiteId(2), 0),
+            (SiteId(3), 0),
+        ]);
+        let without = VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1)]);
+        let up = vec![0.9, 0.8, 0.0, 0.0];
+        assert!(
+            (quorum_availability(&with_weak, 2, &up) - quorum_availability(&without, 2, &up))
+                .abs()
+                < EPS
+        );
+    }
+
+    #[test]
+    fn certain_sites_give_certain_quorums() {
+        let a = VoteAssignment::equal(3);
+        assert!((quorum_availability(&a, 2, &[1.0; 3]) - 1.0).abs() < EPS);
+        assert!(quorum_availability(&a, 1, &[0.0; 3]).abs() < EPS);
+    }
+
+    #[test]
+    fn heterogeneous_availability() {
+        // Two sites: votes 1 each, quorum 1. Available unless both down.
+        let a = VoteAssignment::equal(2);
+        let up = [0.9, 0.5];
+        let expect = 1.0 - 0.1 * 0.5;
+        assert!((quorum_availability(&a, 1, &up) - expect).abs() < EPS);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_enumeration() {
+        let m = SystemModel::paper_example_2(0.9);
+        let exact = quorum_availability(&m.assignment, m.quorum.write, &m.up);
+        let mut rng = DetRng::new(41);
+        let est = simulate_quorum_availability(
+            &m.assignment,
+            m.quorum.write,
+            &m.up,
+            200_000,
+            &mut rng,
+        );
+        assert!((est - exact).abs() < 0.005, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn majority_five_sites_known_value() {
+        // 5 equal votes, majority 3, p = 0.9 each:
+        // availability = sum_{k>=3} C(5,k) 0.9^k 0.1^(5-k) = 0.99144.
+        let a = VoteAssignment::equal(5);
+        let q = QuorumSpec::majority(5);
+        let avail = quorum_availability(&a, q.read, &[0.9; 5]);
+        assert!((avail - 0.99144).abs() < 1e-9);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Availability is monotone: lowering the threshold can only
+            /// help, and raising per-site availability can only help.
+            #[test]
+            fn monotonicity(
+                votes in proptest::collection::vec(0u32..4, 1..6),
+                p in 0.0f64..1.0,
+                needed in 1u32..6,
+            ) {
+                prop_assume!(votes.iter().sum::<u32>() > 0);
+                let a = VoteAssignment::new(
+                    votes.iter().enumerate().map(|(i, v)| (SiteId::from(i), *v)),
+                );
+                let n = votes.len();
+                let lo = quorum_availability(&a, needed + 1, &vec![p; n]);
+                let hi = quorum_availability(&a, needed, &vec![p; n]);
+                prop_assert!(lo <= hi + 1e-12);
+                let better = quorum_availability(&a, needed, &vec![(p + 1.0) / 2.0; n]);
+                prop_assert!(hi <= better + 1e-12);
+            }
+
+            /// Monte-Carlo stays near the exact value.
+            #[test]
+            fn estimator_is_consistent(seed in 0u64..1000) {
+                let a = VoteAssignment::equal(3);
+                let up = [0.8, 0.7, 0.95];
+                let exact = quorum_availability(&a, 2, &up);
+                let mut rng = DetRng::new(seed);
+                let est = simulate_quorum_availability(&a, 2, &up, 20_000, &mut rng);
+                prop_assert!((est - exact).abs() < 0.03);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Message-count model: what a quorum operation costs the network.
+//!
+//! The paper discusses operation cost in representative accesses; on a
+//! message-passing substrate each access is a request/response pair. For a
+//! suite with `h` hosting sites (strong + weak) and write quorum size
+//! `|W|` (sites, not votes):
+//!
+//! * a **write** exchanges exactly `2h + 4|W|` messages — an inquiry and
+//!   answer per host, then prepare/vote and commit/ack per quorum member;
+//! * a **read** exchanges `2h + 2` messages when the optimistic fetch wins
+//!   and up to `2h + 4` when the inquiry quorum settles first and a
+//!   redundant explicit fetch goes out (both fetches are answered).
+//!
+//! `tests/message_costs.rs` checks these formulas against the transport's
+//! actual counters.
+
+/// Exact message count of a successful write.
+pub fn write_messages(hosts: usize, write_quorum_sites: usize) -> u64 {
+    (2 * hosts + 4 * write_quorum_sites) as u64
+}
+
+/// Inclusive bounds on the message count of a successful read with the
+/// optimistic parallel fetch enabled.
+pub fn read_messages_bounds(hosts: usize) -> (u64, u64) {
+    ((2 * hosts + 2) as u64, (2 * hosts + 4) as u64)
+}
+
+/// Exact message count of a successful read with the optimistic fetch
+/// disabled (sequential inquiry then fetch).
+pub fn read_messages_sequential(hosts: usize) -> u64 {
+    (2 * hosts + 2) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_scale_linearly() {
+        assert_eq!(write_messages(3, 2), 14);
+        assert_eq!(write_messages(3, 3), 18);
+        assert_eq!(write_messages(5, 3), 22);
+        assert_eq!(read_messages_bounds(3), (8, 10));
+        assert_eq!(read_messages_sequential(3), 8);
+    }
+
+    #[test]
+    fn optimistic_read_costs_at_most_two_extra_messages() {
+        for h in 1..10 {
+            let (lo, hi) = read_messages_bounds(h);
+            assert_eq!(hi - lo, 2);
+            assert_eq!(lo, read_messages_sequential(h));
+        }
+    }
+}

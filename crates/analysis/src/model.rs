@@ -1,0 +1,152 @@
+//! The analytic system model: a suite configuration plus per-site access
+//! costs and availabilities.
+
+use wv_core::quorum::QuorumSpec;
+use wv_core::votes::VoteAssignment;
+use wv_net::SiteId;
+
+/// Inputs to the closed-form models.
+#[derive(Clone, Debug)]
+pub struct SystemModel {
+    /// Votes per hosting site.
+    pub assignment: VoteAssignment,
+    /// Read/write quorum sizes.
+    pub quorum: QuorumSpec,
+    /// Mean access latency (ms) per site, indexed by site id. Sites not
+    /// hosting a representative may carry any value; they are ignored.
+    pub costs: Vec<f64>,
+    /// Probability each site is up, indexed by site id.
+    pub up: Vec<f64>,
+}
+
+impl SystemModel {
+    /// Builds a model, validating the quorum against the assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the quorum is illegal or a hosting site lacks a cost or
+    /// availability entry — all configuration bugs.
+    pub fn new(
+        assignment: VoteAssignment,
+        quorum: QuorumSpec,
+        costs: Vec<f64>,
+        up: Vec<f64>,
+    ) -> Self {
+        quorum
+            .validate(&assignment)
+            .expect("model requires a legal quorum");
+        for (site, _) in assignment.entries() {
+            assert!(
+                site.index() < costs.len() && site.index() < up.len(),
+                "site {site} missing cost or availability"
+            );
+            let p = up[site.index()];
+            assert!((0.0..=1.0).contains(&p), "availability must be in [0,1]");
+        }
+        SystemModel {
+            assignment,
+            quorum,
+            costs,
+            up,
+        }
+    }
+
+    /// Uniform availability for every site.
+    pub fn with_uniform_up(assignment: VoteAssignment, quorum: QuorumSpec, costs: Vec<f64>, p: f64) -> Self {
+        let n = costs.len();
+        SystemModel::new(assignment, quorum, costs, vec![p; n])
+    }
+
+    /// The access cost of a site.
+    pub fn cost(&self, site: SiteId) -> f64 {
+        self.costs[site.index()]
+    }
+
+    /// The availability of a site.
+    pub fn up(&self, site: SiteId) -> f64 {
+        self.up[site.index()]
+    }
+
+    /// The paper's Example 1: a file with a high read-to-write ratio used
+    /// from one workstation. One voting representative on the local file
+    /// system (75 ms), two weak representatives on workstations (65 ms);
+    /// `r = 1, w = 1`.
+    pub fn paper_example_1(p_up: f64) -> SystemModel {
+        SystemModel::with_uniform_up(
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 0), (SiteId(2), 0)]),
+            QuorumSpec::new(1, 1),
+            vec![75.0, 65.0, 65.0],
+            p_up,
+        )
+    }
+
+    /// The paper's Example 2: moderate read-to-write ratio, accessed
+    /// mainly from one local network. Votes ⟨2,1,1⟩ with the heavy
+    /// representative local (75 ms) and two remote (100 ms, 750 ms);
+    /// `r = 2, w = 3`.
+    pub fn paper_example_2(p_up: f64) -> SystemModel {
+        SystemModel::with_uniform_up(
+            VoteAssignment::new([(SiteId(0), 2), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 3),
+            vec![75.0, 100.0, 750.0],
+            p_up,
+        )
+    }
+
+    /// The paper's Example 3: high read-to-write ratio accessed from
+    /// several networks. Votes ⟨1,1,1⟩ across one local (75 ms) and two
+    /// distant (750 ms) servers; `r = 1, w = 3`.
+    pub fn paper_example_3(p_up: f64) -> SystemModel {
+        SystemModel::with_uniform_up(
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(1, 3),
+            vec![75.0, 750.0, 750.0],
+            p_up,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_are_legal() {
+        for m in [
+            SystemModel::paper_example_1(0.99),
+            SystemModel::paper_example_2(0.99),
+            SystemModel::paper_example_3(0.99),
+        ] {
+            assert!(m.quorum.validate(&m.assignment).is_ok());
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let m = SystemModel::paper_example_2(0.97);
+        assert_eq!(m.cost(SiteId(1)), 100.0);
+        assert_eq!(m.up(SiteId(2)), 0.97);
+    }
+
+    #[test]
+    #[should_panic(expected = "legal quorum")]
+    fn illegal_quorum_rejected() {
+        let _ = SystemModel::with_uniform_up(
+            VoteAssignment::equal(3),
+            QuorumSpec::new(1, 1),
+            vec![1.0; 3],
+            0.9,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in")]
+    fn out_of_range_probability_rejected() {
+        let _ = SystemModel::new(
+            VoteAssignment::equal(2),
+            QuorumSpec::new(1, 2),
+            vec![1.0; 2],
+            vec![1.5, 0.5],
+        );
+    }
+}

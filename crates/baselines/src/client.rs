@@ -1,0 +1,716 @@
+//! Baseline clients: one node, three protocols.
+
+use std::collections::{BTreeMap, HashMap};
+
+use bytes::Bytes;
+use wv_net::{Node, NodeCtx, SiteId};
+use wv_sim::{SimDuration, SimTime};
+use wv_storage::Version;
+
+use crate::msg::{BMsg, BReq};
+
+/// Which classical scheme the client speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Read any single replica; write all replicas.
+    Rowa,
+    /// All writes (and strong reads) go to one primary site.
+    Primary {
+        /// The distinguished replica.
+        primary: SiteId,
+        /// If true, reads go to the cheapest replica and may be stale.
+        local_reads: bool,
+    },
+    /// Thomas' majority consensus: majority read and majority write with
+    /// timestamps.
+    Majority,
+}
+
+/// What kind of baseline operation ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineOpKind {
+    /// Read.
+    Read,
+    /// Write.
+    Write,
+}
+
+/// A finished baseline operation.
+#[derive(Clone, Debug)]
+pub struct BaselineOp {
+    /// Attempt id.
+    pub req: BReq,
+    /// Read or write.
+    pub kind: BaselineOpKind,
+    /// `Ok((version, value))` or unavailable. Reads carry the value.
+    pub outcome: Result<(Version, Option<Bytes>), ()>,
+    /// Start instant.
+    pub started: SimTime,
+    /// Finish instant.
+    pub finished: SimTime,
+}
+
+impl BaselineOp {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum BPhase {
+    /// ROWA / primary-copy read: waiting for one ReadResp, failing over
+    /// down the candidate list on timeout.
+    SingleRead { candidates: Vec<SiteId>, idx: usize },
+    /// Majority read: collecting `(version, value)` answers.
+    MajorityRead { answers: BTreeMap<SiteId, (Version, Bytes)> },
+    /// ROWA write: waiting for WriteAcks from every replica.
+    AllWrite { acked: Vec<SiteId>, version: Version },
+    /// Primary write: waiting for the primary's ack.
+    PrimaryWrite,
+    /// Majority write phase 1: learn the max timestamp.
+    MajorityReadTs { answers: BTreeMap<SiteId, Version> },
+    /// Majority write phase 2: collecting install acks.
+    MajorityInstall { acked: Vec<SiteId>, version: Version },
+}
+
+#[derive(Clone, Debug)]
+struct BOp {
+    kind: BaselineOpKind,
+    payload: Option<Bytes>,
+    started: SimTime,
+    phase: BPhase,
+    seq: u64,
+}
+
+/// A client speaking one baseline scheme against a set of replicas.
+pub struct BaselineClient {
+    site: SiteId,
+    scheme: Scheme,
+    replicas: Vec<SiteId>,
+    costs: Vec<f64>,
+    timeout: SimDuration,
+    next_req: u64,
+    ops: HashMap<BReq, BOp>,
+    timers: HashMap<u64, (BReq, u64)>,
+    next_timer: u64,
+    /// Finished operations, in completion order.
+    pub completed: Vec<BaselineOp>,
+}
+
+impl BaselineClient {
+    /// Creates a client at `site` talking to `replicas`, with per-site
+    /// costs for cheapest-first choices.
+    pub fn new(
+        site: SiteId,
+        scheme: Scheme,
+        replicas: Vec<SiteId>,
+        costs: Vec<f64>,
+        timeout: SimDuration,
+    ) -> Self {
+        assert!(!replicas.is_empty(), "a scheme needs replicas");
+        BaselineClient {
+            site,
+            scheme,
+            replicas,
+            costs,
+            timeout,
+            next_req: 1,
+            ops: HashMap::new(),
+            timers: HashMap::new(),
+            next_timer: 1,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The scheme spoken.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The client's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Drains the finished-operation log.
+    pub fn take_completed(&mut self) -> Vec<BaselineOp> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Operations still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Votes needed for a majority of this client's replica set.
+    pub fn majority(&self) -> usize {
+        self.replicas.len() / 2 + 1
+    }
+
+    /// Replicas sorted cheapest-first.
+    fn by_cost(&self) -> Vec<SiteId> {
+        let mut v = self.replicas.clone();
+        v.sort_by(|a, b| {
+            let ca = self.costs.get(a.index()).copied().unwrap_or(f64::MAX);
+            let cb = self.costs.get(b.index()).copied().unwrap_or(f64::MAX);
+            ca.partial_cmp(&cb)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        v
+    }
+
+    fn fresh(&mut self) -> BReq {
+        let r = BReq(self.next_req);
+        self.next_req += 1;
+        r
+    }
+
+    fn arm(&mut self, req: BReq, seq: u64, ctx: &mut NodeCtx<'_, BMsg>) {
+        let token = self.next_timer;
+        self.next_timer += 1;
+        self.timers.insert(token, (req, seq));
+        ctx.set_timer(self.timeout, token);
+    }
+
+    /// Starts a read; returns its id.
+    pub fn start_read(&mut self, ctx: &mut NodeCtx<'_, BMsg>) -> BReq {
+        let req = self.fresh();
+        let phase = match self.scheme {
+            Scheme::Rowa => {
+                let candidates = self.by_cost();
+                ctx.send(candidates[0], BMsg::ReadReq { req });
+                BPhase::SingleRead { candidates, idx: 0 }
+            }
+            Scheme::Primary {
+                primary,
+                local_reads,
+            } => {
+                // Strong reads must see the write order, so only the
+                // primary qualifies; local reads may fail over freely.
+                let candidates = if local_reads {
+                    self.by_cost()
+                } else {
+                    vec![primary]
+                };
+                ctx.send(candidates[0], BMsg::ReadReq { req });
+                BPhase::SingleRead { candidates, idx: 0 }
+            }
+            Scheme::Majority => {
+                for &r in &self.replicas {
+                    ctx.send(r, BMsg::ReadReq { req });
+                }
+                BPhase::MajorityRead {
+                    answers: BTreeMap::new(),
+                }
+            }
+        };
+        self.ops.insert(
+            req,
+            BOp {
+                kind: BaselineOpKind::Read,
+                payload: None,
+                started: ctx.now(),
+                phase,
+                seq: 1,
+            },
+        );
+        self.arm(req, 1, ctx);
+        req
+    }
+
+    /// Starts a write; returns its id.
+    pub fn start_write(&mut self, value: impl Into<Bytes>, ctx: &mut NodeCtx<'_, BMsg>) -> BReq {
+        let req = self.fresh();
+        let value = value.into();
+        let phase = match self.scheme {
+            Scheme::Rowa => {
+                for &r in &self.replicas {
+                    ctx.send(
+                        r,
+                        BMsg::WriteReq {
+                            req,
+                            value: value.clone(),
+                        },
+                    );
+                }
+                BPhase::AllWrite {
+                    acked: Vec::new(),
+                    version: Version::INITIAL,
+                }
+            }
+            Scheme::Primary { primary, .. } => {
+                ctx.send(
+                    primary,
+                    BMsg::WriteReq {
+                        req,
+                        value: value.clone(),
+                    },
+                );
+                BPhase::PrimaryWrite
+            }
+            Scheme::Majority => {
+                // Phase 1: learn the highest timestamp from a majority.
+                for &r in &self.replicas {
+                    ctx.send(r, BMsg::ReadReq { req });
+                }
+                BPhase::MajorityReadTs {
+                    answers: BTreeMap::new(),
+                }
+            }
+        };
+        self.ops.insert(
+            req,
+            BOp {
+                kind: BaselineOpKind::Write,
+                payload: Some(value),
+                started: ctx.now(),
+                phase,
+                seq: 1,
+            },
+        );
+        self.arm(req, 1, ctx);
+        req
+    }
+
+    fn finish(&mut self, req: BReq, outcome: Result<(Version, Option<Bytes>), ()>, now: SimTime) {
+        if let Some(op) = self.ops.remove(&req) {
+            self.completed.push(BaselineOp {
+                req,
+                kind: op.kind,
+                outcome,
+                started: op.started,
+                finished: now,
+            });
+        }
+    }
+}
+
+impl Node for BaselineClient {
+    type Msg = BMsg;
+
+    fn on_message(&mut self, from: SiteId, msg: BMsg, ctx: &mut NodeCtx<'_, BMsg>) {
+        enum Done {
+            No,
+            Finish(Result<(Version, Option<Bytes>), ()>),
+            MajorityInstall(Version, Bytes),
+        }
+        let (req, done) = match msg {
+            BMsg::ReadResp {
+                req,
+                version,
+                value,
+            } => {
+                let Some(op) = self.ops.get_mut(&req) else {
+                    return;
+                };
+                match &mut op.phase {
+                    BPhase::SingleRead { .. } => (req, Done::Finish(Ok((version, Some(value))))),
+                    BPhase::MajorityRead { answers } => {
+                        answers.insert(from, (version, value));
+                        if answers.len() > self.replicas.len() / 2 {
+                            let (v, val) = answers
+                                .values()
+                                .max_by_key(|(v, _)| *v)
+                                .cloned()
+                                .expect("non-empty");
+                            (req, Done::Finish(Ok((v, Some(val)))))
+                        } else {
+                            (req, Done::No)
+                        }
+                    }
+                    BPhase::MajorityReadTs { answers } => {
+                        answers.insert(from, version);
+                        if answers.len() > self.replicas.len() / 2 {
+                            let max = answers.values().copied().max().expect("non-empty");
+                            let value = op.payload.clone().expect("write payload");
+                            (req, Done::MajorityInstall(max.next(), value))
+                        } else {
+                            (req, Done::No)
+                        }
+                    }
+                    _ => (req, Done::No),
+                }
+            }
+            BMsg::WriteAck { req, version } => {
+                let Some(op) = self.ops.get_mut(&req) else {
+                    return;
+                };
+                match &mut op.phase {
+                    BPhase::PrimaryWrite => (req, Done::Finish(Ok((version, None)))),
+                    BPhase::AllWrite { acked, version: v } => {
+                        if !acked.contains(&from) {
+                            acked.push(from);
+                            *v = (*v).max(version);
+                        }
+                        if acked.len() == self.replicas.len() {
+                            let v = *v;
+                            (req, Done::Finish(Ok((v, None))))
+                        } else {
+                            (req, Done::No)
+                        }
+                    }
+                    _ => (req, Done::No),
+                }
+            }
+            BMsg::InstallAck { req, version: _ } => {
+                let Some(op) = self.ops.get_mut(&req) else {
+                    return;
+                };
+                match &mut op.phase {
+                    BPhase::MajorityInstall { acked, version: v } => {
+                        if !acked.contains(&from) {
+                            acked.push(from);
+                        }
+                        if acked.len() > self.replicas.len() / 2 {
+                            let v = *v;
+                            (req, Done::Finish(Ok((v, None))))
+                        } else {
+                            (req, Done::No)
+                        }
+                    }
+                    _ => (req, Done::No),
+                }
+            }
+            // Requests mis-delivered to a client: ignore.
+            _ => return,
+        };
+        match done {
+            Done::No => {}
+            Done::Finish(outcome) => {
+                let now = ctx.now();
+                self.finish(req, outcome, now);
+            }
+            Done::MajorityInstall(version, value) => {
+                let op = self.ops.get_mut(&req).expect("op live");
+                op.seq += 1;
+                op.phase = BPhase::MajorityInstall {
+                    acked: Vec::new(),
+                    version,
+                };
+                let seq = op.seq;
+                for &r in &self.replicas.clone() {
+                    ctx.send(
+                        r,
+                        BMsg::Install {
+                            req,
+                            version,
+                            value: value.clone(),
+                        },
+                    );
+                }
+                self.arm(req, seq, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, BMsg>) {
+        let Some((req, seq)) = self.timers.remove(&token) else {
+            return;
+        };
+        if self.ops.get(&req).map(|op| op.seq) != Some(seq) {
+            return;
+        }
+        // Single-target reads fail over to the next candidate before
+        // giving up; everything else times out terminally.
+        let failover = {
+            let op = self.ops.get_mut(&req).expect("checked above");
+            match &mut op.phase {
+                BPhase::SingleRead { candidates, idx } if *idx + 1 < candidates.len() => {
+                    *idx += 1;
+                    op.seq += 1;
+                    Some((candidates[*idx], op.seq))
+                }
+                _ => None,
+            }
+        };
+        match failover {
+            Some((target, seq)) => {
+                ctx.send(target, BMsg::ReadReq { req });
+                self.arm(req, seq, ctx);
+            }
+            None => {
+                let now = ctx.now();
+                self.finish(req, Err(()), now);
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        self.ops.clear();
+        self.timers.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_sim::DetRng;
+
+    fn reps() -> Vec<SiteId> {
+        vec![SiteId(0), SiteId(1), SiteId(2)]
+    }
+
+    fn costs() -> Vec<f64> {
+        vec![30.0, 10.0, 20.0, 1.0]
+    }
+
+    fn effects(ctx: &mut NodeCtx<'_, BMsg>) -> Vec<(SiteId, BMsg)> {
+        ctx.take_effects()
+            .into_iter()
+            .filter_map(|e| match e {
+                wv_net::node::Effect::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rowa_read_targets_cheapest_single_replica() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Rowa,
+            reps(),
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        let mut rng = DetRng::new(1);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        let req = c.start_read(&mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(1), "site 1 is cheapest");
+        let mut ctx = NodeCtx::new(SimTime::from_millis(10), SiteId(3), &mut rng);
+        c.on_message(
+            SiteId(1),
+            BMsg::ReadResp {
+                req,
+                version: Version(2),
+                value: Bytes::from_static(b"v"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+        assert!(c.completed[0].outcome.is_ok());
+    }
+
+    #[test]
+    fn rowa_write_needs_every_replica() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Rowa,
+            reps(),
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        let mut rng = DetRng::new(2);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        let req = c.start_write(&b"w"[..], &mut ctx);
+        assert_eq!(effects(&mut ctx).len(), 3);
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), SiteId(3), &mut rng);
+            c.on_message(
+                SiteId(s),
+                BMsg::WriteAck {
+                    req,
+                    version: Version(1),
+                },
+                &mut ctx,
+            );
+            assert_eq!(c.completed.len(), 0, "two of three acks is not enough");
+        }
+        let mut ctx = NodeCtx::new(SimTime::from_millis(6), SiteId(3), &mut rng);
+        c.on_message(
+            SiteId(2),
+            BMsg::WriteAck {
+                req,
+                version: Version(1),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+        assert!(c.completed[0].outcome.is_ok());
+    }
+
+    #[test]
+    fn rowa_write_times_out_without_full_acks() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Rowa,
+            reps(),
+            costs(),
+            SimDuration::from_millis(100),
+        );
+        let mut rng = DetRng::new(3);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        let req = c.start_write(&b"w"[..], &mut ctx);
+        let _ = effects(&mut ctx);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(5), SiteId(3), &mut rng);
+        c.on_message(
+            SiteId(0),
+            BMsg::WriteAck {
+                req,
+                version: Version(1),
+            },
+            &mut ctx,
+        );
+        // The timer fires.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(100), SiteId(3), &mut rng);
+        c.on_timer(1, &mut ctx);
+        assert_eq!(c.completed.len(), 1);
+        assert!(c.completed[0].outcome.is_err());
+    }
+
+    #[test]
+    fn primary_write_waits_only_for_primary() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Primary {
+                primary: SiteId(0),
+                local_reads: false,
+            },
+            reps(),
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        let mut rng = DetRng::new(4);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        let req = c.start_write(&b"p"[..], &mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(0));
+        let mut ctx = NodeCtx::new(SimTime::from_millis(5), SiteId(3), &mut rng);
+        c.on_message(
+            SiteId(0),
+            BMsg::WriteAck {
+                req,
+                version: Version(1),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+    }
+
+    #[test]
+    fn primary_local_reads_go_to_cheapest() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Primary {
+                primary: SiteId(0),
+                local_reads: true,
+            },
+            reps(),
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        let mut rng = DetRng::new(5);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        c.start_read(&mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(out[0].0, SiteId(1), "cheapest replica, not the primary");
+    }
+
+    #[test]
+    fn majority_read_takes_highest_timestamp_of_majority() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Majority,
+            reps(),
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        let mut rng = DetRng::new(6);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        let req = c.start_read(&mut ctx);
+        assert_eq!(effects(&mut ctx).len(), 3);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(5), SiteId(3), &mut rng);
+        c.on_message(
+            SiteId(0),
+            BMsg::ReadResp {
+                req,
+                version: Version(1),
+                value: Bytes::from_static(b"old"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 0);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(6), SiteId(3), &mut rng);
+        c.on_message(
+            SiteId(2),
+            BMsg::ReadResp {
+                req,
+                version: Version(4),
+                value: Bytes::from_static(b"new"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+        let (v, val) = c.completed[0].outcome.clone().expect("ok");
+        assert_eq!(v, Version(4));
+        assert_eq!(val.expect("value"), Bytes::from_static(b"new"));
+    }
+
+    #[test]
+    fn majority_write_reads_timestamps_then_installs() {
+        let mut c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Majority,
+            reps(),
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        let mut rng = DetRng::new(7);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(3), &mut rng);
+        let req = c.start_write(&b"m"[..], &mut ctx);
+        assert_eq!(effects(&mut ctx).len(), 3, "timestamp reads fan out");
+        // Two timestamp answers reach majority; install fans out at ts+1.
+        for (s, v) in [(0u16, 2u64), (1, 5)] {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), SiteId(3), &mut rng);
+            c.on_message(
+                SiteId(s),
+                BMsg::ReadResp {
+                    req,
+                    version: Version(v),
+                    value: Bytes::new(),
+                },
+                &mut ctx,
+            );
+            let out = effects(&mut ctx);
+            if s == 1 {
+                assert_eq!(out.len(), 3);
+                assert!(out.iter().all(|(_, m)| matches!(
+                    m,
+                    BMsg::Install { version, .. } if *version == Version(6)
+                )));
+            }
+        }
+        // Majority of install acks completes the write.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(9), SiteId(3), &mut rng);
+            c.on_message(
+                SiteId(s),
+                BMsg::InstallAck {
+                    req,
+                    version: Version(6),
+                },
+                &mut ctx,
+            );
+        }
+        assert_eq!(c.completed.len(), 1);
+        let (v, _) = c.completed[0].outcome.clone().expect("ok");
+        assert_eq!(v, Version(6));
+    }
+
+    #[test]
+    fn majority_helper() {
+        let c = BaselineClient::new(
+            SiteId(3),
+            Scheme::Majority,
+            vec![SiteId(0), SiteId(1), SiteId(2), SiteId(4), SiteId(5)],
+            costs(),
+            SimDuration::from_secs(1),
+        );
+        assert_eq!(c.majority(), 3);
+    }
+}

@@ -1,0 +1,84 @@
+//! Wire protocol shared by the baseline schemes.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use wv_storage::Version;
+
+/// One operation attempt, unique per client.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct BReq(pub u64);
+
+/// Baseline protocol messages.
+///
+/// `Version` doubles as Thomas' timestamp: both are monotone counters
+/// chosen by writers, so one wire format serves all three schemes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum BMsg {
+    /// Read the replica's current value.
+    ReadReq {
+        /// Attempt id.
+        req: BReq,
+    },
+    /// The replica's value and version/timestamp.
+    ReadResp {
+        /// The reading attempt.
+        req: BReq,
+        /// Version/timestamp of the value.
+        version: Version,
+        /// The value.
+        value: Bytes,
+    },
+    /// Install `(version, value)` if `version` is newer (Thomas write
+    /// rule); used by majority consensus and by primary→backup
+    /// propagation.
+    Install {
+        /// The installing attempt.
+        req: BReq,
+        /// Version/timestamp to install.
+        version: Version,
+        /// Value to install.
+        value: Bytes,
+    },
+    /// Acknowledge an install, reporting the replica's (possibly newer)
+    /// version afterwards.
+    InstallAck {
+        /// The installing attempt.
+        req: BReq,
+        /// The replica's version after the install.
+        version: Version,
+    },
+    /// ROWA/primary: append a write; the replica assigns the next version
+    /// itself. Only ever sent to a replica that orders writes (the primary,
+    /// or — for ROWA — every replica under an external all-or-nothing
+    /// contract).
+    WriteReq {
+        /// The writing attempt.
+        req: BReq,
+        /// Value to append.
+        value: Bytes,
+    },
+    /// Acknowledge a `WriteReq` with the version assigned.
+    WriteAck {
+        /// The writing attempt.
+        req: BReq,
+        /// The version the replica assigned.
+        version: Version,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_clone_and_eq() {
+        let m = BMsg::Install {
+            req: BReq(7),
+            version: Version(3),
+            value: Bytes::from_static(b"x"),
+        };
+        assert_eq!(m.clone(), m);
+        let r = BMsg::ReadReq { req: BReq(1) };
+        assert_ne!(r, BMsg::ReadReq { req: BReq(2) });
+    }
+}

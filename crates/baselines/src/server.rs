@@ -1,0 +1,264 @@
+//! The baseline replica server.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use wv_net::{Node, NodeCtx, SiteId};
+use wv_storage::Version;
+
+use crate::msg::{BMsg, BReq};
+
+/// A replica for the baseline schemes: a versioned value plus, for the
+/// primary-copy scheme, a propagation list.
+pub struct BaselineServer {
+    site: SiteId,
+    version: Version,
+    value: Bytes,
+    /// Backups to push updates to after locally ordering a `WriteReq`
+    /// (non-empty only on a primary-copy primary).
+    propagate_to: Vec<SiteId>,
+    /// Requests seen, for idempotence of installs.
+    applied: HashMap<BReq, Version>,
+    /// Counters.
+    pub reads: u64,
+    /// Counters.
+    pub installs: u64,
+    /// Counters.
+    pub ordered_writes: u64,
+}
+
+impl BaselineServer {
+    /// A replica with no propagation duties (ROWA, majority, backup).
+    pub fn new(site: SiteId) -> Self {
+        BaselineServer {
+            site,
+            version: Version::INITIAL,
+            value: Bytes::new(),
+            propagate_to: Vec::new(),
+            applied: HashMap::new(),
+            reads: 0,
+            installs: 0,
+            ordered_writes: 0,
+        }
+    }
+
+    /// A primary that pushes ordered writes to `backups`.
+    pub fn primary(site: SiteId, backups: Vec<SiteId>) -> Self {
+        BaselineServer {
+            propagate_to: backups,
+            ..BaselineServer::new(site)
+        }
+    }
+
+    /// The replica's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Current version (or Thomas timestamp).
+    pub fn version(&self) -> Version {
+        self.version
+    }
+
+    /// Current value.
+    pub fn value(&self) -> Bytes {
+        self.value.clone()
+    }
+
+    fn install(&mut self, version: Version, value: Bytes) -> bool {
+        // Thomas write rule: only newer timestamps take effect.
+        if version > self.version {
+            self.version = version;
+            self.value = value;
+            self.installs += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Node for BaselineServer {
+    type Msg = BMsg;
+
+    fn on_message(&mut self, from: SiteId, msg: BMsg, ctx: &mut NodeCtx<'_, BMsg>) {
+        match msg {
+            BMsg::ReadReq { req } => {
+                self.reads += 1;
+                ctx.send(
+                    from,
+                    BMsg::ReadResp {
+                        req,
+                        version: self.version,
+                        value: self.value.clone(),
+                    },
+                );
+            }
+            BMsg::Install {
+                req,
+                version,
+                value,
+            } => {
+                self.install(version, value);
+                ctx.send(
+                    from,
+                    BMsg::InstallAck {
+                        req,
+                        version: self.version,
+                    },
+                );
+            }
+            BMsg::WriteReq { req, value } => {
+                // Idempotence: a duplicated WriteReq must not double-bump
+                // the version.
+                let version = if let Some(v) = self.applied.get(&req) {
+                    *v
+                } else {
+                    let v = self.version.next();
+                    self.install(v, value.clone());
+                    self.applied.insert(req, v);
+                    self.ordered_writes += 1;
+                    // Primary-copy propagation is asynchronous: the ack
+                    // does not wait for the backups.
+                    for backup in self.propagate_to.clone() {
+                        ctx.send(
+                            backup,
+                            BMsg::Install {
+                                req,
+                                version: v,
+                                value: value.clone(),
+                            },
+                        );
+                    }
+                    v
+                };
+                ctx.send(from, BMsg::WriteAck { req, version });
+            }
+            // Responses mis-delivered to a server (or backup acks for
+            // asynchronous propagation) need no action.
+            BMsg::ReadResp { .. } | BMsg::InstallAck { .. } | BMsg::WriteAck { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_sim::{DetRng, SimTime};
+
+    fn effects(ctx: &mut NodeCtx<'_, BMsg>) -> Vec<(SiteId, BMsg)> {
+        ctx.take_effects()
+            .into_iter()
+            .filter_map(|e| match e {
+                wv_net::node::Effect::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_returns_versioned_value() {
+        let mut s = BaselineServer::new(SiteId(0));
+        let mut rng = DetRng::new(1);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(0), &mut rng);
+        s.on_message(SiteId(9), BMsg::ReadReq { req: BReq(1) }, &mut ctx);
+        let out = effects(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            BMsg::ReadResp { version, .. } if *version == Version(0)
+        ));
+    }
+
+    #[test]
+    fn install_follows_thomas_write_rule() {
+        let mut s = BaselineServer::new(SiteId(0));
+        let mut rng = DetRng::new(2);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(0), &mut rng);
+        s.on_message(
+            SiteId(9),
+            BMsg::Install {
+                req: BReq(1),
+                version: Version(5),
+                value: Bytes::from_static(b"five"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(s.version(), Version(5));
+        // An older install is ignored but still acked with the newer state.
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(0), &mut rng);
+        s.on_message(
+            SiteId(9),
+            BMsg::Install {
+                req: BReq(2),
+                version: Version(3),
+                value: Bytes::from_static(b"three"),
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert_eq!(s.value(), Bytes::from_static(b"five"));
+        assert!(matches!(
+            &out[0].1,
+            BMsg::InstallAck { version, .. } if *version == Version(5)
+        ));
+    }
+
+    #[test]
+    fn write_req_assigns_versions_and_is_idempotent() {
+        let mut s = BaselineServer::new(SiteId(0));
+        let mut rng = DetRng::new(3);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(0), &mut rng);
+        s.on_message(
+            SiteId(9),
+            BMsg::WriteReq {
+                req: BReq(1),
+                value: Bytes::from_static(b"a"),
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            BMsg::WriteAck { version, .. } if *version == Version(1)
+        ));
+        // Duplicate write: same version back, no double bump.
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(0), &mut rng);
+        s.on_message(
+            SiteId(9),
+            BMsg::WriteReq {
+                req: BReq(1),
+                value: Bytes::from_static(b"a"),
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            BMsg::WriteAck { version, .. } if *version == Version(1)
+        ));
+        assert_eq!(s.version(), Version(1));
+        assert_eq!(s.ordered_writes, 1);
+    }
+
+    #[test]
+    fn primary_propagates_to_backups() {
+        let mut s = BaselineServer::primary(SiteId(0), vec![SiteId(1), SiteId(2)]);
+        let mut rng = DetRng::new(4);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, SiteId(0), &mut rng);
+        s.on_message(
+            SiteId(9),
+            BMsg::WriteReq {
+                req: BReq(1),
+                value: Bytes::from_static(b"p"),
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        let installs = out
+            .iter()
+            .filter(|(_, m)| matches!(m, BMsg::Install { .. }))
+            .count();
+        assert_eq!(installs, 2, "one propagation per backup");
+        assert!(out.iter().any(|(to, m)| *to == SiteId(9) && matches!(m, BMsg::WriteAck { .. })));
+    }
+}

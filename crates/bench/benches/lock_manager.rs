@@ -1,0 +1,75 @@
+//! Criterion bench: the lock manager's hot paths.
+//!
+//! Uncontended grant/release, contended queueing with promotion, and the
+//! wait-die vs no-wait policy cost under a conflict storm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wv_storage::ObjectId;
+use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, TxToken};
+
+fn bench_locks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lock_manager");
+
+    group.bench_function("uncontended_grant_release", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::default();
+            for i in 0..100u64 {
+                let t = TxToken::new(i, i);
+                lm.lock(t, ObjectId(i % 8), LockMode::Exclusive);
+                lm.release_all(t);
+            }
+            criterion::black_box(lm.is_quiescent())
+        });
+    });
+
+    group.bench_function("shared_readers_pile_on", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::default();
+            for i in 0..100u64 {
+                lm.lock(TxToken::new(i, i), ObjectId(1), LockMode::Shared);
+            }
+            for i in 0..100u64 {
+                lm.release_all(TxToken::new(i, i));
+            }
+            criterion::black_box(lm.stats().granted)
+        });
+    });
+
+    group.bench_function("contended_queue_promotion", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::default();
+            // Youngest first so elders queue behind it, then promote in
+            // a cascade as each holder releases.
+            for i in (0..50u64).rev() {
+                lm.lock(TxToken::new(i, i), ObjectId(1), LockMode::Exclusive);
+            }
+            for i in (0..50u64).rev() {
+                lm.release_all(TxToken::new(i, i));
+            }
+            criterion::black_box(lm.stats().promoted)
+        });
+    });
+
+    for (name, policy) in [
+        ("waitdie_conflict_storm", DeadlockPolicy::WaitDie),
+        ("nowait_conflict_storm", DeadlockPolicy::NoWait),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut lm = LockManager::new(policy);
+                for i in 0..200u64 {
+                    let t = TxToken::new(i, i);
+                    lm.lock(t, ObjectId(i % 4), LockMode::Exclusive);
+                    if i % 3 == 0 {
+                        lm.release_all(t);
+                    }
+                }
+                criterion::black_box(lm.stats().aborted)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

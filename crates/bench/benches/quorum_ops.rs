@@ -1,0 +1,38 @@
+//! Criterion bench: end-to-end quorum operations on the simulated cluster.
+//!
+//! Wall-clock cost of simulating one read / one write on the paper's three
+//! example configurations — the number that bounds how many Monte-Carlo
+//! trials the availability experiments can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wv_bench::topo;
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quorum_ops");
+    for example in 1u32..=3 {
+        group.bench_with_input(
+            BenchmarkId::new("write_then_read", example),
+            &example,
+            |b, &example| {
+                b.iter(|| {
+                    let mut h = match example {
+                        1 => topo::example_1(9),
+                        2 => topo::example_2(9),
+                        _ => topo::example_3(9),
+                    };
+                    let suite = h.suite_id();
+                    h.write(suite, b"bench".to_vec()).expect("write");
+                    let r = h.read(suite).expect("read");
+                    criterion::black_box(r.version)
+                });
+            },
+        );
+    }
+    group.bench_function("harness_build_only", |b| {
+        b.iter(|| criterion::black_box(topo::example_2(9).suite_id()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

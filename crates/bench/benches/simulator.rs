@@ -1,0 +1,86 @@
+//! Criterion bench: raw event throughput of the discrete-event kernel and
+//! the simulated network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wv_net::sim_net::Cluster;
+use wv_net::{NetConfig, Node, NodeCtx, SiteId};
+use wv_sim::{LatencyModel, Scheduler, Sim, SimDuration, SimTime};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+
+    for events in [1_000u64, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("event_chain", events),
+            &events,
+            |b, &events| {
+                b.iter(|| {
+                    let mut sim = Sim::new(0u64);
+                    fn tick(n: u64) -> impl FnOnce(&mut u64, &mut Scheduler<u64>) {
+                        move |w, s| {
+                            *w += 1;
+                            if n > 0 {
+                                s.after(SimDuration::from_micros(10), tick(n - 1));
+                            }
+                        }
+                    }
+                    sim.scheduler().immediately(tick(events));
+                    sim.run();
+                    criterion::black_box(sim.world)
+                });
+            },
+        );
+    }
+
+    group.bench_function("fan_out_10k_events", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(0u64);
+            for i in 0..10_000u64 {
+                sim.scheduler()
+                    .at(SimTime::from_micros(i % 997), |w: &mut u64, _| *w += 1);
+            }
+            sim.run();
+            criterion::black_box(sim.world)
+        });
+    });
+
+    // A token-ring over the simulated network: message throughput with
+    // latency sampling and delivery bookkeeping.
+    struct Ring {
+        hops_left: u64,
+        n: u16,
+    }
+    impl Node for Ring {
+        type Msg = ();
+        fn on_message(&mut self, _from: SiteId, _m: (), ctx: &mut NodeCtx<'_, ()>) {
+            if self.hops_left > 0 {
+                self.hops_left -= 1;
+                let next = SiteId((ctx.self_id().0 + 1) % self.n);
+                ctx.send(next, ());
+            }
+        }
+    }
+    group.bench_function("network_token_ring_5k_hops", |b| {
+        b.iter(|| {
+            let n = 8u16;
+            let nodes: Vec<Ring> = (0..n)
+                .map(|_| Ring {
+                    hops_left: 5_000 / u64::from(n) + 1,
+                    n,
+                })
+                .collect();
+            let cfg = NetConfig::uniform(n as usize, LatencyModel::constant_millis(1));
+            let mut sim = Cluster::sim(nodes, cfg, 3);
+            Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+                ctx.send(SiteId(1), ());
+            });
+            sim.run();
+            criterion::black_box(sim.world.stats.delivered)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion bench: container commit throughput and recovery replay.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wv_storage::{Container, ObjectId, Version};
+
+fn filled_container(txns: u64, puts_per_txn: u64) -> Container {
+    let mut c = Container::new();
+    for t in 0..txns {
+        let tx = c.begin().expect("begin");
+        for p in 0..puts_per_txn {
+            c.stage_put(
+                tx,
+                ObjectId(p % 16),
+                Version(t + 1),
+                Bytes::from_static(b"some representative contents"),
+            )
+            .expect("stage");
+        }
+        c.commit(tx).expect("commit");
+    }
+    c
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_wal");
+
+    group.bench_function("commit_small_txns", |b| {
+        b.iter(|| criterion::black_box(filled_container(100, 1).len()));
+    });
+
+    group.bench_function("commit_wide_txns", |b| {
+        b.iter(|| criterion::black_box(filled_container(10, 50).len()));
+    });
+
+    group.bench_function("prepare_commit_2pc_path", |b| {
+        b.iter(|| {
+            let mut cont = Container::new();
+            for t in 0..100u64 {
+                let tx = cont.begin().expect("begin");
+                cont.stage_put(tx, ObjectId(1), Version(t + 1), Bytes::from_static(b"v"))
+                    .expect("stage");
+                cont.prepare_with_note(tx, t).expect("prepare");
+                cont.commit(tx).expect("commit");
+            }
+            criterion::black_box(cont.wal().flushes())
+        });
+    });
+
+    for txns in [100u64, 1000] {
+        group.bench_with_input(
+            BenchmarkId::new("recovery_replay", txns),
+            &txns,
+            |b, &txns| {
+                let full = filled_container(txns, 4);
+                b.iter(|| {
+                    let recovered = Container::recover_from(full.wal().clone());
+                    criterion::black_box(recovered.len())
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("recovery_replay_checkpointed", txns),
+            &txns,
+            |b, &txns| {
+                let mut full = filled_container(txns, 4);
+                full.checkpoint().expect("checkpoint");
+                b.iter(|| {
+                    let recovered = Container::recover_from(full.wal().clone());
+                    criterion::black_box(recovered.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_storage);
+criterion_main!(benches);

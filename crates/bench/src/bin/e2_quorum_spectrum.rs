@@ -1,0 +1,13 @@
+//! Regenerates experiment E2 (see DESIGN.md §4). Prints the markdown
+//! report to stdout and mirrors it into `results/e2.md` when a
+//! `results/` directory exists in the working tree.
+
+fn main() {
+    let report = wv_bench::e2::run();
+    print!("{report}");
+    if std::path::Path::new("results").is_dir() {
+        if let Err(e) = std::fs::write("results/e2.md", &report) {
+            eprintln!("warning: could not write results/e2.md: {e}");
+        }
+    }
+}

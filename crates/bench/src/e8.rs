@@ -1,0 +1,204 @@
+//! E8 — write contention and the deadlock-policy ablation.
+//!
+//! Several clients hammer the same suite with writes. Conflicts surface in
+//! two ways: exclusive-lock collisions at the representatives (resolved by
+//! wait-die or no-wait) and version races (a slower writer prepares a
+//! version the faster one already installed). The report tracks success
+//! rate, mean attempts per committed write, and makespan as the client
+//! count grows, for both deadlock policies.
+
+use wv_core::client::ClientOptions;
+use wv_core::error::OpKind;
+use wv_core::harness::{Harness, HarnessBuilder, SiteSpec};
+use wv_core::quorum::QuorumSpec;
+use wv_net::SiteId;
+use wv_sim::{SimDuration, SimTime};
+use wv_txn::lock::DeadlockPolicy;
+
+use crate::table::{pct, Table};
+
+/// Aggregate results for one contention level.
+#[derive(Clone, Copy, Debug)]
+pub struct ContentionPoint {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Writes attempted (one per client per round).
+    pub attempted: u64,
+    /// Writes eventually committed.
+    pub committed: u64,
+    /// Mean attempts per committed write.
+    pub mean_attempts: f64,
+    /// Virtual time until the last operation finished (ms).
+    pub makespan_ms: f64,
+    /// Highest version committed (must equal `committed`).
+    pub final_version: u64,
+}
+
+fn build(clients: usize, policy: DeadlockPolicy, seed: u64) -> Harness {
+    let mut b = HarnessBuilder::new()
+        .seed(seed)
+        .quorum(QuorumSpec::majority(3))
+        .deadlock_policy(policy)
+        .client_options(ClientOptions {
+            max_attempts: 12,
+            backoff: SimDuration::from_millis(120),
+            ..ClientOptions::default()
+        });
+    for _ in 0..3 {
+        b = b.site(SiteSpec::server(1));
+    }
+    for _ in 0..clients {
+        b = b.client();
+    }
+    // Uniform 100 ms access from every client to every server
+    // (`client_star` only positions a single client).
+    let net = wv_net::NetConfig::uniform(3 + clients, crate::topo::half_ms(100.0));
+    b.net(net).build().expect("legal contention cluster")
+}
+
+/// Runs `rounds` of simultaneous writes from every client.
+pub fn measure(clients: usize, policy: DeadlockPolicy, rounds: usize, seed: u64) -> ContentionPoint {
+    let mut h = build(clients, policy, seed);
+    let suite = h.suite_id();
+    let client_sites: Vec<SiteId> = h.clients().to_vec();
+    for round in 0..rounds {
+        // Stagger arrivals with the *older* operations (lower site ids
+        // have smaller wait-die timestamps at equal counters) arriving
+        // last, so the policies' queue-vs-kill difference is exercised.
+        let base = round as u64 * 1_200;
+        for (k, &c) in client_sites.iter().enumerate() {
+            let at = SimTime::from_millis(base + (client_sites.len() - k) as u64 * 37);
+            h.enqueue_write(c, suite, format!("r{round}c{k}").into_bytes(), at);
+        }
+    }
+    h.run_until_quiet(5_000_000);
+    let mut attempted = 0u64;
+    let mut committed = 0u64;
+    let mut attempts_sum = 0u64;
+    let mut last_finish = SimTime::ZERO;
+    for &c in &client_sites {
+        for op in h.drain_completed(c) {
+            assert_eq!(op.kind, OpKind::Write);
+            attempted += 1;
+            last_finish = last_finish.max(op.finished);
+            if op.outcome.is_ok() {
+                committed += 1;
+                attempts_sum += u64::from(op.attempts);
+            }
+        }
+    }
+    let final_version = SiteId::all(3)
+        .filter_map(|s| h.version_at(s, suite))
+        .map(|v| v.0)
+        .max()
+        .unwrap_or(0);
+    ContentionPoint {
+        clients,
+        attempted,
+        committed,
+        mean_attempts: if committed == 0 {
+            0.0
+        } else {
+            attempts_sum as f64 / committed as f64
+        },
+        makespan_ms: last_finish.as_millis_f64(),
+        final_version,
+    }
+}
+
+/// Builds the E8 report.
+pub fn run() -> String {
+    let mut out = String::new();
+    out.push_str("## E8 — Write contention and deadlock-policy ablation\n\n");
+    out.push_str(
+        "All clients write the same suite simultaneously, 6 rounds, \
+         majority quorums over three 100 ms representatives.\n\n",
+    );
+    for (label, policy) in [
+        ("wait-die", DeadlockPolicy::WaitDie),
+        ("no-wait", DeadlockPolicy::NoWait),
+    ] {
+        let mut t = Table::new(
+            format!("Contention scaling — {label}"),
+            &[
+                "clients",
+                "attempted",
+                "committed",
+                "success",
+                "mean attempts",
+                "makespan (ms)",
+            ],
+        );
+        for (i, &clients) in [1usize, 2, 4, 8].iter().enumerate() {
+            let p = measure(clients, policy, 6, 800 + i as u64);
+            t.row(&[
+                p.clients.to_string(),
+                p.attempted.to_string(),
+                p.committed.to_string(),
+                pct(p.committed as f64 / p.attempted.max(1) as f64),
+                format!("{:.2}", p.mean_attempts),
+                format!("{:.0}", p.makespan_ms),
+            ]);
+        }
+        out.push_str(&t.to_markdown());
+    }
+    out.push_str(
+        "Shape check: committed versions advance one per committed write \
+         (serialised by the exclusive locks plus version check). Ablation \
+         finding: for single-object writes, no-wait needs *fewer* attempts \
+         than wait-die — a queued writer that finally gets the lock almost \
+         always finds its version stale and must retry anyway, so failing \
+         fast wins; wait-die's advantage belongs to multi-object \
+         transactions, which the paper's file suites do not need.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_client_commits_everything_first_try() {
+        let p = measure(1, DeadlockPolicy::WaitDie, 5, 1);
+        assert_eq!(p.attempted, 5);
+        assert_eq!(p.committed, 5);
+        assert!((p.mean_attempts - 1.0).abs() < 1e-9);
+        assert_eq!(p.final_version, 5);
+    }
+
+    #[test]
+    fn contending_writers_serialise_without_losing_updates() {
+        let p = measure(4, DeadlockPolicy::WaitDie, 4, 2);
+        assert_eq!(p.attempted, 16);
+        assert!(p.committed >= 12, "only {} of 16 committed", p.committed);
+        // Every committed write got its own version: the final version
+        // equals the number of commits (no lost updates, no gaps).
+        assert_eq!(p.final_version, p.committed);
+    }
+
+    #[test]
+    fn queued_single_object_writers_waste_attempts() {
+        // The ablation's direction: a writer resumed from the lock queue
+        // almost always discovers a stale version and retries, so
+        // wait-die spends at least as many attempts as fail-fast no-wait
+        // on this workload.
+        let wd = measure(4, DeadlockPolicy::WaitDie, 4, 3);
+        let nw = measure(4, DeadlockPolicy::NoWait, 4, 3);
+        assert!(
+            wd.mean_attempts >= nw.mean_attempts - 1e-9,
+            "wait-die {} vs no-wait {}",
+            wd.mean_attempts,
+            nw.mean_attempts
+        );
+        assert_eq!(nw.final_version, nw.committed);
+        assert_eq!(wd.final_version, wd.committed);
+    }
+
+    #[test]
+    fn report_covers_both_policies() {
+        let report = run();
+        assert!(report.contains("wait-die"));
+        assert!(report.contains("no-wait"));
+    }
+}

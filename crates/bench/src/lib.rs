@@ -1,0 +1,30 @@
+//! Experiment regenerators for the paper's evaluation.
+//!
+//! One module per experiment (see `DESIGN.md` §4 for the index); each
+//! exposes `run() -> String` producing the markdown report that the
+//! matching binary in `src/bin/` prints. Reports put the paper's number,
+//! the closed-form prediction, and the simulated measurement side by side.
+//!
+//! | id | binary | regenerates |
+//! |----|--------|-------------|
+//! | E1 | `e1_example_suites` | the paper's three example file suites table |
+//! | E2 | `e2_quorum_spectrum` | read/write cost and availability across the (r, w) spectrum |
+//! | E3 | `e3_weak_representatives` | weak-representative cache hit ratio and read latency |
+//! | E4 | `e4_vote_tuning` | optimal vote assignment vs workload read fraction |
+//! | E5 | `e5_availability` | blocking probability vs per-site availability |
+//! | E6 | `e6_baselines` | weighted voting vs ROWA / primary copy / majority consensus |
+//! | E7 | `e7_reconfiguration` | online vote/quorum changes under load |
+//! | E8 | `e8_txn_scaling` | write contention and deadlock-policy ablation |
+
+#![warn(missing_docs)]
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod table;
+pub mod topo;

@@ -1,0 +1,101 @@
+//! Markdown table assembly for experiment reports.
+
+/// A markdown table under construction.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with a title and column names.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.header.iter().map(|_| "---|").collect::<String>()
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats milliseconds compactly.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Formats a probability with enough digits for the paper's 1e-6 entries.
+pub fn prob(p: f64) -> String {
+    if p == 0.0 {
+        "0".to_string()
+    } else if p < 0.0001 {
+        format!("{p:.1e}")
+    } else {
+        format!("{p:.4}")
+    }
+}
+
+/// Formats a ratio as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_wrong_width() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ms(750.0), "750");
+        assert_eq!(ms(65.0), "65.0");
+        assert_eq!(prob(0.0101), "0.0101");
+        assert_eq!(prob(1e-6), "1.0e-6");
+        assert_eq!(prob(0.0), "0");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+}

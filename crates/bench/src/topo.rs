@@ -1,0 +1,133 @@
+//! Topology builders for the paper's example configurations.
+//!
+//! The paper quotes *access* latencies (request + response). The simulator
+//! charges per message, so each one-way link latency here is half the
+//! quoted access cost; an inquiry or fetch round trip then costs exactly
+//! the paper's number.
+
+use wv_core::harness::{Harness, HarnessBuilder, SiteSpec};
+use wv_core::quorum::QuorumSpec;
+use wv_net::{NetConfig, SiteId};
+use wv_sim::{LatencyModel, SimDuration};
+
+/// One-way latency model for a quoted round-trip access cost in ms.
+pub fn half_ms(access_ms: f64) -> LatencyModel {
+    LatencyModel::Constant(SimDuration::from_millis_f64(access_ms / 2.0))
+}
+
+/// A network where `access[i]` is the client's round-trip cost to site `i`
+/// and the client is the last site. `self_access` overrides per-site
+/// self-link costs (used for weak representatives co-located with the
+/// client).
+pub fn client_star(access: &[f64], client_self: Option<f64>) -> NetConfig {
+    let sites = access.len() + 1;
+    let client = SiteId::from(sites - 1);
+    // Server-to-server links barely matter (the client coordinates), but
+    // give them a sane default.
+    let mut net = NetConfig::uniform(sites, half_ms(100.0));
+    for (i, &a) in access.iter().enumerate() {
+        net.set_link_symmetric(client, SiteId::from(i), half_ms(a));
+    }
+    if let Some(a) = client_self {
+        net.set_link(client, client, half_ms(a));
+    }
+    net
+}
+
+/// The paper's Example 1 as a running cluster: one voting representative
+/// on the file server (75 ms), the client workstation holding a weak
+/// representative (65 ms local access), and a second workstation with its
+/// own weak representative. `r = w = 1`.
+pub fn example_1(seed: u64) -> Harness {
+    // Sites: 0 = file server (1 vote), 1 = other workstation (weak),
+    // 2 = client workstation (weak).
+    let net = {
+        let mut net = client_star(&[75.0, 100.0], Some(65.0));
+        // The other workstation's weak rep is remote to this client.
+        net.set_link_symmetric(SiteId(2), SiteId(1), half_ms(100.0));
+        net
+    };
+    HarnessBuilder::new()
+        .seed(seed)
+        .site(SiteSpec::server(1))
+        .site(SiteSpec::server(0))
+        .site(SiteSpec::client_with_weak())
+        .quorum(QuorumSpec::new(1, 1))
+        .net(net)
+        .build()
+        .expect("example 1 is legal")
+}
+
+/// The paper's Example 2: votes ⟨2,1,1⟩ with accesses 75/100/750 ms,
+/// `r = 2, w = 3`.
+pub fn example_2(seed: u64) -> Harness {
+    HarnessBuilder::new()
+        .seed(seed)
+        .site(SiteSpec::server(2))
+        .site(SiteSpec::server(1))
+        .site(SiteSpec::server(1))
+        .client()
+        .quorum(QuorumSpec::new(2, 3))
+        .net(client_star(&[75.0, 100.0, 750.0], None))
+        .build()
+        .expect("example 2 is legal")
+}
+
+/// The paper's Example 3: votes ⟨1,1,1⟩ with accesses 75/750/750 ms,
+/// `r = 1, w = 3`.
+pub fn example_3(seed: u64) -> Harness {
+    HarnessBuilder::new()
+        .seed(seed)
+        .site(SiteSpec::server(1))
+        .site(SiteSpec::server(1))
+        .site(SiteSpec::server(1))
+        .client()
+        .quorum(QuorumSpec::new(1, 3))
+        .net(client_star(&[75.0, 750.0, 750.0], None))
+        .build()
+        .expect("example 3 is legal")
+}
+
+/// An `n`-replica equal-vote cluster with uniform 100 ms access and a
+/// single client, parameterised by quorum.
+pub fn equal_cluster(n: usize, quorum: QuorumSpec, seed: u64) -> Harness {
+    let mut b = HarnessBuilder::new().seed(seed).quorum(quorum);
+    for _ in 0..n {
+        b = b.site(SiteSpec::server(1));
+    }
+    b.client()
+        .net(client_star(&vec![100.0; n], None))
+        .build()
+        .expect("legal equal cluster")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_ms_halves() {
+        assert_eq!(half_ms(75.0).mean_millis(), 37.5);
+    }
+
+    #[test]
+    fn client_star_costs() {
+        let net = client_star(&[75.0, 100.0, 750.0], None);
+        let client = SiteId(3);
+        assert_eq!(net.mean_latency_ms(client, SiteId(0)), 37.5);
+        assert_eq!(net.mean_latency_ms(SiteId(2), client), 375.0);
+    }
+
+    #[test]
+    fn examples_build_and_serve() {
+        for (i, mut h) in [example_1(1), example_2(1), example_3(1)]
+            .into_iter()
+            .enumerate()
+        {
+            let suite = h.suite_id();
+            h.write(suite, vec![i as u8]).expect("write");
+            let r = h.read(suite).expect("read");
+            assert_eq!(r.value[0], i as u8);
+        }
+    }
+}

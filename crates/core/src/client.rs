@@ -1,0 +1,2079 @@
+//! Client-side suite operations.
+//!
+//! A [`ClientNode`] coordinates reads, writes, and reconfigurations:
+//!
+//! * **Read**: version inquiries to every representative until `r` votes
+//!   answer; the highest version among the answers is current; contents
+//!   are fetched from the cheapest representative (weak ones included)
+//!   holding that version.
+//! * **Write**: inquiry as above to learn the current version, then
+//!   client-coordinated two-phase commit of `(current + 1, value)` at the
+//!   cheapest write quorum. The commit decision is logged durably before
+//!   any commit message leaves, so recovering participants always get a
+//!   correct answer to their decision probes (presumed abort otherwise).
+//! * **Reconfigure**: the same write path aimed at the suite's config
+//!   object, installed under the *old* configuration's write quorum —
+//!   exactly the paper's rule for changing vote assignments online.
+//!
+//! Every attempt uses a fresh request id (so late responses from a dead
+//! attempt can never contaminate a live one) while keeping the operation's
+//! original wait-die age (so retries gain seniority instead of starving).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bytes::Bytes;
+use wv_net::{Node, NodeCtx, SiteId};
+use wv_sim::{SimDuration, SimTime};
+use wv_storage::{Container, ObjectId, Version};
+use wv_txn::Vote;
+
+use crate::error::{OpError, OpKind};
+use crate::msg::{Msg, PrepareWrite, ReqId};
+use crate::quorum::{cheapest_quorum, QuorumSpec};
+use crate::suite::{config_object, data_object, SuiteConfig};
+use crate::votes::VoteAssignment;
+
+/// Tunables for client behaviour.
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// How long each protocol phase may take before the attempt fails.
+    pub phase_timeout: SimDuration,
+    /// Delay before retrying a failed attempt.
+    pub backoff: SimDuration,
+    /// Attempts per operation before reporting failure.
+    pub max_attempts: u32,
+    /// Commit resend rounds before reporting [`OpError::Indeterminate`].
+    pub commit_resend_limit: u32,
+    /// After a successful read fetched from elsewhere, refresh the weak
+    /// representative co-located with this client.
+    pub update_local_weak: bool,
+    /// After a successful write, push the new value to every weak
+    /// representative of the suite (the paper's background-update option).
+    pub push_weak_on_write: bool,
+    /// Fetch contents from the cheapest representative *in parallel* with
+    /// the version inquiry, completing immediately if it proves current —
+    /// the paper's validated-cache read. When off, the fetch starts only
+    /// after the inquiry quorum settles.
+    pub optimistic_fetch: bool,
+    /// How quorum members and fetch targets are chosen.
+    pub quorum_policy: QuorumPolicy,
+}
+
+/// Selection policy for quorum members and fetch targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuorumPolicy {
+    /// Prefer the cheapest sites (the paper's choice).
+    CheapestFirst,
+    /// Choose uniformly at random — the ablation baseline showing what the
+    /// cost-aware choice buys.
+    Random,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            phase_timeout: SimDuration::from_secs(5),
+            backoff: SimDuration::from_millis(40),
+            max_attempts: 6,
+            commit_resend_limit: 5,
+            update_local_weak: true,
+            push_weak_on_write: false,
+            optimistic_fetch: true,
+            quorum_policy: QuorumPolicy::CheapestFirst,
+        }
+    }
+}
+
+/// Client-side counters for the experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Reads completed by the optimistic parallel fetch (cache hits).
+    pub reads_cache_hit: u64,
+    /// Reads that needed a separate fetch round (cache misses).
+    pub reads_fetched: u64,
+    /// Attempts that failed and were retried.
+    pub retries: u64,
+    /// Configuration refreshes performed.
+    pub config_refreshes: u64,
+}
+
+/// What a finished operation produced.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpSuccess {
+    /// The version read or installed (the first suite's, for
+    /// transactions).
+    pub version: Version,
+    /// The contents, for reads.
+    pub value: Option<Bytes>,
+    /// Per-suite versions installed by a multi-suite transaction
+    /// (empty for single-suite operations).
+    pub multi: Vec<(ObjectId, Version)>,
+}
+
+/// The record of one finished operation.
+#[derive(Clone, Debug)]
+pub struct CompletedOp {
+    /// The request id of the final attempt.
+    pub req: ReqId,
+    /// Operation type.
+    pub kind: OpKind,
+    /// The suite operated on.
+    pub suite: ObjectId,
+    /// Success or failure.
+    pub outcome: Result<OpSuccess, OpError>,
+    /// When the operation started.
+    pub started: SimTime,
+    /// When it finished.
+    pub finished: SimTime,
+    /// How many attempts it took.
+    pub attempts: u32,
+}
+
+impl CompletedOp {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        self.finished.since(self.started)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Phase {
+    Inquire {
+        versions: BTreeMap<SiteId, Version>,
+        max_gen: u64,
+        /// The optimistic-fetch target, if one was contacted.
+        guess: Option<SiteId>,
+        /// The optimistic fetch's answer, if it arrived before the quorum.
+        early: Option<(SiteId, Version, Bytes)>,
+    },
+    Fetch {
+        current: Version,
+        candidates: Vec<SiteId>,
+        idx: usize,
+    },
+    Prepare {
+        new_version: Version,
+        quorum: Vec<SiteId>,
+        yes: BTreeSet<SiteId>,
+    },
+    CommitWait {
+        new_version: Version,
+        quorum: Vec<SiteId>,
+        acked: BTreeSet<SiteId>,
+        resends: u32,
+    },
+    RefreshConfig,
+    /// Transaction: collecting version quorums for every suite.
+    MultiInquire {
+        per_suite: BTreeMap<ObjectId, BTreeMap<SiteId, Version>>,
+    },
+    /// Transaction: prepares out to the participant union.
+    MultiPrepare {
+        versions: Vec<(ObjectId, Version)>,
+        participants: Vec<SiteId>,
+        yes: BTreeSet<SiteId>,
+    },
+    /// Transaction: commit decided, waiting for every participant's ack.
+    MultiCommit {
+        versions: Vec<(ObjectId, Version)>,
+        participants: Vec<SiteId>,
+        acked: BTreeSet<SiteId>,
+        resends: u32,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct OpState {
+    kind: OpKind,
+    suite: ObjectId,
+    /// Value for writes.
+    payload: Option<Bytes>,
+    /// Requested change for reconfigurations.
+    change: Option<(VoteAssignment, QuorumSpec)>,
+    /// The evolved config, decided when the prepare is built.
+    new_config: Option<SuiteConfig>,
+    /// The per-suite values of a multi-suite transaction.
+    multi_payloads: Vec<(ObjectId, Bytes)>,
+    /// The per-site versions seen during a reconfiguration's inquiry, so
+    /// the prepare can bring stale new-quorum members current.
+    reconfig_versions: BTreeMap<SiteId, Version>,
+    started: SimTime,
+    attempts: u32,
+    /// Wait-die age: the counter of the operation's *first* request id.
+    lock_ts: u64,
+    /// Phase sequence; timers carry the value current when set and are
+    /// ignored if the operation has moved on.
+    seq: u64,
+    phase: Phase,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TimerKind {
+    PhaseTimeout,
+    Retry,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TimerEntry {
+    req: ReqId,
+    seq: u64,
+    kind: TimerKind,
+}
+
+/// Tag bit distinguishing client timer tokens from server ones, so a
+/// composite node can route timer callbacks unambiguously.
+pub const CLIENT_TIMER_TAG: u64 = 1 << 63;
+
+/// A client node: starts operations, reacts to responses, records results.
+pub struct ClientNode {
+    site: SiteId,
+    configs: HashMap<ObjectId, SuiteConfig>,
+    /// Mean access cost per site (typically the mean link latency),
+    /// driving cheapest-first quorum selection.
+    costs: Vec<f64>,
+    options: ClientOptions,
+    next_counter: u64,
+    next_timer: u64,
+    ops: HashMap<ReqId, OpState>,
+    timers: HashMap<u64, TimerEntry>,
+    /// Durable commit-decision log (presumed abort for anything absent).
+    decisions: Container,
+    decided_commit: BTreeSet<ReqId>,
+    /// Finished operations, in completion order. Harnesses drain this.
+    pub completed: Vec<CompletedOp>,
+    /// Counters.
+    pub stats: ClientStats,
+}
+
+fn arm_timer(
+    timers: &mut HashMap<u64, TimerEntry>,
+    next_timer: &mut u64,
+    req: ReqId,
+    seq: u64,
+    kind: TimerKind,
+    delay: SimDuration,
+    ctx: &mut NodeCtx<'_, Msg>,
+) {
+    let token = CLIENT_TIMER_TAG | *next_timer;
+    *next_timer += 1;
+    timers.insert(token, TimerEntry { req, seq, kind });
+    ctx.set_timer(delay, token);
+}
+
+fn site_cost(costs: &[f64], site: SiteId) -> f64 {
+    costs.get(site.index()).copied().unwrap_or(f64::MAX)
+}
+
+/// Sites reporting `current`, sorted cheapest-first.
+fn current_holders(
+    versions: &BTreeMap<SiteId, Version>,
+    current: Version,
+    costs: &[f64],
+) -> Vec<SiteId> {
+    let mut candidates: Vec<SiteId> = versions
+        .iter()
+        .filter(|(_, v)| **v == current)
+        .map(|(s, _)| *s)
+        .collect();
+    candidates.sort_by(|a, b| {
+        site_cost(costs, *a)
+            .partial_cmp(&site_cost(costs, *b))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    });
+    candidates
+}
+
+impl ClientNode {
+    /// Creates a client at `site` knowing `configs`, with per-site costs.
+    pub fn new(
+        site: SiteId,
+        configs: Vec<SuiteConfig>,
+        costs: Vec<f64>,
+        options: ClientOptions,
+    ) -> Self {
+        ClientNode {
+            site,
+            configs: configs.into_iter().map(|c| (c.suite, c)).collect(),
+            costs,
+            options,
+            next_counter: 1,
+            next_timer: 1,
+            ops: HashMap::new(),
+            timers: HashMap::new(),
+            decisions: Container::new(),
+            decided_commit: BTreeSet::new(),
+            completed: Vec::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// Per-decision costs: real costs for cheapest-first, fresh random
+    /// draws for the random-policy ablation.
+    fn effective_costs(&self, ctx: &mut NodeCtx<'_, Msg>) -> Vec<f64> {
+        match self.options.quorum_policy {
+            QuorumPolicy::CheapestFirst => self.costs.clone(),
+            QuorumPolicy::Random => (0..self.costs.len()).map(|_| ctx.rng().f64()).collect(),
+        }
+    }
+
+    /// The client's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The client's current view of a suite's configuration.
+    pub fn config(&self, suite: ObjectId) -> Option<&SuiteConfig> {
+        self.configs.get(&suite)
+    }
+
+    /// Number of operations still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Drains and returns the finished-operation log.
+    pub fn take_completed(&mut self) -> Vec<CompletedOp> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn fresh_req(&mut self) -> ReqId {
+        let c = self.next_counter;
+        self.next_counter += 1;
+        ReqId::new(c, self.site)
+    }
+
+    /// Starts a quorum read. Returns the operation's first request id.
+    pub fn start_read(&mut self, suite: ObjectId, ctx: &mut NodeCtx<'_, Msg>) -> ReqId {
+        self.start_op(OpKind::Read, suite, None, None, ctx)
+    }
+
+    /// Starts a quorum write of `value`.
+    pub fn start_write(
+        &mut self,
+        suite: ObjectId,
+        value: impl Into<Bytes>,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) -> ReqId {
+        self.start_op(OpKind::Write, suite, Some(value.into()), None, ctx)
+    }
+
+    /// Starts a multi-suite atomic transaction: every `(suite, value)`
+    /// write commits, or none does. All suites must be known to this
+    /// client. Returns the operation's first request id.
+    pub fn start_transaction(
+        &mut self,
+        writes: Vec<(ObjectId, Bytes)>,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) -> ReqId {
+        assert!(!writes.is_empty(), "a transaction needs at least one write");
+        let mut seen = BTreeSet::new();
+        for (suite, _) in &writes {
+            assert!(seen.insert(*suite), "duplicate suite {suite} in transaction");
+        }
+        let req = self.fresh_req();
+        let started = ctx.now();
+        let primary = writes[0].0;
+        if writes.iter().any(|(s, _)| !self.configs.contains_key(s)) {
+            self.completed.push(CompletedOp {
+                req,
+                kind: OpKind::Transaction,
+                suite: primary,
+                outcome: Err(OpError::UnknownSuite),
+                started,
+                finished: started,
+                attempts: 0,
+            });
+            return req;
+        }
+        let st = OpState {
+            kind: OpKind::Transaction,
+            suite: primary,
+            payload: None,
+            change: None,
+            new_config: None,
+            multi_payloads: writes,
+            reconfig_versions: BTreeMap::new(),
+            started,
+            attempts: 0,
+            lock_ts: req.counter(),
+            seq: 0,
+            phase: Phase::RefreshConfig, // placeholder; begin_attempt resets
+        };
+        self.ops.insert(req, st);
+        self.begin_attempt(req, ctx);
+        req
+    }
+
+    /// Starts a reconfiguration to `(assignment, quorum)`.
+    pub fn start_reconfigure(
+        &mut self,
+        suite: ObjectId,
+        assignment: VoteAssignment,
+        quorum: QuorumSpec,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) -> ReqId {
+        self.start_op(
+            OpKind::Reconfigure,
+            suite,
+            None,
+            Some((assignment, quorum)),
+            ctx,
+        )
+    }
+
+    fn start_op(
+        &mut self,
+        kind: OpKind,
+        suite: ObjectId,
+        payload: Option<Bytes>,
+        change: Option<(VoteAssignment, QuorumSpec)>,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) -> ReqId {
+        let req = self.fresh_req();
+        let started = ctx.now();
+        if !self.configs.contains_key(&suite) {
+            self.completed.push(CompletedOp {
+                req,
+                kind,
+                suite,
+                outcome: Err(OpError::UnknownSuite),
+                started,
+                finished: started,
+                attempts: 0,
+            });
+            return req;
+        }
+        let st = OpState {
+            kind,
+            suite,
+            payload,
+            change,
+            new_config: None,
+            multi_payloads: Vec::new(),
+            reconfig_versions: BTreeMap::new(),
+            started,
+            attempts: 0,
+            lock_ts: req.counter(),
+            seq: 0,
+            phase: Phase::RefreshConfig, // placeholder; begin_attempt resets
+        };
+        self.ops.insert(req, st);
+        self.begin_attempt(req, ctx);
+        req
+    }
+
+    fn begin_attempt(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        if self
+            .ops
+            .get(&req)
+            .is_some_and(|st| st.kind == OpKind::Transaction)
+        {
+            self.begin_multi_attempt(req, ctx);
+            return;
+        }
+        let eff_costs = self.effective_costs(ctx);
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        st.attempts += 1;
+        st.seq += 1;
+        let suite = st.suite;
+        let sites = self.configs[&suite].assignment.all_sites();
+        // Optimistic fetch: race a content read to the cheapest host
+        // against the inquiry; a current answer completes the read at
+        // max(inquiry, fetch) instead of inquiry + fetch.
+        let guess = if st.kind == OpKind::Read && self.options.optimistic_fetch {
+            sites.iter().copied().min_by(|a, b| {
+                site_cost(&eff_costs, *a)
+                    .partial_cmp(&site_cost(&eff_costs, *b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(b))
+            })
+        } else {
+            None
+        };
+        st.phase = Phase::Inquire {
+            versions: BTreeMap::new(),
+            max_gen: 0,
+            guess,
+            early: None,
+        };
+        let seq = st.seq;
+        for site in sites {
+            ctx.send(site, Msg::VersionReq { suite, req });
+        }
+        if let Some(target) = guess {
+            ctx.send(target, Msg::ReadReq { suite, req });
+        }
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    fn begin_multi_attempt(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        st.attempts += 1;
+        st.seq += 1;
+        let suites: Vec<ObjectId> = st.multi_payloads.iter().map(|(s, _)| *s).collect();
+        st.phase = Phase::MultiInquire {
+            per_suite: suites
+                .iter()
+                .map(|s| (*s, BTreeMap::new()))
+                .collect(),
+        };
+        let seq = st.seq;
+        for suite in suites {
+            for site in self.configs[&suite].assignment.all_sites() {
+                ctx.send(site, Msg::VersionReq { suite, req });
+            }
+        }
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    /// Records a version answer for a transaction and, once every suite
+    /// has its quorum, fans the prepares out to the participant union.
+    fn on_multi_version_resp(
+        &mut self,
+        from: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+        version: Version,
+        generation: u64,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        let my_gen = self.configs.get(&suite).map_or(0, |c| c.generation);
+        if generation > my_gen {
+            self.enter_refresh(req, from, ctx);
+            return;
+        }
+        let ready = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let Phase::MultiInquire { per_suite } = &mut st.phase else {
+                return;
+            };
+            let Some(answers) = per_suite.get_mut(&suite) else {
+                return; // a suite this transaction does not touch
+            };
+            answers.insert(from, version);
+            per_suite.iter().all(|(s, answers)| {
+                let cfg = &self.configs[s];
+                let responders: Vec<SiteId> = answers.keys().copied().collect();
+                cfg.assignment.votes_in(&responders)
+                    >= cfg.quorum.read.max(cfg.quorum.write)
+            })
+        };
+        if ready {
+            self.enter_multi_prepare(req, ctx);
+        }
+    }
+
+    fn enter_multi_prepare(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        use std::collections::BTreeMap as Map;
+        let costs = self.effective_costs(ctx);
+        // Plan per-suite: new version and cheapest write quorum.
+        let plan = {
+            let Some(st) = self.ops.get(&req) else {
+                return;
+            };
+            let Phase::MultiInquire { per_suite } = &st.phase else {
+                return;
+            };
+            let mut plan: Vec<(ObjectId, Version, Vec<SiteId>, Bytes, u64)> = Vec::new();
+            for (suite, payload) in &st.multi_payloads {
+                let answers = &per_suite[suite];
+                let cfg = &self.configs[suite];
+                let current = answers.values().copied().max().unwrap_or(Version::INITIAL);
+                let strong: Vec<SiteId> = answers
+                    .keys()
+                    .copied()
+                    .filter(|s| cfg.assignment.votes_of(*s) > 0)
+                    .collect();
+                let Some(quorum) =
+                    cheapest_quorum(&cfg.assignment, cfg.quorum.write, &strong, |s| {
+                        site_cost(&costs, s)
+                    })
+                else {
+                    return; // wait for more responders (threshold race)
+                };
+                plan.push((
+                    *suite,
+                    current.next(),
+                    quorum,
+                    payload.clone(),
+                    cfg.generation,
+                ));
+            }
+            plan
+        };
+        // Group the prepare entries per participant site.
+        let mut per_site: Map<SiteId, Vec<PrepareWrite>> = Map::new();
+        for (suite, version, quorum, value, generation) in &plan {
+            for site in quorum {
+                per_site.entry(*site).or_default().push(PrepareWrite {
+                    suite: *suite,
+                    object: data_object(*suite),
+                    version: *version,
+                    value: value.clone(),
+                    generation: *generation,
+                });
+            }
+        }
+        let participants: Vec<SiteId> = per_site.keys().copied().collect();
+        let versions: Vec<(ObjectId, Version)> =
+            plan.iter().map(|(s, v, ..)| (*s, *v)).collect();
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        st.seq += 1;
+        let seq = st.seq;
+        let lock_ts = st.lock_ts;
+        st.phase = Phase::MultiPrepare {
+            versions,
+            participants: participants.clone(),
+            yes: BTreeSet::new(),
+        };
+        for (site, writes) in per_site {
+            ctx.send(
+                site,
+                Msg::Prepare {
+                    req,
+                    writes,
+                    lock_ts,
+                },
+            );
+        }
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    /// Ends the current attempt with `err`, retrying if budget remains.
+    fn fail_attempt(&mut self, req: ReqId, err: OpError, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(mut st) = self.ops.remove(&req) else {
+            return;
+        };
+        if st.attempts >= self.options.max_attempts {
+            self.completed.push(CompletedOp {
+                req,
+                kind: st.kind,
+                suite: st.suite,
+                outcome: Err(err),
+                started: st.started,
+                finished: ctx.now(),
+                attempts: st.attempts,
+            });
+            return;
+        }
+        // Fresh request id for the next attempt; late traffic for the old
+        // id will find no operation and be ignored.
+        self.stats.retries += 1;
+        let new_req = self.fresh_req();
+        st.seq += 1;
+        let seq = st.seq;
+        self.ops.insert(new_req, st);
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            new_req,
+            seq,
+            TimerKind::Retry,
+            self.options.backoff,
+            ctx,
+        );
+    }
+
+    /// Restart after adopting a fresh configuration (no backoff — the
+    /// config is new information, not a suspected conflict).
+    fn restart_op(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(st) = self.ops.remove(&req) else {
+            return;
+        };
+        if st.attempts >= self.options.max_attempts {
+            self.completed.push(CompletedOp {
+                req,
+                kind: st.kind,
+                suite: st.suite,
+                outcome: Err(OpError::Conflict),
+                started: st.started,
+                finished: ctx.now(),
+                attempts: st.attempts,
+            });
+            return;
+        }
+        let new_req = self.fresh_req();
+        self.ops.insert(new_req, st);
+        self.begin_attempt(new_req, ctx);
+    }
+
+    fn complete(
+        &mut self,
+        req: ReqId,
+        outcome: Result<OpSuccess, OpError>,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        if let Some(st) = self.ops.remove(&req) {
+            self.completed.push(CompletedOp {
+                req,
+                kind: st.kind,
+                suite: st.suite,
+                outcome,
+                started: st.started,
+                finished: ctx.now(),
+                attempts: st.attempts,
+            });
+        }
+    }
+
+    fn enter_refresh(&mut self, req: ReqId, ask: SiteId, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        // If a prepare was in flight, clean it up before refreshing.
+        match &st.phase {
+            Phase::Prepare { quorum, .. } => {
+                let suite = st.suite;
+                for site in quorum.clone() {
+                    ctx.send(site, Msg::Abort { suite, req });
+                }
+            }
+            Phase::MultiPrepare { participants, .. } => {
+                let suite = st.suite;
+                for site in participants.clone() {
+                    ctx.send(site, Msg::Abort { suite, req });
+                }
+            }
+            _ => {}
+        }
+        st.seq += 1;
+        st.phase = Phase::RefreshConfig;
+        let suite = st.suite;
+        let seq = st.seq;
+        ctx.send(ask, Msg::ConfigReq { suite, req });
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    /// Votes needed before leaving the inquiry phase.
+    fn inquiry_threshold(kind: OpKind, cfg: &SuiteConfig) -> u32 {
+        match kind {
+            OpKind::Read => cfg.quorum.read,
+            // Writers need the inquiry quorum *and* enough responders to
+            // form a write quorum.
+            OpKind::Write | OpKind::Reconfigure | OpKind::Transaction => {
+                cfg.quorum.read.max(cfg.quorum.write)
+            }
+        }
+    }
+
+    fn on_version_resp(
+        &mut self,
+        from: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+        version: Version,
+        generation: u64,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        enum Next {
+            Wait,
+            Refresh,
+            EarlyHit {
+                source: SiteId,
+                version: Version,
+                value: Bytes,
+            },
+            ToFetch {
+                current: Version,
+                candidates: Vec<SiteId>,
+            },
+            ToPrepare {
+                current: Version,
+                responders: Vec<SiteId>,
+            },
+        }
+        let my_gen = self.configs.get(&suite).map_or(0, |c| c.generation);
+        let eff_costs = self.effective_costs(ctx);
+        let next = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let Phase::Inquire {
+                versions,
+                max_gen,
+                early,
+                ..
+            } = &mut st.phase
+            else {
+                return;
+            };
+            if generation > my_gen {
+                Next::Refresh
+            } else {
+                versions.insert(from, version);
+                *max_gen = (*max_gen).max(generation);
+                let cfg = &self.configs[&suite];
+                let responders: Vec<SiteId> = versions.keys().copied().collect();
+                let votes = cfg.assignment.votes_in(&responders);
+                if votes < Self::inquiry_threshold(st.kind, cfg) {
+                    Next::Wait
+                } else {
+                    // Quorum reached: the highest version among the answers
+                    // is current (read/write intersection guarantees it).
+                    let current =
+                        versions.values().copied().max().unwrap_or(Version::INITIAL);
+                    match st.kind {
+                        OpKind::Read => {
+                            // The optimistic fetch wins if it proved
+                            // current (or newer — a racing commit).
+                            if let Some((source, v, val)) = early.clone() {
+                                if v >= current {
+                                    Next::EarlyHit {
+                                        source,
+                                        version: v,
+                                        value: val,
+                                    }
+                                } else {
+                                    Next::ToFetch {
+                                        current,
+                                        candidates: current_holders(
+                                            versions, current, &eff_costs,
+                                        ),
+                                    }
+                                }
+                            } else {
+                                Next::ToFetch {
+                                    current,
+                                    candidates: current_holders(
+                                        versions, current, &eff_costs,
+                                    ),
+                                }
+                            }
+                        }
+                        OpKind::Write => Next::ToPrepare {
+                            current,
+                            responders,
+                        },
+                        OpKind::Reconfigure => {
+                            // The reconfiguration transaction also brings
+                            // stale members of the *new* write quorum
+                            // current (the paper's rule for adding votes),
+                            // so the responders must additionally be able
+                            // to form that quorum, and the current
+                            // contents must be fetched first.
+                            let new_feasible = st
+                                .change
+                                .as_ref()
+                                .map(|(assignment, quorum)| {
+                                    assignment.votes_in(&responders) >= quorum.write
+                                })
+                                .unwrap_or(false);
+                            if !new_feasible {
+                                Next::Wait
+                            } else {
+                                st.reconfig_versions = versions.clone();
+                                Next::ToFetch {
+                                    current,
+                                    candidates: current_holders(
+                                        versions, current, &eff_costs,
+                                    ),
+                                }
+                            }
+                        }
+                        OpKind::Transaction => {
+                            unreachable!("transactions use MultiInquire")
+                        }
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Wait => {}
+            Next::Refresh => self.enter_refresh(req, from, ctx),
+            Next::EarlyHit {
+                source,
+                version,
+                value,
+            } => {
+                self.stats.reads_cache_hit += 1;
+                self.finish_read(req, suite, source, version, value, ctx);
+            }
+            Next::ToFetch {
+                current,
+                candidates,
+            } => self.enter_fetch(req, suite, current, candidates, ctx),
+            Next::ToPrepare {
+                current,
+                responders,
+            } => self.enter_prepare(req, suite, current, responders, ctx),
+        }
+    }
+
+    /// Completes a read with `value`, refreshing the local weak
+    /// representative if it missed. For reconfigurations the fetched
+    /// contents feed the prepare instead of completing the operation.
+    fn finish_read(
+        &mut self,
+        req: ReqId,
+        suite: ObjectId,
+        source: SiteId,
+        version: Version,
+        value: Bytes,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        if self
+            .ops
+            .get(&req)
+            .is_some_and(|st| st.kind == OpKind::Reconfigure)
+        {
+            self.enter_reconfig_prepare(req, suite, version, value, ctx);
+            return;
+        }
+        let cfg = &self.configs[&suite];
+        if self.options.update_local_weak
+            && cfg.assignment.is_weak(self.site)
+            && source != self.site
+        {
+            ctx.send(
+                self.site,
+                Msg::UpdateWeak {
+                    suite,
+                    version,
+                    value: value.clone(),
+                },
+            );
+        }
+        self.complete(
+            req,
+            Ok(OpSuccess {
+                version,
+                value: Some(value),
+                multi: Vec::new(),
+            }),
+            ctx,
+        );
+    }
+
+    fn enter_fetch(
+        &mut self,
+        req: ReqId,
+        suite: ObjectId,
+        current: Version,
+        candidates: Vec<SiteId>,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        let first = candidates[0];
+        st.seq += 1;
+        let seq = st.seq;
+        st.phase = Phase::Fetch {
+            current,
+            candidates,
+            idx: 0,
+        };
+        ctx.send(first, Msg::ReadReq { suite, req });
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    fn enter_prepare(
+        &mut self,
+        req: ReqId,
+        suite: ObjectId,
+        current: Version,
+        responders: Vec<SiteId>,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        // Build the prepare parameters from the op kind and the current
+        // configuration, then switch phase and fan out.
+        let cfg = self.configs[&suite].clone();
+        let (object, version, value) = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            debug_assert_eq!(st.kind, OpKind::Write, "only writes prepare here");
+            (
+                data_object(suite),
+                current.next(),
+                st.payload.clone().expect("write carries a payload"),
+            )
+        };
+        let new_config: Option<SuiteConfig> = None;
+        let strong_responders: Vec<SiteId> = responders
+            .iter()
+            .copied()
+            .filter(|s| cfg.assignment.votes_of(*s) > 0)
+            .collect();
+        let costs = self.effective_costs(ctx);
+        let Some(quorum) = cheapest_quorum(
+            &cfg.assignment,
+            cfg.quorum.write,
+            &strong_responders,
+            |s| site_cost(&costs, s),
+        ) else {
+            // Cannot happen once the vote threshold passed; be defensive.
+            return;
+        };
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        st.new_config = new_config;
+        st.seq += 1;
+        let seq = st.seq;
+        let lock_ts = st.lock_ts;
+        st.phase = Phase::Prepare {
+            new_version: version,
+            quorum: quorum.clone(),
+            yes: BTreeSet::new(),
+        };
+        for site in &quorum {
+            ctx.send(
+                *site,
+                Msg::Prepare {
+                    req,
+                    writes: vec![PrepareWrite {
+                        suite,
+                        object,
+                        version,
+                        value: value.clone(),
+                        generation: cfg.generation,
+                    }],
+                    lock_ts,
+                },
+            );
+        }
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    /// Fans out a reconfiguration prepare: the new configuration goes to a
+    /// write quorum of the *old* configuration, and the current contents
+    /// go to any stale member of the *new* configuration's cheapest write
+    /// quorum — one atomic batch per participant, so after commit every
+    /// new-config read quorum is guaranteed a current representative.
+    fn enter_reconfig_prepare(
+        &mut self,
+        req: ReqId,
+        suite: ObjectId,
+        current_version: Version,
+        current_value: Bytes,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        use std::collections::BTreeMap as Map;
+        let old_cfg = self.configs[&suite].clone();
+        let costs = self.effective_costs(ctx);
+        // Build the new configuration.
+        let (new_cfg, inquiry_versions) = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let (assignment, quorum) =
+                st.change.clone().expect("reconfigure carries a change");
+            match old_cfg.evolve(assignment, quorum) {
+                Ok(next) => (next, st.reconfig_versions.clone()),
+                Err(e) => {
+                    self.complete(req, Err(OpError::IllegalConfig(e)), ctx);
+                    return;
+                }
+            }
+        };
+        let responders: Vec<SiteId> = inquiry_versions.keys().copied().collect();
+        // Old-config write quorum for the config object.
+        let old_strong: Vec<SiteId> = responders
+            .iter()
+            .copied()
+            .filter(|s| old_cfg.assignment.votes_of(*s) > 0)
+            .collect();
+        let Some(config_quorum) = cheapest_quorum(
+            &old_cfg.assignment,
+            old_cfg.quorum.write,
+            &old_strong,
+            |s| site_cost(&costs, s),
+        ) else {
+            return; // defensive: threshold already passed
+        };
+        // New-config write quorum for the data copies; members that did
+        // not answer the inquiry are assumed stale (the copy is harmless
+        // if they turn out current — the server just votes no and we
+        // retry, or it is skipped because its version matches).
+        let new_strong: Vec<SiteId> = new_cfg
+            .assignment
+            .strong_sites()
+            .into_iter()
+            .filter(|s| responders.contains(s))
+            .collect();
+        let Some(data_quorum) = cheapest_quorum(
+            &new_cfg.assignment,
+            new_cfg.quorum.write,
+            &new_strong,
+            |s| site_cost(&costs, s),
+        ) else {
+            // The responders cannot form a write quorum under the new
+            // configuration; installing it would strand the data. Fail the
+            // attempt and retry when more sites answer.
+            self.fail_attempt(
+                req,
+                OpError::Unavailable {
+                    kind: OpKind::Reconfigure,
+                },
+                ctx,
+            );
+            return;
+        };
+        // Assemble per-site batches.
+        let mut per_site: Map<SiteId, Vec<PrepareWrite>> = Map::new();
+        let config_bytes = Bytes::from(new_cfg.encode());
+        for site in &config_quorum {
+            per_site.entry(*site).or_default().push(PrepareWrite {
+                suite,
+                object: config_object(suite),
+                version: Version(new_cfg.generation),
+                value: config_bytes.clone(),
+                generation: old_cfg.generation,
+            });
+        }
+        if current_version > Version::INITIAL {
+            for site in &data_quorum {
+                let stale = inquiry_versions
+                    .get(site)
+                    .is_none_or(|v| *v < current_version);
+                if stale {
+                    per_site.entry(*site).or_default().push(PrepareWrite {
+                        suite,
+                        object: data_object(suite),
+                        version: current_version,
+                        value: current_value.clone(),
+                        generation: old_cfg.generation,
+                    });
+                }
+            }
+        }
+        let participants: Vec<SiteId> = per_site.keys().copied().collect();
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        st.new_config = Some(new_cfg.clone());
+        st.seq += 1;
+        let seq = st.seq;
+        let lock_ts = st.lock_ts;
+        st.phase = Phase::Prepare {
+            new_version: Version(new_cfg.generation),
+            quorum: participants.clone(),
+            yes: BTreeSet::new(),
+        };
+        for (site, writes) in per_site {
+            ctx.send(
+                site,
+                Msg::Prepare {
+                    req,
+                    writes,
+                    lock_ts,
+                },
+            );
+        }
+        arm_timer(
+            &mut self.timers,
+            &mut self.next_timer,
+            req,
+            seq,
+            TimerKind::PhaseTimeout,
+            self.options.phase_timeout,
+            ctx,
+        );
+    }
+
+    fn on_read_resp(
+        &mut self,
+        from: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+        version: Version,
+        value: Bytes,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        enum Disposition {
+            StoredEarly,
+            Fresh,
+            StaleFromCandidate,
+            StaleStray,
+        }
+        let disposition = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            match &mut st.phase {
+                // The optimistic fetch answered before the inquiry quorum:
+                // hold the value until the quorum tells us what's current.
+                Phase::Inquire { guess, early, .. } if *guess == Some(from) => {
+                    let keep = early
+                        .as_ref()
+                        .is_none_or(|(_, v, _)| version > *v);
+                    if keep {
+                        *early = Some((from, version, value.clone()));
+                    }
+                    Disposition::StoredEarly
+                }
+                Phase::Fetch {
+                    current,
+                    candidates,
+                    idx,
+                } => {
+                    if version >= *current {
+                        Disposition::Fresh
+                    } else if candidates.get(*idx) == Some(&from) {
+                        Disposition::StaleFromCandidate
+                    } else {
+                        // A stale answer from some other site (typically
+                        // the optimistic-fetch target landing late) says
+                        // nothing about the candidate we actually asked.
+                        Disposition::StaleStray
+                    }
+                }
+                _ => return,
+            }
+        };
+        match disposition {
+            Disposition::StoredEarly | Disposition::StaleStray => {}
+            // The candidate answered below what the quorum proved current
+            // — a stale duplicate; move to the next candidate.
+            Disposition::StaleFromCandidate => self.try_next_candidate(req, ctx),
+            Disposition::Fresh => {
+                self.stats.reads_fetched += 1;
+                self.finish_read(req, suite, from, version, value, ctx);
+            }
+        }
+    }
+
+    fn try_next_candidate(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        enum Next {
+            Exhausted,
+            Try(SiteId, ObjectId, u64),
+        }
+        let next = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let suite = st.suite;
+            let Phase::Fetch {
+                candidates, idx, ..
+            } = &mut st.phase
+            else {
+                return;
+            };
+            *idx += 1;
+            if *idx >= candidates.len() {
+                Next::Exhausted
+            } else {
+                st.seq += 1;
+                Next::Try(candidates[*idx], suite, st.seq)
+            }
+        };
+        match next {
+            Next::Exhausted => self.fail_attempt(req, OpError::Conflict, ctx),
+            Next::Try(site, suite, seq) => {
+                ctx.send(site, Msg::ReadReq { suite, req });
+                arm_timer(
+                    &mut self.timers,
+                    &mut self.next_timer,
+                    req,
+                    seq,
+                    TimerKind::PhaseTimeout,
+                    self.options.phase_timeout,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    fn on_prepare_vote(
+        &mut self,
+        from: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+        vote: Vote,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        enum Next {
+            Ignore,
+            AbortAll(Vec<SiteId>),
+            Decided(Vec<SiteId>),
+        }
+        let next = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let (quorum, yes) = match &mut st.phase {
+                Phase::Prepare { quorum, yes, .. } => (quorum, yes),
+                Phase::MultiPrepare {
+                    participants, yes, ..
+                } => (participants, yes),
+                _ => return,
+            };
+            if !quorum.contains(&from) {
+                Next::Ignore
+            } else {
+                match vote {
+                    Vote::No => Next::AbortAll(quorum.clone()),
+                    Vote::Yes => {
+                        yes.insert(from);
+                        if yes.len() == quorum.len() {
+                            Next::Decided(quorum.clone())
+                        } else {
+                            Next::Ignore
+                        }
+                    }
+                }
+            }
+        };
+        match next {
+            Next::Ignore => {}
+            Next::AbortAll(quorum) => {
+                for site in quorum {
+                    ctx.send(site, Msg::Abort { suite, req });
+                }
+                self.fail_attempt(req, OpError::Conflict, ctx);
+            }
+            Next::Decided(quorum) => {
+                // Decide commit — durably, *before* any commit message
+                // leaves, so decision probes always get the truth.
+                let tx = self.decisions.begin().expect("decision log is up");
+                self.decisions
+                    .stage_put(tx, ObjectId(req.0), Version(1), Bytes::new())
+                    .expect("stage decision");
+                self.decisions.commit(tx).expect("commit decision");
+                self.decided_commit.insert(req);
+                let seq = {
+                    let st = self.ops.get_mut(&req).expect("op is live");
+                    st.seq += 1;
+                    match &st.phase {
+                        Phase::Prepare { new_version, .. } => {
+                            let new_version = *new_version;
+                            st.phase = Phase::CommitWait {
+                                new_version,
+                                quorum: quorum.clone(),
+                                acked: BTreeSet::new(),
+                                resends: 0,
+                            };
+                        }
+                        Phase::MultiPrepare { versions, .. } => {
+                            let versions = versions.clone();
+                            st.phase = Phase::MultiCommit {
+                                versions,
+                                participants: quorum.clone(),
+                                acked: BTreeSet::new(),
+                                resends: 0,
+                            };
+                        }
+                        _ => unreachable!("checked above"),
+                    }
+                    st.seq
+                };
+                for site in &quorum {
+                    ctx.send(*site, Msg::Commit { suite, req });
+                }
+                arm_timer(
+                    &mut self.timers,
+                    &mut self.next_timer,
+                    req,
+                    seq,
+                    TimerKind::PhaseTimeout,
+                    self.options.phase_timeout,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    fn on_ack(
+        &mut self,
+        from: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+        committed: bool,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        if !committed {
+            return; // abort acks need no bookkeeping
+        }
+        let finished = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            match &mut st.phase {
+                Phase::CommitWait {
+                    new_version,
+                    quorum,
+                    acked,
+                    ..
+                } => {
+                    if !quorum.contains(&from) {
+                        return;
+                    }
+                    acked.insert(from);
+                    if acked.len() == quorum.len() {
+                        let version = *new_version;
+                        let adopt = st.new_config.take();
+                        let push =
+                            self.options.push_weak_on_write && st.kind == OpKind::Write;
+                        let payload = st.payload.clone();
+                        Some((version, adopt, push, payload, Vec::new()))
+                    } else {
+                        None
+                    }
+                }
+                Phase::MultiCommit {
+                    versions,
+                    participants,
+                    acked,
+                    ..
+                } => {
+                    if !participants.contains(&from) {
+                        return;
+                    }
+                    acked.insert(from);
+                    if acked.len() == participants.len() {
+                        let versions = versions.clone();
+                        let version = versions[0].1;
+                        Some((version, None, false, None, versions))
+                    } else {
+                        None
+                    }
+                }
+                _ => return,
+            }
+        };
+        let Some((version, adopt, push, payload, multi)) = finished else {
+            return;
+        };
+        // Adopt the configuration this operation just installed.
+        if let Some(next) = adopt {
+            self.configs.insert(suite, next);
+        }
+        // Optionally push the fresh value to weak representatives.
+        if push {
+            let value = payload.expect("write payload");
+            for site in self.configs[&suite].assignment.weak_sites() {
+                ctx.send(
+                    site,
+                    Msg::UpdateWeak {
+                        suite,
+                        version,
+                        value: value.clone(),
+                    },
+                );
+            }
+        }
+        self.complete(
+            req,
+            Ok(OpSuccess {
+                version,
+                value: None,
+                multi,
+            }),
+            ctx,
+        );
+    }
+
+    fn on_config_resp(
+        &mut self,
+        suite: ObjectId,
+        req: ReqId,
+        config: SuiteConfig,
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        let newer = self
+            .configs
+            .get(&suite)
+            .is_none_or(|c| config.generation > c.generation);
+        if newer {
+            self.stats.config_refreshes += 1;
+            self.configs.insert(suite, config);
+        }
+        if matches!(
+            self.ops.get(&req).map(|st| &st.phase),
+            Some(Phase::RefreshConfig)
+        ) {
+            self.restart_op(req, ctx);
+        }
+    }
+
+    fn on_phase_timeout(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        #[allow(clippy::enum_variant_names)]
+        enum Next {
+            FailUnavailable(OpKind),
+            NextCandidate,
+            AbortAndFail(Vec<SiteId>, ObjectId, OpKind),
+            ResendCommit(Vec<SiteId>, ObjectId, u64),
+            GiveUpIndeterminate,
+        }
+        let next = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let suite = st.suite;
+            match &mut st.phase {
+                Phase::Inquire { .. } | Phase::RefreshConfig | Phase::MultiInquire { .. } => {
+                    Next::FailUnavailable(st.kind)
+                }
+                Phase::Fetch { .. } => Next::NextCandidate,
+                Phase::Prepare { quorum, .. } => {
+                    Next::AbortAndFail(quorum.clone(), suite, st.kind)
+                }
+                Phase::MultiPrepare { participants, .. } => {
+                    Next::AbortAndFail(participants.clone(), suite, st.kind)
+                }
+                Phase::CommitWait {
+                    quorum,
+                    acked,
+                    resends,
+                    ..
+                } => {
+                    if *resends >= self.options.commit_resend_limit {
+                        Next::GiveUpIndeterminate
+                    } else {
+                        *resends += 1;
+                        st.seq += 1;
+                        let missing: Vec<SiteId> = quorum
+                            .iter()
+                            .copied()
+                            .filter(|s| !acked.contains(s))
+                            .collect();
+                        Next::ResendCommit(missing, suite, st.seq)
+                    }
+                }
+                Phase::MultiCommit {
+                    participants,
+                    acked,
+                    resends,
+                    ..
+                } => {
+                    if *resends >= self.options.commit_resend_limit {
+                        Next::GiveUpIndeterminate
+                    } else {
+                        *resends += 1;
+                        st.seq += 1;
+                        let missing: Vec<SiteId> = participants
+                            .iter()
+                            .copied()
+                            .filter(|s| !acked.contains(s))
+                            .collect();
+                        Next::ResendCommit(missing, suite, st.seq)
+                    }
+                }
+            }
+        };
+        match next {
+            Next::FailUnavailable(kind) => {
+                self.fail_attempt(req, OpError::Unavailable { kind }, ctx)
+            }
+            Next::NextCandidate => self.try_next_candidate(req, ctx),
+            Next::AbortAndFail(quorum, suite, kind) => {
+                for site in quorum {
+                    ctx.send(site, Msg::Abort { suite, req });
+                }
+                self.fail_attempt(req, OpError::Unavailable { kind }, ctx);
+            }
+            Next::ResendCommit(missing, suite, seq) => {
+                for site in missing {
+                    ctx.send(site, Msg::Commit { suite, req });
+                }
+                arm_timer(
+                    &mut self.timers,
+                    &mut self.next_timer,
+                    req,
+                    seq,
+                    TimerKind::PhaseTimeout,
+                    self.options.phase_timeout,
+                    ctx,
+                );
+            }
+            Next::GiveUpIndeterminate => {
+                self.complete(req, Err(OpError::Indeterminate), ctx)
+            }
+        }
+    }
+
+    /// Handles one protocol message. Exposed so composite nodes can
+    /// delegate.
+    pub fn handle(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
+        match msg {
+            Msg::VersionResp {
+                suite,
+                req,
+                version,
+                generation,
+            } => {
+                if matches!(
+                    self.ops.get(&req).map(|st| &st.phase),
+                    Some(Phase::MultiInquire { .. })
+                ) {
+                    self.on_multi_version_resp(from, suite, req, version, generation, ctx);
+                } else {
+                    self.on_version_resp(from, suite, req, version, generation, ctx);
+                }
+            }
+            Msg::ReadResp {
+                suite,
+                req,
+                version,
+                value,
+            } => self.on_read_resp(from, suite, req, version, value, ctx),
+            Msg::Busy { req, .. } => self.try_next_candidate(req, ctx),
+            Msg::PrepareVote { suite, req, vote } => {
+                self.on_prepare_vote(from, suite, req, vote, ctx)
+            }
+            Msg::Ack {
+                suite,
+                req,
+                committed,
+            } => self.on_ack(from, suite, req, committed, ctx),
+            Msg::StaleConfig { req, .. } => self.enter_refresh(req, from, ctx),
+            Msg::ConfigResp { suite, req, config } => {
+                self.on_config_resp(suite, req, config, ctx)
+            }
+            Msg::DecisionReq { suite, req } => {
+                // Presumed abort: only a durably logged commit answers yes.
+                let msg = if self.decided_commit.contains(&req) {
+                    Msg::Commit { suite, req }
+                } else {
+                    Msg::Abort { suite, req }
+                };
+                ctx.send(from, msg);
+            }
+            // Server-bound traffic mis-delivered to a pure client: ignore.
+            _ => {}
+        }
+    }
+
+    /// Timer dispatch. Exposed so composite nodes can delegate.
+    pub fn handle_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(entry) = self.timers.remove(&token) else {
+            return;
+        };
+        let Some(st) = self.ops.get(&entry.req) else {
+            return;
+        };
+        if st.seq != entry.seq {
+            return; // stale timer from a finished phase
+        }
+        match entry.kind {
+            TimerKind::Retry => self.begin_attempt(entry.req, ctx),
+            TimerKind::PhaseTimeout => self.on_phase_timeout(entry.req, ctx),
+        }
+    }
+
+    /// Crash: in-flight operations are lost; the decision log survives.
+    pub fn handle_crash(&mut self) {
+        self.ops.clear();
+        self.timers.clear();
+        self.decided_commit.clear();
+        self.decisions.crash();
+    }
+
+    /// Recovery: reload the durable decision log.
+    pub fn handle_recover(&mut self) {
+        self.decisions.recover();
+        self.decided_commit = self.decisions.objects().map(|o| ReqId(o.0)).collect();
+        // Never reuse counters from before the crash: request ids must stay
+        // unique. The decision log's largest counter bounds what was used.
+        if let Some(max) = self.decided_commit.iter().map(|r| r.counter()).max() {
+            self.next_counter = self.next_counter.max(max + 1);
+        }
+    }
+}
+
+impl Node for ClientNode {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, Msg>) {
+        self.handle_timer(token, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        self.handle_crash();
+    }
+
+    fn on_recover(&mut self, _ctx: &mut NodeCtx<'_, Msg>) {
+        self.handle_recover();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::SuiteConfig;
+    use wv_sim::DetRng;
+
+    const SUITE: ObjectId = ObjectId(1);
+    const CLIENT: SiteId = SiteId(3);
+
+    fn config() -> SuiteConfig {
+        SuiteConfig::new(
+            SUITE,
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 2),
+        )
+        .expect("legal")
+    }
+
+    fn client() -> ClientNode {
+        ClientNode::new(
+            CLIENT,
+            vec![config()],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions::default(),
+        )
+    }
+
+    fn effects(ctx: &mut NodeCtx<'_, Msg>) -> Vec<(SiteId, Msg)> {
+        ctx.take_effects()
+            .into_iter()
+            .filter_map(|e| match e {
+                wv_net::node::Effect::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_inquires_all_hosts_then_fetches_cheapest_current() {
+        let mut c = client();
+        let mut rng = DetRng::new(1);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 4, "three inquiries plus the optimistic fetch");
+        let inquiries = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::VersionReq { .. }))
+            .count();
+        assert_eq!(inquiries, 3);
+        // The optimistic fetch goes to the cheapest site (0, cost 10).
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == SiteId(0) && matches!(m, Msg::ReadReq { .. })));
+        // Sites 1 and 2 answer: site 1 has v2, site 2 has v1. Current = v2.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+        c.handle(
+            SiteId(1),
+            Msg::VersionResp { suite: SUITE, req, version: Version(2), generation: 1 },
+            &mut ctx,
+        );
+        assert!(effects(&mut ctx).is_empty(), "one vote is not a quorum");
+        let mut ctx = NodeCtx::new(SimTime::from_millis(12), CLIENT, &mut rng);
+        c.handle(
+            SiteId(2),
+            Msg::VersionResp { suite: SUITE, req, version: Version(1), generation: 1 },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 1);
+        // Only site 1 holds the current version.
+        assert_eq!(out[0].0, SiteId(1));
+        assert!(matches!(out[0].1, Msg::ReadReq { .. }));
+        // Content arrives; operation completes.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(30), CLIENT, &mut rng);
+        c.handle(
+            SiteId(1),
+            Msg::ReadResp {
+                suite: SUITE,
+                req,
+                version: Version(2),
+                value: Bytes::from_static(b"data"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+        let done = &c.completed[0];
+        assert_eq!(done.kind, OpKind::Read);
+        let ok = done.outcome.as_ref().expect("success");
+        assert_eq!(ok.version, Version(2));
+        assert_eq!(ok.value.as_deref(), Some(&b"data"[..]));
+        assert_eq!(done.latency(), SimDuration::from_millis(30));
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn write_runs_two_phase_commit_over_cheapest_quorum() {
+        let mut c = client();
+        let mut rng = DetRng::new(2);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_write(SUITE, &b"new"[..], &mut ctx);
+        let _ = effects(&mut ctx);
+        // All three answer with v0.
+        for s in 0..3u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp { suite: SUITE, req, version: Version(0), generation: 1 },
+                &mut ctx,
+            );
+            let out = effects(&mut ctx);
+            if s < 1 {
+                assert!(out.is_empty());
+            } else if s == 1 {
+                // Quorum (2 votes) reached: prepare goes to the two
+                // cheapest sites, 0 (cost 10) and 1 (cost 20).
+                assert_eq!(out.len(), 2);
+                let targets: Vec<SiteId> = out.iter().map(|(t, _)| *t).collect();
+                assert_eq!(targets, vec![SiteId(0), SiteId(1)]);
+                assert!(out.iter().all(|(_, m)| matches!(
+                    m,
+                    Msg::Prepare { writes, .. }
+                        if writes.len() == 1 && writes[0].version == Version(1)
+                )));
+            }
+        }
+        // Votes arrive; on the second yes the commit is decided and logged.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(20), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::PrepareVote { suite: SUITE, req, vote: Vote::Yes },
+            &mut ctx,
+        );
+        assert!(effects(&mut ctx).is_empty());
+        let mut ctx = NodeCtx::new(SimTime::from_millis(21), CLIENT, &mut rng);
+        c.handle(
+            SiteId(1),
+            Msg::PrepareVote { suite: SUITE, req, vote: Vote::Yes },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|(_, m)| matches!(m, Msg::Commit { .. })));
+        assert!(c.decided_commit.contains(&req));
+        // Acks complete the op.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(30), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::Ack { suite: SUITE, req, committed: true },
+                &mut ctx,
+            );
+        }
+        assert_eq!(c.completed.len(), 1);
+        let ok = c.completed[0].outcome.as_ref().expect("success");
+        assert_eq!(ok.version, Version(1));
+    }
+
+    #[test]
+    fn no_vote_aborts_and_schedules_retry() {
+        let mut c = client();
+        let mut rng = DetRng::new(3);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_write(SUITE, &b"w"[..], &mut ctx);
+        let _ = effects(&mut ctx);
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp { suite: SUITE, req, version: Version(0), generation: 1 },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::PrepareVote { suite: SUITE, req, vote: Vote::No },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        // Aborts to the quorum members.
+        assert!(out.iter().filter(|(_, m)| matches!(m, Msg::Abort { .. })).count() >= 2);
+        // Not completed yet: a retry is pending under a fresh request id.
+        assert_eq!(c.completed.len(), 0);
+        assert_eq!(c.in_flight(), 1);
+        assert!(!c.ops.contains_key(&req), "retry must use a fresh req id");
+    }
+
+    #[test]
+    fn busy_fetch_moves_to_next_candidate() {
+        let mut c = client();
+        let mut rng = DetRng::new(4);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        // Two sites answer, both current at v1 -> candidates [0, 1].
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp { suite: SUITE, req, version: Version(1), generation: 1 },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        // Site 0 is busy; the client tries site 1.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(8), CLIENT, &mut rng);
+        c.handle(SiteId(0), Msg::Busy { suite: SUITE, req }, &mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(1));
+        assert!(matches!(out[0].1, Msg::ReadReq { .. }));
+    }
+
+    #[test]
+    fn unknown_suite_fails_immediately() {
+        let mut c = client();
+        let mut rng = DetRng::new(5);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        c.start_read(ObjectId(99), &mut ctx);
+        assert_eq!(c.completed.len(), 1);
+        assert_eq!(c.completed[0].outcome, Err(OpError::UnknownSuite));
+    }
+
+    #[test]
+    fn decision_req_answers_presumed_abort() {
+        let mut c = client();
+        let mut rng = DetRng::new(6);
+        let unknown = ReqId::new(77, CLIENT);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        c.handle(SiteId(0), Msg::DecisionReq { suite: SUITE, req: unknown }, &mut ctx);
+        let out = effects(&mut ctx);
+        assert!(matches!(out[0].1, Msg::Abort { .. }));
+    }
+
+    #[test]
+    fn decision_log_survives_crash() {
+        let mut c = client();
+        let mut rng = DetRng::new(7);
+        // Manufacture a decided commit.
+        let req = ReqId::new(5, CLIENT);
+        let tx = c.decisions.begin().expect("up");
+        c.decisions
+            .stage_put(tx, ObjectId(req.0), Version(1), Bytes::new())
+            .expect("stage");
+        c.decisions.commit(tx).expect("commit");
+        c.decided_commit.insert(req);
+        c.handle_crash();
+        assert!(c.decided_commit.is_empty());
+        c.handle_recover();
+        assert!(c.decided_commit.contains(&req));
+        // And the answer to a probe is commit.
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        c.handle(SiteId(0), Msg::DecisionReq { suite: SUITE, req }, &mut ctx);
+        let out = effects(&mut ctx);
+        assert!(matches!(out[0].1, Msg::Commit { .. }));
+        // Counters moved past anything in the log.
+        assert!(c.next_counter > 5);
+    }
+
+    #[test]
+    fn stale_responses_from_finished_ops_are_ignored() {
+        let mut c = client();
+        let mut rng = DetRng::new(8);
+        let ghost = ReqId::new(40, CLIENT);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::VersionResp { suite: SUITE, req: ghost, version: Version(9), generation: 1 },
+            &mut ctx,
+        );
+        c.handle(
+            SiteId(0),
+            Msg::PrepareVote { suite: SUITE, req: ghost, vote: Vote::Yes },
+            &mut ctx,
+        );
+        c.handle(
+            SiteId(0),
+            Msg::Ack { suite: SUITE, req: ghost, committed: true },
+            &mut ctx,
+        );
+        assert!(effects(&mut ctx).is_empty());
+        assert_eq!(c.completed.len(), 0);
+    }
+
+    #[test]
+    fn newer_generation_in_inquiry_triggers_refresh() {
+        let mut c = client();
+        let mut rng = DetRng::new(9);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::VersionResp { suite: SUITE, req, version: Version(4), generation: 3 },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(0));
+        assert!(matches!(out[0].1, Msg::ConfigReq { .. }));
+        // The config arrives; the client adopts it and restarts.
+        let cfg2 = config()
+            .evolve(VoteAssignment::equal(3), QuorumSpec::new(1, 3))
+            .expect("legal");
+        let mut cfg3 = cfg2.clone();
+        cfg3.generation = 3;
+        let mut ctx = NodeCtx::new(SimTime::from_millis(9), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::ConfigResp { suite: SUITE, req, config: cfg3.clone() },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        // Restarted: fresh inquiries to all sites under the new config,
+        // plus the optimistic fetch.
+        assert_eq!(out.len(), 4);
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, Msg::VersionReq { .. }))
+                .count(),
+            3
+        );
+        assert_eq!(c.config(SUITE).expect("cfg").generation, 3);
+    }
+}

@@ -1,0 +1,932 @@
+//! A synchronous facade over a simulated weighted-voting cluster.
+//!
+//! [`HarnessBuilder`] assembles sites, votes, quorums, and a network;
+//! [`Harness`] then offers blocking-style `read`/`write`/`reconfigure`
+//! calls that drive the discrete-event simulation until the operation
+//! completes and report the outcome together with its virtual-time
+//! latency. Examples, integration tests, and the experiment binaries all
+//! sit on this facade; asynchronous use (concurrent operations) is
+//! available through [`Harness::enqueue_read`] / [`Harness::enqueue_write`]
+//! plus [`Harness::run_until_quiet`].
+
+use bytes::Bytes;
+use wv_net::sim_net::{Cluster, NetStats};
+use wv_net::{NetConfig, Partition, SiteId};
+use wv_sim::{LatencyModel, Sim, SimDuration, SimTime};
+use wv_storage::{ObjectId, Version};
+use wv_txn::lock::DeadlockPolicy;
+
+use crate::client::{ClientNode, ClientOptions, CompletedOp};
+use crate::error::OpError;
+use crate::node::SystemNode;
+use crate::quorum::QuorumSpec;
+use crate::server::SuiteServer;
+use crate::suite::SuiteConfig;
+use crate::votes::VoteAssignment;
+
+/// What one site hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SiteSpec {
+    hosts_rep: bool,
+    votes: u32,
+    is_client: bool,
+}
+
+impl SiteSpec {
+    /// A file server holding a representative with `votes` votes
+    /// (zero votes = a weak representative).
+    pub fn server(votes: u32) -> Self {
+        SiteSpec {
+            hosts_rep: true,
+            votes,
+            is_client: false,
+        }
+    }
+
+    /// A pure client machine.
+    pub fn client() -> Self {
+        SiteSpec {
+            hosts_rep: false,
+            votes: 0,
+            is_client: true,
+        }
+    }
+
+    /// A workstation: client plus a weak (zero-vote) representative — the
+    /// paper's cache configuration.
+    pub fn client_with_weak() -> Self {
+        SiteSpec {
+            hosts_rep: true,
+            votes: 0,
+            is_client: true,
+        }
+    }
+
+    /// A site that is both a voting server and a client.
+    pub fn server_and_client(votes: u32) -> Self {
+        SiteSpec {
+            hosts_rep: true,
+            votes,
+            is_client: true,
+        }
+    }
+}
+
+/// Builder for a [`Harness`].
+pub struct HarnessBuilder {
+    specs: Vec<SiteSpec>,
+    quorum: QuorumSpec,
+    suites: Vec<ObjectId>,
+    seed: u64,
+    net: Option<NetConfig>,
+    options: ClientOptions,
+    policy: DeadlockPolicy,
+}
+
+impl Default for HarnessBuilder {
+    fn default() -> Self {
+        HarnessBuilder::new()
+    }
+}
+
+impl HarnessBuilder {
+    /// An empty builder: add sites, then build.
+    pub fn new() -> Self {
+        HarnessBuilder {
+            specs: Vec::new(),
+            quorum: QuorumSpec::new(1, 1),
+            suites: vec![ObjectId(1)],
+            seed: 0,
+            net: None,
+            options: ClientOptions::default(),
+            policy: DeadlockPolicy::WaitDie,
+        }
+    }
+
+    /// Adds a site; sites are numbered in insertion order.
+    pub fn site(mut self, spec: SiteSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Shorthand for `site(SiteSpec::client())`.
+    pub fn client(self) -> Self {
+        self.site(SiteSpec::client())
+    }
+
+    /// Sets the read/write quorum sizes.
+    pub fn quorum(mut self, q: QuorumSpec) -> Self {
+        self.quorum = q;
+        self
+    }
+
+    /// Sets the suite object id (default `ObjectId(1)`).
+    pub fn suite(mut self, suite: ObjectId) -> Self {
+        self.suites = vec![suite];
+        self
+    }
+
+    /// Hosts several suites on the same representatives, all sharing the
+    /// vote assignment and quorum sizes. Operations on distinct suites
+    /// are fully independent (per-object locks, per-object versions).
+    pub fn suites(mut self, suites: impl IntoIterator<Item = ObjectId>) -> Self {
+        self.suites = suites.into_iter().collect();
+        assert!(!self.suites.is_empty(), "need at least one suite");
+        self
+    }
+
+    /// Sets the simulation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the default network (100 ms links, 75 ms local access)
+    /// with an explicit configuration.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = Some(net);
+        self
+    }
+
+    /// Overrides client behaviour tunables.
+    pub fn client_options(mut self, options: ClientOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Overrides the deadlock policy (default wait-die).
+    pub fn deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Builds the harness.
+    ///
+    /// Fails with [`OpError::IllegalConfig`] if the quorum sizes are
+    /// illegal for the vote assignment implied by the sites.
+    pub fn build(self) -> Result<Harness, OpError> {
+        assert!(!self.specs.is_empty(), "a harness needs at least one site");
+        assert!(
+            self.specs.iter().any(|s| s.is_client),
+            "a harness needs at least one client"
+        );
+        assert!(
+            self.specs.iter().any(|s| s.hosts_rep && s.votes > 0),
+            "a harness needs at least one voting representative"
+        );
+        let sites = self.specs.len();
+        let assignment = VoteAssignment::new(
+            self.specs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.hosts_rep)
+                .map(|(i, s)| (SiteId::from(i), s.votes)),
+        );
+        let configs: Vec<SuiteConfig> = self
+            .suites
+            .iter()
+            .map(|&suite| {
+                SuiteConfig::new(suite, assignment.clone(), self.quorum)
+                    .map_err(OpError::IllegalConfig)
+            })
+            .collect::<Result<_, _>>()?;
+        let net = self.net.unwrap_or_else(|| {
+            let mut cfg = NetConfig::uniform(sites, LatencyModel::constant_millis(100));
+            for s in SiteId::all(sites) {
+                cfg.set_link(s, s, LatencyModel::constant_millis(75));
+            }
+            cfg
+        });
+        assert_eq!(net.sites(), sites, "network size must match site count");
+        let mut clients = Vec::new();
+        let nodes: Vec<SystemNode> = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let site = SiteId::from(i);
+                let server = || SuiteServer::new(site, configs.clone(), self.policy);
+                let client = || {
+                    let costs: Vec<f64> = (0..sites)
+                        .map(|j| net.mean_latency_ms(site, SiteId::from(j)))
+                        .collect();
+                    ClientNode::new(site, configs.clone(), costs, self.options.clone())
+                };
+                match (spec.hosts_rep, spec.is_client) {
+                    (true, true) => {
+                        clients.push(site);
+                        SystemNode::Both {
+                            server: server(),
+                            client: client(),
+                        }
+                    }
+                    (true, false) => SystemNode::Server(server()),
+                    (false, true) => {
+                        clients.push(site);
+                        SystemNode::Client(client())
+                    }
+                    (false, false) => {
+                        panic!("site {site} hosts neither a representative nor a client")
+                    }
+                }
+            })
+            .collect();
+        Ok(Harness {
+            sim: Cluster::sim(nodes, net, self.seed),
+            suites: self.suites,
+            clients,
+        })
+    }
+}
+
+/// A successful read.
+#[derive(Clone, Debug)]
+pub struct ReadResult {
+    /// The contents.
+    pub value: Bytes,
+    /// Their version.
+    pub version: Version,
+    /// End-to-end virtual-time latency.
+    pub latency: SimDuration,
+    /// Attempts used.
+    pub attempts: u32,
+}
+
+/// A successful multi-suite transaction.
+#[derive(Clone, Debug)]
+pub struct TransactionResult {
+    /// The version installed at each suite.
+    pub versions: Vec<(ObjectId, Version)>,
+    /// End-to-end virtual-time latency.
+    pub latency: SimDuration,
+    /// Attempts used.
+    pub attempts: u32,
+}
+
+/// A successful write or reconfiguration.
+#[derive(Clone, Debug)]
+pub struct WriteResult {
+    /// The version installed.
+    pub version: Version,
+    /// End-to-end virtual-time latency.
+    pub latency: SimDuration,
+    /// Attempts used.
+    pub attempts: u32,
+}
+
+/// A simulated weighted-voting cluster with a blocking-style API.
+pub struct Harness {
+    sim: Sim<Cluster<SystemNode>>,
+    suites: Vec<ObjectId>,
+    clients: Vec<SiteId>,
+}
+
+impl Harness {
+    /// A fluent builder.
+    pub fn builder() -> HarnessBuilder {
+        HarnessBuilder::new()
+    }
+
+    /// The (first) suite this harness serves.
+    pub fn suite_id(&self) -> ObjectId {
+        self.suites[0]
+    }
+
+    /// All suites hosted by the cluster.
+    pub fn suite_ids(&self) -> &[ObjectId] {
+        &self.suites
+    }
+
+    /// Client sites, in declaration order.
+    pub fn clients(&self) -> &[SiteId] {
+        &self.clients
+    }
+
+    /// The default client (the first declared).
+    pub fn default_client(&self) -> SiteId {
+        self.clients[0]
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Transport counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.sim.world.stats
+    }
+
+    /// Reads the suite from the default client.
+    pub fn read(&mut self, suite: ObjectId) -> Result<ReadResult, OpError> {
+        self.read_from(self.default_client(), suite)
+    }
+
+    /// Reads the suite from a specific client.
+    pub fn read_from(&mut self, client: SiteId, suite: ObjectId) -> Result<ReadResult, OpError> {
+        let done = self.run_op(client, move |c, ctx| {
+            c.start_read(suite, ctx);
+        })?;
+        match done.outcome {
+            Ok(ok) => Ok(ReadResult {
+                value: ok.value.unwrap_or_default(),
+                version: ok.version,
+                latency: done.finished.since(done.started),
+                attempts: done.attempts,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Writes the suite from the default client.
+    pub fn write(&mut self, suite: ObjectId, value: Vec<u8>) -> Result<WriteResult, OpError> {
+        self.write_from(self.default_client(), suite, value)
+    }
+
+    /// Writes the suite from a specific client.
+    pub fn write_from(
+        &mut self,
+        client: SiteId,
+        suite: ObjectId,
+        value: Vec<u8>,
+    ) -> Result<WriteResult, OpError> {
+        let done = self.run_op(client, move |c, ctx| {
+            c.start_write(suite, value, ctx);
+        })?;
+        match done.outcome {
+            Ok(ok) => Ok(WriteResult {
+                version: ok.version,
+                latency: done.finished.since(done.started),
+                attempts: done.attempts,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically writes several suites: every `(suite, value)` commits or
+    /// none does, even under crashes (the decision is a single durable
+    /// record at the coordinating client).
+    pub fn transaction(
+        &mut self,
+        client: SiteId,
+        writes: Vec<(ObjectId, Vec<u8>)>,
+    ) -> Result<TransactionResult, OpError> {
+        let done = self.run_op(client, move |c, ctx| {
+            let writes = writes
+                .into_iter()
+                .map(|(s, v)| (s, bytes::Bytes::from(v)))
+                .collect();
+            c.start_transaction(writes, ctx);
+        })?;
+        match done.outcome {
+            Ok(ok) => Ok(TransactionResult {
+                versions: ok.multi,
+                latency: done.finished.since(done.started),
+                attempts: done.attempts,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomic read-modify-write: reads the current value, applies `f`,
+    /// and writes the result — retrying the whole cycle if a concurrent
+    /// writer slips in between (the version check at prepare time detects
+    /// the race, exactly like a CAS loop).
+    pub fn read_modify_write(
+        &mut self,
+        client: SiteId,
+        suite: ObjectId,
+        mut f: impl FnMut(&[u8]) -> Vec<u8>,
+        max_rounds: u32,
+    ) -> Result<WriteResult, OpError> {
+        for _ in 0..max_rounds.max(1) {
+            let r = self.read_from(client, suite)?;
+            let new = f(&r.value);
+            match self.write_from(client, suite, new) {
+                Ok(w) => return Ok(w),
+                // A concurrent writer advanced the version between our
+                // read and our prepare; re-read and try again.
+                Err(OpError::Conflict) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(OpError::Conflict)
+    }
+
+    /// Changes the suite's vote assignment and quorums online, from a
+    /// specific client, under the old configuration's write quorum.
+    pub fn reconfigure_from(
+        &mut self,
+        client: SiteId,
+        suite: ObjectId,
+        assignment: VoteAssignment,
+        quorum: QuorumSpec,
+    ) -> Result<WriteResult, OpError> {
+        let done = self.run_op(client, move |c, ctx| {
+            c.start_reconfigure(suite, assignment, quorum, ctx);
+        })?;
+        match done.outcome {
+            Ok(ok) => Ok(WriteResult {
+                version: ok.version,
+                latency: done.finished.since(done.started),
+                attempts: done.attempts,
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Starts an operation and steps the simulation until it completes.
+    fn run_op(
+        &mut self,
+        client: SiteId,
+        start: impl FnOnce(&mut ClientNode, &mut wv_net::NodeCtx<'_, crate::msg::Msg>) + 'static,
+    ) -> Result<CompletedOp, OpError> {
+        assert!(
+            self.clients.contains(&client),
+            "site {client} is not a client"
+        );
+        let before = self
+            .client_ref(client)
+            .map(|c| c.completed.len())
+            .unwrap_or(0);
+        let at = self.sim.now();
+        Cluster::invoke(self.sim.scheduler(), at, client, move |node, ctx| {
+            let c = node
+                .as_client_mut()
+                .expect("invoke target verified as client");
+            start(c, ctx);
+        });
+        // Step until this client's completion log grows. Operations always
+        // terminate (every phase is timer-guarded), so this loop ends
+        // unless the client site itself is down — in which case the invoke
+        // was dropped and we report unavailability.
+        loop {
+            let len = self
+                .client_ref(client)
+                .map(|c| c.completed.len())
+                .unwrap_or(0);
+            if len > before {
+                break;
+            }
+            if !self.sim.step() {
+                return Err(OpError::Unavailable {
+                    kind: crate::error::OpKind::Read,
+                });
+            }
+        }
+        let c = self
+            .sim
+            .world
+            .nodes[client.index()]
+            .as_client_mut()
+            .expect("client exists");
+        Ok(c.completed.remove(before))
+    }
+
+    fn client_ref(&self, site: SiteId) -> Option<&ClientNode> {
+        self.sim.world.nodes[site.index()].as_client()
+    }
+
+    /// Starts a read without waiting; results appear in the client's
+    /// completion log (see [`Harness::drain_completed`]).
+    pub fn enqueue_read(&mut self, client: SiteId, suite: ObjectId, at: SimTime) {
+        Cluster::invoke(self.sim.scheduler(), at, client, move |node, ctx| {
+            if let Some(c) = node.as_client_mut() {
+                c.start_read(suite, ctx);
+            }
+        });
+    }
+
+    /// Starts a write without waiting.
+    pub fn enqueue_write(&mut self, client: SiteId, suite: ObjectId, value: Vec<u8>, at: SimTime) {
+        Cluster::invoke(self.sim.scheduler(), at, client, move |node, ctx| {
+            if let Some(c) = node.as_client_mut() {
+                c.start_write(suite, value, ctx);
+            }
+        });
+    }
+
+    /// Starts a multi-suite transaction without waiting.
+    pub fn enqueue_transaction(
+        &mut self,
+        client: SiteId,
+        writes: Vec<(ObjectId, Vec<u8>)>,
+        at: SimTime,
+    ) {
+        Cluster::invoke(self.sim.scheduler(), at, client, move |node, ctx| {
+            if let Some(c) = node.as_client_mut() {
+                let writes = writes
+                    .into_iter()
+                    .map(|(s, v)| (s, Bytes::from(v)))
+                    .collect();
+                c.start_transaction(writes, ctx);
+            }
+        });
+    }
+
+    /// Runs until the event queue drains or `max_events` fire.
+    pub fn run_until_quiet(&mut self, max_events: u64) -> u64 {
+        self.sim.run_capped(max_events)
+    }
+
+    /// Advances virtual time, executing everything due.
+    pub fn advance(&mut self, d: SimDuration) {
+        let deadline = self.sim.now() + d;
+        self.sim.run_until(deadline);
+    }
+
+    /// Drains a client's finished operations.
+    pub fn drain_completed(&mut self, client: SiteId) -> Vec<CompletedOp> {
+        self.sim.world.nodes[client.index()]
+            .as_client_mut()
+            .map(|c| c.take_completed())
+            .unwrap_or_default()
+    }
+
+    /// Crashes a site now.
+    pub fn crash(&mut self, site: SiteId) {
+        let at = self.sim.now();
+        Cluster::crash_at(self.sim.scheduler(), at, site);
+        self.sim.run_until(at);
+    }
+
+    /// Recovers a site now.
+    pub fn recover(&mut self, site: SiteId) {
+        let at = self.sim.now();
+        Cluster::recover_at(self.sim.scheduler(), at, site);
+        self.sim.run_until(at);
+    }
+
+    /// Imposes a network partition now.
+    pub fn partition(&mut self, p: Partition) {
+        let at = self.sim.now();
+        Cluster::set_partition_at(self.sim.scheduler(), at, p);
+        self.sim.run_until(at);
+    }
+
+    /// Heals all partitions.
+    pub fn heal(&mut self) {
+        let sites = self.sim.world.nodes.len();
+        self.partition(Partition::whole(sites));
+    }
+
+    /// The committed data version at a representative (None if the site
+    /// hosts none).
+    pub fn version_at(&self, site: SiteId, suite: ObjectId) -> Option<Version> {
+        self.sim.world.nodes[site.index()]
+            .as_server()
+            .map(|s| s.data_version(suite))
+    }
+
+    /// The committed data contents at a representative.
+    pub fn value_at(&self, site: SiteId, suite: ObjectId) -> Option<Bytes> {
+        self.sim.world.nodes[site.index()]
+            .as_server()
+            .map(|s| s.data_value(suite))
+    }
+
+    /// The configuration generation a representative holds.
+    pub fn generation_at(&self, site: SiteId, suite: ObjectId) -> Option<u64> {
+        self.sim.world.nodes[site.index()]
+            .as_server()
+            .and_then(|s| s.config(suite))
+            .map(|c| c.generation)
+    }
+
+    /// Immutable access to the underlying cluster (experiments).
+    pub fn cluster(&self) -> &Cluster<SystemNode> {
+        &self.sim.world
+    }
+
+    /// Mutable access to the underlying cluster (experiments).
+    pub fn cluster_mut(&mut self) -> &mut Cluster<SystemNode> {
+        &mut self.sim.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_server_harness(seed: u64) -> Harness {
+        HarnessBuilder::new()
+            .seed(seed)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .build()
+            .expect("legal configuration")
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let mut h = three_server_harness(7);
+        let suite = h.suite_id();
+        let w = h.write(suite, b"payload".to_vec()).expect("write");
+        assert_eq!(w.version, Version(1));
+        assert!(w.latency > SimDuration::ZERO);
+        let r = h.read(suite).expect("read");
+        assert_eq!(&r.value[..], b"payload");
+        assert_eq!(r.version, Version(1));
+    }
+
+    #[test]
+    fn versions_advance_with_each_write() {
+        let mut h = three_server_harness(8);
+        let suite = h.suite_id();
+        for i in 1..=5u64 {
+            let w = h.write(suite, format!("v{i}").into_bytes()).expect("write");
+            assert_eq!(w.version, Version(i));
+        }
+        let r = h.read(suite).expect("read");
+        assert_eq!(&r.value[..], b"v5");
+    }
+
+    #[test]
+    fn write_quorum_size_two_leaves_one_stale_replica() {
+        let mut h = three_server_harness(9);
+        let suite = h.suite_id();
+        h.write(suite, b"x".to_vec()).expect("write");
+        let versions: Vec<Version> = SiteId::all(3)
+            .map(|s| h.version_at(s, suite).expect("server"))
+            .collect();
+        let fresh = versions.iter().filter(|v| **v == Version(1)).count();
+        let stale = versions.iter().filter(|v| **v == Version(0)).count();
+        assert_eq!(fresh, 2, "the write quorum installed the version");
+        assert_eq!(stale, 1, "the third replica is allowed to lag");
+        // And yet reads always see the new version (quorum intersection).
+        let r = h.read(suite).expect("read");
+        assert_eq!(r.version, Version(1));
+    }
+
+    #[test]
+    fn read_with_one_server_down_succeeds() {
+        let mut h = three_server_harness(10);
+        let suite = h.suite_id();
+        h.write(suite, b"alive".to_vec()).expect("write");
+        h.crash(SiteId(2));
+        let r = h.read(suite).expect("read despite one crash");
+        assert_eq!(&r.value[..], b"alive");
+    }
+
+    #[test]
+    fn write_with_two_servers_down_is_unavailable() {
+        let mut h = three_server_harness(11);
+        let suite = h.suite_id();
+        h.crash(SiteId(1));
+        h.crash(SiteId(2));
+        let err = h.write(suite, b"nope".to_vec()).expect_err("no quorum");
+        assert!(matches!(err, OpError::Unavailable { .. }));
+    }
+
+    #[test]
+    fn recovery_restores_service() {
+        let mut h = three_server_harness(12);
+        let suite = h.suite_id();
+        h.crash(SiteId(1));
+        h.crash(SiteId(2));
+        assert!(h.write(suite, b"a".to_vec()).is_err());
+        h.recover(SiteId(1));
+        let w = h.write(suite, b"b".to_vec()).expect("quorum back");
+        assert_eq!(w.version, Version(1));
+    }
+
+    #[test]
+    fn partition_blocks_minority_client() {
+        let mut h = three_server_harness(13);
+        let suite = h.suite_id();
+        h.write(suite, b"pre".to_vec()).expect("write");
+        // Cut the client (site 3) off from servers 1 and 2.
+        h.partition(Partition::split(
+            4,
+            &[&[SiteId(0), SiteId(3)], &[SiteId(1), SiteId(2)]],
+        ));
+        let err = h.read(suite).expect_err("one vote is not a read quorum");
+        assert!(matches!(err, OpError::Unavailable { .. }));
+        h.heal();
+        assert!(h.read(suite).is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut h = three_server_harness(seed);
+            let suite = h.suite_id();
+            let w = h.write(suite, b"d".to_vec()).expect("write");
+            let r = h.read(suite).expect("read");
+            (w.latency, r.latency, h.net_stats())
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn builder_rejects_illegal_quorum() {
+        let result = HarnessBuilder::new()
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(1, 1)) // 1 + 1 <= 2: illegal
+            .build();
+        assert!(matches!(result.err(), Some(OpError::IllegalConfig(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn builder_requires_a_client() {
+        let _ = HarnessBuilder::new().site(SiteSpec::server(1)).build();
+    }
+
+    #[test]
+    fn weak_representative_serves_later_reads_locally() {
+        // Workstation (client + weak rep) with a single voting server.
+        let mut h = HarnessBuilder::new()
+            .seed(5)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::client_with_weak())
+            .quorum(QuorumSpec::new(1, 1))
+            .build()
+            .expect("legal");
+        let suite = h.suite_id();
+        let client = SiteId(1);
+        h.write_from(client, suite, b"cached".to_vec()).expect("write");
+        // First read fetches from the server and refreshes the weak rep.
+        let r1 = h.read_from(client, suite).expect("read 1");
+        assert_eq!(&r1.value[..], b"cached");
+        h.advance(SimDuration::from_secs(1)); // let the cache fill land
+        assert_eq!(h.version_at(client, suite), Some(Version(1)));
+        // Second read is served by the local weak representative: its
+        // fetch leg uses the self-link.
+        let r2 = h.read_from(client, suite).expect("read 2");
+        assert_eq!(&r2.value[..], b"cached");
+        assert!(
+            r2.latency <= r1.latency,
+            "cached read ({:?}) should not be slower than remote ({:?})",
+            r2.latency,
+            r1.latency
+        );
+    }
+
+    #[test]
+    fn multiple_suites_are_independent() {
+        let mut h = HarnessBuilder::new()
+            .seed(33)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::majority(3))
+            .suites([ObjectId(10), ObjectId(20), ObjectId(30)])
+            .build()
+            .expect("legal");
+        assert_eq!(h.suite_ids().len(), 3);
+        for (i, &suite) in h.suite_ids().to_vec().iter().enumerate() {
+            h.write(suite, format!("suite-{i}").into_bytes())
+                .expect("write");
+        }
+        for (i, &suite) in h.suite_ids().to_vec().iter().enumerate() {
+            let r = h.read(suite).expect("read");
+            assert_eq!(r.value, format!("suite-{i}").into_bytes());
+            assert_eq!(r.version, Version(1), "versions are per-suite");
+        }
+    }
+
+    #[test]
+    fn transaction_commits_all_suites_atomically() {
+        let mut h = HarnessBuilder::new()
+            .seed(55)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::majority(3))
+            .suites([ObjectId(1), ObjectId(2), ObjectId(3)])
+            .build()
+            .expect("legal");
+        let client = h.default_client();
+        let t = h
+            .transaction(
+                client,
+                vec![
+                    (ObjectId(1), b"alpha".to_vec()),
+                    (ObjectId(2), b"beta".to_vec()),
+                    (ObjectId(3), b"gamma".to_vec()),
+                ],
+            )
+            .expect("transaction commits");
+        assert_eq!(t.versions.len(), 3);
+        assert!(t.versions.iter().all(|(_, v)| *v == Version(1)));
+        for (suite, expect) in [
+            (ObjectId(1), &b"alpha"[..]),
+            (ObjectId(2), &b"beta"[..]),
+            (ObjectId(3), &b"gamma"[..]),
+        ] {
+            let r = h.read(suite).expect("read");
+            assert_eq!(&r.value[..], expect);
+            assert_eq!(r.version, Version(1));
+        }
+        // A second transaction moves both suites it touches to version 2,
+        // leaving the third at 1.
+        let t2 = h
+            .transaction(
+                client,
+                vec![
+                    (ObjectId(1), b"alpha2".to_vec()),
+                    (ObjectId(3), b"gamma2".to_vec()),
+                ],
+            )
+            .expect("transaction commits");
+        assert!(t2.versions.iter().all(|(_, v)| *v == Version(2)));
+        assert_eq!(h.read(ObjectId(2)).expect("read").version, Version(1));
+        assert_eq!(&h.read(ObjectId(1)).expect("read").value[..], b"alpha2");
+    }
+
+    #[test]
+    fn transaction_blocks_when_any_suite_lacks_a_quorum() {
+        // Suites share the same representatives here, so instead make the
+        // whole write quorum unreachable and verify all-or-nothing.
+        let mut h = HarnessBuilder::new()
+            .seed(56)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::majority(3))
+            .suites([ObjectId(1), ObjectId(2)])
+            .build()
+            .expect("legal");
+        let client = h.default_client();
+        h.crash(SiteId(1));
+        h.crash(SiteId(2));
+        let err = h
+            .transaction(
+                client,
+                vec![(ObjectId(1), b"a".to_vec()), (ObjectId(2), b"b".to_vec())],
+            )
+            .expect_err("no quorum");
+        assert!(matches!(err, OpError::Unavailable { .. }));
+        h.recover(SiteId(1));
+        h.recover(SiteId(2));
+        // Nothing leaked: both suites still at version 0.
+        for suite in [ObjectId(1), ObjectId(2)] {
+            assert_eq!(h.read(suite).expect("read").version, Version(0));
+        }
+    }
+
+    #[test]
+    fn transaction_with_unknown_suite_fails_cleanly() {
+        let mut h = three_server_harness(57);
+        let client = h.default_client();
+        let err = h
+            .transaction(client, vec![(ObjectId(99), b"x".to_vec())])
+            .expect_err("unknown");
+        assert_eq!(err, OpError::UnknownSuite);
+    }
+
+    #[test]
+    fn read_modify_write_applies_a_function_atomically() {
+        let mut h = three_server_harness(44);
+        let suite = h.suite_id();
+        h.write(suite, 5u64.to_le_bytes().to_vec()).expect("init");
+        let client = h.default_client();
+        for _ in 0..4 {
+            h.read_modify_write(
+                client,
+                suite,
+                |old| {
+                    let mut v = [0u8; 8];
+                    v.copy_from_slice(old);
+                    (u64::from_le_bytes(v) + 10).to_le_bytes().to_vec()
+                },
+                5,
+            )
+            .expect("rmw");
+        }
+        let r = h.read(suite).expect("read");
+        let mut v = [0u8; 8];
+        v.copy_from_slice(&r.value);
+        assert_eq!(u64::from_le_bytes(v), 45);
+        assert_eq!(r.version, Version(5), "init + 4 increments");
+    }
+
+    #[test]
+    fn online_reconfiguration_changes_quorums() {
+        let mut h = three_server_harness(21);
+        let suite = h.suite_id();
+        h.write(suite, b"before".to_vec()).expect("write");
+        // Move to read-one/write-all.
+        let assignment = VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]);
+        let w = h
+            .reconfigure_from(h.default_client(), suite, assignment, QuorumSpec::new(1, 3))
+            .expect("reconfigure");
+        assert_eq!(w.version, Version(2), "config generation moved to 2");
+        // Writes now install everywhere.
+        h.write(suite, b"after".to_vec()).expect("write");
+        for s in SiteId::all(3) {
+            assert_eq!(h.value_at(s, suite).expect("server"), &b"after"[..]);
+        }
+        let r = h.read(suite).expect("read");
+        assert_eq!(&r.value[..], b"after");
+    }
+}

@@ -1,0 +1,66 @@
+//! Weighted voting for replicated data — Gifford, SOSP 1979.
+//!
+//! A *file suite* is a logical object realised as a set of
+//! *representatives* (copies), each assigned a number of **votes**. The
+//! suite carries a read quorum `r` and a write quorum `w` with
+//! `r + w > N` (N = total votes), so every read quorum intersects every
+//! write quorum. Every representative stores a **version number**; the
+//! current contents are those with the highest version number in any read
+//! quorum. Zero-vote *weak representatives* serve as caches: they never
+//! count toward quorums but can satisfy reads at local latency once
+//! validated.
+//!
+//! Crate layout:
+//!
+//! * [`votes`] — vote assignments over sites.
+//! * [`quorum`] — quorum specifications, legality, and quorum-set math.
+//! * [`suite`] — the replicated suite configuration (the paper's "prefix").
+//! * [`msg`] — the wire protocol between clients and suite servers.
+//! * [`server`] — the representative server: container + locks + voting.
+//! * [`client`] — client-side read/write/reconfigure state machines.
+//! * [`node`] — the combined node type hosting servers and clients.
+//! * [`harness`] — a synchronous facade over a simulated cluster; the API
+//!   the examples and experiments drive.
+//! * [`error`] — operation outcomes.
+//!
+//! # Examples
+//!
+//! ```
+//! use wv_core::harness::{HarnessBuilder, SiteSpec};
+//! use wv_core::quorum::QuorumSpec;
+//!
+//! // Three representatives with one vote each, r = 2, w = 2.
+//! let mut h = HarnessBuilder::new()
+//!     .seed(7)
+//!     .site(SiteSpec::server(1))
+//!     .site(SiteSpec::server(1))
+//!     .site(SiteSpec::server(1))
+//!     .client()
+//!     .quorum(QuorumSpec::new(2, 2))
+//!     .build()
+//!     .expect("valid configuration");
+//!
+//! let suite = h.suite_id();
+//! h.write(suite, b"hello".to_vec()).expect("write succeeds");
+//! let read = h.read(suite).expect("read succeeds");
+//! assert_eq!(&read.value[..], b"hello");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod harness;
+pub mod msg;
+pub mod node;
+pub mod quorum;
+pub mod server;
+pub mod suite;
+pub mod votes;
+
+pub use error::{OpError, OpKind};
+pub use harness::{Harness, HarnessBuilder, SiteSpec};
+pub use quorum::QuorumSpec;
+pub use suite::SuiteConfig;
+pub use votes::VoteAssignment;
+pub use wv_storage::{ObjectId, Version};

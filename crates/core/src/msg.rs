@@ -1,0 +1,287 @@
+//! The wire protocol between clients and suite servers.
+//!
+//! Requests flow client → server, responses server → client; the only
+//! server-initiated message is [`Msg::DecisionReq`], the participant's
+//! recovery-time question to the write coordinator. Every request carries
+//! the client's configuration generation so servers can reject requests
+//! built against a superseded configuration ([`Msg::StaleConfig`]).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use wv_storage::{ObjectId, Version};
+use wv_txn::Vote;
+
+use crate::suite::SuiteConfig;
+
+/// Identifies one operation attempt, unique across the cluster.
+///
+/// Layout: `counter << 16 | client_site`. The counter-major ordering makes
+/// req ids usable directly as wait-die timestamps (earlier operations are
+/// "older"), and the low bits let a recovering participant find its
+/// coordinator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct ReqId(pub u64);
+
+impl ReqId {
+    /// Builds a request id from a client-local counter and the client site.
+    pub fn new(counter: u64, client_site: wv_net::SiteId) -> Self {
+        assert!(counter < (1 << 48), "request counter exhausted");
+        ReqId((counter << 16) | u64::from(client_site.0))
+    }
+
+    /// The coordinating client's site.
+    pub fn coordinator(self) -> wv_net::SiteId {
+        wv_net::SiteId((self.0 & 0xFFFF) as u16)
+    }
+
+    /// The client-local counter.
+    pub fn counter(self) -> u64 {
+        self.0 >> 16
+    }
+}
+
+/// One staged install within a [`Msg::Prepare`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PrepareWrite {
+    /// The suite the install belongs to.
+    pub suite: ObjectId,
+    /// The target object (the suite's data or config object).
+    pub object: ObjectId,
+    /// The version to install.
+    pub version: Version,
+    /// The contents.
+    pub value: Bytes,
+    /// The coordinator's configuration generation for this suite.
+    pub generation: u64,
+}
+
+/// Protocol messages.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    // ---- version inquiry (the cheap "check the version number" round) ----
+    /// Client asks a representative for its current version number.
+    VersionReq {
+        /// Suite being read.
+        suite: ObjectId,
+        /// Operation attempt.
+        req: ReqId,
+    },
+
+    /// Representative's answer: committed version plus config generation.
+    VersionResp {
+        /// The suite inquired about.
+        suite: ObjectId,
+        /// The inquiring operation.
+        req: ReqId,
+        /// Committed version of the data object at this representative.
+        version: Version,
+        /// The representative's configuration generation for the suite.
+        generation: u64,
+    },
+
+    // ---- content read ----
+    /// Client fetches the contents from a chosen representative.
+    ReadReq {
+        /// The suite to read.
+        suite: ObjectId,
+        /// The reading operation.
+        req: ReqId,
+    },
+    /// Contents response.
+    ReadResp {
+        /// The suite read.
+        suite: ObjectId,
+        /// The reading operation.
+        req: ReqId,
+        /// Version of the returned contents.
+        version: Version,
+        /// The contents.
+        value: Bytes,
+    },
+    /// The object is commit-locked by an in-flight write; retry shortly.
+    Busy {
+        /// The suite that was busy.
+        suite: ObjectId,
+        /// The turned-away operation.
+        req: ReqId,
+    },
+
+    // ---- write (client-coordinated two-phase commit over the quorum) ----
+    /// Stage-and-promise: install every entry of `writes` atomically at
+    /// this site if told to commit. Ordinary writes carry one entry for
+    /// the suite's data object; reconfigurations target the config
+    /// object; multi-suite transactions batch one entry per suite this
+    /// site serves.
+    Prepare {
+        /// The preparing operation.
+        req: ReqId,
+        /// The staged installs, applied all-or-nothing at this site.
+        writes: Vec<PrepareWrite>,
+        /// Wait-die age of the *operation* (first attempt's counter), so a
+        /// retried write keeps its seniority and cannot be starved.
+        lock_ts: u64,
+    },
+    /// Participant's vote on a prepare.
+    PrepareVote {
+        /// The (primary) suite of the prepared write.
+        suite: ObjectId,
+        /// The voting operation.
+        req: ReqId,
+        /// Yes or no.
+        vote: Vote,
+    },
+    /// Coordinator decision: commit.
+    Commit {
+        /// The (primary) suite of the decided write.
+        suite: ObjectId,
+        /// The decided operation.
+        req: ReqId,
+    },
+    /// Coordinator decision: abort. Also sent on timeouts; idempotent.
+    Abort {
+        /// The (primary) suite of the decided write.
+        suite: ObjectId,
+        /// The decided operation.
+        req: ReqId,
+    },
+    /// Participant confirms the decision was applied.
+    Ack {
+        /// The (primary) suite of the decision.
+        suite: ObjectId,
+        /// The acknowledged operation.
+        req: ReqId,
+        /// True if the ack confirms a commit, false for an abort.
+        committed: bool,
+    },
+
+    // ---- configuration (the replicated prefix) ----
+    /// Client asks for the representative's current suite configuration.
+    ConfigReq {
+        /// The suite whose configuration is wanted.
+        suite: ObjectId,
+        /// The asking operation.
+        req: ReqId,
+    },
+    /// The configuration.
+    ConfigResp {
+        /// The suite configured.
+        suite: ObjectId,
+        /// The asking operation.
+        req: ReqId,
+        /// The server's current configuration.
+        config: SuiteConfig,
+    },
+    /// The request carried a stale generation; refresh via `ConfigReq`.
+    StaleConfig {
+        /// The suite whose configuration moved on.
+        suite: ObjectId,
+        /// The rejected operation.
+        req: ReqId,
+        /// The responding server's generation.
+        generation: u64,
+    },
+
+    // ---- weak representatives ----
+    /// Fire-and-forget cache fill for a weak representative; applied only
+    /// if `version` is newer than what the weak representative holds.
+    UpdateWeak {
+        /// The suite whose cache is refreshed.
+        suite: ObjectId,
+        /// The version being offered.
+        version: Version,
+        /// The contents being offered.
+        value: Bytes,
+    },
+
+    // ---- recovery ----
+    /// A recovering participant asks the coordinator how `req` ended.
+    DecisionReq {
+        /// The (primary) suite of the in-doubt write.
+        suite: ObjectId,
+        /// The in-doubt operation.
+        req: ReqId,
+    },
+}
+
+impl Msg {
+    /// True for messages handled by a server (representative) node.
+    pub fn is_server_bound(&self) -> bool {
+        matches!(
+            self,
+            Msg::VersionReq { .. }
+                | Msg::ReadReq { .. }
+                | Msg::Prepare { .. }
+                | Msg::Commit { .. }
+                | Msg::Abort { .. }
+                | Msg::ConfigReq { .. }
+                | Msg::UpdateWeak { .. }
+        )
+    }
+
+    /// True for messages handled by a client node.
+    pub fn is_client_bound(&self) -> bool {
+        !self.is_server_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_net::SiteId;
+
+    #[test]
+    fn req_id_round_trips() {
+        let r = ReqId::new(12345, SiteId(7));
+        assert_eq!(r.coordinator(), SiteId(7));
+        assert_eq!(r.counter(), 12345);
+    }
+
+    #[test]
+    fn req_id_orders_by_counter_first() {
+        let a = ReqId::new(1, SiteId(9));
+        let b = ReqId::new(2, SiteId(0));
+        assert!(a < b, "earlier counter must be older regardless of site");
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn req_id_counter_bound() {
+        let _ = ReqId::new(1 << 48, SiteId(0));
+    }
+
+    #[test]
+    fn direction_classification_is_total() {
+        let suite = ObjectId(1);
+        let req = ReqId::new(1, SiteId(0));
+        let msgs = [
+            Msg::VersionReq { suite, req },
+            Msg::VersionResp {
+                suite,
+                req,
+                version: Version(0),
+                generation: 1,
+            },
+            Msg::ReadReq { suite, req },
+            Msg::Busy { suite, req },
+            Msg::Commit { suite, req },
+            Msg::Ack {
+                suite,
+                req,
+                committed: true,
+            },
+            Msg::DecisionReq { suite, req },
+            Msg::UpdateWeak {
+                suite,
+                version: Version(1),
+                value: Bytes::new(),
+            },
+        ];
+        for m in msgs {
+            assert_ne!(
+                m.is_server_bound(),
+                m.is_client_bound(),
+                "message must belong to exactly one side: {m:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The combined per-site node.
+//!
+//! The paper's workstations host a weak representative *and* the
+//! application using the suite; file servers host strong representatives.
+//! [`SystemNode`] composes [`SuiteServer`] and [`ClientNode`] so a site can
+//! play either or both roles behind one `wv_net::Node` implementation.
+//!
+//! Message routing is by message direction ([`Msg::is_server_bound`]).
+//! Timer tokens are disjoint by construction: client timers have the top
+//! bit set (see `client::CLIENT_TIMER_TAG`), server timers are request ids
+//! (whose counters stay far below the top bit).
+
+use wv_net::{Node, NodeCtx, SiteId};
+
+use crate::client::{ClientNode, CLIENT_TIMER_TAG};
+use crate::msg::Msg;
+use crate::server::SuiteServer;
+
+/// A site's node: server, client, or both.
+///
+/// Variants differ in size; a cluster holds one node per site, so the
+/// footprint is negligible and boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
+pub enum SystemNode {
+    /// A file server hosting representatives.
+    Server(SuiteServer),
+    /// A pure client machine.
+    Client(ClientNode),
+    /// A workstation: client plus (typically weak) representative.
+    Both {
+        /// The representative half.
+        server: SuiteServer,
+        /// The application half.
+        client: ClientNode,
+    },
+}
+
+impl SystemNode {
+    /// The client half, if this site has one.
+    pub fn as_client(&self) -> Option<&ClientNode> {
+        match self {
+            SystemNode::Client(c) => Some(c),
+            SystemNode::Both { client, .. } => Some(client),
+            SystemNode::Server(_) => None,
+        }
+    }
+
+    /// Mutable client half, if this site has one.
+    pub fn as_client_mut(&mut self) -> Option<&mut ClientNode> {
+        match self {
+            SystemNode::Client(c) => Some(c),
+            SystemNode::Both { client, .. } => Some(client),
+            SystemNode::Server(_) => None,
+        }
+    }
+
+    /// The server half, if this site has one.
+    pub fn as_server(&self) -> Option<&SuiteServer> {
+        match self {
+            SystemNode::Server(s) => Some(s),
+            SystemNode::Both { server, .. } => Some(server),
+            SystemNode::Client(_) => None,
+        }
+    }
+
+    /// Mutable server half, if this site has one.
+    pub fn as_server_mut(&mut self) -> Option<&mut SuiteServer> {
+        match self {
+            SystemNode::Server(s) => Some(s),
+            SystemNode::Both { server, .. } => Some(server),
+            SystemNode::Client(_) => None,
+        }
+    }
+}
+
+impl Node for SystemNode {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
+        match self {
+            SystemNode::Server(s) => s.handle(from, msg, ctx),
+            SystemNode::Client(c) => c.handle(from, msg, ctx),
+            SystemNode::Both { server, client } => {
+                if msg.is_server_bound() {
+                    server.handle(from, msg, ctx);
+                } else {
+                    client.handle(from, msg, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, Msg>) {
+        match self {
+            SystemNode::Server(s) => s.handle_timer(token, ctx),
+            SystemNode::Client(c) => c.handle_timer(token, ctx),
+            SystemNode::Both { server, client } => {
+                if token & CLIENT_TIMER_TAG != 0 {
+                    client.handle_timer(token, ctx);
+                } else {
+                    server.handle_timer(token, ctx);
+                }
+            }
+        }
+    }
+
+    fn on_crash(&mut self) {
+        match self {
+            SystemNode::Server(s) => s.handle_crash(),
+            SystemNode::Client(c) => c.handle_crash(),
+            SystemNode::Both { server, client } => {
+                server.handle_crash();
+                client.handle_crash();
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        match self {
+            SystemNode::Server(s) => s.handle_recover(ctx),
+            SystemNode::Client(c) => c.handle_recover(),
+            SystemNode::Both { server, client } => {
+                server.handle_recover(ctx);
+                client.handle_recover();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::ClientOptions;
+    use crate::quorum::QuorumSpec;
+    use crate::suite::SuiteConfig;
+    use crate::votes::VoteAssignment;
+    use wv_storage::ObjectId;
+    use wv_txn::lock::DeadlockPolicy;
+
+    fn cfg() -> SuiteConfig {
+        SuiteConfig::new(
+            ObjectId(1),
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 0)]),
+            QuorumSpec::new(1, 1),
+        )
+        .expect("legal")
+    }
+
+    #[test]
+    fn role_accessors() {
+        let s = SystemNode::Server(SuiteServer::new(
+            SiteId(0),
+            vec![cfg()],
+            DeadlockPolicy::WaitDie,
+        ));
+        assert!(s.as_server().is_some());
+        assert!(s.as_client().is_none());
+
+        let c = SystemNode::Client(ClientNode::new(
+            SiteId(2),
+            vec![cfg()],
+            vec![1.0; 3],
+            ClientOptions::default(),
+        ));
+        assert!(c.as_client().is_some());
+        assert!(c.as_server().is_none());
+
+        let mut b = SystemNode::Both {
+            server: SuiteServer::new(SiteId(1), vec![cfg()], DeadlockPolicy::WaitDie),
+            client: ClientNode::new(SiteId(1), vec![cfg()], vec![1.0; 3], ClientOptions::default()),
+        };
+        assert!(b.as_client().is_some());
+        assert!(b.as_server().is_some());
+        assert!(b.as_client_mut().is_some());
+        assert!(b.as_server_mut().is_some());
+    }
+}

@@ -1,0 +1,998 @@
+//! The suite server: a representative's container, locks, and voting.
+//!
+//! One [`SuiteServer`] runs per hosting site (strong or weak). It serves
+//! version inquiries and content reads from committed state, participates
+//! in client-coordinated two-phase commit for writes (staging the new
+//! version under an exclusive lock, voting, then installing or discarding),
+//! applies fire-and-forget weak-representative updates monotonically, and
+//! resolves in-doubt transactions after a crash by asking the coordinator.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use wv_net::{Node, NodeCtx, SiteId};
+use wv_sim::SimDuration;
+use wv_storage::{Container, ObjectId, TxId, Version};
+use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
+use wv_txn::Vote;
+
+use crate::msg::{Msg, PrepareWrite, ReqId};
+use crate::suite::{config_object, data_object, suite_of_config_object, SuiteConfig};
+
+/// Server-side counters for the experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Version inquiries answered.
+    pub inquiries: u64,
+    /// Content reads served.
+    pub reads: u64,
+    /// Reads turned away because the object was commit-locked.
+    pub busy: u64,
+    /// Prepares received.
+    pub prepares: u64,
+    /// Yes votes sent.
+    pub votes_yes: u64,
+    /// No votes sent.
+    pub votes_no: u64,
+    /// Writes committed.
+    pub commits: u64,
+    /// Writes aborted.
+    pub aborts: u64,
+    /// Requests rejected for stale configuration generation.
+    pub stale_config: u64,
+    /// Weak-representative updates applied (not counting stale ones).
+    pub weak_updates: u64,
+    /// Crash recoveries performed.
+    pub recoveries: u64,
+    /// In-doubt decision probes sent to coordinators.
+    pub decision_probes: u64,
+    /// Log compactions performed.
+    pub checkpoints: u64,
+}
+
+#[derive(Clone, Debug)]
+struct PendingWrite {
+    tx: TxId,
+    token: TxToken,
+    objects: Vec<ObjectId>,
+    suite: ObjectId,
+}
+
+#[derive(Clone, Debug)]
+struct WaitingPrepare {
+    from: SiteId,
+    req: ReqId,
+    writes: Vec<PrepareWrite>,
+}
+
+/// A representative server node.
+pub struct SuiteServer {
+    site: SiteId,
+    container: Container,
+    locks: LockManager,
+    policy: DeadlockPolicy,
+    configs: HashMap<ObjectId, SuiteConfig>,
+    pending: HashMap<ReqId, PendingWrite>,
+    waiting: HashMap<TxToken, WaitingPrepare>,
+    /// How long a prepared transaction waits before probing its
+    /// coordinator for the decision.
+    resolve_after: SimDuration,
+    /// Checkpoint the container whenever its log reaches this many
+    /// records, keeping recovery time proportional to live state.
+    checkpoint_threshold: usize,
+    /// Counters.
+    pub stats: ServerStats,
+}
+
+impl SuiteServer {
+    /// Creates a server at `site` hosting representatives for `configs`.
+    ///
+    /// Each suite's configuration is committed into the container (the
+    /// replicated prefix) at a version equal to its generation; data
+    /// objects start at [`Version::INITIAL`] with empty contents.
+    pub fn new(site: SiteId, configs: Vec<SuiteConfig>, policy: DeadlockPolicy) -> Self {
+        let mut container = Container::new();
+        let mut map = HashMap::new();
+        for cfg in configs {
+            let tx = container.begin().expect("fresh container");
+            container
+                .stage_put(
+                    tx,
+                    config_object(cfg.suite),
+                    Version(cfg.generation),
+                    cfg.encode(),
+                )
+                .expect("stage config");
+            container.commit(tx).expect("commit config");
+            map.insert(cfg.suite, cfg);
+        }
+        SuiteServer {
+            site,
+            container,
+            locks: LockManager::new(policy),
+            policy,
+            configs: map,
+            pending: HashMap::new(),
+            waiting: HashMap::new(),
+            resolve_after: SimDuration::from_secs(5),
+            checkpoint_threshold: 512,
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// Overrides the in-doubt probe interval.
+    pub fn set_resolve_after(&mut self, d: SimDuration) {
+        self.resolve_after = d;
+    }
+
+    /// Overrides the log-compaction threshold (records).
+    pub fn set_checkpoint_threshold(&mut self, records: usize) {
+        assert!(records > 0, "threshold must be positive");
+        self.checkpoint_threshold = records;
+    }
+
+    fn maybe_checkpoint(&mut self) {
+        if self.container.wal().len() >= self.checkpoint_threshold {
+            self.container
+                .checkpoint()
+                .expect("server container is up");
+            self.stats.checkpoints += 1;
+        }
+    }
+
+    /// This server's site.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The committed version of a suite's data at this representative.
+    pub fn data_version(&self, suite: ObjectId) -> Version {
+        self.container
+            .read_version(data_object(suite))
+            .unwrap_or(Version::INITIAL)
+    }
+
+    /// The committed contents of a suite's data at this representative.
+    pub fn data_value(&self, suite: ObjectId) -> Bytes {
+        self.container
+            .read(data_object(suite))
+            .map(|vv| vv.value)
+            .unwrap_or_default()
+    }
+
+    /// The configuration this server currently holds for `suite`.
+    pub fn config(&self, suite: ObjectId) -> Option<&SuiteConfig> {
+        self.configs.get(&suite)
+    }
+
+    /// Number of unresolved prepared writes (for tests).
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Direct access to the container (tests and benches).
+    pub fn container(&self) -> &Container {
+        &self.container
+    }
+
+    fn generation_of(&self, suite: ObjectId) -> u64 {
+        self.configs.get(&suite).map_or(0, |c| c.generation)
+    }
+
+    /// Completes a prepare whose locks are (now) all held: version-check
+    /// every entry, stage them into one atomic transaction, promise, vote.
+    fn finish_prepare(&mut self, w: WaitingPrepare, token: TxToken, ctx: &mut NodeCtx<'_, Msg>) {
+        let suite = w.writes.first().map(|pw| pw.suite).unwrap_or(ObjectId(0));
+        let stale = w.writes.iter().any(|pw| {
+            let committed = self
+                .container
+                .read_version(pw.object)
+                .unwrap_or(Version::INITIAL);
+            // A concurrent writer already installed this or a later
+            // version; voting yes would let the coordinator regress it.
+            pw.version <= committed
+        });
+        if stale {
+            for g in self.locks.release_all(token) {
+                self.resume_waiter(g.tx, ctx);
+            }
+            self.stats.votes_no += 1;
+            ctx.send(
+                w.from,
+                Msg::PrepareVote {
+                    suite,
+                    req: w.req,
+                    vote: Vote::No,
+                },
+            );
+            return;
+        }
+        let tx = self.container.begin().expect("server container is up");
+        for pw in &w.writes {
+            self.container
+                .stage_put(tx, pw.object, pw.version, pw.value.clone())
+                .expect("stage into fresh tx");
+        }
+        self.container
+            .prepare_with_note(tx, w.req.0)
+            .expect("prepare fresh tx");
+        self.pending.insert(
+            w.req,
+            PendingWrite {
+                tx,
+                token,
+                objects: w.writes.iter().map(|pw| pw.object).collect(),
+                suite,
+            },
+        );
+        // Probe the coordinator if the decision takes too long.
+        ctx.set_timer(self.resolve_after, w.req.0);
+        self.stats.votes_yes += 1;
+        ctx.send(
+            w.from,
+            Msg::PrepareVote {
+                suite,
+                req: w.req,
+                vote: Vote::Yes,
+            },
+        );
+    }
+
+    fn resume_waiter(&mut self, token: TxToken, ctx: &mut NodeCtx<'_, Msg>) {
+        if let Some(w) = self.waiting.remove(&token) {
+            self.finish_prepare(w, token, ctx);
+        }
+    }
+
+    fn apply_commit(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) -> bool {
+        let Some(p) = self.pending.remove(&req) else {
+            return false;
+        };
+        self.container.commit(p.tx).expect("commit prepared tx");
+        for object in &p.objects {
+            if let Some(suite) = suite_of_config_object(*object) {
+                self.reload_config(suite);
+            }
+        }
+        self.maybe_checkpoint();
+        self.stats.commits += 1;
+        let granted = self.locks.release_all(p.token);
+        for g in granted {
+            self.resume_waiter(g.tx, ctx);
+        }
+        true
+    }
+
+    fn apply_abort(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        if let Some(p) = self.pending.remove(&req) {
+            self.container.abort(p.tx).expect("abort prepared tx");
+            self.stats.aborts += 1;
+            let granted = self.locks.release_all(p.token);
+            for g in granted {
+                self.resume_waiter(g.tx, ctx);
+            }
+            return;
+        }
+        // Abort of a queued (not yet prepared) request.
+        if let Some((&token, _)) = self.waiting.iter().find(|(_, w)| w.req == req) {
+            self.waiting.remove(&token);
+            let granted = self.locks.release_all(token);
+            for g in granted {
+                self.resume_waiter(g.tx, ctx);
+            }
+            self.stats.aborts += 1;
+        }
+    }
+
+    fn reload_config(&mut self, suite: ObjectId) {
+        if let Ok(vv) = self.container.read(config_object(suite)) {
+            if let Some(cfg) = SuiteConfig::decode(&vv.value) {
+                self.configs.insert(suite, cfg);
+            }
+        }
+    }
+
+    /// Handles one protocol message. Exposed so composite nodes can
+    /// delegate.
+    pub fn handle(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
+        match msg {
+            Msg::VersionReq { suite, req } => {
+                self.stats.inquiries += 1;
+                let version = self.data_version(suite);
+                ctx.send(
+                    from,
+                    Msg::VersionResp {
+                        suite,
+                        req,
+                        version,
+                        generation: self.generation_of(suite),
+                    },
+                );
+            }
+            Msg::ReadReq { suite, req } => {
+                let object = data_object(suite);
+                if self.locks.exclusive_holder(object).is_some() {
+                    self.stats.busy += 1;
+                    ctx.send(from, Msg::Busy { suite, req });
+                    return;
+                }
+                self.stats.reads += 1;
+                let vv = self
+                    .container
+                    .read(object)
+                    .expect("server container is up");
+                ctx.send(
+                    from,
+                    Msg::ReadResp {
+                        suite,
+                        req,
+                        version: vv.version,
+                        value: vv.value,
+                    },
+                );
+            }
+            Msg::ConfigReq { suite, req } => {
+                if let Some(cfg) = self.configs.get(&suite) {
+                    ctx.send(
+                        from,
+                        Msg::ConfigResp {
+                            suite,
+                            req,
+                            config: cfg.clone(),
+                        },
+                    );
+                }
+            }
+            Msg::UpdateWeak {
+                suite,
+                version,
+                value,
+            } => {
+                let object = data_object(suite);
+                let committed = self
+                    .container
+                    .read_version(object)
+                    .unwrap_or(Version::INITIAL);
+                // Monotonic install: never regress the cache, and never
+                // overwrite while a write transaction holds the object.
+                if version > committed && self.locks.exclusive_holder(object).is_none() {
+                    let tx = self.container.begin().expect("up");
+                    self.container
+                        .stage_put(tx, object, version, value)
+                        .expect("stage weak update");
+                    self.container.commit(tx).expect("commit weak update");
+                    self.stats.weak_updates += 1;
+                }
+            }
+            Msg::Prepare {
+                req,
+                writes,
+                lock_ts,
+            } => {
+                self.stats.prepares += 1;
+                let suite = writes.first().map(|pw| pw.suite).unwrap_or(ObjectId(0));
+                // Configuration staleness check per entry.
+                for pw in &writes {
+                    let my_gen = self.generation_of(pw.suite);
+                    if pw.generation < my_gen {
+                        self.stats.stale_config += 1;
+                        ctx.send(
+                            from,
+                            Msg::StaleConfig {
+                                suite: pw.suite,
+                                req,
+                                generation: my_gen,
+                            },
+                        );
+                        return;
+                    }
+                }
+                if self.pending.contains_key(&req) {
+                    // Duplicate prepare (network duplication); re-vote yes.
+                    self.stats.votes_yes += 1;
+                    ctx.send(
+                        from,
+                        Msg::PrepareVote {
+                            suite,
+                            req,
+                            vote: Vote::Yes,
+                        },
+                    );
+                    return;
+                }
+                let token = TxToken::new(lock_ts, req.0);
+                // Acquire every object's commit lock, all-or-nothing.
+                // Single-object prepares may queue (the common case); a
+                // batch that cannot take everything immediately votes no
+                // rather than holding some locks while waiting on others.
+                let single = writes.len() == 1;
+                let mut all_granted = true;
+                let mut queued = false;
+                for pw in &writes {
+                    match self.locks.lock(token, pw.object, LockMode::Exclusive) {
+                        LockReply::Granted => {}
+                        LockReply::Queued if single => {
+                            queued = true;
+                        }
+                        LockReply::Queued | LockReply::Aborted => {
+                            all_granted = false;
+                            break;
+                        }
+                    }
+                }
+                let waiting = WaitingPrepare { from, req, writes };
+                if queued {
+                    self.waiting.insert(token, waiting);
+                    return;
+                }
+                if all_granted {
+                    self.finish_prepare(waiting, token, ctx);
+                } else {
+                    for g in self.locks.release_all(token) {
+                        self.resume_waiter(g.tx, ctx);
+                    }
+                    self.stats.votes_no += 1;
+                    ctx.send(
+                        from,
+                        Msg::PrepareVote {
+                            suite,
+                            req,
+                            vote: Vote::No,
+                        },
+                    );
+                }
+            }
+            Msg::Commit { suite, req } => {
+                self.apply_commit(req, ctx);
+                // Idempotent ack either way: a duplicate commit means the
+                // decision was commit.
+                ctx.send(
+                    from,
+                    Msg::Ack {
+                        suite,
+                        req,
+                        committed: true,
+                    },
+                );
+            }
+            Msg::Abort { suite, req } => {
+                self.apply_abort(req, ctx);
+                ctx.send(
+                    from,
+                    Msg::Ack {
+                        suite,
+                        req,
+                        committed: false,
+                    },
+                );
+            }
+            // Client-bound messages that a composite node may mis-route
+            // here are ignored.
+            _ => {}
+        }
+    }
+
+    /// Timer callback: probe the coordinator about an unresolved prepared
+    /// write.
+    pub fn handle_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, Msg>) {
+        let req = ReqId(token);
+        if let Some(p) = self.pending.get(&req) {
+            self.stats.decision_probes += 1;
+            ctx.send(
+                req.coordinator(),
+                Msg::DecisionReq {
+                    suite: p.suite,
+                    req,
+                },
+            );
+            ctx.set_timer(self.resolve_after, token);
+        }
+    }
+
+    /// Crash: volatile state is lost; the container keeps its durable log.
+    pub fn handle_crash(&mut self) {
+        self.container.crash();
+        self.locks = LockManager::new(self.policy);
+        self.pending.clear();
+        self.waiting.clear();
+        self.configs.clear();
+    }
+
+    /// Recovery: replay the log, restore configurations, re-lock in-doubt
+    /// transactions, and ask coordinators for their decisions.
+    pub fn handle_recover(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        self.container.recover();
+        self.stats.recoveries += 1;
+        // Restore configuration cache from committed config objects.
+        let config_suites: Vec<ObjectId> = self
+            .container
+            .objects()
+            .filter_map(suite_of_config_object)
+            .collect();
+        for suite in config_suites {
+            self.reload_config(suite);
+        }
+        // Re-arm in-doubt transactions: take back their locks and ask the
+        // coordinators how things ended.
+        for (tx, note) in self.container.in_doubt_notes() {
+            let req = ReqId(note);
+            let token = TxToken::new(req.0, req.0);
+            let objects = self.container.staged_objects(tx);
+            let Some(&object) = objects.first() else {
+                continue;
+            };
+            for obj in &objects {
+                // The lock table is empty at this point; grants are
+                // unconditional.
+                let reply = self.locks.lock(token, *obj, LockMode::Exclusive);
+                debug_assert_eq!(reply, LockReply::Granted);
+            }
+            let suite = suite_of_config_object(object).unwrap_or(object);
+            self.pending.insert(
+                req,
+                PendingWrite {
+                    tx,
+                    token,
+                    objects,
+                    suite,
+                },
+            );
+            self.stats.decision_probes += 1;
+            ctx.send(req.coordinator(), Msg::DecisionReq { suite, req });
+            ctx.set_timer(self.resolve_after, req.0);
+        }
+    }
+}
+
+impl Node for SuiteServer {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
+        self.handle(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, Msg>) {
+        self.handle_timer(token, ctx);
+    }
+
+    fn on_crash(&mut self) {
+        self.handle_crash();
+    }
+
+    fn on_recover(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        self.handle_recover(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quorum::QuorumSpec;
+    use crate::votes::VoteAssignment;
+    use wv_sim::{DetRng, SimTime};
+
+    fn test_config() -> SuiteConfig {
+        SuiteConfig::new(
+            ObjectId(1),
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 2),
+        )
+        .expect("legal")
+    }
+
+    fn server() -> SuiteServer {
+        SuiteServer::new(SiteId(0), vec![test_config()], DeadlockPolicy::WaitDie)
+    }
+
+    fn ctx_pair(rng: &mut DetRng) -> NodeCtx<'_, Msg> {
+        NodeCtx::new(SimTime::ZERO, SiteId(0), rng)
+    }
+
+    fn sent(ctx: &mut NodeCtx<'_, Msg>) -> Vec<(SiteId, Msg)> {
+        ctx.take_effects()
+            .into_iter()
+            .filter_map(|e| match e {
+                wv_net::node::Effect::Send { to, msg } => Some((to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    const CLIENT: SiteId = SiteId(9);
+    const SUITE: ObjectId = ObjectId(1);
+
+    fn req(n: u64) -> ReqId {
+        ReqId::new(n, CLIENT)
+    }
+
+    fn prepare_msg(r: ReqId, version: u64, value: &'static [u8]) -> Msg {
+        Msg::Prepare {
+            req: r,
+            writes: vec![PrepareWrite {
+                suite: SUITE,
+                object: data_object(SUITE),
+                version: Version(version),
+                value: Bytes::from_static(value),
+                generation: 1,
+            }],
+            lock_ts: r.0,
+        }
+    }
+
+    #[test]
+    fn version_inquiry_answers_initial_state() {
+        let mut s = server();
+        let mut rng = DetRng::new(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::VersionReq { suite: SUITE, req: req(1) }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(
+            &out[0].1,
+            Msg::VersionResp { version, generation, .. }
+                if *version == Version(0) && *generation == 1
+        ));
+        assert_eq!(s.stats.inquiries, 1);
+    }
+
+    #[test]
+    fn prepare_commit_installs_new_version() {
+        let mut s = server();
+        let mut rng = DetRng::new(2);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"new"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote { vote: Vote::Yes, .. }
+        ));
+        // Not yet visible.
+        assert_eq!(s.data_version(SUITE), Version(0));
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(&out[0].1, Msg::Ack { committed: true, .. }));
+        assert_eq!(s.data_version(SUITE), Version(1));
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"new"));
+        assert_eq!(s.pending_writes(), 0);
+    }
+
+    #[test]
+    fn stale_version_prepare_votes_no() {
+        let mut s = server();
+        let mut rng = DetRng::new(3);
+        let r1 = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r1, 1, b"a"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r1 }, &mut ctx);
+        let _ = sent(&mut ctx);
+        // A second writer that still thinks the version is 0 prepares v1.
+        let r2 = req(2);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r2, 1, b"b"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote { vote: Vote::No, .. }
+        ));
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"a"));
+    }
+
+    #[test]
+    fn reads_are_turned_away_while_commit_locked() {
+        let mut s = server();
+        let mut rng = DetRng::new(4);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::ReadReq { suite: SUITE, req: req(2) }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(&out[0].1, Msg::Busy { .. }));
+        assert_eq!(s.stats.busy, 1);
+        // Version inquiries still answer (they serve committed state).
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::VersionReq { suite: SUITE, req: req(3) }, &mut ctx);
+        assert!(matches!(&sent(&mut ctx)[0].1, Msg::VersionResp { .. }));
+        // After abort the read proceeds.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Abort { suite: SUITE, req: r }, &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::ReadReq { suite: SUITE, req: req(4) }, &mut ctx);
+        assert!(matches!(&sent(&mut ctx)[0].1, Msg::ReadResp { .. }));
+    }
+
+    #[test]
+    fn conflicting_prepare_from_younger_writer_votes_no() {
+        let mut s = server();
+        let mut rng = DetRng::new(5);
+        let older = req(1);
+        let younger = req(2);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(older, 1, b"old"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(younger, 1, b"young"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote { vote: Vote::No, .. }
+        ));
+    }
+
+    #[test]
+    fn older_writer_queues_and_resumes_after_commit() {
+        let mut s = server();
+        let mut rng = DetRng::new(6);
+        let younger = req(5);
+        let older = req(1); // smaller counter = older
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(younger, 1, b"young"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(older, 1, b"old"), &mut ctx);
+        // Older waits: no vote yet.
+        assert!(sent(&mut ctx).is_empty());
+        // Commit the younger one; the older resumes, but its version is now
+        // stale, so it votes no.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: younger }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert_eq!(out.len(), 2, "ack plus resumed vote");
+        assert!(matches!(&out[0].1, Msg::PrepareVote { vote: Vote::No, req, .. } if *req == older)
+            || matches!(&out[1].1, Msg::PrepareVote { vote: Vote::No, req, .. } if *req == older));
+    }
+
+    #[test]
+    fn older_writer_resumes_with_yes_after_abort() {
+        let mut s = server();
+        let mut rng = DetRng::new(7);
+        let younger = req(5);
+        let older = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(younger, 1, b"young"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(older, 1, b"old"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Abort { suite: SUITE, req: younger }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(out.iter().any(|(_, m)| matches!(
+            m,
+            Msg::PrepareVote { vote: Vote::Yes, req, .. } if *req == older
+        )));
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: older }, &mut ctx);
+        let _ = sent(&mut ctx);
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"old"));
+    }
+
+    #[test]
+    fn weak_update_is_monotonic() {
+        let mut s = server();
+        let mut rng = DetRng::new(8);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::UpdateWeak {
+                suite: SUITE,
+                version: Version(3),
+                value: Bytes::from_static(b"v3"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(s.data_version(SUITE), Version(3));
+        // A stale update must not regress.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::UpdateWeak {
+                suite: SUITE,
+                version: Version(2),
+                value: Bytes::from_static(b"v2"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(s.data_version(SUITE), Version(3));
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"v3"));
+        assert_eq!(s.stats.weak_updates, 1);
+    }
+
+    #[test]
+    fn stale_generation_prepare_is_rejected() {
+        let mut s = server();
+        // Install generation 2 directly.
+        let cfg2 = s
+            .config(SUITE)
+            .expect("configured")
+            .evolve(
+                VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+                QuorumSpec::new(1, 3),
+            )
+            .expect("legal");
+        let mut rng = DetRng::new(9);
+        let r0 = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::Prepare {
+                req: r0,
+                writes: vec![PrepareWrite {
+                    suite: SUITE,
+                    object: config_object(SUITE),
+                    version: Version(cfg2.generation),
+                    value: Bytes::from(cfg2.encode()),
+                    generation: 1,
+                }],
+                lock_ts: r0.0,
+            },
+            &mut ctx,
+        );
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r0 }, &mut ctx);
+        let _ = sent(&mut ctx);
+        assert_eq!(s.config(SUITE).expect("cfg").generation, 2);
+        // A write still claiming generation 1 is now rejected.
+        let r1 = req(2);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r1, 1, b"late"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::StaleConfig { generation: 2, .. }
+        ));
+        assert_eq!(s.stats.stale_config, 1);
+    }
+
+    #[test]
+    fn config_req_returns_current_config() {
+        let mut s = server();
+        let mut rng = DetRng::new(10);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::ConfigReq { suite: SUITE, req: req(1) }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::ConfigResp { config, .. } if config.generation == 1
+        ));
+    }
+
+    #[test]
+    fn crash_during_prepare_recovers_in_doubt_and_probes_coordinator() {
+        let mut s = server();
+        let mut rng = DetRng::new(11);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"promise"), &mut ctx);
+        let _ = sent(&mut ctx);
+        s.handle_crash();
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        let out = sent(&mut ctx);
+        // The server asks the coordinator (CLIENT, from the req id).
+        assert!(matches!(&out[0].1, Msg::DecisionReq { req: rr, .. } if *rr == r));
+        assert_eq!(out[0].0, CLIENT);
+        assert_eq!(s.pending_writes(), 1);
+        // Config cache was rebuilt from the container.
+        assert_eq!(s.config(SUITE).expect("cfg").generation, 1);
+        // The coordinator answers commit; the write lands.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+        let _ = sent(&mut ctx);
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"promise"));
+    }
+
+    #[test]
+    fn crash_before_prepare_loses_staged_write() {
+        let mut s = server();
+        let mut rng = DetRng::new(12);
+        // Simulate an active (unprepared) transaction by crashing right
+        // after the initial config commit: nothing in doubt.
+        s.handle_crash();
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        assert!(sent(&mut ctx).is_empty());
+        assert_eq!(s.pending_writes(), 0);
+        assert_eq!(s.data_version(SUITE), Version(0));
+    }
+
+    #[test]
+    fn duplicate_prepare_revotes_yes() {
+        let mut s = server();
+        let mut rng = DetRng::new(13);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote { vote: Vote::Yes, .. }
+        ));
+        assert_eq!(s.pending_writes(), 1, "no duplicate pending entry");
+    }
+
+    #[test]
+    fn abort_of_unknown_req_still_acks() {
+        let mut s = server();
+        let mut rng = DetRng::new(14);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Abort { suite: SUITE, req: req(42) }, &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(&out[0].1, Msg::Ack { committed: false, .. }));
+    }
+
+    #[test]
+    fn log_stays_bounded_under_sustained_writes() {
+        let mut s = server();
+        s.set_checkpoint_threshold(20);
+        let mut rng = DetRng::new(21);
+        for i in 1..=60u64 {
+            let r = req(i);
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(
+                CLIENT,
+                Msg::Prepare {
+                    req: r,
+                    writes: vec![PrepareWrite {
+                        suite: SUITE,
+                        object: data_object(SUITE),
+                        version: Version(i),
+                        value: Bytes::from(format!("v{i}")),
+                        generation: 1,
+                    }],
+                    lock_ts: r.0,
+                },
+                &mut ctx,
+            );
+            let _ = sent(&mut ctx);
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+            let _ = sent(&mut ctx);
+        }
+        assert!(s.stats.checkpoints >= 2, "compactions ran: {}", s.stats.checkpoints);
+        assert!(
+            s.container().wal().len() <= 24,
+            "log unbounded: {} records",
+            s.container().wal().len()
+        );
+        // Data still correct after a crash + recovery from the compact log.
+        assert_eq!(s.data_version(SUITE), Version(60));
+        s.handle_crash();
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        assert_eq!(s.data_version(SUITE), Version(60));
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"v60"));
+    }
+
+    #[test]
+    fn decision_probe_timer_repeats_until_resolved() {
+        let mut s = server();
+        s.set_resolve_after(SimDuration::from_millis(100));
+        let mut rng = DetRng::new(15);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_timer(r.0, &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(&out[0].1, Msg::DecisionReq { .. }));
+        // After resolution the timer goes quiet.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_timer(r.0, &mut ctx);
+        assert!(sent(&mut ctx).is_empty());
+    }
+}

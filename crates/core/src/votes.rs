@@ -1,0 +1,159 @@
+//! Vote assignments: how many votes each representative holds.
+//!
+//! The vote assignment is the paper's central tuning knob. Placing all
+//! votes on one site gives a primary-site scheme; equal votes with
+//! `r = 1, w = N` is read-one/write-all; equal votes with majority quorums
+//! is majority voting; zero-vote entries are weak representatives (caches).
+
+use serde::{Deserialize, Serialize};
+use wv_net::SiteId;
+
+/// Votes per representative, indexed by hosting site.
+///
+/// A site appears at most once. Sites with zero votes are *weak
+/// representatives*: they hold data and answer reads but never count
+/// toward any quorum.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VoteAssignment {
+    entries: Vec<(SiteId, u32)>,
+}
+
+impl VoteAssignment {
+    /// Builds an assignment from `(site, votes)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site repeats or the total number of votes is zero —
+    /// both are configuration bugs, not runtime conditions.
+    pub fn new(entries: impl IntoIterator<Item = (SiteId, u32)>) -> Self {
+        let entries: Vec<(SiteId, u32)> = entries.into_iter().collect();
+        let mut seen = std::collections::HashSet::new();
+        for (site, _) in &entries {
+            assert!(seen.insert(*site), "site {site} listed twice");
+        }
+        let total: u32 = entries.iter().map(|(_, v)| *v).sum();
+        assert!(total > 0, "a suite needs at least one vote");
+        VoteAssignment { entries }
+    }
+
+    /// Equal single votes on sites `0..n` — the classic symmetric setup.
+    pub fn equal(n: usize) -> Self {
+        VoteAssignment::new(SiteId::all(n).map(|s| (s, 1)))
+    }
+
+    /// Total votes `N`.
+    pub fn total(&self) -> u32 {
+        self.entries.iter().map(|(_, v)| *v).sum()
+    }
+
+    /// Votes held by `site` (0 if the site hosts nothing or a weak
+    /// representative).
+    pub fn votes_of(&self, site: SiteId) -> u32 {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// True if `site` hosts a representative (strong or weak).
+    pub fn hosts(&self, site: SiteId) -> bool {
+        self.entries.iter().any(|(s, _)| *s == site)
+    }
+
+    /// True if `site` hosts a weak (zero-vote) representative.
+    pub fn is_weak(&self, site: SiteId) -> bool {
+        self.entries.iter().any(|(s, v)| *s == site && *v == 0)
+    }
+
+    /// All `(site, votes)` entries, in declaration order.
+    pub fn entries(&self) -> &[(SiteId, u32)] {
+        &self.entries
+    }
+
+    /// Sites holding at least one vote.
+    pub fn strong_sites(&self) -> Vec<SiteId> {
+        self.entries
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+
+    /// Sites hosting weak representatives.
+    pub fn weak_sites(&self) -> Vec<SiteId> {
+        self.entries
+            .iter()
+            .filter(|(_, v)| *v == 0)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+
+    /// All hosting sites (strong and weak).
+    pub fn all_sites(&self) -> Vec<SiteId> {
+        self.entries.iter().map(|(s, _)| *s).collect()
+    }
+
+    /// Sum of votes over `sites` (each site counted once even if repeated).
+    pub fn votes_in<'a>(&self, sites: impl IntoIterator<Item = &'a SiteId>) -> u32 {
+        let unique: std::collections::HashSet<SiteId> = sites.into_iter().copied().collect();
+        unique.iter().map(|s| self.votes_of(*s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(n: u16) -> SiteId {
+        SiteId(n)
+    }
+
+    #[test]
+    fn totals_and_lookup() {
+        let a = VoteAssignment::new([(s(0), 2), (s(1), 1), (s(2), 1), (s(3), 0)]);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.votes_of(s(0)), 2);
+        assert_eq!(a.votes_of(s(3)), 0);
+        assert_eq!(a.votes_of(s(9)), 0);
+        assert!(a.hosts(s(3)));
+        assert!(!a.hosts(s(9)));
+        assert!(a.is_weak(s(3)));
+        assert!(!a.is_weak(s(0)));
+        assert!(!a.is_weak(s(9)));
+    }
+
+    #[test]
+    fn strong_and_weak_partitions() {
+        let a = VoteAssignment::new([(s(0), 1), (s(1), 0), (s(2), 3)]);
+        assert_eq!(a.strong_sites(), vec![s(0), s(2)]);
+        assert_eq!(a.weak_sites(), vec![s(1)]);
+        assert_eq!(a.all_sites(), vec![s(0), s(1), s(2)]);
+    }
+
+    #[test]
+    fn equal_assignment() {
+        let a = VoteAssignment::equal(5);
+        assert_eq!(a.total(), 5);
+        assert!(SiteId::all(5).all(|site| a.votes_of(site) == 1));
+    }
+
+    #[test]
+    fn votes_in_counts_each_site_once() {
+        let a = VoteAssignment::new([(s(0), 2), (s(1), 1)]);
+        let sites = [s(0), s(0), s(1), s(7)];
+        assert_eq!(a.votes_in(&sites), 3);
+        assert_eq!(a.votes_in(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_site_rejected() {
+        let _ = VoteAssignment::new([(s(0), 1), (s(0), 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vote")]
+    fn all_weak_rejected() {
+        let _ = VoteAssignment::new([(s(0), 0), (s(1), 0)]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Message-passing transports for replicated-data protocols.
+//!
+//! This crate stands in for the paper's physical network (Gifford's testbed
+//! spanned machines on one local network plus servers across an
+//! internetwork). It provides:
+//!
+//! * [`SiteId`] and [`NetConfig`] — sites, per-link latency models, drop
+//!   probabilities, and [`Partition`]s.
+//! * [`Node`] / [`NodeCtx`] — the event-driven protocol-node abstraction:
+//!   a node reacts to messages and timers and emits sends and new timers.
+//!   Protocol code written against this trait runs unchanged on both
+//!   transports.
+//! * [`sim_net`] — the deterministic transport: nodes live in a
+//!   [`sim_net::Cluster`] driven by a `wv_sim::Sim`, with virtual-time
+//!   latencies, crash/recovery, and partitions. Every experiment table is
+//!   regenerated on this transport.
+//! * [`thread_net`] — the wall-clock transport: one OS thread per node,
+//!   crossbeam channels, and a router thread that imposes (scaled-down)
+//!   link latencies. Used by integration tests to show the protocols are
+//!   not simulator artifacts.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod node;
+pub mod runner;
+pub mod sim_net;
+pub mod site;
+pub mod thread_net;
+
+pub use config::{NetConfig, Partition};
+pub use runner::NodeRunner;
+pub use node::{Node, NodeCtx};
+pub use site::{Envelope, SiteId};

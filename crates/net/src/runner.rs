@@ -1,0 +1,270 @@
+//! Drives a [`Node`] on a [`crate::thread_net::Endpoint`] — one OS thread per
+//! protocol node, with timers honoured in (scaled) real time.
+//!
+//! The simulated transport executes node handlers inline; this runner is
+//! its wall-clock twin. Integration tests use it to show that the protocol
+//! state machines are transport-independent: the same `SuiteServer` and
+//! `ClientNode` that regenerate the paper's tables under `sim_net` also
+//! serve real concurrent threads here.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, Sender};
+use wv_sim::DetRng;
+
+use crate::node::{Effect, Node, NodeCtx};
+use crate::thread_net::Endpoint;
+
+/// A closure injected into the node's thread (start an operation, inspect
+/// state, report results through a captured channel).
+pub type NodeCommand<N> =
+    Box<dyn FnOnce(&mut N, &mut NodeCtx<'_, <N as Node>::Msg>) + Send + 'static>;
+
+struct TimerItem {
+    due: Instant,
+    seq: u64,
+    token: u64,
+}
+
+impl PartialEq for TimerItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for TimerItem {}
+
+impl PartialOrd for TimerItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TimerItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// A node running on its own thread, attached to a thread-net endpoint.
+pub struct NodeRunner<N: Node> {
+    cmds: Sender<NodeCommand<N>>,
+    stop: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<N>>,
+}
+
+impl<N: Node + Send + 'static> NodeRunner<N>
+where
+    N::Msg: Send + 'static,
+{
+    /// Spawns the node's thread.
+    ///
+    /// `time_scale` must match the scale the endpoint's network was built
+    /// with so that timer delays and link latencies stay commensurable.
+    pub fn spawn(node: N, endpoint: Endpoint<N::Msg>, seed: u64, time_scale: f64) -> Self {
+        assert!(
+            time_scale.is_finite() && time_scale > 0.0,
+            "time_scale must be positive"
+        );
+        let (cmd_tx, cmd_rx) = channel::unbounded::<NodeCommand<N>>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let join = std::thread::Builder::new()
+            .name(format!("wv-node-{}", endpoint.id()))
+            .spawn(move || run_loop(node, endpoint, cmd_rx, stop2, seed, time_scale))
+            .expect("spawn node thread");
+        NodeRunner {
+            cmds: cmd_tx,
+            stop,
+            join: Some(join),
+        }
+    }
+
+    /// Injects a closure into the node's thread; its sends and timers take
+    /// effect as if a message handler had produced them.
+    pub fn invoke(&self, f: impl FnOnce(&mut N, &mut NodeCtx<'_, N::Msg>) + Send + 'static) {
+        // A closed channel means the thread stopped; the caller finds out
+        // at join time.
+        let _ = self.cmds.send(Box::new(f));
+    }
+
+    /// Stops the thread and returns the node.
+    pub fn stop(mut self) -> N {
+        self.stop.store(true, Ordering::SeqCst);
+        self.join
+            .take()
+            .expect("stop called once")
+            .join()
+            .expect("node thread panicked")
+    }
+}
+
+impl<N: Node> Drop for NodeRunner<N> {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn run_loop<N: Node + Send>(
+    mut node: N,
+    mut endpoint: Endpoint<N::Msg>,
+    cmds: Receiver<NodeCommand<N>>,
+    stop: Arc<AtomicBool>,
+    seed: u64,
+    time_scale: f64,
+) -> N
+where
+    N::Msg: Send + 'static,
+{
+    let mut rng = DetRng::new(seed);
+    let mut timers: BinaryHeap<TimerItem> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return node;
+        }
+        // Fire due timers.
+        let now = Instant::now();
+        let mut effects = Vec::new();
+        while timers.peek().is_some_and(|t| t.due <= now) {
+            let t = timers.pop().expect("peeked");
+            let mut ctx = NodeCtx::new(endpoint.now(), endpoint.id(), &mut rng);
+            node.on_timer(t.token, &mut ctx);
+            effects.extend(ctx.take_effects());
+        }
+        // Run injected commands.
+        while let Ok(cmd) = cmds.try_recv() {
+            let mut ctx = NodeCtx::new(endpoint.now(), endpoint.id(), &mut rng);
+            cmd(&mut node, &mut ctx);
+            effects.extend(ctx.take_effects());
+        }
+        // Wait briefly for a message (bounded so timers and commands stay
+        // responsive).
+        let wait = timers
+            .peek()
+            .map(|t| t.due.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(2))
+            .min(Duration::from_millis(2));
+        if let Some(env) = endpoint.recv_timeout(wait) {
+            let mut ctx = NodeCtx::new(endpoint.now(), endpoint.id(), &mut rng);
+            node.on_message(env.from, env.payload, &mut ctx);
+            effects.extend(ctx.take_effects());
+        }
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    endpoint.send(to, msg);
+                }
+                Effect::Timer { delay, token } => {
+                    let scaled = Duration::from_micros(
+                        (delay.as_micros() as f64 * time_scale).round() as u64,
+                    );
+                    timers.push(TimerItem {
+                        due: Instant::now() + scaled,
+                        seq: timer_seq,
+                        token,
+                    });
+                    timer_seq += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NetConfig;
+    use crate::site::SiteId;
+    use crate::thread_net::ThreadNet;
+    use wv_sim::{LatencyModel, SimDuration};
+
+    /// Counts messages; replies to pings; fires a timer once.
+    struct Echo {
+        got: Vec<u32>,
+        timer_fired: Arc<AtomicBool>,
+    }
+
+    impl Node for Echo {
+        type Msg = u32;
+
+        fn on_message(&mut self, from: SiteId, msg: u32, ctx: &mut NodeCtx<'_, u32>) {
+            self.got.push(msg);
+            if msg < 100 {
+                ctx.send(from, msg + 100);
+            }
+        }
+
+        fn on_timer(&mut self, _token: u64, _ctx: &mut NodeCtx<'_, u32>) {
+            self.timer_fired.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn echo(flag: &Arc<AtomicBool>) -> Echo {
+        Echo {
+            got: Vec::new(),
+            timer_fired: Arc::clone(flag),
+        }
+    }
+
+    #[test]
+    fn nodes_exchange_messages_across_threads() {
+        let mut net = ThreadNet::<u32>::start(
+            NetConfig::uniform(2, LatencyModel::constant_millis(10)),
+            3,
+            0.1,
+        );
+        let b_ep = net.endpoints.pop().expect("b");
+        let a_ep = net.endpoints.pop().expect("a");
+        let fa = Arc::new(AtomicBool::new(false));
+        let fb = Arc::new(AtomicBool::new(false));
+        let a = NodeRunner::spawn(echo(&fa), a_ep, 1, 0.1);
+        let b = NodeRunner::spawn(echo(&fb), b_ep, 2, 0.1);
+        // Node A sends 1 to B; B replies 101.
+        a.invoke(|_, ctx| ctx.send(SiteId(1), 1));
+        std::thread::sleep(Duration::from_millis(100));
+        let a_node = a.stop();
+        let b_node = b.stop();
+        assert_eq!(b_node.got, vec![1]);
+        assert_eq!(a_node.got, vec![101]);
+    }
+
+    #[test]
+    fn timers_fire_in_scaled_time() {
+        let mut net = ThreadNet::<u32>::start(
+            NetConfig::uniform(1, LatencyModel::constant_millis(1)),
+            5,
+            0.01,
+        );
+        let ep = net.endpoints.pop().expect("ep");
+        let flag = Arc::new(AtomicBool::new(false));
+        let r = NodeRunner::spawn(echo(&flag), ep, 1, 0.01);
+        // 1 virtual second at scale 0.01 = 10 real ms.
+        r.invoke(|_, ctx| ctx.set_timer(SimDuration::from_secs(1), 7));
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(flag.load(Ordering::SeqCst), "timer did not fire");
+        r.stop();
+    }
+
+    #[test]
+    fn stop_returns_the_node() {
+        let mut net = ThreadNet::<u32>::start(
+            NetConfig::uniform(1, LatencyModel::constant_millis(1)),
+            7,
+            1.0,
+        );
+        let ep = net.endpoints.pop().expect("ep");
+        let flag = Arc::new(AtomicBool::new(false));
+        let r = NodeRunner::spawn(echo(&flag), ep, 1, 1.0);
+        r.invoke(|n, _| n.got.push(42));
+        std::thread::sleep(Duration::from_millis(30));
+        let node = r.stop();
+        assert_eq!(node.got, vec![42]);
+    }
+}

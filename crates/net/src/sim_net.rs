@@ -1,0 +1,622 @@
+//! The deterministic simulated transport.
+//!
+//! A [`Cluster`] hosts one [`Node`] per site inside a `wv_sim::Sim`. All
+//! message latencies are drawn from the cluster's [`NetConfig`], partitions
+//! and crashes are first-class events, and the whole execution is a pure
+//! function of the seed — which is what lets the benchmark harness
+//! regenerate the paper's tables exactly.
+//!
+//! Semantics (documented because experiments depend on them):
+//!
+//! * **Drop decisions** (partition membership, link loss) are made at *send*
+//!   time; a message that clears them is delivered after a sampled one-way
+//!   latency unless the destination is down at *delivery* time.
+//! * **Crashed sites** receive neither messages nor timers. `Node::on_crash`
+//!   runs at the crash instant (discard volatile state); `Node::on_recover`
+//!   runs at the recovery instant and may send messages and set timers.
+//! * **Message order** between a pair of sites is not preserved when the
+//!   link's latency model is non-constant — exactly like a datagram network.
+
+use std::collections::VecDeque;
+
+use wv_sim::{DetRng, FailureSchedule, Scheduler, Sim, SimTime};
+
+use crate::config::{NetConfig, Partition};
+use crate::node::{Effect, Node, NodeCtx};
+use crate::site::SiteId;
+
+/// What happened to one message or timer, for the optional trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Delivered to the destination's handler.
+    Delivered,
+    /// Dropped at send time: sender and destination partitioned.
+    DroppedPartition,
+    /// Dropped at send time by link loss.
+    DroppedLink,
+    /// Dropped at delivery time: destination down.
+    DroppedDown,
+    /// A timer fired at the site.
+    TimerFired,
+}
+
+/// One entry in the transport trace ring buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When it happened (virtual time).
+    pub at: SimTime,
+    /// Sender (equals `to` for timer events).
+    pub from: SiteId,
+    /// Destination.
+    pub to: SiteId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Transport counters, useful for assertions and experiment reports.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the transport.
+    pub sent: u64,
+    /// Messages delivered to a node handler.
+    pub delivered: u64,
+    /// Messages dropped because sender and destination were partitioned.
+    pub dropped_partition: u64,
+    /// Messages dropped by link loss.
+    pub dropped_link: u64,
+    /// Messages dropped because the destination was down at delivery time.
+    pub dropped_down: u64,
+    /// Extra deliveries caused by duplication.
+    pub duplicated: u64,
+    /// Timer expirations delivered.
+    pub timers_fired: u64,
+    /// Timer expirations suppressed because the site was down.
+    pub timers_dropped: u64,
+}
+
+/// A set of protocol nodes plus the network state connecting them.
+///
+/// Use as the world type of a `wv_sim::Sim`:
+///
+/// ```
+/// use wv_net::sim_net::Cluster;
+/// use wv_net::{NetConfig, Node, NodeCtx, SiteId};
+/// use wv_sim::{LatencyModel, SimTime};
+///
+/// struct Counter(u32);
+/// impl Node for Counter {
+///     type Msg = ();
+///     fn on_message(&mut self, _f: SiteId, _m: (), _ctx: &mut NodeCtx<'_, ()>) {
+///         self.0 += 1;
+///     }
+/// }
+///
+/// let cfg = NetConfig::uniform(2, LatencyModel::constant_millis(10));
+/// let mut sim = Cluster::sim(vec![Counter(0), Counter(0)], cfg, 7);
+/// Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+///     ctx.send(SiteId(1), ());
+/// });
+/// sim.run();
+/// assert_eq!(sim.world.nodes[1].0, 1);
+/// assert_eq!(sim.now(), SimTime::from_millis(10));
+/// ```
+pub struct Cluster<N: Node> {
+    /// The protocol nodes, indexed by site.
+    pub nodes: Vec<N>,
+    /// Link latencies and loss.
+    pub config: NetConfig,
+    /// Current connectivity.
+    pub partition: Partition,
+    /// Transport counters.
+    pub stats: NetStats,
+    down: Vec<bool>,
+    node_rngs: Vec<DetRng>,
+    net_rng: DetRng,
+    trace: Option<(usize, VecDeque<TraceEvent>)>,
+}
+
+impl<N: Node + 'static> Cluster<N>
+where
+    N::Msg: Clone + 'static,
+{
+    /// Builds a simulation around `nodes` connected by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != config.sites()`.
+    pub fn sim(nodes: Vec<N>, config: NetConfig, seed: u64) -> Sim<Cluster<N>> {
+        assert_eq!(nodes.len(), config.sites(), "one node per site required");
+        let root = DetRng::new(seed);
+        let sites = nodes.len();
+        let cluster = Cluster {
+            partition: Partition::whole(sites),
+            down: vec![false; sites],
+            node_rngs: (0..sites).map(|i| root.fork(i as u64 + 1)).collect(),
+            net_rng: root.fork_named("network"),
+            stats: NetStats::default(),
+            trace: None,
+            nodes,
+            config,
+        };
+        Sim::new(cluster)
+    }
+
+    /// True if `site` is currently crashed.
+    pub fn is_down(&self, site: SiteId) -> bool {
+        self.down[site.index()]
+    }
+
+    /// Turns on transport tracing, keeping the most recent `capacity`
+    /// events. Call before (or during) a run; the trace is a debugging
+    /// aid and does not affect execution.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        assert!(capacity > 0, "trace capacity must be positive");
+        self.trace = Some((capacity, VecDeque::with_capacity(capacity)));
+    }
+
+    /// The recorded trace, oldest first (empty when tracing is off).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.trace
+            .as_ref()
+            .map(|(_, q)| q.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn record(&mut self, at: SimTime, from: SiteId, to: SiteId, kind: TraceKind) {
+        if let Some((cap, q)) = &mut self.trace {
+            if q.len() == *cap {
+                q.pop_front();
+            }
+            q.push_back(TraceEvent { at, from, to, kind });
+        }
+    }
+
+    /// Schedules a driver-initiated call into the node at `site`.
+    ///
+    /// The closure runs at `at` with full [`NodeCtx`] powers (it may send
+    /// messages and set timers); its effects enter the network like any
+    /// other node activity. If the site is down at `at`, the call is
+    /// silently skipped — exactly as a client co-located with a crashed
+    /// machine would be.
+    pub fn invoke(
+        sched: &mut Scheduler<Cluster<N>>,
+        at: SimTime,
+        site: SiteId,
+        f: impl FnOnce(&mut N, &mut NodeCtx<'_, N::Msg>) + 'static,
+    ) {
+        sched.at(at, move |world: &mut Cluster<N>, sched| {
+            if world.down[site.index()] {
+                return;
+            }
+            let mut rng = world.node_rngs[site.index()].clone();
+            let mut ctx = NodeCtx::new(sched.now(), site, &mut rng);
+            f(&mut world.nodes[site.index()], &mut ctx);
+            let effects = ctx.take_effects();
+            world.node_rngs[site.index()] = rng;
+            Self::dispatch(world, sched, site, effects);
+        });
+    }
+
+    /// Schedules a crash of `site` at `at`.
+    pub fn crash_at(sched: &mut Scheduler<Cluster<N>>, at: SimTime, site: SiteId) {
+        sched.at(at, move |world: &mut Cluster<N>, _| {
+            if !world.down[site.index()] {
+                world.down[site.index()] = true;
+                world.nodes[site.index()].on_crash();
+            }
+        });
+    }
+
+    /// Schedules a recovery of `site` at `at`.
+    pub fn recover_at(sched: &mut Scheduler<Cluster<N>>, at: SimTime, site: SiteId) {
+        sched.at(at, move |world: &mut Cluster<N>, sched| {
+            if world.down[site.index()] {
+                world.down[site.index()] = false;
+                let mut rng = world.node_rngs[site.index()].clone();
+                let mut ctx = NodeCtx::new(sched.now(), site, &mut rng);
+                world.nodes[site.index()].on_recover(&mut ctx);
+                let effects = ctx.take_effects();
+                world.node_rngs[site.index()] = rng;
+                Self::dispatch(world, sched, site, effects);
+            }
+        });
+    }
+
+    /// Schedules a connectivity change at `at`.
+    pub fn set_partition_at(sched: &mut Scheduler<Cluster<N>>, at: SimTime, p: Partition) {
+        sched.at(at, move |world: &mut Cluster<N>, _| {
+            assert_eq!(p.sites(), world.nodes.len(), "partition size mismatch");
+            world.partition = p;
+        });
+    }
+
+    /// Translates a [`FailureSchedule`] into crash/recover events.
+    pub fn apply_failure_schedule(sched: &mut Scheduler<Cluster<N>>, schedule: &FailureSchedule) {
+        for site in 0..schedule.sites() {
+            for w in schedule.windows(site) {
+                Self::crash_at(sched, w.from, SiteId::from(site));
+                Self::recover_at(sched, w.until, SiteId::from(site));
+            }
+        }
+    }
+
+    fn dispatch(
+        world: &mut Cluster<N>,
+        sched: &mut Scheduler<Cluster<N>>,
+        from: SiteId,
+        effects: Vec<Effect<N::Msg>>,
+    ) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => Self::route(world, sched, from, to, msg),
+                Effect::Timer { delay, token } => {
+                    sched.after(delay, move |world: &mut Cluster<N>, sched| {
+                        if world.down[from.index()] {
+                            world.stats.timers_dropped += 1;
+                            return;
+                        }
+                        world.stats.timers_fired += 1;
+                        let now = sched.now();
+                        world.record(now, from, from, TraceKind::TimerFired);
+                        let mut rng = world.node_rngs[from.index()].clone();
+                        let mut ctx = NodeCtx::new(sched.now(), from, &mut rng);
+                        world.nodes[from.index()].on_timer(token, &mut ctx);
+                        let effects = ctx.take_effects();
+                        world.node_rngs[from.index()] = rng;
+                        Self::dispatch(world, sched, from, effects);
+                    });
+                }
+            }
+        }
+    }
+
+    fn route(
+        world: &mut Cluster<N>,
+        sched: &mut Scheduler<Cluster<N>>,
+        from: SiteId,
+        to: SiteId,
+        msg: N::Msg,
+    ) {
+        world.stats.sent += 1;
+        let now = sched.now();
+        if !world.partition.connected(from, to) {
+            world.stats.dropped_partition += 1;
+            world.record(now, from, to, TraceKind::DroppedPartition);
+            return;
+        }
+        if world.config.sample_drop(from, to, &mut world.net_rng) {
+            world.stats.dropped_link += 1;
+            world.record(now, from, to, TraceKind::DroppedLink);
+            return;
+        }
+        if world.net_rng.chance(world.config.duplicate_prob) {
+            world.stats.duplicated += 1;
+            let latency = world.config.sample_latency(from, to, &mut world.net_rng);
+            Self::schedule_delivery(sched, from, to, latency, msg.clone());
+        }
+        let latency = world.config.sample_latency(from, to, &mut world.net_rng);
+        Self::schedule_delivery(sched, from, to, latency, msg);
+    }
+
+    fn schedule_delivery(
+        sched: &mut Scheduler<Cluster<N>>,
+        from: SiteId,
+        to: SiteId,
+        latency: wv_sim::SimDuration,
+        payload: N::Msg,
+    ) {
+        sched.after(latency, move |world: &mut Cluster<N>, sched| {
+            let now = sched.now();
+            if world.down[to.index()] {
+                world.stats.dropped_down += 1;
+                world.record(now, from, to, TraceKind::DroppedDown);
+                return;
+            }
+            world.stats.delivered += 1;
+            world.record(now, from, to, TraceKind::Delivered);
+            let mut rng = world.node_rngs[to.index()].clone();
+            let mut ctx = NodeCtx::new(sched.now(), to, &mut rng);
+            world.nodes[to.index()].on_message(from, payload, &mut ctx);
+            let effects = ctx.take_effects();
+            world.node_rngs[to.index()] = rng;
+            Self::dispatch(world, sched, to, effects);
+        });
+    }
+
+    /// Delivers `msg` twice, as if the network had duplicated it.
+    ///
+    /// Tests use this to exercise idempotence of protocol handlers at a
+    /// chosen instant, independent of [`NetConfig::duplicate_prob`].
+    pub fn inject_duplicate(
+        sched: &mut Scheduler<Cluster<N>>,
+        at: SimTime,
+        from: SiteId,
+        to: SiteId,
+        msg: N::Msg,
+    ) {
+        sched.at(at, move |world: &mut Cluster<N>, sched| {
+            let latency = world.config.sample_latency(from, to, &mut world.net_rng);
+            Self::schedule_delivery(sched, from, to, latency, msg.clone());
+            let latency2 = world.config.sample_latency(from, to, &mut world.net_rng);
+            Self::schedule_delivery(sched, from, to, latency2, msg);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_sim::{LatencyModel, SimDuration};
+
+    /// A test node that counts deliveries and can ping-pong.
+    #[derive(Default)]
+    struct Pong {
+        received: Vec<(SiteId, u32)>,
+        bounce: bool,
+        timer_tokens: Vec<u64>,
+        crashes: u32,
+        recoveries: u32,
+    }
+
+    impl Node for Pong {
+        type Msg = u32;
+
+        fn on_message(&mut self, from: SiteId, msg: u32, ctx: &mut NodeCtx<'_, u32>) {
+            self.received.push((from, msg));
+            if self.bounce && msg > 0 {
+                ctx.send(from, msg - 1);
+            }
+        }
+
+        fn on_timer(&mut self, token: u64, _ctx: &mut NodeCtx<'_, u32>) {
+            self.timer_tokens.push(token);
+        }
+
+        fn on_crash(&mut self) {
+            self.crashes += 1;
+        }
+
+        fn on_recover(&mut self, _ctx: &mut NodeCtx<'_, u32>) {
+            self.recoveries += 1;
+        }
+    }
+
+    fn two_nodes(ms: u64) -> Sim<Cluster<Pong>> {
+        let cfg = NetConfig::uniform(2, LatencyModel::constant_millis(ms));
+        Cluster::sim(vec![Pong::default(), Pong::default()], cfg, 42)
+    }
+
+    #[test]
+    fn ping_pong_accumulates_latency() {
+        let mut sim = two_nodes(10);
+        sim.world.nodes[0].bounce = true;
+        sim.world.nodes[1].bounce = true;
+        Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 4);
+        });
+        sim.run();
+        // 5 deliveries (4,3,2,1,0), each 10 ms apart.
+        assert_eq!(sim.now(), SimTime::from_millis(50));
+        assert_eq!(sim.world.stats.delivered, 5);
+        assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 4), (SiteId(0), 2), (SiteId(0), 0)]);
+        assert_eq!(sim.world.nodes[0].received, vec![(SiteId(1), 3), (SiteId(1), 1)]);
+    }
+
+    #[test]
+    fn timers_fire_with_tokens() {
+        let mut sim = two_nodes(1);
+        Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+            ctx.set_timer(SimDuration::from_millis(30), 7);
+            ctx.set_timer(SimDuration::from_millis(10), 8);
+        });
+        sim.run();
+        assert_eq!(sim.world.nodes[0].timer_tokens, vec![8, 7]);
+        assert_eq!(sim.world.stats.timers_fired, 2);
+    }
+
+    #[test]
+    fn partition_blocks_messages() {
+        let mut sim = two_nodes(5);
+        Cluster::set_partition_at(sim.scheduler(), SimTime::ZERO, Partition::isolate(2, SiteId(1)));
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(1), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 9);
+        });
+        sim.run();
+        assert_eq!(sim.world.stats.dropped_partition, 1);
+        assert_eq!(sim.world.stats.delivered, 0);
+        assert!(sim.world.nodes[1].received.is_empty());
+    }
+
+    #[test]
+    fn partition_heals() {
+        let mut sim = two_nodes(5);
+        Cluster::set_partition_at(sim.scheduler(), SimTime::ZERO, Partition::isolate(2, SiteId(1)));
+        Cluster::set_partition_at(sim.scheduler(), SimTime::from_millis(10), Partition::whole(2));
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(20), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 9);
+        });
+        sim.run();
+        assert_eq!(sim.world.stats.delivered, 1);
+    }
+
+    #[test]
+    fn crashed_site_loses_messages_and_timers() {
+        let mut sim = two_nodes(5);
+        Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(1), |_n, ctx| {
+            ctx.set_timer(SimDuration::from_millis(20), 1);
+        });
+        Cluster::crash_at(sim.scheduler(), SimTime::from_millis(1), SiteId(1));
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(2), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 5);
+        });
+        sim.run();
+        assert_eq!(sim.world.nodes[1].crashes, 1);
+        assert_eq!(sim.world.stats.dropped_down, 1);
+        assert_eq!(sim.world.stats.timers_dropped, 1);
+        assert!(sim.world.nodes[1].received.is_empty());
+        assert!(sim.world.is_down(SiteId(1)));
+    }
+
+    #[test]
+    fn recovery_restores_delivery_and_runs_hook() {
+        let mut sim = two_nodes(5);
+        Cluster::crash_at(sim.scheduler(), SimTime::ZERO, SiteId(1));
+        Cluster::recover_at(sim.scheduler(), SimTime::from_millis(10), SiteId(1));
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(20), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 5);
+        });
+        sim.run();
+        assert_eq!(sim.world.nodes[1].recoveries, 1);
+        assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 5)]);
+        assert!(!sim.world.is_down(SiteId(1)));
+    }
+
+    #[test]
+    fn invoke_on_down_site_is_skipped() {
+        let mut sim = two_nodes(5);
+        Cluster::crash_at(sim.scheduler(), SimTime::ZERO, SiteId(0));
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(1), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 5);
+        });
+        sim.run();
+        assert_eq!(sim.world.stats.sent, 0);
+    }
+
+    #[test]
+    fn link_loss_drops_messages() {
+        let cfg = {
+            let mut c = NetConfig::uniform(2, LatencyModel::constant_millis(1));
+            c.set_drop(SiteId(0), SiteId(1), 1.0);
+            c
+        };
+        let mut sim = Cluster::sim(vec![Pong::default(), Pong::default()], cfg, 1);
+        Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 1);
+            ctx.send(SiteId(1), 2);
+        });
+        sim.run();
+        assert_eq!(sim.world.stats.dropped_link, 2);
+        assert_eq!(sim.world.stats.delivered, 0);
+    }
+
+    #[test]
+    fn failure_schedule_translates_to_crash_windows() {
+        let mut schedule = FailureSchedule::none(2);
+        schedule.add_outage(1, SimTime::from_millis(5), SimTime::from_millis(15));
+        let mut sim = two_nodes(1);
+        Cluster::apply_failure_schedule(sim.scheduler(), &schedule);
+        // During the outage, delivery fails.
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(7), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 1);
+        });
+        // After it, delivery works.
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(20), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 2);
+        });
+        sim.run();
+        assert_eq!(sim.world.stats.dropped_down, 1);
+        assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 2)]);
+        assert_eq!(sim.world.nodes[1].crashes, 1);
+        assert_eq!(sim.world.nodes[1].recoveries, 1);
+    }
+
+    #[test]
+    fn inject_duplicate_delivers_twice() {
+        let mut sim = two_nodes(3);
+        Cluster::inject_duplicate(sim.scheduler(), SimTime::ZERO, SiteId(0), SiteId(1), 11u32);
+        sim.run();
+        assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 11), (SiteId(0), 11)]);
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let run = |seed: u64| {
+            let mut cfg = NetConfig::uniform(3, LatencyModel::Uniform {
+                lo: SimDuration::from_millis(1),
+                hi: SimDuration::from_millis(50),
+            });
+            cfg.set_drop_all(0.2);
+            let mut sim =
+                Cluster::sim(vec![Pong::default(), Pong::default(), Pong::default()], cfg, seed);
+            for i in 0..20u32 {
+                Cluster::invoke(
+                    sim.scheduler(),
+                    SimTime::from_millis(u64::from(i)),
+                    SiteId(0),
+                    move |_n, ctx| {
+                        ctx.send(SiteId(1), i);
+                        ctx.send(SiteId(2), i);
+                    },
+                );
+            }
+            sim.run();
+            (sim.world.stats, sim.now())
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).0, run(100).0);
+    }
+
+    #[test]
+    fn trace_records_deliveries_drops_and_timers() {
+        let mut sim = two_nodes(5);
+        sim.world.enable_trace(8);
+        Cluster::set_partition_at(sim.scheduler(), SimTime::ZERO, Partition::isolate(2, SiteId(1)));
+        Cluster::invoke(sim.scheduler(), SimTime::from_millis(1), SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 1); // dropped: partition
+            ctx.send(SiteId(0), 2); // delivered (self link)
+            ctx.set_timer(SimDuration::from_millis(3), 9); // timer
+        });
+        sim.run();
+        let trace = sim.world.trace();
+        assert!(trace
+            .iter()
+            .any(|e| e.kind == TraceKind::DroppedPartition && e.to == SiteId(1)));
+        assert!(trace
+            .iter()
+            .any(|e| e.kind == TraceKind::Delivered && e.to == SiteId(0)));
+        assert!(trace.iter().any(|e| e.kind == TraceKind::TimerFired));
+        // Ordered oldest-first by time.
+        for pair in trace.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn trace_ring_buffer_keeps_only_the_tail() {
+        let mut sim = two_nodes(1);
+        sim.world.enable_trace(3);
+        for i in 0..10u64 {
+            Cluster::invoke(
+                sim.scheduler(),
+                SimTime::from_millis(i),
+                SiteId(0),
+                |_n, ctx| ctx.send(SiteId(1), 0),
+            );
+        }
+        sim.run();
+        let trace = sim.world.trace();
+        assert_eq!(trace.len(), 3, "capacity bound respected");
+        assert!(trace.iter().all(|e| e.kind == TraceKind::Delivered));
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let mut sim = two_nodes(1);
+        Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 0)
+        });
+        sim.run();
+        assert!(sim.world.trace().is_empty());
+    }
+
+    #[test]
+    fn self_send_travels_over_self_link() {
+        let mut sim = two_nodes(10);
+        Cluster::invoke(sim.scheduler(), SimTime::ZERO, SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(0), 77);
+        });
+        sim.run();
+        assert_eq!(sim.world.nodes[0].received, vec![(SiteId(0), 77)]);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+}

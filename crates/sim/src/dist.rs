@@ -1,0 +1,260 @@
+//! Delay distributions for links and storage devices.
+//!
+//! The paper reports fixed representative-access latencies (75 ms for a
+//! local file-system access, 65 ms for a weak representative on the local
+//! machine, 100 ms for a server on the same network, 750 ms across the
+//! internetwork). [`LatencyModel::Constant`] regenerates those tables
+//! exactly; the stochastic variants let the availability and throughput
+//! experiments add realistic jitter without changing any protocol code.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+
+/// A distribution over non-negative delays.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly this long. Used for the paper-table regenerations.
+    Constant(SimDuration),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Smallest possible delay.
+        lo: SimDuration,
+        /// Largest possible delay.
+        hi: SimDuration,
+    },
+    /// `base` plus an exponential tail with the given mean; models a fixed
+    /// propagation delay with memoryless queueing behind it.
+    ShiftedExponential {
+        /// The fixed propagation component.
+        base: SimDuration,
+        /// Mean of the exponential queueing tail.
+        tail_mean: SimDuration,
+    },
+    /// Normal with the given mean and standard deviation, truncated below at
+    /// `floor`; models disk/service times with bounded best case.
+    NormalClipped {
+        /// Mean of the unclipped normal.
+        mean: SimDuration,
+        /// Standard deviation of the unclipped normal.
+        std_dev: SimDuration,
+        /// Hard lower bound on the sampled delay.
+        floor: SimDuration,
+    },
+    /// With probability `p_slow` draw from `slow`, otherwise from `fast`;
+    /// models a fast path with occasional retransmission-like stalls.
+    Bimodal {
+        /// The common-case distribution.
+        fast: Box<LatencyModel>,
+        /// The stall distribution.
+        slow: Box<LatencyModel>,
+        /// Probability of drawing from `slow`.
+        p_slow: f64,
+    },
+}
+
+impl LatencyModel {
+    /// A constant delay of `ms` milliseconds.
+    pub const fn constant_millis(ms: u64) -> Self {
+        LatencyModel::Constant(SimDuration::from_millis(ms))
+    }
+
+    /// Draws one delay.
+    pub fn sample(&self, rng: &mut DetRng) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { lo, hi } => {
+                if hi <= lo {
+                    *lo
+                } else {
+                    let span = hi.as_micros() - lo.as_micros();
+                    *lo + SimDuration::from_micros(rng.below(span + 1))
+                }
+            }
+            LatencyModel::ShiftedExponential { base, tail_mean } => {
+                let tail = rng.exponential(tail_mean.as_millis_f64());
+                *base + SimDuration::from_millis_f64(tail)
+            }
+            LatencyModel::NormalClipped {
+                mean,
+                std_dev,
+                floor,
+            } => {
+                let v = rng.normal(mean.as_millis_f64(), std_dev.as_millis_f64());
+                let d = SimDuration::from_millis_f64(v);
+                if d < *floor {
+                    *floor
+                } else {
+                    d
+                }
+            }
+            LatencyModel::Bimodal { fast, slow, p_slow } => {
+                if rng.chance(*p_slow) {
+                    slow.sample(rng)
+                } else {
+                    fast.sample(rng)
+                }
+            }
+        }
+    }
+
+    /// The exact expected value of the distribution, in milliseconds.
+    ///
+    /// The analytic models in `wv-analysis` use this to predict the latency
+    /// rows of the paper tables without running the simulator.
+    pub fn mean_millis(&self) -> f64 {
+        match self {
+            LatencyModel::Constant(d) => d.as_millis_f64(),
+            LatencyModel::Uniform { lo, hi } => (lo.as_millis_f64() + hi.as_millis_f64()) / 2.0,
+            LatencyModel::ShiftedExponential { base, tail_mean } => {
+                base.as_millis_f64() + tail_mean.as_millis_f64()
+            }
+            // Clipping shifts the mean upward slightly; for reporting we use
+            // the unclipped mean, which is exact when `floor` is far below.
+            LatencyModel::NormalClipped { mean, .. } => mean.as_millis_f64(),
+            LatencyModel::Bimodal { fast, slow, p_slow } => {
+                let p = p_slow.clamp(0.0, 1.0);
+                (1.0 - p) * fast.mean_millis() + p * slow.mean_millis()
+            }
+        }
+    }
+}
+
+/// The paper's testbed access-latency constants, for convenience.
+///
+/// These reproduce the numbers in the "three example file suites" table:
+/// a weak representative on the local machine answers in 65 ms, the local
+/// file system in 75 ms, a server on the same local network in 100 ms, and
+/// a server across the internetwork in 750 ms.
+pub mod paper {
+    use super::LatencyModel;
+
+    /// Access latency of a weak representative held on the local machine.
+    pub const LOCAL_WEAK_MS: u64 = 65;
+    /// Access latency of the local file system.
+    pub const LOCAL_FS_MS: u64 = 75;
+    /// Access latency of a file server on the same local network.
+    pub const SAME_NET_MS: u64 = 100;
+    /// Access latency of a file server across the internetwork.
+    pub const CROSS_NET_MS: u64 = 750;
+
+    /// Constant model for a local weak representative.
+    pub fn local_weak() -> LatencyModel {
+        LatencyModel::constant_millis(LOCAL_WEAK_MS)
+    }
+
+    /// Constant model for the local file system.
+    pub fn local_fs() -> LatencyModel {
+        LatencyModel::constant_millis(LOCAL_FS_MS)
+    }
+
+    /// Constant model for a same-network file server.
+    pub fn same_net() -> LatencyModel {
+        LatencyModel::constant_millis(SAME_NET_MS)
+    }
+
+    /// Constant model for a cross-network file server.
+    pub fn cross_net() -> LatencyModel {
+        LatencyModel::constant_millis(CROSS_NET_MS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(0xD15F)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::constant_millis(75);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut r), SimDuration::from_millis(75));
+        }
+        assert_eq!(m.mean_millis(), 75.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_millis(10),
+            hi: SimDuration::from_millis(20),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let d = m.sample(&mut r);
+            assert!(d >= SimDuration::from_millis(10) && d <= SimDuration::from_millis(20));
+        }
+        assert_eq!(m.mean_millis(), 15.0);
+    }
+
+    #[test]
+    fn uniform_degenerate_range() {
+        let m = LatencyModel::Uniform {
+            lo: SimDuration::from_millis(5),
+            hi: SimDuration::from_millis(5),
+        };
+        assert_eq!(m.sample(&mut rng()), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn shifted_exponential_respects_base() {
+        let m = LatencyModel::ShiftedExponential {
+            base: SimDuration::from_millis(100),
+            tail_mean: SimDuration::from_millis(10),
+        };
+        let mut r = rng();
+        let mut sum = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let d = m.sample(&mut r);
+            assert!(d >= SimDuration::from_millis(100));
+            sum += d.as_millis_f64();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 110.0).abs() < 2.0, "mean {mean}");
+        assert_eq!(m.mean_millis(), 110.0);
+    }
+
+    #[test]
+    fn normal_clipped_respects_floor() {
+        let m = LatencyModel::NormalClipped {
+            mean: SimDuration::from_millis(10),
+            std_dev: SimDuration::from_millis(8),
+            floor: SimDuration::from_millis(4),
+        };
+        let mut r = rng();
+        for _ in 0..2000 {
+            assert!(m.sample(&mut r) >= SimDuration::from_millis(4));
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let m = LatencyModel::Bimodal {
+            fast: Box::new(LatencyModel::constant_millis(1)),
+            slow: Box::new(LatencyModel::constant_millis(100)),
+            p_slow: 0.25,
+        };
+        let mut r = rng();
+        let n = 10_000;
+        let slow = (0..n)
+            .filter(|_| m.sample(&mut r) == SimDuration::from_millis(100))
+            .count();
+        let frac = slow as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "slow fraction {frac}");
+        assert!((m.mean_millis() - 25.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_constants_match_table() {
+        assert_eq!(paper::local_weak().mean_millis(), 65.0);
+        assert_eq!(paper::local_fs().mean_millis(), 75.0);
+        assert_eq!(paper::same_net().mean_millis(), 100.0);
+        assert_eq!(paper::cross_net().mean_millis(), 750.0);
+    }
+}

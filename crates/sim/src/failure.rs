@@ -1,0 +1,291 @@
+//! Crash/recovery schedules for availability experiments.
+//!
+//! The paper's blocking-probability analysis assumes each representative is
+//! independently unavailable with some probability (0.01 in the example
+//! table). This module provides the two ways the repository realises that
+//! assumption in simulation:
+//!
+//! * [`FailureSchedule::bernoulli_snapshot`] — sample an up/down state per
+//!   site once per trial, matching the closed-form model exactly.
+//! * [`FailureSchedule::mttf_mttr`] — alternate exponentially distributed
+//!   up and down intervals, giving a continuous-time process whose
+//!   long-run unavailability is `mttr / (mttf + mttr)`.
+//!
+//! A schedule is a set of [`OutageWindow`]s per site, queried with
+//! [`FailureSchedule::is_down`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A half-open interval `[from, until)` during which a site is down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutageWindow {
+    /// First instant of the outage.
+    pub from: SimTime,
+    /// First instant after the outage ends.
+    pub until: SimTime,
+}
+
+impl OutageWindow {
+    /// True if `t` falls inside the outage.
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+
+    /// Length of the outage.
+    pub fn length(&self) -> SimDuration {
+        self.until.since(self.from)
+    }
+}
+
+/// Per-site outage windows over a simulation horizon.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct FailureSchedule {
+    outages: Vec<Vec<OutageWindow>>,
+}
+
+impl FailureSchedule {
+    /// A schedule for `sites` sites with no outages.
+    pub fn none(sites: usize) -> Self {
+        FailureSchedule {
+            outages: vec![Vec::new(); sites],
+        }
+    }
+
+    /// Number of sites covered by the schedule.
+    pub fn sites(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Adds an explicit outage window for `site`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range or the window is empty/inverted.
+    pub fn add_outage(&mut self, site: usize, from: SimTime, until: SimTime) {
+        assert!(site < self.outages.len(), "site {site} out of range");
+        assert!(from < until, "outage window must be non-empty");
+        self.outages[site].push(OutageWindow { from, until });
+        self.outages[site].sort_by_key(|w| w.from);
+    }
+
+    /// A snapshot schedule: each site is down for the *entire* horizon with
+    /// probability `p_down`, independently. This is the discrete model
+    /// behind the paper's blocking-probability column.
+    pub fn bernoulli_snapshot(
+        sites: usize,
+        p_down: f64,
+        horizon: SimTime,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mut s = FailureSchedule::none(sites);
+        for site in 0..sites {
+            if rng.chance(p_down) {
+                s.add_outage(site, SimTime::ZERO, horizon.max(SimTime::from_micros(1)));
+            }
+        }
+        s
+    }
+
+    /// A continuous-time schedule: each site alternates exponentially
+    /// distributed up intervals (mean `mttf`) and down intervals (mean
+    /// `mttr`), independently, until `horizon`.
+    pub fn mttf_mttr(
+        sites: usize,
+        mttf: SimDuration,
+        mttr: SimDuration,
+        horizon: SimTime,
+        rng: &mut DetRng,
+    ) -> Self {
+        let mut s = FailureSchedule::none(sites);
+        for site in 0..sites {
+            let mut site_rng = rng.fork(site as u64 + 1);
+            let mut t = SimTime::ZERO;
+            loop {
+                let up = SimDuration::from_millis_f64(site_rng.exponential(mttf.as_millis_f64()));
+                t += up;
+                if t >= horizon {
+                    break;
+                }
+                let down_len =
+                    SimDuration::from_millis_f64(site_rng.exponential(mttr.as_millis_f64()))
+                        .max(SimDuration::from_micros(1));
+                let end = (t + down_len).min(horizon);
+                if t < end {
+                    s.add_outage(site, t, end);
+                }
+                t = end;
+                if t >= horizon {
+                    break;
+                }
+            }
+        }
+        s
+    }
+
+    /// True if `site` is down at instant `t`. Sites outside the schedule
+    /// are considered up.
+    pub fn is_down(&self, site: usize, t: SimTime) -> bool {
+        self.outages
+            .get(site)
+            .is_some_and(|ws| ws.iter().any(|w| w.contains(t)))
+    }
+
+    /// The outage windows recorded for `site`.
+    pub fn windows(&self, site: usize) -> &[OutageWindow] {
+        self.outages.get(site).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Fraction of `[0, horizon)` during which `site` is down.
+    pub fn downtime_fraction(&self, site: usize, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        let down: u64 = self
+            .windows(site)
+            .iter()
+            .map(|w| {
+                let from = w.from.min(horizon);
+                let until = w.until.min(horizon);
+                until.since(from).as_micros()
+            })
+            .sum();
+        down as f64 / horizon.as_micros() as f64
+    }
+
+    /// The next instant at or after `t` when `site`'s availability changes,
+    /// or `None` if it never changes again. Lets simulations schedule
+    /// crash/recover events exactly.
+    pub fn next_transition(&self, site: usize, t: SimTime) -> Option<SimTime> {
+        let mut best: Option<SimTime> = None;
+        for w in self.windows(site) {
+            for edge in [w.from, w.until] {
+                if edge >= t {
+                    best = Some(best.map_or(edge, |b| b.min(edge)));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_windows_answer_is_down() {
+        let mut s = FailureSchedule::none(2);
+        s.add_outage(0, SimTime::from_millis(10), SimTime::from_millis(20));
+        assert!(!s.is_down(0, SimTime::from_millis(9)));
+        assert!(s.is_down(0, SimTime::from_millis(10)));
+        assert!(s.is_down(0, SimTime::from_millis(19)));
+        assert!(!s.is_down(0, SimTime::from_millis(20)));
+        assert!(!s.is_down(1, SimTime::from_millis(15)));
+        // Unknown sites are up.
+        assert!(!s.is_down(99, SimTime::from_millis(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn inverted_window_rejected() {
+        let mut s = FailureSchedule::none(1);
+        s.add_outage(0, SimTime::from_millis(20), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn bernoulli_snapshot_matches_probability() {
+        let rng = DetRng::new(77);
+        let horizon = SimTime::from_secs(10);
+        let trials = 5000;
+        let mut down = 0;
+        for t in 0..trials {
+            let mut r = rng.fork(t);
+            let s = FailureSchedule::bernoulli_snapshot(1, 0.3, horizon, &mut r);
+            if s.is_down(0, SimTime::from_secs(5)) {
+                down += 1;
+            }
+        }
+        let frac = down as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.03, "down fraction {frac}");
+    }
+
+    #[test]
+    fn mttf_mttr_long_run_unavailability() {
+        let mut rng = DetRng::new(123);
+        let horizon = SimTime::from_secs(50_000);
+        let mttf = SimDuration::from_secs(90);
+        let mttr = SimDuration::from_secs(10);
+        let s = FailureSchedule::mttf_mttr(4, mttf, mttr, horizon, &mut rng);
+        for site in 0..4 {
+            let frac = s.downtime_fraction(site, horizon);
+            // Long-run unavailability should approach mttr/(mttf+mttr) = 0.1.
+            assert!((frac - 0.1).abs() < 0.03, "site {site} downtime {frac}");
+        }
+    }
+
+    #[test]
+    fn mttf_mttr_windows_are_within_horizon_and_ordered() {
+        let mut rng = DetRng::new(9);
+        let horizon = SimTime::from_secs(100);
+        let s = FailureSchedule::mttf_mttr(
+            3,
+            SimDuration::from_secs(5),
+            SimDuration::from_secs(1),
+            horizon,
+            &mut rng,
+        );
+        for site in 0..3 {
+            let ws = s.windows(site);
+            for w in ws {
+                assert!(w.from < w.until);
+                assert!(w.until <= horizon);
+            }
+            for pair in ws.windows(2) {
+                assert!(pair[0].until <= pair[1].from, "overlapping outages");
+            }
+        }
+    }
+
+    #[test]
+    fn next_transition_finds_edges() {
+        let mut s = FailureSchedule::none(1);
+        s.add_outage(0, SimTime::from_millis(10), SimTime::from_millis(20));
+        s.add_outage(0, SimTime::from_millis(40), SimTime::from_millis(50));
+        assert_eq!(
+            s.next_transition(0, SimTime::ZERO),
+            Some(SimTime::from_millis(10))
+        );
+        assert_eq!(
+            s.next_transition(0, SimTime::from_millis(15)),
+            Some(SimTime::from_millis(20))
+        );
+        assert_eq!(
+            s.next_transition(0, SimTime::from_millis(25)),
+            Some(SimTime::from_millis(40))
+        );
+        assert_eq!(s.next_transition(0, SimTime::from_millis(60)), None);
+    }
+
+    #[test]
+    fn downtime_fraction_truncates_at_horizon() {
+        let mut s = FailureSchedule::none(1);
+        s.add_outage(0, SimTime::from_millis(50), SimTime::from_millis(150));
+        let frac = s.downtime_fraction(0, SimTime::from_millis(100));
+        assert!((frac - 0.5).abs() < 1e-9);
+        assert_eq!(s.downtime_fraction(0, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn outage_window_helpers() {
+        let w = OutageWindow {
+            from: SimTime::from_millis(5),
+            until: SimTime::from_millis(9),
+        };
+        assert_eq!(w.length(), SimDuration::from_millis(4));
+        assert!(w.contains(SimTime::from_millis(5)));
+        assert!(!w.contains(SimTime::from_millis(9)));
+    }
+}

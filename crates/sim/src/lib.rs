@@ -1,0 +1,50 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the substrate that stands in for the paper's physical
+//! testbed (Gifford, *Weighted Voting for Replicated Data*, SOSP 1979).
+//! Every experiment in the repository runs on virtual time: events are
+//! executed in `(timestamp, sequence-number)` order, randomness comes from
+//! explicitly seeded generators, and therefore every run is reproducible
+//! bit-for-bit from its seed.
+//!
+//! The kernel is deliberately small and policy-free:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
+//! * [`Sim`] — the engine: a world value `W` plus a [`Scheduler`] of
+//!   closures to run against it at future instants.
+//! * [`rng::DetRng`] — seeded, forkable random streams.
+//! * [`dist::LatencyModel`] — the delay distributions used to model links
+//!   and storage devices.
+//! * [`stats`] — streaming statistics and sample sets for reporting.
+//! * [`failure`] — crash/recovery schedules for availability experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use wv_sim::{Sim, SimDuration};
+//!
+//! let mut sim = Sim::new(0u64);
+//! sim.scheduler().after(SimDuration::from_millis(5), |world, sched| {
+//!     *world += 1;
+//!     sched.after(SimDuration::from_millis(10), |world, _| *world += 10);
+//! });
+//! sim.run();
+//! assert_eq!(sim.world, 11);
+//! assert_eq!(sim.now().as_millis(), 15);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod failure;
+pub mod rng;
+pub mod sched;
+pub mod stats;
+pub mod time;
+
+pub use dist::LatencyModel;
+pub use failure::{FailureSchedule, OutageWindow};
+pub use rng::DetRng;
+pub use sched::{Scheduler, Sim};
+pub use stats::{Histogram, SampleSet, Summary};
+pub use time::{SimDuration, SimTime};

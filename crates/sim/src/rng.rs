@@ -1,0 +1,279 @@
+//! Deterministic, forkable random-number streams.
+//!
+//! Every source of randomness in the repository flows through [`DetRng`] so
+//! that an experiment is a pure function of its seed. Substreams are derived
+//! with [`DetRng::fork`], which mixes a label into the parent seed; forking
+//! gives each simulated site, link, and workload generator an independent
+//! stream whose draws do not shift when an unrelated component consumes more
+//! or fewer random numbers.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random stream with stable forking.
+///
+/// Wraps [`SmallRng`] (a small-state, fast, non-cryptographic generator —
+/// exactly right for simulation) and remembers the seed it was built from so
+/// that child streams can be derived reproducibly.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    seed: u64,
+    inner: SmallRng,
+}
+
+impl DetRng {
+    /// Creates a stream from a seed.
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            seed,
+            inner: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child stream identified by `label`.
+    ///
+    /// The child's seed depends only on the parent's *seed* and the label,
+    /// not on how many values the parent has produced, so the set of
+    /// substreams in a simulation is fixed at construction time.
+    pub fn fork(&self, label: u64) -> DetRng {
+        DetRng::new(mix(self.seed, label))
+    }
+
+    /// Derives a child stream from a string label.
+    pub fn fork_named(&self, label: &str) -> DetRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.fork(h)
+    }
+
+    /// Draws a uniformly distributed `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Draws a uniformly distributed `u64`.
+    pub fn u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Draws a uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Draws a uniform integer in the inclusive range `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        self.inner.gen_range(lo..=hi)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Draws from the exponential distribution with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times and memoryless failure models.
+    /// A non-positive mean yields zero.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF sampling; `1 - u` keeps the argument of `ln` nonzero.
+        let u: f64 = self.inner.gen::<f64>();
+        -mean * (1.0_f64 - u).ln()
+    }
+
+    /// Draws from the normal distribution via the Box–Muller transform.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        if std_dev <= 0.0 {
+            return mean;
+        }
+        let u1: f64 = 1.0 - self.inner.gen::<f64>(); // in (0, 1]
+        let u2: f64 = self.inner.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Chooses a uniformly random element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            let idx = self.below(items.len() as u64) as usize;
+            Some(&items[idx])
+        }
+    }
+
+    /// Produces a uniformly random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+        v
+    }
+
+    /// Shuffles a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+/// SplitMix64-style avalanche mix of a seed and a label.
+fn mix(seed: u64, label: u64) -> u64 {
+    let mut z = seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.u64(), b.u64());
+        }
+    }
+
+    #[test]
+    fn forks_are_independent_of_parent_consumption() {
+        let parent1 = DetRng::new(7);
+        let mut parent2 = DetRng::new(7);
+        // Consume from parent2 before forking; the fork must be unaffected.
+        for _ in 0..50 {
+            parent2.u64();
+        }
+        let mut c1 = parent1.fork(3);
+        let mut c2 = parent2.fork(3);
+        for _ in 0..20 {
+            assert_eq!(c1.u64(), c2.u64());
+        }
+    }
+
+    #[test]
+    fn distinct_labels_give_distinct_streams() {
+        let root = DetRng::new(1);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..32).filter(|_| a.u64() == b.u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn named_forks_are_stable() {
+        let root = DetRng::new(9);
+        assert_eq!(
+            root.fork_named("site-0").u64(),
+            root.fork_named("site-0").u64()
+        );
+        assert_ne!(
+            root.fork_named("site-0").seed(),
+            root.fork_named("site-1").seed()
+        );
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(5);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = DetRng::new(11);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(10.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean} too far from 10");
+        assert_eq!(r.exponential(0.0), 0.0);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = DetRng::new(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+        assert_eq!(r.normal(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let mut r = DetRng::new(17);
+        let p = r.permutation(100);
+        let mut seen = [false; 100];
+        for &i in &p {
+            assert!(!seen[i]);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn below_and_range_bounds() {
+        let mut r = DetRng::new(19);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+            let x = r.range_inclusive(3, 5);
+            assert!((3..=5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = DetRng::new(23);
+        let empty: &[u32] = &[];
+        assert!(r.choose(empty).is_none());
+        assert_eq!(r.choose(&[42]), Some(&42));
+    }
+}

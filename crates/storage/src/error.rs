@@ -1,0 +1,54 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use crate::container::TxId;
+
+/// Errors returned by [`crate::Container`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// The transaction id is not active in this container.
+    UnknownTx(TxId),
+    /// The operation is illegal in the transaction's current phase
+    /// (e.g. staging a write into a prepared transaction).
+    WrongPhase {
+        /// The offending transaction.
+        tx: TxId,
+        /// What the caller tried to do.
+        op: &'static str,
+    },
+    /// The container is simulating a crash; all operations fail until
+    /// recovery runs.
+    Crashed,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTx(tx) => write!(f, "unknown transaction {tx:?}"),
+            StorageError::WrongPhase { tx, op } => {
+                write!(f, "operation `{op}` illegal in current phase of {tx:?}")
+            }
+            StorageError::Crashed => write!(f, "container is crashed"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnknownTx(TxId(4));
+        assert!(e.to_string().contains("unknown transaction"));
+        let e = StorageError::WrongPhase {
+            tx: TxId(1),
+            op: "stage_put",
+        };
+        assert!(e.to_string().contains("stage_put"));
+        assert!(StorageError::Crashed.to_string().contains("crashed"));
+    }
+}

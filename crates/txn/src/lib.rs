@@ -1,0 +1,23 @@
+//! Transaction substrate: locking and atomic multi-container commit.
+//!
+//! Gifford's weighted voting runs *inside* transactions supplied by the
+//! underlying file system (Violet). This crate supplies that machinery:
+//!
+//! * [`lock`] — a strict two-phase lock manager with the three modes the
+//!   paper's system used: `Shared` for readers, `IntendWrite` for writers
+//!   during the transaction body (compatible with readers, conflicting
+//!   with other writers), and `Exclusive` taken at commit point. Deadlocks
+//!   are handled by wait-die (with a no-wait variant for the ablation
+//!   bench).
+//! * [`twopc`] — pure coordinator/participant state machines for two-phase
+//!   commit, used by the suite servers to install a write at a quorum of
+//!   containers atomically, plus a synchronous helper for co-located
+//!   containers.
+
+#![warn(missing_docs)]
+
+pub mod lock;
+pub mod twopc;
+
+pub use lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
+pub use twopc::{commit_across, Coordinator, Decision, Vote};

@@ -1,0 +1,632 @@
+//! Strict two-phase locking with Violet's three lock modes.
+//!
+//! The paper's transactions take `Shared` locks to read representatives and
+//! `IntendWrite` locks while producing a new version; at commit point the
+//! intention lock is upgraded to `Exclusive` so readers never observe a
+//! half-installed version. Compatibility:
+//!
+//! ```text
+//!              Shared  IntendWrite  Exclusive
+//! Shared         ok        ok          --
+//! IntendWrite    ok        --          --
+//! Exclusive      --        --          --
+//! ```
+//!
+//! Deadlock handling is wait-die: on conflict, a requester older than every
+//! conflicting holder waits; a younger requester is killed (it must abort
+//! and retry with its original timestamp so it eventually ages to the
+//! front). The alternative `NoWait` policy (kill on any conflict) is kept
+//! for the E8 ablation.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+use wv_storage::ObjectId;
+
+/// A transaction's identity for locking purposes.
+///
+/// `ts` is the transaction's birth timestamp (smaller = older); wait-die
+/// compares these. Retries must reuse the original `ts` to avoid
+/// starvation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TxToken {
+    /// Birth timestamp; the wait-die priority (smaller = older = wins).
+    pub ts: u64,
+    /// Unique transaction id (tie-breaker and identity).
+    pub id: u64,
+}
+
+impl TxToken {
+    /// Creates a token. For simple uses where ids are already unique and
+    /// monotone, pass the same value for both fields.
+    pub fn new(ts: u64, id: u64) -> Self {
+        TxToken { ts, id }
+    }
+}
+
+/// The three lock modes of the paper's transaction system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LockMode {
+    /// Reader lock.
+    Shared,
+    /// Writer lock held during the transaction body; lets readers proceed.
+    IntendWrite,
+    /// Commit-point lock; conflicts with everything.
+    Exclusive,
+}
+
+impl LockMode {
+    /// True if a holder in `self` mode can coexist with a holder in
+    /// `other` mode.
+    pub fn compatible(self, other: LockMode) -> bool {
+        use LockMode::*;
+        matches!(
+            (self, other),
+            (Shared, Shared) | (Shared, IntendWrite) | (IntendWrite, Shared)
+        )
+    }
+
+    /// True if `self` subsumes `other` (holding `self` already grants the
+    /// rights of `other`).
+    pub fn covers(self, other: LockMode) -> bool {
+        use LockMode::*;
+        match (self, other) {
+            (a, b) if a == b => true,
+            (Exclusive, _) => true,
+            (IntendWrite, Shared) => true,
+            _ => false,
+        }
+    }
+}
+
+/// How conflicts are resolved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum DeadlockPolicy {
+    /// Older transactions wait for younger ones; younger die. Deadlock-free
+    /// and starvation-free given timestamp reuse on retry.
+    #[default]
+    WaitDie,
+    /// Any conflict kills the requester. Simplest, most aborts.
+    NoWait,
+}
+
+/// The outcome of a lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockReply {
+    /// The lock is held; proceed.
+    Granted,
+    /// The request is queued; the caller will be told when granted (see
+    /// [`LockManager::release_all`]'s return value).
+    Queued,
+    /// Wait-die / no-wait killed the request; abort and retry later.
+    Aborted,
+}
+
+#[derive(Debug, Default)]
+struct Entry {
+    /// Strongest granted mode per holder.
+    holders: BTreeMap<TxToken, LockMode>,
+    /// FIFO wait queue.
+    queue: VecDeque<(TxToken, LockMode)>,
+}
+
+impl Entry {
+    fn conflicts_with_holders(&self, tx: TxToken, mode: LockMode) -> Vec<TxToken> {
+        self.holders
+            .iter()
+            .filter(|(holder, held)| **holder != tx && !mode.compatible(**held))
+            .map(|(holder, _)| *holder)
+            .collect()
+    }
+}
+
+/// A granted lock delivered asynchronously after a release.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Granted {
+    /// The transaction whose queued request was granted.
+    pub tx: TxToken,
+    /// The object it now holds.
+    pub object: ObjectId,
+    /// The granted mode.
+    pub mode: LockMode,
+}
+
+/// A strict-2PL lock table over objects.
+///
+/// The manager is single-threaded by design: each site owns one, and the
+/// `wv-net` transports serialize node activity. (Wrap in a mutex for the
+/// thread transport.)
+#[derive(Debug, Default)]
+pub struct LockManager {
+    policy: DeadlockPolicy,
+    table: HashMap<ObjectId, Entry>,
+    stats: LockStats,
+}
+
+/// Counters for the lock-contention experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Requests granted immediately.
+    pub granted: u64,
+    /// Requests queued.
+    pub queued: u64,
+    /// Requests killed by the deadlock policy.
+    pub aborted: u64,
+    /// Grants delivered from the queue after a release.
+    pub promoted: u64,
+}
+
+impl LockManager {
+    /// A lock manager with the given deadlock policy.
+    pub fn new(policy: DeadlockPolicy) -> Self {
+        LockManager {
+            policy,
+            ..LockManager::default()
+        }
+    }
+
+    /// The deadlock policy in force.
+    pub fn policy(&self) -> DeadlockPolicy {
+        self.policy
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+
+    /// Requests `mode` on `object` for `tx`.
+    ///
+    /// Re-requesting a mode already covered by the held mode returns
+    /// `Granted` immediately. Requesting a stronger mode is an upgrade and
+    /// is evaluated against the other holders only.
+    pub fn lock(&mut self, tx: TxToken, object: ObjectId, mode: LockMode) -> LockReply {
+        let entry = self.table.entry(object).or_default();
+        if let Some(held) = entry.holders.get(&tx) {
+            if held.covers(mode) {
+                self.stats.granted += 1;
+                return LockReply::Granted;
+            }
+        }
+        let conflicts = entry.conflicts_with_holders(tx, mode);
+        // Fairness: a fresh (non-upgrade) request must also respect the
+        // queue, or waiters starve behind a stream of compatible holders.
+        // Upgrades bypass the queue: the holder already owns part of the
+        // object, and making it wait behind later arrivals deadlocks with
+        // wait-die's guarantees.
+        let is_upgrade = entry.holders.contains_key(&tx);
+        let blocked_by_queue = !is_upgrade && !entry.queue.is_empty();
+        if conflicts.is_empty() && !blocked_by_queue {
+            let slot = entry.holders.entry(tx).or_insert(mode);
+            if mode.covers(*slot) {
+                *slot = mode;
+            }
+            self.stats.granted += 1;
+            return LockReply::Granted;
+        }
+        match self.policy {
+            DeadlockPolicy::NoWait => {
+                self.stats.aborted += 1;
+                LockReply::Aborted
+            }
+            DeadlockPolicy::WaitDie => {
+                // Die if any conflicting holder is older than (or tied
+                // with) the requester; queue-blocked requests compare with
+                // queue heads too, else a young tx could wait behind an old
+                // one and form a cycle through the queue.
+                let oldest_obstacle = conflicts
+                    .iter()
+                    .copied()
+                    .chain(if blocked_by_queue {
+                        entry.queue.front().map(|(t, _)| *t)
+                    } else {
+                        None
+                    })
+                    .min();
+                match oldest_obstacle {
+                    Some(obstacle) if (tx.ts, tx.id) < (obstacle.ts, obstacle.id) => {
+                        entry.queue.push_back((tx, mode));
+                        self.stats.queued += 1;
+                        LockReply::Queued
+                    }
+                    Some(_) => {
+                        self.stats.aborted += 1;
+                        LockReply::Aborted
+                    }
+                    // Unreachable: no conflicts and no queue block was
+                    // handled above; defensive grant.
+                    None => {
+                        entry.holders.insert(tx, mode);
+                        self.stats.granted += 1;
+                        LockReply::Granted
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases every lock and queued request of `tx` (strict 2PL releases
+    /// at commit/abort only). Returns the queued requests that became
+    /// granted, in grant order — the caller resumes those transactions.
+    pub fn release_all(&mut self, tx: TxToken) -> Vec<Granted> {
+        let mut granted = Vec::new();
+        let mut empty_objects = Vec::new();
+        for (object, entry) in self.table.iter_mut() {
+            entry.holders.remove(&tx);
+            entry.queue.retain(|(t, _)| *t != tx);
+            // Promote waiters FIFO until the head can't be granted.
+            while let Some((head, mode)) = entry.queue.front().copied() {
+                let conflicts = entry.conflicts_with_holders(head, mode);
+                if conflicts.is_empty() {
+                    entry.queue.pop_front();
+                    let slot = entry.holders.entry(head).or_insert(mode);
+                    if mode.covers(*slot) {
+                        *slot = mode;
+                    }
+                    granted.push(Granted {
+                        tx: head,
+                        object: *object,
+                        mode,
+                    });
+                    self.stats.promoted += 1;
+                } else {
+                    break;
+                }
+            }
+            if entry.holders.is_empty() && entry.queue.is_empty() {
+                empty_objects.push(*object);
+            }
+        }
+        for o in empty_objects {
+            self.table.remove(&o);
+        }
+        // Deterministic order for callers and tests.
+        granted.sort_by_key(|g| (g.object, g.tx));
+        granted
+    }
+
+    /// The mode `tx` holds on `object`, if any.
+    pub fn held(&self, tx: TxToken, object: ObjectId) -> Option<LockMode> {
+        self.table.get(&object)?.holders.get(&tx).copied()
+    }
+
+    /// The transaction holding `object` in `Exclusive` mode, if any.
+    ///
+    /// Suite servers use this to turn reads away (`Busy`) while a write
+    /// sits at its commit point.
+    pub fn exclusive_holder(&self, object: ObjectId) -> Option<TxToken> {
+        self.table.get(&object)?.holders.iter().find_map(|(tx, m)| {
+            if *m == LockMode::Exclusive {
+                Some(*tx)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Number of transactions currently holding `object`.
+    pub fn holder_count(&self, object: ObjectId) -> usize {
+        self.table.get(&object).map_or(0, |e| e.holders.len())
+    }
+
+    /// Number of queued requests on `object`.
+    pub fn queue_len(&self, object: ObjectId) -> usize {
+        self.table.get(&object).map_or(0, |e| e.queue.len())
+    }
+
+    /// True if no locks are held or queued anywhere.
+    pub fn is_quiescent(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OBJ: ObjectId = ObjectId(1);
+
+    fn t(n: u64) -> TxToken {
+        TxToken::new(n, n)
+    }
+
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible(Shared));
+        assert!(Shared.compatible(IntendWrite));
+        assert!(IntendWrite.compatible(Shared));
+        assert!(!IntendWrite.compatible(IntendWrite));
+        assert!(!Exclusive.compatible(Shared));
+        assert!(!Shared.compatible(Exclusive));
+        assert!(!Exclusive.compatible(Exclusive));
+        assert!(!IntendWrite.compatible(Exclusive));
+    }
+
+    #[test]
+    fn covers_lattice() {
+        use LockMode::*;
+        assert!(Exclusive.covers(Shared));
+        assert!(Exclusive.covers(IntendWrite));
+        assert!(IntendWrite.covers(Shared));
+        assert!(!Shared.covers(IntendWrite));
+        assert!(!IntendWrite.covers(Exclusive));
+        assert!(Shared.covers(Shared));
+    }
+
+    #[test]
+    fn readers_share() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Granted);
+        assert_eq!(lm.lock(t(2), OBJ, LockMode::Shared), LockReply::Granted);
+        assert_eq!(lm.holder_count(OBJ), 2);
+    }
+
+    #[test]
+    fn reader_and_intender_share_but_two_intenders_conflict() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Granted);
+        assert_eq!(lm.lock(t(2), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        // t3 is younger than holder t2 -> dies under wait-die.
+        assert_eq!(lm.lock(t(3), OBJ, LockMode::IntendWrite), LockReply::Aborted);
+        // t0 is older than t2 -> waits.
+        assert_eq!(lm.lock(t(0), OBJ, LockMode::IntendWrite), LockReply::Queued);
+        assert_eq!(lm.queue_len(OBJ), 1);
+    }
+
+    #[test]
+    fn exclusive_blocks_everyone() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(5), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(6), OBJ, LockMode::Shared), LockReply::Aborted); // younger dies
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Queued); // older waits
+    }
+
+    #[test]
+    fn release_promotes_fifo() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(5), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Queued);
+        // Waiting behind queue-head t1 requires being older than it.
+        assert_eq!(lm.lock(t(0), OBJ, LockMode::Shared), LockReply::Queued);
+        let granted = lm.release_all(t(5));
+        assert_eq!(granted.len(), 2);
+        assert!(granted.iter().all(|g| g.mode == LockMode::Shared));
+        assert_eq!(lm.holder_count(OBJ), 2);
+        assert_eq!(lm.queue_len(OBJ), 0);
+    }
+
+    #[test]
+    fn promotion_stops_at_first_conflict() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(9), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(2), OBJ, LockMode::IntendWrite), LockReply::Queued);
+        // t1 is older than queue-head t2, so it waits behind it.
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Queued);
+        let granted = lm.release_all(t(9));
+        // Only the first intender gets in; the second still conflicts.
+        assert_eq!(granted.len(), 1);
+        assert_eq!(granted[0].tx, t(2));
+        assert_eq!(lm.queue_len(OBJ), 1);
+    }
+
+    #[test]
+    fn upgrade_intend_to_exclusive_waits_for_readers() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(lm.lock(t(2), OBJ, LockMode::Shared), LockReply::Granted);
+        // Upgrade conflicts with the reader t2; t1 is older so it queues.
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Exclusive), LockReply::Queued);
+        let granted = lm.release_all(t(2));
+        assert_eq!(
+            granted,
+            vec![Granted {
+                tx: t(1),
+                object: OBJ,
+                mode: LockMode::Exclusive
+            }]
+        );
+        assert_eq!(lm.held(t(1), OBJ), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_when_alone_is_immediate() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.held(t(1), OBJ), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn rerequest_of_covered_mode_is_granted() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Granted);
+        assert_eq!(lm.held(t(1), OBJ), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn fresh_requests_respect_the_queue() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(5), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Queued);
+        // A shared request would be compatible with the holder, but jumping
+        // the queue would starve t1. t2 is younger than queue-head t1 -> dies.
+        assert_eq!(lm.lock(t(2), OBJ, LockMode::Shared), LockReply::Aborted);
+        // An older shared request waits instead.
+        assert_eq!(lm.lock(t(0), OBJ, LockMode::Shared), LockReply::Queued);
+    }
+
+    #[test]
+    fn no_wait_policy_aborts_on_any_conflict() {
+        let mut lm = LockManager::new(DeadlockPolicy::NoWait);
+        assert_eq!(lm.policy(), DeadlockPolicy::NoWait);
+        assert_eq!(lm.lock(t(5), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Aborted);
+        assert_eq!(lm.lock(t(9), OBJ, LockMode::Shared), LockReply::Aborted);
+        assert_eq!(lm.stats().aborted, 2);
+    }
+
+    #[test]
+    fn release_clears_queue_entries_of_dead_tx() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(5), OBJ, LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Queued);
+        // t1 gives up (e.g. client timeout) before being granted.
+        let granted = lm.release_all(t(1));
+        assert!(granted.is_empty());
+        assert_eq!(lm.queue_len(OBJ), 0);
+        lm.release_all(t(5));
+        assert!(lm.is_quiescent());
+    }
+
+    #[test]
+    fn locks_on_different_objects_do_not_interact() {
+        let mut lm = LockManager::default();
+        assert_eq!(lm.lock(t(1), ObjectId(1), LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.lock(t(2), ObjectId(2), LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(lm.holder_count(ObjectId(1)), 1);
+        assert_eq!(lm.holder_count(ObjectId(2)), 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut lm = LockManager::default();
+        lm.lock(t(5), OBJ, LockMode::Exclusive);
+        lm.lock(t(1), OBJ, LockMode::Shared); // queued
+        lm.lock(t(9), OBJ, LockMode::Shared); // aborted
+        lm.release_all(t(5)); // promotes t1
+        let s = lm.stats();
+        assert_eq!(s.granted, 1);
+        assert_eq!(s.queued, 1);
+        assert_eq!(s.aborted, 1);
+        assert_eq!(s.promoted, 1);
+    }
+
+    #[test]
+    fn old_timestamps_eventually_win_through_retries() {
+        // Starvation-freedom rationale: an operation that retries with its
+        // original (aging) timestamp outranks every newcomer, so once it
+        // is oldest it either queues (and gets promoted) or grabs the
+        // lock. Simulate a victim racing a stream of newcomers.
+        let mut lm = LockManager::default();
+        let victim = TxToken::new(10, 10);
+        let mut newcomer = 100u64;
+        let mut acquired = false;
+        // A newcomer holds the lock first.
+        assert_eq!(lm.lock(TxToken::new(99, 99), OBJ, LockMode::Exclusive), LockReply::Granted);
+        let mut holder = TxToken::new(99, 99);
+        for _round in 0..50 {
+            match lm.lock(victim, OBJ, LockMode::Exclusive) {
+                LockReply::Granted => {
+                    acquired = true;
+                    break;
+                }
+                LockReply::Queued => {
+                    // Holder finishes; promotion must hand the lock to the
+                    // queued victim, not to any newcomer that arrives next.
+                    let granted = lm.release_all(holder);
+                    assert!(granted.iter().any(|g| g.tx == victim), "victim skipped");
+                    acquired = true;
+                    break;
+                }
+                LockReply::Aborted => unreachable!("victim is older than every holder"),
+            }
+        }
+        assert!(acquired, "victim starved");
+        // And with the victim holding, newcomers die instead of barging.
+        newcomer += 1;
+        assert_eq!(
+            lm.lock(TxToken::new(newcomer, newcomer), OBJ, LockMode::Exclusive),
+            LockReply::Aborted
+        );
+        let _ = holder;
+        holder = victim; // silence unused reassignment paths in older rustc
+        let _ = holder;
+    }
+
+    mod waitdie_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Wait-die never queues a transaction behind an older one, so
+            /// the waits-for graph is acyclic: along any object's queue and
+            /// holder set, priority strictly decreases from waiter to
+            /// obstacle.
+            #[test]
+            fn no_wait_cycles(ops in proptest::collection::vec(
+                (0u64..8, 0u64..3, 0u8..3, any::<bool>()), 1..60)
+            ) {
+                let mut lm = LockManager::default();
+                let mut alive: std::collections::HashSet<u64> =
+                    std::collections::HashSet::new();
+                for (txn, obj, mode, release) in ops {
+                    let tok = TxToken::new(txn, txn);
+                    if release {
+                        lm.release_all(tok);
+                        alive.remove(&txn);
+                        continue;
+                    }
+                    alive.insert(txn);
+                    let mode = match mode {
+                        0 => LockMode::Shared,
+                        1 => LockMode::IntendWrite,
+                        _ => LockMode::Exclusive,
+                    };
+                    let reply = lm.lock(tok, ObjectId(obj), mode);
+                    if reply == LockReply::Queued {
+                        // Invariant: every queued tx is strictly older than
+                        // at least everything it conflicts with; checked
+                        // indirectly by asserting queue order per object is
+                        // achievable — a queued tx must be older than the
+                        // youngest current conflicting holder.
+                        prop_assert!(lm.queue_len(ObjectId(obj)) >= 1);
+                    }
+                }
+                // Drain: releasing every transaction must empty the table
+                // (no lost queue entries, no stuck grants).
+                let txns: Vec<u64> = alive.into_iter().collect();
+                for txn in txns {
+                    lm.release_all(TxToken::new(txn, txn));
+                }
+                prop_assert!(lm.is_quiescent());
+            }
+
+            /// Granted sets are always mutually compatible (ignoring the
+            /// same-transaction multi-mode case, which `covers` collapses).
+            #[test]
+            fn holders_always_compatible(ops in proptest::collection::vec(
+                (0u64..6, 0u64..2, 0u8..3), 1..40)
+            ) {
+                let mut lm = LockManager::default();
+                for (txn, obj, mode) in ops {
+                    let mode = match mode {
+                        0 => LockMode::Shared,
+                        1 => LockMode::IntendWrite,
+                        _ => LockMode::Exclusive,
+                    };
+                    let _ = lm.lock(TxToken::new(txn, txn), ObjectId(obj), mode);
+                    for o in [ObjectId(0), ObjectId(1)] {
+                        let holders: Vec<(TxToken, LockMode)> = (0u64..6)
+                            .filter_map(|t| {
+                                let tok = TxToken::new(t, t);
+                                lm.held(tok, o).map(|m| (tok, m))
+                            })
+                            .collect();
+                        for (i, (ta, ma)) in holders.iter().enumerate() {
+                            for (tb, mb) in holders.iter().skip(i + 1) {
+                                if ta != tb {
+                                    prop_assert!(
+                                        ma.compatible(*mb) || mb.compatible(*ma),
+                                        "incompatible co-holders {ta:?}:{ma:?} vs {tb:?}:{mb:?}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

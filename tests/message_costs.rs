@@ -1,0 +1,98 @@
+//! Cross-crate integration: the transport's counters match the analytic
+//! message-cost model.
+
+use weighted_voting::analysis::{
+    read_messages_bounds, read_messages_sequential, write_messages,
+};
+use weighted_voting::core::client::ClientOptions;
+use weighted_voting::prelude::*;
+
+fn cluster(servers: usize, quorum: QuorumSpec, optimistic: bool, seed: u64) -> Harness {
+    let mut b = HarnessBuilder::new()
+        .seed(seed)
+        .quorum(quorum)
+        .client_options(ClientOptions {
+            optimistic_fetch: optimistic,
+            ..ClientOptions::default()
+        });
+    for _ in 0..servers {
+        b = b.site(SiteSpec::server(1));
+    }
+    b.client().build().expect("legal")
+}
+
+#[test]
+fn write_message_count_is_exact() {
+    for (servers, r, w) in [(3usize, 2u32, 2u32), (5, 3, 3), (3, 1, 3), (5, 1, 5)] {
+        let mut h = cluster(servers, QuorumSpec::new(r, w), true, 7);
+        let suite = h.suite_id();
+        let before = h.net_stats().sent;
+        h.write(suite, b"count me".to_vec()).expect("write");
+        let sent = h.net_stats().sent - before;
+        // Equal votes: the write quorum has exactly w sites.
+        assert_eq!(
+            sent,
+            write_messages(servers, w as usize),
+            "servers={servers} r={r} w={w}"
+        );
+    }
+}
+
+#[test]
+fn optimistic_read_message_count_is_within_bounds() {
+    for servers in [3usize, 5] {
+        let mut h = cluster(servers, QuorumSpec::majority(servers as u32), true, 9);
+        let suite = h.suite_id();
+        h.write(suite, b"x".to_vec()).expect("prime");
+        h.advance(SimDuration::from_secs(1));
+        let before = h.net_stats().sent;
+        h.read(suite).expect("read");
+        let sent = h.net_stats().sent - before;
+        let (lo, hi) = read_messages_bounds(servers);
+        assert!(
+            (lo..=hi).contains(&sent),
+            "servers={servers}: sent {sent}, expected {lo}..={hi}"
+        );
+    }
+}
+
+#[test]
+fn sequential_read_message_count_is_exact() {
+    for servers in [3usize, 5] {
+        let mut h = cluster(servers, QuorumSpec::majority(servers as u32), false, 11);
+        let suite = h.suite_id();
+        h.write(suite, b"x".to_vec()).expect("prime");
+        h.advance(SimDuration::from_secs(1));
+        let before = h.net_stats().sent;
+        h.read(suite).expect("read");
+        let sent = h.net_stats().sent - before;
+        assert_eq!(sent, read_messages_sequential(servers), "servers={servers}");
+    }
+}
+
+#[test]
+fn weak_representative_adds_one_host_and_cache_fill() {
+    // 1 voting server + 1 workstation (client + weak rep): h = 2 hosts.
+    let mut h = HarnessBuilder::new()
+        .seed(13)
+        .site(SiteSpec::server(1))
+        .site(SiteSpec::client_with_weak())
+        .quorum(QuorumSpec::new(1, 1))
+        .build()
+        .expect("legal");
+    let suite = h.suite_id();
+    h.write(suite, b"x".to_vec()).expect("prime");
+    h.advance(SimDuration::from_secs(1));
+    // Miss: inquiry pair ×2 hosts + optimistic fetch pair (stale) +
+    // explicit fetch pair + one UpdateWeak cache fill.
+    let before = h.net_stats().sent;
+    h.read(suite).expect("read miss");
+    let miss_sent = h.net_stats().sent - before;
+    assert_eq!(miss_sent, 2 * 2 + 2 + 2 + 1, "miss path");
+    h.advance(SimDuration::from_secs(1));
+    // Hit: inquiry pairs + optimistic fetch pair only.
+    let before = h.net_stats().sent;
+    h.read(suite).expect("read hit");
+    let hit_sent = h.net_stats().sent - before;
+    assert_eq!(hit_sent, 2 * 2 + 2, "hit path");
+}

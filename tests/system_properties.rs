@@ -1,0 +1,137 @@
+//! Cross-crate property tests: the running system obeys the quorum math.
+//!
+//! For random legal configurations (votes, quorum sizes) and random crash
+//! subsets, the live protocol's behaviour must match the pure arithmetic:
+//! an operation succeeds exactly when the surviving sites carry enough
+//! votes — no hidden liveness dependencies, no hidden safety holes.
+
+use proptest::prelude::*;
+use weighted_voting::prelude::*;
+
+/// A random legal configuration of up to 5 voting sites.
+#[derive(Clone, Debug)]
+struct Config {
+    votes: Vec<u32>,
+    r: u32,
+    w: u32,
+    crashed: Vec<bool>,
+}
+
+fn config_strategy() -> impl Strategy<Value = Config> {
+    (2usize..=5)
+        .prop_flat_map(|n| {
+            (
+                proptest::collection::vec(1u32..=3, n),
+                proptest::collection::vec(any::<bool>(), n),
+            )
+        })
+        .prop_flat_map(|(votes, crashed)| {
+            let total: u32 = votes.iter().sum();
+            (Just(votes), Just(crashed), 1u32..=total)
+        })
+        .prop_map(|(votes, crashed, r)| {
+            let total: u32 = votes.iter().sum();
+            let w = total + 1 - r;
+            Config {
+                votes,
+                r,
+                w,
+                crashed,
+            }
+        })
+}
+
+fn build(cfg: &Config, seed: u64) -> Harness {
+    let mut b = HarnessBuilder::new()
+        .seed(seed)
+        .quorum(QuorumSpec::new(cfg.r, cfg.w));
+    for &v in &cfg.votes {
+        b = b.site(SiteSpec::server(v));
+    }
+    b.client().build().expect("constructed legal by strategy")
+}
+
+fn surviving_votes(cfg: &Config) -> u32 {
+    cfg.votes
+        .iter()
+        .zip(&cfg.crashed)
+        .filter(|(_, dead)| !**dead)
+        .map(|(v, _)| *v)
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Writes succeed iff the surviving votes reach the write quorum
+    /// (which, with r + w = N + 1, also covers the inquiry).
+    #[test]
+    fn write_availability_matches_vote_arithmetic(cfg in config_strategy(), seed in 0u64..1000) {
+        let mut h = build(&cfg, seed);
+        let suite = h.suite_id();
+        // Prime while healthy.
+        h.write(suite, b"primed".to_vec()).expect("healthy write");
+        for (i, &dead) in cfg.crashed.iter().enumerate() {
+            if dead {
+                h.crash(SiteId::from(i));
+            }
+        }
+        let alive = surviving_votes(&cfg);
+        let should_work = alive >= cfg.w.max(cfg.r);
+        let outcome = h.write(suite, b"probe".to_vec());
+        prop_assert_eq!(
+            outcome.is_ok(),
+            should_work,
+            "votes alive {} vs r={} w={}; outcome {:?}",
+            alive,
+            cfg.r,
+            cfg.w,
+            outcome.err()
+        );
+    }
+
+    /// Reads succeed iff the surviving votes reach the read quorum, and
+    /// when they succeed they always return the newest committed version.
+    #[test]
+    fn read_availability_and_freshness(cfg in config_strategy(), seed in 0u64..1000) {
+        let mut h = build(&cfg, seed);
+        let suite = h.suite_id();
+        let w1 = h.write(suite, b"one".to_vec()).expect("healthy write");
+        let w2 = h.write(suite, b"two".to_vec()).expect("healthy write");
+        prop_assert!(w2.version > w1.version);
+        for (i, &dead) in cfg.crashed.iter().enumerate() {
+            if dead {
+                h.crash(SiteId::from(i));
+            }
+        }
+        let alive = surviving_votes(&cfg);
+        let should_work = alive >= cfg.r;
+        match h.read(suite) {
+            Ok(r) => {
+                prop_assert!(should_work, "read succeeded with only {alive} votes");
+                prop_assert_eq!(r.version, w2.version, "read missed the newest write");
+                prop_assert_eq!(&r.value[..], b"two");
+            }
+            Err(_) => prop_assert!(!should_work, "read blocked despite {alive} votes"),
+        }
+    }
+
+    /// After crashing everything and recovering everything, all committed
+    /// state survives and service resumes.
+    #[test]
+    fn full_recovery_is_lossless(cfg in config_strategy(), seed in 0u64..1000) {
+        let mut h = build(&cfg, seed);
+        let suite = h.suite_id();
+        let w = h.write(suite, b"durable".to_vec()).expect("write");
+        for i in 0..cfg.votes.len() {
+            h.crash(SiteId::from(i));
+        }
+        h.advance(SimDuration::from_secs(2));
+        for i in 0..cfg.votes.len() {
+            h.recover(SiteId::from(i));
+        }
+        let r = h.read(suite).expect("read after full recovery");
+        prop_assert_eq!(r.version, w.version);
+        prop_assert_eq!(&r.value[..], b"durable");
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate integration: the protocol on real threads.
+//!
+//! The identical `SuiteServer` and `ClientNode` state machines that
+//! regenerate the paper's tables under the deterministic simulator here
+//! run on OS threads over crossbeam channels, with a router imposing
+//! (scaled-down) link latencies — evidence that nothing in the protocol
+//! depends on simulator bookkeeping.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use weighted_voting::core::client::{ClientNode, ClientOptions, CompletedOp};
+use weighted_voting::core::msg::Msg;
+use weighted_voting::core::node::SystemNode;
+use weighted_voting::core::server::SuiteServer;
+use weighted_voting::core::suite::SuiteConfig;
+use weighted_voting::prelude::*;
+use weighted_voting::net::runner::NodeRunner;
+use weighted_voting::net::thread_net::ThreadNet;
+use weighted_voting::txn::lock::DeadlockPolicy;
+
+/// 20 ms virtual links compressed 10x: 2 ms real.
+const SCALE: f64 = 0.1;
+
+fn start_cluster() -> (Vec<NodeRunner<SystemNode>>, NodeRunner<SystemNode>) {
+    let suite = ObjectId(1);
+    let assignment = VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]);
+    let config = SuiteConfig::new(suite, assignment, QuorumSpec::majority(3)).expect("legal");
+    let net_cfg = NetConfig::uniform(4, LatencyModel::Constant(SimDuration::from_millis(20)));
+    let mut net = ThreadNet::<Msg>::start(net_cfg, 5, SCALE);
+    let client_ep = net.endpoints.pop().expect("client endpoint");
+    let mut servers = Vec::new();
+    for (i, ep) in net.endpoints.drain(..).enumerate() {
+        let node = SystemNode::Server(SuiteServer::new(
+            SiteId::from(i),
+            vec![config.clone()],
+            DeadlockPolicy::WaitDie,
+        ));
+        servers.push(NodeRunner::spawn(node, ep, 10 + i as u64, SCALE));
+    }
+    let client = SystemNode::Client(ClientNode::new(
+        SiteId(3),
+        vec![config],
+        vec![20.0; 4],
+        ClientOptions {
+            phase_timeout: SimDuration::from_secs(2),
+            ..ClientOptions::default()
+        },
+    ));
+    let client = NodeRunner::spawn(client, client_ep, 99, SCALE);
+    // Keep the network alive for the runners' lifetime by leaking the
+    // handle-bearing struct: runners hold endpoints; ThreadNet's drop
+    // would stop the router, so forget it.
+    std::mem::forget(net);
+    (servers, client)
+}
+
+/// Waits (in real time) until the client has `n` completed ops, then
+/// returns them.
+fn await_completed(client: &NodeRunner<SystemNode>, n: usize) -> Vec<CompletedOp> {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (tx, rx) = mpsc::channel();
+        client.invoke(move |node, _ctx| {
+            let c = node.as_client_mut().expect("client node");
+            let _ = tx.send(c.completed.clone());
+        });
+        let snapshot = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("client thread alive");
+        if snapshot.len() >= n {
+            return snapshot;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {n} ops; have {}",
+            snapshot.len()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn write_then_read_over_real_threads() {
+    let (servers, client) = start_cluster();
+    let suite = ObjectId(1);
+    client.invoke(move |node, ctx| {
+        let c = node.as_client_mut().expect("client");
+        c.start_write(suite, &b"threaded"[..], ctx);
+    });
+    let ops = await_completed(&client, 1);
+    let w = ops[0].outcome.as_ref().expect("write committed");
+    assert_eq!(w.version, Version(1));
+
+    client.invoke(move |node, ctx| {
+        let c = node.as_client_mut().expect("client");
+        c.start_read(suite, ctx);
+    });
+    let ops = await_completed(&client, 2);
+    let r = ops[1].outcome.as_ref().expect("read succeeded");
+    assert_eq!(r.version, Version(1));
+    assert_eq!(r.value.as_deref(), Some(&b"threaded"[..]));
+
+    // Check at least a quorum of servers durably hold version 1.
+    let mut held = 0;
+    for s in servers {
+        let node = s.stop();
+        let srv = node.as_server().expect("server node");
+        if srv.data_version(suite) == Version(1) {
+            held += 1;
+        }
+    }
+    assert!(held >= 2, "committed version must live at a quorum, held={held}");
+    client.stop();
+}
+
+#[test]
+fn sequential_writes_serialise_over_real_threads() {
+    let (servers, client) = start_cluster();
+    let suite = ObjectId(1);
+    for i in 0..5u32 {
+        client.invoke(move |node, ctx| {
+            let c = node.as_client_mut().expect("client");
+            c.start_write(suite, format!("v{i}").into_bytes(), ctx);
+        });
+        // Wait for this write before issuing the next, so versions are
+        // deterministic.
+        let ops = await_completed(&client, i as usize + 1);
+        let ok = ops[i as usize].outcome.as_ref().expect("committed");
+        assert_eq!(ok.version, Version(u64::from(i) + 1));
+    }
+    client.invoke(move |node, ctx| {
+        let c = node.as_client_mut().expect("client");
+        c.start_read(suite, ctx);
+    });
+    let ops = await_completed(&client, 6);
+    let r = ops[5].outcome.as_ref().expect("read");
+    assert_eq!(r.version, Version(5));
+    assert_eq!(r.value.as_deref(), Some(&b"v4"[..]));
+    for s in servers {
+        s.stop();
+    }
+    client.stop();
+}
