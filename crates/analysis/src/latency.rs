@@ -105,7 +105,7 @@ mod tests {
     fn quorum_cost_picks_cheapest_combination() {
         use wv_core::quorum::QuorumSpec;
         use wv_core::votes::VoteAssignment;
-        
+
         // Votes <1,1,1>, r=2: cheapest pair is {s0, s1} -> max(10, 20).
         let m = SystemModel::with_uniform_up(
             VoteAssignment::equal(3),

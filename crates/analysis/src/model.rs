@@ -52,7 +52,12 @@ impl SystemModel {
     }
 
     /// Uniform availability for every site.
-    pub fn with_uniform_up(assignment: VoteAssignment, quorum: QuorumSpec, costs: Vec<f64>, p: f64) -> Self {
+    pub fn with_uniform_up(
+        assignment: VoteAssignment,
+        quorum: QuorumSpec,
+        costs: Vec<f64>,
+        p: f64,
+    ) -> Self {
         let n = costs.len();
         SystemModel::new(assignment, quorum, costs, vec![p; n])
     }

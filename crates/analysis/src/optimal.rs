@@ -123,12 +123,8 @@ pub fn search_optimal(
     );
     let mut best: Option<OptimalChoice> = None;
     for votes in vote_vectors(sites, max_votes) {
-        let assignment = VoteAssignment::new(
-            votes
-                .iter()
-                .enumerate()
-                .map(|(i, v)| (SiteId::from(i), *v)),
-        );
+        let assignment =
+            VoteAssignment::new(votes.iter().enumerate().map(|(i, v)| (SiteId::from(i), *v)));
         let total = assignment.total();
         for r in 1..=total {
             let w = total + 1 - r;
@@ -143,12 +139,7 @@ pub fn search_optimal(
             {
                 continue;
             }
-            let model = SystemModel::new(
-                assignment.clone(),
-                quorum,
-                costs.to_vec(),
-                up.to_vec(),
-            );
+            let model = SystemModel::new(assignment.clone(), quorum, costs.to_vec(), up.to_vec());
             let latency = expected_latency(&model, workload);
             let better = match &best {
                 None => true,

@@ -63,15 +63,23 @@ enum BPhase {
     /// down the candidate list on timeout.
     SingleRead { candidates: Vec<SiteId>, idx: usize },
     /// Majority read: collecting `(version, value)` answers.
-    MajorityRead { answers: BTreeMap<SiteId, (Version, Bytes)> },
+    MajorityRead {
+        answers: BTreeMap<SiteId, (Version, Bytes)>,
+    },
     /// ROWA write: waiting for WriteAcks from every replica.
-    AllWrite { acked: Vec<SiteId>, version: Version },
+    AllWrite {
+        acked: Vec<SiteId>,
+        version: Version,
+    },
     /// Primary write: waiting for the primary's ack.
     PrimaryWrite,
     /// Majority write phase 1: learn the max timestamp.
     MajorityReadTs { answers: BTreeMap<SiteId, Version> },
     /// Majority write phase 2: collecting install acks.
-    MajorityInstall { acked: Vec<SiteId>, version: Version },
+    MajorityInstall {
+        acked: Vec<SiteId>,
+        version: Version,
+    },
 }
 
 #[derive(Clone, Debug)]

@@ -1,6 +1,11 @@
 //! Synchronous facade over a simulated baseline cluster, mirroring
 //! `wv_core::harness` so the comparison experiments drive all schemes
 //! through the same motions.
+//!
+//! The same determinism contract applies: a harness replays the same
+//! virtual-time history from the same inputs and seed on any OS thread,
+//! which is what lets `wv-bench` build one per trial inside its parallel
+//! trial engine.
 
 use bytes::Bytes;
 use wv_net::sim_net::{Cluster, NetStats};
@@ -75,12 +80,10 @@ impl BaselineHarness {
             .map(|i| {
                 let site = SiteId::from(i);
                 let server = match scheme {
-                    Scheme::Primary { primary, .. } if primary == site => {
-                        BaselineServer::primary(
-                            site,
-                            replica_ids.iter().copied().filter(|r| *r != site).collect(),
-                        )
-                    }
+                    Scheme::Primary { primary, .. } if primary == site => BaselineServer::primary(
+                        site,
+                        replica_ids.iter().copied().filter(|r| *r != site).collect(),
+                    ),
                     _ => BaselineServer::new(site),
                 };
                 BNode::Server(server)
@@ -244,6 +247,28 @@ impl BaselineHarness {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn trial_history_is_independent_of_the_building_thread() {
+        // Same contract as wv_core::harness: worker-thread trials replay
+        // the main-thread history exactly.
+        fn trial(seed: u64) -> (Version, SimDuration, SimDuration) {
+            let mut h = BaselineHarness::uniform(Scheme::Majority, 3, seed);
+            let (wv, wl) = h.write(b"t".to_vec()).expect("write");
+            let (_, _, rl) = h.read().expect("read");
+            (wv, wl, rl)
+        }
+        let on_main: Vec<_> = (0..4u64).map(trial).collect();
+        let on_workers: Vec<_> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|seed| scope.spawn(move || trial(seed)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(on_main, on_workers);
+    }
 
     #[test]
     fn rowa_round_trip_and_write_blocking() {

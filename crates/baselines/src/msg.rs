@@ -1,18 +1,17 @@
 //! Wire protocol shared by the baseline schemes.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use wv_storage::Version;
 
 /// One operation attempt, unique per client.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct BReq(pub u64);
 
 /// Baseline protocol messages.
 ///
 /// `Version` doubles as Thomas' timestamp: both are monotone counters
 /// chosen by writers, so one wire format serves all three schemes.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BMsg {
     /// Read the replica's current value.
     ReadReq {

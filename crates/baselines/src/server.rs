@@ -259,6 +259,8 @@ mod tests {
             .filter(|(_, m)| matches!(m, BMsg::Install { .. }))
             .count();
         assert_eq!(installs, 2, "one propagation per backup");
-        assert!(out.iter().any(|(to, m)| *to == SiteId(9) && matches!(m, BMsg::WriteAck { .. })));
+        assert!(out
+            .iter()
+            .any(|(to, m)| *to == SiteId(9) && matches!(m, BMsg::WriteAck { .. })));
     }
 }

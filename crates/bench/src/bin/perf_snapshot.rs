@@ -1,0 +1,136 @@
+//! Machine-readable performance snapshot.
+//!
+//! Times a fixed workload — raw simulator event throughput, protocol
+//! trials/sec through the parallel runner (sequential vs all-cores), and
+//! client operations/sec with the quorum-plan cache — and writes
+//! `BENCH_core.json` to the working directory (run it from the repo root).
+//! Later PRs regenerate the file on the same machine to track the perf
+//! trajectory; the absolute numbers are machine-dependent, the ratios are
+//! not.
+//!
+//! The trial throughput is measured twice over the *same* seeds, pinned to
+//! one worker and then to the machine's available parallelism, and the two
+//! result vectors are asserted identical — every snapshot doubles as a
+//! determinism check. On a single-core runner the two rates coincide; the
+//! ≥2× parallel speedup shows up on multi-core hardware.
+
+use std::time::Instant;
+
+use wv_bench::{runner, topo};
+use wv_sim::{Scheduler, Sim, SimDuration};
+
+/// Chained-event simulator throughput: `CHAINS` self-rescheduling events
+/// keep a realistically sized heap busy for `EVENTS` pops.
+fn sim_events_per_sec() -> f64 {
+    const EVENTS: u64 = 2_000_000;
+    const CHAINS: usize = 64;
+    fn chain(world: &mut u64, sched: &mut Scheduler<u64>) {
+        *world += 1;
+        sched.after(SimDuration::from_micros(10), chain);
+    }
+    let mut sim = Sim::new(0u64);
+    for _ in 0..CHAINS {
+        sim.scheduler().immediately(chain);
+    }
+    let t = Instant::now();
+    let executed = sim.run_capped(EVENTS);
+    executed as f64 / t.elapsed().as_secs_f64()
+}
+
+/// One protocol trial: build the paper's Example 1 cluster and drive 25
+/// write+read rounds — coarse enough (hundreds of microseconds) that the
+/// fan-out's per-thread overhead is noise. Returns data that depends on the
+/// whole exchange so the compiler cannot elide any of it.
+fn trial(seed: u64) -> (u64, u64) {
+    let mut h = topo::example_1(seed);
+    let suite = h.suite_id();
+    let mut micros = 0u64;
+    let mut version = 0u64;
+    for i in 0..25 {
+        let w = h
+            .write(suite, format!("snapshot-{i}").into_bytes())
+            .expect("write succeeds");
+        h.advance(SimDuration::from_secs(2));
+        let r = h.read(suite).expect("read succeeds");
+        h.advance(SimDuration::from_secs(2));
+        micros += (w.latency + r.latency).as_micros();
+        version = r.version.0;
+    }
+    (version, micros)
+}
+
+/// Trials/sec with the runner pinned to `workers` threads.
+fn trial_throughput(workers: usize, trials: usize) -> (f64, Vec<(u64, u64)>) {
+    std::env::set_var("WV_TRIAL_THREADS", workers.to_string());
+    let t = Instant::now();
+    let out = runner::run_trials(0xBE7C, trials, trial);
+    let rate = trials as f64 / t.elapsed().as_secs_f64();
+    std::env::remove_var("WV_TRIAL_THREADS");
+    (rate, out)
+}
+
+/// Client operations/sec and plan-cache counters over the E1 measurement
+/// workload (write / miss-read / hit-read rounds on one live cluster).
+fn client_ops(rounds: usize) -> (f64, u64, u64) {
+    let mut h = topo::example_1(7);
+    let suite = h.suite_id();
+    let t = Instant::now();
+    let mut ops = 0u64;
+    for i in 0..rounds {
+        h.write(suite, format!("round-{i}").into_bytes())
+            .expect("write succeeds");
+        h.advance(SimDuration::from_secs(2));
+        h.read(suite).expect("read succeeds");
+        h.advance(SimDuration::from_secs(2));
+        h.read(suite).expect("read succeeds");
+        h.advance(SimDuration::from_secs(2));
+        ops += 3;
+    }
+    let rate = ops as f64 / t.elapsed().as_secs_f64();
+    let stats = h
+        .client_stats(h.default_client())
+        .expect("default client exists");
+    (rate, stats.plan_cache_hits, stats.plan_cache_misses)
+}
+
+fn main() {
+    const TRIALS: usize = 192;
+    const ROUNDS: usize = 1_000;
+
+    let events_per_sec = sim_events_per_sec();
+    let (seq_rate, seq_out) = trial_throughput(1, TRIALS);
+    let parallel_workers = std::thread::available_parallelism().map_or(1, usize::from);
+    let (par_rate, par_out) = trial_throughput(parallel_workers, TRIALS);
+    assert_eq!(
+        seq_out, par_out,
+        "parallel trial results must be bit-identical to sequential"
+    );
+    let (ops_per_sec, hits, misses) = client_ops(ROUNDS);
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+
+    let json = format!(
+        "{{\n  \
+         \"schema\": \"wv-perf-snapshot/1\",\n  \
+         \"sim_events_per_sec\": {events_per_sec:.0},\n  \
+         \"trials\": {{\n    \
+         \"workload\": \"example-1 cluster, 25 write+read rounds per trial\",\n    \
+         \"count\": {TRIALS},\n    \
+         \"sequential_per_sec\": {seq_rate:.2},\n    \
+         \"parallel_per_sec\": {par_rate:.2},\n    \
+         \"parallel_workers\": {parallel_workers},\n    \
+         \"speedup\": {speedup:.2},\n    \
+         \"bit_identical\": true\n  \
+         }},\n  \
+         \"client\": {{\n    \
+         \"workload\": \"example-1 write/read rounds x{ROUNDS}\",\n    \
+         \"ops_per_sec\": {ops_per_sec:.2},\n    \
+         \"plan_cache_hits\": {hits},\n    \
+         \"plan_cache_misses\": {misses},\n    \
+         \"plan_cache_hit_rate\": {hit_rate:.4}\n  \
+         }}\n}}\n",
+        speedup = par_rate / seq_rate,
+    );
+    print!("{json}");
+    std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
+    eprintln!("wrote BENCH_core.json");
+}

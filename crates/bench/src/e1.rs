@@ -15,15 +15,13 @@
 //! cache-hit read equals the verified analytic read because the content
 //! fetch overlaps the inquiry.
 
-use wv_analysis::{
-    read_latency_optimistic, read_latency_verified, simulate_quorum_availability,
-    write_latency, SystemModel,
-};
+use wv_analysis::{read_latency_optimistic, read_latency_verified, write_latency, SystemModel};
 use wv_core::harness::Harness;
-use wv_sim::{DetRng, SampleSet, SimDuration};
+use wv_sim::{SampleSet, SimDuration};
 
+use crate::runner::trial_seed;
 use crate::table::{ms, prob, Table};
-use crate::topo;
+use crate::{mc, topo};
 
 /// Paper-published values for one example.
 pub struct PaperRow {
@@ -109,25 +107,26 @@ pub fn measure(h: &mut Harness, rounds: usize) -> Measured {
 }
 
 /// Analytic + Monte-Carlo blocking probabilities for a model.
+///
+/// The two Monte-Carlo estimates fan out over the trial pool
+/// ([`mc::blocking`]) under derived sub-seeds, so the pair is reproducible
+/// for any worker count.
 fn blocking(model: &SystemModel, seed: u64) -> (f64, f64, f64, f64) {
-    let mut rng = DetRng::new(seed);
     let trials = 400_000;
-    let mc_read = 1.0
-        - simulate_quorum_availability(
-            &model.assignment,
-            model.quorum.read,
-            &model.up,
-            trials,
-            &mut rng,
-        );
-    let mc_write = 1.0
-        - simulate_quorum_availability(
-            &model.assignment,
-            model.quorum.write,
-            &model.up,
-            trials,
-            &mut rng,
-        );
+    let mc_read = mc::blocking(
+        &model.assignment,
+        model.quorum.read,
+        &model.up,
+        trials,
+        trial_seed(seed, 0),
+    );
+    let mc_write = mc::blocking(
+        &model.assignment,
+        model.quorum.write,
+        &model.up,
+        trials,
+        trial_seed(seed, 1),
+    );
     (
         model.read_blocking(),
         model.write_blocking(),
@@ -221,7 +220,11 @@ mod tests {
         // Cache-hit read: max(inquiry 75, weak fetch 65) = 75.
         assert!((m.read_hit_ms - 75.0).abs() < EPS, "hit {}", m.read_hit_ms);
         // Cache-miss read: inquiry 75 + server fetch 75 = 150.
-        assert!((m.read_miss_ms - 150.0).abs() < EPS, "miss {}", m.read_miss_ms);
+        assert!(
+            (m.read_miss_ms - 150.0).abs() < EPS,
+            "miss {}",
+            m.read_miss_ms
+        );
         // Write: three 75 ms rounds.
         assert!((m.write_ms - 225.0).abs() < EPS, "write {}", m.write_ms);
     }

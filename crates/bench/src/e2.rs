@@ -15,6 +15,7 @@ use wv_core::quorum::QuorumSpec;
 use wv_core::votes::VoteAssignment;
 use wv_sim::{SampleSet, SimDuration};
 
+use crate::runner;
 use crate::table::{ms, prob, Table};
 use crate::topo::client_star;
 
@@ -117,15 +118,20 @@ pub fn run() -> String {
             "P(write blocked)",
         ],
     );
-    for r in 1..=5u32 {
-        let w = 6 - r;
+    // Each spectrum point drives two independent simulated clusters, so the
+    // five points fan out across the worker pool; seeds are fixed per point.
+    let points = runner::run_tasks(5, |i| {
+        let r = i as u32 + 1;
+        measure_point(r, 6 - r, 100 + u64::from(r))
+    });
+    for p in points {
+        let (r, w) = (p.r, p.w);
         let model = SystemModel::with_uniform_up(
             assignment.clone(),
             QuorumSpec::new(r, w),
             COSTS.to_vec(),
             P_UP,
         );
-        let p = measure_point(r, w, 100 + u64::from(r));
         let rb = 1.0 - quorum_availability(&assignment, r, &model.up);
         let wb = 1.0 - quorum_availability(&assignment, w, &model.up);
         t.row(&[

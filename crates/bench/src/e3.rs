@@ -14,6 +14,7 @@ use wv_core::quorum::QuorumSpec;
 use wv_net::SiteId;
 use wv_sim::{DetRng, SampleSet, SimDuration};
 
+use crate::runner;
 use crate::table::{ms, pct, Table};
 use crate::topo::client_star;
 
@@ -87,9 +88,7 @@ pub fn measure(write_fraction: f64, push_on_write: bool, ops: usize, seed: u64) 
         }
         h.advance(SimDuration::from_secs(1));
     }
-    let stats = h
-        .cluster()
-        .nodes[SiteId(1).index()]
+    let stats = h.cluster().nodes[SiteId(1).index()]
         .as_client()
         .expect("client at site 1")
         .stats;
@@ -125,10 +124,13 @@ pub fn run() -> String {
                 "mean write (ms)",
             ],
         );
-        for (i, wf) in [0.02, 0.05, 0.1, 0.2, 0.35, 0.5].iter().enumerate() {
-            let p = measure(*wf, push, 300, 500 + i as u64);
+        // Six independent 300-op workloads with fixed per-point seeds; fan
+        // them out and render in point order.
+        const WFS: [f64; 6] = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+        let points = runner::run_tasks(WFS.len(), |i| measure(WFS[i], push, 300, 500 + i as u64));
+        for p in points {
             t.row(&[
-                format!("{wf:.2}"),
+                format!("{:.2}", p.write_fraction),
                 pct(p.hit_ratio),
                 ms(p.read_ms),
                 ms(p.write_ms),
@@ -189,7 +191,11 @@ mod tests {
         // Mean read sits between the 75 ms hit and 150 ms miss costs.
         assert!(p.read_ms >= 75.0 - 1e-6 && p.read_ms <= 150.0 + 1e-6);
         let eager = measure(0.05, true, 150, 3);
-        assert!((eager.read_ms - 75.0).abs() < 5.0, "eager mean {}", eager.read_ms);
+        assert!(
+            (eager.read_ms - 75.0).abs() < 5.0,
+            "eager mean {}",
+            eager.read_ms
+        );
     }
 
     #[test]

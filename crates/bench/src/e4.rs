@@ -10,6 +10,7 @@
 use wv_analysis::{search_optimal, OptimalChoice, ReadMetric, Workload};
 use wv_net::SiteId;
 
+use crate::runner;
 use crate::table::{ms, prob, Table};
 
 /// The three-site cost profile used throughout (Example-2 geography).
@@ -67,8 +68,12 @@ pub fn run() -> String {
                 "write avail",
             ],
         );
-        for f in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
-            match optimum(f, floor) {
+        // Each optimum is an exhaustive enumeration of the design space;
+        // the six workload points are independent, so fan them out.
+        const FS: [f64; 6] = [0.0, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let optima = runner::run_tasks(FS.len(), |i| optimum(FS[i], floor));
+        for (f, best) in FS.into_iter().zip(optima) {
+            match best {
                 Some(best) => {
                     let (votes, quorums) = describe(&best);
                     t.row(&[
@@ -109,19 +114,22 @@ pub fn run() -> String {
             "E[latency] (ms)",
         ],
     );
-    for f in [0.0, 0.5, 0.9, 1.0] {
-        let best = search_optimal(
+    const WS_FS: [f64; 4] = [0.0, 0.5, 0.9, 1.0];
+    let ws_optima = runner::run_tasks(WS_FS.len(), |i| {
+        search_optimal(
             4,
             2,
             &[65.0, 75.0, 100.0, 750.0],
             &[0.90, 0.99, 0.99, 0.99],
             &Workload {
-                read_fraction: f,
+                read_fraction: WS_FS[i],
                 min_availability: 0.99,
                 read_metric: ReadMetric::CacheValid,
             },
         )
-        .expect("found");
+        .expect("found")
+    });
+    for (f, best) in WS_FS.into_iter().zip(ws_optima) {
         let votes: Vec<String> = SiteId::all(4)
             .map(|s| best.assignment.votes_of(s).to_string())
             .collect();
@@ -227,8 +235,14 @@ mod tests {
         )
         .expect("found");
         assert_eq!(best.assignment.votes_of(SiteId(0)), 0, "ws must be weak");
-        assert!(best.assignment.votes_of(SiteId(1)) > 0, "vote on the server");
-        assert!((best.expected_latency - 65.0).abs() < 1e-9, "reads at cache speed");
+        assert!(
+            best.assignment.votes_of(SiteId(1)) > 0,
+            "vote on the server"
+        );
+        assert!(
+            (best.expected_latency - 65.0).abs() < 1e-9,
+            "reads at cache speed"
+        );
         assert!(best.write_availability >= 0.99);
     }
 

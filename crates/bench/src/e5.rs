@@ -9,51 +9,47 @@
 //! 3. full-protocol trials: build the example cluster, crash a Bernoulli
 //!    sample of server sites, and attempt a real read and write.
 
-use wv_analysis::{simulate_quorum_availability, SystemModel};
+use wv_analysis::SystemModel;
 use wv_core::harness::Harness;
 use wv_core::quorum::QuorumSpec;
 use wv_core::votes::VoteAssignment;
 use wv_net::SiteId;
 use wv_sim::DetRng;
 
+use crate::runner;
 use crate::table::{prob, Table};
-use crate::topo;
+use crate::{mc, topo};
 
 /// Full-protocol blocking estimate for one example and one `p`.
 ///
 /// Each trial crashes every *server* site independently with probability
 /// `1 - p`, then attempts one write and one read (single attempt each, so
 /// a blocked quorum maps to one failure, matching the analytic model).
-pub fn protocol_blocking(
-    example: u32,
-    p_up: f64,
-    trials: u32,
-    seed: u64,
-) -> (f64, f64) {
-    let mut rng = DetRng::new(seed);
-    let mut read_blocked = 0u32;
-    let mut write_blocked = 0u32;
-    for t in 0..trials {
-        let mut h = example_harness(example, seed.wrapping_add(u64::from(t) * 7919));
+///
+/// Trials are independent — each builds its own cluster and draws its
+/// crash pattern from a fork of its own derived seed — so they fan out
+/// over the trial pool with a bit-identical tally at any worker count.
+pub fn protocol_blocking(example: u32, p_up: f64, trials: u32, seed: u64) -> (f64, f64) {
+    let outcomes = runner::run_trials(seed, trials as usize, |trial_seed| {
+        let mut h = example_harness(example, trial_seed);
         let suite = h.suite_id();
         // Prime with one committed value while everything is up.
         h.write(suite, b"primed".to_vec()).expect("prime write");
-        let servers = server_sites(example);
-        for &s in &servers {
-            if !rng.chance(p_up) {
+        let mut crash_rng = DetRng::new(trial_seed).fork_named("crashes");
+        for &s in &server_sites(example) {
+            if !crash_rng.chance(p_up) {
                 h.crash(s);
             }
         }
-        if h.write(suite, b"probe".to_vec()).is_err() {
-            write_blocked += 1;
-        }
-        if h.read(suite).is_err() {
-            read_blocked += 1;
-        }
-    }
+        let write_blocked = h.write(suite, b"probe".to_vec()).is_err();
+        let read_blocked = h.read(suite).is_err();
+        (read_blocked, write_blocked)
+    });
+    let read_blocked = outcomes.iter().filter(|(r, _)| *r).count() as f64;
+    let write_blocked = outcomes.iter().filter(|(_, w)| *w).count() as f64;
     (
-        f64::from(read_blocked) / f64::from(trials),
-        f64::from(write_blocked) / f64::from(trials),
+        read_blocked / f64::from(trials),
+        write_blocked / f64::from(trials),
     )
 }
 
@@ -107,11 +103,21 @@ pub fn run() -> String {
         );
         for (i, &p) in ps.iter().enumerate() {
             let m = model_for(example, p);
-            let mut rng = DetRng::new(9000 + u64::from(example) * 100 + i as u64);
-            let mc_read = 1.0
-                - simulate_quorum_availability(&m.assignment, m.quorum.read, &m.up, 200_000, &mut rng);
-            let mc_write = 1.0
-                - simulate_quorum_availability(&m.assignment, m.quorum.write, &m.up, 200_000, &mut rng);
+            let mc_seed = 9000 + u64::from(example) * 100 + i as u64;
+            let mc_read = mc::blocking(
+                &m.assignment,
+                m.quorum.read,
+                &m.up,
+                200_000,
+                runner::trial_seed(mc_seed, 0),
+            );
+            let mc_write = mc::blocking(
+                &m.assignment,
+                m.quorum.write,
+                &m.up,
+                200_000,
+                runner::trial_seed(mc_seed, 1),
+            );
             let (pr, pw) =
                 protocol_blocking(example, p, 150, 31_000 + u64::from(example) * 37 + i as u64);
             t.row(&[

@@ -20,8 +20,8 @@ use wv_net::{Partition, SiteId};
 use wv_sim::SimDuration;
 use wv_storage::Version;
 
+use crate::runner;
 use crate::table::{ms, pct, Table};
-
 
 /// Which system is under test.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -276,19 +276,35 @@ pub fn run() -> String {
          protocol rounds; baselines use their native (cheaper, weaker) \
          write paths.\n\n",
     );
-    for which in ["healthy", "replica0_down", "client_minority"] {
+    // Every (scenario, system) probe builds its own cluster with a fixed
+    // seed, so the whole grid fans out over the worker pool at once.
+    const SCENARIOS: [&str; 3] = ["healthy", "replica0_down", "client_minority"];
+    let systems = System::all();
+    let probes = runner::run_tasks(SCENARIOS.len() * systems.len(), |k| {
+        let (which, i) = (SCENARIOS[k / systems.len()], k % systems.len());
+        scenario(systems[i], which, 600 + i as u64)
+    });
+    for (s, which) in SCENARIOS.into_iter().enumerate() {
         let mut t = Table::new(
             format!("Scenario: {which}"),
             &["system", "read", "write", "read ms", "write ms"],
         );
-        for (i, system) in System::all().into_iter().enumerate() {
-            let p = scenario(system, which, 600 + i as u64);
+        for (i, system) in systems.into_iter().enumerate() {
+            let p = probes[s * systems.len() + i];
             t.row(&[
                 system.label().into(),
                 if p.read_ok { "ok" } else { "BLOCKED" }.into(),
                 if p.write_ok { "ok" } else { "BLOCKED" }.into(),
-                if p.read_ok { ms(p.read_ms) } else { "—".into() },
-                if p.write_ok { ms(p.write_ms) } else { "—".into() },
+                if p.read_ok {
+                    ms(p.read_ms)
+                } else {
+                    "—".into()
+                },
+                if p.write_ok {
+                    ms(p.write_ms)
+                } else {
+                    "—".into()
+                },
             ]);
         }
         out.push_str(&t.to_markdown());
@@ -297,11 +313,9 @@ pub fn run() -> String {
         "Read-your-write staleness (immediate read after acked write)",
         &["system", "stale reads"],
     );
-    for (i, system) in System::all().into_iter().enumerate() {
-        t.row(&[
-            system.label().into(),
-            pct(staleness(system, 30, 700 + i as u64)),
-        ]);
+    let stale = runner::run_tasks(systems.len(), |i| staleness(systems[i], 30, 700 + i as u64));
+    for (system, s) in systems.into_iter().zip(stale) {
+        t.row(&[system.label().into(), pct(s)]);
     }
     out.push_str(&t.to_markdown());
     out.push_str(
@@ -361,7 +375,10 @@ mod tests {
         assert_eq!(staleness(System::MajorityConsensus, 10, 9), 0.0);
         assert_eq!(staleness(System::Primary, 10, 10), 0.0);
         let lazy = staleness(System::PrimaryLocalReads, 20, 11);
-        assert!(lazy > 0.0, "async propagation must show staleness, got {lazy}");
+        assert!(
+            lazy > 0.0,
+            "async propagation must show staleness, got {lazy}"
+        );
     }
 
     #[test]

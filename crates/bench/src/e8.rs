@@ -15,6 +15,7 @@ use wv_net::SiteId;
 use wv_sim::{SimDuration, SimTime};
 use wv_txn::lock::DeadlockPolicy;
 
+use crate::runner;
 use crate::table::{pct, Table};
 
 /// Aggregate results for one contention level.
@@ -57,7 +58,12 @@ fn build(clients: usize, policy: DeadlockPolicy, seed: u64) -> Harness {
 }
 
 /// Runs `rounds` of simultaneous writes from every client.
-pub fn measure(clients: usize, policy: DeadlockPolicy, rounds: usize, seed: u64) -> ContentionPoint {
+pub fn measure(
+    clients: usize,
+    policy: DeadlockPolicy,
+    rounds: usize,
+    seed: u64,
+) -> ContentionPoint {
     let mut h = build(clients, policy, seed);
     let suite = h.suite_id();
     let client_sites: Vec<SiteId> = h.clients().to_vec();
@@ -114,10 +120,18 @@ pub fn run() -> String {
         "All clients write the same suite simultaneously, 6 rounds, \
          majority quorums over three 100 ms representatives.\n\n",
     );
-    for (label, policy) in [
+    // The whole 2-policy × 4-client-count grid is independent simulated
+    // clusters with fixed seeds: fan all eight points out together.
+    const POLICIES: [(&str, DeadlockPolicy); 2] = [
         ("wait-die", DeadlockPolicy::WaitDie),
         ("no-wait", DeadlockPolicy::NoWait),
-    ] {
+    ];
+    const CLIENTS: [usize; 4] = [1, 2, 4, 8];
+    let points = runner::run_tasks(POLICIES.len() * CLIENTS.len(), |k| {
+        let (pi, i) = (k / CLIENTS.len(), k % CLIENTS.len());
+        measure(CLIENTS[i], POLICIES[pi].1, 6, 800 + i as u64)
+    });
+    for (pi, (label, _)) in POLICIES.into_iter().enumerate() {
         let mut t = Table::new(
             format!("Contention scaling — {label}"),
             &[
@@ -129,8 +143,8 @@ pub fn run() -> String {
                 "makespan (ms)",
             ],
         );
-        for (i, &clients) in [1usize, 2, 4, 8].iter().enumerate() {
-            let p = measure(clients, policy, 6, 800 + i as u64);
+        for i in 0..CLIENTS.len() {
+            let p = points[pi * CLIENTS.len() + i];
             t.row(&[
                 p.clients.to_string(),
                 p.attempted.to_string(),

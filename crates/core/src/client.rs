@@ -29,7 +29,7 @@ use wv_txn::Vote;
 
 use crate::error::{OpError, OpKind};
 use crate::msg::{Msg, PrepareWrite, ReqId};
-use crate::quorum::{cheapest_quorum, QuorumSpec};
+use crate::quorum::{cheapest_quorum, cheapest_quorum_presorted, QuorumSpec};
 use crate::suite::{config_object, data_object, SuiteConfig};
 use crate::votes::VoteAssignment;
 
@@ -95,6 +95,10 @@ pub struct ClientStats {
     pub retries: u64,
     /// Configuration refreshes performed.
     pub config_refreshes: u64,
+    /// Quorum-plan cache lookups answered from the cache.
+    pub plan_cache_hits: u64,
+    /// Quorum-plan cache lookups that had to (re)build the plan.
+    pub plan_cache_misses: u64,
 }
 
 /// What a finished operation produced.
@@ -224,6 +228,23 @@ struct TimerEntry {
 /// composite node can route timer callbacks unambiguously.
 pub const CLIENT_TIMER_TAG: u64 = 1 << 63;
 
+/// A memoized quorum plan: the suite's sites in `(cost, site id)` order,
+/// valid for one configuration generation.
+///
+/// Every cheapest-first decision — the optimistic-fetch target, the fetch
+/// candidate order, the write quorum — is a filter or prefix of this one
+/// sorted order, so caching it removes the per-decision cost sort from the
+/// hot path. Keyed implicitly on the policy (only [`QuorumPolicy::
+/// CheapestFirst`] consults it; the random ablation draws fresh costs per
+/// decision and must bypass) and invalidated whenever the client adopts a
+/// new configuration.
+#[derive(Clone, Debug)]
+struct QuorumPlan {
+    generation: u64,
+    /// All sites of the assignment (weak included), cheapest-first.
+    site_order: Vec<SiteId>,
+}
+
 /// A client node: starts operations, reacts to responses, records results.
 pub struct ClientNode {
     site: SiteId,
@@ -231,6 +252,8 @@ pub struct ClientNode {
     /// Mean access cost per site (typically the mean link latency),
     /// driving cheapest-first quorum selection.
     costs: Vec<f64>,
+    /// Memoized cost-sorted site orders, one per suite configuration.
+    plans: HashMap<ObjectId, QuorumPlan>,
     options: ClientOptions,
     next_counter: u64,
     next_timer: u64,
@@ -284,6 +307,21 @@ fn current_holders(
     candidates
 }
 
+/// Sites reporting `current`, as an order-preserving filter of the cached
+/// plan — identical to [`current_holders`] because the plan already holds
+/// every site sorted by `(cost, id)`.
+fn holders_in_plan_order(
+    versions: &BTreeMap<SiteId, Version>,
+    current: Version,
+    order: &[SiteId],
+) -> Vec<SiteId> {
+    order
+        .iter()
+        .copied()
+        .filter(|s| versions.get(s) == Some(&current))
+        .collect()
+}
+
 impl ClientNode {
     /// Creates a client at `site` knowing `configs`, with per-site costs.
     pub fn new(
@@ -296,6 +334,7 @@ impl ClientNode {
             site,
             configs: configs.into_iter().map(|c| (c.suite, c)).collect(),
             costs,
+            plans: HashMap::new(),
             options,
             next_counter: 1,
             next_timer: 1,
@@ -315,6 +354,43 @@ impl ClientNode {
             QuorumPolicy::CheapestFirst => self.costs.clone(),
             QuorumPolicy::Random => (0..self.costs.len()).map(|_| ctx.rng().f64()).collect(),
         }
+    }
+
+    /// The memoized cost-sorted site order for `suite`'s current
+    /// configuration, or `None` when the policy draws fresh costs per
+    /// decision (random ablation) and the cache must be bypassed.
+    ///
+    /// A plan built for an older generation is rebuilt (and counted as a
+    /// miss), so a stale entry can never leak into a decision even if an
+    /// invalidation point were missed.
+    fn cached_site_order(&mut self, suite: ObjectId) -> Option<Vec<SiteId>> {
+        if self.options.quorum_policy != QuorumPolicy::CheapestFirst {
+            return None;
+        }
+        let cfg = self.configs.get(&suite)?;
+        let generation = cfg.generation;
+        if let Some(plan) = self.plans.get(&suite) {
+            if plan.generation == generation {
+                self.stats.plan_cache_hits += 1;
+                return Some(plan.site_order.clone());
+            }
+        }
+        self.stats.plan_cache_misses += 1;
+        let mut site_order = cfg.assignment.all_sites();
+        site_order.sort_by(|a, b| {
+            site_cost(&self.costs, *a)
+                .partial_cmp(&site_cost(&self.costs, *b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        self.plans.insert(
+            suite,
+            QuorumPlan {
+                generation,
+                site_order: site_order.clone(),
+            },
+        );
+        Some(site_order)
     }
 
     /// The client's site.
@@ -369,7 +445,10 @@ impl ClientNode {
         assert!(!writes.is_empty(), "a transaction needs at least one write");
         let mut seen = BTreeSet::new();
         for (suite, _) in &writes {
-            assert!(seen.insert(*suite), "duplicate suite {suite} in transaction");
+            assert!(
+                seen.insert(*suite),
+                "duplicate suite {suite} in transaction"
+            );
         }
         let req = self.fresh_req();
         let started = ctx.now();
@@ -472,27 +551,45 @@ impl ClientNode {
             self.begin_multi_attempt(req, ctx);
             return;
         }
-        let eff_costs = self.effective_costs(ctx);
+        let (suite, wants_guess) = {
+            let Some(st) = self.ops.get(&req) else {
+                return;
+            };
+            (
+                st.suite,
+                st.kind == OpKind::Read && self.options.optimistic_fetch,
+            )
+        };
+        // Optimistic fetch: race a content read to the cheapest host
+        // against the inquiry; a current answer completes the read at
+        // max(inquiry, fetch) instead of inquiry + fetch. The cheapest host
+        // is the first entry of the cached plan.
+        let guess = if wants_guess {
+            match self.cached_site_order(suite) {
+                Some(order) => order.first().copied(),
+                None => {
+                    let eff_costs = self.effective_costs(ctx);
+                    self.configs[&suite]
+                        .assignment
+                        .all_sites()
+                        .into_iter()
+                        .min_by(|a, b| {
+                            site_cost(&eff_costs, *a)
+                                .partial_cmp(&site_cost(&eff_costs, *b))
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then(a.cmp(b))
+                        })
+                }
+            }
+        } else {
+            None
+        };
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
         st.attempts += 1;
         st.seq += 1;
-        let suite = st.suite;
         let sites = self.configs[&suite].assignment.all_sites();
-        // Optimistic fetch: race a content read to the cheapest host
-        // against the inquiry; a current answer completes the read at
-        // max(inquiry, fetch) instead of inquiry + fetch.
-        let guess = if st.kind == OpKind::Read && self.options.optimistic_fetch {
-            sites.iter().copied().min_by(|a, b| {
-                site_cost(&eff_costs, *a)
-                    .partial_cmp(&site_cost(&eff_costs, *b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(b))
-            })
-        } else {
-            None
-        };
         st.phase = Phase::Inquire {
             versions: BTreeMap::new(),
             max_gen: 0,
@@ -525,10 +622,7 @@ impl ClientNode {
         st.seq += 1;
         let suites: Vec<ObjectId> = st.multi_payloads.iter().map(|(s, _)| *s).collect();
         st.phase = Phase::MultiInquire {
-            per_suite: suites
-                .iter()
-                .map(|s| (*s, BTreeMap::new()))
-                .collect(),
+            per_suite: suites.iter().map(|s| (*s, BTreeMap::new())).collect(),
         };
         let seq = st.seq;
         for suite in suites {
@@ -577,8 +671,7 @@ impl ClientNode {
             per_suite.iter().all(|(s, answers)| {
                 let cfg = &self.configs[s];
                 let responders: Vec<SiteId> = answers.keys().copied().collect();
-                cfg.assignment.votes_in(&responders)
-                    >= cfg.quorum.read.max(cfg.quorum.write)
+                cfg.assignment.votes_in(&responders) >= cfg.quorum.read.max(cfg.quorum.write)
             })
         };
         if ready {
@@ -588,7 +681,27 @@ impl ClientNode {
 
     fn enter_multi_prepare(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
         use std::collections::BTreeMap as Map;
-        let costs = self.effective_costs(ctx);
+        // Pull the per-suite cached orders up front (they need `&mut self`,
+        // which the planning block below borrows immutably).
+        let touched: Vec<ObjectId> = {
+            let Some(st) = self.ops.get(&req) else {
+                return;
+            };
+            st.multi_payloads.iter().map(|(s, _)| *s).collect()
+        };
+        let mut orders: Map<ObjectId, Vec<SiteId>> = Map::new();
+        for suite in &touched {
+            if let Some(order) = self.cached_site_order(*suite) {
+                orders.insert(*suite, order);
+            }
+        }
+        // Random ablation: one fresh cost draw covers the whole transaction,
+        // exactly as before the plan cache existed.
+        let costs = if orders.len() == touched.len() {
+            Vec::new()
+        } else {
+            self.effective_costs(ctx)
+        };
         // Plan per-suite: new version and cheapest write quorum.
         let plan = {
             let Some(st) = self.ops.get(&req) else {
@@ -607,11 +720,20 @@ impl ClientNode {
                     .copied()
                     .filter(|s| cfg.assignment.votes_of(*s) > 0)
                     .collect();
-                let Some(quorum) =
-                    cheapest_quorum(&cfg.assignment, cfg.quorum.write, &strong, |s| {
+                let quorum = match orders.get(suite) {
+                    Some(order) => {
+                        let in_order: Vec<SiteId> = order
+                            .iter()
+                            .copied()
+                            .filter(|s| strong.contains(s))
+                            .collect();
+                        cheapest_quorum_presorted(&cfg.assignment, cfg.quorum.write, &in_order)
+                    }
+                    None => cheapest_quorum(&cfg.assignment, cfg.quorum.write, &strong, |s| {
                         site_cost(&costs, s)
-                    })
-                else {
+                    }),
+                };
+                let Some(quorum) = quorum else {
                     return; // wait for more responders (threshold race)
                 };
                 plan.push((
@@ -638,8 +760,7 @@ impl ClientNode {
             }
         }
         let participants: Vec<SiteId> = per_site.keys().copied().collect();
-        let versions: Vec<(ObjectId, Version)> =
-            plan.iter().map(|(s, v, ..)| (*s, *v)).collect();
+        let versions: Vec<(ObjectId, Version)> = plan.iter().map(|(s, v, ..)| (*s, *v)).collect();
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
@@ -824,7 +945,26 @@ impl ClientNode {
             },
         }
         let my_gen = self.configs.get(&suite).map_or(0, |c| c.generation);
-        let eff_costs = self.effective_costs(ctx);
+        // Fetch-candidate ranking is only needed on paths that fetch
+        // (reads and reconfigurations); writes rank sites in `enter_prepare`.
+        let wants_holders = self
+            .ops
+            .get(&req)
+            .is_some_and(|st| matches!(st.kind, OpKind::Read | OpKind::Reconfigure));
+        let plan = if wants_holders {
+            self.cached_site_order(suite)
+        } else {
+            None
+        };
+        let eff_costs = if wants_holders && plan.is_none() {
+            self.effective_costs(ctx)
+        } else {
+            Vec::new()
+        };
+        let holders = |versions: &BTreeMap<SiteId, Version>, current: Version| match &plan {
+            Some(order) => holders_in_plan_order(versions, current, order),
+            None => current_holders(versions, current, &eff_costs),
+        };
         let next = {
             let Some(st) = self.ops.get_mut(&req) else {
                 return;
@@ -851,8 +991,7 @@ impl ClientNode {
                 } else {
                     // Quorum reached: the highest version among the answers
                     // is current (read/write intersection guarantees it).
-                    let current =
-                        versions.values().copied().max().unwrap_or(Version::INITIAL);
+                    let current = versions.values().copied().max().unwrap_or(Version::INITIAL);
                     match st.kind {
                         OpKind::Read => {
                             // The optimistic fetch wins if it proved
@@ -867,17 +1006,13 @@ impl ClientNode {
                                 } else {
                                     Next::ToFetch {
                                         current,
-                                        candidates: current_holders(
-                                            versions, current, &eff_costs,
-                                        ),
+                                        candidates: holders(versions, current),
                                     }
                                 }
                             } else {
                                 Next::ToFetch {
                                     current,
-                                    candidates: current_holders(
-                                        versions, current, &eff_costs,
-                                    ),
+                                    candidates: holders(versions, current),
                                 }
                             }
                         }
@@ -905,9 +1040,7 @@ impl ClientNode {
                                 st.reconfig_versions = versions.clone();
                                 Next::ToFetch {
                                     current,
-                                    candidates: current_holders(
-                                        versions, current, &eff_costs,
-                                    ),
+                                    candidates: holders(versions, current),
                                 }
                             }
                         }
@@ -1044,13 +1177,26 @@ impl ClientNode {
             .copied()
             .filter(|s| cfg.assignment.votes_of(*s) > 0)
             .collect();
-        let costs = self.effective_costs(ctx);
-        let Some(quorum) = cheapest_quorum(
-            &cfg.assignment,
-            cfg.quorum.write,
-            &strong_responders,
-            |s| site_cost(&costs, s),
-        ) else {
+        let quorum = match self.cached_site_order(suite) {
+            Some(order) => {
+                // The cached plan already ranks every site; restricting it
+                // to the strong responders preserves the cost order, so the
+                // greedy prefix matches a fresh `cheapest_quorum` exactly.
+                let in_order: Vec<SiteId> = order
+                    .iter()
+                    .copied()
+                    .filter(|s| strong_responders.contains(s))
+                    .collect();
+                cheapest_quorum_presorted(&cfg.assignment, cfg.quorum.write, &in_order)
+            }
+            None => {
+                let costs = self.effective_costs(ctx);
+                cheapest_quorum(&cfg.assignment, cfg.quorum.write, &strong_responders, |s| {
+                    site_cost(&costs, s)
+                })
+            }
+        };
+        let Some(quorum) = quorum else {
             // Cannot happen once the vote threshold passed; be defensive.
             return;
         };
@@ -1108,14 +1254,18 @@ impl ClientNode {
     ) {
         use std::collections::BTreeMap as Map;
         let old_cfg = self.configs[&suite].clone();
+        // Reconfiguration bypasses the plan cache: it ranks sites under two
+        // assignments at once (the old one for the config quorum and the
+        // not-yet-adopted new one for the data copies), and committing it
+        // invalidates the plan anyway. Reconfigs are rare; the fresh sort
+        // is not on any hot path.
         let costs = self.effective_costs(ctx);
         // Build the new configuration.
         let (new_cfg, inquiry_versions) = {
             let Some(st) = self.ops.get_mut(&req) else {
                 return;
             };
-            let (assignment, quorum) =
-                st.change.clone().expect("reconfigure carries a change");
+            let (assignment, quorum) = st.change.clone().expect("reconfigure carries a change");
             match old_cfg.evolve(assignment, quorum) {
                 Ok(next) => (next, st.reconfig_versions.clone()),
                 Err(e) => {
@@ -1252,9 +1402,7 @@ impl ClientNode {
                 // The optimistic fetch answered before the inquiry quorum:
                 // hold the value until the quorum tells us what's current.
                 Phase::Inquire { guess, early, .. } if *guess == Some(from) => {
-                    let keep = early
-                        .as_ref()
-                        .is_none_or(|(_, v, _)| version > *v);
+                    let keep = early.as_ref().is_none_or(|(_, v, _)| version > *v);
                     if keep {
                         *early = Some((from, version, value.clone()));
                     }
@@ -1460,8 +1608,7 @@ impl ClientNode {
                     if acked.len() == quorum.len() {
                         let version = *new_version;
                         let adopt = st.new_config.take();
-                        let push =
-                            self.options.push_weak_on_write && st.kind == OpKind::Write;
+                        let push = self.options.push_weak_on_write && st.kind == OpKind::Write;
                         let payload = st.payload.clone();
                         Some((version, adopt, push, payload, Vec::new()))
                     } else {
@@ -1492,9 +1639,11 @@ impl ClientNode {
         let Some((version, adopt, push, payload, multi)) = finished else {
             return;
         };
-        // Adopt the configuration this operation just installed.
+        // Adopt the configuration this operation just installed, and drop
+        // the quorum plan built against the superseded one.
         if let Some(next) = adopt {
             self.configs.insert(suite, next);
+            self.plans.remove(&suite);
         }
         // Optionally push the fresh value to weak representatives.
         if push {
@@ -1535,6 +1684,9 @@ impl ClientNode {
         if newer {
             self.stats.config_refreshes += 1;
             self.configs.insert(suite, config);
+            // The cached quorum plan ranks the old membership; rebuild it
+            // lazily against the adopted configuration.
+            self.plans.remove(&suite);
         }
         if matches!(
             self.ops.get(&req).map(|st| &st.phase),
@@ -1563,9 +1715,7 @@ impl ClientNode {
                     Next::FailUnavailable(st.kind)
                 }
                 Phase::Fetch { .. } => Next::NextCandidate,
-                Phase::Prepare { quorum, .. } => {
-                    Next::AbortAndFail(quorum.clone(), suite, st.kind)
-                }
+                Phase::Prepare { quorum, .. } => Next::AbortAndFail(quorum.clone(), suite, st.kind),
                 Phase::MultiPrepare { participants, .. } => {
                     Next::AbortAndFail(participants.clone(), suite, st.kind)
                 }
@@ -1634,9 +1784,7 @@ impl ClientNode {
                     ctx,
                 );
             }
-            Next::GiveUpIndeterminate => {
-                self.complete(req, Err(OpError::Indeterminate), ctx)
-            }
+            Next::GiveUpIndeterminate => self.complete(req, Err(OpError::Indeterminate), ctx),
         }
     }
 
@@ -1675,9 +1823,7 @@ impl ClientNode {
                 committed,
             } => self.on_ack(from, suite, req, committed, ctx),
             Msg::StaleConfig { req, .. } => self.enter_refresh(req, from, ctx),
-            Msg::ConfigResp { suite, req, config } => {
-                self.on_config_resp(suite, req, config, ctx)
-            }
+            Msg::ConfigResp { suite, req, config } => self.on_config_resp(suite, req, config, ctx),
             Msg::DecisionReq { suite, req } => {
                 // Presumed abort: only a durably logged commit answers yes.
                 let msg = if self.decided_commit.contains(&req) {
@@ -1807,14 +1953,24 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
         c.handle(
             SiteId(1),
-            Msg::VersionResp { suite: SUITE, req, version: Version(2), generation: 1 },
+            Msg::VersionResp {
+                suite: SUITE,
+                req,
+                version: Version(2),
+                generation: 1,
+            },
             &mut ctx,
         );
         assert!(effects(&mut ctx).is_empty(), "one vote is not a quorum");
         let mut ctx = NodeCtx::new(SimTime::from_millis(12), CLIENT, &mut rng);
         c.handle(
             SiteId(2),
-            Msg::VersionResp { suite: SUITE, req, version: Version(1), generation: 1 },
+            Msg::VersionResp {
+                suite: SUITE,
+                req,
+                version: Version(1),
+                generation: 1,
+            },
             &mut ctx,
         );
         let out = effects(&mut ctx);
@@ -1856,7 +2012,12 @@ mod tests {
             let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
             c.handle(
                 SiteId(s),
-                Msg::VersionResp { suite: SUITE, req, version: Version(0), generation: 1 },
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(0),
+                    generation: 1,
+                },
                 &mut ctx,
             );
             let out = effects(&mut ctx);
@@ -1879,14 +2040,22 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_millis(20), CLIENT, &mut rng);
         c.handle(
             SiteId(0),
-            Msg::PrepareVote { suite: SUITE, req, vote: Vote::Yes },
+            Msg::PrepareVote {
+                suite: SUITE,
+                req,
+                vote: Vote::Yes,
+            },
             &mut ctx,
         );
         assert!(effects(&mut ctx).is_empty());
         let mut ctx = NodeCtx::new(SimTime::from_millis(21), CLIENT, &mut rng);
         c.handle(
             SiteId(1),
-            Msg::PrepareVote { suite: SUITE, req, vote: Vote::Yes },
+            Msg::PrepareVote {
+                suite: SUITE,
+                req,
+                vote: Vote::Yes,
+            },
             &mut ctx,
         );
         let out = effects(&mut ctx);
@@ -1898,7 +2067,11 @@ mod tests {
             let mut ctx = NodeCtx::new(SimTime::from_millis(30), CLIENT, &mut rng);
             c.handle(
                 SiteId(s),
-                Msg::Ack { suite: SUITE, req, committed: true },
+                Msg::Ack {
+                    suite: SUITE,
+                    req,
+                    committed: true,
+                },
                 &mut ctx,
             );
         }
@@ -1918,7 +2091,12 @@ mod tests {
             let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
             c.handle(
                 SiteId(s),
-                Msg::VersionResp { suite: SUITE, req, version: Version(0), generation: 1 },
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(0),
+                    generation: 1,
+                },
                 &mut ctx,
             );
             let _ = effects(&mut ctx);
@@ -1926,12 +2104,21 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
         c.handle(
             SiteId(0),
-            Msg::PrepareVote { suite: SUITE, req, vote: Vote::No },
+            Msg::PrepareVote {
+                suite: SUITE,
+                req,
+                vote: Vote::No,
+            },
             &mut ctx,
         );
         let out = effects(&mut ctx);
         // Aborts to the quorum members.
-        assert!(out.iter().filter(|(_, m)| matches!(m, Msg::Abort { .. })).count() >= 2);
+        assert!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, Msg::Abort { .. }))
+                .count()
+                >= 2
+        );
         // Not completed yet: a retry is pending under a fresh request id.
         assert_eq!(c.completed.len(), 0);
         assert_eq!(c.in_flight(), 1);
@@ -1950,7 +2137,12 @@ mod tests {
             let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
             c.handle(
                 SiteId(s),
-                Msg::VersionResp { suite: SUITE, req, version: Version(1), generation: 1 },
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(1),
+                    generation: 1,
+                },
                 &mut ctx,
             );
             let _ = effects(&mut ctx);
@@ -1980,7 +2172,14 @@ mod tests {
         let mut rng = DetRng::new(6);
         let unknown = ReqId::new(77, CLIENT);
         let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
-        c.handle(SiteId(0), Msg::DecisionReq { suite: SUITE, req: unknown }, &mut ctx);
+        c.handle(
+            SiteId(0),
+            Msg::DecisionReq {
+                suite: SUITE,
+                req: unknown,
+            },
+            &mut ctx,
+        );
         let out = effects(&mut ctx);
         assert!(matches!(out[0].1, Msg::Abort { .. }));
     }
@@ -2018,17 +2217,30 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
         c.handle(
             SiteId(0),
-            Msg::VersionResp { suite: SUITE, req: ghost, version: Version(9), generation: 1 },
+            Msg::VersionResp {
+                suite: SUITE,
+                req: ghost,
+                version: Version(9),
+                generation: 1,
+            },
             &mut ctx,
         );
         c.handle(
             SiteId(0),
-            Msg::PrepareVote { suite: SUITE, req: ghost, vote: Vote::Yes },
+            Msg::PrepareVote {
+                suite: SUITE,
+                req: ghost,
+                vote: Vote::Yes,
+            },
             &mut ctx,
         );
         c.handle(
             SiteId(0),
-            Msg::Ack { suite: SUITE, req: ghost, committed: true },
+            Msg::Ack {
+                suite: SUITE,
+                req: ghost,
+                committed: true,
+            },
             &mut ctx,
         );
         assert!(effects(&mut ctx).is_empty());
@@ -2045,7 +2257,12 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
         c.handle(
             SiteId(0),
-            Msg::VersionResp { suite: SUITE, req, version: Version(4), generation: 3 },
+            Msg::VersionResp {
+                suite: SUITE,
+                req,
+                version: Version(4),
+                generation: 3,
+            },
             &mut ctx,
         );
         let out = effects(&mut ctx);
@@ -2061,7 +2278,11 @@ mod tests {
         let mut ctx = NodeCtx::new(SimTime::from_millis(9), CLIENT, &mut rng);
         c.handle(
             SiteId(0),
-            Msg::ConfigResp { suite: SUITE, req, config: cfg3.clone() },
+            Msg::ConfigResp {
+                suite: SUITE,
+                req,
+                config: cfg3.clone(),
+            },
             &mut ctx,
         );
         let out = effects(&mut ctx);
@@ -2075,5 +2296,98 @@ mod tests {
             3
         );
         assert_eq!(c.config(SUITE).expect("cfg").generation, 3);
+    }
+
+    #[test]
+    fn plan_cache_serves_repeat_decisions_and_invalidates_on_adoption() {
+        let mut c = client();
+        let mut rng = DetRng::new(11);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        // First decision (the optimistic-fetch guess) builds the plan.
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        assert_eq!(c.stats.plan_cache_misses, 1);
+        assert_eq!(c.stats.plan_cache_hits, 0);
+        let cached = c.plans.get(&SUITE).expect("plan built");
+        assert_eq!(cached.generation, 1);
+        // Cheapest-first over costs [10, 20, 30]: 0 before 1 before 2.
+        assert_eq!(cached.site_order, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        // Every inquiry response ranks fetch candidates from the cache.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(1),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        assert_eq!(c.stats.plan_cache_misses, 1);
+        assert_eq!(c.stats.plan_cache_hits, 2);
+        // Adopting a newer configuration drops the plan; the next decision
+        // rebuilds it against the new generation.
+        let cfg2 = config()
+            .evolve(VoteAssignment::equal(3), QuorumSpec::new(1, 3))
+            .expect("legal");
+        let mut ctx = NodeCtx::new(SimTime::from_millis(9), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::ConfigResp {
+                suite: SUITE,
+                req,
+                config: cfg2,
+            },
+            &mut ctx,
+        );
+        let _ = effects(&mut ctx);
+        assert!(
+            c.plans.get(&SUITE).is_none_or(|p| p.generation == 2),
+            "stale generation-1 plan must not survive adoption"
+        );
+        // The next decision rebuilds the plan against generation 2.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(20), CLIENT, &mut rng);
+        let _ = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        assert_eq!(c.stats.plan_cache_misses, 2, "rebuild counts as a miss");
+        assert_eq!(c.plans.get(&SUITE).expect("rebuilt").generation, 2);
+    }
+
+    #[test]
+    fn random_policy_bypasses_plan_cache() {
+        let mut c = ClientNode::new(
+            CLIENT,
+            vec![config()],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions {
+                quorum_policy: QuorumPolicy::Random,
+                ..ClientOptions::default()
+            },
+        );
+        let mut rng = DetRng::new(12);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(1),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        assert!(c.plans.is_empty(), "random ablation must not memoize costs");
+        assert_eq!(c.stats.plan_cache_hits, 0);
+        assert_eq!(c.stats.plan_cache_misses, 0);
     }
 }

@@ -63,7 +63,9 @@ mod tests {
             .to_string()
             .contains("Read"));
         assert!(OpError::Conflict.to_string().contains("concurrent"));
-        assert!(OpError::Indeterminate.to_string().contains("not fully acked"));
+        assert!(OpError::Indeterminate
+            .to_string()
+            .contains("not fully acked"));
         assert!(OpError::UnknownSuite.to_string().contains("unknown"));
         let e = OpError::IllegalConfig(QuorumError::NoIntersection { total: 3 });
         assert!(e.to_string().contains("exceed total votes"));

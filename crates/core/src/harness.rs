@@ -8,6 +8,17 @@
 //! sit on this facade; asynchronous use (concurrent operations) is
 //! available through [`Harness::enqueue_read`] / [`Harness::enqueue_write`]
 //! plus [`Harness::run_until_quiet`].
+//!
+//! # Determinism contract
+//!
+//! A harness is a pure function of its builder inputs: the same sites,
+//! quorums, network, and seed replay the same virtual-time history —
+//! operation by operation, latency by latency — no matter which OS thread
+//! builds or drives it, because all randomness flows from the seeded
+//! [`wv_sim::DetRng`] and the event queue breaks ties deterministically.
+//! The parallel trial engine in `wv-bench` leans on exactly this: each
+//! trial constructs its own harness from a derived seed inside a worker
+//! thread, and the fan-out is bit-identical to a sequential loop.
 
 use bytes::Bytes;
 use wv_net::sim_net::{Cluster, NetStats};
@@ -474,10 +485,7 @@ impl Harness {
                 });
             }
         }
-        let c = self
-            .sim
-            .world
-            .nodes[client.index()]
+        let c = self.sim.world.nodes[client.index()]
             .as_client_mut()
             .expect("client exists");
         Ok(c.completed.remove(before))
@@ -591,6 +599,14 @@ impl Harness {
             .as_server()
             .and_then(|s| s.config(suite))
             .map(|c| c.generation)
+    }
+
+    /// The protocol counters of the client at `site` (None if the site has
+    /// no client half).
+    pub fn client_stats(&self, site: SiteId) -> Option<crate::client::ClientStats> {
+        self.sim.world.nodes[site.index()]
+            .as_client()
+            .map(|c| c.stats)
     }
 
     /// Immutable access to the underlying cluster (experiments).
@@ -722,6 +738,32 @@ mod tests {
     }
 
     #[test]
+    fn trial_history_is_independent_of_the_building_thread() {
+        // The determinism contract the parallel trial engine depends on:
+        // a harness built and driven on a worker thread replays exactly
+        // the history it produces on the main thread.
+        fn trial(seed: u64) -> (SimDuration, SimDuration, Vec<Option<Version>>) {
+            let mut h = three_server_harness(seed);
+            let suite = h.suite_id();
+            let w = h.write(suite, b"t".to_vec()).expect("write");
+            h.advance(SimDuration::from_secs(1));
+            let r = h.read(suite).expect("read");
+            let versions = SiteId::all(3).map(|s| h.version_at(s, suite)).collect();
+            (w.latency, r.latency, versions)
+        }
+        let on_main: Vec<_> = (0..4u64).map(trial).collect();
+        let on_workers: Vec<_> = std::thread::scope(|scope| {
+            (0..4u64)
+                .map(|seed| scope.spawn(move || trial(seed)))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
+        });
+        assert_eq!(on_main, on_workers);
+    }
+
+    #[test]
     fn builder_rejects_illegal_quorum() {
         let result = HarnessBuilder::new()
             .site(SiteSpec::server(1))
@@ -750,7 +792,8 @@ mod tests {
             .expect("legal");
         let suite = h.suite_id();
         let client = SiteId(1);
-        h.write_from(client, suite, b"cached".to_vec()).expect("write");
+        h.write_from(client, suite, b"cached".to_vec())
+            .expect("write");
         // First read fetches from the server and refreshes the weak rep.
         let r1 = h.read_from(client, suite).expect("read 1");
         assert_eq!(&r1.value[..], b"cached");

@@ -7,7 +7,6 @@
 //! built against a superseded configuration ([`Msg::StaleConfig`]).
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 use wv_storage::{ObjectId, Version};
 use wv_txn::Vote;
 
@@ -19,7 +18,7 @@ use crate::suite::SuiteConfig;
 /// req ids usable directly as wait-die timestamps (earlier operations are
 /// "older"), and the low bits let a recovering participant find its
 /// coordinator.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ReqId(pub u64);
 
 impl ReqId {
@@ -41,7 +40,7 @@ impl ReqId {
 }
 
 /// One staged install within a [`Msg::Prepare`].
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PrepareWrite {
     /// The suite the install belongs to.
     pub suite: ObjectId,
@@ -56,7 +55,7 @@ pub struct PrepareWrite {
 }
 
 /// Protocol messages.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Msg {
     // ---- version inquiry (the cheap "check the version number" round) ----
     /// Client asks a representative for its current version number.

@@ -167,7 +167,12 @@ mod tests {
 
         let mut b = SystemNode::Both {
             server: SuiteServer::new(SiteId(1), vec![cfg()], DeadlockPolicy::WaitDie),
-            client: ClientNode::new(SiteId(1), vec![cfg()], vec![1.0; 3], ClientOptions::default()),
+            client: ClientNode::new(
+                SiteId(1),
+                vec![cfg()],
+                vec![1.0; 3],
+                ClientOptions::default(),
+            ),
         };
         assert!(b.as_client().is_some());
         assert!(b.as_server().is_some());

@@ -7,13 +7,12 @@
 //! the same transaction that installs the new version, and `r + w > N`
 //! puts that read in conflict with every concurrent writer's install set.
 
-use serde::{Deserialize, Serialize};
 use wv_net::SiteId;
 
 use crate::votes::VoteAssignment;
 
 /// Read and write quorum sizes, in votes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct QuorumSpec {
     /// Votes required to read.
     pub read: u32,
@@ -114,7 +113,10 @@ impl QuorumSpec {
 pub fn minimal_quorums(assignment: &VoteAssignment, needed: u32) -> Vec<Vec<SiteId>> {
     let strong = assignment.strong_sites();
     let n = strong.len();
-    assert!(n <= 20, "quorum enumeration is exponential; {n} sites is too many");
+    assert!(
+        n <= 20,
+        "quorum enumeration is exponential; {n} sites is too many"
+    );
     let mut result: Vec<Vec<SiteId>> = Vec::new();
     for mask in 1u32..(1 << n) {
         let members: Vec<SiteId> = (0..n)
@@ -174,6 +176,34 @@ pub fn cheapest_quorum(
             // Drop any member made redundant by later cheaper picks — with
             // prefix-greedy this only removes sites whose votes are not
             // needed for the threshold (possible with unequal votes).
+            prune_redundant(assignment, needed, &mut chosen);
+            return Some(chosen);
+        }
+    }
+    None
+}
+
+/// [`cheapest_quorum`] for candidates already in cost order.
+///
+/// Callers that memoize the cost-sorted site order (the client's quorum-plan
+/// cache) filter it down to the live candidates — an order-preserving filter
+/// of a sorted list is still sorted — and skip the per-decision sort here.
+/// Given candidates in the same `(cost, site id)` order `cheapest_quorum`
+/// would produce, the result is identical.
+pub fn cheapest_quorum_presorted(
+    assignment: &VoteAssignment,
+    needed: u32,
+    sorted_candidates: &[SiteId],
+) -> Option<Vec<SiteId>> {
+    let mut chosen = Vec::new();
+    let mut votes = 0;
+    for &s in sorted_candidates {
+        if assignment.votes_of(s) == 0 {
+            continue;
+        }
+        chosen.push(s);
+        votes += assignment.votes_of(s);
+        if votes >= needed {
             prune_redundant(assignment, needed, &mut chosen);
             return Some(chosen);
         }
@@ -256,9 +286,15 @@ mod tests {
         assert_eq!(QuorumSpec::read_one_write_all(7), QuorumSpec::new(1, 7));
         assert_eq!(QuorumSpec::read_all_write_one(7), QuorumSpec::new(7, 1));
         let a = VoteAssignment::equal(7);
-        QuorumSpec::majority(7).validate(&a).expect("majority legal");
-        QuorumSpec::read_one_write_all(7).validate(&a).expect("rowa legal");
-        QuorumSpec::read_all_write_one(7).validate(&a).expect("rawo legal");
+        QuorumSpec::majority(7)
+            .validate(&a)
+            .expect("majority legal");
+        QuorumSpec::read_one_write_all(7)
+            .validate(&a)
+            .expect("rowa legal");
+        QuorumSpec::read_all_write_one(7)
+            .validate(&a)
+            .expect("rawo legal");
     }
 
     #[test]
@@ -277,10 +313,7 @@ mod tests {
     fn minimal_quorum_enumeration() {
         let a = VoteAssignment::new([(s(0), 2), (s(1), 1), (s(2), 1)]);
         // Read quorum 2: {0} alone, or {1,2}.
-        assert_eq!(
-            minimal_quorums(&a, 2),
-            vec![vec![s(0)], vec![s(1), s(2)]]
-        );
+        assert_eq!(minimal_quorums(&a, 2), vec![vec![s(0)], vec![s(1), s(2)]]);
         // Write quorum 3: {0,1}, {0,2}.
         assert_eq!(
             minimal_quorums(&a, 3),
@@ -326,48 +359,52 @@ mod tests {
     }
 
     mod props {
-        use super::*;
-        use proptest::prelude::*;
+        //! Randomized invariant checks over seeded cases (offline stand-in
+        //! for the old proptest strategies; every seed reproduces exactly).
 
-        fn assignment_strategy() -> impl Strategy<Value = VoteAssignment> {
-            proptest::collection::vec(0u32..4, 1..7).prop_filter_map(
-                "needs at least one vote",
-                |votes| {
-                    if votes.iter().sum::<u32>() == 0 {
-                        None
-                    } else {
-                        Some(VoteAssignment::new(
-                            votes
-                                .into_iter()
-                                .enumerate()
-                                .map(|(i, v)| (SiteId::from(i), v)),
-                        ))
-                    }
-                },
-            )
+        use super::*;
+        use wv_sim::DetRng;
+
+        /// A random assignment of 1..7 sites with 0..4 votes each, at least
+        /// one vote total.
+        fn random_assignment(rng: &mut DetRng) -> VoteAssignment {
+            loop {
+                let n = 1 + rng.below(6) as usize;
+                let votes: Vec<u32> = (0..n).map(|_| rng.below(4) as u32).collect();
+                if votes.iter().sum::<u32>() > 0 {
+                    return VoteAssignment::new(
+                        votes
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, v)| (SiteId::from(i), v)),
+                    );
+                }
+            }
         }
 
-        proptest! {
-            /// The paper's core safety argument: for any legal (r, w), any
-            /// read quorum and any write quorum share a strong site.
-            #[test]
-            fn read_and_write_quorums_always_intersect(
-                a in assignment_strategy(),
-                r_off in 0u32..3,
-                w_off in 0u32..3,
-            ) {
+        /// The paper's core safety argument: for any legal (r, w), any
+        /// read quorum and any write quorum share a strong site.
+        #[test]
+        fn read_and_write_quorums_always_intersect() {
+            for seed in 0..128u64 {
+                let mut rng = DetRng::new(0x1a7e ^ seed);
+                let a = random_assignment(&mut rng);
+                let r_off = rng.below(3) as u32;
+                let w_off = rng.below(3) as u32;
                 let total = a.total();
                 // Build a legal spec: r + w = N + 1 + slack, clamped.
                 let r = (1 + r_off).min(total);
                 let w = (total + 1 - r + w_off).min(total);
                 let spec = QuorumSpec::new(r, w);
-                prop_assume!(spec.validate(&a).is_ok());
+                if spec.validate(&a).is_err() {
+                    continue;
+                }
                 let reads = minimal_quorums(&a, spec.read);
                 let writes = minimal_quorums(&a, spec.write);
                 for rq in &reads {
                     for wq in &writes {
                         let intersect = rq.iter().any(|s| wq.contains(s));
-                        prop_assert!(
+                        assert!(
                             intersect,
                             "read quorum {rq:?} misses write quorum {wq:?} \
                              under {spec:?} with assignment {a:?}"
@@ -375,47 +412,84 @@ mod tests {
                     }
                 }
             }
+        }
 
-            /// An illegal spec (r + w <= N) really does admit disjoint
-            /// quorums whenever both sides can be formed from disjoint
-            /// vote pools — the converse of the safety property.
-            #[test]
-            fn non_intersecting_specs_are_rejected(
-                a in assignment_strategy(),
-                r in 1u32..6,
-                w in 1u32..6,
-            ) {
+        /// An illegal spec (r + w <= N) really does admit disjoint
+        /// quorums whenever both sides can be formed from disjoint
+        /// vote pools — the converse of the safety property.
+        #[test]
+        fn non_intersecting_specs_are_rejected() {
+            for seed in 0..256u64 {
+                let mut rng = DetRng::new(0x2e1ec7 ^ seed);
+                let a = random_assignment(&mut rng);
+                let r = 1 + rng.below(5) as u32;
+                let w = 1 + rng.below(5) as u32;
                 let spec = QuorumSpec::new(r, w);
                 let total = a.total();
                 match spec.validate(&a) {
-                    Ok(()) => prop_assert!(r + w > total && r <= total && w <= total),
+                    Ok(()) => {
+                        assert!(r + w > total && r <= total && w <= total, "seed {seed}")
+                    }
                     Err(QuorumError::NoIntersection { .. }) => {
-                        prop_assert!(r + w <= total)
+                        assert!(r + w <= total, "seed {seed}")
                     }
                     Err(QuorumError::OutOfRange { .. }) => {
-                        prop_assert!(r == 0 || w == 0 || r > total || w > total)
+                        assert!(r == 0 || w == 0 || r > total || w > total, "seed {seed}")
                     }
                 }
             }
+        }
 
-            /// Cheapest quorum always returns a genuine quorum, and never
-            /// one that a strictly cheaper prefix could replace.
-            #[test]
-            fn cheapest_quorum_is_a_quorum(
-                a in assignment_strategy(),
-                costs in proptest::collection::vec(1.0f64..100.0, 7),
-            ) {
+        /// Cheapest quorum always returns a genuine quorum, and never
+        /// one that a strictly cheaper prefix could replace.
+        #[test]
+        fn cheapest_quorum_is_a_quorum() {
+            for seed in 0..256u64 {
+                let mut rng = DetRng::new(0xc057 ^ seed);
+                let a = random_assignment(&mut rng);
+                let costs: Vec<f64> = (0..7).map(|_| 1.0 + 99.0 * rng.f64()).collect();
                 let total = a.total();
                 let needed = 1 + total / 2;
                 let cost = |s: SiteId| costs[s.index() % costs.len()];
                 if let Some(q) = cheapest_quorum(&a, needed, &a.strong_sites(), cost) {
-                    prop_assert!(a.votes_in(&q) >= needed);
+                    assert!(a.votes_in(&q) >= needed, "seed {seed}");
                     // Minimality: no member is redundant.
                     for drop in &q {
-                        let rest: Vec<SiteId> =
-                            q.iter().copied().filter(|s| s != drop).collect();
-                        prop_assert!(a.votes_in(&rest) < needed);
+                        let rest: Vec<SiteId> = q.iter().copied().filter(|s| s != drop).collect();
+                        assert!(a.votes_in(&rest) < needed, "seed {seed}");
                     }
+                }
+            }
+        }
+
+        #[test]
+        fn presorted_matches_cheapest_quorum() {
+            // The plan-cache fast path must agree with the sorting path on
+            // every candidate subset, for every threshold.
+            for seed in 0..256u64 {
+                let mut rng = DetRng::new(0x9e50 ^ seed);
+                let a = random_assignment(&mut rng);
+                let costs: Vec<f64> = (0..7).map(|_| 1.0 + 99.0 * rng.f64()).collect();
+                let cost = |s: SiteId| costs[s.index() % costs.len()];
+                // A random candidate subset, then its cost-sorted order.
+                let candidates: Vec<SiteId> = a
+                    .all_sites()
+                    .into_iter()
+                    .filter(|_| rng.chance(0.8))
+                    .collect();
+                let mut sorted = candidates.clone();
+                sorted.sort_by(|a, b| {
+                    cost(*a)
+                        .partial_cmp(&cost(*b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(b))
+                });
+                for needed in 1..=a.total() {
+                    assert_eq!(
+                        cheapest_quorum(&a, needed, &candidates, cost),
+                        cheapest_quorum_presorted(&a, needed, &sorted),
+                        "seed {seed}, needed {needed}"
+                    );
                 }
             }
         }

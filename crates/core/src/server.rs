@@ -133,9 +133,7 @@ impl SuiteServer {
 
     fn maybe_checkpoint(&mut self) {
         if self.container.wal().len() >= self.checkpoint_threshold {
-            self.container
-                .checkpoint()
-                .expect("server container is up");
+            self.container.checkpoint().expect("server container is up");
             self.stats.checkpoints += 1;
         }
     }
@@ -317,10 +315,7 @@ impl SuiteServer {
                     return;
                 }
                 self.stats.reads += 1;
-                let vv = self
-                    .container
-                    .read(object)
-                    .expect("server container is up");
+                let vv = self.container.read(object).expect("server container is up");
                 ctx.send(
                     from,
                     Msg::ReadResp {
@@ -624,7 +619,14 @@ mod tests {
         let mut s = server();
         let mut rng = DetRng::new(1);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::VersionReq { suite: SUITE, req: req(1) }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::VersionReq {
+                suite: SUITE,
+                req: req(1),
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
         assert_eq!(out.len(), 1);
         assert!(matches!(
@@ -645,14 +647,30 @@ mod tests {
         let out = sent(&mut ctx);
         assert!(matches!(
             &out[0].1,
-            Msg::PrepareVote { vote: Vote::Yes, .. }
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
         ));
         // Not yet visible.
         assert_eq!(s.data_version(SUITE), Version(0));
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
-        assert!(matches!(&out[0].1, Msg::Ack { committed: true, .. }));
+        assert!(matches!(
+            &out[0].1,
+            Msg::Ack {
+                committed: true,
+                ..
+            }
+        ));
         assert_eq!(s.data_version(SUITE), Version(1));
         assert_eq!(s.data_value(SUITE), Bytes::from_static(b"new"));
         assert_eq!(s.pending_writes(), 0);
@@ -667,17 +685,21 @@ mod tests {
         s.handle(CLIENT, prepare_msg(r1, 1, b"a"), &mut ctx);
         let _ = sent(&mut ctx);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r1 }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r1,
+            },
+            &mut ctx,
+        );
         let _ = sent(&mut ctx);
         // A second writer that still thinks the version is 0 prepares v1.
         let r2 = req(2);
         let mut ctx = ctx_pair(&mut rng);
         s.handle(CLIENT, prepare_msg(r2, 1, b"b"), &mut ctx);
         let out = sent(&mut ctx);
-        assert!(matches!(
-            &out[0].1,
-            Msg::PrepareVote { vote: Vote::No, .. }
-        ));
+        assert!(matches!(&out[0].1, Msg::PrepareVote { vote: Vote::No, .. }));
         assert_eq!(s.data_value(SUITE), Bytes::from_static(b"a"));
     }
 
@@ -690,20 +712,48 @@ mod tests {
         s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
         let _ = sent(&mut ctx);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::ReadReq { suite: SUITE, req: req(2) }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::ReadReq {
+                suite: SUITE,
+                req: req(2),
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
         assert!(matches!(&out[0].1, Msg::Busy { .. }));
         assert_eq!(s.stats.busy, 1);
         // Version inquiries still answer (they serve committed state).
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::VersionReq { suite: SUITE, req: req(3) }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::VersionReq {
+                suite: SUITE,
+                req: req(3),
+            },
+            &mut ctx,
+        );
         assert!(matches!(&sent(&mut ctx)[0].1, Msg::VersionResp { .. }));
         // After abort the read proceeds.
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Abort { suite: SUITE, req: r }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Abort {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
         let _ = sent(&mut ctx);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::ReadReq { suite: SUITE, req: req(4) }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::ReadReq {
+                suite: SUITE,
+                req: req(4),
+            },
+            &mut ctx,
+        );
         assert!(matches!(&sent(&mut ctx)[0].1, Msg::ReadResp { .. }));
     }
 
@@ -719,10 +769,7 @@ mod tests {
         let mut ctx = ctx_pair(&mut rng);
         s.handle(CLIENT, prepare_msg(younger, 1, b"young"), &mut ctx);
         let out = sent(&mut ctx);
-        assert!(matches!(
-            &out[0].1,
-            Msg::PrepareVote { vote: Vote::No, .. }
-        ));
+        assert!(matches!(&out[0].1, Msg::PrepareVote { vote: Vote::No, .. }));
     }
 
     #[test]
@@ -741,11 +788,20 @@ mod tests {
         // Commit the younger one; the older resumes, but its version is now
         // stale, so it votes no.
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: younger }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: younger,
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
         assert_eq!(out.len(), 2, "ack plus resumed vote");
-        assert!(matches!(&out[0].1, Msg::PrepareVote { vote: Vote::No, req, .. } if *req == older)
-            || matches!(&out[1].1, Msg::PrepareVote { vote: Vote::No, req, .. } if *req == older));
+        assert!(
+            matches!(&out[0].1, Msg::PrepareVote { vote: Vote::No, req, .. } if *req == older)
+                || matches!(&out[1].1, Msg::PrepareVote { vote: Vote::No, req, .. } if *req == older)
+        );
     }
 
     #[test]
@@ -761,14 +817,28 @@ mod tests {
         s.handle(CLIENT, prepare_msg(older, 1, b"old"), &mut ctx);
         let _ = sent(&mut ctx);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Abort { suite: SUITE, req: younger }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Abort {
+                suite: SUITE,
+                req: younger,
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
         assert!(out.iter().any(|(_, m)| matches!(
             m,
             Msg::PrepareVote { vote: Vote::Yes, req, .. } if *req == older
         )));
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: older }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: older,
+            },
+            &mut ctx,
+        );
         let _ = sent(&mut ctx);
         assert_eq!(s.data_value(SUITE), Bytes::from_static(b"old"));
     }
@@ -836,7 +906,14 @@ mod tests {
         );
         let _ = sent(&mut ctx);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r0 }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r0,
+            },
+            &mut ctx,
+        );
         let _ = sent(&mut ctx);
         assert_eq!(s.config(SUITE).expect("cfg").generation, 2);
         // A write still claiming generation 1 is now rejected.
@@ -844,10 +921,7 @@ mod tests {
         let mut ctx = ctx_pair(&mut rng);
         s.handle(CLIENT, prepare_msg(r1, 1, b"late"), &mut ctx);
         let out = sent(&mut ctx);
-        assert!(matches!(
-            &out[0].1,
-            Msg::StaleConfig { generation: 2, .. }
-        ));
+        assert!(matches!(&out[0].1, Msg::StaleConfig { generation: 2, .. }));
         assert_eq!(s.stats.stale_config, 1);
     }
 
@@ -856,7 +930,14 @@ mod tests {
         let mut s = server();
         let mut rng = DetRng::new(10);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::ConfigReq { suite: SUITE, req: req(1) }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::ConfigReq {
+                suite: SUITE,
+                req: req(1),
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
         assert!(matches!(
             &out[0].1,
@@ -884,7 +965,14 @@ mod tests {
         assert_eq!(s.config(SUITE).expect("cfg").generation, 1);
         // The coordinator answers commit; the write lands.
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
         let _ = sent(&mut ctx);
         assert_eq!(s.data_value(SUITE), Bytes::from_static(b"promise"));
     }
@@ -916,7 +1004,10 @@ mod tests {
         let out = sent(&mut ctx);
         assert!(matches!(
             &out[0].1,
-            Msg::PrepareVote { vote: Vote::Yes, .. }
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
         ));
         assert_eq!(s.pending_writes(), 1, "no duplicate pending entry");
     }
@@ -926,9 +1017,22 @@ mod tests {
         let mut s = server();
         let mut rng = DetRng::new(14);
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Abort { suite: SUITE, req: req(42) }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Abort {
+                suite: SUITE,
+                req: req(42),
+            },
+            &mut ctx,
+        );
         let out = sent(&mut ctx);
-        assert!(matches!(&out[0].1, Msg::Ack { committed: false, .. }));
+        assert!(matches!(
+            &out[0].1,
+            Msg::Ack {
+                committed: false,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -956,10 +1060,21 @@ mod tests {
             );
             let _ = sent(&mut ctx);
             let mut ctx = ctx_pair(&mut rng);
-            s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+            s.handle(
+                CLIENT,
+                Msg::Commit {
+                    suite: SUITE,
+                    req: r,
+                },
+                &mut ctx,
+            );
             let _ = sent(&mut ctx);
         }
-        assert!(s.stats.checkpoints >= 2, "compactions ran: {}", s.stats.checkpoints);
+        assert!(
+            s.stats.checkpoints >= 2,
+            "compactions ran: {}",
+            s.stats.checkpoints
+        );
         assert!(
             s.container().wal().len() <= 24,
             "log unbounded: {} records",
@@ -989,7 +1104,14 @@ mod tests {
         assert!(matches!(&out[0].1, Msg::DecisionReq { .. }));
         // After resolution the timer goes quiet.
         let mut ctx = ctx_pair(&mut rng);
-        s.handle(CLIENT, Msg::Commit { suite: SUITE, req: r }, &mut ctx);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
         let _ = sent(&mut ctx);
         let mut ctx = ctx_pair(&mut rng);
         s.handle_timer(r.0, &mut ctx);

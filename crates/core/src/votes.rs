@@ -5,7 +5,6 @@
 //! `r = 1, w = N` is read-one/write-all; equal votes with majority quorums
 //! is majority voting; zero-vote entries are weak representatives (caches).
 
-use serde::{Deserialize, Serialize};
 use wv_net::SiteId;
 
 /// Votes per representative, indexed by hosting site.
@@ -13,7 +12,7 @@ use wv_net::SiteId;
 /// A site appears at most once. Sites with zero votes are *weak
 /// representatives*: they hold data and answer reads but never count
 /// toward any quorum.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VoteAssignment {
     entries: Vec<(SiteId, u32)>,
 }

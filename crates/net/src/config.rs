@@ -1,6 +1,5 @@
 //! Network topology: per-link latency, loss, and partitions.
 
-use serde::{Deserialize, Serialize};
 use wv_sim::{DetRng, LatencyModel, SimDuration};
 
 use crate::site::SiteId;
@@ -11,7 +10,7 @@ use crate::site::SiteId;
 /// `drop[from][to]`. Self-links model local access (a client talking to a
 /// representative on its own machine) and default to the paper's 75 ms
 /// local-file-system latency with no loss.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     sites: usize,
     latency: Vec<Vec<LatencyModel>>,
@@ -128,7 +127,7 @@ impl NetConfig {
 ///
 /// Messages flow only between sites in the same group. [`Partition::whole`]
 /// (everything in one group) is the healthy state.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Partition {
     group_of: Vec<usize>,
 }

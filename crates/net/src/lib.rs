@@ -15,7 +15,7 @@
 //!   latencies, crash/recovery, and partitions. Every experiment table is
 //!   regenerated on this transport.
 //! * [`thread_net`] — the wall-clock transport: one OS thread per node,
-//!   crossbeam channels, and a router thread that imposes (scaled-down)
+//!   std::sync::mpsc channels, and a router thread that imposes (scaled-down)
 //!   link latencies. Used by integration tests to show the protocols are
 //!   not simulator artifacts.
 
@@ -29,6 +29,6 @@ pub mod site;
 pub mod thread_net;
 
 pub use config::{NetConfig, Partition};
-pub use runner::NodeRunner;
 pub use node::{Node, NodeCtx};
+pub use runner::NodeRunner;
 pub use site::{Envelope, SiteId};

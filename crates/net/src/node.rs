@@ -163,9 +163,7 @@ mod tests {
         assert_eq!(ctx.pending_effects(), 4);
         let effects = ctx.take_effects();
         assert_eq!(effects.len(), 4);
-        assert!(
-            matches!(effects[0], Effect::Send { to, msg } if to == SiteId(0) && msg == 10)
-        );
+        assert!(matches!(effects[0], Effect::Send { to, msg } if to == SiteId(0) && msg == 10));
         assert!(matches!(
             effects[1],
             Effect::Timer { delay, token } if delay == SimDuration::from_millis(30) && token == 77

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, Sender};
+use std::sync::mpsc::{self, Receiver, Sender};
 use wv_sim::DetRng;
 
 use crate::node::{Effect, Node, NodeCtx};
@@ -69,7 +69,7 @@ where
             time_scale.is_finite() && time_scale > 0.0,
             "time_scale must be positive"
         );
-        let (cmd_tx, cmd_rx) = channel::unbounded::<NodeCommand<N>>();
+        let (cmd_tx, cmd_rx) = mpsc::channel::<NodeCommand<N>>();
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
         let join = std::thread::Builder::new()

@@ -398,8 +398,14 @@ mod tests {
         // 5 deliveries (4,3,2,1,0), each 10 ms apart.
         assert_eq!(sim.now(), SimTime::from_millis(50));
         assert_eq!(sim.world.stats.delivered, 5);
-        assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 4), (SiteId(0), 2), (SiteId(0), 0)]);
-        assert_eq!(sim.world.nodes[0].received, vec![(SiteId(1), 3), (SiteId(1), 1)]);
+        assert_eq!(
+            sim.world.nodes[1].received,
+            vec![(SiteId(0), 4), (SiteId(0), 2), (SiteId(0), 0)]
+        );
+        assert_eq!(
+            sim.world.nodes[0].received,
+            vec![(SiteId(1), 3), (SiteId(1), 1)]
+        );
     }
 
     #[test]
@@ -417,10 +423,19 @@ mod tests {
     #[test]
     fn partition_blocks_messages() {
         let mut sim = two_nodes(5);
-        Cluster::set_partition_at(sim.scheduler(), SimTime::ZERO, Partition::isolate(2, SiteId(1)));
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(1), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 9);
-        });
+        Cluster::set_partition_at(
+            sim.scheduler(),
+            SimTime::ZERO,
+            Partition::isolate(2, SiteId(1)),
+        );
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(1),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 9);
+            },
+        );
         sim.run();
         assert_eq!(sim.world.stats.dropped_partition, 1);
         assert_eq!(sim.world.stats.delivered, 0);
@@ -430,11 +445,24 @@ mod tests {
     #[test]
     fn partition_heals() {
         let mut sim = two_nodes(5);
-        Cluster::set_partition_at(sim.scheduler(), SimTime::ZERO, Partition::isolate(2, SiteId(1)));
-        Cluster::set_partition_at(sim.scheduler(), SimTime::from_millis(10), Partition::whole(2));
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(20), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 9);
-        });
+        Cluster::set_partition_at(
+            sim.scheduler(),
+            SimTime::ZERO,
+            Partition::isolate(2, SiteId(1)),
+        );
+        Cluster::set_partition_at(
+            sim.scheduler(),
+            SimTime::from_millis(10),
+            Partition::whole(2),
+        );
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(20),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 9);
+            },
+        );
         sim.run();
         assert_eq!(sim.world.stats.delivered, 1);
     }
@@ -446,9 +474,14 @@ mod tests {
             ctx.set_timer(SimDuration::from_millis(20), 1);
         });
         Cluster::crash_at(sim.scheduler(), SimTime::from_millis(1), SiteId(1));
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(2), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 5);
-        });
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(2),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 5);
+            },
+        );
         sim.run();
         assert_eq!(sim.world.nodes[1].crashes, 1);
         assert_eq!(sim.world.stats.dropped_down, 1);
@@ -462,9 +495,14 @@ mod tests {
         let mut sim = two_nodes(5);
         Cluster::crash_at(sim.scheduler(), SimTime::ZERO, SiteId(1));
         Cluster::recover_at(sim.scheduler(), SimTime::from_millis(10), SiteId(1));
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(20), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 5);
-        });
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(20),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 5);
+            },
+        );
         sim.run();
         assert_eq!(sim.world.nodes[1].recoveries, 1);
         assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 5)]);
@@ -475,9 +513,14 @@ mod tests {
     fn invoke_on_down_site_is_skipped() {
         let mut sim = two_nodes(5);
         Cluster::crash_at(sim.scheduler(), SimTime::ZERO, SiteId(0));
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(1), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 5);
-        });
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(1),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 5);
+            },
+        );
         sim.run();
         assert_eq!(sim.world.stats.sent, 0);
     }
@@ -506,13 +549,23 @@ mod tests {
         let mut sim = two_nodes(1);
         Cluster::apply_failure_schedule(sim.scheduler(), &schedule);
         // During the outage, delivery fails.
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(7), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 1);
-        });
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(7),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 1);
+            },
+        );
         // After it, delivery works.
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(20), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 2);
-        });
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(20),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 2);
+            },
+        );
         sim.run();
         assert_eq!(sim.world.stats.dropped_down, 1);
         assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 2)]);
@@ -525,19 +578,28 @@ mod tests {
         let mut sim = two_nodes(3);
         Cluster::inject_duplicate(sim.scheduler(), SimTime::ZERO, SiteId(0), SiteId(1), 11u32);
         sim.run();
-        assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 11), (SiteId(0), 11)]);
+        assert_eq!(
+            sim.world.nodes[1].received,
+            vec![(SiteId(0), 11), (SiteId(0), 11)]
+        );
     }
 
     #[test]
     fn same_seed_same_run() {
         let run = |seed: u64| {
-            let mut cfg = NetConfig::uniform(3, LatencyModel::Uniform {
-                lo: SimDuration::from_millis(1),
-                hi: SimDuration::from_millis(50),
-            });
+            let mut cfg = NetConfig::uniform(
+                3,
+                LatencyModel::Uniform {
+                    lo: SimDuration::from_millis(1),
+                    hi: SimDuration::from_millis(50),
+                },
+            );
             cfg.set_drop_all(0.2);
-            let mut sim =
-                Cluster::sim(vec![Pong::default(), Pong::default(), Pong::default()], cfg, seed);
+            let mut sim = Cluster::sim(
+                vec![Pong::default(), Pong::default(), Pong::default()],
+                cfg,
+                seed,
+            );
             for i in 0..20u32 {
                 Cluster::invoke(
                     sim.scheduler(),
@@ -560,12 +622,21 @@ mod tests {
     fn trace_records_deliveries_drops_and_timers() {
         let mut sim = two_nodes(5);
         sim.world.enable_trace(8);
-        Cluster::set_partition_at(sim.scheduler(), SimTime::ZERO, Partition::isolate(2, SiteId(1)));
-        Cluster::invoke(sim.scheduler(), SimTime::from_millis(1), SiteId(0), |_n, ctx| {
-            ctx.send(SiteId(1), 1); // dropped: partition
-            ctx.send(SiteId(0), 2); // delivered (self link)
-            ctx.set_timer(SimDuration::from_millis(3), 9); // timer
-        });
+        Cluster::set_partition_at(
+            sim.scheduler(),
+            SimTime::ZERO,
+            Partition::isolate(2, SiteId(1)),
+        );
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(1),
+            SiteId(0),
+            |_n, ctx| {
+                ctx.send(SiteId(1), 1); // dropped: partition
+                ctx.send(SiteId(0), 2); // delivered (self link)
+                ctx.set_timer(SimDuration::from_millis(3), 9); // timer
+            },
+        );
         sim.run();
         let trace = sim.world.trace();
         assert!(trace

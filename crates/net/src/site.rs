@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use wv_sim::SimTime;
 
 /// Identifies a site (a machine that may host representatives, clients, or
@@ -10,7 +9,7 @@ use wv_sim::SimTime;
 ///
 /// Sites are dense small integers so that configuration matrices and vote
 /// vectors can be indexed directly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u16);
 
 impl SiteId {
@@ -50,7 +49,7 @@ impl fmt::Display for SiteId {
 }
 
 /// A message in flight between two sites.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Envelope<M> {
     /// Sending site.
     pub from: SiteId,

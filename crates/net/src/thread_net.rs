@@ -2,7 +2,7 @@
 //!
 //! Integration tests use this transport to show the protocols are not
 //! simulator artifacts: the same [`NetConfig`] drives real
-//! crossbeam channels, with one router thread imposing sampled link
+//! std::sync::mpsc channels, with one router thread imposing sampled link
 //! latencies (optionally scaled down so the paper's 750 ms links don't make
 //! the test suite slow).
 //!
@@ -14,8 +14,8 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use wv_sim::{DetRng, SimTime};
 
 use crate::config::{NetConfig, Partition};
@@ -99,7 +99,7 @@ impl<M: Send + 'static> Endpoint<M> {
     /// dropped at send time.
     pub fn send(&mut self, to: SiteId, msg: M) -> bool {
         let latency = {
-            let mut ctl = self.control.lock();
+            let mut ctl = self.control.lock().expect("net control lock");
             ctl.stats.sent += 1;
             if !ctl.partition.connected(self.id, to) {
                 ctl.stats.dropped_partition += 1;
@@ -161,17 +161,17 @@ impl<M> Clone for NetHandle<M> {
 impl<M: Send + 'static> NetHandle<M> {
     /// Replaces the current partition.
     pub fn set_partition(&self, p: Partition) {
-        self.control.lock().partition = p;
+        self.control.lock().expect("net control lock").partition = p;
     }
 
     /// Marks `site` crashed (true) or recovered (false).
     pub fn set_down(&self, site: SiteId, down: bool) {
-        self.control.lock().down[site.index()] = down;
+        self.control.lock().expect("net control lock").down[site.index()] = down;
     }
 
     /// A snapshot of the transport counters.
     pub fn stats(&self) -> NetStats {
-        self.control.lock().stats
+        self.control.lock().expect("net control lock").stats
     }
 
     /// Asks the router to stop after delivering what is already due.
@@ -209,13 +209,13 @@ impl<M: Send + 'static> ThreadNet<M> {
             down: vec![false; sites],
             stats: NetStats::default(),
         }));
-        let (router_tx, router_rx) = channel::unbounded::<Cmd<M>>();
+        let (router_tx, router_rx) = mpsc::channel::<Cmd<M>>();
         let mut inbox_txs = Vec::with_capacity(sites);
         let mut endpoints = Vec::with_capacity(sites);
         let epoch = Instant::now();
         let root = DetRng::new(seed);
         for site in 0..sites {
-            let (tx, rx) = channel::unbounded::<Envelope<M>>();
+            let (tx, rx) = mpsc::channel::<Envelope<M>>();
             inbox_txs.push(tx);
             endpoints.push(Endpoint {
                 id: SiteId::from(site),
@@ -266,7 +266,7 @@ fn router_loop<M>(
         let now = Instant::now();
         while heap.peek().is_some_and(|i| i.deliver_at <= now) {
             let item = heap.pop().expect("peeked");
-            let mut ctl = control.lock();
+            let mut ctl = control.lock().expect("net control lock");
             if ctl.down[item.env.to.index()] {
                 ctl.stats.dropped_down += 1;
                 continue;
@@ -338,7 +338,10 @@ mod tests {
         a.send(SiteId(1), 1);
         let _ = b.recv_timeout(Duration::from_secs(2)).expect("delivery");
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(40), "too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(40),
+            "too fast: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -7,13 +7,11 @@
 //! exactly; the stochastic variants let the availability and throughput
 //! experiments add realistic jitter without changing any protocol code.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::DetRng;
 use crate::time::SimDuration;
 
 /// A distribution over non-negative delays.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum LatencyModel {
     /// Always exactly this long. Used for the paper-table regenerations.
     Constant(SimDuration),

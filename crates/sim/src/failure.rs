@@ -14,13 +14,11 @@
 //! A schedule is a set of [`OutageWindow`]s per site, queried with
 //! [`FailureSchedule::is_down`].
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::DetRng;
 use crate::time::{SimDuration, SimTime};
 
 /// A half-open interval `[from, until)` during which a site is down.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OutageWindow {
     /// First instant of the outage.
     pub from: SimTime,
@@ -41,7 +39,7 @@ impl OutageWindow {
 }
 
 /// Per-site outage windows over a simulation horizon.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct FailureSchedule {
     outages: Vec<Vec<OutageWindow>>,
 }

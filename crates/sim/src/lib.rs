@@ -44,7 +44,7 @@ pub mod time;
 
 pub use dist::LatencyModel;
 pub use failure::{FailureSchedule, OutageWindow};
-pub use rng::DetRng;
+pub use rng::{derive_seed, DetRng};
 pub use sched::{Scheduler, Sim};
 pub use stats::{Histogram, SampleSet, Summary};
 pub use time::{SimDuration, SimTime};

@@ -6,27 +6,46 @@
 //! gives each simulated site, link, and workload generator an independent
 //! stream whose draws do not shift when an unrelated component consumes more
 //! or fewer random numbers.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The same mixing function is exposed as [`derive_seed`] so that batch
+//! drivers (the parallel trial runner in `wv-bench`) can compute the seed of
+//! trial *i* directly from `(master_seed, i)` without constructing
+//! intermediate generators — the derivation is a pure function, which is what
+//! makes a thread-pool fan-out bit-identical to a sequential loop.
+//!
+//! The generator itself is xoshiro256++ seeded through SplitMix64: small
+//! state, fast, excellent statistical quality for simulation, and fully
+//! self-contained (no external crates), so results are reproducible across
+//! toolchains forever.
 
 /// A seeded random stream with stable forking.
 ///
-/// Wraps [`SmallRng`] (a small-state, fast, non-cryptographic generator —
-/// exactly right for simulation) and remembers the seed it was built from so
-/// that child streams can be derived reproducibly.
+/// Wraps a xoshiro256++ generator (a small-state, fast, non-cryptographic
+/// generator — exactly right for simulation) and remembers the seed it was
+/// built from so that child streams can be derived reproducibly.
 #[derive(Clone, Debug)]
 pub struct DetRng {
     seed: u64,
-    inner: SmallRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
+        // Expand the 64-bit seed into 256 bits of state with SplitMix64, as
+        // the xoshiro authors recommend; the expansion guarantees a nonzero
+        // state for every seed.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
         DetRng {
             seed,
-            inner: SmallRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
     }
 
@@ -41,7 +60,7 @@ impl DetRng {
     /// not on how many values the parent has produced, so the set of
     /// substreams in a simulation is fixed at construction time.
     pub fn fork(&self, label: u64) -> DetRng {
-        DetRng::new(mix(self.seed, label))
+        DetRng::new(derive_seed(self.seed, label))
     }
 
     /// Derives a child stream from a string label.
@@ -56,24 +75,37 @@ impl DetRng {
 
     /// Draws a uniformly distributed `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits scaled into [0, 1).
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Draws a uniformly distributed `u64`.
     pub fn u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        self.next()
     }
 
     /// Draws a uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..n)
+        // Rejection sampling on the top of the range keeps the draw unbiased
+        // for every n, not just powers of two.
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next();
+            if v < zone {
+                return v % n;
+            }
+        }
     }
 
     /// Draws a uniform integer in the inclusive range `[lo, hi]`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -83,7 +115,7 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.gen::<f64>() < p
+            self.f64() < p
         }
     }
 
@@ -96,7 +128,7 @@ impl DetRng {
             return 0.0;
         }
         // Inverse-CDF sampling; `1 - u` keeps the argument of `ln` nonzero.
-        let u: f64 = self.inner.gen::<f64>();
+        let u: f64 = self.f64();
         -mean * (1.0_f64 - u).ln()
     }
 
@@ -105,8 +137,8 @@ impl DetRng {
         if std_dev <= 0.0 {
             return mean;
         }
-        let u1: f64 = 1.0 - self.inner.gen::<f64>(); // in (0, 1]
-        let u2: f64 = self.inner.gen::<f64>();
+        let u1: f64 = 1.0 - self.f64(); // in (0, 1]
+        let u2: f64 = self.f64();
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         mean + std_dev * z
     }
@@ -138,29 +170,32 @@ impl DetRng {
             items.swap(i, j);
         }
     }
-}
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Advances the xoshiro256++ state and returns the next output.
+    fn next(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 
-/// SplitMix64-style avalanche mix of a seed and a label.
-fn mix(seed: u64, label: u64) -> u64 {
-    let mut z = seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+/// Derives an independent stream seed from a master seed and a label
+/// (SplitMix64-style avalanche mix).
+///
+/// This is the pure function behind [`DetRng::fork`]: `derive_seed(m, i)`
+/// equals `DetRng::new(m).fork(i).seed()` without touching a generator. A
+/// trial driver can therefore hand trial *i* the seed `derive_seed(master,
+/// i)` from any thread, in any order, and every trial sees exactly the
+/// stream it would have seen in a sequential loop.
+pub fn derive_seed(master_seed: u64, label: u64) -> u64 {
+    let mut z = master_seed ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -217,12 +252,29 @@ mod tests {
     }
 
     #[test]
+    fn derive_seed_matches_fork() {
+        let root = DetRng::new(0xDEAD_BEEF);
+        for label in [0u64, 1, 2, 999, u64::MAX] {
+            assert_eq!(derive_seed(0xDEAD_BEEF, label), root.fork(label).seed());
+        }
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::new(5);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
         assert!(!r.chance(-0.5));
         assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = DetRng::new(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x), "out of range: {x}");
+        }
     }
 
     #[test]
@@ -267,6 +319,16 @@ mod tests {
             let x = r.range_inclusive(3, 5);
             assert!((3..=5).contains(&x));
         }
+    }
+
+    #[test]
+    fn below_small_n_covers_all_values() {
+        let mut r = DetRng::new(29);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.below(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "coverage: {seen:?}");
     }
 
     #[test]

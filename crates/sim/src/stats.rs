@@ -10,10 +10,8 @@
 //!
 //! Both produce a [`Summary`] for table printing.
 
-use serde::{Deserialize, Serialize};
-
 /// Point statistics of an observed distribution.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: u64,
@@ -46,7 +44,7 @@ impl Summary {
 }
 
 /// An exact collector that retains every observation.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SampleSet {
     values: Vec<f64>,
     sorted: bool,
@@ -155,7 +153,7 @@ impl SampleSet {
 /// the range clamp into the first/last bucket. Quantiles are answered by
 /// linear interpolation inside the winning bucket, giving a relative error
 /// bounded by the bucket width ratio.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Histogram {
     min_value: f64,
     growth: f64,

@@ -18,14 +18,13 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::error::StorageError;
 use crate::object::{ObjectId, Version, VersionedValue};
 use crate::wal::{Record, Wal};
 
 /// A container-local transaction id.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId(pub u64);
 
 impl fmt::Debug for TxId {
@@ -85,7 +84,10 @@ impl Container {
                 next_tx = next_tx.max(tx.0 + 1);
             }
             match r.clone() {
-                Record::Checkpoint { state, next_tx: hint } => {
+                Record::Checkpoint {
+                    state,
+                    next_tx: hint,
+                } => {
                     // A checkpoint is the full committed state at that
                     // point; anything replayed earlier is superseded.
                     committed = state
@@ -111,7 +113,8 @@ impl Container {
                     value,
                 } => {
                     if let Some(st) = live.get_mut(&tx) {
-                        st.writes.insert(object, VersionedValue::new(version, value));
+                        st.writes
+                            .insert(object, VersionedValue::new(version, value));
                     }
                 }
                 Record::Prepare { tx, note } => {
@@ -350,7 +353,11 @@ impl Container {
         });
         // Prepared first: they belong in the durable prefix.
         let mut durable = 1;
-        for (tx, st) in self.live.iter().filter(|(_, st)| st.phase == TxPhase::Prepared) {
+        for (tx, st) in self
+            .live
+            .iter()
+            .filter(|(_, st)| st.phase == TxPhase::Prepared)
+        {
             records.push(Record::Begin { tx: *tx });
             durable += 1;
             for (obj, vv) in &st.writes {
@@ -368,7 +375,11 @@ impl Container {
             });
             durable += 1;
         }
-        for (tx, st) in self.live.iter().filter(|(_, st)| st.phase == TxPhase::Active) {
+        for (tx, st) in self
+            .live
+            .iter()
+            .filter(|(_, st)| st.phase == TxPhase::Active)
+        {
             records.push(Record::Begin { tx: *tx });
             for (obj, vv) in &st.writes {
                 records.push(Record::Put {
@@ -403,9 +414,13 @@ mod tests {
     fn commit_makes_writes_visible() {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
-        c.stage_put(tx, ObjectId(1), Version(1), b("alpha")).expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(1), b("alpha"))
+            .expect("stage");
         // Invisible until commit.
-        assert_eq!(c.read(ObjectId(1)).expect("read"), VersionedValue::initial());
+        assert_eq!(
+            c.read(ObjectId(1)).expect("read"),
+            VersionedValue::initial()
+        );
         c.commit(tx).expect("commit");
         let vv = c.read(ObjectId(1)).expect("read");
         assert_eq!(vv.version, Version(1));
@@ -417,9 +432,13 @@ mod tests {
     fn abort_discards_writes() {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
-        c.stage_put(tx, ObjectId(1), Version(1), b("alpha")).expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(1), b("alpha"))
+            .expect("stage");
         c.abort(tx).expect("abort");
-        assert_eq!(c.read(ObjectId(1)).expect("read"), VersionedValue::initial());
+        assert_eq!(
+            c.read(ObjectId(1)).expect("read"),
+            VersionedValue::initial()
+        );
         assert!(c.is_empty());
     }
 
@@ -427,8 +446,10 @@ mod tests {
     fn later_staged_write_wins() {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
-        c.stage_put(tx, ObjectId(1), Version(1), b("first")).expect("stage");
-        c.stage_put(tx, ObjectId(1), Version(2), b("second")).expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(1), b("first"))
+            .expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(2), b("second"))
+            .expect("stage");
         c.commit(tx).expect("commit");
         let vv = c.read(ObjectId(1)).expect("read");
         assert_eq!(vv.version, Version(2));
@@ -440,8 +461,10 @@ mod tests {
         let mut c = Container::new();
         let t1 = c.begin().expect("begin");
         let t2 = c.begin().expect("begin");
-        c.stage_put(t1, ObjectId(1), Version(1), b("one")).expect("stage");
-        c.stage_put(t2, ObjectId(2), Version(1), b("two")).expect("stage");
+        c.stage_put(t1, ObjectId(1), Version(1), b("one"))
+            .expect("stage");
+        c.stage_put(t2, ObjectId(2), Version(1), b("two"))
+            .expect("stage");
         c.commit(t1).expect("commit");
         assert_eq!(c.read(ObjectId(1)).expect("r").value, b("one"));
         assert_eq!(c.read(ObjectId(2)).expect("r"), VersionedValue::initial());
@@ -457,24 +480,32 @@ mod tests {
             StorageError::UnknownTx(TxId(9))
         );
         assert_eq!(
-            c.stage_put(TxId(9), ObjectId(1), Version(1), b("x")).unwrap_err(),
+            c.stage_put(TxId(9), ObjectId(1), Version(1), b("x"))
+                .unwrap_err(),
             StorageError::UnknownTx(TxId(9))
         );
-        assert_eq!(c.abort(TxId(9)).unwrap_err(), StorageError::UnknownTx(TxId(9)));
+        assert_eq!(
+            c.abort(TxId(9)).unwrap_err(),
+            StorageError::UnknownTx(TxId(9))
+        );
     }
 
     #[test]
     fn prepared_tx_rejects_new_writes_and_double_prepare() {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
-        c.stage_put(tx, ObjectId(1), Version(1), b("x")).expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(1), b("x"))
+            .expect("stage");
         c.prepare(tx).expect("prepare");
         assert_eq!(c.phase(tx), Some(TxPhase::Prepared));
         assert!(matches!(
             c.stage_put(tx, ObjectId(2), Version(1), b("y")),
             Err(StorageError::WrongPhase { .. })
         ));
-        assert!(matches!(c.prepare(tx), Err(StorageError::WrongPhase { .. })));
+        assert!(matches!(
+            c.prepare(tx),
+            Err(StorageError::WrongPhase { .. })
+        ));
         c.commit(tx).expect("commit");
         assert_eq!(c.read(ObjectId(1)).expect("r").value, b("x"));
     }
@@ -483,10 +514,12 @@ mod tests {
     fn crash_loses_uncommitted_and_unflushed() {
         let mut c = Container::new();
         let t1 = c.begin().expect("begin");
-        c.stage_put(t1, ObjectId(1), Version(1), b("durable")).expect("stage");
+        c.stage_put(t1, ObjectId(1), Version(1), b("durable"))
+            .expect("stage");
         c.commit(t1).expect("commit"); // flushed
         let t2 = c.begin().expect("begin");
-        c.stage_put(t2, ObjectId(2), Version(1), b("volatile")).expect("stage");
+        c.stage_put(t2, ObjectId(2), Version(1), b("volatile"))
+            .expect("stage");
         // No commit for t2.
         c.crash();
         assert_eq!(c.read(ObjectId(1)).unwrap_err(), StorageError::Crashed);
@@ -502,7 +535,8 @@ mod tests {
     fn prepared_survives_crash_as_in_doubt() {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
-        c.stage_put(tx, ObjectId(1), Version(3), b("promise")).expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(3), b("promise"))
+            .expect("stage");
         c.prepare(tx).expect("prepare");
         c.crash();
         c.recover();
@@ -519,7 +553,8 @@ mod tests {
     fn prepared_can_be_aborted_after_recovery() {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
-        c.stage_put(tx, ObjectId(1), Version(3), b("promise")).expect("stage");
+        c.stage_put(tx, ObjectId(1), Version(3), b("promise"))
+            .expect("stage");
         c.prepare(tx).expect("prepare");
         c.crash();
         c.recover();
@@ -552,8 +587,10 @@ mod tests {
         let mut c = Container::new();
         for (ver, val) in [(1u64, "a"), (2, "b"), (3, "c")] {
             let tx = c.begin().expect("begin");
-            c.stage_put(tx, ObjectId(7), Version(ver), b(val)).expect("stage");
-            c.stage_put(tx, ObjectId(ver), Version(1), b("side")).expect("stage");
+            c.stage_put(tx, ObjectId(7), Version(ver), b(val))
+                .expect("stage");
+            c.stage_put(tx, ObjectId(ver), Version(1), b("side"))
+                .expect("stage");
             c.commit(tx).expect("commit");
         }
         let recovered = Container::recover_from(c.wal().clone());
@@ -573,10 +610,7 @@ mod tests {
             c.commit(tx).expect("commit");
         }
         let before_len = c.wal().len();
-        let state_before: Vec<_> = c
-            .objects()
-            .map(|o| (o, c.read(o).expect("read")))
-            .collect();
+        let state_before: Vec<_> = c.objects().map(|o| (o, c.read(o).expect("read"))).collect();
         c.checkpoint().expect("checkpoint");
         assert!(c.wal().len() < before_len, "log must shrink");
         // State unchanged in place.
@@ -595,10 +629,12 @@ mod tests {
     fn checkpoint_preserves_prepared_transactions_across_crash() {
         let mut c = Container::new();
         let setup = c.begin().expect("begin");
-        c.stage_put(setup, ObjectId(1), Version(1), b("base")).expect("stage");
+        c.stage_put(setup, ObjectId(1), Version(1), b("base"))
+            .expect("stage");
         c.commit(setup).expect("commit");
         let pending = c.begin().expect("begin");
-        c.stage_put(pending, ObjectId(1), Version(2), b("promised")).expect("stage");
+        c.stage_put(pending, ObjectId(1), Version(2), b("promised"))
+            .expect("stage");
         c.prepare_with_note(pending, 77).expect("prepare");
         c.checkpoint().expect("checkpoint");
         c.crash();
@@ -613,19 +649,25 @@ mod tests {
     fn checkpoint_drops_active_transactions_on_crash_but_not_live() {
         let mut c = Container::new();
         let active = c.begin().expect("begin");
-        c.stage_put(active, ObjectId(5), Version(1), b("maybe")).expect("stage");
+        c.stage_put(active, ObjectId(5), Version(1), b("maybe"))
+            .expect("stage");
         c.checkpoint().expect("checkpoint");
         // Still usable while alive...
-        c.commit(active).expect("active tx survives checkpoint in memory");
+        c.commit(active)
+            .expect("active tx survives checkpoint in memory");
         assert_eq!(c.read(ObjectId(5)).expect("read").version, Version(1));
         // ...but an *unresolved* active transaction would not survive a
         // crash, same as without checkpointing.
         let doomed = c.begin().expect("begin");
-        c.stage_put(doomed, ObjectId(6), Version(1), b("gone")).expect("stage");
+        c.stage_put(doomed, ObjectId(6), Version(1), b("gone"))
+            .expect("stage");
         c.checkpoint().expect("checkpoint");
         c.crash();
         c.recover();
-        assert_eq!(c.read(ObjectId(6)).expect("read"), VersionedValue::initial());
+        assert_eq!(
+            c.read(ObjectId(6)).expect("read"),
+            VersionedValue::initial()
+        );
         assert_eq!(c.read(ObjectId(5)).expect("read").version, Version(1));
     }
 
@@ -646,7 +688,8 @@ mod tests {
         let mut c = Container::new();
         let tx = c.begin().expect("begin");
         for i in 0..10 {
-            c.stage_put(tx, ObjectId(i), Version(1), b("v")).expect("stage");
+            c.stage_put(tx, ObjectId(i), Version(1), b("v"))
+                .expect("stage");
         }
         c.commit(tx).expect("commit");
         // Begin and all ten puts ride on the single commit flush.
@@ -661,7 +704,6 @@ mod crash_point_props {
     //! prefix of the committed transactions, in order.
 
     use super::*;
-    use proptest::prelude::*;
 
     /// A scripted transaction: object writes, and whether it commits.
     #[derive(Clone, Debug)]
@@ -671,19 +713,53 @@ mod crash_point_props {
         prepares: bool,
     }
 
-    fn script_strategy() -> impl Strategy<Value = Vec<Script>> {
-        let w = (0u64..4, "[a-z]{1,6}");
-        let tx = (
-            proptest::collection::vec(w, 1..4),
-            any::<bool>(),
-            any::<bool>(),
-        )
-            .prop_map(|(writes, commits, prepares)| Script {
-                writes,
-                commits,
-                prepares,
-            });
-        proptest::collection::vec(tx, 1..8)
+    /// Tiny SplitMix64 stream for dependency-free randomized tests.
+    struct TestRng(u64);
+
+    impl TestRng {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+
+        fn flip(&mut self) -> bool {
+            self.next() & 1 == 1
+        }
+    }
+
+    /// Generates a random history of 1..8 transactions, each with 1..4
+    /// writes of short lowercase strings (the seeded stand-in for the old
+    /// proptest strategy).
+    fn random_scripts(seed: u64) -> Vec<Script> {
+        let mut rng = TestRng(0x5c2197 ^ seed);
+        let n_tx = 1 + rng.below(7) as usize;
+        (0..n_tx)
+            .map(|_| {
+                let n_writes = 1 + rng.below(3) as usize;
+                let writes = (0..n_writes)
+                    .map(|_| {
+                        let obj = rng.below(4);
+                        let len = 1 + rng.below(6) as usize;
+                        let val: String = (0..len)
+                            .map(|_| (b'a' + rng.below(26) as u8) as char)
+                            .collect();
+                        (obj, val)
+                    })
+                    .collect();
+                Script {
+                    writes,
+                    commits: rng.flip(),
+                    prepares: rng.flip(),
+                }
+            })
+            .collect()
     }
 
     fn run_scripts(scripts: &[Script]) -> Container {
@@ -724,9 +800,10 @@ mod crash_point_props {
             .collect()
     }
 
-    proptest! {
-        #[test]
-        fn recovery_from_any_crash_point_is_prefix_consistent(scripts in script_strategy()) {
+    #[test]
+    fn recovery_from_any_crash_point_is_prefix_consistent() {
+        for seed in 0..48u64 {
+            let scripts = random_scripts(seed);
             let full = run_scripts(&scripts);
             let wal = full.wal().clone();
             // Committed-transaction effects, in commit order, as successive
@@ -738,14 +815,18 @@ mod crash_point_props {
                 for s in &scripts {
                     let tx = c.begin().expect("begin");
                     for (i, (obj, val)) in s.writes.iter().enumerate() {
-                        c.stage_put(tx, ObjectId(*obj), Version(i as u64 + 1),
-                            Bytes::copy_from_slice(val.as_bytes())).expect("stage");
+                        c.stage_put(
+                            tx,
+                            ObjectId(*obj),
+                            Version(i as u64 + 1),
+                            Bytes::copy_from_slice(val.as_bytes()),
+                        )
+                        .expect("stage");
                     }
                     if s.commits {
                         c.commit(tx).expect("commit");
-                        legal_states.push(
-                            c.objects().map(|o| (o, c.read(o).expect("read"))).collect(),
-                        );
+                        legal_states
+                            .push(c.objects().map(|o| (o, c.read(o).expect("read"))).collect());
                     } else {
                         c.abort(tx).expect("abort");
                     }
@@ -757,33 +838,38 @@ mod crash_point_props {
                     .objects()
                     .map(|o| (o, recovered.read(o).expect("read")))
                     .collect();
-                prop_assert!(
+                assert!(
                     legal_states.contains(&state),
-                    "crash at record {} produced a non-prefix state {:?}",
-                    n,
-                    state
+                    "seed {seed}: crash at record {n} produced a non-prefix state {state:?}"
                 );
             }
         }
+    }
 
-        #[test]
-        fn committed_data_survives_any_later_crash(scripts in script_strategy()) {
+    #[test]
+    fn committed_data_survives_any_later_crash() {
+        for seed in 0..48u64 {
+            let scripts = random_scripts(seed.wrapping_add(1000));
             let full = run_scripts(&scripts);
             let wal = full.wal().clone();
             // Recovery from the full durable log must show every committed
             // transaction's final effects.
             let recovered = Container::recover_from(wal);
             for o in full.objects() {
-                prop_assert_eq!(
+                assert_eq!(
                     recovered.read(o).expect("read"),
-                    full.read(o).expect("read")
+                    full.read(o).expect("read"),
+                    "seed {seed}"
                 );
             }
-            prop_assert_eq!(recovered.len(), full.len());
+            assert_eq!(recovered.len(), full.len(), "seed {seed}");
         }
+    }
 
-        #[test]
-        fn in_doubt_exactly_matches_unresolved_prepares(scripts in script_strategy()) {
+    #[test]
+    fn in_doubt_exactly_matches_unresolved_prepares() {
+        for seed in 0..48u64 {
+            let scripts = random_scripts(seed.wrapping_add(2000));
             let full = run_scripts(&scripts);
             let expected: Vec<TxId> = scripts
                 .iter()
@@ -792,7 +878,7 @@ mod crash_point_props {
                 .map(|(i, _)| TxId(i as u64))
                 .collect();
             let recovered = Container::recover_from(full.wal().clone());
-            prop_assert_eq!(recovered.in_doubt(), expected);
+            assert_eq!(recovered.in_doubt(), expected, "seed {seed}");
         }
     }
 

@@ -3,14 +3,13 @@
 use std::fmt;
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 /// Identifies a stored object within a container.
 ///
 /// In the paper each file suite has one logical file; a container may hold
 /// representatives of many suites, so representatives are addressed by the
 /// suite's object id.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u64);
 
 impl fmt::Debug for ObjectId {
@@ -34,9 +33,7 @@ impl From<u64> for ObjectId {
 /// The paper's *version number*: a monotonically increasing counter kept
 /// with every representative. Current representatives are exactly those
 /// holding the highest version number in a read quorum.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Version(pub u64);
 
 impl Version {
@@ -67,7 +64,7 @@ impl fmt::Display for Version {
 }
 
 /// A value paired with the version number under which it was committed.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct VersionedValue {
     /// The version number.
     pub version: Version,

@@ -10,13 +10,12 @@
 //! boundary and assert recovery yields a prefix-consistent state.
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::container::TxId;
 use crate::object::{ObjectId, Version};
 
 /// One log record.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Record {
     /// A compaction point: the complete committed state as of this record.
     /// Replay starts from the latest durable checkpoint. Carries no
@@ -225,8 +224,22 @@ mod tests {
     fn record_tx_accessor() {
         assert_eq!(put(9, 1, 1).tx(), Some(TxId(9)));
         assert_eq!(Record::Abort { tx: TxId(2) }.tx(), Some(TxId(2)));
-        assert_eq!(Record::Prepare { tx: TxId(3), note: 0 }.tx(), Some(TxId(3)));
-        assert_eq!(Record::Checkpoint { state: Vec::new(), next_tx: 0 }.tx(), None);
+        assert_eq!(
+            Record::Prepare {
+                tx: TxId(3),
+                note: 0
+            }
+            .tx(),
+            Some(TxId(3))
+        );
+        assert_eq!(
+            Record::Checkpoint {
+                state: Vec::new(),
+                next_tx: 0
+            }
+            .tx(),
+            None
+        );
     }
 
     #[test]
@@ -236,7 +249,13 @@ mod tests {
             w.append(Record::Begin { tx: TxId(i) });
         }
         w.flush();
-        w.replace(vec![Record::Checkpoint { state: Vec::new(), next_tx: 0 }], 1);
+        w.replace(
+            vec![Record::Checkpoint {
+                state: Vec::new(),
+                next_tx: 0,
+            }],
+            1,
+        );
         assert_eq!(w.len(), 1);
         assert_eq!(w.durable().len(), 1);
         // The volatile tail rule still applies after a replace.

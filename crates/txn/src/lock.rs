@@ -20,7 +20,6 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
-use serde::{Deserialize, Serialize};
 use wv_storage::ObjectId;
 
 /// A transaction's identity for locking purposes.
@@ -28,7 +27,7 @@ use wv_storage::ObjectId;
 /// `ts` is the transaction's birth timestamp (smaller = older); wait-die
 /// compares these. Retries must reuse the original `ts` to avoid
 /// starvation.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TxToken {
     /// Birth timestamp; the wait-die priority (smaller = older = wins).
     pub ts: u64,
@@ -45,7 +44,7 @@ impl TxToken {
 }
 
 /// The three lock modes of the paper's transaction system.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LockMode {
     /// Reader lock.
     Shared,
@@ -80,7 +79,7 @@ impl LockMode {
 }
 
 /// How conflicts are resolved.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum DeadlockPolicy {
     /// Older transactions wait for younger ones; younger die. Deadlock-free
     /// and starvation-free given timestamp reuse on retry.
@@ -366,9 +365,15 @@ mod tests {
     fn reader_and_intender_share_but_two_intenders_conflict() {
         let mut lm = LockManager::default();
         assert_eq!(lm.lock(t(1), OBJ, LockMode::Shared), LockReply::Granted);
-        assert_eq!(lm.lock(t(2), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(
+            lm.lock(t(2), OBJ, LockMode::IntendWrite),
+            LockReply::Granted
+        );
         // t3 is younger than holder t2 -> dies under wait-die.
-        assert_eq!(lm.lock(t(3), OBJ, LockMode::IntendWrite), LockReply::Aborted);
+        assert_eq!(
+            lm.lock(t(3), OBJ, LockMode::IntendWrite),
+            LockReply::Aborted
+        );
         // t0 is older than t2 -> waits.
         assert_eq!(lm.lock(t(0), OBJ, LockMode::IntendWrite), LockReply::Queued);
         assert_eq!(lm.queue_len(OBJ), 1);
@@ -413,7 +418,10 @@ mod tests {
     #[test]
     fn upgrade_intend_to_exclusive_waits_for_readers() {
         let mut lm = LockManager::default();
-        assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(
+            lm.lock(t(1), OBJ, LockMode::IntendWrite),
+            LockReply::Granted
+        );
         assert_eq!(lm.lock(t(2), OBJ, LockMode::Shared), LockReply::Granted);
         // Upgrade conflicts with the reader t2; t1 is older so it queues.
         assert_eq!(lm.lock(t(1), OBJ, LockMode::Exclusive), LockReply::Queued);
@@ -432,7 +440,10 @@ mod tests {
     #[test]
     fn upgrade_when_alone_is_immediate() {
         let mut lm = LockManager::default();
-        assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(
+            lm.lock(t(1), OBJ, LockMode::IntendWrite),
+            LockReply::Granted
+        );
         assert_eq!(lm.lock(t(1), OBJ, LockMode::Exclusive), LockReply::Granted);
         assert_eq!(lm.held(t(1), OBJ), Some(LockMode::Exclusive));
     }
@@ -448,7 +459,10 @@ mod tests {
     #[test]
     fn fresh_requests_respect_the_queue() {
         let mut lm = LockManager::default();
-        assert_eq!(lm.lock(t(5), OBJ, LockMode::IntendWrite), LockReply::Granted);
+        assert_eq!(
+            lm.lock(t(5), OBJ, LockMode::IntendWrite),
+            LockReply::Granted
+        );
         assert_eq!(lm.lock(t(1), OBJ, LockMode::IntendWrite), LockReply::Queued);
         // A shared request would be compatible with the holder, but jumping
         // the queue would starve t1. t2 is younger than queue-head t1 -> dies.
@@ -483,8 +497,14 @@ mod tests {
     #[test]
     fn locks_on_different_objects_do_not_interact() {
         let mut lm = LockManager::default();
-        assert_eq!(lm.lock(t(1), ObjectId(1), LockMode::Exclusive), LockReply::Granted);
-        assert_eq!(lm.lock(t(2), ObjectId(2), LockMode::Exclusive), LockReply::Granted);
+        assert_eq!(
+            lm.lock(t(1), ObjectId(1), LockMode::Exclusive),
+            LockReply::Granted
+        );
+        assert_eq!(
+            lm.lock(t(2), ObjectId(2), LockMode::Exclusive),
+            LockReply::Granted
+        );
         assert_eq!(lm.holder_count(ObjectId(1)), 1);
         assert_eq!(lm.holder_count(ObjectId(2)), 1);
     }
@@ -512,56 +532,74 @@ mod tests {
         let mut lm = LockManager::default();
         let victim = TxToken::new(10, 10);
         let mut newcomer = 100u64;
-        let mut acquired = false;
         // A newcomer holds the lock first.
-        assert_eq!(lm.lock(TxToken::new(99, 99), OBJ, LockMode::Exclusive), LockReply::Granted);
-        let mut holder = TxToken::new(99, 99);
-        for _round in 0..50 {
-            match lm.lock(victim, OBJ, LockMode::Exclusive) {
-                LockReply::Granted => {
-                    acquired = true;
-                    break;
-                }
-                LockReply::Queued => {
-                    // Holder finishes; promotion must hand the lock to the
-                    // queued victim, not to any newcomer that arrives next.
-                    let granted = lm.release_all(holder);
-                    assert!(granted.iter().any(|g| g.tx == victim), "victim skipped");
-                    acquired = true;
-                    break;
-                }
-                LockReply::Aborted => unreachable!("victim is older than every holder"),
+        assert_eq!(
+            lm.lock(TxToken::new(99, 99), OBJ, LockMode::Exclusive),
+            LockReply::Granted
+        );
+        let holder = TxToken::new(99, 99);
+        match lm.lock(victim, OBJ, LockMode::Exclusive) {
+            LockReply::Granted => {}
+            LockReply::Queued => {
+                // Holder finishes; promotion must hand the lock to the
+                // queued victim, not to any newcomer that arrives next.
+                let granted = lm.release_all(holder);
+                assert!(granted.iter().any(|g| g.tx == victim), "victim skipped");
             }
+            LockReply::Aborted => unreachable!("victim is older than every holder"),
         }
-        assert!(acquired, "victim starved");
         // And with the victim holding, newcomers die instead of barging.
         newcomer += 1;
         assert_eq!(
             lm.lock(TxToken::new(newcomer, newcomer), OBJ, LockMode::Exclusive),
             LockReply::Aborted
         );
-        let _ = holder;
-        holder = victim; // silence unused reassignment paths in older rustc
-        let _ = holder;
     }
 
     mod waitdie_props {
-        use super::*;
-        use proptest::prelude::*;
+        //! Randomized invariant checks over seeded operation histories.
+        //! Deterministic seeded loops stand in for proptest strategies so
+        //! the crate builds offline; every seed is a reproducible case.
 
-        proptest! {
-            /// Wait-die never queues a transaction behind an older one, so
-            /// the waits-for graph is acyclic: along any object's queue and
-            /// holder set, priority strictly decreases from waiter to
-            /// obstacle.
-            #[test]
-            fn no_wait_cycles(ops in proptest::collection::vec(
-                (0u64..8, 0u64..3, 0u8..3, any::<bool>()), 1..60)
-            ) {
+        use super::*;
+
+        /// Tiny SplitMix64 stream for dependency-free randomized tests.
+        struct TestRng(u64);
+
+        impl TestRng {
+            fn next(&mut self) -> u64 {
+                self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = self.0;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            }
+
+            fn below(&mut self, n: u64) -> u64 {
+                self.next() % n
+            }
+
+            fn flip(&mut self) -> bool {
+                self.next() & 1 == 1
+            }
+        }
+
+        /// Wait-die never queues a transaction behind an older one, so
+        /// the waits-for graph is acyclic: along any object's queue and
+        /// holder set, priority strictly decreases from waiter to
+        /// obstacle.
+        #[test]
+        fn no_wait_cycles() {
+            for seed in 0..128u64 {
+                let mut rng = TestRng(0x10c5 ^ seed);
+                let n_ops = 1 + rng.below(59) as usize;
                 let mut lm = LockManager::default();
-                let mut alive: std::collections::HashSet<u64> =
-                    std::collections::HashSet::new();
-                for (txn, obj, mode, release) in ops {
+                let mut alive: std::collections::HashSet<u64> = std::collections::HashSet::new();
+                for _ in 0..n_ops {
+                    let txn = rng.below(8);
+                    let obj = rng.below(3);
+                    let mode = rng.below(3) as u8;
+                    let release = rng.flip();
                     let tok = TxToken::new(txn, txn);
                     if release {
                         lm.release_all(tok);
@@ -581,7 +619,7 @@ mod tests {
                         // indirectly by asserting queue order per object is
                         // achievable — a queued tx must be older than the
                         // youngest current conflicting holder.
-                        prop_assert!(lm.queue_len(ObjectId(obj)) >= 1);
+                        assert!(lm.queue_len(ObjectId(obj)) >= 1, "seed {seed}");
                     }
                 }
                 // Drain: releasing every transaction must empty the table
@@ -590,18 +628,22 @@ mod tests {
                 for txn in txns {
                     lm.release_all(TxToken::new(txn, txn));
                 }
-                prop_assert!(lm.is_quiescent());
+                assert!(lm.is_quiescent(), "seed {seed} left residue");
             }
+        }
 
-            /// Granted sets are always mutually compatible (ignoring the
-            /// same-transaction multi-mode case, which `covers` collapses).
-            #[test]
-            fn holders_always_compatible(ops in proptest::collection::vec(
-                (0u64..6, 0u64..2, 0u8..3), 1..40)
-            ) {
+        /// Granted sets are always mutually compatible (ignoring the
+        /// same-transaction multi-mode case, which `covers` collapses).
+        #[test]
+        fn holders_always_compatible() {
+            for seed in 0..128u64 {
+                let mut rng = TestRng(0xc0a7 ^ seed);
+                let n_ops = 1 + rng.below(39) as usize;
                 let mut lm = LockManager::default();
-                for (txn, obj, mode) in ops {
-                    let mode = match mode {
+                for _ in 0..n_ops {
+                    let txn = rng.below(6);
+                    let obj = rng.below(2);
+                    let mode = match rng.below(3) {
                         0 => LockMode::Shared,
                         1 => LockMode::IntendWrite,
                         _ => LockMode::Exclusive,
@@ -617,7 +659,7 @@ mod tests {
                         for (i, (ta, ma)) in holders.iter().enumerate() {
                             for (tb, mb) in holders.iter().skip(i + 1) {
                                 if ta != tb {
-                                    prop_assert!(
+                                    assert!(
                                         ma.compatible(*mb) || mb.compatible(*ma),
                                         "incompatible co-holders {ta:?}:{ma:?} vs {tb:?}:{mb:?}"
                                     );

@@ -6,11 +6,10 @@
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use wv_storage::{Container, StorageError, TxId};
 
 /// A participant's vote.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Vote {
     /// The participant prepared successfully and promises to commit.
     Yes,
@@ -19,7 +18,7 @@ pub enum Vote {
 }
 
 /// The coordinator's decision.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Decision {
     /// All participants voted yes: commit everywhere.
     Commit,
@@ -152,11 +151,11 @@ pub fn commit_across(containers: &mut [&mut Container], txs: &[TxId]) -> Decisio
         }
         Decision::Commit
     } else {
-        for ((c, &tx), was_prepared) in containers.iter_mut().zip(txs).zip(
-            prepared
-                .into_iter()
-                .chain(std::iter::repeat(false)),
-        ) {
+        for ((c, &tx), was_prepared) in containers
+            .iter_mut()
+            .zip(txs)
+            .zip(prepared.into_iter().chain(std::iter::repeat(false)))
+        {
             // Abort what we prepared and anything still active; ignore
             // containers that already failed.
             if was_prepared || c.phase(tx).is_some() {
@@ -236,13 +235,8 @@ mod tests {
             .enumerate()
             .map(|(i, c)| {
                 let tx = c.begin().expect("begin");
-                c.stage_put(
-                    tx,
-                    ObjectId(7),
-                    Version(1),
-                    Bytes::from(format!("site{i}")),
-                )
-                .expect("stage");
+                c.stage_put(tx, ObjectId(7), Version(1), Bytes::from(format!("site{i}")))
+                    .expect("stage");
                 tx
             })
             .collect()

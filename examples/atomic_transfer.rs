@@ -51,7 +51,10 @@ fn main() {
         )
         .expect("initial deposit");
     let (c, s) = read_balances(&mut cluster);
-    println!("opening balances: checking {c}, savings {s}  (total {})", c + s);
+    println!(
+        "opening balances: checking {c}, savings {s}  (total {})",
+        c + s
+    );
 
     // Transfer 400 from checking to savings — one atomic commit.
     let t = cluster
@@ -69,7 +72,10 @@ fn main() {
         t.versions.len()
     );
     let (c2, s2) = read_balances(&mut cluster);
-    println!("after transfer:   checking {c2}, savings {s2}  (total {})", c2 + s2);
+    println!(
+        "after transfer:   checking {c2}, savings {s2}  (total {})",
+        c2 + s2
+    );
     assert_eq!(c + s, c2 + s2, "money is conserved");
 
     // Now with a representative down: the quorum machinery doesn't care.
@@ -86,7 +92,10 @@ fn main() {
         )
         .expect("transfer with one site down");
     let (c3, s3) = read_balances(&mut cluster);
-    println!("after transfer:   checking {c3}, savings {s3}  (total {})", c3 + s3);
+    println!(
+        "after transfer:   checking {c3}, savings {s3}  (total {})",
+        c3 + s3
+    );
     assert_eq!(c3 + s3, 1250);
 
     // Per-server atomicity: no server ever holds a torn pair.

@@ -17,7 +17,10 @@ fn report(label: &str, h: &mut Harness, suite: ObjectId) {
         .expect("write");
     h.advance(SimDuration::from_secs(1));
     let r = h.read(suite).expect("read");
-    println!("  [{label}] write {} in {}, read {} in {}", w.version, w.latency, r.version, r.latency);
+    println!(
+        "  [{label}] write {} in {}, read {} in {}",
+        w.version, w.latency, r.version, r.latency
+    );
     h.advance(SimDuration::from_secs(1));
 }
 

@@ -70,6 +70,8 @@ fn main() {
 
     cluster.recover(SiteId(0));
     println!("recovered s0 — service resumes");
-    let w3 = cluster.write(suite, b"back in business".to_vec()).expect("write");
+    let w3 = cluster
+        .write(suite, b"back in business".to_vec())
+        .expect("write");
     println!("write committed as {} after recovery", w3.version);
 }

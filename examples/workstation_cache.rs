@@ -15,7 +15,10 @@ use weighted_voting::prelude::*;
 fn main() {
     // Site 0: the file server (1 vote, 75 ms access).
     // Site 1: the workstation — client plus weak representative (65 ms).
-    let mut net = NetConfig::uniform(2, LatencyModel::Constant(SimDuration::from_millis_f64(37.5)));
+    let mut net = NetConfig::uniform(
+        2,
+        LatencyModel::Constant(SimDuration::from_millis_f64(37.5)),
+    );
     net.set_link(
         SiteId(1),
         SiteId(1),
@@ -33,7 +36,9 @@ fn main() {
     let ws = SiteId(1);
 
     println!("write v1 to the server...");
-    cluster.write_from(ws, suite, b"document v1".to_vec()).expect("write");
+    cluster
+        .write_from(ws, suite, b"document v1".to_vec())
+        .expect("write");
     cluster.advance(SimDuration::from_secs(1));
 
     println!("\nfour reads; watch the cache warm up:");
@@ -49,7 +54,9 @@ fn main() {
     }
 
     println!("\na write invalidates the cache...");
-    cluster.write_from(ws, suite, b"document v2".to_vec()).expect("write");
+    cluster
+        .write_from(ws, suite, b"document v2".to_vec())
+        .expect("write");
     cluster.advance(SimDuration::from_secs(1));
     let r = cluster.read_from(ws, suite).expect("read");
     println!(

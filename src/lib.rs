@@ -58,7 +58,7 @@ pub mod prelude {
     pub use wv_core::votes::VoteAssignment;
     pub use wv_core::{OpError, OpKind};
     pub use wv_net::{NetConfig, Partition, SiteId};
-    pub use wv_sim::{LatencyModel, SimDuration, SimTime};
+    pub use wv_sim::{DetRng, LatencyModel, SimDuration, SimTime};
     pub use wv_storage::{ObjectId, Version};
 }
 

@@ -78,9 +78,8 @@ fn run_chaos(seed: u64) {
             }
             5..=6 => {
                 // Crash a random up server.
-                let candidates: Vec<SiteId> = SiteId::all(SERVERS)
-                    .filter(|s| !down.contains(s))
-                    .collect();
+                let candidates: Vec<SiteId> =
+                    SiteId::all(SERVERS).filter(|s| !down.contains(s)).collect();
                 if let Some(&victim) = rng.choose(&candidates) {
                     down.insert(victim);
                     h.crash(victim);
@@ -137,7 +136,10 @@ fn run_chaos(seed: u64) {
         finals.push((r.version, r.value));
     }
     for pair in finals.windows(2) {
-        assert_eq!(pair[0], pair[1], "seed {seed}: clients disagree on the final state");
+        assert_eq!(
+            pair[0], pair[1],
+            "seed {seed}: clients disagree on the final state"
+        );
     }
 }
 

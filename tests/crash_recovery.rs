@@ -56,7 +56,10 @@ fn crash_before_prepare_lands_is_retried_or_fails_clean() {
         // Whatever happened, the final state is consistent: the read sees
         // the highest committed version, and at least a quorum holds it.
         let max = *versions.iter().max().expect("non-empty");
-        assert_eq!(read_v, max, "read missed the newest version (crash at {at}ms)");
+        assert_eq!(
+            read_v, max,
+            "read missed the newest version (crash at {at}ms)"
+        );
         let holders = versions.iter().filter(|v| **v == max).count();
         assert!(holders >= 2, "committed version must live at a quorum");
         if write_ok {
@@ -101,7 +104,9 @@ fn client_crash_loses_in_flight_ops_but_not_decisions() {
     // The servers' decision probes got answered (presumed abort or the
     // durable commit), so no server is stuck holding locks: a fresh write
     // succeeds.
-    let w = h.write(suite, b"after client crash".to_vec()).expect("write");
+    let w = h
+        .write(suite, b"after client crash".to_vec())
+        .expect("write");
     let r = h.read(suite).expect("read");
     assert_eq!(r.version, w.version);
     assert_eq!(&r.value[..], b"after client crash");
@@ -112,7 +117,9 @@ fn full_cluster_power_cycle_preserves_committed_state() {
     let mut h = three_site_cluster(13);
     let suite = h.suite_id();
     for i in 1..=3u64 {
-        let w = h.write(suite, format!("gen {i}").into_bytes()).expect("write");
+        let w = h
+            .write(suite, format!("gen {i}").into_bytes())
+            .expect("write");
         assert_eq!(w.version.0, i);
     }
     for s in SiteId::all(3) {

@@ -156,10 +156,7 @@ fn history_stays_single_across_a_partition() {
     // Client 0 with the majority, client 1 with the minority.
     h.partition(Partition::split(
         5,
-        &[
-            &[SiteId(0), SiteId(1), SiteId(3)],
-            &[SiteId(2), SiteId(4)],
-        ],
+        &[&[SiteId(0), SiteId(1), SiteId(3)], &[SiteId(2), SiteId(4)]],
     ));
     for round in 0..6u64 {
         let at = h.now() + SimDuration::from_millis(round * 1_000);
@@ -181,5 +178,9 @@ fn history_stays_single_across_a_partition() {
     check_history(&all);
     // After healing the minority client sees the majority's history.
     let r = h.read_from(clients[1], suite).expect("read after heal");
-    assert!(r.version >= Version(7), "expected base + 6 writes, got {}", r.version);
+    assert!(
+        r.version >= Version(7),
+        "expected base + 6 writes, got {}",
+        r.version
+    );
 }

@@ -59,7 +59,11 @@ fn operations_survive_heavy_duplication() {
         let w = h
             .write(suite, format!("dup{i}").into_bytes())
             .expect("no loss, only duplicates: writes must commit");
-        assert_eq!(w.version, Version(u64::from(i) + 1), "duplicates double-applied");
+        assert_eq!(
+            w.version,
+            Version(u64::from(i) + 1),
+            "duplicates double-applied"
+        );
         let r = h.read(suite).expect("read");
         assert_eq!(r.version, w.version);
         assert_eq!(r.value, format!("dup{i}").into_bytes());
@@ -84,5 +88,8 @@ fn loss_and_duplication_together_stay_consistent() {
         assert_eq!(pair[1], pair[0] + 1, "gap or repeat in {committed:?}");
     }
     let r = h.read(suite).expect("final read");
-    assert_eq!(r.version.0, *committed.last().expect("some writes committed"));
+    assert_eq!(
+        r.version.0,
+        *committed.last().expect("some writes committed")
+    );
 }

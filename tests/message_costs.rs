@@ -1,9 +1,7 @@
 //! Cross-crate integration: the transport's counters match the analytic
 //! message-cost model.
 
-use weighted_voting::analysis::{
-    read_messages_bounds, read_messages_sequential, write_messages,
-};
+use weighted_voting::analysis::{read_messages_bounds, read_messages_sequential, write_messages};
 use weighted_voting::core::client::ClientOptions;
 use weighted_voting::prelude::*;
 

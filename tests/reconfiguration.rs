@@ -29,7 +29,8 @@ fn promoting_a_weak_representative_brings_it_current() {
     let suite = h.suite_id();
     let client = h.default_client();
     for i in 1..=3u64 {
-        h.write(suite, format!("gen{i}").into_bytes()).expect("write");
+        h.write(suite, format!("gen{i}").into_bytes())
+            .expect("write");
     }
     // The weak representative never saw any of it.
     assert_eq!(h.version_at(SiteId(1), suite), Some(Version(0)));

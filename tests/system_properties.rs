@@ -4,8 +4,10 @@
 //! subsets, the live protocol's behaviour must match the pure arithmetic:
 //! an operation succeeds exactly when the surviving sites carry enough
 //! votes — no hidden liveness dependencies, no hidden safety holes.
+//!
+//! Cases are generated from seeded [`DetRng`] streams (an offline stand-in
+//! for the old proptest strategies): every case index reproduces exactly.
 
-use proptest::prelude::*;
 use weighted_voting::prelude::*;
 
 /// A random legal configuration of up to 5 voting sites.
@@ -17,28 +19,22 @@ struct Config {
     crashed: Vec<bool>,
 }
 
-fn config_strategy() -> impl Strategy<Value = Config> {
-    (2usize..=5)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(1u32..=3, n),
-                proptest::collection::vec(any::<bool>(), n),
-            )
-        })
-        .prop_flat_map(|(votes, crashed)| {
-            let total: u32 = votes.iter().sum();
-            (Just(votes), Just(crashed), 1u32..=total)
-        })
-        .prop_map(|(votes, crashed, r)| {
-            let total: u32 = votes.iter().sum();
-            let w = total + 1 - r;
-            Config {
-                votes,
-                r,
-                w,
-                crashed,
-            }
-        })
+/// Draws a legal configuration: 2..=5 sites with 1..=3 votes each, a read
+/// quorum in `1..=total`, the tight write quorum `w = total + 1 - r`, and an
+/// arbitrary crash subset.
+fn random_config(rng: &mut DetRng) -> Config {
+    let n = 2 + rng.below(4) as usize;
+    let votes: Vec<u32> = (0..n).map(|_| 1 + rng.below(3) as u32).collect();
+    let crashed: Vec<bool> = (0..n).map(|_| rng.chance(0.5)).collect();
+    let total: u32 = votes.iter().sum();
+    let r = 1 + rng.below(u64::from(total)) as u32;
+    let w = total + 1 - r;
+    Config {
+        votes,
+        r,
+        w,
+        crashed,
+    }
 }
 
 fn build(cfg: &Config, seed: u64) -> Harness {
@@ -60,13 +56,16 @@ fn surviving_votes(cfg: &Config) -> u32 {
         .sum()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Writes succeed iff the surviving votes reach the write quorum
-    /// (which, with r + w = N + 1, also covers the inquiry).
-    #[test]
-    fn write_availability_matches_vote_arithmetic(cfg in config_strategy(), seed in 0u64..1000) {
+/// Writes succeed iff the surviving votes reach the write quorum
+/// (which, with r + w = N + 1, also covers the inquiry).
+#[test]
+fn write_availability_matches_vote_arithmetic() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x11ab ^ case);
+        let cfg = random_config(&mut rng);
+        let seed = rng.below(1000);
         let mut h = build(&cfg, seed);
         let suite = h.suite_id();
         // Prime while healthy.
@@ -79,26 +78,32 @@ proptest! {
         let alive = surviving_votes(&cfg);
         let should_work = alive >= cfg.w.max(cfg.r);
         let outcome = h.write(suite, b"probe".to_vec());
-        prop_assert_eq!(
+        assert_eq!(
             outcome.is_ok(),
             should_work,
-            "votes alive {} vs r={} w={}; outcome {:?}",
+            "case {}: votes alive {} vs r={} w={}; outcome {:?}",
+            case,
             alive,
             cfg.r,
             cfg.w,
             outcome.err()
         );
     }
+}
 
-    /// Reads succeed iff the surviving votes reach the read quorum, and
-    /// when they succeed they always return the newest committed version.
-    #[test]
-    fn read_availability_and_freshness(cfg in config_strategy(), seed in 0u64..1000) {
+/// Reads succeed iff the surviving votes reach the read quorum, and
+/// when they succeed they always return the newest committed version.
+#[test]
+fn read_availability_and_freshness() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x22cd ^ case);
+        let cfg = random_config(&mut rng);
+        let seed = rng.below(1000);
         let mut h = build(&cfg, seed);
         let suite = h.suite_id();
         let w1 = h.write(suite, b"one".to_vec()).expect("healthy write");
         let w2 = h.write(suite, b"two".to_vec()).expect("healthy write");
-        prop_assert!(w2.version > w1.version);
+        assert!(w2.version > w1.version);
         for (i, &dead) in cfg.crashed.iter().enumerate() {
             if dead {
                 h.crash(SiteId::from(i));
@@ -108,18 +113,32 @@ proptest! {
         let should_work = alive >= cfg.r;
         match h.read(suite) {
             Ok(r) => {
-                prop_assert!(should_work, "read succeeded with only {alive} votes");
-                prop_assert_eq!(r.version, w2.version, "read missed the newest write");
-                prop_assert_eq!(&r.value[..], b"two");
+                assert!(
+                    should_work,
+                    "case {case}: read succeeded with only {alive} votes"
+                );
+                assert_eq!(
+                    r.version, w2.version,
+                    "case {case}: read missed the newest write"
+                );
+                assert_eq!(&r.value[..], b"two");
             }
-            Err(_) => prop_assert!(!should_work, "read blocked despite {alive} votes"),
+            Err(_) => assert!(
+                !should_work,
+                "case {case}: read blocked despite {alive} votes"
+            ),
         }
     }
+}
 
-    /// After crashing everything and recovering everything, all committed
-    /// state survives and service resumes.
-    #[test]
-    fn full_recovery_is_lossless(cfg in config_strategy(), seed in 0u64..1000) {
+/// After crashing everything and recovering everything, all committed
+/// state survives and service resumes.
+#[test]
+fn full_recovery_is_lossless() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x33ef ^ case);
+        let cfg = random_config(&mut rng);
+        let seed = rng.below(1000);
         let mut h = build(&cfg, seed);
         let suite = h.suite_id();
         let w = h.write(suite, b"durable".to_vec()).expect("write");
@@ -131,7 +150,7 @@ proptest! {
             h.recover(SiteId::from(i));
         }
         let r = h.read(suite).expect("read after full recovery");
-        prop_assert_eq!(r.version, w.version);
-        prop_assert_eq!(&r.value[..], b"durable");
+        assert_eq!(r.version, w.version, "case {case}");
+        assert_eq!(&r.value[..], b"durable", "case {case}");
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! The identical `SuiteServer` and `ClientNode` state machines that
 //! regenerate the paper's tables under the deterministic simulator here
-//! run on OS threads over crossbeam channels, with a router imposing
+//! run on OS threads over std::sync::mpsc channels, with a router imposing
 //! (scaled-down) link latencies — evidence that nothing in the protocol
 //! depends on simulator bookkeeping.
 
@@ -14,9 +14,9 @@ use weighted_voting::core::msg::Msg;
 use weighted_voting::core::node::SystemNode;
 use weighted_voting::core::server::SuiteServer;
 use weighted_voting::core::suite::SuiteConfig;
-use weighted_voting::prelude::*;
 use weighted_voting::net::runner::NodeRunner;
 use weighted_voting::net::thread_net::ThreadNet;
+use weighted_voting::prelude::*;
 use weighted_voting::txn::lock::DeadlockPolicy;
 
 /// 20 ms virtual links compressed 10x: 2 ms real.
@@ -110,7 +110,10 @@ fn write_then_read_over_real_threads() {
             held += 1;
         }
     }
-    assert!(held >= 2, "committed version must live at a quorum, held={held}");
+    assert!(
+        held >= 2,
+        "committed version must live at a quorum, held={held}"
+    );
     client.stop();
 }
 

@@ -112,7 +112,10 @@ fn transaction_versions_advance_in_lockstep_with_single_writes() {
     let t = h
         .transaction(
             client,
-            vec![(ObjectId(1), b"tx-a".to_vec()), (ObjectId(2), b"tx-b".to_vec())],
+            vec![
+                (ObjectId(1), b"tx-a".to_vec()),
+                (ObjectId(2), b"tx-b".to_vec()),
+            ],
         )
         .expect("transaction");
     // Suite 1 had one prior write, so the transaction installs v2 there

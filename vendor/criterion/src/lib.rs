@@ -1,0 +1,270 @@
+//! A minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! Supports the subset the workspace's `[[bench]]` targets use: benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`, `black_box`,
+//! and the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! warmed up, then timed over a calibrated iteration count; the mean
+//! per-iteration wall time is printed in a compact one-line report.
+//!
+//! It does no statistics beyond the mean — the point is a stable smoke-check
+//! of relative hot-path cost that runs offline, not publication-grade
+//! confidence intervals.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier: prevents the optimizer from deleting benchmarked
+/// work. Forwards to [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Top-level harness handle, passed to every `criterion_group!` target.
+pub struct Criterion {
+    /// Time spent running warm-up iterations per benchmark.
+    warm_up: Duration,
+    /// Target measurement time per benchmark.
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            measure: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let report = run_bench(self.warm_up, self.measure, f);
+        println!("  {name}: {report}");
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the group's settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let report = run_bench(self.criterion.warm_up, self.criterion.measure, &mut f);
+        println!("  {}/{}: {report}", self.name, id.into_benchmark_id());
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let report = run_bench(self.criterion.warm_up, self.criterion.measure, |b| {
+            f(b, input);
+        });
+        println!("  {}/{}: {report}", self.name, id.into_benchmark_id());
+    }
+
+    /// Ends the group. Present for API compatibility; reporting is
+    /// incremental so there is nothing to flush.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark: a function name plus a parameter rendering.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `"{name}/{parameter}"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Conversion into a printable benchmark id (allows `&str` or
+/// [`BenchmarkId`] wherever an id is expected).
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    mode: Mode,
+    /// Total time spent inside `iter` routines.
+    elapsed: Duration,
+    /// Iterations executed during measurement.
+    iters: u64,
+}
+
+enum Mode {
+    /// Run a fixed number of iterations, accumulating elapsed time.
+    Measure(u64),
+}
+
+impl Bencher {
+    /// Times `routine`, running it as many times as the calibration decided.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let Mode::Measure(n) = self.mode;
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += n;
+    }
+}
+
+fn time_once(f: &mut impl FnMut(&mut Bencher)) -> Duration {
+    let mut b = Bencher {
+        mode: Mode::Measure(1),
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        // The closure never called `iter`; charge zero.
+        Duration::ZERO
+    } else {
+        b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX)
+    }
+}
+
+fn run_bench(warm_up: Duration, measure: Duration, mut f: impl FnMut(&mut Bencher)) -> String {
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // and learn the approximate cost of one iteration.
+    let warm_start = Instant::now();
+    let mut per_iter = time_once(&mut f);
+    while warm_start.elapsed() < warm_up {
+        per_iter = (per_iter + time_once(&mut f)) / 2;
+    }
+    // Calibrate an iteration count that fills the measurement budget.
+    let per_iter_nanos = per_iter.as_nanos().max(1);
+    let n = (measure.as_nanos() / per_iter_nanos).clamp(10, 1_000_000) as u64;
+    let mut b = Bencher {
+        mode: Mode::Measure(n),
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        return "no iterations (closure never called iter)".to_string();
+    }
+    let mean_nanos = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    format!("{} / iter ({} iters)", fmt_nanos(mean_nanos), b.iters)
+}
+
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function that runs each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(1),
+            measure: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("t");
+        let mut count = 0u64;
+        group.bench_function("incr", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("add", 3), &3u64, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn formatting_scales_units() {
+        assert!(fmt_nanos(5.0).ends_with("ns"));
+        assert!(fmt_nanos(5_000.0).ends_with("µs"));
+        assert!(fmt_nanos(5_000_000.0).ends_with("ms"));
+        assert!(fmt_nanos(5_000_000_000.0).ends_with("s"));
+    }
+}
