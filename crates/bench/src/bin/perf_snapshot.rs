@@ -17,7 +17,11 @@
 use std::time::Instant;
 
 use wv_bench::{runner, topo};
-use wv_sim::{Scheduler, Sim, SimDuration};
+use wv_core::client::ClientStats;
+use wv_core::harness::{HarnessBuilder, SiteSpec};
+use wv_core::quorum::QuorumSpec;
+use wv_net::NetConfig;
+use wv_sim::{LatencyModel, Scheduler, Sim, SimDuration};
 
 /// Chained-event simulator throughput: `CHAINS` self-rescheduling events
 /// keep a realistically sized heap busy for `EVENTS` pops.
@@ -93,9 +97,49 @@ fn client_ops(rounds: usize) -> (f64, u64, u64) {
     (rate, stats.plan_cache_hits, stats.plan_cache_misses)
 }
 
+/// Retry-path counters under sustained link loss: the same write/read
+/// round shape, but every phase can time out, so the snapshot records how
+/// often the give-up machinery ran — the counters the chaos campaign
+/// aggregates fleet-wide (`timeouts`, `retries`, `attempts_exhausted`).
+fn faulted_client(rounds: usize) -> (u64, ClientStats) {
+    use wv_core::client::ClientOptions;
+    let mut net = NetConfig::uniform(4, LatencyModel::constant_millis(50));
+    net.set_drop_all(0.25);
+    let mut b = HarnessBuilder::new()
+        .seed(0xFA17)
+        .quorum(QuorumSpec::majority(3))
+        .client_options(ClientOptions {
+            phase_timeout: SimDuration::from_millis(800),
+            max_attempts: 4,
+            ..ClientOptions::default()
+        })
+        .net(net);
+    for _ in 0..3 {
+        b = b.site(SiteSpec::server(1));
+    }
+    let mut h = b.client().build().expect("legal cluster");
+    let suite = h.suite_id();
+    let mut ok = 0u64;
+    for i in 0..rounds {
+        if h.write(suite, format!("f{i}").into_bytes()).is_ok() {
+            ok += 1;
+        }
+        h.advance(SimDuration::from_secs(2));
+        if h.read(suite).is_ok() {
+            ok += 1;
+        }
+        h.advance(SimDuration::from_secs(2));
+    }
+    let stats = h
+        .client_stats(h.default_client())
+        .expect("default client exists");
+    (ok, stats)
+}
+
 fn main() {
     const TRIALS: usize = 192;
     const ROUNDS: usize = 1_000;
+    const FAULT_ROUNDS: usize = 250;
 
     let events_per_sec = sim_events_per_sec();
     let (seq_rate, seq_out) = trial_throughput(1, TRIALS);
@@ -107,6 +151,7 @@ fn main() {
     );
     let (ops_per_sec, hits, misses) = client_ops(ROUNDS);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let (fault_ok, fault_stats) = faulted_client(FAULT_ROUNDS);
 
     let json = format!(
         "{{\n  \
@@ -127,8 +172,18 @@ fn main() {
          \"plan_cache_hits\": {hits},\n    \
          \"plan_cache_misses\": {misses},\n    \
          \"plan_cache_hit_rate\": {hit_rate:.4}\n  \
+         }},\n  \
+         \"faulted_client\": {{\n    \
+         \"workload\": \"3-server majority cluster, 25% link loss, write/read rounds x{FAULT_ROUNDS}\",\n    \
+         \"ops_ok\": {fault_ok},\n    \
+         \"retries\": {retries},\n    \
+         \"timeouts\": {timeouts},\n    \
+         \"attempts_exhausted\": {attempts_exhausted}\n  \
          }}\n}}\n",
         speedup = par_rate / seq_rate,
+        retries = fault_stats.retries,
+        timeouts = fault_stats.timeouts,
+        attempts_exhausted = fault_stats.attempts_exhausted,
     );
     print!("{json}");
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");

@@ -1,0 +1,27 @@
+//! Regenerates experiment E9 (see DESIGN.md §9): the chaos campaign.
+//! Prints the markdown report to stdout and, when a `results/` directory
+//! exists in the working tree, mirrors it into `results/e9.md` and writes
+//! the shrunk reproducer to `results/e9_repro.json`.
+//!
+//! `WV_E9_TRIALS` overrides the healthy-campaign trial count (default
+//! 1200); `WV_TRIAL_THREADS` picks the worker count — the report bytes do
+//! not depend on it.
+
+fn main() {
+    let trials = std::env::var("WV_E9_TRIALS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1200);
+    let out = wv_chaos::report::run(trials);
+    print!("{}", out.report);
+    if std::path::Path::new("results").is_dir() {
+        if let Err(e) = std::fs::write("results/e9.md", &out.report) {
+            eprintln!("warning: could not write results/e9.md: {e}");
+        }
+        if let Some(artifact) = &out.artifact {
+            if let Err(e) = std::fs::write("results/e9_repro.json", artifact) {
+                eprintln!("warning: could not write results/e9_repro.json: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! Replays a [`Schedule`] against a live harness.
+//!
+//! Execution is a pure function of the schedule: the harness seed is the
+//! schedule seed, events apply at their virtual times, and the run ends
+//! with a quiesce phase (faults cleared, everyone recovered, event queue
+//! drained) so the oracle can ask convergence questions. The outcome is a
+//! [`TrialRun`] — the merged operation log, final reads, replica states,
+//! and coverage counters — which [`crate::oracle`] judges.
+
+use std::collections::HashSet;
+
+use wv_core::client::CompletedOp;
+use wv_core::harness::SiteSpec;
+use wv_core::{Harness, OpError, QuorumSpec, VoteAssignment};
+use wv_net::sim_net::NetStats;
+use wv_net::{Partition, SiteId};
+use wv_sim::{SimDuration, SimTime};
+use wv_storage::Version;
+
+use crate::schedule::{ClusterSpec, EventKind, Schedule};
+
+/// Event cap for the quiesce phase; a run that cannot drain within this
+/// budget is reported with `quiesced = false` and skips convergence
+/// checks rather than hanging the campaign.
+const QUIESCE_CAP: u64 = 5_000_000;
+
+/// How long the quiesce phase lets in-flight retries ride after the last
+/// scheduled event before the final reads.
+const SETTLE: SimDuration = SimDuration::from_secs(30);
+
+/// Per-trial counters: which faults the schedule actually applied and
+/// what the protocol did under them. The campaign aggregates these into
+/// fleet-wide coverage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialCoverage {
+    /// Write operations started.
+    pub writes: u64,
+    /// Read operations started.
+    pub reads: u64,
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Recover events applied.
+    pub recoveries: u64,
+    /// Partition events applied.
+    pub partitions: u64,
+    /// Heal events applied.
+    pub heals: u64,
+    /// Loss-burst dial changes applied (opens and closes).
+    pub loss_bursts: u64,
+    /// Delay-spike dial changes applied.
+    pub delay_spikes: u64,
+    /// Duplication dial changes applied.
+    pub duplications: u64,
+    /// Reconfiguration operations started.
+    pub reconfigures: u64,
+    /// Operations that failed `Unavailable` — a quorum could not be
+    /// assembled (the paper's "blocked" outcome).
+    pub quorum_blocked: u64,
+    /// Operations that ended `Indeterminate`.
+    pub indeterminate: u64,
+    /// Operations that failed for any reason.
+    pub ops_failed: u64,
+    /// Operations that succeeded.
+    pub ops_ok: u64,
+    /// Phase timeouts observed across all clients.
+    pub timeouts: u64,
+    /// Attempt retries across all clients.
+    pub retries: u64,
+    /// Operations abandoned after exhausting the attempt budget.
+    pub attempts_exhausted: u64,
+    /// Messages dropped by link loss (from [`NetStats`]).
+    pub dropped_link: u64,
+    /// Extra deliveries caused by duplication (from [`NetStats`]).
+    pub duplicated_msgs: u64,
+}
+
+/// Everything a finished trial leaves behind for the oracle.
+#[derive(Clone, Debug)]
+pub struct TrialRun {
+    /// The schedule's seed (identifies the trial).
+    pub seed: u64,
+    /// All completed operations, across every client, in completion order
+    /// per client (clients concatenated in site order).
+    pub ops: Vec<CompletedOp>,
+    /// Every payload the schedule wrote, for provenance checks.
+    pub sent_payloads: HashSet<Vec<u8>>,
+    /// One post-quiesce read per client: `(version, value)` on success.
+    /// Empty when the run failed to quiesce.
+    pub finals: Vec<Option<(Version, Vec<u8>)>>,
+    /// Post-quiesce `(version, value)` per server replica.
+    pub replicas: Vec<Option<(Version, Vec<u8>)>>,
+    /// Whether the quiesce phase drained the event queue within budget.
+    pub quiesced: bool,
+    /// Fault and protocol counters.
+    pub coverage: TrialCoverage,
+    /// Transport counters at end of run.
+    pub net: NetStats,
+}
+
+/// The payload bytes a [`EventKind::Write`] event produces. Deterministic
+/// and unique per `(seed, tag)`, so the oracle can trace any read value
+/// back to the write that produced it.
+pub fn payload_bytes(seed: u64, tag: u64) -> Vec<u8> {
+    format!("chaos-{seed:016x}-{tag}").into_bytes()
+}
+
+/// Builds the harness a schedule runs against.
+fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
+    let mut b = Harness::builder()
+        .quorum(QuorumSpec::new(spec.read_quorum, spec.write_quorum))
+        .seed(seed);
+    for _ in 0..spec.servers {
+        b = b.site(SiteSpec::server(1));
+    }
+    for _ in 0..spec.clients {
+        b = b.client();
+    }
+    if spec.unchecked_quorums {
+        b = b.allow_illegal_quorums();
+    }
+    b.build()
+        .expect("chaos harness build only fails on illegal quorums, which are unchecked here")
+}
+
+/// Replays `schedule` against a fresh cluster and returns the evidence.
+pub fn run_schedule(spec: &ClusterSpec, schedule: &Schedule) -> TrialRun {
+    let mut h = build_harness(spec, schedule.seed);
+    let mut coverage = TrialCoverage::default();
+    let mut sent_payloads: HashSet<Vec<u8>> = HashSet::new();
+    let clients = h.clients().to_vec();
+    let suite = h.suite_id();
+    let total = spec.total_sites();
+
+    for event in &schedule.events {
+        // Advance to the event's instant, letting in-flight work run.
+        let target = SimTime::from_millis(event.at_ms);
+        if target > h.now() {
+            h.advance(target.since(h.now()));
+        }
+        let at = h.now();
+        match &event.kind {
+            EventKind::Write { client, payload } => {
+                coverage.writes += 1;
+                let bytes = payload_bytes(schedule.seed, *payload);
+                sent_payloads.insert(bytes.clone());
+                h.enqueue_write(clients[client % clients.len()], suite, bytes, at);
+            }
+            EventKind::Read { client } => {
+                coverage.reads += 1;
+                h.enqueue_read(clients[client % clients.len()], suite, at);
+            }
+            EventKind::Crash { site } => {
+                coverage.crashes += 1;
+                h.crash(SiteId(*site as u16));
+            }
+            EventKind::Recover { site } => {
+                coverage.recoveries += 1;
+                h.recover(SiteId(*site as u16));
+            }
+            EventKind::Partition { group_a } => {
+                coverage.partitions += 1;
+                let a: Vec<SiteId> = group_a
+                    .iter()
+                    .filter(|&&s| s < total)
+                    .map(|&s| SiteId(s as u16))
+                    .collect();
+                let b: Vec<SiteId> = (0..total)
+                    .filter(|s| !group_a.contains(s))
+                    .map(|s| SiteId(s as u16))
+                    .collect();
+                h.partition(Partition::split(total, &[&a, &b]));
+            }
+            EventKind::Heal => {
+                coverage.heals += 1;
+                h.heal();
+            }
+            EventKind::LossBurst { permille } => {
+                coverage.loss_bursts += 1;
+                h.set_drop_all(f64::from(*permille) / 1000.0);
+            }
+            EventKind::DelaySpike { extra_ms } => {
+                coverage.delay_spikes += 1;
+                h.set_extra_delay(SimDuration::from_millis(*extra_ms));
+            }
+            EventKind::Duplication { permille } => {
+                coverage.duplications += 1;
+                h.set_duplicate_prob(f64::from(*permille) / 1000.0);
+            }
+            EventKind::Reconfigure {
+                client,
+                read_quorum,
+                write_quorum,
+            } => {
+                coverage.reconfigures += 1;
+                h.enqueue_reconfigure(
+                    clients[client % clients.len()],
+                    suite,
+                    VoteAssignment::equal(spec.servers),
+                    QuorumSpec::new(*read_quorum, *write_quorum),
+                    at,
+                );
+            }
+        }
+    }
+
+    // Quiesce: clear every dial, reconnect and revive everyone, let
+    // in-flight retries ride, then drain.
+    h.set_drop_all(0.0);
+    h.set_extra_delay(SimDuration::ZERO);
+    h.set_duplicate_prob(0.0);
+    h.heal();
+    for site in 0..spec.servers {
+        if h.is_down(SiteId(site as u16)) {
+            h.recover(SiteId(site as u16));
+        }
+    }
+    h.advance(SETTLE);
+    let executed = h.run_until_quiet(QUIESCE_CAP);
+    let quiesced = executed < QUIESCE_CAP;
+
+    let mut ops: Vec<CompletedOp> = Vec::new();
+    for &c in &clients {
+        ops.extend(h.drain_completed(c));
+    }
+
+    // Post-quiesce final reads (only meaningful if the system drained).
+    let mut finals = Vec::new();
+    if quiesced {
+        for &c in &clients {
+            let result = h.read_from(c, suite).ok();
+            finals.push(result.map(|r| (r.version, r.value.to_vec())));
+        }
+    }
+
+    let replicas: Vec<Option<(Version, Vec<u8>)>> = (0..spec.servers)
+        .map(|s| {
+            let site = SiteId(s as u16);
+            h.version_at(site, suite).map(|v| {
+                (
+                    v,
+                    h.value_at(site, suite)
+                        .map(|b| b.to_vec())
+                        .unwrap_or_default(),
+                )
+            })
+        })
+        .collect();
+
+    for &c in &clients {
+        if let Some(stats) = h.client_stats(c) {
+            coverage.timeouts += stats.timeouts;
+            coverage.retries += stats.retries;
+            coverage.attempts_exhausted += stats.attempts_exhausted;
+        }
+    }
+    for op in &ops {
+        match &op.outcome {
+            Ok(_) => coverage.ops_ok += 1,
+            Err(e) => {
+                coverage.ops_failed += 1;
+                match e {
+                    OpError::Unavailable { .. } => coverage.quorum_blocked += 1,
+                    OpError::Indeterminate => coverage.indeterminate += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    let net = h.net_stats();
+    coverage.dropped_link = net.dropped_link;
+    coverage.duplicated_msgs = net.duplicated;
+
+    TrialRun {
+        seed: schedule.seed,
+        ops,
+        sent_payloads,
+        finals,
+        replicas,
+        quiesced,
+        coverage,
+        net,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{generate, FaultEvent, ScheduleParams};
+
+    #[test]
+    fn replaying_a_schedule_is_deterministic() {
+        let spec = ClusterSpec::majority(5, 2);
+        let schedule = generate(&spec, &ScheduleParams::default(), 11);
+        let a = run_schedule(&spec, &schedule);
+        let b = run_schedule(&spec, &schedule);
+        assert_eq!(a.coverage, b.coverage);
+        assert_eq!(a.finals, b.finals);
+        assert_eq!(a.replicas, b.replicas);
+        assert_eq!(a.ops.len(), b.ops.len());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            assert_eq!(x.outcome, y.outcome);
+            assert_eq!(x.finished, y.finished);
+        }
+    }
+
+    #[test]
+    fn a_quiet_schedule_of_writes_and_reads_commits() {
+        let spec = ClusterSpec::majority(3, 1);
+        let schedule = Schedule {
+            seed: 5,
+            events: vec![
+                FaultEvent {
+                    at_ms: 100,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 1,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 2_000,
+                    kind: EventKind::Read { client: 0 },
+                },
+            ],
+        };
+        let run = run_schedule(&spec, &schedule);
+        assert!(run.quiesced);
+        assert_eq!(run.coverage.ops_ok, 2);
+        assert_eq!(run.coverage.ops_failed, 0);
+        // The final read sees the single write.
+        let (v, value) = run.finals[0].clone().expect("final read succeeds");
+        assert_eq!(v, Version(1));
+        assert_eq!(value, payload_bytes(5, 1));
+    }
+
+    #[test]
+    fn crashing_a_quorum_blocks_operations() {
+        let spec = ClusterSpec::majority(3, 1);
+        let schedule = Schedule {
+            seed: 9,
+            events: vec![
+                FaultEvent {
+                    at_ms: 10,
+                    kind: EventKind::Crash { site: 0 },
+                },
+                FaultEvent {
+                    at_ms: 20,
+                    kind: EventKind::Crash { site: 1 },
+                },
+                FaultEvent {
+                    at_ms: 100,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 1,
+                    },
+                },
+                // Recover one site late so the write's retries can land
+                // before the quiesce phase revives everyone.
+                FaultEvent {
+                    at_ms: 40_000,
+                    kind: EventKind::Recover { site: 0 },
+                },
+                FaultEvent {
+                    at_ms: 40_100,
+                    kind: EventKind::Recover { site: 1 },
+                },
+            ],
+        };
+        let run = run_schedule(&spec, &schedule);
+        assert!(run.quiesced);
+        assert!(
+            run.coverage.quorum_blocked >= 1 || run.coverage.ops_ok >= 1,
+            "the write either blocked (budget ran out mid-outage) or rode out the outage"
+        );
+        assert!(run.coverage.timeouts > 0, "phase timeouts fired");
+        assert_eq!(run.coverage.crashes, 2);
+        assert_eq!(run.coverage.recoveries, 2);
+    }
+}

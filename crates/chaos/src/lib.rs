@@ -1,0 +1,37 @@
+//! Chaos campaign engine for the weighted-voting stack.
+//!
+//! Four pieces, layered:
+//!
+//! * [`schedule`] — a fault-schedule DSL: seeded, sorted timelines of
+//!   operations, crashes, partitions, link-loss bursts, delay spikes,
+//!   duplication windows, and reconfigurations, serialisable to a replay
+//!   artifact.
+//! * [`exec`] — replays a schedule against a simulated cluster and
+//!   collects the evidence (operation log, final reads, replica states,
+//!   coverage counters).
+//! * [`oracle`] — the history oracle: the consistency invariants
+//!   weighted voting promises, checked over that evidence and returned
+//!   as structured [`oracle::Violation`]s.
+//! * [`campaign`] + [`shrink`] — fan thousands of seeds over the
+//!   deterministic parallel trial runner, then delta-debug any failure
+//!   down to a minimal reproducer.
+//!
+//! Everything is deterministic: a campaign report is bit-identical at
+//! any worker count, and a shrunk artifact replays its violation
+//! forever.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod exec;
+pub mod json;
+pub mod oracle;
+pub mod report;
+pub mod schedule;
+pub mod shrink;
+
+pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Coverage};
+pub use exec::{run_schedule, TrialCoverage, TrialRun};
+pub use oracle::{check_convergence, check_log, check_trial, Violation};
+pub use schedule::{generate, ClusterSpec, EventKind, FaultEvent, Schedule, ScheduleParams};
+pub use shrink::{shrink, ShrinkResult};

@@ -1,0 +1,556 @@
+//! The history oracle: invariant checks over completed-operation logs.
+//!
+//! These are the consistency conditions weighted voting promises
+//! *regardless* of which quorums were reachable — extracted from the
+//! integration tests so campaigns, the shrinker, and the test-suite all
+//! judge histories with one implementation. Unlike an `assert!`, every
+//! check returns structured [`Violation`] values: a campaign can count
+//! them, the shrinker can use "still violates" as its predicate, and a
+//! test can still unwrap them into a panic.
+//!
+//! # The invariants
+//!
+//! Over the raw log ([`check_log`]):
+//!
+//! 1. **Version uniqueness** — two committed writes never share a version.
+//!    Committed reconfigurations consume a data version too (the
+//!    re-publication bump, reported via `OpSuccess::multi`) and take part
+//!    in every version-based check below.
+//! 2. **Real-time version order** — if write X *started* after write Y
+//!    *finished*, X's version is higher. In `strict` mode (no message
+//!    loss, so acknowledgements are never delayed past a later write) the
+//!    stronger completion-order check applies: versions are strictly
+//!    increasing in completion order.
+//! 3. **Gap-freedom** — committed versions are consecutive from 1, with
+//!    at most one missing slot per `Indeterminate` write (an in-doubt
+//!    write may have committed without its client learning so).
+//! 4. **No phantom reads** — a read never returns a version no write
+//!    committed (checked only when no write ended in-doubt).
+//! 5. **Value provenance** — a read never returns bytes nobody wrote.
+//! 6. **Read agreement** — two reads of the same version see the same
+//!    bytes.
+//! 7. **Freshness** — a read that starts after a write's acknowledgement
+//!    returns that write's version or newer.
+//!
+//! Over the post-quiesce state ([`check_convergence`]):
+//!
+//! 8. **Convergence** — after healing and recovering everything, every
+//!    client reads one final state at least as new as every acknowledged
+//!    write, and replicas holding the same version hold the same bytes.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+
+use wv_core::client::CompletedOp;
+use wv_core::{OpError, OpKind};
+use wv_sim::SimTime;
+
+use crate::exec::TrialRun;
+
+/// One broken invariant, with enough context to report it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two committed writes carried the same version.
+    DuplicateVersion {
+        /// The shared version.
+        version: u64,
+    },
+    /// A write that started after another finished committed a version
+    /// that is not higher.
+    VersionOrderInversion {
+        /// Version of the earlier-finishing write.
+        earlier: u64,
+        /// Version of the later-starting write.
+        later: u64,
+    },
+    /// Committed versions have more holes than in-doubt writes can
+    /// explain.
+    VersionGap {
+        /// How many versions up to the maximum never committed.
+        missing: u64,
+        /// How many holes the in-doubt writes could account for.
+        allowed: u64,
+    },
+    /// A read returned a version no write committed.
+    PhantomRead {
+        /// The version the read returned.
+        version: u64,
+    },
+    /// A read returned bytes that no write in the schedule sent.
+    ForeignValue {
+        /// The version the read returned.
+        version: u64,
+    },
+    /// Two reads of the same version saw different bytes.
+    DivergentRead {
+        /// The version with conflicting contents.
+        version: u64,
+    },
+    /// A read missed a write acknowledged before the read began.
+    StaleRead {
+        /// The version the read returned.
+        returned: u64,
+        /// The newest version acknowledged before the read started.
+        floor: u64,
+    },
+    /// After quiesce, a client's final read missed an acknowledged write.
+    MissedAckedWrite {
+        /// Which client (0-based).
+        client: usize,
+        /// The version its final read returned.
+        final_version: u64,
+        /// The newest acknowledged version.
+        max_acked: u64,
+    },
+    /// After quiesce, clients disagreed on the final state.
+    FinalStateDivergence,
+    /// After quiesce (everything healed and recovered), a client's final
+    /// read still failed.
+    PostHealUnavailable {
+        /// Which client (0-based).
+        client: usize,
+    },
+    /// Two replicas held the same version with different bytes.
+    ReplicaDivergence {
+        /// The version with conflicting replica contents.
+        version: u64,
+    },
+    /// The run failed to drain its event queue within the quiesce budget.
+    NoQuiesce,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateVersion { version } => {
+                write!(f, "duplicate committed version v{version}")
+            }
+            Violation::VersionOrderInversion { earlier, later } => write!(
+                f,
+                "real-time order inverted: v{later} started after v{earlier} finished"
+            ),
+            Violation::VersionGap { missing, allowed } => write!(
+                f,
+                "{missing} committed version(s) missing but only {allowed} write(s) in doubt"
+            ),
+            Violation::PhantomRead { version } => {
+                write!(f, "read returned v{version}, which no write committed")
+            }
+            Violation::ForeignValue { version } => {
+                write!(f, "read at v{version} returned bytes nobody wrote")
+            }
+            Violation::DivergentRead { version } => {
+                write!(f, "two reads of v{version} saw different bytes")
+            }
+            Violation::StaleRead { returned, floor } => write!(
+                f,
+                "stale read: returned v{returned} after v{floor} was acknowledged"
+            ),
+            Violation::MissedAckedWrite {
+                client,
+                final_version,
+                max_acked,
+            } => write!(
+                f,
+                "client {client}'s final read v{final_version} misses acked write v{max_acked}"
+            ),
+            Violation::FinalStateDivergence => {
+                write!(f, "clients disagree on the final state after quiesce")
+            }
+            Violation::PostHealUnavailable { client } => write!(
+                f,
+                "client {client} cannot read after everything healed and recovered"
+            ),
+            Violation::ReplicaDivergence { version } => {
+                write!(f, "replicas diverge at v{version}")
+            }
+            Violation::NoQuiesce => {
+                write!(f, "event queue failed to drain within the quiesce budget")
+            }
+        }
+    }
+}
+
+impl Violation {
+    /// A short stable tag for grouping violations in reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Violation::DuplicateVersion { .. } => "duplicate_version",
+            Violation::VersionOrderInversion { .. } => "version_order_inversion",
+            Violation::VersionGap { .. } => "version_gap",
+            Violation::PhantomRead { .. } => "phantom_read",
+            Violation::ForeignValue { .. } => "foreign_value",
+            Violation::DivergentRead { .. } => "divergent_read",
+            Violation::StaleRead { .. } => "stale_read",
+            Violation::MissedAckedWrite { .. } => "missed_acked_write",
+            Violation::FinalStateDivergence => "final_state_divergence",
+            Violation::PostHealUnavailable { .. } => "post_heal_unavailable",
+            Violation::ReplicaDivergence { .. } => "replica_divergence",
+            Violation::NoQuiesce => "no_quiesce",
+        }
+    }
+}
+
+/// Checks invariants 1–7 over a completion log.
+///
+/// `sent` enables the provenance check (5) when the caller tracked every
+/// payload written; pass `None` when the log's writes came from elsewhere.
+/// `strict` upgrades the real-time order check (2) to completion-order
+/// monotonicity — valid only when the network never drops or delays
+/// acknowledgements past a later write (no loss bursts, no delay spikes).
+pub fn check_log(
+    ops: &[CompletedOp],
+    sent: Option<&HashSet<Vec<u8>>>,
+    strict: bool,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Everything that consumes a data version: committed writes, plus
+    // committed reconfigurations — a reconfiguration re-publishes the
+    // contents one version up to serialise against concurrent writes,
+    // and reports the version its bump consumed via `multi`.
+    let mut committed: Vec<(SimTime, SimTime, u64)> = Vec::new();
+    for o in ops {
+        match (o.kind, &o.outcome) {
+            (OpKind::Write, Ok(okk)) => {
+                committed.push((o.started, o.finished, okk.version.0));
+            }
+            (OpKind::Reconfigure, Ok(okk)) => {
+                for (_, bump) in &okk.multi {
+                    committed.push((o.started, o.finished, bump.0));
+                }
+            }
+            _ => {}
+        }
+    }
+    let in_doubt = ops
+        .iter()
+        .filter(|o| {
+            matches!(o.kind, OpKind::Write | OpKind::Reconfigure)
+                && matches!(o.outcome, Err(OpError::Indeterminate))
+        })
+        .count() as u64;
+
+    // 1: version uniqueness.
+    let mut versions_seen: HashSet<u64> = HashSet::new();
+    let mut committed_at: BTreeMap<u64, SimTime> = BTreeMap::new();
+    for &(_, finished, v) in &committed {
+        if !versions_seen.insert(v) {
+            violations.push(Violation::DuplicateVersion { version: v });
+        }
+        let fin = committed_at.entry(v).or_insert(finished);
+        if finished < *fin {
+            *fin = finished;
+        }
+    }
+
+    // 2: real-time version order.
+    if strict {
+        let mut by_finish: Vec<&(SimTime, SimTime, u64)> = committed.iter().collect();
+        by_finish.sort_by_key(|e| e.1);
+        for pair in by_finish.windows(2) {
+            let a = pair[0].2;
+            let b = pair[1].2;
+            if a >= b {
+                violations.push(Violation::VersionOrderInversion {
+                    earlier: a,
+                    later: b,
+                });
+            }
+        }
+    } else {
+        // Pairwise: X started after Y finished => vX > vY. Valid even
+        // when lost acknowledgements delay a commit's completion record.
+        for &(x_started, _, vx) in &committed {
+            for &(_, y_finished, vy) in &committed {
+                if x_started > y_finished && vx <= vy {
+                    violations.push(Violation::VersionOrderInversion {
+                        earlier: vy,
+                        later: vx,
+                    });
+                }
+            }
+        }
+    }
+
+    // 3: gap-freedom, modulo in-doubt writes.
+    if let Some(&max) = versions_seen.iter().max() {
+        let missing = max - versions_seen.len() as u64;
+        if missing > in_doubt {
+            violations.push(Violation::VersionGap {
+                missing,
+                allowed: in_doubt,
+            });
+        }
+    }
+
+    // 4–7: reads.
+    let mut seen_at_version: HashMap<u64, Vec<u8>> = HashMap::new();
+    for o in ops.iter().filter(|o| o.kind == OpKind::Read) {
+        let Ok(okk) = &o.outcome else { continue };
+        let v = okk.version.0;
+        // 4: phantom reads — only decidable when nothing is in doubt (an
+        // in-doubt write may have committed a version we cannot see).
+        if in_doubt == 0 && v != 0 && !versions_seen.contains(&v) {
+            violations.push(Violation::PhantomRead { version: v });
+        }
+        // 5: provenance.
+        if let Some(sent) = sent {
+            let value = okk.value.as_ref().map(|b| b.to_vec()).unwrap_or_default();
+            if !value.is_empty() && !sent.contains(&value) {
+                violations.push(Violation::ForeignValue { version: v });
+            }
+        }
+        // 6: read agreement.
+        if let Some(bytes) = okk.value.as_ref().map(|b| b.to_vec()) {
+            if let Some(prev) = seen_at_version.insert(v, bytes.clone()) {
+                if prev != bytes {
+                    violations.push(Violation::DivergentRead { version: v });
+                }
+            }
+        }
+        // 7: freshness.
+        let floor = committed_at
+            .iter()
+            .filter(|(_, fin)| **fin <= o.started)
+            .map(|(ver, _)| *ver)
+            .max()
+            .unwrap_or(0);
+        if v < floor {
+            violations.push(Violation::StaleRead { returned: v, floor });
+        }
+    }
+
+    violations
+}
+
+/// Checks invariant 8 over a quiesced trial's final state.
+pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let max_acked = run
+        .ops
+        .iter()
+        .filter_map(|o| match (o.kind, &o.outcome) {
+            (OpKind::Write, Ok(okk)) => Some(okk.version.0),
+            // A committed reconfiguration consumed the data version its
+            // re-publication bump reports via `multi`.
+            (OpKind::Reconfigure, Ok(okk)) => okk.multi.iter().map(|(_, v)| v.0).max(),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    for (client, outcome) in run.finals.iter().enumerate() {
+        match outcome {
+            Some((v, _)) => {
+                if v.0 < max_acked {
+                    violations.push(Violation::MissedAckedWrite {
+                        client,
+                        final_version: v.0,
+                        max_acked,
+                    });
+                }
+            }
+            None => violations.push(Violation::PostHealUnavailable { client }),
+        }
+    }
+    let states: Vec<&(wv_storage::Version, Vec<u8>)> = run.finals.iter().flatten().collect();
+    if states.windows(2).any(|p| p[0] != p[1]) {
+        violations.push(Violation::FinalStateDivergence);
+    }
+    let mut replica_at: HashMap<u64, &Vec<u8>> = HashMap::new();
+    for state in run.replicas.iter().flatten() {
+        let (v, bytes) = state;
+        if let Some(prev) = replica_at.insert(v.0, bytes) {
+            if prev != bytes {
+                violations.push(Violation::ReplicaDivergence { version: v.0 });
+            }
+        }
+    }
+    violations
+}
+
+/// Runs every applicable check over a finished trial.
+///
+/// A run that failed to quiesce yields [`Violation::NoQuiesce`] and skips
+/// the convergence checks (there is no settled final state to judge).
+pub fn check_trial(run: &TrialRun, strict: bool) -> Vec<Violation> {
+    let mut violations = check_log(&run.ops, Some(&run.sent_payloads), strict);
+    if run.quiesced {
+        violations.extend(check_convergence(run));
+    } else {
+        violations.push(Violation::NoQuiesce);
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use wv_core::client::OpSuccess;
+    use wv_core::msg::ReqId;
+    use wv_storage::{ObjectId, Version};
+
+    fn write_ok(version: u64, started_ms: u64, finished_ms: u64) -> CompletedOp {
+        CompletedOp {
+            req: ReqId(version),
+            kind: OpKind::Write,
+            suite: ObjectId(7),
+            outcome: Ok(OpSuccess {
+                version: Version(version),
+                value: None,
+                multi: Vec::new(),
+            }),
+            started: SimTime::from_millis(started_ms),
+            finished: SimTime::from_millis(finished_ms),
+            attempts: 1,
+        }
+    }
+
+    fn write_in_doubt(started_ms: u64, finished_ms: u64) -> CompletedOp {
+        CompletedOp {
+            req: ReqId(999),
+            kind: OpKind::Write,
+            suite: ObjectId(7),
+            outcome: Err(OpError::Indeterminate),
+            started: SimTime::from_millis(started_ms),
+            finished: SimTime::from_millis(finished_ms),
+            attempts: 3,
+        }
+    }
+
+    fn read_ok(version: u64, value: &[u8], started_ms: u64, finished_ms: u64) -> CompletedOp {
+        CompletedOp {
+            req: ReqId(10_000 + started_ms),
+            kind: OpKind::Read,
+            suite: ObjectId(7),
+            outcome: Ok(OpSuccess {
+                version: Version(version),
+                value: Some(Bytes::from(value.to_vec())),
+                multi: Vec::new(),
+            }),
+            started: SimTime::from_millis(started_ms),
+            finished: SimTime::from_millis(finished_ms),
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn a_clean_history_passes() {
+        let ops = vec![
+            write_ok(1, 0, 100),
+            write_ok(2, 150, 250),
+            read_ok(2, b"x", 300, 400),
+            read_ok(2, b"x", 300, 420),
+        ];
+        let mut sent = HashSet::new();
+        sent.insert(b"x".to_vec());
+        assert!(check_log(&ops, Some(&sent), true).is_empty());
+    }
+
+    #[test]
+    fn duplicate_versions_are_flagged() {
+        let ops = vec![write_ok(1, 0, 100), write_ok(1, 150, 250)];
+        let v = check_log(&ops, None, false);
+        assert!(v.contains(&Violation::DuplicateVersion { version: 1 }));
+    }
+
+    #[test]
+    fn real_time_order_inversion_is_flagged() {
+        // v1 starts (300) strictly after v2 finished (250): inverted.
+        let ops = vec![write_ok(2, 150, 250), write_ok(1, 300, 400)];
+        let v = check_log(&ops, None, false);
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::VersionOrderInversion { .. })));
+    }
+
+    #[test]
+    fn overlapping_writes_may_commit_out_of_completion_order_when_lossy() {
+        // v1's ack was delayed past v2's completion even though both
+        // overlap. Legal in lossy mode, flagged in strict mode.
+        let ops = vec![write_ok(2, 0, 100), write_ok(1, 10, 500)];
+        assert!(check_log(&ops, None, false).is_empty());
+        assert!(!check_log(&ops, None, true).is_empty());
+    }
+
+    #[test]
+    fn version_gaps_are_flagged_unless_explained_by_in_doubt_writes() {
+        // v1 and v3 committed, v2 missing, nothing in doubt.
+        let ops = vec![write_ok(1, 0, 100), write_ok(3, 150, 250)];
+        let v = check_log(&ops, None, false);
+        assert!(v.contains(&Violation::VersionGap {
+            missing: 1,
+            allowed: 0
+        }));
+        // Same history plus one in-doubt write: the gap is explained.
+        let ops = vec![
+            write_ok(1, 0, 100),
+            write_in_doubt(110, 140),
+            write_ok(3, 150, 250),
+        ];
+        assert!(check_log(&ops, None, false).is_empty());
+    }
+
+    #[test]
+    fn phantom_reads_are_flagged_only_when_nothing_is_in_doubt() {
+        let ops = vec![write_ok(1, 0, 100), read_ok(5, b"", 200, 300)];
+        let v = check_log(&ops, None, false);
+        assert!(v.contains(&Violation::PhantomRead { version: 5 }));
+        let ops = vec![
+            write_ok(1, 0, 100),
+            write_in_doubt(110, 140),
+            read_ok(2, b"", 200, 300),
+        ];
+        assert!(!check_log(&ops, None, false)
+            .iter()
+            .any(|x| matches!(x, Violation::PhantomRead { .. })));
+    }
+
+    #[test]
+    fn stale_reads_and_foreign_values_are_flagged() {
+        let mut sent = HashSet::new();
+        sent.insert(b"good".to_vec());
+        let ops = vec![
+            write_ok(1, 0, 100),
+            write_ok(2, 120, 220),
+            // Started at 300, after v2's ack at 220, but returned v1.
+            read_ok(1, b"good", 300, 400),
+            // Bytes nobody wrote.
+            read_ok(2, b"evil", 500, 600),
+        ];
+        let v = check_log(&ops, Some(&sent), true);
+        assert!(v.contains(&Violation::StaleRead {
+            returned: 1,
+            floor: 2
+        }));
+        assert!(v.contains(&Violation::ForeignValue { version: 2 }));
+    }
+
+    #[test]
+    fn divergent_reads_are_flagged() {
+        let mut sent = HashSet::new();
+        sent.insert(b"a".to_vec());
+        sent.insert(b"b".to_vec());
+        let ops = vec![
+            write_ok(1, 0, 100),
+            read_ok(1, b"a", 200, 300),
+            read_ok(1, b"b", 200, 320),
+        ];
+        let v = check_log(&ops, Some(&sent), true);
+        assert!(v.contains(&Violation::DivergentRead { version: 1 }));
+    }
+
+    #[test]
+    fn violations_render_human_readable() {
+        let v = Violation::StaleRead {
+            returned: 3,
+            floor: 5,
+        };
+        assert_eq!(
+            v.to_string(),
+            "stale read: returned v3 after v5 was acknowledged"
+        );
+        assert_eq!(v.tag(), "stale_read");
+    }
+}

@@ -1,0 +1,667 @@
+//! The fault-schedule DSL: seeded timelines of operations and faults.
+//!
+//! A [`Schedule`] is a sorted list of [`FaultEvent`]s — client operations,
+//! crashes and recoveries, partitions and heals, link-loss bursts, delay
+//! spikes, duplication windows, and mid-run reconfigurations — drawn by a
+//! pure function of `(cluster shape, generation parameters, seed)`. The
+//! executor in [`crate::exec`] replays a schedule against a live harness;
+//! because both generation and execution are deterministic, any seed
+//! replays its exact failure, and the shrinker can carve events out of a
+//! schedule and re-run the remainder.
+//!
+//! Schedules serialise to a small JSON artifact (see [`Schedule::to_json`])
+//! so a shrunk reproducer survives outside the process that found it.
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use wv_sim::{DetRng, FailureSchedule, SimDuration, SimTime};
+
+use crate::json::{self, Value};
+
+/// Mixed into the schedule seed so generator draws are decorrelated from
+/// the harness's own streams (which consume the raw trial seed).
+const GEN_SALT: u64 = 0xC4A0_5C4E_D01E_5EED;
+
+/// The shape of the cluster a schedule runs against.
+///
+/// Servers occupy sites `0..servers`, each holding one vote; clients
+/// occupy the next `clients` sites. The quorum sizes are in votes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClusterSpec {
+    /// Number of voting servers (one vote each).
+    pub servers: usize,
+    /// Number of pure client sites.
+    pub clients: usize,
+    /// Read quorum size, in votes.
+    pub read_quorum: u32,
+    /// Write quorum size, in votes.
+    pub write_quorum: u32,
+    /// Build the harness without the quorum intersection check
+    /// (fault-injection only — lets `r + w = N` clusters exist).
+    pub unchecked_quorums: bool,
+}
+
+impl ClusterSpec {
+    /// A healthy majority-quorum cluster.
+    pub fn majority(servers: usize, clients: usize) -> Self {
+        let maj = (servers as u32) / 2 + 1;
+        ClusterSpec {
+            servers,
+            clients,
+            read_quorum: maj,
+            write_quorum: maj,
+            unchecked_quorums: false,
+        }
+    }
+
+    /// A deliberately broken cluster: `read_quorum + write_quorum ==
+    /// servers`, so quorums need not intersect and stale reads become
+    /// possible once faults steer readers and writers apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_quorum` leaves no room for a positive write quorum.
+    pub fn broken(servers: usize, clients: usize, read_quorum: u32) -> Self {
+        assert!(
+            read_quorum >= 1 && (read_quorum as usize) < servers,
+            "need 1 <= r < N for a broken r + w = N split"
+        );
+        ClusterSpec {
+            servers,
+            clients,
+            read_quorum,
+            write_quorum: servers as u32 - read_quorum,
+            unchecked_quorums: true,
+        }
+    }
+
+    /// Total sites (servers then clients).
+    pub fn total_sites(&self) -> usize {
+        self.servers + self.clients
+    }
+}
+
+/// One timed entry in a chaos schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// When the event applies (virtual milliseconds from trial start).
+    pub at_ms: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// What a [`FaultEvent`] does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Client `client` starts a write; `payload` tags the bytes written so
+    /// the oracle can trace read values back to writes even after the
+    /// shrinker drops neighbouring events.
+    Write {
+        /// Client index (0-based among clients).
+        client: usize,
+        /// Payload tag, unique within the schedule.
+        payload: u64,
+    },
+    /// Client `client` starts a read.
+    Read {
+        /// Client index.
+        client: usize,
+    },
+    /// Server `site` crashes (volatile state lost).
+    Crash {
+        /// Server index.
+        site: usize,
+    },
+    /// Server `site` recovers.
+    Recover {
+        /// Server index.
+        site: usize,
+    },
+    /// The network splits: `group_a` (site indices over servers *and*
+    /// clients) on one side, everyone else on the other.
+    Partition {
+        /// Sites in the first group.
+        group_a: Vec<usize>,
+    },
+    /// All partitions heal.
+    Heal,
+    /// Every cross-site link starts dropping messages with probability
+    /// `permille / 1000` (0 closes the burst).
+    LossBurst {
+        /// Loss probability in thousandths.
+        permille: u32,
+    },
+    /// Every cross-site message pays `extra_ms` on top of its sampled
+    /// latency (0 clears the spike).
+    DelaySpike {
+        /// Extra one-way delay in milliseconds.
+        extra_ms: u64,
+    },
+    /// Delivered messages are duplicated with probability `permille /
+    /// 1000` (0 ends the window).
+    Duplication {
+        /// Duplication probability in thousandths.
+        permille: u32,
+    },
+    /// Client `client` starts an online reconfiguration to the given
+    /// quorum sizes (votes stay one-per-server).
+    Reconfigure {
+        /// Client index.
+        client: usize,
+        /// New read quorum.
+        read_quorum: u32,
+        /// New write quorum.
+        write_quorum: u32,
+    },
+}
+
+impl EventKind {
+    /// A short stable name, used by coverage counters and the JSON
+    /// artifact.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Write { .. } => "write",
+            EventKind::Read { .. } => "read",
+            EventKind::Crash { .. } => "crash",
+            EventKind::Recover { .. } => "recover",
+            EventKind::Partition { .. } => "partition",
+            EventKind::Heal => "heal",
+            EventKind::LossBurst { .. } => "loss_burst",
+            EventKind::DelaySpike { .. } => "delay_spike",
+            EventKind::Duplication { .. } => "duplication",
+            EventKind::Reconfigure { .. } => "reconfigure",
+        }
+    }
+}
+
+/// A complete fault schedule: the trial seed (which also drives the
+/// harness) plus the timed events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// Seed for the harness and all execution randomness.
+    pub seed: u64,
+    /// Events in non-decreasing `at_ms` order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl Schedule {
+    /// Virtual time of the last event (ms), or 0 for an empty schedule.
+    pub fn duration_ms(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at_ms)
+    }
+}
+
+/// Tunables for the schedule generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleParams {
+    /// Number of generator draws (events before any mttf overlay).
+    pub steps: usize,
+    /// Maximum spacing between consecutive draws, in milliseconds.
+    pub max_gap_ms: u64,
+    /// Allow mid-run reconfiguration events.
+    pub reconfigure: bool,
+    /// Sometimes overlay an mttf/mttr crash-recovery process (drawn via
+    /// [`FailureSchedule::mttf_mttr`]) on top of the discrete events.
+    pub mttf_overlay: bool,
+}
+
+impl Default for ScheduleParams {
+    fn default() -> Self {
+        ScheduleParams {
+            steps: 70,
+            max_gap_ms: 400,
+            reconfigure: true,
+            mttf_overlay: true,
+        }
+    }
+}
+
+/// Draws a schedule: a pure function of `(spec, params, seed)`.
+///
+/// Operations dominate; crashes, recoveries, partitions, heals, network
+/// dials (loss/delay/duplication bursts with scheduled ends), and — when
+/// enabled — reconfigurations and an mttf/mttr outage overlay fill the
+/// rest. Every generated reconfiguration is *legal* (`r + w = N + 1`); the
+/// broken configurations the shrinker demo hunts come from the
+/// [`ClusterSpec`], not from events.
+pub fn generate(spec: &ClusterSpec, params: &ScheduleParams, seed: u64) -> Schedule {
+    let mut rng = DetRng::new(seed ^ GEN_SALT);
+    let mut events: Vec<FaultEvent> = Vec::with_capacity(params.steps + 8);
+    let mut t_ms = 0u64;
+    let mut payload = 0u64;
+    let mut down: HashSet<usize> = HashSet::new();
+    let total = spec.total_sites();
+
+    for _ in 0..params.steps {
+        t_ms += 1 + rng.below(params.max_gap_ms.max(1));
+        let draw = rng.below(100);
+        let kind = match draw {
+            // Operations dominate the schedule.
+            0..=49 => {
+                let client = rng.below(spec.clients.max(1) as u64) as usize;
+                if rng.chance(0.45) {
+                    payload += 1;
+                    EventKind::Write { client, payload }
+                } else {
+                    EventKind::Read { client }
+                }
+            }
+            50..=61 => {
+                let up: Vec<usize> = (0..spec.servers).filter(|s| !down.contains(s)).collect();
+                match rng.choose(&up) {
+                    Some(&site) => {
+                        down.insert(site);
+                        EventKind::Crash { site }
+                    }
+                    None => EventKind::Heal,
+                }
+            }
+            62..=71 => {
+                let candidates: Vec<usize> = {
+                    let mut v: Vec<usize> = down.iter().copied().collect();
+                    v.sort_unstable();
+                    v
+                };
+                match rng.choose(&candidates) {
+                    Some(&site) => {
+                        down.remove(&site);
+                        EventKind::Recover { site }
+                    }
+                    None => EventKind::Heal,
+                }
+            }
+            72..=79 => {
+                let group_a: Vec<usize> = (0..total).filter(|_| rng.chance(0.5)).collect();
+                EventKind::Partition { group_a }
+            }
+            80..=85 => EventKind::Heal,
+            86..=93 => {
+                // A network dial: open a burst now and schedule its end.
+                let end_ms = t_ms + 300 + rng.below(2_500);
+                match rng.below(3) {
+                    0 => {
+                        let permille = 50 + rng.below(250) as u32;
+                        events.push(FaultEvent {
+                            at_ms: end_ms,
+                            kind: EventKind::LossBurst { permille: 0 },
+                        });
+                        EventKind::LossBurst { permille }
+                    }
+                    1 => {
+                        let extra_ms = 100 + rng.below(400);
+                        events.push(FaultEvent {
+                            at_ms: end_ms,
+                            kind: EventKind::DelaySpike { extra_ms: 0 },
+                        });
+                        EventKind::DelaySpike { extra_ms }
+                    }
+                    _ => {
+                        let permille = 100 + rng.below(400) as u32;
+                        events.push(FaultEvent {
+                            at_ms: end_ms,
+                            kind: EventKind::Duplication { permille: 0 },
+                        });
+                        EventKind::Duplication { permille }
+                    }
+                }
+            }
+            _ => {
+                if params.reconfigure {
+                    let client = rng.below(spec.clients.max(1) as u64) as usize;
+                    let n = spec.servers as u32;
+                    // Always legal (r + w = N + 1), and always with a
+                    // write *majority*: concurrent writers serialise
+                    // through overlapping write quorums, so schedules
+                    // stay within the protocol's supported envelope
+                    // (read-all/write-one is for single-writer suites).
+                    let majority = n / 2 + 1;
+                    let write_quorum = majority + rng.below(u64::from(n - majority + 1)) as u32;
+                    EventKind::Reconfigure {
+                        client,
+                        read_quorum: n + 1 - write_quorum,
+                        write_quorum,
+                    }
+                } else {
+                    let client = rng.below(spec.clients.max(1) as u64) as usize;
+                    EventKind::Read { client }
+                }
+            }
+        };
+        events.push(FaultEvent { at_ms: t_ms, kind });
+    }
+
+    // Sometimes overlay a continuous crash/recovery process: this is how
+    // `FailureSchedule::mttf_mttr` reaches the harness in anger.
+    if params.mttf_overlay && rng.chance(1.0 / 3.0) {
+        let horizon_ms = t_ms + 2_000;
+        let mut overlay_rng = rng.fork_named("mttf-overlay");
+        let schedule = FailureSchedule::mttf_mttr(
+            spec.servers,
+            SimDuration::from_millis(horizon_ms / 2),
+            SimDuration::from_millis(horizon_ms / 8),
+            SimTime::from_millis(horizon_ms),
+            &mut overlay_rng,
+        );
+        for site in 0..spec.servers {
+            for w in schedule.windows(site) {
+                events.push(FaultEvent {
+                    at_ms: w.from.as_micros() / 1_000,
+                    kind: EventKind::Crash { site },
+                });
+                events.push(FaultEvent {
+                    at_ms: w.until.as_micros() / 1_000,
+                    kind: EventKind::Recover { site },
+                });
+            }
+        }
+    }
+
+    // Stable sort keeps same-instant events in insertion order.
+    events.sort_by_key(|e| e.at_ms);
+    Schedule { seed, events }
+}
+
+impl Schedule {
+    /// Serialises the schedule plus its cluster spec into a self-contained
+    /// replay artifact (schema `wv-chaos-repro/1`). Deterministic: the
+    /// same schedule always produces the same bytes.
+    pub fn to_json(&self, spec: &ClusterSpec) -> String {
+        let mut root = BTreeMap::new();
+        root.insert(
+            "schema".to_string(),
+            Value::Str("wv-chaos-repro/1".to_string()),
+        );
+        root.insert("seed".to_string(), Value::Int(self.seed));
+        let mut cluster = BTreeMap::new();
+        cluster.insert("servers".to_string(), Value::Int(spec.servers as u64));
+        cluster.insert("clients".to_string(), Value::Int(spec.clients as u64));
+        cluster.insert(
+            "read_quorum".to_string(),
+            Value::Int(u64::from(spec.read_quorum)),
+        );
+        cluster.insert(
+            "write_quorum".to_string(),
+            Value::Int(u64::from(spec.write_quorum)),
+        );
+        cluster.insert(
+            "unchecked_quorums".to_string(),
+            Value::Bool(spec.unchecked_quorums),
+        );
+        root.insert("cluster".to_string(), Value::Object(cluster));
+        let events: Vec<Value> = self.events.iter().map(event_to_value).collect();
+        root.insert("events".to_string(), Value::Array(events));
+        let mut text = Value::Object(root).to_json();
+        text.push('\n');
+        text
+    }
+
+    /// Parses a replay artifact produced by [`Schedule::to_json`].
+    pub fn from_json(text: &str) -> Option<(ClusterSpec, Schedule)> {
+        let root = json::parse(text)?;
+        if root.get("schema")?.as_str()? != "wv-chaos-repro/1" {
+            return None;
+        }
+        let seed = root.get("seed")?.as_int()?;
+        let cluster = root.get("cluster")?;
+        let spec = ClusterSpec {
+            servers: cluster.get("servers")?.as_int()? as usize,
+            clients: cluster.get("clients")?.as_int()? as usize,
+            read_quorum: cluster.get("read_quorum")?.as_int()? as u32,
+            write_quorum: cluster.get("write_quorum")?.as_int()? as u32,
+            unchecked_quorums: cluster.get("unchecked_quorums")?.as_bool()?,
+        };
+        let mut events = Vec::new();
+        for ev in root.get("events")?.as_array()? {
+            events.push(event_from_value(ev)?);
+        }
+        Some((spec, Schedule { seed, events }))
+    }
+}
+
+fn event_to_value(e: &FaultEvent) -> Value {
+    let mut map = BTreeMap::new();
+    map.insert("at_ms".to_string(), Value::Int(e.at_ms));
+    map.insert("kind".to_string(), Value::Str(e.kind.name().to_string()));
+    match &e.kind {
+        EventKind::Write { client, payload } => {
+            map.insert("client".to_string(), Value::Int(*client as u64));
+            map.insert("payload".to_string(), Value::Int(*payload));
+        }
+        EventKind::Read { client } => {
+            map.insert("client".to_string(), Value::Int(*client as u64));
+        }
+        EventKind::Crash { site } | EventKind::Recover { site } => {
+            map.insert("site".to_string(), Value::Int(*site as u64));
+        }
+        EventKind::Partition { group_a } => {
+            map.insert(
+                "group_a".to_string(),
+                Value::Array(group_a.iter().map(|&s| Value::Int(s as u64)).collect()),
+            );
+        }
+        EventKind::Heal => {}
+        EventKind::LossBurst { permille } | EventKind::Duplication { permille } => {
+            map.insert("permille".to_string(), Value::Int(u64::from(*permille)));
+        }
+        EventKind::DelaySpike { extra_ms } => {
+            map.insert("extra_ms".to_string(), Value::Int(*extra_ms));
+        }
+        EventKind::Reconfigure {
+            client,
+            read_quorum,
+            write_quorum,
+        } => {
+            map.insert("client".to_string(), Value::Int(*client as u64));
+            map.insert(
+                "read_quorum".to_string(),
+                Value::Int(u64::from(*read_quorum)),
+            );
+            map.insert(
+                "write_quorum".to_string(),
+                Value::Int(u64::from(*write_quorum)),
+            );
+        }
+    }
+    Value::Object(map)
+}
+
+fn event_from_value(v: &Value) -> Option<FaultEvent> {
+    let at_ms = v.get("at_ms")?.as_int()?;
+    let kind = match v.get("kind")?.as_str()? {
+        "write" => EventKind::Write {
+            client: v.get("client")?.as_int()? as usize,
+            payload: v.get("payload")?.as_int()?,
+        },
+        "read" => EventKind::Read {
+            client: v.get("client")?.as_int()? as usize,
+        },
+        "crash" => EventKind::Crash {
+            site: v.get("site")?.as_int()? as usize,
+        },
+        "recover" => EventKind::Recover {
+            site: v.get("site")?.as_int()? as usize,
+        },
+        "partition" => EventKind::Partition {
+            group_a: v
+                .get("group_a")?
+                .as_array()?
+                .iter()
+                .map(|s| s.as_int().map(|n| n as usize))
+                .collect::<Option<Vec<_>>>()?,
+        },
+        "heal" => EventKind::Heal,
+        "loss_burst" => EventKind::LossBurst {
+            permille: v.get("permille")?.as_int()? as u32,
+        },
+        "delay_spike" => EventKind::DelaySpike {
+            extra_ms: v.get("extra_ms")?.as_int()?,
+        },
+        "duplication" => EventKind::Duplication {
+            permille: v.get("permille")?.as_int()? as u32,
+        },
+        "reconfigure" => EventKind::Reconfigure {
+            client: v.get("client")?.as_int()? as usize,
+            read_quorum: v.get("read_quorum")?.as_int()? as u32,
+            write_quorum: v.get("write_quorum")?.as_int()? as u32,
+        },
+        _ => return None,
+    };
+    Some(FaultEvent { at_ms, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ClusterSpec {
+        ClusterSpec::majority(5, 2)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&spec(), &ScheduleParams::default(), 42);
+        let b = generate(&spec(), &ScheduleParams::default(), 42);
+        assert_eq!(a, b);
+        let c = generate(&spec(), &ScheduleParams::default(), 43);
+        assert_ne!(a, c, "different seeds draw different schedules");
+    }
+
+    #[test]
+    fn events_are_time_sorted_and_indices_in_range() {
+        for seed in 0..50u64 {
+            let s = generate(&spec(), &ScheduleParams::default(), seed);
+            for pair in s.events.windows(2) {
+                assert!(pair[0].at_ms <= pair[1].at_ms);
+            }
+            for e in &s.events {
+                match &e.kind {
+                    EventKind::Write { client, .. }
+                    | EventKind::Read { client }
+                    | EventKind::Reconfigure { client, .. } => assert!(*client < 2),
+                    EventKind::Crash { site } | EventKind::Recover { site } => assert!(*site < 5),
+                    EventKind::Partition { group_a } => {
+                        assert!(group_a.iter().all(|&s| s < 7));
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn payload_tags_are_unique_within_a_schedule() {
+        let s = generate(&spec(), &ScheduleParams::default(), 7);
+        let payloads: Vec<u64> = s
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Write { payload, .. } => Some(payload),
+                _ => None,
+            })
+            .collect();
+        let mut dedup = payloads.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), payloads.len());
+    }
+
+    #[test]
+    fn bursts_always_have_a_scheduled_end() {
+        // Every non-zero network dial is followed (eventually) by its
+        // zero-valued closer, so no schedule leaves loss on forever.
+        for seed in 0..80u64 {
+            let s = generate(&spec(), &ScheduleParams::default(), seed);
+            let mut loss_open = 0i64;
+            let mut delay_open = 0i64;
+            let mut dup_open = 0i64;
+            for e in &s.events {
+                match e.kind {
+                    EventKind::LossBurst { permille } => {
+                        loss_open += if permille > 0 { 1 } else { -1 }
+                    }
+                    EventKind::DelaySpike { extra_ms } => {
+                        delay_open += if extra_ms > 0 { 1 } else { -1 }
+                    }
+                    EventKind::Duplication { permille } => {
+                        dup_open += if permille > 0 { 1 } else { -1 }
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(loss_open, 0, "seed {seed}: unbalanced loss bursts");
+            assert_eq!(delay_open, 0, "seed {seed}: unbalanced delay spikes");
+            assert_eq!(dup_open, 0, "seed {seed}: unbalanced duplication");
+        }
+    }
+
+    #[test]
+    fn reconfigurations_are_always_legal() {
+        for seed in 0..80u64 {
+            let s = generate(&spec(), &ScheduleParams::default(), seed);
+            for e in &s.events {
+                if let EventKind::Reconfigure {
+                    read_quorum,
+                    write_quorum,
+                    ..
+                } = e.kind
+                {
+                    assert_eq!(read_quorum + write_quorum, 6, "r + w = N + 1");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn some_seed_exercises_every_fault_kind() {
+        let mut seen: HashSet<&'static str> = HashSet::new();
+        for seed in 0..200u64 {
+            let s = generate(&spec(), &ScheduleParams::default(), seed);
+            for e in &s.events {
+                seen.insert(e.kind.name());
+            }
+        }
+        for kind in [
+            "write",
+            "read",
+            "crash",
+            "recover",
+            "partition",
+            "heal",
+            "loss_burst",
+            "delay_spike",
+            "duplication",
+            "reconfigure",
+        ] {
+            assert!(seen.contains(kind), "no seed drew {kind}");
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let spec = ClusterSpec::broken(5, 2, 2);
+        let s = generate(&spec, &ScheduleParams::default(), 99);
+        let text = s.to_json(&spec);
+        let (spec2, s2) = Schedule::from_json(&text).expect("parses");
+        assert_eq!(spec, spec2);
+        assert_eq!(s, s2);
+        // And the bytes themselves are stable.
+        assert_eq!(text, s2.to_json(&spec2));
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_schema() {
+        assert!(Schedule::from_json("{\"schema\":\"other/1\"}").is_none());
+        assert!(Schedule::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn broken_spec_has_non_intersecting_quorums() {
+        let b = ClusterSpec::broken(5, 2, 2);
+        assert_eq!(b.read_quorum + b.write_quorum, 5);
+        assert!(b.unchecked_quorums);
+        let m = ClusterSpec::majority(5, 2);
+        assert_eq!(m.read_quorum, 3);
+        assert!(!m.unchecked_quorums);
+    }
+}

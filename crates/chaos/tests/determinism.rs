@@ -1,0 +1,52 @@
+//! Worker-count invariance of the chaos campaign.
+//!
+//! A campaign fans seeds over `wv_bench::runner::run_trials`, whose
+//! contract is bit-identical output at any worker count. These tests pin
+//! that contract at the campaign level — failures, coverage counters, and
+//! the rendered E9 report — in a single `#[test]` per sweep, because the
+//! worker override is a process-global environment variable and the test
+//! harness runs `#[test]` functions concurrently.
+
+use wv_chaos::schedule::ClusterSpec;
+use wv_chaos::{run_campaign, CampaignConfig};
+
+fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("WV_TRIAL_THREADS", workers.to_string());
+    let out = f();
+    std::env::remove_var("WV_TRIAL_THREADS");
+    out
+}
+
+#[test]
+fn a_broken_campaign_is_bit_identical_at_1_2_and_8_workers() {
+    // The broken spec guarantees a mix of clean and violating trials, so
+    // the comparison covers failure collection order, not just counters.
+    let run = || {
+        let cfg = CampaignConfig {
+            master_seed: 0xBAD,
+            trials: 64,
+            spec: ClusterSpec::broken(5, 2, 2),
+            params: Default::default(),
+        };
+        let report = run_campaign(&cfg);
+        (
+            report.failures.clone(),
+            report.coverage,
+            report.violation_histogram(),
+        )
+    };
+    let one = with_workers(1, run);
+    let two = with_workers(2, run);
+    let eight = with_workers(8, run);
+    assert_eq!(one, two, "2 workers diverged from sequential");
+    assert_eq!(one, eight, "8 workers diverged from sequential");
+    assert!(!one.0.is_empty(), "sanity: the broken spec found failures");
+}
+
+#[test]
+fn the_e9_report_bytes_are_identical_at_1_and_4_workers() {
+    let one = with_workers(1, || wv_chaos::report::run(16));
+    let four = with_workers(4, || wv_chaos::report::run(16));
+    assert_eq!(one.report, four.report);
+    assert_eq!(one.artifact, four.artifact);
+}

@@ -93,6 +93,12 @@ pub struct ClientStats {
     pub reads_fetched: u64,
     /// Attempts that failed and were retried.
     pub retries: u64,
+    /// Phase timeouts that fired against a live operation (each marks a
+    /// protocol round that did not complete in time, whatever happened
+    /// next — retry, candidate switch, commit resend, or failure).
+    pub timeouts: u64,
+    /// Operations abandoned because the attempt budget ran out.
+    pub attempts_exhausted: u64,
     /// Configuration refreshes performed.
     pub config_refreshes: u64,
     /// Quorum-plan cache lookups answered from the cache.
@@ -201,6 +207,10 @@ struct OpState {
     /// The per-site versions seen during a reconfiguration's inquiry, so
     /// the prepare can bring stale new-quorum members current.
     reconfig_versions: BTreeMap<SiteId, Version>,
+    /// The data version a reconfiguration re-publishes the contents at
+    /// (current + 1). The bump makes the reconfiguration conflict with —
+    /// and therefore serialise against — any concurrent data write.
+    reconfig_bump: Option<Version>,
     started: SimTime,
     attempts: u32,
     /// Wait-die age: the counter of the operation's *first* request id.
@@ -473,6 +483,7 @@ impl ClientNode {
             new_config: None,
             multi_payloads: writes,
             reconfig_versions: BTreeMap::new(),
+            reconfig_bump: None,
             started,
             attempts: 0,
             lock_ts: req.counter(),
@@ -531,6 +542,7 @@ impl ClientNode {
             new_config: None,
             multi_payloads: Vec::new(),
             reconfig_versions: BTreeMap::new(),
+            reconfig_bump: None,
             started,
             attempts: 0,
             lock_ts: req.counter(),
@@ -799,6 +811,7 @@ impl ClientNode {
             return;
         };
         if st.attempts >= self.options.max_attempts {
+            self.stats.attempts_exhausted += 1;
             self.completed.push(CompletedOp {
                 req,
                 kind: st.kind,
@@ -835,6 +848,7 @@ impl ClientNode {
             return;
         };
         if st.attempts >= self.options.max_attempts {
+            self.stats.attempts_exhausted += 1;
             self.completed.push(CompletedOp {
                 req,
                 kind: st.kind,
@@ -1241,9 +1255,12 @@ impl ClientNode {
 
     /// Fans out a reconfiguration prepare: the new configuration goes to a
     /// write quorum of the *old* configuration, and the current contents
-    /// go to any stale member of the *new* configuration's cheapest write
-    /// quorum — one atomic batch per participant, so after commit every
-    /// new-config read quorum is guaranteed a current representative.
+    /// are re-published one version up to that quorum plus the *new*
+    /// configuration's cheapest write quorum — one atomic batch per
+    /// participant, so after commit every new-config read quorum is
+    /// guaranteed a current representative, and the version bump makes
+    /// the whole transaction conflict with (and so serialise against)
+    /// any concurrent data write.
     fn enter_reconfig_prepare(
         &mut self,
         req: ReqId,
@@ -1289,10 +1306,7 @@ impl ClientNode {
         ) else {
             return; // defensive: threshold already passed
         };
-        // New-config write quorum for the data copies; members that did
-        // not answer the inquiry are assumed stale (the copy is harmless
-        // if they turn out current — the server just votes no and we
-        // retry, or it is skipped because its version matches).
+        // New-config write quorum for the data copies.
         let new_strong: Vec<SiteId> = new_cfg
             .assignment
             .strong_sites()
@@ -1329,27 +1343,35 @@ impl ClientNode {
                 generation: old_cfg.generation,
             });
         }
-        if current_version > Version::INITIAL {
-            for site in &data_quorum {
-                let stale = inquiry_versions
-                    .get(site)
-                    .is_none_or(|v| *v < current_version);
-                if stale {
-                    per_site.entry(*site).or_default().push(PrepareWrite {
-                        suite,
-                        object: data_object(suite),
-                        version: current_version,
-                        value: current_value.clone(),
-                        generation: old_cfg.generation,
-                    });
-                }
+        // Re-publish the contents one version up, through the old write
+        // quorum *and* the new one. The bump is what serialises the
+        // reconfiguration against concurrent data writes: any such write
+        // shares a representative with the config quorum (old write
+        // quorums intersect), and whichever transaction loses the lock or
+        // the version race there retries against the winner's state. The
+        // old inquiry's per-site versions no longer matter — every
+        // participant gets the copy, and the server-side staleness check
+        // admits it everywhere because the version is fresh.
+        let bump = Version(current_version.0 + 1);
+        for site in config_quorum.iter().chain(data_quorum.iter()) {
+            let entry = per_site.entry(*site).or_default();
+            if entry.iter().any(|pw| pw.object == data_object(suite)) {
+                continue;
             }
+            entry.push(PrepareWrite {
+                suite,
+                object: data_object(suite),
+                version: bump,
+                value: current_value.clone(),
+                generation: old_cfg.generation,
+            });
         }
         let participants: Vec<SiteId> = per_site.keys().copied().collect();
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
         st.new_config = Some(new_cfg.clone());
+        st.reconfig_bump = Some(bump);
         st.seq += 1;
         let seq = st.seq;
         let lock_ts = st.lock_ts;
@@ -1610,7 +1632,14 @@ impl ClientNode {
                         let adopt = st.new_config.take();
                         let push = self.options.push_weak_on_write && st.kind == OpKind::Write;
                         let payload = st.payload.clone();
-                        Some((version, adopt, push, payload, Vec::new()))
+                        // A reconfiguration reports the data version its
+                        // bump consumed via `multi`, so history checkers
+                        // can account for it.
+                        let multi = match (st.kind, st.reconfig_bump) {
+                            (OpKind::Reconfigure, Some(bump)) => vec![(st.suite, bump)],
+                            _ => Vec::new(),
+                        };
+                        Some((version, adopt, push, payload, multi))
                     } else {
                         None
                     }
@@ -1709,6 +1738,7 @@ impl ClientNode {
             let Some(st) = self.ops.get_mut(&req) else {
                 return;
             };
+            self.stats.timeouts += 1;
             let suite = st.suite;
             match &mut st.phase {
                 Phase::Inquire { .. } | Phase::RefreshConfig | Phase::MultiInquire { .. } => {
@@ -1825,9 +1855,16 @@ impl ClientNode {
             Msg::StaleConfig { req, .. } => self.enter_refresh(req, from, ctx),
             Msg::ConfigResp { suite, req, config } => self.on_config_resp(suite, req, config, ctx),
             Msg::DecisionReq { suite, req } => {
-                // Presumed abort: only a durably logged commit answers yes.
+                // Presumed abort: only a durably logged commit answers yes,
+                // and an id with no live operation answers abort. An
+                // operation still collecting votes answers *nothing* — a
+                // recovering participant probing mid-vote must keep its
+                // prepared state (its durable yes may yet count towards a
+                // commit) and re-probe after the decision lands.
                 let msg = if self.decided_commit.contains(&req) {
                     Msg::Commit { suite, req }
+                } else if self.ops.contains_key(&req) {
+                    return;
                 } else {
                     Msg::Abort { suite, req }
                 };

@@ -23,7 +23,7 @@
 use bytes::Bytes;
 use wv_net::sim_net::{Cluster, NetStats};
 use wv_net::{NetConfig, Partition, SiteId};
-use wv_sim::{LatencyModel, Sim, SimDuration, SimTime};
+use wv_sim::{FailureSchedule, LatencyModel, Sim, SimDuration, SimTime};
 use wv_storage::{ObjectId, Version};
 use wv_txn::lock::DeadlockPolicy;
 
@@ -92,6 +92,7 @@ pub struct HarnessBuilder {
     net: Option<NetConfig>,
     options: ClientOptions,
     policy: DeadlockPolicy,
+    unchecked_quorums: bool,
 }
 
 impl Default for HarnessBuilder {
@@ -111,6 +112,7 @@ impl HarnessBuilder {
             net: None,
             options: ClientOptions::default(),
             policy: DeadlockPolicy::WaitDie,
+            unchecked_quorums: false,
         }
     }
 
@@ -171,6 +173,17 @@ impl HarnessBuilder {
         self
     }
 
+    /// Skips the quorum intersection check when building suite configs.
+    ///
+    /// Fault-injection only: the chaos campaign builds deliberately broken
+    /// clusters (`r + w = N`) to prove the history oracle notices the
+    /// stale reads such a configuration permits. Everything else must let
+    /// [`HarnessBuilder::build`] validate.
+    pub fn allow_illegal_quorums(mut self) -> Self {
+        self.unchecked_quorums = true;
+        self
+    }
+
     /// Builds the harness.
     ///
     /// Fails with [`OpError::IllegalConfig`] if the quorum sizes are
@@ -197,8 +210,16 @@ impl HarnessBuilder {
             .suites
             .iter()
             .map(|&suite| {
-                SuiteConfig::new(suite, assignment.clone(), self.quorum)
-                    .map_err(OpError::IllegalConfig)
+                if self.unchecked_quorums {
+                    Ok(SuiteConfig::new_unchecked(
+                        suite,
+                        assignment.clone(),
+                        self.quorum,
+                    ))
+                } else {
+                    SuiteConfig::new(suite, assignment.clone(), self.quorum)
+                        .map_err(OpError::IllegalConfig)
+                }
             })
             .collect::<Result<_, _>>()?;
         let net = self.net.unwrap_or_else(|| {
@@ -532,6 +553,23 @@ impl Harness {
         });
     }
 
+    /// Starts a reconfiguration without waiting; the outcome appears in
+    /// the client's completion log like any other operation.
+    pub fn enqueue_reconfigure(
+        &mut self,
+        client: SiteId,
+        suite: ObjectId,
+        assignment: VoteAssignment,
+        quorum: QuorumSpec,
+        at: SimTime,
+    ) {
+        Cluster::invoke(self.sim.scheduler(), at, client, move |node, ctx| {
+            if let Some(c) = node.as_client_mut() {
+                c.start_reconfigure(suite, assignment, quorum, ctx);
+            }
+        });
+    }
+
     /// Runs until the event queue drains or `max_events` fire.
     pub fn run_until_quiet(&mut self, max_events: u64) -> u64 {
         self.sim.run_capped(max_events)
@@ -576,6 +614,46 @@ impl Harness {
     pub fn heal(&mut self) {
         let sites = self.sim.world.nodes.len();
         self.partition(Partition::whole(sites));
+    }
+
+    /// Sets the loss probability of every cross-site link now (a link-loss
+    /// burst begins; clear it with `set_drop_all(0.0)`).
+    pub fn set_drop_all(&mut self, p: f64) {
+        let at = self.sim.now();
+        Cluster::set_drop_all_at(self.sim.scheduler(), at, p);
+        self.sim.run_until(at);
+    }
+
+    /// Imposes (or, with `SimDuration::ZERO`, clears) a delay spike: every
+    /// cross-site message pays `extra` on top of its sampled latency.
+    pub fn set_extra_delay(&mut self, extra: SimDuration) {
+        let at = self.sim.now();
+        Cluster::set_extra_delay_at(self.sim.scheduler(), at, extra);
+        self.sim.run_until(at);
+    }
+
+    /// Sets the end-to-end message duplication probability now.
+    pub fn set_duplicate_prob(&mut self, p: f64) {
+        let at = self.sim.now();
+        Cluster::set_duplicate_at(self.sim.scheduler(), at, p);
+        self.sim.run_until(at);
+    }
+
+    /// Translates a [`FailureSchedule`] into scheduled crash/recover
+    /// events on this cluster.
+    ///
+    /// Window bounds are absolute virtual times, so this is normally
+    /// called on a freshly built harness (now = 0). Both constructors —
+    /// [`FailureSchedule::bernoulli_snapshot`] and
+    /// [`FailureSchedule::mttf_mttr`] — work; the windows they produce
+    /// become real outages rather than analysis-only input.
+    pub fn apply_failure_schedule(&mut self, schedule: &FailureSchedule) {
+        Cluster::apply_failure_schedule(self.sim.scheduler(), schedule);
+    }
+
+    /// True if `site` is currently crashed.
+    pub fn is_down(&self, site: SiteId) -> bool {
+        self.sim.world.is_down(site)
     }
 
     /// The committed data version at a representative (None if the site
@@ -951,6 +1029,111 @@ mod tests {
         v.copy_from_slice(&r.value);
         assert_eq!(u64::from_le_bytes(v), 45);
         assert_eq!(r.version, Version(5), "init + 4 increments");
+    }
+
+    #[test]
+    fn failure_schedule_windows_become_real_outages() {
+        let mut h = three_server_harness(61);
+        let suite = h.suite_id();
+        let mut schedule = FailureSchedule::none(3);
+        schedule.add_outage(1, SimTime::from_secs(2), SimTime::from_secs(8));
+        schedule.add_outage(2, SimTime::from_secs(3), SimTime::from_secs(9));
+        h.apply_failure_schedule(&schedule);
+        h.write(suite, b"pre".to_vec()).expect("healthy write");
+        // Inside the overlap of both outages only one server remains: no
+        // write quorum of 2.
+        h.advance(SimDuration::from_secs(4));
+        assert!(h.is_down(SiteId(1)) && h.is_down(SiteId(2)));
+        // A write issued mid-outage retries until the windows close: it
+        // succeeds, but only after site 1 recovers at t = 8 s.
+        h.write(suite, b"mid".to_vec()).expect("write rides it out");
+        assert!(h.now() >= SimTime::from_secs(8), "blocked until recovery");
+        assert!(!h.is_down(SiteId(1)));
+        let stats = h.client_stats(h.default_client()).expect("client");
+        assert!(stats.retries > 0, "the outage forced retries");
+    }
+
+    #[test]
+    fn mttf_mttr_schedule_drives_crashes_and_recoveries() {
+        let mut rng = wv_sim::DetRng::new(77);
+        let schedule = FailureSchedule::mttf_mttr(
+            3,
+            SimDuration::from_secs(20),
+            SimDuration::from_secs(5),
+            SimTime::from_secs(120),
+            &mut rng,
+        );
+        let windows: usize = (0..3).map(|s| schedule.windows(s).len()).sum();
+        assert!(windows > 0, "a 120 s horizon at 20 s MTTF produces outages");
+        let mut h = three_server_harness(62);
+        let suite = h.suite_id();
+        h.apply_failure_schedule(&schedule);
+        // Drive a write every 10 s across the horizon; the cluster may
+        // block during deep outages but must end healthy and consistent.
+        let mut committed = 0u64;
+        for i in 0..12u64 {
+            if h.write(suite, format!("t{i}").into_bytes()).is_ok() {
+                committed += 1;
+            }
+            h.advance(SimDuration::from_secs(10));
+        }
+        assert!(committed > 0, "some writes land between outages");
+        // Every acknowledged write is visible afterwards (an in-doubt
+        // write resolved at recovery may add more versions on top).
+        let r = h.read(suite).expect("healthy after the horizon");
+        assert!(r.version.0 >= committed, "{} < {committed}", r.version.0);
+    }
+
+    #[test]
+    fn allow_illegal_quorums_builds_a_non_intersecting_cluster() {
+        // r + w = N: `build` would reject this; the fault-injection path
+        // accepts it and the cluster *appears* to work while healthy.
+        let mut h = HarnessBuilder::new()
+            .seed(63)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .allow_illegal_quorums()
+            .build()
+            .expect("unchecked build accepts r + w = N");
+        let suite = h.suite_id();
+        h.write(suite, b"x".to_vec()).expect("write");
+        h.read(suite).expect("read");
+    }
+
+    #[test]
+    fn timeout_and_exhaustion_counters_reach_the_stats() {
+        // Crash everything but one server: writes burn their whole attempt
+        // budget on phase timeouts, then give up.
+        let mut h = HarnessBuilder::new()
+            .seed(64)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::majority(3))
+            .client_options(ClientOptions {
+                phase_timeout: SimDuration::from_millis(500),
+                max_attempts: 3,
+                ..ClientOptions::default()
+            })
+            .build()
+            .expect("legal");
+        let suite = h.suite_id();
+        h.crash(SiteId(1));
+        h.crash(SiteId(2));
+        let err = h.write(suite, b"nope".to_vec()).expect_err("no quorum");
+        assert!(matches!(err, OpError::Unavailable { .. }));
+        let stats = h.client_stats(h.default_client()).expect("client");
+        assert_eq!(stats.attempts_exhausted, 1, "the op gave up exactly once");
+        assert_eq!(stats.retries, 2, "two retries before the budget ran out");
+        assert!(
+            stats.timeouts >= 3,
+            "every attempt timed out at least once: {stats:?}"
+        );
     }
 
     #[test]

@@ -74,6 +74,22 @@ impl SuiteConfig {
         })
     }
 
+    /// Builds a configuration at generation 1 *without* the quorum
+    /// intersection check.
+    ///
+    /// This exists solely for fault-injection work: the chaos campaign
+    /// deliberately runs clusters whose quorums do not intersect
+    /// (`r + w = N`) to prove that the history oracle catches the resulting
+    /// stale reads. Production paths must go through [`SuiteConfig::new`].
+    pub fn new_unchecked(suite: ObjectId, assignment: VoteAssignment, quorum: QuorumSpec) -> Self {
+        SuiteConfig {
+            suite,
+            assignment,
+            quorum,
+            generation: 1,
+        }
+    }
+
     /// The successor configuration with a new assignment and quorum.
     pub fn evolve(
         &self,
@@ -179,6 +195,19 @@ mod tests {
     fn new_validates_quorum() {
         let bad = SuiteConfig::new(ObjectId(1), VoteAssignment::equal(4), QuorumSpec::new(2, 2));
         assert!(bad.is_err());
+    }
+
+    #[test]
+    fn new_unchecked_skips_the_intersection_check() {
+        // r + w = N: illegal for `new`, accepted by the fault-injection
+        // constructor so chaos tests can run a deliberately broken cluster.
+        let cfg = SuiteConfig::new_unchecked(
+            ObjectId(1),
+            VoteAssignment::equal(4),
+            QuorumSpec::new(2, 2),
+        );
+        assert_eq!(cfg.generation, 1);
+        assert_eq!(cfg.quorum, QuorumSpec::new(2, 2));
     }
 
     #[test]

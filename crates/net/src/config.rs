@@ -18,6 +18,10 @@ pub struct NetConfig {
     /// Probability that a successfully delivered message is delivered twice
     /// (models retransmission duplicates end-to-end).
     pub duplicate_prob: f64,
+    /// Extra one-way delay added to every cross-site link on top of its
+    /// latency model (models a transient congestion spike; self-links are
+    /// unaffected). Zero in the healthy state.
+    pub extra_delay: SimDuration,
 }
 
 impl NetConfig {
@@ -29,6 +33,7 @@ impl NetConfig {
             latency: vec![vec![model.clone(); sites]; sites],
             drop: vec![vec![0.0; sites]; sites],
             duplicate_prob: 0.0,
+            extra_delay: SimDuration::ZERO,
         }
     }
 
@@ -108,8 +113,17 @@ impl NetConfig {
     }
 
     /// Draws a one-way delay for the directed link `from -> to`.
+    ///
+    /// Cross-site links pay the configured [`extra_delay`](Self::extra_delay)
+    /// on top of the sampled value; local access never crosses the network
+    /// and is spared.
     pub fn sample_latency(&self, from: SiteId, to: SiteId, rng: &mut DetRng) -> SimDuration {
-        self.latency[from.index()][to.index()].sample(rng)
+        let base = self.latency[from.index()][to.index()].sample(rng);
+        if from == to {
+            base
+        } else {
+            base + self.extra_delay
+        }
     }
 
     /// Decides whether a message on `from -> to` is lost.
@@ -268,6 +282,27 @@ mod tests {
         assert!((frac - 0.5).abs() < 0.05, "drop fraction {frac}");
         // Self links never configured lossy by set_drop_all.
         assert!(!cfg.sample_drop(SiteId(0), SiteId(0), &mut r));
+    }
+
+    #[test]
+    fn extra_delay_applies_to_cross_site_links_only() {
+        let mut cfg = NetConfig::uniform(2, LatencyModel::constant_millis(10));
+        cfg.extra_delay = SimDuration::from_millis(250);
+        let mut r = rng();
+        assert_eq!(
+            cfg.sample_latency(SiteId(0), SiteId(1), &mut r),
+            SimDuration::from_millis(260)
+        );
+        // Local access never crosses the network.
+        assert_eq!(
+            cfg.sample_latency(SiteId(0), SiteId(0), &mut r),
+            SimDuration::from_millis(10)
+        );
+        cfg.extra_delay = SimDuration::ZERO;
+        assert_eq!(
+            cfg.sample_latency(SiteId(1), SiteId(0), &mut r),
+            SimDuration::from_millis(10)
+        );
     }
 
     #[test]

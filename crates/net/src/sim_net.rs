@@ -230,6 +230,39 @@ where
         });
     }
 
+    /// Schedules a change of the loss probability on every cross-site link
+    /// at `at` (a link-loss burst begins or ends).
+    ///
+    /// Like [`set_partition_at`](Self::set_partition_at) this mutates the
+    /// live network: loss is no longer fixed at build time, so a fault
+    /// schedule can open a lossy window mid-run and close it again with a
+    /// second call carrying `p = 0`.
+    pub fn set_drop_all_at(sched: &mut Scheduler<Cluster<N>>, at: SimTime, p: f64) {
+        sched.at(at, move |world: &mut Cluster<N>, _| {
+            world.config.set_drop_all(p);
+        });
+    }
+
+    /// Schedules a delay spike at `at`: every cross-site message pays
+    /// `extra` on top of its sampled latency until a later call clears it
+    /// with `SimDuration::ZERO`.
+    pub fn set_extra_delay_at(
+        sched: &mut Scheduler<Cluster<N>>,
+        at: SimTime,
+        extra: wv_sim::SimDuration,
+    ) {
+        sched.at(at, move |world: &mut Cluster<N>, _| {
+            world.config.extra_delay = extra;
+        });
+    }
+
+    /// Schedules a change of the end-to-end duplication probability at `at`.
+    pub fn set_duplicate_at(sched: &mut Scheduler<Cluster<N>>, at: SimTime, p: f64) {
+        sched.at(at, move |world: &mut Cluster<N>, _| {
+            world.config.duplicate_prob = p.clamp(0.0, 1.0);
+        });
+    }
+
     /// Translates a [`FailureSchedule`] into crash/recover events.
     pub fn apply_failure_schedule(sched: &mut Scheduler<Cluster<N>>, schedule: &FailureSchedule) {
         for site in 0..schedule.sites() {
@@ -571,6 +604,66 @@ mod tests {
         assert_eq!(sim.world.nodes[1].received, vec![(SiteId(0), 2)]);
         assert_eq!(sim.world.nodes[1].crashes, 1);
         assert_eq!(sim.world.nodes[1].recoveries, 1);
+    }
+
+    #[test]
+    fn runtime_loss_burst_opens_and_closes() {
+        let mut sim = two_nodes(1);
+        Cluster::set_drop_all_at(sim.scheduler(), SimTime::from_millis(10), 1.0);
+        Cluster::set_drop_all_at(sim.scheduler(), SimTime::from_millis(20), 0.0);
+        for at in [5u64, 15, 25] {
+            Cluster::invoke(
+                sim.scheduler(),
+                SimTime::from_millis(at),
+                SiteId(0),
+                |_n, ctx| ctx.send(SiteId(1), 0),
+            );
+        }
+        sim.run();
+        // Only the message inside the burst window is lost.
+        assert_eq!(sim.world.stats.dropped_link, 1);
+        assert_eq!(sim.world.stats.delivered, 2);
+    }
+
+    #[test]
+    fn runtime_delay_spike_slows_cross_site_messages() {
+        let mut sim = two_nodes(10);
+        Cluster::set_extra_delay_at(
+            sim.scheduler(),
+            SimTime::from_millis(5),
+            SimDuration::from_millis(100),
+        );
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(6),
+            SiteId(0),
+            |_n, ctx| ctx.send(SiteId(1), 1),
+        );
+        sim.run();
+        // 6 ms send + 10 ms link + 100 ms spike.
+        assert_eq!(sim.now(), SimTime::from_millis(116));
+        let before = sim.now();
+        Cluster::set_extra_delay_at(sim.scheduler(), before, SimDuration::ZERO);
+        Cluster::invoke(sim.scheduler(), before, SiteId(0), |_n, ctx| {
+            ctx.send(SiteId(1), 2)
+        });
+        sim.run();
+        assert_eq!(sim.now(), before + SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn runtime_duplication_dial_takes_effect() {
+        let mut sim = two_nodes(1);
+        Cluster::set_duplicate_at(sim.scheduler(), SimTime::ZERO, 1.0);
+        Cluster::invoke(
+            sim.scheduler(),
+            SimTime::from_millis(1),
+            SiteId(0),
+            |_n, ctx| ctx.send(SiteId(1), 3),
+        );
+        sim.run();
+        assert_eq!(sim.world.stats.duplicated, 1);
+        assert_eq!(sim.world.nodes[1].received.len(), 2);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //!   consensus.
 //! * [`analysis`] (`wv-analysis`) — closed-form latency and availability
 //!   models, and the optimal-vote-assignment search.
+//! * [`chaos`] (`wv-chaos`) — the chaos campaign engine: seeded fault
+//!   schedules, the history oracle, parallel seed campaigns, and the
+//!   delta-debugging failure shrinker.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@
 
 pub use wv_analysis as analysis;
 pub use wv_baselines as baselines;
+pub use wv_chaos as chaos;
 pub use wv_core as core;
 pub use wv_net as net;
 pub use wv_sim as sim;

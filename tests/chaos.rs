@@ -1,193 +1,32 @@
-//! Chaos testing: randomized operation + fault schedules, checked against
-//! the invariants that must hold *regardless* of which quorums were
-//! reachable:
+//! Chaos testing: randomized operation + fault schedules, judged by the
+//! shared history oracle.
 //!
-//! 1. every successful read returns a value some write actually sent
-//!    (or the initial empty value);
-//! 2. two reads of the same version always see the same bytes — replicas
-//!    never diverge;
-//! 3. no successful read is stale: it reflects at least the newest write
-//!    whose acknowledgement preceded the read's start;
-//! 4. successful writes all carry distinct versions;
-//! 5. after healing and recovering everything, all clients converge on
-//!    one final state that includes every acknowledged write.
-//!
-//! The schedule (operations, crashes, recoveries, partitions) is drawn
-//! from a seeded generator, so failures replay exactly.
+//! The schedule generator, the executor, and the invariant checks all
+//! live in `wv-chaos` (re-exported here as `weighted_voting::chaos`) —
+//! the same code the E9 campaign fans over thousands of seeds. These
+//! tests pin a batch of seeds so the tier-1 suite exercises the full
+//! fault surface (crashes, partitions, loss bursts, delay spikes,
+//! duplication, live reconfigurations) on every run, and demonstrate the
+//! oracle catching a planted bug when quorum intersection is broken.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
-
-use weighted_voting::core::client::CompletedOp;
-use weighted_voting::core::error::OpKind;
-use weighted_voting::prelude::*;
-use weighted_voting::sim::DetRng;
+use weighted_voting::chaos::oracle::check_trial;
+use weighted_voting::chaos::schedule::{ClusterSpec, ScheduleParams};
+use weighted_voting::chaos::{generate, run_schedule, Violation};
 
 const SERVERS: usize = 5;
 const CLIENTS: usize = 2;
 
-fn build(seed: u64) -> Harness {
-    let mut b = HarnessBuilder::new()
-        .seed(seed)
-        .quorum(QuorumSpec::majority(SERVERS as u32));
-    for _ in 0..SERVERS {
-        b = b.site(SiteSpec::server(1));
-    }
-    for _ in 0..CLIENTS {
-        b = b.client();
-    }
-    b.build().expect("legal chaos cluster")
-}
-
-fn random_partition(rng: &mut DetRng) -> Partition {
-    let sites = SERVERS + CLIENTS;
-    let mut group_a = Vec::new();
-    let mut group_b = Vec::new();
-    for s in SiteId::all(sites) {
-        if rng.chance(0.5) {
-            group_a.push(s);
-        } else {
-            group_b.push(s);
-        }
-    }
-    Partition::split(sites, &[&group_a, &group_b])
-}
-
 fn run_chaos(seed: u64) {
-    let mut h = build(seed);
-    let suite = h.suite_id();
-    let mut rng = DetRng::new(seed ^ 0xC4A0_5AAA);
-    let clients = h.clients().to_vec();
-    let mut down: HashSet<SiteId> = HashSet::new();
-    let mut payload_counter = 0u64;
-    let mut sent_payloads: HashSet<Vec<u8>> = HashSet::new();
-
-    for step in 0..70u64 {
-        let at = h.now() + SimDuration::from_millis(rng.below(400) + 1);
-        match rng.below(10) {
-            // Operations dominate the schedule.
-            0..=4 => {
-                let c = *rng.choose(&clients).expect("clients");
-                if rng.chance(0.45) {
-                    payload_counter += 1;
-                    let payload = format!("chaos-{seed}-{payload_counter}").into_bytes();
-                    sent_payloads.insert(payload.clone());
-                    h.enqueue_write(c, suite, payload, at);
-                } else {
-                    h.enqueue_read(c, suite, at);
-                }
-            }
-            5..=6 => {
-                // Crash a random up server.
-                let candidates: Vec<SiteId> =
-                    SiteId::all(SERVERS).filter(|s| !down.contains(s)).collect();
-                if let Some(&victim) = rng.choose(&candidates) {
-                    down.insert(victim);
-                    h.crash(victim);
-                }
-            }
-            7 => {
-                // Recover a random down server.
-                let candidates: Vec<SiteId> = down.iter().copied().collect();
-                if let Some(&back) = rng.choose(&candidates) {
-                    down.remove(&back);
-                    h.recover(back);
-                }
-            }
-            8 => h.partition(random_partition(&mut rng)),
-            _ => h.heal(),
-        }
-        // Let some of the backlog execute between schedule steps.
-        h.advance(SimDuration::from_millis(rng.below(800) + 100));
-        let _ = step;
-    }
-    // Quiesce: heal, recover everyone, drain.
-    h.heal();
-    for s in down.drain() {
-        h.recover(s);
-    }
-    h.run_until_quiet(5_000_000);
-
-    // Collect and check the histories.
-    let mut all: Vec<CompletedOp> = Vec::new();
-    for &c in &clients {
-        all.extend(h.drain_completed(c));
-    }
-    check_invariants(seed, &sent_payloads, &all);
-
-    // Convergence: every client reads the same final state, at least as
-    // new as every acknowledged write.
-    let max_acked = all
-        .iter()
-        .filter(|o| o.kind == OpKind::Write)
-        .filter_map(|o| o.outcome.as_ref().ok())
-        .map(|ok| ok.version)
-        .max()
-        .unwrap_or(Version(0));
-    let mut finals = Vec::new();
-    for &c in &clients {
-        let r = h
-            .read_from(c, suite)
-            .expect("healed full cluster must serve reads");
-        assert!(
-            r.version >= max_acked,
-            "seed {seed}: final read {} misses acked write {max_acked}",
-            r.version
-        );
-        finals.push((r.version, r.value));
-    }
-    for pair in finals.windows(2) {
-        assert_eq!(
-            pair[0], pair[1],
-            "seed {seed}: clients disagree on the final state"
-        );
-    }
-}
-
-fn check_invariants(seed: u64, sent: &HashSet<Vec<u8>>, ops: &[CompletedOp]) {
-    // 4: committed writes carry distinct versions.
-    let mut write_versions = HashSet::new();
-    let mut committed_at: BTreeMap<u64, SimTime> = BTreeMap::new();
-    for o in ops.iter().filter(|o| o.kind == OpKind::Write) {
-        if let Ok(okk) = &o.outcome {
-            assert!(
-                write_versions.insert(okk.version),
-                "seed {seed}: duplicate committed version {}",
-                okk.version
-            );
-            committed_at.insert(okk.version.0, o.finished);
-        }
-    }
-    // 1, 2, 3: reads.
-    let mut seen_at_version: HashMap<u64, Vec<u8>> = HashMap::new();
-    for o in ops.iter().filter(|o| o.kind == OpKind::Read) {
-        let Ok(okk) = &o.outcome else { continue };
-        let value = okk.value.clone().expect("reads carry values").to_vec();
-        // 1: value provenance.
-        assert!(
-            value.is_empty() || sent.contains(&value),
-            "seed {seed}: read returned bytes nobody wrote"
-        );
-        // 2: same version, same bytes.
-        if let Some(prev) = seen_at_version.insert(okk.version.0, value.clone()) {
-            assert_eq!(
-                prev, value,
-                "seed {seed}: divergent contents at version {}",
-                okk.version
-            );
-        }
-        // 3: freshness against acknowledged writes.
-        let floor = committed_at
-            .iter()
-            .filter(|(_, fin)| **fin <= o.started)
-            .map(|(v, _)| *v)
-            .max()
-            .unwrap_or(0);
-        assert!(
-            okk.version.0 >= floor,
-            "seed {seed}: stale read v{} after v{floor} was acknowledged",
-            okk.version
-        );
-    }
+    let spec = ClusterSpec::majority(SERVERS, CLIENTS);
+    let schedule = generate(&spec, &ScheduleParams::default(), seed);
+    let run = run_schedule(&spec, &schedule);
+    let violations = check_trial(&run, false);
+    assert!(
+        violations.is_empty(),
+        "seed {seed:#x}: {} event(s), violations: {violations:?}",
+        schedule.events.len()
+    );
+    assert!(run.quiesced, "seed {seed:#x}: run failed to quiesce");
 }
 
 #[test]
@@ -209,4 +48,37 @@ fn chaos_seed_batch_three() {
     for seed in [100u64, 2026, 0xDEAD, 0xBEEF] {
         run_chaos(seed);
     }
+}
+
+#[test]
+fn the_oracle_catches_non_intersecting_quorums() {
+    // r + w = N: read and write quorums need not share a representative,
+    // so some seed quickly produces a stale read or a version fork. The
+    // oracle — not a lucky assertion — must be what reports it.
+    let spec = ClusterSpec::broken(SERVERS, CLIENTS, 2);
+    let params = ScheduleParams {
+        reconfigure: false,
+        ..ScheduleParams::default()
+    };
+    let caught = (0..24u64).any(|i| {
+        let schedule = generate(&spec, &params, 0xBAD5EED ^ i);
+        let run = run_schedule(&spec, &schedule);
+        !check_trial(&run, false).is_empty()
+    });
+    assert!(caught, "24 seeds against r + w = N found no violation");
+}
+
+#[test]
+fn violations_carry_structured_context() {
+    // The oracle returns data, not panics: campaign code counts tags and
+    // the shrinker compares violation sets across replays.
+    let v = Violation::StaleRead {
+        returned: 1,
+        floor: 2,
+    };
+    assert_eq!(v.tag(), "stale_read");
+    assert_eq!(
+        v.to_string(),
+        "stale read: returned v1 after v2 was acknowledged"
+    );
 }

@@ -73,6 +73,49 @@ fn operations_survive_heavy_duplication() {
 }
 
 #[test]
+fn duplication_dialed_in_mid_run_never_double_applies_a_write() {
+    // Exactly-once under at-least-once delivery, end to end: run clean,
+    // then turn heavy duplication on with the runtime dial (the chaos
+    // campaign's `Duplication` event) while writes are in flight, then
+    // off again. Every acknowledged write must consume exactly one
+    // version — a double-applied prepare or commit would show up as a
+    // version skip — and the final contents must be the last payload.
+    let mut h = lossy_cluster(0.0, 0.0, 74);
+    let suite = h.suite_id();
+    let client = h.default_client();
+    let mut expected = 0u64;
+    for phase in 0..3u32 {
+        h.set_duplicate_prob(if phase == 1 { 0.6 } else { 0.0 });
+        // Overlapping traffic: enqueue a burst without waiting in between,
+        // so duplicated prepares and commits interleave with live ones.
+        let start = h.now();
+        for i in 0..4u32 {
+            let at = start + SimDuration::from_millis(u64::from(i) * 40);
+            h.enqueue_write(client, suite, payload(phase, i), at);
+        }
+        h.run_until_quiet(2_000_000);
+        for op in h.drain_completed(client) {
+            let ok = op.outcome.expect("no loss: writes must commit");
+            expected += 1;
+            assert_eq!(
+                ok.version,
+                Version(expected),
+                "phase {phase}: a duplicate was applied twice or a write was lost"
+            );
+        }
+    }
+    let dup = h.net_stats().duplicated;
+    assert!(dup > 20, "duplication was actually exercised: {dup}");
+    let r = h.read(suite).expect("final read");
+    assert_eq!(r.version, Version(expected));
+    assert_eq!(r.value, payload(2, 3));
+}
+
+fn payload(phase: u32, i: u32) -> Vec<u8> {
+    format!("p{phase}i{i}").into_bytes()
+}
+
+#[test]
 fn loss_and_duplication_together_stay_consistent() {
     let mut h = lossy_cluster(0.08, 0.3, 73);
     let suite = h.suite_id();

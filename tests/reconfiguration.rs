@@ -43,19 +43,21 @@ fn promoting_a_weak_representative_brings_it_current() {
     )
     .expect("reconfigure");
     // The promotion installed the current contents at the promoted site,
-    // atomically with the configuration change.
-    assert_eq!(h.version_at(SiteId(1), suite), Some(Version(3)));
+    // atomically with the configuration change. The copy lands one
+    // version up (v4): the bump is what serialises the reconfiguration
+    // against concurrent writes.
+    assert_eq!(h.version_at(SiteId(1), suite), Some(Version(4)));
     assert_eq!(h.value_at(SiteId(1), suite).expect("server"), &b"gen3"[..]);
     // The acid test: crash the old sole voter. Under r = 1 the promoted
     // site alone now forms a read quorum — and it must serve fresh data.
     h.crash(SiteId(0));
     let r = h.read(suite).expect("read from the promoted site");
-    assert_eq!(r.version, Version(3));
+    assert_eq!(r.version, Version(4));
     assert_eq!(&r.value[..], b"gen3");
 }
 
 #[test]
-fn reconfiguration_of_an_unwritten_suite_copies_nothing() {
+fn reconfiguration_of_an_unwritten_suite_still_consumes_a_version() {
     let mut h = HarnessBuilder::new()
         .seed(92)
         .site(SiteSpec::server(1))
@@ -74,9 +76,11 @@ fn reconfiguration_of_an_unwritten_suite_copies_nothing() {
     )
     .expect("reconfigure an empty suite");
     assert_eq!(h.generation_at(SiteId(0), suite), Some(2));
-    // Both representatives still at the initial version; first write works.
+    // The re-publication bump writes the (empty) initial contents at v1
+    // — even an empty suite serialises its reconfiguration against
+    // concurrent first writes — so the first real write lands at v2.
     let w = h.write(suite, b"first".to_vec()).expect("write");
-    assert_eq!(w.version, Version(1));
+    assert_eq!(w.version, Version(2));
 }
 
 #[test]
