@@ -1,0 +1,13 @@
+//! Regenerates experiment E10 (see DESIGN.md §4). Prints the markdown
+//! report to stdout and mirrors it into `results/e10.md` when a
+//! `results/` directory exists in the working tree.
+
+fn main() {
+    let report = wv_bench::e10::run();
+    print!("{report}");
+    if std::path::Path::new("results").is_dir() {
+        if let Err(e) = std::fs::write("results/e10.md", &report) {
+            eprintln!("warning: could not write results/e10.md: {e}");
+        }
+    }
+}

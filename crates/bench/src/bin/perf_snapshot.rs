@@ -140,6 +140,7 @@ fn main() {
     const TRIALS: usize = 192;
     const ROUNDS: usize = 1_000;
     const FAULT_ROUNDS: usize = 250;
+    const HEALING_TRIALS: usize = 4;
 
     let events_per_sec = sim_events_per_sec();
     let (seq_rate, seq_out) = trial_throughput(1, TRIALS);
@@ -152,6 +153,10 @@ fn main() {
     let (ops_per_sec, hits, misses) = client_ops(ROUNDS);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
     let (fault_ok, fault_stats) = faulted_client(FAULT_ROUNDS);
+    // Self-healing layer counters over a slice of the E10 churn workload
+    // (healing-on arm): proves the tracker, the reroutes, the hedges and
+    // the repair daemon all fire outside the test suite too.
+    let (_, healing) = wv_bench::e10::measure(0xE10, HEALING_TRIALS);
 
     let json = format!(
         "{{\n  \
@@ -179,11 +184,24 @@ fn main() {
          \"retries\": {retries},\n    \
          \"timeouts\": {timeouts},\n    \
          \"attempts_exhausted\": {attempts_exhausted}\n  \
+         }},\n  \
+         \"self_healing\": {{\n    \
+         \"workload\": \"E10 crash/recovery churn, healing-on arm x{HEALING_TRIALS} trials\",\n    \
+         \"suspicions_raised\": {suspicions},\n    \
+         \"plans_rerouted\": {reroutes},\n    \
+         \"hedges_fired\": {hedges_fired},\n    \
+         \"hedge_wins\": {hedge_wins},\n    \
+         \"repairs_completed\": {repairs}\n  \
          }}\n}}\n",
         speedup = par_rate / seq_rate,
         retries = fault_stats.retries,
         timeouts = fault_stats.timeouts,
         attempts_exhausted = fault_stats.attempts_exhausted,
+        suspicions = healing.suspicions,
+        reroutes = healing.reroutes,
+        hedges_fired = healing.hedges_fired,
+        hedge_wins = healing.hedge_wins,
+        repairs = healing.repairs,
     );
     print!("{json}");
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");

@@ -1,0 +1,428 @@
+//! E10 — self-healing under crash/recovery churn.
+//!
+//! Two arms over identical failure timelines: a five-site majority
+//! cluster whose servers crash and recover under an exponential
+//! MTTF/MTTR process, serving a steady read-heavy workload. The *healing
+//! off* arm runs the classic client (fixed phase timeouts, cost-ranked
+//! quorum plans, no repair). The *healing on* arm enables the
+//! self-healing layer: per-site health tracking with adaptive timeouts,
+//! suspicion-aware quorum planning, hedged reads, and background
+//! anti-entropy repair.
+//!
+//! The claim under test: healing strictly improves operation
+//! availability in the windows an outage disturbs — from a
+//! representative's crash through shortly past its recovery — and
+//! strictly improves tail (p99) read latency overall. Both arms of
+//! each trial share one failure schedule (derived from the trial seed
+//! alone), so the comparison is paired, and trials fan out over
+//! [`runner::run_trials`] — the report is bit-identical at any worker
+//! count.
+
+use wv_core::client::{ClientOptions, HealthOptions};
+use wv_core::harness::{Harness, SiteSpec};
+use wv_core::quorum::QuorumSpec;
+use wv_core::OpKind;
+use wv_net::SiteId;
+use wv_sim::{derive_seed, DetRng, FailureSchedule, SimDuration, SimTime};
+
+use crate::runner;
+use crate::table::Table;
+
+/// Voting representatives (one vote each, majority quorums).
+const SERVERS: usize = 5;
+/// Mean time to failure per site.
+const MTTF: SimDuration = SimDuration::from_secs(8);
+/// Mean time to repair per site.
+const MTTR: SimDuration = SimDuration::from_secs(2);
+/// Workload horizon: events are enqueued in `[0, HORIZON)`.
+const HORIZON: SimTime = SimTime::from_secs(60);
+/// One read every `READ_EVERY`.
+const READ_EVERY: SimDuration = SimDuration::from_millis(250);
+/// One write every `WRITE_EVERY`.
+const WRITE_EVERY: SimDuration = SimDuration::from_secs(2);
+/// Disturbed window: operations starting between a representative's
+/// crash and this long past its recovery count towards the
+/// post-recovery availability metric — the span over which an outage
+/// degrades service, including its aftermath.
+const RECOVERY_WINDOW: SimDuration = SimDuration::from_secs(2);
+/// Per-phase patience both arms share: an interactive-read SLA rather
+/// than the durability-tuned library defaults, so an outage that
+/// outlives the whole retry budget becomes a *failed* operation instead
+/// of a very slow success.
+const PHASE_TIMEOUT: SimDuration = SimDuration::from_millis(800);
+/// Attempts per operation, both arms.
+const MAX_ATTEMPTS: u32 = 4;
+/// Anti-entropy probe interval for the healing arm.
+const REPAIR_INTERVAL: SimDuration = SimDuration::from_millis(500);
+/// Trials in the full report.
+const TRIALS: usize = 24;
+/// Seed-derivation label for the per-trial failure schedule.
+const FAILURE_LABEL: u64 = 0xE10_FA11;
+
+/// One arm's raw per-trial output.
+struct TrialOut {
+    read_lat_ms: Vec<f64>,
+    ops_ok: u64,
+    ops_total: u64,
+    post_ok: u64,
+    post_total: u64,
+    repairs: u64,
+    suspicions: u64,
+    reroutes: u64,
+    hedges_fired: u64,
+    hedge_wins: u64,
+    timeouts: u64,
+}
+
+/// One arm's aggregate across all trials.
+pub struct ArmSummary {
+    /// Operations attempted / committed over the whole run.
+    pub ops_total: u64,
+    /// Operations that committed.
+    pub ops_ok: u64,
+    /// Operations attempted in disturbed windows (a representative's
+    /// crash through [`RECOVERY_WINDOW`] past its recovery).
+    pub post_total: u64,
+    /// ... of which committed.
+    pub post_ok: u64,
+    /// Median read latency (ms) over committed reads.
+    pub read_p50_ms: f64,
+    /// 99th-percentile read latency (ms) over committed reads.
+    pub read_p99_ms: f64,
+    /// Anti-entropy repairs installed (zero for the off arm).
+    pub repairs: u64,
+    /// Suspicion-threshold crossings.
+    pub suspicions: u64,
+    /// Quorum plans reordered around suspects.
+    pub reroutes: u64,
+    /// Hedged fetches launched.
+    pub hedges_fired: u64,
+    /// Reads won by the hedge target.
+    pub hedge_wins: u64,
+    /// Phase timeouts.
+    pub timeouts: u64,
+}
+
+impl ArmSummary {
+    /// Committed fraction over the whole run.
+    pub fn availability(&self) -> f64 {
+        self.ops_ok as f64 / self.ops_total.max(1) as f64
+    }
+
+    /// Committed fraction of operations started in a disturbed window:
+    /// between a representative's crash and [`RECOVERY_WINDOW`] past its
+    /// recovery.
+    pub fn post_recovery_availability(&self) -> f64 {
+        self.post_ok as f64 / self.post_total.max(1) as f64
+    }
+}
+
+/// The failure timeline both arms of a trial share.
+fn failure_schedule(seed: u64) -> FailureSchedule {
+    let mut rng = DetRng::new(derive_seed(seed, FAILURE_LABEL));
+    FailureSchedule::mttf_mttr(SERVERS, MTTF, MTTR, HORIZON, &mut rng)
+}
+
+/// Runs one arm of one trial.
+fn run_arm(seed: u64, healing: bool) -> TrialOut {
+    let mut b = Harness::builder().quorum(QuorumSpec::new(3, 3)).seed(seed);
+    for _ in 0..SERVERS {
+        b = b.site(SiteSpec::server(1));
+    }
+    b = b.client();
+    // Both arms run the same interactive SLA; only the healing layer
+    // (and the repair daemon) differs.
+    let mut options = ClientOptions {
+        phase_timeout: PHASE_TIMEOUT,
+        max_attempts: MAX_ATTEMPTS,
+        ..ClientOptions::default()
+    };
+    if healing {
+        options.health = Some(HealthOptions::default());
+        b = b.anti_entropy(REPAIR_INTERVAL);
+    }
+    b = b.client_options(options);
+    let mut h = b.build().expect("majority quorums are legal");
+    let suite = h.suite_id();
+    let client = h.default_client();
+    let schedule = failure_schedule(seed);
+    h.apply_failure_schedule(&schedule);
+
+    // Steady read-heavy workload over the horizon.
+    let mut t = SimTime::ZERO + READ_EVERY;
+    while t < HORIZON {
+        h.enqueue_read(client, suite, t);
+        t += READ_EVERY;
+    }
+    let mut t = SimTime::ZERO + SimDuration::from_millis(100);
+    let mut k = 0u64;
+    while t < HORIZON {
+        let payload = format!("e10-{seed:016x}-{k}").into_bytes();
+        h.enqueue_write(client, suite, payload, t);
+        t += WRITE_EVERY;
+        k += 1;
+    }
+
+    // Run everything out: past the horizon every site is up, so the
+    // queue drains once in-flight operations and (after the daemon is
+    // stopped) repair probes finish.
+    h.advance(HORIZON.since(SimTime::ZERO) + SimDuration::from_secs(30));
+    h.stop_anti_entropy();
+    h.run_until_quiet(5_000_000);
+
+    // Disturbed windows: from each crash to RECOVERY_WINDOW past the
+    // matching recovery. Operations starting inside one are the ones an
+    // outage can hurt — during it and through its aftermath.
+    let disturbed: Vec<(SimTime, SimTime)> = (0..SERVERS)
+        .flat_map(|site| schedule.windows(site))
+        .map(|w| (w.from, w.until + RECOVERY_WINDOW))
+        .collect();
+
+    let mut out = TrialOut {
+        read_lat_ms: Vec::new(),
+        ops_ok: 0,
+        ops_total: 0,
+        post_ok: 0,
+        post_total: 0,
+        repairs: 0,
+        suspicions: 0,
+        reroutes: 0,
+        hedges_fired: 0,
+        hedge_wins: 0,
+        timeouts: 0,
+    };
+    for op in h.drain_completed(client) {
+        out.ops_total += 1;
+        let ok = op.outcome.is_ok();
+        if ok {
+            out.ops_ok += 1;
+            if op.kind == OpKind::Read {
+                out.read_lat_ms
+                    .push(op.finished.since(op.started).as_millis_f64());
+            }
+        }
+        if disturbed
+            .iter()
+            .any(|&(from, until)| from <= op.started && op.started < until)
+        {
+            out.post_total += 1;
+            out.post_ok += u64::from(ok);
+        }
+    }
+    if let Some(stats) = h.client_stats(client) {
+        out.suspicions = stats.suspicions_raised;
+        out.reroutes = stats.reroutes;
+        out.hedges_fired = stats.hedges_fired;
+        out.hedge_wins = stats.hedge_wins;
+        out.timeouts = stats.timeouts;
+    }
+    for site in 0..SERVERS {
+        if let Some(stats) = h.server_stats(SiteId(site as u16)) {
+            out.repairs += stats.repairs_completed;
+        }
+    }
+    out
+}
+
+fn percentile(sorted: &[f64], pct: u64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as u64 * pct / 100) as usize]
+}
+
+fn summarize(trials: Vec<TrialOut>) -> ArmSummary {
+    let mut s = ArmSummary {
+        ops_total: 0,
+        ops_ok: 0,
+        post_total: 0,
+        post_ok: 0,
+        read_p50_ms: 0.0,
+        read_p99_ms: 0.0,
+        repairs: 0,
+        suspicions: 0,
+        reroutes: 0,
+        hedges_fired: 0,
+        hedge_wins: 0,
+        timeouts: 0,
+    };
+    let mut lat: Vec<f64> = Vec::new();
+    for t in trials {
+        s.ops_total += t.ops_total;
+        s.ops_ok += t.ops_ok;
+        s.post_total += t.post_total;
+        s.post_ok += t.post_ok;
+        s.repairs += t.repairs;
+        s.suspicions += t.suspicions;
+        s.reroutes += t.reroutes;
+        s.hedges_fired += t.hedges_fired;
+        s.hedge_wins += t.hedge_wins;
+        s.timeouts += t.timeouts;
+        lat.extend(t.read_lat_ms);
+    }
+    lat.sort_by(|a, b| a.total_cmp(b));
+    s.read_p50_ms = percentile(&lat, 50);
+    s.read_p99_ms = percentile(&lat, 99);
+    s
+}
+
+/// Both arms, aggregated over `trials` paired trials.
+pub fn measure(master_seed: u64, trials: usize) -> (ArmSummary, ArmSummary) {
+    let results = runner::run_trials(master_seed, trials, |seed| {
+        (run_arm(seed, false), run_arm(seed, true))
+    });
+    let (off, on): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+    (summarize(off), summarize(on))
+}
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Builds the E10 report with an explicit trial count (the smoke tests
+/// use a small one).
+pub fn run_with(trials: usize) -> String {
+    let (off, on) = measure(0xE10, trials);
+    let mut out = String::new();
+    out.push_str("## E10 — Self-healing under crash/recovery churn\n\n");
+    out.push_str(&format!(
+        "{trials} paired trials; each runs a 5-site majority cluster for \
+         {}s of virtual time under an exponential failure process (MTTF \
+         {}s, MTTR {}s per site) and a steady workload (a read every \
+         {} ms, a write every {} s). Both arms of a trial replay the \
+         *same* failure timeline; only the self-healing layer differs.\n\n",
+        HORIZON.since(SimTime::ZERO).as_millis() / 1000,
+        MTTF.as_millis() / 1000,
+        MTTR.as_millis() / 1000,
+        READ_EVERY.as_millis(),
+        WRITE_EVERY.as_millis() / 1000,
+    ));
+    let mut t = Table::new(
+        "Availability and read latency",
+        &["metric", "healing off", "healing on"],
+    );
+    t.row(&[
+        "operations attempted".into(),
+        off.ops_total.to_string(),
+        on.ops_total.to_string(),
+    ]);
+    t.row(&[
+        "operations committed".into(),
+        off.ops_ok.to_string(),
+        on.ops_ok.to_string(),
+    ]);
+    t.row(&[
+        "overall availability".into(),
+        pct(off.availability()),
+        pct(on.availability()),
+    ]);
+    t.row(&[
+        "ops in disturbed windows (crash → recovery + 2 s)".into(),
+        off.post_total.to_string(),
+        on.post_total.to_string(),
+    ]);
+    t.row(&[
+        "post-recovery availability (disturbed windows)".into(),
+        pct(off.post_recovery_availability()),
+        pct(on.post_recovery_availability()),
+    ]);
+    t.row(&[
+        "read latency p50 (ms)".into(),
+        format!("{:.1}", off.read_p50_ms),
+        format!("{:.1}", on.read_p50_ms),
+    ]);
+    t.row(&[
+        "read latency p99 (ms)".into(),
+        format!("{:.1}", off.read_p99_ms),
+        format!("{:.1}", on.read_p99_ms),
+    ]);
+    t.row(&[
+        "phase timeouts".into(),
+        off.timeouts.to_string(),
+        on.timeouts.to_string(),
+    ]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    let mut t = Table::new(
+        "Self-healing activity (healing-on arm)",
+        &["counter", "value"],
+    );
+    t.row(&[
+        "anti-entropy repairs completed".into(),
+        on.repairs.to_string(),
+    ]);
+    t.row(&["suspicions raised".into(), on.suspicions.to_string()]);
+    t.row(&[
+        "quorum plans rerouted around suspects".into(),
+        on.reroutes.to_string(),
+    ]);
+    t.row(&["hedged fetches fired".into(), on.hedges_fired.to_string()]);
+    t.row(&["hedged fetches won".into(), on.hedge_wins.to_string()]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    out.push_str(&format!(
+        "Post-recovery operation availability (ops started between a crash \
+         and 2 s past its recovery), healing off → on: **{} → {}** \
+         (strictly better: **{}**).\n\n",
+        pct(off.post_recovery_availability()),
+        pct(on.post_recovery_availability()),
+        if on.post_recovery_availability() > off.post_recovery_availability() {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    out.push_str(&format!(
+        "Read latency p99, healing off → on: **{:.1} ms → {:.1} ms** (strictly better: **{}**).\n",
+        off.read_p99_ms,
+        on.read_p99_ms,
+        if on.read_p99_ms < off.read_p99_ms {
+            "yes"
+        } else {
+            "NO"
+        }
+    ));
+    out
+}
+
+/// Builds the full E10 report.
+pub fn run() -> String {
+    run_with(TRIALS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healing_strictly_improves_recovery_availability_and_tail_latency() {
+        let (off, on) = measure(0xE10, 8);
+        assert!(
+            on.post_recovery_availability() > off.post_recovery_availability(),
+            "post-recovery availability: off {} vs on {}",
+            off.post_recovery_availability(),
+            on.post_recovery_availability()
+        );
+        assert!(
+            on.read_p99_ms < off.read_p99_ms,
+            "read p99: off {} ms vs on {} ms",
+            off.read_p99_ms,
+            on.read_p99_ms
+        );
+        // The improvements must come from the layer actually working.
+        assert!(on.repairs > 0, "no anti-entropy repair ran");
+        assert!(on.suspicions > 0, "no site was ever suspected");
+        assert_eq!(off.repairs, 0, "the off arm must not repair");
+    }
+
+    #[test]
+    fn the_report_carries_both_verdicts() {
+        let report = run_with(4);
+        assert!(report.contains("Post-recovery operation availability"));
+        assert_eq!(
+            report.matches("(strictly better: **yes**)").count(),
+            2,
+            "both strict-improvement verdicts must hold:\n{report}"
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Worker-count invariance of the E10 self-healing report.
+//!
+//! E10 fans paired trials over `wv_bench::runner::run_trials`, whose
+//! contract is bit-identical output at any worker count. One `#[test]`
+//! covers the whole 1/2/8 sweep because the worker override is a
+//! process-global environment variable and the test harness runs
+//! `#[test]` functions concurrently.
+
+fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("WV_TRIAL_THREADS", workers.to_string());
+    let out = f();
+    std::env::remove_var("WV_TRIAL_THREADS");
+    out
+}
+
+#[test]
+fn the_e10_report_bytes_are_identical_at_1_2_and_8_workers() {
+    let one = with_workers(1, || wv_bench::e10::run_with(6));
+    let two = with_workers(2, || wv_bench::e10::run_with(6));
+    let eight = with_workers(8, || wv_bench::e10::run_with(6));
+    assert_eq!(one, two, "2 workers diverged from sequential");
+    assert_eq!(one, eight, "8 workers diverged from sequential");
+    assert!(one.contains("## E10 — Self-healing under crash/recovery churn"));
+}

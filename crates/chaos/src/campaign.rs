@@ -77,6 +77,16 @@ pub struct Coverage {
     pub dropped_link: u64,
     /// Extra deliveries caused by duplication.
     pub duplicated_msgs: u64,
+    /// Suspicion-threshold crossings across all clients and trials.
+    pub suspicions_raised: u64,
+    /// Quorum plans reordered around suspected sites.
+    pub reroutes: u64,
+    /// Hedged fetches launched.
+    pub hedges_fired: u64,
+    /// Reads won by the hedge target.
+    pub hedge_wins: u64,
+    /// Anti-entropy repairs installed across all servers and trials.
+    pub repairs_completed: u64,
 }
 
 impl Coverage {
@@ -98,6 +108,11 @@ impl Coverage {
         self.attempts_exhausted += c.attempts_exhausted;
         self.dropped_link += c.dropped_link;
         self.duplicated_msgs += c.duplicated_msgs;
+        self.suspicions_raised += c.suspicions_raised;
+        self.reroutes += c.reroutes;
+        self.hedges_fired += c.hedges_fired;
+        self.hedge_wins += c.hedge_wins;
+        self.repairs_completed += c.repairs_completed;
     }
 
     /// True when every fault kind fired in at least one trial — the bar a
@@ -205,6 +220,34 @@ mod tests {
         );
         assert_eq!(a.coverage, b.coverage, "campaigns replay exactly");
         assert!(a.coverage.ops_total > 0);
+    }
+
+    #[test]
+    fn a_repair_enabled_campaign_is_clean_and_actually_repairs() {
+        // Same seeds as the healthy campaign, but with the self-healing
+        // layer on: anti-entropy plus health-tracked clients must not
+        // introduce violations — and must actually repair something, or
+        // "repair survived chaos" is vacuous.
+        let cfg = CampaignConfig {
+            master_seed: 0xC0FFEE,
+            trials: 8,
+            spec: ClusterSpec::majority(5, 2).with_repair(),
+            params: ScheduleParams::default(),
+        };
+        let report = run_campaign(&cfg);
+        assert!(
+            report.clean(),
+            "self-healing must not break invariants; failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (f.seed, f.violations.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.coverage.repairs_completed > 0,
+            "eight chaotic trials with crashes and recoveries must trigger repair"
+        );
     }
 
     #[test]

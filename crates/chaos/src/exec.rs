@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 
-use wv_core::client::CompletedOp;
+use wv_core::client::{ClientOptions, CompletedOp, HealthOptions};
 use wv_core::harness::SiteSpec;
 use wv_core::{Harness, OpError, QuorumSpec, VoteAssignment};
 use wv_net::sim_net::NetStats;
@@ -72,6 +72,16 @@ pub struct TrialCoverage {
     pub dropped_link: u64,
     /// Extra deliveries caused by duplication (from [`NetStats`]).
     pub duplicated_msgs: u64,
+    /// Suspicion-threshold crossings across all clients (health tracking).
+    pub suspicions_raised: u64,
+    /// Quorum plans reordered around suspected sites.
+    pub reroutes: u64,
+    /// Hedged fetches launched.
+    pub hedges_fired: u64,
+    /// Reads won by the hedge target.
+    pub hedge_wins: u64,
+    /// Anti-entropy repairs installed across all servers.
+    pub repairs_completed: u64,
 }
 
 /// Everything a finished trial leaves behind for the oracle.
@@ -104,6 +114,10 @@ pub fn payload_bytes(seed: u64, tag: u64) -> Vec<u8> {
     format!("chaos-{seed:016x}-{tag}").into_bytes()
 }
 
+/// Anti-entropy probe interval used by repair-enabled chaos and bench
+/// clusters.
+pub const REPAIR_INTERVAL: SimDuration = SimDuration::from_millis(500);
+
 /// Builds the harness a schedule runs against.
 fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
     let mut b = Harness::builder()
@@ -117,6 +131,14 @@ fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
     }
     if spec.unchecked_quorums {
         b = b.allow_illegal_quorums();
+    }
+    if spec.repair {
+        b = b
+            .anti_entropy(REPAIR_INTERVAL)
+            .client_options(ClientOptions {
+                health: Some(HealthOptions::default()),
+                ..ClientOptions::default()
+            });
     }
     b.build()
         .expect("chaos harness build only fails on illegal quorums, which are unchecked here")
@@ -214,6 +236,10 @@ pub fn run_schedule(spec: &ClusterSpec, schedule: &Schedule) -> TrialRun {
             h.recover(SiteId(site as u16));
         }
     }
+    // The recovery pulls above are in flight; silence the *periodic*
+    // probes, which would otherwise re-arm forever and the queue would
+    // never drain.
+    h.stop_anti_entropy();
     h.advance(SETTLE);
     let executed = h.run_until_quiet(QUIESCE_CAP);
     let quiesced = executed < QUIESCE_CAP;
@@ -251,6 +277,15 @@ pub fn run_schedule(spec: &ClusterSpec, schedule: &Schedule) -> TrialRun {
             coverage.timeouts += stats.timeouts;
             coverage.retries += stats.retries;
             coverage.attempts_exhausted += stats.attempts_exhausted;
+            coverage.suspicions_raised += stats.suspicions_raised;
+            coverage.reroutes += stats.reroutes;
+            coverage.hedges_fired += stats.hedges_fired;
+            coverage.hedge_wins += stats.hedge_wins;
+        }
+    }
+    for s in 0..spec.servers {
+        if let Some(stats) = h.server_stats(SiteId(s as u16)) {
+            coverage.repairs_completed += stats.repairs_completed;
         }
     }
     for op in &ops {
@@ -330,6 +365,67 @@ mod tests {
         let (v, value) = run.finals[0].clone().expect("final read succeeds");
         assert_eq!(v, Version(1));
         assert_eq!(value, payload_bytes(5, 1));
+    }
+
+    #[test]
+    fn repair_catches_up_a_crashed_replica_without_resurrecting_data() {
+        // One site misses two writes while down; the anti-entropy daemon
+        // must bring it back to the committed frontier — and the oracle's
+        // repair invariants (provenance, version bound) must hold on the
+        // result.
+        let spec = ClusterSpec::majority(3, 1).with_repair();
+        let schedule = Schedule {
+            seed: 21,
+            events: vec![
+                FaultEvent {
+                    at_ms: 100,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 1,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 1_000,
+                    kind: EventKind::Crash { site: 2 },
+                },
+                FaultEvent {
+                    at_ms: 2_000,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 2,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 3_000,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 3,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 4_000,
+                    kind: EventKind::Recover { site: 2 },
+                },
+                FaultEvent {
+                    at_ms: 20_000,
+                    kind: EventKind::Read { client: 0 },
+                },
+            ],
+        };
+        let run = run_schedule(&spec, &schedule);
+        assert!(run.quiesced);
+        assert!(run.coverage.repairs_completed >= 1, "repair never fired");
+        // Every replica converged to the newest committed state.
+        for state in run.replicas.iter().flatten() {
+            assert_eq!(state.0, Version(3));
+            assert_eq!(state.1, payload_bytes(21, 3));
+        }
+        // And the full oracle — including the repair invariants — is clean.
+        assert!(crate::oracle::check_trial(&run, false).is_empty());
+        // Replays stay deterministic with the daemon running.
+        let again = run_schedule(&spec, &schedule);
+        assert_eq!(run.replicas, again.replicas);
+        assert_eq!(run.coverage, again.coverage);
     }
 
     #[test]

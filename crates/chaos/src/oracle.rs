@@ -37,6 +37,12 @@
 //! 8. **Convergence** — after healing and recovering everything, every
 //!    client reads one final state at least as new as every acknowledged
 //!    write, and replicas holding the same version hold the same bytes.
+//! 9. **Repair provenance** — a replica never holds bytes nobody wrote;
+//!    anti-entropy repair copies committed state, it does not fabricate
+//!    or resurrect data.
+//! 10. **Repair version bound** — a replica's version is explicable by
+//!     acknowledged plus in-doubt writes; repair never mints versions,
+//!     so gap-freedom reasoning survives it.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -115,6 +121,25 @@ pub enum Violation {
         /// The version with conflicting replica contents.
         version: u64,
     },
+    /// After quiesce, a replica held bytes no client ever sent — the
+    /// repair path fabricated or resurrected data nobody wrote.
+    ReplicaForeignValue {
+        /// The replica slot (server index) holding the foreign bytes.
+        site: usize,
+        /// The version the foreign bytes were stored under.
+        version: u64,
+    },
+    /// After quiesce, a replica sat beyond every version acknowledged or
+    /// in-doubt writes could have committed — repair minted a version
+    /// instead of copying one.
+    ReplicaBeyondCommit {
+        /// The replica slot (server index).
+        site: usize,
+        /// The version the replica reached.
+        version: u64,
+        /// The largest version explicable by acked + in-doubt writes.
+        bound: u64,
+    },
     /// The run failed to drain its event queue within the quiesce budget.
     NoQuiesce,
 }
@@ -164,6 +189,18 @@ impl fmt::Display for Violation {
             Violation::ReplicaDivergence { version } => {
                 write!(f, "replicas diverge at v{version}")
             }
+            Violation::ReplicaForeignValue { site, version } => write!(
+                f,
+                "replica {site} holds bytes nobody wrote at v{version} (repair resurrected data)"
+            ),
+            Violation::ReplicaBeyondCommit {
+                site,
+                version,
+                bound,
+            } => write!(
+                f,
+                "replica {site} reached v{version}, beyond anything committed or in doubt (v{bound})"
+            ),
             Violation::NoQuiesce => {
                 write!(f, "event queue failed to drain within the quiesce budget")
             }
@@ -186,6 +223,8 @@ impl Violation {
             Violation::FinalStateDivergence => "final_state_divergence",
             Violation::PostHealUnavailable { .. } => "post_heal_unavailable",
             Violation::ReplicaDivergence { .. } => "replica_divergence",
+            Violation::ReplicaForeignValue { .. } => "replica_foreign_value",
+            Violation::ReplicaBeyondCommit { .. } => "replica_beyond_commit",
             Violation::NoQuiesce => "no_quiesce",
         }
     }
@@ -366,6 +405,33 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
             }
         }
     }
+    // 9 + 10: repair may only move committed state between replicas. Any
+    // bytes a replica holds must have been sent by some client, and its
+    // version must be explicable by acked plus in-doubt writes — only an
+    // in-doubt write can commit a version the log never acknowledged, so
+    // `max_acked + in_doubt` bounds every legitimate replica.
+    let in_doubt = run
+        .ops
+        .iter()
+        .filter(|o| {
+            matches!(o.kind, OpKind::Write | OpKind::Reconfigure)
+                && matches!(o.outcome, Err(OpError::Indeterminate))
+        })
+        .count() as u64;
+    let bound = max_acked + in_doubt;
+    for (site, state) in run.replicas.iter().enumerate() {
+        let Some((v, bytes)) = state else { continue };
+        if !bytes.is_empty() && !run.sent_payloads.contains(bytes) {
+            violations.push(Violation::ReplicaForeignValue { site, version: v.0 });
+        }
+        if v.0 > bound {
+            violations.push(Violation::ReplicaBeyondCommit {
+                site,
+                version: v.0,
+                bound,
+            });
+        }
+    }
     violations
 }
 
@@ -541,6 +607,94 @@ mod tests {
         assert!(v.contains(&Violation::DivergentRead { version: 1 }));
     }
 
+    /// A quiesced run whose single client acked the given ops, read back
+    /// `final_state`, and left the given per-server replicas behind.
+    fn quiet_run(
+        ops: Vec<CompletedOp>,
+        sent: &[&[u8]],
+        final_state: (u64, &[u8]),
+        replicas: Vec<Option<(u64, &[u8])>>,
+    ) -> crate::exec::TrialRun {
+        crate::exec::TrialRun {
+            seed: 1,
+            ops,
+            sent_payloads: sent.iter().map(|b| b.to_vec()).collect(),
+            finals: vec![Some((Version(final_state.0), final_state.1.to_vec()))],
+            replicas: replicas
+                .into_iter()
+                .map(|r| r.map(|(v, b)| (Version(v), b.to_vec())))
+                .collect(),
+            quiesced: true,
+            coverage: crate::exec::TrialCoverage::default(),
+            net: Default::default(),
+        }
+    }
+
+    #[test]
+    fn replicas_holding_unsent_bytes_are_flagged_as_resurrected_data() {
+        let run = quiet_run(
+            vec![write_ok(1, 0, 100)],
+            &[b"a"],
+            (1, b"a"),
+            vec![Some((1, b"a")), Some((1, b"forged"))],
+        );
+        let v = check_convergence(&run);
+        assert!(v.contains(&Violation::ReplicaForeignValue {
+            site: 1,
+            version: 1
+        }));
+        // Replica 0's bytes were legitimately written: only one flag.
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::ReplicaForeignValue { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn replicas_beyond_every_explicable_version_are_flagged() {
+        // One acked write and nothing in doubt: no replica may sit past v1.
+        let run = quiet_run(
+            vec![write_ok(1, 0, 100)],
+            &[b"a"],
+            (1, b"a"),
+            vec![Some((3, b"a")), Some((1, b"a"))],
+        );
+        let v = check_convergence(&run);
+        assert!(v.contains(&Violation::ReplicaBeyondCommit {
+            site: 0,
+            version: 3,
+            bound: 1
+        }));
+    }
+
+    #[test]
+    fn in_doubt_writes_extend_the_replica_version_bound() {
+        // The in-doubt write may have committed v2, so a replica at v2
+        // holding its payload is legitimate — repair copying it is fine.
+        let run = quiet_run(
+            vec![write_ok(1, 0, 100), write_in_doubt(150, 400)],
+            &[b"a", b"maybe"],
+            (2, b"maybe"),
+            vec![Some((2, b"maybe")), Some((2, b"maybe"))],
+        );
+        assert!(check_convergence(&run).is_empty());
+    }
+
+    #[test]
+    fn empty_and_unwritten_replicas_are_not_resurrections() {
+        // A weak or wiped replica at v0 with empty bytes is clean state,
+        // not fabricated data.
+        let run = quiet_run(
+            vec![write_ok(1, 0, 100)],
+            &[b"a"],
+            (1, b"a"),
+            vec![Some((1, b"a")), Some((0, b""))],
+        );
+        assert!(check_convergence(&run).is_empty());
+    }
+
     #[test]
     fn violations_render_human_readable() {
         let v = Violation::StaleRead {
@@ -552,5 +706,24 @@ mod tests {
             "stale read: returned v3 after v5 was acknowledged"
         );
         assert_eq!(v.tag(), "stale_read");
+        let v = Violation::ReplicaForeignValue {
+            site: 2,
+            version: 4,
+        };
+        assert_eq!(
+            v.to_string(),
+            "replica 2 holds bytes nobody wrote at v4 (repair resurrected data)"
+        );
+        assert_eq!(v.tag(), "replica_foreign_value");
+        let v = Violation::ReplicaBeyondCommit {
+            site: 1,
+            version: 9,
+            bound: 7,
+        };
+        assert_eq!(
+            v.to_string(),
+            "replica 1 reached v9, beyond anything committed or in doubt (v7)"
+        );
+        assert_eq!(v.tag(), "replica_beyond_commit");
     }
 }

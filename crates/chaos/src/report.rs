@@ -1,12 +1,18 @@
 //! E9 — the chaos campaign report.
 //!
-//! Two campaigns back to back:
+//! Three campaigns back to back:
 //!
 //! 1. **Shipped protocol** — a majority-quorum cluster under the full
 //!    fault repertoire for `trials` seeds. Expected verdict: zero
 //!    violations, with the coverage table proving the faults actually
 //!    fired.
-//! 2. **Deliberately broken protocol** — `r + w = N`, so quorums need
+//! 2. **Self-healing arm** — the same trials (identical fault
+//!    timelines; the repair flag never reaches the schedule generator)
+//!    with anti-entropy repair and health-tracked clients on. Expected
+//!    verdict: still zero violations, including the repair-specific
+//!    invariants (provenance, version bounds), with the activity table
+//!    proving repair actually ran.
+//! 3. **Deliberately broken protocol** — `r + w = N`, so quorums need
 //!    not intersect. The campaign finds a violation, the shrinker
 //!    delta-debugs it to a handful of events, and the minimal schedule is
 //!    emitted as a replayable JSON artifact.
@@ -178,6 +184,61 @@ pub fn run(trials: usize) -> E9Output {
         }
     ));
 
+    // Campaign 1b: the same trials with the self-healing layer on. The
+    // repair flag never reaches the schedule generator, so both arms
+    // replay identical fault timelines — any difference is the layer.
+    let healing = CampaignConfig {
+        spec: ClusterSpec::majority(5, 2).with_repair(),
+        ..healthy
+    };
+    let report = run_campaign(&healing);
+    out.push_str(&format!(
+        "### Self-healing arm: the same {} trials with anti-entropy repair and health-tracked clients\n\n",
+        report.trials
+    ));
+    out.push_str(&format!(
+        "Invariant violations: **{}**.\n\n",
+        report.failures.len()
+    ));
+    if !report.clean() {
+        let mut t = Table::new("Violations", &["trial seed", "violation"]);
+        for f in &report.failures {
+            for v in &f.violations {
+                t.row(&[format!("0x{:016x}", f.seed), v.to_string()]);
+            }
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    let h = report.coverage;
+    let mut t = Table::new(
+        "Self-healing activity (oracle also checks repair provenance + version bounds)",
+        &["counter", "value"],
+    );
+    t.row(&[
+        "anti-entropy repairs completed".into(),
+        h.repairs_completed.to_string(),
+    ]);
+    t.row(&["suspicions raised".into(), h.suspicions_raised.to_string()]);
+    t.row(&[
+        "quorum plans rerouted around suspects".into(),
+        h.reroutes.to_string(),
+    ]);
+    t.row(&["hedged fetches fired".into(), h.hedges_fired.to_string()]);
+    t.row(&["hedged fetches won".into(), h.hedge_wins.to_string()]);
+    t.row(&["phase timeouts".into(), h.timeouts.to_string()]);
+    t.row(&["operations committed".into(), h.ops_ok.to_string()]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    out.push_str(&format!(
+        "Operations committed, healing off → on: {} → {}. Adaptive timeouts \
+         fail fast when a quorum is genuinely unreachable (partitions), so \
+         the healing arm trades commits-after-long-waits for latency; the \
+         invariants hold either way, and E10 measures the flip side — \
+         availability and latency under pure crash/recovery churn.\n\n",
+        c.ops_ok, h.ops_ok
+    ));
+
     // Campaign 2: break quorum intersection, find it, shrink it.
     out.push_str(
         "### Broken protocol: r = 2, w = 3 on 5 servers (r + w = N, quorums need not intersect)\n\n",
@@ -260,5 +321,12 @@ mod tests {
         assert_eq!(a.artifact, b.artifact);
         assert!(a.artifact.is_some(), "broken campaign yields an artifact");
         assert!(a.report.contains("Minimal reproducer"));
+        // Both the plain and the self-healing arms come back clean.
+        assert!(a.report.contains("### Self-healing arm"));
+        assert_eq!(
+            a.report.matches("Invariant violations: **0**").count(),
+            2,
+            "both healthy arms must be violation-free"
+        );
     }
 }

@@ -40,6 +40,11 @@ pub struct ClusterSpec {
     /// Build the harness without the quorum intersection check
     /// (fault-injection only — lets `r + w = N` clusters exist).
     pub unchecked_quorums: bool,
+    /// Run the self-healing layer: anti-entropy repair on every server
+    /// plus client health tracking/hedging. Never consulted by the
+    /// schedule generator, so repair-on and repair-off arms replay the
+    /// exact same fault timeline.
+    pub repair: bool,
 }
 
 impl ClusterSpec {
@@ -52,7 +57,14 @@ impl ClusterSpec {
             read_quorum: maj,
             write_quorum: maj,
             unchecked_quorums: false,
+            repair: false,
         }
+    }
+
+    /// The same cluster with the self-healing layer switched on.
+    pub fn with_repair(mut self) -> Self {
+        self.repair = true;
+        self
     }
 
     /// A deliberately broken cluster: `read_quorum + write_quorum ==
@@ -73,6 +85,7 @@ impl ClusterSpec {
             read_quorum,
             write_quorum: servers as u32 - read_quorum,
             unchecked_quorums: true,
+            repair: false,
         }
     }
 
@@ -388,6 +401,7 @@ impl Schedule {
             "unchecked_quorums".to_string(),
             Value::Bool(spec.unchecked_quorums),
         );
+        cluster.insert("repair".to_string(), Value::Bool(spec.repair));
         root.insert("cluster".to_string(), Value::Object(cluster));
         let events: Vec<Value> = self.events.iter().map(event_to_value).collect();
         root.insert("events".to_string(), Value::Array(events));
@@ -410,6 +424,11 @@ impl Schedule {
             read_quorum: cluster.get("read_quorum")?.as_int()? as u32,
             write_quorum: cluster.get("write_quorum")?.as_int()? as u32,
             unchecked_quorums: cluster.get("unchecked_quorums")?.as_bool()?,
+            // Absent in pre-repair artifacts: default off for back-compat.
+            repair: cluster
+                .get("repair")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
         };
         let mut events = Vec::new();
         for ev in root.get("events")?.as_array()? {
@@ -647,6 +666,42 @@ mod tests {
         assert_eq!(s, s2);
         // And the bytes themselves are stable.
         assert_eq!(text, s2.to_json(&spec2));
+    }
+
+    #[test]
+    fn the_repair_flag_round_trips_through_json() {
+        let spec = ClusterSpec::majority(5, 2).with_repair();
+        let s = generate(&spec, &ScheduleParams::default(), 3);
+        let (spec2, s2) = Schedule::from_json(&s.to_json(&spec)).expect("parses");
+        assert!(spec2.repair);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn artifacts_without_a_repair_key_replay_with_repair_off() {
+        // Replay artifacts written before the self-healing layer omit the
+        // key entirely; they must keep parsing, with repair defaulted off.
+        let spec = ClusterSpec::majority(3, 1);
+        let s = generate(&spec, &ScheduleParams::default(), 7);
+        let legacy = s.to_json(&spec).replace(",\"repair\":false", "");
+        assert!(!legacy.contains("repair"), "key really was stripped");
+        let (spec2, s2) = Schedule::from_json(&legacy).expect("parses");
+        assert!(!spec2.repair);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn repair_never_influences_schedule_generation() {
+        // Repair-on and repair-off arms must share identical timelines so
+        // a campaign can compare them trial for trial.
+        let plain = ClusterSpec::majority(5, 2);
+        let healing = ClusterSpec::majority(5, 2).with_repair();
+        for seed in 0..20 {
+            assert_eq!(
+                generate(&plain, &ScheduleParams::default(), seed),
+                generate(&healing, &ScheduleParams::default(), seed),
+            );
+        }
     }
 
     #[test]

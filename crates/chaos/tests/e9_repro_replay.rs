@@ -1,0 +1,27 @@
+//! CI replay of the committed E9 reproducer artifact.
+//!
+//! `results/e9_repro.json` is the shrunk schedule demonstrating the
+//! r + w = N quorum-intersection bug. Replaying the committed bytes must
+//! keep reproducing the known violation: if a protocol change ever
+//! silently masks it (or an oracle change reclassifies it), this test
+//! flags the artifact as stale instead of letting the report drift from
+//! what the repository actually ships.
+
+use wv_chaos::schedule::Schedule;
+use wv_chaos::{check_trial, run_schedule};
+
+#[test]
+fn the_committed_e9_artifact_still_reproduces_its_violation() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/e9_repro.json");
+    let text = std::fs::read_to_string(path).expect("results/e9_repro.json is committed");
+    let (spec, schedule) = Schedule::from_json(&text).expect("the committed artifact parses");
+    // Pre-repair artifacts omit the `repair` key; replay must default off.
+    assert!(!spec.repair, "the committed reproducer predates repair");
+    let violations = check_trial(&run_schedule(&spec, &schedule), false);
+    assert_eq!(
+        violations.len(),
+        1,
+        "the artifact must reproduce exactly the one violation the report \
+         promises; got: {violations:?}"
+    );
+}

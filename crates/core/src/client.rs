@@ -37,9 +37,15 @@ use crate::votes::VoteAssignment;
 #[derive(Clone, Debug)]
 pub struct ClientOptions {
     /// How long each protocol phase may take before the attempt fails.
+    /// With health tracking on this is the *ceiling*; the effective
+    /// timeout adapts to observed RTTs (see [`HealthOptions`]).
     pub phase_timeout: SimDuration,
-    /// Delay before retrying a failed attempt.
+    /// Base delay before retrying a failed attempt: the first retry's
+    /// step, doubled per further attempt up to [`Self::backoff_cap`],
+    /// plus deterministic seeded jitter.
     pub backoff: SimDuration,
+    /// Ceiling for the exponential backoff (before jitter).
+    pub backoff_cap: SimDuration,
     /// Attempts per operation before reporting failure.
     pub max_attempts: u32,
     /// Commit resend rounds before reporting [`OpError::Indeterminate`].
@@ -57,6 +63,67 @@ pub struct ClientOptions {
     pub optimistic_fetch: bool,
     /// How quorum members and fetch targets are chosen.
     pub quorum_policy: QuorumPolicy,
+    /// Self-healing layer (per-site health tracking, adaptive timeouts,
+    /// suspicion-aware routing, hedged reads). `None` — the default —
+    /// disables all of it, leaving the classic fixed-timeout behaviour
+    /// byte-for-byte untouched.
+    pub health: Option<HealthOptions>,
+}
+
+/// Tunables for the client's self-healing layer.
+///
+/// The health tracker keeps, per site, an EWMA of observed round-trip
+/// times and an accrual-style suspicion score: every response resets the
+/// score, every unanswered phase bumps it, and crossing the threshold
+/// marks the site *suspected*. Suspected sites are demoted to the back of
+/// every cost-ranked order (fetch candidates, optimistic-fetch target,
+/// write quorums) until they answer again.
+#[derive(Clone, Debug)]
+pub struct HealthOptions {
+    /// EWMA smoothing factor: weight of the newest RTT sample, in (0, 1].
+    pub rtt_alpha: f64,
+    /// Suspicion score at which a site becomes suspected.
+    pub suspicion_threshold: f64,
+    /// How much one unanswered phase adds to a site's suspicion.
+    pub suspicion_step: f64,
+    /// Adaptive phase timeout = multiplier × the slowest contacted site's
+    /// EWMA RTT, clamped to `[min_timeout, phase_timeout]`.
+    pub timeout_multiplier: f64,
+    /// Floor for the adaptive timeout, so a run of fast responses cannot
+    /// collapse the timeout to nothing.
+    pub min_timeout: SimDuration,
+    /// Hedged reads: after an adaptive delay, contact the next-cheapest
+    /// fetch candidate instead of waiting for the full phase timeout.
+    pub hedge: bool,
+    /// The hedge fires after multiplier × the fetch target's EWMA RTT.
+    pub hedge_multiplier: f64,
+}
+
+impl Default for HealthOptions {
+    fn default() -> Self {
+        HealthOptions {
+            rtt_alpha: 0.3,
+            suspicion_threshold: 2.0,
+            suspicion_step: 1.0,
+            timeout_multiplier: 6.0,
+            min_timeout: SimDuration::from_millis(300),
+            hedge: true,
+            hedge_multiplier: 3.0,
+        }
+    }
+}
+
+/// Per-site health state kept by the client's tracker.
+#[derive(Clone, Copy, Debug)]
+struct SiteHealth {
+    /// EWMA of observed round-trip times, in milliseconds. Seeded from
+    /// the static cost (a one-way mean) so the first adaptive decisions
+    /// are sane before any sample arrives.
+    rtt_ms: f64,
+    /// Accrual suspicion score; reset by any response.
+    suspicion: f64,
+    /// Whether the score has crossed the threshold.
+    suspected: bool,
 }
 
 /// Selection policy for quorum members and fetch targets.
@@ -74,12 +141,14 @@ impl Default for ClientOptions {
         ClientOptions {
             phase_timeout: SimDuration::from_secs(5),
             backoff: SimDuration::from_millis(40),
+            backoff_cap: SimDuration::from_secs(2),
             max_attempts: 6,
             commit_resend_limit: 5,
             update_local_weak: true,
             push_weak_on_write: false,
             optimistic_fetch: true,
             quorum_policy: QuorumPolicy::CheapestFirst,
+            health: None,
         }
     }
 }
@@ -105,6 +174,17 @@ pub struct ClientStats {
     pub plan_cache_hits: u64,
     /// Quorum-plan cache lookups that had to (re)build the plan.
     pub plan_cache_misses: u64,
+    /// Sites whose suspicion score crossed the threshold (per crossing,
+    /// not per site — a site can be suspected, cleared, and re-suspected).
+    pub suspicions_raised: u64,
+    /// Decisions where suspected sites were demoted out of the order the
+    /// cost ranking alone would have used.
+    pub reroutes: u64,
+    /// Hedged fetches launched.
+    pub hedges_fired: u64,
+    /// Reads completed by the hedge target rather than the original
+    /// fetch candidate.
+    pub hedge_wins: u64,
 }
 
 /// What a finished operation produced.
@@ -160,6 +240,8 @@ enum Phase {
         current: Version,
         candidates: Vec<SiteId>,
         idx: usize,
+        /// The hedge target contacted for this leg, if the hedge fired.
+        hedged: Option<SiteId>,
     },
     Prepare {
         new_version: Version,
@@ -212,6 +294,9 @@ struct OpState {
     /// and therefore serialise against — any concurrent data write.
     reconfig_bump: Option<Version>,
     started: SimTime,
+    /// When the current attempt's inquiry went out; responses arriving
+    /// during the inquiry phase are RTT samples relative to this.
+    attempt_started: SimTime,
     attempts: u32,
     /// Wait-die age: the counter of the operation's *first* request id.
     lock_ts: u64,
@@ -225,6 +310,11 @@ struct OpState {
 enum TimerKind {
     PhaseTimeout,
     Retry,
+    /// A hedge delay expired while a fetch is outstanding. Structurally
+    /// distinct from [`TimerKind::PhaseTimeout`] so a hedge firing — or a
+    /// hedged request timing out alongside the original — can never reach
+    /// the timeout bookkeeping and double-count `ClientStats::timeouts`.
+    Hedge,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -264,6 +354,9 @@ pub struct ClientNode {
     costs: Vec<f64>,
     /// Memoized cost-sorted site orders, one per suite configuration.
     plans: HashMap<ObjectId, QuorumPlan>,
+    /// Per-site health (EWMA RTT + suspicion), indexed like `costs`.
+    /// Maintained only when `options.health` is set.
+    health: Vec<SiteHealth>,
     options: ClientOptions,
     next_counter: u64,
     next_timer: u64,
@@ -340,11 +433,22 @@ impl ClientNode {
         costs: Vec<f64>,
         options: ClientOptions,
     ) -> Self {
+        // Seed each site's RTT estimate from its static cost (a one-way
+        // mean latency, so the round trip is roughly twice that).
+        let health = costs
+            .iter()
+            .map(|c| SiteHealth {
+                rtt_ms: 2.0 * c.clamp(0.0, 1e12),
+                suspicion: 0.0,
+                suspected: false,
+            })
+            .collect();
         ClientNode {
             site,
             configs: configs.into_iter().map(|c| (c.suite, c)).collect(),
             costs,
             plans: HashMap::new(),
+            health,
             options,
             next_counter: 1,
             next_timer: 1,
@@ -401,6 +505,106 @@ impl ClientNode {
             },
         );
         Some(site_order)
+    }
+
+    /// Folds one RTT sample into a site's EWMA (no-op with health off).
+    fn note_rtt(&mut self, site: SiteId, rtt_ms: f64) {
+        let Some(h) = self.options.health.as_ref() else {
+            return;
+        };
+        if !rtt_ms.is_finite() || rtt_ms < 0.0 {
+            return;
+        }
+        if let Some(sh) = self.health.get_mut(site.index()) {
+            sh.rtt_ms = h.rtt_alpha * rtt_ms + (1.0 - h.rtt_alpha) * sh.rtt_ms;
+        }
+    }
+
+    /// Any response from a site proves it alive: reset its suspicion.
+    fn note_response(&mut self, site: SiteId) {
+        if self.options.health.is_none() {
+            return;
+        }
+        if let Some(sh) = self.health.get_mut(site.index()) {
+            sh.suspicion = 0.0;
+            sh.suspected = false;
+        }
+    }
+
+    /// A phase timed out with these sites still silent: bump their
+    /// suspicion, marking them suspected at the threshold.
+    fn note_unanswered(&mut self, sites: &[SiteId]) {
+        let Some(h) = self.options.health.clone() else {
+            return;
+        };
+        for &site in sites {
+            if let Some(sh) = self.health.get_mut(site.index()) {
+                sh.suspicion += h.suspicion_step;
+                if !sh.suspected && sh.suspicion >= h.suspicion_threshold {
+                    sh.suspected = true;
+                    self.stats.suspicions_raised += 1;
+                }
+            }
+        }
+    }
+
+    /// Applies health knowledge to a cost-ranked site order: suspected
+    /// sites are demoted behind every unsuspected one, stably, so the
+    /// cost ranking survives within each group. When every site is
+    /// suspected the order is left alone — routing around everyone is
+    /// routing nowhere. Counts a reroute whenever the demotion changed
+    /// the order a decision actually used.
+    fn reorder_by_health(&mut self, order: Vec<SiteId>) -> Vec<SiteId> {
+        if self.options.health.is_none() {
+            return order;
+        }
+        let suspected =
+            |s: SiteId| -> bool { self.health.get(s.index()).is_some_and(|h| h.suspected) };
+        let mut reordered: Vec<SiteId> = order.iter().copied().filter(|&s| !suspected(s)).collect();
+        if reordered.is_empty() || reordered.len() == order.len() {
+            return order;
+        }
+        reordered.extend(order.iter().copied().filter(|&s| suspected(s)));
+        if reordered != order {
+            self.stats.reroutes += 1;
+        }
+        reordered
+    }
+
+    /// The timeout for a phase contacting `sites`: with health tracking
+    /// on, a multiple of the slowest contacted site's EWMA RTT clamped to
+    /// `[min_timeout, phase_timeout]`; otherwise the fixed phase timeout.
+    fn phase_delay(&self, sites: &[SiteId]) -> SimDuration {
+        let Some(h) = self.options.health.as_ref() else {
+            return self.options.phase_timeout;
+        };
+        let max_rtt = sites
+            .iter()
+            .filter_map(|s| self.health.get(s.index()))
+            .map(|sh| sh.rtt_ms)
+            .fold(0.0_f64, f64::max);
+        if max_rtt <= 0.0 {
+            return self.options.phase_timeout;
+        }
+        SimDuration::from_millis_f64(max_rtt * h.timeout_multiplier)
+            .max(h.min_timeout)
+            .min(self.options.phase_timeout)
+    }
+
+    /// When (relative to now) the hedge for a fetch aimed at `target`
+    /// should fire, or `None` when hedging is off.
+    fn hedge_delay(&self, target: SiteId) -> Option<SimDuration> {
+        let h = self.options.health.as_ref()?;
+        if !h.hedge {
+            return None;
+        }
+        let rtt = self.health.get(target.index())?.rtt_ms;
+        if rtt <= 0.0 {
+            return None;
+        }
+        Some(
+            SimDuration::from_millis_f64(rtt * h.hedge_multiplier).max(SimDuration::from_micros(1)),
+        )
     }
 
     /// The client's site.
@@ -485,6 +689,7 @@ impl ClientNode {
             reconfig_versions: BTreeMap::new(),
             reconfig_bump: None,
             started,
+            attempt_started: started,
             attempts: 0,
             lock_ts: req.counter(),
             seq: 0,
@@ -544,6 +749,7 @@ impl ClientNode {
             reconfig_versions: BTreeMap::new(),
             reconfig_bump: None,
             started,
+            attempt_started: started,
             attempts: 0,
             lock_ts: req.counter(),
             seq: 0,
@@ -578,7 +784,7 @@ impl ClientNode {
         // is the first entry of the cached plan.
         let guess = if wants_guess {
             match self.cached_site_order(suite) {
-                Some(order) => order.first().copied(),
+                Some(order) => self.reorder_by_health(order).first().copied(),
                 None => {
                     let eff_costs = self.effective_costs(ctx);
                     self.configs[&suite]
@@ -596,12 +802,14 @@ impl ClientNode {
         } else {
             None
         };
+        let sites = self.configs[&suite].assignment.all_sites();
+        let delay = self.phase_delay(&sites);
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
         st.attempts += 1;
         st.seq += 1;
-        let sites = self.configs[&suite].assignment.all_sites();
+        st.attempt_started = ctx.now();
         st.phase = Phase::Inquire {
             versions: BTreeMap::new(),
             max_gen: 0,
@@ -621,7 +829,7 @@ impl ClientNode {
             req,
             seq,
             TimerKind::PhaseTimeout,
-            self.options.phase_timeout,
+            delay,
             ctx,
         );
     }
@@ -829,16 +1037,37 @@ impl ClientNode {
         let new_req = self.fresh_req();
         st.seq += 1;
         let seq = st.seq;
+        let attempts = st.attempts;
         self.ops.insert(new_req, st);
+        let delay = self.retry_delay(new_req, attempts);
         arm_timer(
             &mut self.timers,
             &mut self.next_timer,
             new_req,
             seq,
             TimerKind::Retry,
-            self.options.backoff,
+            delay,
             ctx,
         );
+    }
+
+    /// Capped exponential backoff with deterministic jitter. `backoff` is
+    /// the first retry's base step, doubling per completed attempt up to
+    /// `backoff_cap`; jitter adds up to half the base on top. The jitter
+    /// bits are a pure function of (site, request counter, attempt) via
+    /// [`wv_sim::derive_seed`] — no RNG draw — so retry timing is
+    /// bit-identical at any trial worker count.
+    fn retry_delay(&self, req: ReqId, attempts: u32) -> SimDuration {
+        const BACKOFF_SALT: u64 = 0x4A17_7E12_B0FF_0FF5;
+        let doublings = attempts.saturating_sub(1).min(16);
+        let base_ms = (self.options.backoff.as_millis_f64() * (1u64 << doublings) as f64)
+            .min(self.options.backoff_cap.as_millis_f64());
+        let bits = wv_sim::derive_seed(
+            wv_sim::derive_seed(BACKOFF_SALT ^ u64::from(self.site.0), req.counter()),
+            u64::from(attempts),
+        );
+        let frac = (bits >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        SimDuration::from_millis_f64(base_ms * (1.0 + 0.5 * frac))
     }
 
     /// Restart after adopting a fresh configuration (no backoff — the
@@ -959,6 +1188,14 @@ impl ClientNode {
             },
         }
         let my_gen = self.configs.get(&suite).map_or(0, |c| c.generation);
+        // A version answer arriving during the inquiry phase measures one
+        // round trip; feed it to the health tracker.
+        if let Some(st) = self.ops.get(&req) {
+            if matches!(st.phase, Phase::Inquire { .. }) {
+                let rtt = ctx.now().since(st.attempt_started).as_millis_f64();
+                self.note_rtt(from, rtt);
+            }
+        }
         // Fetch-candidate ranking is only needed on paths that fetch
         // (reads and reconfigurations); writes rank sites in `enter_prepare`.
         let wants_holders = self
@@ -967,6 +1204,7 @@ impl ClientNode {
             .is_some_and(|st| matches!(st.kind, OpKind::Read | OpKind::Reconfigure));
         let plan = if wants_holders {
             self.cached_site_order(suite)
+                .map(|o| self.reorder_by_health(o))
         } else {
             None
         };
@@ -1140,16 +1378,23 @@ impl ClientNode {
         candidates: Vec<SiteId>,
         ctx: &mut NodeCtx<'_, Msg>,
     ) {
+        let first = candidates[0];
+        let delay = self.phase_delay(&[first]);
+        let hedge = if candidates.len() > 1 {
+            self.hedge_delay(first)
+        } else {
+            None
+        };
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
-        let first = candidates[0];
         st.seq += 1;
         let seq = st.seq;
         st.phase = Phase::Fetch {
             current,
             candidates,
             idx: 0,
+            hedged: None,
         };
         ctx.send(first, Msg::ReadReq { suite, req });
         arm_timer(
@@ -1158,8 +1403,60 @@ impl ClientNode {
             req,
             seq,
             TimerKind::PhaseTimeout,
-            self.options.phase_timeout,
+            delay,
             ctx,
+        );
+        // The hedge shares the phase's seq: firing neither advances the
+        // phase nor counts as a timeout.
+        if let Some(hd) = hedge {
+            if hd < delay {
+                arm_timer(
+                    &mut self.timers,
+                    &mut self.next_timer,
+                    req,
+                    seq,
+                    TimerKind::Hedge,
+                    hd,
+                    ctx,
+                );
+            }
+        }
+    }
+
+    /// A hedge delay expired with the fetch still outstanding: contact the
+    /// next-cheapest candidate *without* abandoning the current one.
+    /// Whichever answers current first completes the read.
+    fn on_hedge(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        let launched = {
+            let Some(st) = self.ops.get_mut(&req) else {
+                return;
+            };
+            let suite = st.suite;
+            let Phase::Fetch {
+                candidates,
+                idx,
+                hedged,
+                ..
+            } = &mut st.phase
+            else {
+                return;
+            };
+            if hedged.is_some() {
+                return;
+            }
+            let Some(&next) = candidates.get(*idx + 1) else {
+                return;
+            };
+            *hedged = Some(next);
+            (next, suite)
+        };
+        self.stats.hedges_fired += 1;
+        ctx.send(
+            launched.0,
+            Msg::ReadReq {
+                suite: launched.1,
+                req,
+            },
         );
     }
 
@@ -1191,11 +1488,16 @@ impl ClientNode {
             .copied()
             .filter(|s| cfg.assignment.votes_of(*s) > 0)
             .collect();
-        let quorum = match self.cached_site_order(suite) {
+        let quorum = match self
+            .cached_site_order(suite)
+            .map(|o| self.reorder_by_health(o))
+        {
             Some(order) => {
                 // The cached plan already ranks every site; restricting it
-                // to the strong responders preserves the cost order, so the
-                // greedy prefix matches a fresh `cheapest_quorum` exactly.
+                // to the strong responders preserves the cost order (health
+                // reordering only moves suspected sites to the back), so
+                // the greedy prefix matches a fresh `cheapest_quorum` among
+                // the unsuspected sites exactly.
                 let in_order: Vec<SiteId> = order
                     .iter()
                     .copied()
@@ -1214,6 +1516,7 @@ impl ClientNode {
             // Cannot happen once the vote threshold passed; be defensive.
             return;
         };
+        let delay = self.phase_delay(&quorum);
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
@@ -1248,7 +1551,7 @@ impl ClientNode {
             req,
             seq,
             TimerKind::PhaseTimeout,
-            self.options.phase_timeout,
+            delay,
             ctx,
         );
     }
@@ -1412,7 +1715,7 @@ impl ClientNode {
     ) {
         enum Disposition {
             StoredEarly,
-            Fresh,
+            Fresh { via_hedge: bool },
             StaleFromCandidate,
             StaleStray,
         }
@@ -1434,9 +1737,12 @@ impl ClientNode {
                     current,
                     candidates,
                     idx,
+                    hedged,
                 } => {
                     if version >= *current {
-                        Disposition::Fresh
+                        Disposition::Fresh {
+                            via_hedge: *hedged == Some(from) && candidates.get(*idx) != Some(&from),
+                        }
                     } else if candidates.get(*idx) == Some(&from) {
                         Disposition::StaleFromCandidate
                     } else {
@@ -1454,7 +1760,10 @@ impl ClientNode {
             // The candidate answered below what the quorum proved current
             // — a stale duplicate; move to the next candidate.
             Disposition::StaleFromCandidate => self.try_next_candidate(req, ctx),
-            Disposition::Fresh => {
+            Disposition::Fresh { via_hedge } => {
+                if via_hedge {
+                    self.stats.hedge_wins += 1;
+                }
                 self.stats.reads_fetched += 1;
                 self.finish_read(req, suite, from, version, value, ctx);
             }
@@ -1464,7 +1773,12 @@ impl ClientNode {
     fn try_next_candidate(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
         enum Next {
             Exhausted,
-            Try(SiteId, ObjectId, u64),
+            Try {
+                site: SiteId,
+                suite: ObjectId,
+                seq: u64,
+                more: bool,
+            },
         }
         let next = {
             let Some(st) = self.ops.get_mut(&req) else {
@@ -1472,7 +1786,10 @@ impl ClientNode {
             };
             let suite = st.suite;
             let Phase::Fetch {
-                candidates, idx, ..
+                candidates,
+                idx,
+                hedged,
+                ..
             } = &mut st.phase
             else {
                 return;
@@ -1482,12 +1799,27 @@ impl ClientNode {
                 Next::Exhausted
             } else {
                 st.seq += 1;
-                Next::Try(candidates[*idx], suite, st.seq)
+                // The new leg starts unhedged; a duplicate ReadReq to the
+                // previous hedge target is harmless (reads are idempotent).
+                *hedged = None;
+                Next::Try {
+                    site: candidates[*idx],
+                    suite,
+                    seq: st.seq,
+                    more: *idx + 1 < candidates.len(),
+                }
             }
         };
         match next {
             Next::Exhausted => self.fail_attempt(req, OpError::Conflict, ctx),
-            Next::Try(site, suite, seq) => {
+            Next::Try {
+                site,
+                suite,
+                seq,
+                more,
+            } => {
+                let delay = self.phase_delay(&[site]);
+                let hedge = if more { self.hedge_delay(site) } else { None };
                 ctx.send(site, Msg::ReadReq { suite, req });
                 arm_timer(
                     &mut self.timers,
@@ -1495,9 +1827,22 @@ impl ClientNode {
                     req,
                     seq,
                     TimerKind::PhaseTimeout,
-                    self.options.phase_timeout,
+                    delay,
                     ctx,
                 );
+                if let Some(hd) = hedge {
+                    if hd < delay {
+                        arm_timer(
+                            &mut self.timers,
+                            &mut self.next_timer,
+                            req,
+                            seq,
+                            TimerKind::Hedge,
+                            hd,
+                            ctx,
+                        );
+                    }
+                }
             }
         }
     }
@@ -1559,6 +1904,7 @@ impl ClientNode {
                     .expect("stage decision");
                 self.decisions.commit(tx).expect("commit decision");
                 self.decided_commit.insert(req);
+                let delay = self.phase_delay(&quorum);
                 let seq = {
                     let st = self.ops.get_mut(&req).expect("op is live");
                     st.seq += 1;
@@ -1594,7 +1940,7 @@ impl ClientNode {
                     req,
                     seq,
                     TimerKind::PhaseTimeout,
-                    self.options.phase_timeout,
+                    delay,
                     ctx,
                 );
             }
@@ -1734,20 +2080,69 @@ impl ClientNode {
             ResendCommit(Vec<SiteId>, ObjectId, u64),
             GiveUpIndeterminate,
         }
-        let next = {
+        let (next, silent) = {
             let Some(st) = self.ops.get_mut(&req) else {
                 return;
             };
             self.stats.timeouts += 1;
             let suite = st.suite;
             match &mut st.phase {
-                Phase::Inquire { .. } | Phase::RefreshConfig | Phase::MultiInquire { .. } => {
-                    Next::FailUnavailable(st.kind)
+                // The sites that never answered this phase feed the
+                // suspicion tracker alongside the phase transition itself.
+                Phase::Inquire { versions, .. } => {
+                    let silent: Vec<SiteId> = self
+                        .configs
+                        .get(&suite)
+                        .map(|cfg| {
+                            cfg.assignment
+                                .all_sites()
+                                .into_iter()
+                                .filter(|s| !versions.contains_key(s))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    (Next::FailUnavailable(st.kind), silent)
                 }
-                Phase::Fetch { .. } => Next::NextCandidate,
-                Phase::Prepare { quorum, .. } => Next::AbortAndFail(quorum.clone(), suite, st.kind),
-                Phase::MultiPrepare { participants, .. } => {
-                    Next::AbortAndFail(participants.clone(), suite, st.kind)
+                Phase::RefreshConfig | Phase::MultiInquire { .. } => {
+                    (Next::FailUnavailable(st.kind), Vec::new())
+                }
+                Phase::Fetch {
+                    candidates,
+                    idx,
+                    hedged,
+                    ..
+                } => {
+                    let mut silent = Vec::new();
+                    if let Some(&cur) = candidates.get(*idx) {
+                        silent.push(cur);
+                    }
+                    if let Some(h) = *hedged {
+                        if !silent.contains(&h) {
+                            silent.push(h);
+                        }
+                    }
+                    (Next::NextCandidate, silent)
+                }
+                Phase::Prepare { quorum, yes, .. } => {
+                    let silent = quorum
+                        .iter()
+                        .copied()
+                        .filter(|s| !yes.contains(s))
+                        .collect();
+                    (Next::AbortAndFail(quorum.clone(), suite, st.kind), silent)
+                }
+                Phase::MultiPrepare {
+                    participants, yes, ..
+                } => {
+                    let silent = participants
+                        .iter()
+                        .copied()
+                        .filter(|s| !yes.contains(s))
+                        .collect();
+                    (
+                        Next::AbortAndFail(participants.clone(), suite, st.kind),
+                        silent,
+                    )
                 }
                 Phase::CommitWait {
                     quorum,
@@ -1755,17 +2150,17 @@ impl ClientNode {
                     resends,
                     ..
                 } => {
+                    let missing: Vec<SiteId> = quorum
+                        .iter()
+                        .copied()
+                        .filter(|s| !acked.contains(s))
+                        .collect();
                     if *resends >= self.options.commit_resend_limit {
-                        Next::GiveUpIndeterminate
+                        (Next::GiveUpIndeterminate, missing)
                     } else {
                         *resends += 1;
                         st.seq += 1;
-                        let missing: Vec<SiteId> = quorum
-                            .iter()
-                            .copied()
-                            .filter(|s| !acked.contains(s))
-                            .collect();
-                        Next::ResendCommit(missing, suite, st.seq)
+                        (Next::ResendCommit(missing.clone(), suite, st.seq), missing)
                     }
                 }
                 Phase::MultiCommit {
@@ -1774,21 +2169,22 @@ impl ClientNode {
                     resends,
                     ..
                 } => {
+                    let missing: Vec<SiteId> = participants
+                        .iter()
+                        .copied()
+                        .filter(|s| !acked.contains(s))
+                        .collect();
                     if *resends >= self.options.commit_resend_limit {
-                        Next::GiveUpIndeterminate
+                        (Next::GiveUpIndeterminate, missing)
                     } else {
                         *resends += 1;
                         st.seq += 1;
-                        let missing: Vec<SiteId> = participants
-                            .iter()
-                            .copied()
-                            .filter(|s| !acked.contains(s))
-                            .collect();
-                        Next::ResendCommit(missing, suite, st.seq)
+                        (Next::ResendCommit(missing.clone(), suite, st.seq), missing)
                     }
                 }
             }
         };
+        self.note_unanswered(&silent);
         match next {
             Next::FailUnavailable(kind) => {
                 self.fail_attempt(req, OpError::Unavailable { kind }, ctx)
@@ -1821,6 +2217,8 @@ impl ClientNode {
     /// Handles one protocol message. Exposed so composite nodes can
     /// delegate.
     pub fn handle(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
+        // Any message from a site is proof of life for the health tracker.
+        self.note_response(from);
         match msg {
             Msg::VersionResp {
                 suite,
@@ -1889,6 +2287,7 @@ impl ClientNode {
         match entry.kind {
             TimerKind::Retry => self.begin_attempt(entry.req, ctx),
             TimerKind::PhaseTimeout => self.on_phase_timeout(entry.req, ctx),
+            TimerKind::Hedge => self.on_hedge(entry.req, ctx),
         }
     }
 
@@ -2426,5 +2825,211 @@ mod tests {
         assert!(c.plans.is_empty(), "random ablation must not memoize costs");
         assert_eq!(c.stats.plan_cache_hits, 0);
         assert_eq!(c.stats.plan_cache_misses, 0);
+    }
+
+    // ---- health tracking, hedging, adaptive timeouts, backoff ----
+
+    fn health_client() -> ClientNode {
+        ClientNode::new(
+            CLIENT,
+            vec![config()],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions {
+                health: Some(HealthOptions::default()),
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn split_effects(ctx: &mut NodeCtx<'_, Msg>) -> (Vec<(SiteId, Msg)>, Vec<(SimDuration, u64)>) {
+        let mut sends = Vec::new();
+        let mut timers = Vec::new();
+        for e in ctx.take_effects() {
+            match e {
+                wv_net::node::Effect::Send { to, msg } => sends.push((to, msg)),
+                wv_net::node::Effect::Timer { delay, token } => timers.push((delay, token)),
+            }
+        }
+        (sends, timers)
+    }
+
+    /// Drives a health-enabled read to the fetch phase with candidates
+    /// [1, 2] (both current at v2, site 0 silent) and returns
+    /// `(client, rng, req, phase_timeout_token, hedge_token)`.
+    fn fetch_with_hedge_armed() -> (ClientNode, DetRng, ReqId, u64, u64) {
+        let mut c = health_client();
+        let mut rng = DetRng::new(21);
+        let req = {
+            let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+            let req = c.start_read(SUITE, &mut ctx);
+            let _ = ctx.take_effects();
+            req
+        };
+        let mut last_timers = Vec::new();
+        let mut last_sends = Vec::new();
+        for (s, at) in [(1u16, 10u64), (2, 12)] {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(at), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(2),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            (last_sends, last_timers) = split_effects(&mut ctx);
+        }
+        // The fetch went to site 1 (cheapest current holder) with two
+        // timers armed: the adaptive phase timeout and the earlier hedge.
+        assert_eq!(
+            last_sends,
+            vec![(SiteId(1), Msg::ReadReq { suite: SUITE, req })]
+        );
+        assert_eq!(last_timers.len(), 2, "phase timeout plus hedge");
+        last_timers.sort(); // shorter delay first: the hedge
+        let (hedge_delay, hedge_token) = last_timers[0];
+        let (phase_delay, phase_token) = last_timers[1];
+        assert!(hedge_delay < phase_delay);
+        (c, rng, req, phase_token, hedge_token)
+    }
+
+    #[test]
+    fn hedge_launches_next_candidate_without_abandoning_the_first() {
+        let (mut c, mut rng, req, _phase_token, hedge_token) = fetch_with_hedge_armed();
+        let mut ctx = NodeCtx::new(SimTime::from_millis(110), CLIENT, &mut rng);
+        c.handle_timer(hedge_token, &mut ctx);
+        let (sends, timers) = split_effects(&mut ctx);
+        assert_eq!(sends, vec![(SiteId(2), Msg::ReadReq { suite: SUITE, req })]);
+        assert!(timers.is_empty(), "a hedge arms no follow-up timer");
+        assert_eq!(c.stats.hedges_fired, 1);
+        assert_eq!(c.stats.timeouts, 0, "a hedge firing is not a timeout");
+        // The hedge target answers current first: that is a hedge win.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(150), CLIENT, &mut rng);
+        c.handle(
+            SiteId(2),
+            Msg::ReadResp {
+                suite: SUITE,
+                req,
+                version: Version(2),
+                value: Bytes::from_static(b"v2"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+        assert!(c.completed[0].outcome.is_ok());
+        assert_eq!(c.stats.hedge_wins, 1);
+    }
+
+    #[test]
+    fn hedged_and_original_timing_out_count_one_timeout() {
+        // Regression: the hedge shares the phase's timeout. When both the
+        // original candidate and the hedge stay silent, exactly one
+        // timeout is recorded — the hedge timer is structurally incapable
+        // of reaching the timeout bookkeeping.
+        let (mut c, mut rng, _req, phase_token, hedge_token) = fetch_with_hedge_armed();
+        let mut ctx = NodeCtx::new(SimTime::from_millis(110), CLIENT, &mut rng);
+        c.handle_timer(hedge_token, &mut ctx);
+        let _ = ctx.take_effects();
+        assert_eq!(c.stats.hedges_fired, 1);
+        // Neither site 1 nor the hedged site 2 answers; the phase timer
+        // fires once for the whole (hedged) phase.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(320), CLIENT, &mut rng);
+        c.handle_timer(phase_token, &mut ctx);
+        assert_eq!(c.stats.timeouts, 1, "one phase, one timeout, hedge or not");
+        // Both silent sites picked up suspicion.
+        assert!(c.health[1].suspicion > 0.0);
+        assert!(c.health[2].suspicion > 0.0);
+        // The operation moved on to the next candidate rather than dying.
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn suspected_sites_are_demoted_and_cleared_by_any_response() {
+        let mut c = health_client();
+        c.note_unanswered(&[SiteId(0)]);
+        assert_eq!(c.stats.suspicions_raised, 0, "one strike is not enough");
+        c.note_unanswered(&[SiteId(0)]);
+        assert_eq!(c.stats.suspicions_raised, 1);
+        let order = c.reorder_by_health(vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(
+            order,
+            vec![SiteId(1), SiteId(2), SiteId(0)],
+            "suspected site demoted, cost order kept within groups"
+        );
+        assert_eq!(c.stats.reroutes, 1);
+        // Any message from the site clears the suspicion.
+        c.note_response(SiteId(0));
+        let order = c.reorder_by_health(vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(order, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(c.stats.reroutes, 1, "no reroute when nothing moved");
+    }
+
+    #[test]
+    fn routing_around_everyone_is_routing_nowhere() {
+        let mut c = health_client();
+        for _ in 0..2 {
+            c.note_unanswered(&[SiteId(0), SiteId(1), SiteId(2)]);
+        }
+        assert_eq!(c.stats.suspicions_raised, 3);
+        let order = c.reorder_by_health(vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(order, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(c.stats.reroutes, 0);
+    }
+
+    #[test]
+    fn adaptive_phase_timeout_tracks_the_slowest_contacted_site() {
+        let mut c = health_client();
+        // EWMA seeds at 2x the static one-way cost: site 2 starts at 60ms.
+        assert_eq!(
+            c.phase_delay(&[SiteId(0), SiteId(2)]),
+            SimDuration::from_millis_f64(60.0 * 6.0)
+        );
+        // Clamped below by min_timeout (site 0: 20ms RTT * 6 = 120ms)…
+        assert_eq!(c.phase_delay(&[SiteId(0)]), SimDuration::from_millis(300));
+        // …and above by the fixed phase timeout.
+        c.note_rtt(SiteId(2), 1e7);
+        assert_eq!(c.phase_delay(&[SiteId(2)]), c.options.phase_timeout);
+        // Health off: always the fixed phase timeout.
+        let fixed = client();
+        assert_eq!(fixed.phase_delay(&[SiteId(0)]), fixed.options.phase_timeout);
+    }
+
+    #[test]
+    fn rtt_samples_fold_into_the_ewma() {
+        let mut c = health_client();
+        // Site 1 seeds at 40ms; one 10ms sample with alpha 0.3 gives 31ms.
+        c.note_rtt(SiteId(1), 10.0);
+        assert!((c.health[1].rtt_ms - 31.0).abs() < 1e-9);
+        // Garbage samples are dropped.
+        c.note_rtt(SiteId(1), f64::NAN);
+        c.note_rtt(SiteId(1), -5.0);
+        assert!((c.health[1].rtt_ms - 31.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_caps_and_jitters_deterministically() {
+        let c = client();
+        let req = ReqId::new(42, CLIENT);
+        let base = c.options.backoff.as_millis_f64();
+        let cap = c.options.backoff_cap.as_millis_f64();
+        for attempts in 1..12u32 {
+            let d = c.retry_delay(req, attempts).as_millis_f64();
+            let step = (base * 2f64.powi(attempts as i32 - 1)).min(cap);
+            assert!(
+                d >= step && d <= step * 1.5,
+                "attempt {attempts}: delay {d}ms outside [{step}, {}]",
+                step * 1.5
+            );
+            // Deterministic: same inputs, same delay.
+            assert_eq!(c.retry_delay(req, attempts), c.retry_delay(req, attempts));
+        }
+        // Jitter decorrelates distinct requests retrying in lockstep.
+        assert_ne!(
+            c.retry_delay(ReqId::new(42, CLIENT), 3),
+            c.retry_delay(ReqId::new(43, CLIENT), 3),
+        );
     }
 }

@@ -93,6 +93,7 @@ pub struct HarnessBuilder {
     options: ClientOptions,
     policy: DeadlockPolicy,
     unchecked_quorums: bool,
+    anti_entropy: Option<SimDuration>,
 }
 
 impl Default for HarnessBuilder {
@@ -113,6 +114,7 @@ impl HarnessBuilder {
             options: ClientOptions::default(),
             policy: DeadlockPolicy::WaitDie,
             unchecked_quorums: false,
+            anti_entropy: None,
         }
     }
 
@@ -170,6 +172,17 @@ impl HarnessBuilder {
     /// Overrides the deadlock policy (default wait-die).
     pub fn deadlock_policy(mut self, policy: DeadlockPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables background anti-entropy repair on every representative:
+    /// each probes one peer per suite every `interval`, and a recovering
+    /// representative pulls from all peers immediately. Harnesses that
+    /// drain the event queue to quiescence must call
+    /// [`Harness::stop_anti_entropy`] first, or the periodic probe keeps
+    /// the queue alive forever.
+    pub fn anti_entropy(mut self, interval: SimDuration) -> Self {
+        self.anti_entropy = Some(interval);
         self
     }
 
@@ -237,7 +250,13 @@ impl HarnessBuilder {
             .enumerate()
             .map(|(i, spec)| {
                 let site = SiteId::from(i);
-                let server = || SuiteServer::new(site, configs.clone(), self.policy);
+                let server = || {
+                    let mut s = SuiteServer::new(site, configs.clone(), self.policy);
+                    if let Some(interval) = self.anti_entropy {
+                        s.set_anti_entropy(interval);
+                    }
+                    s
+                };
                 let client = || {
                     let costs: Vec<f64> = (0..sites)
                         .map(|j| net.mean_latency_ms(site, SiteId::from(j)))
@@ -263,8 +282,25 @@ impl HarnessBuilder {
                 }
             })
             .collect();
+        let server_sites: Vec<SiteId> = self
+            .specs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.hosts_rep)
+            .map(|(i, _)| SiteId::from(i))
+            .collect();
+        let mut sim = Cluster::sim(nodes, net, self.seed);
+        if self.anti_entropy.is_some() {
+            for site in server_sites {
+                Cluster::invoke(sim.scheduler(), SimTime::ZERO, site, |node, ctx| {
+                    if let Some(s) = node.as_server_mut() {
+                        s.start_anti_entropy(ctx);
+                    }
+                });
+            }
+        }
         Ok(Harness {
-            sim: Cluster::sim(nodes, net, self.seed),
+            sim,
             suites: self.suites,
             clients,
         })
@@ -685,6 +721,26 @@ impl Harness {
         self.sim.world.nodes[site.index()]
             .as_client()
             .map(|c| c.stats)
+    }
+
+    /// The protocol counters of the server at `site` (None if the site
+    /// hosts no representative).
+    pub fn server_stats(&self, site: SiteId) -> Option<crate::server::ServerStats> {
+        self.sim.world.nodes[site.index()]
+            .as_server()
+            .map(|s| s.stats)
+    }
+
+    /// Silences every representative's anti-entropy probe from now on.
+    ///
+    /// Call before draining the event queue to quiescence — the periodic
+    /// probe otherwise re-arms itself forever and the queue never empties.
+    pub fn stop_anti_entropy(&mut self) {
+        for node in &mut self.sim.world.nodes {
+            if let Some(s) = node.as_server_mut() {
+                s.stop_anti_entropy();
+            }
+        }
     }
 
     /// Immutable access to the underlying cluster (experiments).
@@ -1154,5 +1210,56 @@ mod tests {
         }
         let r = h.read(suite).expect("read");
         assert_eq!(&r.value[..], b"after");
+    }
+
+    #[test]
+    fn anti_entropy_catches_up_a_recovered_representative() {
+        let mut h = HarnessBuilder::new()
+            .seed(31)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .anti_entropy(SimDuration::from_millis(500))
+            .build()
+            .expect("legal configuration");
+        let suite = h.suite_id();
+        h.write(suite, b"v1".to_vec()).expect("write");
+        h.crash(SiteId(2));
+        h.write(suite, b"v2".to_vec()).expect("write");
+        h.write(suite, b"v3".to_vec()).expect("write");
+        h.recover(SiteId(2));
+        // Recovery fires the pull immediately, but the answers are still
+        // in flight: the site is stale right now…
+        assert!(h.version_at(SiteId(2), suite).expect("server") < Version(3));
+        // …and current shortly after, with no client write involved.
+        h.advance(SimDuration::from_secs(2));
+        assert_eq!(h.version_at(SiteId(2), suite), Some(Version(3)));
+        assert_eq!(h.value_at(SiteId(2), suite).as_deref(), Some(&b"v3"[..]));
+        assert!(h.server_stats(SiteId(2)).expect("server").repairs_completed >= 1);
+        // With the probes silenced the queue drains.
+        h.stop_anti_entropy();
+        h.run_until_quiet(1_000_000);
+    }
+
+    #[test]
+    fn anti_entropy_refills_a_weak_representative() {
+        // r=1/w=2 over two voting sites: the write quorum never includes
+        // the zero-vote cache, so only the gossip probe can refill it.
+        let mut h = HarnessBuilder::new()
+            .seed(32)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::client_with_weak())
+            .quorum(QuorumSpec::new(1, 2))
+            .anti_entropy(SimDuration::from_millis(500))
+            .build()
+            .expect("legal configuration");
+        let suite = h.suite_id();
+        h.write(suite, b"fresh".to_vec()).expect("write");
+        h.advance(SimDuration::from_secs(2));
+        assert_eq!(h.version_at(SiteId(2), suite), Some(Version(1)));
+        assert_eq!(h.value_at(SiteId(2), suite).as_deref(), Some(&b"fresh"[..]));
     }
 }

@@ -1,8 +1,10 @@
 //! The wire protocol between clients and suite servers.
 //!
-//! Requests flow client → server, responses server → client; the only
-//! server-initiated message is [`Msg::DecisionReq`], the participant's
-//! recovery-time question to the write coordinator. Every request carries
+//! Requests flow client → server, responses server → client; the
+//! server-initiated messages are [`Msg::DecisionReq`], the participant's
+//! recovery-time question to the write coordinator, and the anti-entropy
+//! pair [`Msg::RepairPull`]/[`Msg::RepairState`], which travels between
+//! representatives. Every request carries
 //! the client's configuration generation so servers can reject requests
 //! built against a superseded configuration ([`Msg::StaleConfig`]).
 
@@ -200,6 +202,31 @@ pub enum Msg {
         /// The in-doubt operation.
         req: ReqId,
     },
+
+    // ---- anti-entropy repair (server ↔ server) ----
+    /// A representative asks a peer for its committed state of `suite`,
+    /// either right after recovering or on a periodic gossip probe. The
+    /// answer restores vote availability without waiting for a client
+    /// write to happen to include the stale representative.
+    RepairPull {
+        /// The suite whose state is wanted.
+        suite: ObjectId,
+        /// The puller's committed version; the peer only answers when it
+        /// holds something newer.
+        have: Version,
+    },
+    /// The peer's committed `(version, contents)` for the suite. Only
+    /// committed state ever travels — a prepared-but-undecided write stays
+    /// local — and the receiver installs monotonically, so repair can
+    /// neither resurrect uncommitted data nor regress a version.
+    RepairState {
+        /// The suite repaired.
+        suite: ObjectId,
+        /// The sender's committed version.
+        version: Version,
+        /// The committed contents at that version.
+        value: Bytes,
+    },
 }
 
 impl Msg {
@@ -214,6 +241,8 @@ impl Msg {
                 | Msg::Abort { .. }
                 | Msg::ConfigReq { .. }
                 | Msg::UpdateWeak { .. }
+                | Msg::RepairPull { .. }
+                | Msg::RepairState { .. }
         )
     }
 
@@ -270,6 +299,15 @@ mod tests {
             },
             Msg::DecisionReq { suite, req },
             Msg::UpdateWeak {
+                suite,
+                version: Version(1),
+                value: Bytes::new(),
+            },
+            Msg::RepairPull {
+                suite,
+                have: Version(0),
+            },
+            Msg::RepairState {
                 suite,
                 version: Version(1),
                 value: Bytes::new(),

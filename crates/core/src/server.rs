@@ -19,6 +19,12 @@ use wv_txn::Vote;
 use crate::msg::{Msg, PrepareWrite, ReqId};
 use crate::suite::{config_object, data_object, suite_of_config_object, SuiteConfig};
 
+/// Tag bit marking anti-entropy repair timer tokens. Pending-write probe
+/// timers use raw request ids, whose counters stay below bit 48, and client
+/// timers live behind bit 63 ([`crate::client::CLIENT_TIMER_TAG`]), so bit
+/// 62 is free for the repair daemon.
+pub const REPAIR_TIMER_TAG: u64 = 1 << 62;
+
 /// Server-side counters for the experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
@@ -48,6 +54,12 @@ pub struct ServerStats {
     pub decision_probes: u64,
     /// Log compactions performed.
     pub checkpoints: u64,
+    /// Anti-entropy pulls sent (on recovery and on periodic probes).
+    pub repair_probes: u64,
+    /// Anti-entropy answers served to stale peers.
+    pub repair_serves: u64,
+    /// Newer committed state installed from a peer's repair answer.
+    pub repairs_completed: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -80,6 +92,14 @@ pub struct SuiteServer {
     /// Checkpoint the container whenever its log reaches this many
     /// records, keeping recovery time proportional to live state.
     checkpoint_threshold: usize,
+    /// Anti-entropy probe interval; `None` (the default) disables the
+    /// repair daemon entirely.
+    anti_entropy: Option<SimDuration>,
+    /// Timers cannot be cancelled, so repair ticks are validated against
+    /// this epoch; a crash or a stop bumps it, orphaning in-flight ticks.
+    repair_epoch: u64,
+    /// Round-robin position over peers for periodic probes.
+    repair_cursor: usize,
     /// Counters.
     pub stats: ServerStats,
 }
@@ -116,6 +136,9 @@ impl SuiteServer {
             waiting: HashMap::new(),
             resolve_after: SimDuration::from_secs(5),
             checkpoint_threshold: 512,
+            anti_entropy: None,
+            repair_epoch: 0,
+            repair_cursor: 0,
             stats: ServerStats::default(),
         }
     }
@@ -129,6 +152,91 @@ impl SuiteServer {
     pub fn set_checkpoint_threshold(&mut self, records: usize) {
         assert!(records > 0, "threshold must be positive");
         self.checkpoint_threshold = records;
+    }
+
+    /// Enables the background anti-entropy daemon with the given probe
+    /// interval. Ticks start once [`Self::start_anti_entropy`] runs (the
+    /// harness arms it at construction; recovery re-arms it).
+    pub fn set_anti_entropy(&mut self, interval: SimDuration) {
+        assert!(interval > SimDuration::ZERO, "interval must be positive");
+        self.anti_entropy = Some(interval);
+    }
+
+    /// Disables the repair daemon; any armed tick dies quietly when it
+    /// fires. Harnesses call this before draining the event queue, since a
+    /// perpetual gossip timer would otherwise never let the system quiesce.
+    pub fn stop_anti_entropy(&mut self) {
+        self.anti_entropy = None;
+        self.repair_epoch += 1;
+    }
+
+    /// Whether the repair daemon is configured.
+    pub fn anti_entropy_enabled(&self) -> bool {
+        self.anti_entropy.is_some()
+    }
+
+    /// Arms the periodic repair timer. Each call starts a fresh epoch,
+    /// orphaning any previously armed tick, so it is safe to call again
+    /// after a recovery. A no-op while the daemon is disabled.
+    pub fn start_anti_entropy(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        if let Some(interval) = self.anti_entropy {
+            self.repair_epoch += 1;
+            ctx.set_timer(interval, REPAIR_TIMER_TAG | self.repair_epoch);
+        }
+    }
+
+    /// Hosted suites in deterministic order.
+    fn hosted_suites(&self) -> Vec<ObjectId> {
+        let mut suites: Vec<ObjectId> = self.configs.keys().copied().collect();
+        suites.sort_by_key(|o| o.0);
+        suites
+    }
+
+    /// The other representatives of `suite`, strong and weak alike.
+    fn peers_of(&self, suite: ObjectId) -> Vec<SiteId> {
+        self.configs.get(&suite).map_or_else(Vec::new, |cfg| {
+            cfg.assignment
+                .all_sites()
+                .into_iter()
+                .filter(|&s| s != self.site)
+                .collect()
+        })
+    }
+
+    /// One gossip round: each hosted suite pulls from its next peer in
+    /// round-robin order, announcing the version already held so an
+    /// up-to-date peer answers nothing.
+    fn run_repair_probe(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        for suite in self.hosted_suites() {
+            let peers = self.peers_of(suite);
+            if peers.is_empty() {
+                continue;
+            }
+            let peer = peers[self.repair_cursor % peers.len()];
+            self.repair_cursor = self.repair_cursor.wrapping_add(1);
+            self.stats.repair_probes += 1;
+            ctx.send(
+                peer,
+                Msg::RepairPull {
+                    suite,
+                    have: self.data_version(suite),
+                },
+            );
+        }
+    }
+
+    /// Recovery-time catch-up: pull every hosted suite from every peer at
+    /// once. The recovering representative is the one most likely to be
+    /// stale, and fan-out makes catch-up latency one round-trip to the
+    /// nearest live up-to-date peer.
+    fn pull_from_all_peers(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        for suite in self.hosted_suites() {
+            let have = self.data_version(suite);
+            for peer in self.peers_of(suite) {
+                self.stats.repair_probes += 1;
+                ctx.send(peer, Msg::RepairPull { suite, have });
+            }
+        }
     }
 
     fn maybe_checkpoint(&mut self) {
@@ -295,6 +403,19 @@ impl SuiteServer {
     pub fn handle(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
         match msg {
             Msg::VersionReq { suite, req } => {
+                // An exclusive holder has a superseding version staged;
+                // answering with the committed one would let a reader
+                // assemble a quorum that misses a decided write. Across a
+                // reconfiguration that is fatal: the re-publication may be
+                // in doubt at exactly the representative bridging the old
+                // and new quorum geometries. Refuse, as ReadReq does — in
+                // the paper, obtaining a version number and setting the
+                // read lock are one step.
+                if self.locks.exclusive_holder(data_object(suite)).is_some() {
+                    self.stats.busy += 1;
+                    ctx.send(from, Msg::Busy { suite, req });
+                    return;
+                }
                 self.stats.inquiries += 1;
                 let version = self.data_version(suite);
                 ctx.send(
@@ -461,15 +582,68 @@ impl SuiteServer {
                     },
                 );
             }
+            Msg::RepairPull { suite, have } => {
+                if !self.configs.contains_key(&suite) {
+                    return;
+                }
+                let version = self.data_version(suite);
+                if version > have {
+                    self.stats.repair_serves += 1;
+                    ctx.send(
+                        from,
+                        Msg::RepairState {
+                            suite,
+                            version,
+                            value: self.data_value(suite),
+                        },
+                    );
+                }
+            }
+            Msg::RepairState {
+                suite,
+                version,
+                value,
+            } => {
+                if !self.configs.contains_key(&suite) {
+                    return;
+                }
+                let object = data_object(suite);
+                let committed = self
+                    .container
+                    .read_version(object)
+                    .unwrap_or(Version::INITIAL);
+                // Same monotonic rule as weak updates: only strictly newer
+                // committed state, and never underneath a commit lock. The
+                // sender only ships committed state, so repair can neither
+                // resurrect an undecided write nor regress a version.
+                if version > committed && self.locks.exclusive_holder(object).is_none() {
+                    let tx = self.container.begin().expect("up");
+                    self.container
+                        .stage_put(tx, object, version, value)
+                        .expect("stage repair");
+                    self.container.commit(tx).expect("commit repair");
+                    self.stats.repairs_completed += 1;
+                }
+            }
             // Client-bound messages that a composite node may mis-route
             // here are ignored.
             _ => {}
         }
     }
 
-    /// Timer callback: probe the coordinator about an unresolved prepared
-    /// write.
+    /// Timer callback: an anti-entropy tick (tagged tokens) or a probe of
+    /// the coordinator about an unresolved prepared write.
     pub fn handle_timer(&mut self, token: u64, ctx: &mut NodeCtx<'_, Msg>) {
+        if token & REPAIR_TIMER_TAG != 0 {
+            // Stale epochs — ticks armed before a crash or a stop — die
+            // here without rearming.
+            if self.anti_entropy.is_some() && (token & !REPAIR_TIMER_TAG) == self.repair_epoch {
+                self.run_repair_probe(ctx);
+                let interval = self.anti_entropy.expect("checked above");
+                ctx.set_timer(interval, token);
+            }
+            return;
+        }
         let req = ReqId(token);
         if let Some(p) = self.pending.get(&req) {
             self.stats.decision_probes += 1;
@@ -491,6 +665,8 @@ impl SuiteServer {
         self.pending.clear();
         self.waiting.clear();
         self.configs.clear();
+        // Orphan any in-flight repair tick; recovery arms a fresh epoch.
+        self.repair_epoch += 1;
     }
 
     /// Recovery: replay the log, restore configurations, re-lock in-doubt
@@ -535,6 +711,14 @@ impl SuiteServer {
             self.stats.decision_probes += 1;
             ctx.send(req.coordinator(), Msg::DecisionReq { suite, req });
             ctx.set_timer(self.resolve_after, req.0);
+        }
+        // Catch up and restart the repair daemon: the recovering
+        // representative pulls from every peer immediately (restoring its
+        // vote's usefulness without waiting for a client write), then
+        // resumes periodic gossip.
+        if self.anti_entropy.is_some() {
+            self.pull_from_all_peers(ctx);
+            self.start_anti_entropy(ctx);
         }
     }
 }
@@ -723,7 +907,10 @@ mod tests {
         let out = sent(&mut ctx);
         assert!(matches!(&out[0].1, Msg::Busy { .. }));
         assert_eq!(s.stats.busy, 1);
-        // Version inquiries still answer (they serve committed state).
+        // Version inquiries are turned away too: the committed version is
+        // about to be superseded, and serving it would let a reader build
+        // a quorum that misses the staged write (fatal across a
+        // reconfiguration, where quorum geometry changes underneath it).
         let mut ctx = ctx_pair(&mut rng);
         s.handle(
             CLIENT,
@@ -733,7 +920,8 @@ mod tests {
             },
             &mut ctx,
         );
-        assert!(matches!(&sent(&mut ctx)[0].1, Msg::VersionResp { .. }));
+        assert!(matches!(&sent(&mut ctx)[0].1, Msg::Busy { .. }));
+        assert_eq!(s.stats.busy, 2);
         // After abort the read proceeds.
         let mut ctx = ctx_pair(&mut rng);
         s.handle(
@@ -1116,5 +1304,183 @@ mod tests {
         let mut ctx = ctx_pair(&mut rng);
         s.handle_timer(r.0, &mut ctx);
         assert!(sent(&mut ctx).is_empty());
+    }
+
+    /// Installs `version`/`value` as committed state (simulating past
+    /// writes this representative participated in).
+    fn install(s: &mut SuiteServer, version: u64, value: &'static [u8]) {
+        let tx = s.container.begin().expect("up");
+        s.container
+            .stage_put(
+                tx,
+                data_object(SUITE),
+                Version(version),
+                Bytes::from_static(value),
+            )
+            .expect("stage");
+        s.container.commit(tx).expect("commit");
+    }
+
+    #[test]
+    fn repair_pull_answers_only_stale_peers() {
+        let mut s = server();
+        install(&mut s, 3, b"v3");
+        let mut rng = DetRng::new(30);
+        // A peer already at v3 gets silence.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            SiteId(1),
+            Msg::RepairPull {
+                suite: SUITE,
+                have: Version(3),
+            },
+            &mut ctx,
+        );
+        assert!(sent(&mut ctx).is_empty());
+        // A stale peer gets the committed state.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            SiteId(1),
+            Msg::RepairPull {
+                suite: SUITE,
+                have: Version(1),
+            },
+            &mut ctx,
+        );
+        let out = sent(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(1));
+        assert!(matches!(
+            &out[0].1,
+            Msg::RepairState { version, value, .. }
+                if *version == Version(3) && value == &Bytes::from_static(b"v3")
+        ));
+        assert_eq!(s.stats.repair_serves, 1);
+    }
+
+    #[test]
+    fn repair_state_installs_monotonically() {
+        let mut s = server();
+        install(&mut s, 2, b"v2");
+        let mut rng = DetRng::new(31);
+        // Newer state installs.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            SiteId(1),
+            Msg::RepairState {
+                suite: SUITE,
+                version: Version(5),
+                value: Bytes::from_static(b"v5"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(s.data_version(SUITE), Version(5));
+        assert_eq!(s.stats.repairs_completed, 1);
+        // Older or equal state never regresses the copy.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            SiteId(2),
+            Msg::RepairState {
+                suite: SUITE,
+                version: Version(4),
+                value: Bytes::from_static(b"v4"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(s.data_version(SUITE), Version(5));
+        assert_eq!(s.data_value(SUITE), Bytes::from_static(b"v5"));
+        assert_eq!(s.stats.repairs_completed, 1);
+    }
+
+    #[test]
+    fn repair_state_defers_to_an_inflight_commit_lock() {
+        let mut s = server();
+        let mut rng = DetRng::new(32);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"staged"), &mut ctx);
+        let _ = sent(&mut ctx);
+        // While the prepare holds the commit lock, repair stands aside
+        // (the next gossip round will retry).
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            SiteId(1),
+            Msg::RepairState {
+                suite: SUITE,
+                version: Version(7),
+                value: Bytes::from_static(b"v7"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(s.data_version(SUITE), Version(0));
+        assert_eq!(s.stats.repairs_completed, 0);
+    }
+
+    #[test]
+    fn repair_timer_probes_round_robin_and_rearms() {
+        let mut s = server();
+        s.set_anti_entropy(SimDuration::from_millis(200));
+        let mut rng = DetRng::new(33);
+        let mut ctx = ctx_pair(&mut rng);
+        s.start_anti_entropy(&mut ctx);
+        let _ = ctx.take_effects();
+        let token = REPAIR_TIMER_TAG | 1;
+        let mut targets = Vec::new();
+        for _ in 0..4 {
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle_timer(token, &mut ctx);
+            let out = sent(&mut ctx);
+            assert_eq!(out.len(), 1, "one pull per hosted suite per tick");
+            assert!(matches!(&out[0].1, Msg::RepairPull { .. }));
+            targets.push(out[0].0);
+        }
+        // Site 0 hosts the suite with peers {1, 2}: ticks alternate.
+        assert_eq!(
+            targets,
+            vec![SiteId(1), SiteId(2), SiteId(1), SiteId(2)],
+            "round-robin over peers"
+        );
+        assert_eq!(s.stats.repair_probes, 4);
+    }
+
+    #[test]
+    fn crash_orphans_repair_ticks_and_recovery_pulls_from_all_peers() {
+        let mut s = server();
+        s.set_anti_entropy(SimDuration::from_millis(200));
+        let mut rng = DetRng::new(34);
+        let mut ctx = ctx_pair(&mut rng);
+        s.start_anti_entropy(&mut ctx);
+        let _ = ctx.take_effects();
+        let stale_token = REPAIR_TIMER_TAG | 1;
+        s.handle_crash();
+        // The pre-crash tick fires into the new epoch and dies.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_timer(stale_token, &mut ctx);
+        assert!(sent(&mut ctx).is_empty());
+        // Recovery pulls from every peer and rearms a fresh epoch.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        let out = sent(&mut ctx);
+        let pulls: Vec<SiteId> = out
+            .iter()
+            .filter(|(_, m)| matches!(m, Msg::RepairPull { .. }))
+            .map(|(to, _)| *to)
+            .collect();
+        assert_eq!(pulls, vec![SiteId(1), SiteId(2)], "fan-out to all peers");
+    }
+
+    #[test]
+    fn stop_anti_entropy_silences_future_ticks() {
+        let mut s = server();
+        s.set_anti_entropy(SimDuration::from_millis(200));
+        let mut rng = DetRng::new(35);
+        let mut ctx = ctx_pair(&mut rng);
+        s.start_anti_entropy(&mut ctx);
+        let _ = ctx.take_effects();
+        s.stop_anti_entropy();
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_timer(REPAIR_TIMER_TAG | 1, &mut ctx);
+        assert!(sent(&mut ctx).is_empty());
+        assert!(!s.anti_entropy_enabled());
     }
 }

@@ -225,6 +225,55 @@ mod tests {
     }
 
     #[test]
+    fn mttf_mttr_empirical_interval_means_match_the_parameters() {
+        // The long-run-fraction test above can pass with compensating
+        // errors (e.g. doubled up AND down intervals). Pin the generator
+        // down harder: the empirical means of the up and down intervals
+        // themselves must match mttf and mttr. Down samples are window
+        // lengths; up samples are the gaps between windows (including the
+        // lead-in to the first). Intervals cut short by the horizon are
+        // censored observations, not exponential draws, so they are
+        // excluded.
+        let mttf = SimDuration::from_secs(40);
+        let mttr = SimDuration::from_secs(5);
+        let horizon = SimTime::from_secs(4_000);
+        let mut up_ms = Vec::new();
+        let mut down_ms = Vec::new();
+        for seed in 0..50u64 {
+            let mut rng = DetRng::new(0x5EED ^ seed);
+            let s = FailureSchedule::mttf_mttr(2, mttf, mttr, horizon, &mut rng);
+            for site in 0..2 {
+                let mut prev_end = SimTime::ZERO;
+                for w in s.windows(site) {
+                    up_ms.push(w.from.since(prev_end).as_millis_f64());
+                    if w.until < horizon {
+                        down_ms.push(w.length().as_millis_f64());
+                    }
+                    prev_end = w.until;
+                }
+            }
+        }
+        // ~90 cycles per site per seed: thousands of samples, so the
+        // standard error of each mean is ~1% — a 10% band only fails on a
+        // real generator bug, not on sampling noise.
+        assert!(up_ms.len() > 2_000, "only {} up samples", up_ms.len());
+        assert!(down_ms.len() > 2_000, "only {} down samples", down_ms.len());
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        let up_mean = mean(&up_ms);
+        let down_mean = mean(&down_ms);
+        let mttf_ms = mttf.as_millis_f64();
+        let mttr_ms = mttr.as_millis_f64();
+        assert!(
+            (up_mean - mttf_ms).abs() < 0.1 * mttf_ms,
+            "mean up interval {up_mean} ms vs mttf {mttf_ms} ms"
+        );
+        assert!(
+            (down_mean - mttr_ms).abs() < 0.1 * mttr_ms,
+            "mean down interval {down_mean} ms vs mttr {mttr_ms} ms"
+        );
+    }
+
+    #[test]
     fn mttf_mttr_windows_are_within_horizon_and_ordered() {
         let mut rng = DetRng::new(9);
         let horizon = SimTime::from_secs(100);
