@@ -7,7 +7,7 @@ fn main() {
     print!("{report}");
     if std::path::Path::new("results").is_dir() {
         if let Err(e) = std::fs::write("results/e1.md", &report) {
-            eprintln!("warning: could not write results/e1.md: {e}");
+            wv_sim::vlog::warn("bench", &format!("could not write results/e1.md: {e}"));
         }
     }
 }

@@ -21,7 +21,12 @@ use wv_core::client::ClientStats;
 use wv_core::harness::{HarnessBuilder, SiteSpec};
 use wv_core::quorum::QuorumSpec;
 use wv_net::NetConfig;
-use wv_sim::{LatencyModel, Scheduler, Sim, SimDuration};
+use wv_sim::{LatencyModel, MetricsRegistry, Scheduler, Sim, SimDuration};
+
+/// Tracing must not cost more than this factor in client throughput; the
+/// real overhead is a few percent (span pushes on an in-memory Vec), the
+/// bound is generous because wall-clock rates on shared runners are noisy.
+const MAX_TRACE_OVERHEAD: f64 = 3.0;
 
 /// Chained-event simulator throughput: `CHAINS` self-rescheduling events
 /// keep a realistically sized heap busy for `EVENTS` pops.
@@ -73,20 +78,33 @@ fn trial_throughput(workers: usize, trials: usize) -> (f64, Vec<(u64, u64)>) {
     (rate, out)
 }
 
-/// Client operations/sec and plan-cache counters over the E1 measurement
-/// workload (write / miss-read / hit-read rounds on one live cluster).
-fn client_ops(rounds: usize) -> (f64, u64, u64) {
+/// Client operations/sec, plan-cache counters, and the virtual-time
+/// latency histograms over the E1 measurement workload (write / miss-read
+/// / hit-read rounds on one live cluster). With `traced` the same workload
+/// runs with span recording on; the final element is the span count (zero
+/// untraced).
+fn client_ops(rounds: usize, traced: bool) -> (f64, u64, u64, MetricsRegistry, usize) {
     let mut h = topo::example_1(7);
+    if traced {
+        h.enable_tracing();
+    }
     let suite = h.suite_id();
+    let mut reg = MetricsRegistry::new();
     let t = Instant::now();
     let mut ops = 0u64;
     for i in 0..rounds {
-        h.write(suite, format!("round-{i}").into_bytes())
+        let w = h
+            .write(suite, format!("round-{i}").into_bytes())
             .expect("write succeeds");
+        reg.observe_ms("write_ms", w.latency.as_micros() as f64 / 1000.0);
         h.advance(SimDuration::from_secs(2));
-        h.read(suite).expect("read succeeds");
+        // First read after a write misses the weak representative; the
+        // second hits it.
+        let miss = h.read(suite).expect("read succeeds");
+        reg.observe_ms("read_miss_ms", miss.latency.as_micros() as f64 / 1000.0);
         h.advance(SimDuration::from_secs(2));
-        h.read(suite).expect("read succeeds");
+        let hit = h.read(suite).expect("read succeeds");
+        reg.observe_ms("read_hit_ms", hit.latency.as_micros() as f64 / 1000.0);
         h.advance(SimDuration::from_secs(2));
         ops += 3;
     }
@@ -94,7 +112,26 @@ fn client_ops(rounds: usize) -> (f64, u64, u64) {
     let stats = h
         .client_stats(h.default_client())
         .expect("default client exists");
-    (rate, stats.plan_cache_hits, stats.plan_cache_misses)
+    let spans = if traced { h.take_trace().len() } else { 0 };
+    (
+        rate,
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        reg,
+        spans,
+    )
+}
+
+/// One histogram's fixed percentiles as a JSON object (`null` when the
+/// series is too small to have a distribution).
+fn pct_json(reg: &MetricsRegistry, name: &str) -> String {
+    match reg.percentiles(name) {
+        Some(p) => format!(
+            "{{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \"p999\": {:.3}}}",
+            p.p50, p.p90, p.p99, p.p999
+        ),
+        None => "null".to_string(),
+    }
 }
 
 /// Retry-path counters under sustained link loss: the same write/read
@@ -150,8 +187,14 @@ fn main() {
         seq_out, par_out,
         "parallel trial results must be bit-identical to sequential"
     );
-    let (ops_per_sec, hits, misses) = client_ops(ROUNDS);
+    let (ops_per_sec, hits, misses, reg, _) = client_ops(ROUNDS, false);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let (ops_per_sec_traced, _, _, _, spans_recorded) = client_ops(ROUNDS, true);
+    let trace_overhead = ops_per_sec / ops_per_sec_traced;
+    assert!(
+        trace_overhead <= MAX_TRACE_OVERHEAD,
+        "tracing overhead ratio {trace_overhead:.2} exceeds the {MAX_TRACE_OVERHEAD}x bound"
+    );
     let (fault_ok, fault_stats) = faulted_client(FAULT_ROUNDS);
     // Self-healing layer counters over a slice of the E10 churn workload
     // (healing-on arm): proves the tracker, the reroutes, the hedges and
@@ -160,7 +203,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"wv-perf-snapshot/1\",\n  \
+         \"schema\": \"wv-perf-snapshot/2\",\n  \
          \"sim_events_per_sec\": {events_per_sec:.0},\n  \
          \"trials\": {{\n    \
          \"workload\": \"example-1 cluster, 25 write+read rounds per trial\",\n    \
@@ -178,6 +221,19 @@ fn main() {
          \"plan_cache_misses\": {misses},\n    \
          \"plan_cache_hit_rate\": {hit_rate:.4}\n  \
          }},\n  \
+         \"latency_histograms\": {{\n    \
+         \"source\": \"virtual-time op latencies, log-bucketed (MetricsRegistry)\",\n    \
+         \"write_ms\": {write_pct},\n    \
+         \"read_miss_ms\": {miss_pct},\n    \
+         \"read_hit_ms\": {hit_pct}\n  \
+         }},\n  \
+         \"tracing\": {{\n    \
+         \"workload\": \"same client workload with span recording enabled\",\n    \
+         \"ops_per_sec\": {ops_per_sec_traced:.2},\n    \
+         \"overhead_ratio\": {trace_overhead:.3},\n    \
+         \"max_overhead_ratio\": {MAX_TRACE_OVERHEAD},\n    \
+         \"spans_recorded\": {spans_recorded}\n  \
+         }},\n  \
          \"faulted_client\": {{\n    \
          \"workload\": \"3-server majority cluster, 25% link loss, write/read rounds x{FAULT_ROUNDS}\",\n    \
          \"ops_ok\": {fault_ok},\n    \
@@ -194,6 +250,9 @@ fn main() {
          \"repairs_completed\": {repairs}\n  \
          }}\n}}\n",
         speedup = par_rate / seq_rate,
+        write_pct = pct_json(&reg, "write_ms"),
+        miss_pct = pct_json(&reg, "read_miss_ms"),
+        hit_pct = pct_json(&reg, "read_hit_ms"),
         retries = fault_stats.retries,
         timeouts = fault_stats.timeouts,
         attempts_exhausted = fault_stats.attempts_exhausted,
@@ -205,5 +264,5 @@ fn main() {
     );
     print!("{json}");
     std::fs::write("BENCH_core.json", &json).expect("write BENCH_core.json");
-    eprintln!("wrote BENCH_core.json");
+    wv_sim::vlog::info("perf_snapshot", "wrote BENCH_core.json");
 }

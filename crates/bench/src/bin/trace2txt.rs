@@ -1,0 +1,29 @@
+//! Pretty-prints a JSONL trace as per-operation waterfalls.
+//!
+//! Usage: `trace2txt [FILE]` — reads the trace from `FILE`, or from stdin
+//! when no argument (or `-`) is given, and writes the rendering of
+//! [`wv_bench::tracefmt::waterfall`] to stdout.
+
+use std::io::Read as _;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let input = match arg.as_deref() {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .expect("read stdin");
+            buf
+        }
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}")),
+    };
+    let spans = match wv_sim::trace::from_jsonl(&input) {
+        Ok(spans) => spans,
+        Err(e) => {
+            wv_sim::vlog::warn("trace2txt", &format!("malformed trace: {e}"));
+            std::process::exit(1);
+        }
+    };
+    print!("{}", wv_bench::tracefmt::waterfall(&spans));
+}

@@ -17,6 +17,7 @@
 
 use wv_analysis::{read_latency_optimistic, read_latency_verified, write_latency, SystemModel};
 use wv_core::harness::Harness;
+use wv_sim::trace::SpanKind;
 use wv_sim::{SampleSet, SimDuration};
 
 use crate::runner::trial_seed;
@@ -103,6 +104,57 @@ pub fn measure(h: &mut Harness, rounds: usize) -> Measured {
         read_hit_ms: read_hit.mean(),
         read_miss_ms: read_miss.mean(),
         write_ms: writes.mean(),
+    }
+}
+
+/// Mean traced span durations (ms) per protocol phase over the E1
+/// workload: where an operation's wall-clock goes.
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseBreakdown {
+    /// Version-collection (inquiry) phase.
+    pub version_collect_ms: f64,
+    /// Data movement (content fetch) phase.
+    pub data_move_ms: f64,
+    /// Prepare round of the commit protocol.
+    pub prepare_ms: f64,
+    /// Commit round.
+    pub commit_ms: f64,
+    /// Server-side lock waits (0 on the uncontended E1 workload).
+    pub lock_wait_ms: f64,
+}
+
+/// Runs the measurement workload with tracing on and averages the span
+/// durations per phase. The harness must be fresh (trace buffer empty).
+pub fn traced_breakdown(h: &mut Harness, rounds: usize) -> PhaseBreakdown {
+    h.enable_tracing();
+    measure(h, rounds);
+    let mut acc = [(0u64, 0u64); 5];
+    for s in h.take_trace() {
+        let Some(d) = s.duration_us() else { continue };
+        let slot = match s.kind {
+            SpanKind::Inquiry => 0,
+            SpanKind::Fetch => 1,
+            SpanKind::Prepare => 2,
+            SpanKind::Commit => 3,
+            SpanKind::LockWait => 4,
+            _ => continue,
+        };
+        acc[slot].0 += d;
+        acc[slot].1 += 1;
+    }
+    let mean = |(total, n): (u64, u64)| {
+        if n == 0 {
+            0.0
+        } else {
+            total as f64 / n as f64 / 1000.0
+        }
+    };
+    PhaseBreakdown {
+        version_collect_ms: mean(acc[0]),
+        data_move_ms: mean(acc[1]),
+        prepare_ms: mean(acc[2]),
+        commit_ms: mean(acc[3]),
+        lock_wait_ms: mean(acc[4]),
     }
 }
 
@@ -203,6 +255,25 @@ pub fn run() -> String {
             prob(mc_wb),
         ]);
         out.push_str(&t.to_markdown());
+
+        // Where the wall-clock goes, from the span record of a traced
+        // re-run (separate harness so the measured columns above stay on
+        // the untraced path).
+        let mut th = harnesses[i](142 + i as u64);
+        let b = traced_breakdown(&mut th, 10);
+        let mut t = Table::new(
+            format!(
+                "Example {} — traced phase breakdown (mean ms)",
+                paper.example
+            ),
+            &["phase", "mean (ms)"],
+        );
+        t.row(&["version collect (inquiry)".into(), ms(b.version_collect_ms)]);
+        t.row(&["data move (content fetch)".into(), ms(b.data_move_ms)]);
+        t.row(&["prepare".into(), ms(b.prepare_ms)]);
+        t.row(&["commit".into(), ms(b.commit_ms)]);
+        t.row(&["lock wait".into(), ms(b.lock_wait_ms)]);
+        out.push_str(&t.to_markdown());
     }
     out
 }
@@ -276,5 +347,22 @@ mod tests {
             assert!(report.contains(&format!("Example {k}")));
         }
         assert!(report.contains("P(write blocked)"));
+        assert!(report.contains("traced phase breakdown"));
+    }
+
+    #[test]
+    fn traced_breakdown_matches_the_latency_model() {
+        // Example 1: every client phase is bounded by the 75 ms quorum
+        // member, and the workload is uncontended so lock waits are zero.
+        let mut h = topo::example_1(9);
+        let b = traced_breakdown(&mut h, 5);
+        assert!(
+            (b.prepare_ms - 75.0).abs() < EPS,
+            "prepare {}",
+            b.prepare_ms
+        );
+        assert!((b.commit_ms - 75.0).abs() < EPS, "commit {}", b.commit_ms);
+        assert!(b.version_collect_ms > 0.0);
+        assert!((b.lock_wait_ms - 0.0).abs() < EPS);
     }
 }

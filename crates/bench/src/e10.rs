@@ -23,7 +23,8 @@ use wv_core::harness::{Harness, SiteSpec};
 use wv_core::quorum::QuorumSpec;
 use wv_core::OpKind;
 use wv_net::SiteId;
-use wv_sim::{derive_seed, DetRng, FailureSchedule, SimDuration, SimTime};
+use wv_sim::trace::SpanKind;
+use wv_sim::{derive_seed, DetRng, FailureSchedule, SampleSet, SimDuration, SimTime};
 
 use crate::runner;
 use crate::table::Table;
@@ -72,6 +73,11 @@ struct TrialOut {
     hedges_fired: u64,
     hedge_wins: u64,
     timeouts: u64,
+    /// Traced phase totals: (summed duration in µs, span count) for
+    /// version collection, data movement, and server-side lock waits.
+    inquiry_us: (u64, u64),
+    fetch_us: (u64, u64),
+    lock_wait_us: (u64, u64),
 }
 
 /// One arm's aggregate across all trials.
@@ -101,6 +107,12 @@ pub struct ArmSummary {
     pub hedge_wins: u64,
     /// Phase timeouts.
     pub timeouts: u64,
+    /// Mean version-collection (inquiry) phase duration, traced, ms.
+    pub version_collect_ms: f64,
+    /// Mean data-movement (content fetch) phase duration, traced, ms.
+    pub data_move_ms: f64,
+    /// Mean server-side lock-wait duration, traced, ms.
+    pub lock_wait_ms: f64,
 }
 
 impl ArmSummary {
@@ -143,6 +155,10 @@ fn run_arm(seed: u64, healing: bool) -> TrialOut {
     }
     b = b.client_options(options);
     let mut h = b.build().expect("majority quorums are legal");
+    // Trace both arms: the breakdown columns come from the spans, and
+    // recording is protocol-neutral (asserted by wv-core's harness test
+    // and the bench-level trace determinism suite).
+    h.enable_tracing();
     let suite = h.suite_id();
     let client = h.default_client();
     let schedule = failure_schedule(seed);
@@ -190,7 +206,23 @@ fn run_arm(seed: u64, healing: bool) -> TrialOut {
         hedges_fired: 0,
         hedge_wins: 0,
         timeouts: 0,
+        inquiry_us: (0, 0),
+        fetch_us: (0, 0),
+        lock_wait_us: (0, 0),
     };
+    for s in h.take_trace() {
+        let Some(d) = s.duration_us() else {
+            continue; // still open at quiescence (crashed mid-flight)
+        };
+        let slot = match s.kind {
+            SpanKind::Inquiry => &mut out.inquiry_us,
+            SpanKind::Fetch => &mut out.fetch_us,
+            SpanKind::LockWait => &mut out.lock_wait_us,
+            _ => continue,
+        };
+        slot.0 += d;
+        slot.1 += 1;
+    }
     for op in h.drain_completed(client) {
         out.ops_total += 1;
         let ok = op.outcome.is_ok();
@@ -224,11 +256,11 @@ fn run_arm(seed: u64, healing: bool) -> TrialOut {
     out
 }
 
-fn percentile(sorted: &[f64], pct: u64) -> f64 {
-    if sorted.is_empty() {
+fn mean_ms(total_us: u64, n: u64) -> f64 {
+    if n == 0 {
         return 0.0;
     }
-    sorted[((sorted.len() - 1) as u64 * pct / 100) as usize]
+    total_us as f64 / n as f64 / 1000.0
 }
 
 fn summarize(trials: Vec<TrialOut>) -> ArmSummary {
@@ -245,8 +277,12 @@ fn summarize(trials: Vec<TrialOut>) -> ArmSummary {
         hedges_fired: 0,
         hedge_wins: 0,
         timeouts: 0,
+        version_collect_ms: 0.0,
+        data_move_ms: 0.0,
+        lock_wait_ms: 0.0,
     };
-    let mut lat: Vec<f64> = Vec::new();
+    let mut lat = SampleSet::new();
+    let (mut inq, mut fetch, mut lock) = ((0u64, 0u64), (0u64, 0u64), (0u64, 0u64));
     for t in trials {
         s.ops_total += t.ops_total;
         s.ops_ok += t.ops_ok;
@@ -258,11 +294,18 @@ fn summarize(trials: Vec<TrialOut>) -> ArmSummary {
         s.hedges_fired += t.hedges_fired;
         s.hedge_wins += t.hedge_wins;
         s.timeouts += t.timeouts;
-        lat.extend(t.read_lat_ms);
+        inq = (inq.0 + t.inquiry_us.0, inq.1 + t.inquiry_us.1);
+        fetch = (fetch.0 + t.fetch_us.0, fetch.1 + t.fetch_us.1);
+        lock = (lock.0 + t.lock_wait_us.0, lock.1 + t.lock_wait_us.1);
+        for x in t.read_lat_ms {
+            lat.record(x);
+        }
     }
-    lat.sort_by(|a, b| a.total_cmp(b));
-    s.read_p50_ms = percentile(&lat, 50);
-    s.read_p99_ms = percentile(&lat, 99);
+    s.read_p50_ms = lat.try_quantile(0.50).unwrap_or(0.0);
+    s.read_p99_ms = lat.try_quantile(0.99).unwrap_or(0.0);
+    s.version_collect_ms = mean_ms(inq.0, inq.1);
+    s.data_move_ms = mean_ms(fetch.0, fetch.1);
+    s.lock_wait_ms = mean_ms(lock.0, lock.1);
     s
 }
 
@@ -340,6 +383,27 @@ pub fn run_with(trials: usize) -> String {
         "phase timeouts".into(),
         off.timeouts.to_string(),
         on.timeouts.to_string(),
+    ]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    let mut t = Table::new(
+        "Traced latency breakdown (mean per span, ms)",
+        &["phase", "healing off", "healing on"],
+    );
+    t.row(&[
+        "version collect (inquiry)".into(),
+        format!("{:.1}", off.version_collect_ms),
+        format!("{:.1}", on.version_collect_ms),
+    ]);
+    t.row(&[
+        "data move (content fetch)".into(),
+        format!("{:.1}", off.data_move_ms),
+        format!("{:.1}", on.data_move_ms),
+    ]);
+    t.row(&[
+        "lock wait (server-side)".into(),
+        format!("{:.3}", off.lock_wait_ms),
+        format!("{:.3}", on.lock_wait_ms),
     ]);
     out.push_str(&t.to_markdown());
     out.push('\n');

@@ -32,3 +32,4 @@ pub mod mc;
 pub mod runner;
 pub mod table;
 pub mod topo;
+pub mod tracefmt;

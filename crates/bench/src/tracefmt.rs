@@ -1,0 +1,254 @@
+//! Plain-text waterfall rendering of operation traces.
+//!
+//! Input is a merged span record (see [`wv_sim::trace`], typically the
+//! output of `Harness::take_trace`). Spans are grouped by their `op` field
+//! — the request id of the operation's first attempt, which client spans
+//! share and server spans (lock waits, WAL writes, applies) carry for the
+//! attempt they served — and each group renders as one waterfall: a fixed
+//! time window spanning the group, one line per span with an ASCII bar
+//! showing where inside the window it ran. Spans with `op == 0`
+//! (background repair traffic) collect under a trailing `background`
+//! group.
+//!
+//! The rendering is a pure function of the span record, so traced runs
+//! that are byte-identical stay byte-identical through this module.
+
+use std::collections::BTreeMap;
+
+use wv_sim::trace::{SpanRecord, NO_PARENT, NO_PEER, OPEN_END};
+
+/// Width of the timeline bar, characters.
+const BAR: usize = 32;
+
+fn bar_line(window: (u64, u64), start: u64, end: u64) -> String {
+    let (ws, we) = window;
+    let span = (we - ws).max(1);
+    let mut cells = vec![' '; BAR];
+    let clamp = |t: u64| ((t.saturating_sub(ws)).min(span) as usize * (BAR - 1)) / span as usize;
+    let a = clamp(start);
+    if end == OPEN_END {
+        // Still open at the end of the record: run the bar off the edge.
+        for c in cells.iter_mut().take(BAR).skip(a) {
+            *c = '~';
+        }
+    } else if end == start {
+        cells[a] = '|';
+    } else {
+        let b = clamp(end);
+        for c in cells.iter_mut().take(b + 1).skip(a) {
+            *c = '=';
+        }
+    }
+    cells.into_iter().collect()
+}
+
+fn span_line(s: &SpanRecord, depth: usize, window: (u64, u64)) -> String {
+    let mut label = String::new();
+    for _ in 0..depth {
+        label.push_str("  ");
+    }
+    label.push_str(s.kind.name());
+    if s.peer != NO_PEER {
+        label.push_str(&format!("->s{}", s.peer));
+    }
+    let (end, dur) = if s.end_us == OPEN_END {
+        ("open".to_string(), "?".to_string())
+    } else {
+        (s.end_us.to_string(), (s.end_us - s.start_us).to_string())
+    };
+    format!(
+        "  {label:<24} [{}] {:>10}..{end:<10} {dur:>9}us  {}  s{} d={}\n",
+        bar_line(window, s.start_us, s.end_us),
+        s.start_us,
+        s.outcome.name(),
+        s.site,
+        s.detail,
+    )
+}
+
+fn render_tree(
+    out: &mut String,
+    spans: &[SpanRecord],
+    children: &BTreeMap<u32, Vec<usize>>,
+    idx: usize,
+    depth: usize,
+    window: (u64, u64),
+) {
+    let s = &spans[idx];
+    out.push_str(&span_line(s, depth, window));
+    if let Some(kids) = children.get(&s.id) {
+        for &k in kids {
+            render_tree(out, spans, children, k, depth + 1, window);
+        }
+    }
+}
+
+/// Renders a merged trace as per-operation waterfalls.
+///
+/// Groups are ordered by (earliest start, op id); `op == 0` spans render
+/// last under a `background` header. Returns the empty string for an
+/// empty record.
+pub fn waterfall(spans: &[SpanRecord]) -> String {
+    // Children sorted by index — creation order within a tracer, site
+    // order across tracers; both deterministic.
+    let mut children: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        if s.parent == NO_PARENT {
+            roots.push(i);
+        } else {
+            children.entry(s.parent).or_default().push(i);
+        }
+    }
+    // Group root-level spans by op.
+    let mut groups: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+    for &i in &roots {
+        groups.entry(spans[i].op).or_default().push(i);
+    }
+    // Order: by earliest start within the group, op id breaking ties;
+    // background (op 0) last.
+    let mut order: Vec<(u64, u64)> = groups
+        .iter()
+        .map(|(&op, idxs)| {
+            let start = idxs.iter().map(|&i| spans[i].start_us).min().unwrap_or(0);
+            (start, op)
+        })
+        .collect();
+    order.sort_unstable_by_key(|&(start, op)| (op == 0, start, op));
+
+    let mut out = String::new();
+    for (_, op) in order {
+        let idxs = &groups[&op];
+        // The window covers the whole group, closed ends only.
+        let subtree_bounds = |i: usize| {
+            let mut lo = spans[i].start_us;
+            let mut hi = spans[i].end_us;
+            let mut stack = vec![i];
+            while let Some(j) = stack.pop() {
+                let s = &spans[j];
+                lo = lo.min(s.start_us);
+                if s.end_us != OPEN_END {
+                    hi = if hi == OPEN_END {
+                        s.end_us
+                    } else {
+                        hi.max(s.end_us)
+                    };
+                }
+                if let Some(kids) = children.get(&s.id) {
+                    stack.extend(kids.iter().copied());
+                }
+            }
+            (lo, hi)
+        };
+        let mut ws = u64::MAX;
+        let mut we = 0u64;
+        for &i in idxs.iter() {
+            let (lo, hi) = subtree_bounds(i);
+            ws = ws.min(lo);
+            if hi != OPEN_END {
+                we = we.max(hi);
+            }
+        }
+        if we <= ws {
+            we = ws + 1;
+        }
+        if op == 0 {
+            out.push_str(&format!("background  [{ws}..{we}]us\n"));
+        } else {
+            // The op root names the group when present.
+            let head = idxs
+                .iter()
+                .map(|&i| &spans[i])
+                .find(|s| s.kind.is_op_root());
+            match head {
+                Some(h) => out.push_str(&format!(
+                    "op {:#x} {} client=s{} [{ws}..{we}]us {}\n",
+                    op,
+                    h.kind.name(),
+                    h.site,
+                    h.outcome.name()
+                )),
+                None => out.push_str(&format!("op {op:#x} [{ws}..{we}]us\n")),
+            }
+        }
+        for &i in idxs.iter() {
+            render_tree(&mut out, spans, &children, i, 0, (ws, we));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_sim::trace::{SpanKind, SpanOutcome, Tracer};
+    use wv_sim::SimTime;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    /// A handcrafted two-node write trace: inquiry fan-out, prepare,
+    /// commit, plus a server lock wait and WAL write.
+    fn sample() -> Vec<SpanRecord> {
+        let mut client = Tracer::new(3);
+        let root = client.start(SpanKind::Write, 0x30001, None, None, 0, t(0));
+        let inq = client.start(SpanKind::Inquiry, 0x30001, Some(root), None, 0, t(0));
+        let r0 = client.start(SpanKind::Rpc, 0x30001, Some(inq), Some(0), 0, t(0));
+        let r1 = client.start(SpanKind::Rpc, 0x30001, Some(inq), Some(1), 0, t(0));
+        client.end_with_detail(r0, t(150_000), SpanOutcome::Ok, 4);
+        client.end_with_detail(r1, t(152_000), SpanOutcome::Ok, 4);
+        client.end(inq, t(152_000), SpanOutcome::Ok);
+        let prep = client.start(SpanKind::Prepare, 0x30001, Some(root), None, 0, t(152_000));
+        let p0 = client.start(SpanKind::Rpc, 0x30001, Some(prep), Some(0), 0, t(152_000));
+        client.end_with_detail(p0, t(300_000), SpanOutcome::Ok, 1);
+        client.end(prep, t(300_000), SpanOutcome::Ok);
+        let com = client.start(SpanKind::Commit, 0x30001, Some(root), None, 0, t(300_000));
+        let c0 = client.start(SpanKind::Rpc, 0x30001, Some(com), Some(0), 0, t(300_000));
+        client.end_with_detail(c0, t(450_000), SpanOutcome::Ok, 1);
+        client.end(com, t(450_000), SpanOutcome::Ok);
+        client.end(root, t(450_000), SpanOutcome::Ok);
+
+        let mut server = Tracer::new(0);
+        let lw = server.start(SpanKind::LockWait, 0x30001, None, Some(3), 0, t(160_000));
+        server.end(lw, t(220_000), SpanOutcome::Ok);
+        server.event(SpanKind::WalWrite, 0x30001, None, Some(3), 5, t(228_000));
+        server.event(SpanKind::RepairPull, 0, None, Some(1), 4, t(500_000));
+
+        let mut merged = Vec::new();
+        wv_sim::trace::rebase_merge(&mut merged, client.take());
+        wv_sim::trace::rebase_merge(&mut merged, server.take());
+        merged
+    }
+
+    #[test]
+    fn waterfall_matches_golden() {
+        let rendered = waterfall(&sample());
+        let golden_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/waterfall_write.txt"
+        );
+        if std::env::var("WV_BLESS").is_ok() {
+            std::fs::write(golden_path, &rendered).expect("bless golden");
+        }
+        let golden = std::fs::read_to_string(golden_path).expect(
+            "golden file exists; regenerate with WV_BLESS=1 cargo test -p wv-bench waterfall",
+        );
+        assert_eq!(rendered, golden, "waterfall drifted from golden");
+    }
+
+    #[test]
+    fn waterfall_is_empty_on_empty_input() {
+        assert_eq!(waterfall(&[]), "");
+    }
+
+    #[test]
+    fn open_spans_render_without_panicking() {
+        let mut tr = Tracer::new(1);
+        tr.start(SpanKind::Read, 7, None, None, 0, t(10));
+        let rendered = waterfall(&tr.take());
+        assert!(rendered.contains("open"));
+        assert!(rendered.contains('~'));
+    }
+}

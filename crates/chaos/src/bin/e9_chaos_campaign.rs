@@ -16,11 +16,14 @@ fn main() {
     print!("{}", out.report);
     if std::path::Path::new("results").is_dir() {
         if let Err(e) = std::fs::write("results/e9.md", &out.report) {
-            eprintln!("warning: could not write results/e9.md: {e}");
+            wv_sim::vlog::warn("chaos", &format!("could not write results/e9.md: {e}"));
         }
         if let Some(artifact) = &out.artifact {
             if let Err(e) = std::fs::write("results/e9_repro.json", artifact) {
-                eprintln!("warning: could not write results/e9_repro.json: {e}");
+                wv_sim::vlog::warn(
+                    "chaos",
+                    &format!("could not write results/e9_repro.json: {e}"),
+                );
             }
         }
     }

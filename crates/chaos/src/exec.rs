@@ -146,7 +146,29 @@ fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
 
 /// Replays `schedule` against a fresh cluster and returns the evidence.
 pub fn run_schedule(spec: &ClusterSpec, schedule: &Schedule) -> TrialRun {
+    run_schedule_inner(spec, schedule, false).0
+}
+
+/// [`run_schedule`] with span recording on: also returns the merged
+/// operation trace. Recording never touches the protocol (the harness
+/// test suite pins this), so the [`TrialRun`] is identical to the
+/// untraced replay's.
+pub fn run_schedule_traced(
+    spec: &ClusterSpec,
+    schedule: &Schedule,
+) -> (TrialRun, Vec<wv_sim::SpanRecord>) {
+    run_schedule_inner(spec, schedule, true)
+}
+
+fn run_schedule_inner(
+    spec: &ClusterSpec,
+    schedule: &Schedule,
+    traced: bool,
+) -> (TrialRun, Vec<wv_sim::SpanRecord>) {
     let mut h = build_harness(spec, schedule.seed);
+    if traced {
+        h.enable_tracing();
+    }
     let mut coverage = TrialCoverage::default();
     let mut sent_payloads: HashSet<Vec<u8>> = HashSet::new();
     let clients = h.clients().to_vec();
@@ -305,16 +327,20 @@ pub fn run_schedule(spec: &ClusterSpec, schedule: &Schedule) -> TrialRun {
     coverage.dropped_link = net.dropped_link;
     coverage.duplicated_msgs = net.duplicated;
 
-    TrialRun {
-        seed: schedule.seed,
-        ops,
-        sent_payloads,
-        finals,
-        replicas,
-        quiesced,
-        coverage,
-        net,
-    }
+    let trace = if traced { h.take_trace() } else { Vec::new() };
+    (
+        TrialRun {
+            seed: schedule.seed,
+            ops,
+            sent_payloads,
+            finals,
+            replicas,
+            quiesced,
+            coverage,
+            net,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]

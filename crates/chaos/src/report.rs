@@ -23,7 +23,7 @@
 use wv_bench::table::Table;
 
 use crate::campaign::{run_campaign, trial_schedule, CampaignConfig};
-use crate::exec::run_schedule;
+use crate::exec::run_schedule_traced;
 use crate::oracle::check_trial;
 use crate::schedule::{ClusterSpec, EventKind, Schedule, ScheduleParams};
 use crate::shrink::{shrink, DEFAULT_BUDGET};
@@ -288,17 +288,36 @@ pub fn run(trials: usize) -> E9Output {
             out.push_str(&t.to_markdown());
             out.push('\n');
 
-            // Prove the artifact replays before shipping it.
+            // Prove the artifact replays before shipping it. The replay
+            // runs with span recording on: after shrinking, every event
+            // left is necessary to reproduce the violation, so the ops in
+            // this trace are exactly the ops involved — the trace is the
+            // violation's evidence and ships inside the artifact.
             let text = shrunk.schedule.to_json(&broken.spec);
             let (spec2, schedule2) = Schedule::from_json(&text).expect("artifact round-trips");
-            let replayed = check_trial(&run_schedule(&spec2, &schedule2), false);
+            let (rerun, trace) = run_schedule_traced(&spec2, &schedule2);
+            let replayed = check_trial(&rerun, false);
+            let span_objs: Vec<String> = wv_sim::trace::to_jsonl(&trace)
+                .lines()
+                .map(str::to_string)
+                .collect();
+            let mut with_trace = text.trim_end().to_string();
+            with_trace.pop(); // drop the closing brace
+            with_trace.push_str(&format!(",\"trace\":[{}]}}\n", span_objs.join(",")));
+            // The extra key is ignored by the parser: the artifact must
+            // still round-trip.
+            assert!(
+                Schedule::from_json(&with_trace).is_some(),
+                "trace-bearing artifact must stay parseable"
+            );
             out.push_str(&format!(
-                "Replay artifact: `results/e9_repro.json` ({} bytes); parsing and replaying it reproduces the same {} violation(s): **{}**.\n",
-                text.len(),
+                "Replay artifact: `results/e9_repro.json` ({} bytes); parsing and replaying it reproduces the same {} violation(s): **{}**. The artifact embeds the replay's {}-span operation trace (render with `trace2txt`).\n",
+                with_trace.len(),
                 shrunk.violations.len(),
-                if replayed == shrunk.violations { "yes" } else { "NO" }
+                if replayed == shrunk.violations { "yes" } else { "NO" },
+                span_objs.len(),
             ));
-            artifact = Some(text);
+            artifact = Some(with_trace);
         }
     }
 
@@ -321,6 +340,12 @@ mod tests {
         assert_eq!(a.artifact, b.artifact);
         assert!(a.artifact.is_some(), "broken campaign yields an artifact");
         assert!(a.report.contains("Minimal reproducer"));
+        // The artifact carries the traced replay of the shrunk schedule
+        // and still parses (the replayer ignores the extra key).
+        let artifact = a.artifact.as_deref().unwrap();
+        assert!(artifact.contains("\"trace\":["), "artifact embeds trace");
+        assert!(artifact.contains("\"kind\":"), "trace has span records");
+        assert!(Schedule::from_json(artifact).is_some());
         // Both the plain and the self-healing arms come back clean.
         assert!(a.report.contains("### Self-healing arm"));
         assert_eq!(

@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bytes::Bytes;
 use wv_net::{Node, NodeCtx, SiteId};
+use wv_sim::trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};
 use wv_sim::{SimDuration, SimTime};
 use wv_storage::{Container, ObjectId, Version};
 use wv_txn::Vote;
@@ -304,6 +305,39 @@ struct OpState {
     /// ignored if the operation has moved on.
     seq: u64,
     phase: Phase,
+    /// Span bookkeeping; `None` unless tracing is enabled.
+    trace: Option<OpTrace>,
+}
+
+/// Span bookkeeping for one traced operation. Lives inside [`OpState`] so
+/// it follows the operation across retries (which change the request id).
+/// `None` whenever tracing is disabled — the untraced path allocates and
+/// touches nothing.
+#[derive(Clone, Debug)]
+struct OpTrace {
+    /// The op's identity in the trace: the *first* attempt's request id,
+    /// stable across retries.
+    op: u64,
+    /// The root span, open from start to completion.
+    root: SpanId,
+    /// The current phase span (inquiry / fetch / prepare / commit).
+    phase: Option<SpanId>,
+    /// Open per-site request/response spans of the current phase
+    /// (version inquiries, prepares, commit acks).
+    rpcs: Vec<(SiteId, SpanId)>,
+    /// Open content-fetch legs: the optimistic fetch, the current fetch
+    /// candidate, and any hedge — closed by the `ReadResp` they provoke.
+    legs: Vec<(SiteId, SpanId)>,
+}
+
+/// Maps an operation error to the span outcome recorded for it.
+fn op_err_outcome(err: &OpError) -> SpanOutcome {
+    match err {
+        OpError::Conflict => SpanOutcome::Conflict,
+        OpError::Unavailable { .. } => SpanOutcome::Timeout,
+        OpError::Indeterminate => SpanOutcome::Timeout,
+        _ => SpanOutcome::Err,
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -369,6 +403,11 @@ pub struct ClientNode {
     pub completed: Vec<CompletedOp>,
     /// Counters.
     pub stats: ClientStats,
+    /// Deterministic span recorder; `None` (the default) disables tracing
+    /// and leaves the classic path byte-for-byte untouched. A tracer only
+    /// ever reads the virtual clock — never the RNG, never the effects —
+    /// so a traced run stays message-identical to an untraced one.
+    tracer: Option<Tracer>,
 }
 
 fn arm_timer(
@@ -458,7 +497,227 @@ impl ClientNode {
             decided_commit: BTreeSet::new(),
             completed: Vec::new(),
             stats: ClientStats::default(),
+            tracer: None,
         }
+    }
+
+    /// Turns on span recording. Idempotent; spans accumulate until drained
+    /// with [`Self::take_trace`].
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(Tracer::new(self.site.0));
+        }
+    }
+
+    /// Whether span recording is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains the recorded spans (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<SpanRecord> {
+        self.tracer.as_mut().map(Tracer::take).unwrap_or_default()
+    }
+
+    // ---- tracing hooks -------------------------------------------------
+    //
+    // Every hook is a no-op when `tracer` is `None`; none of them touch
+    // the RNG or emit effects, so tracing cannot perturb the protocol.
+
+    /// Opens the root span for a newly started operation.
+    fn trace_op_start(&mut self, req: ReqId, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(st) = self.ops.get_mut(&req) else {
+            return;
+        };
+        let kind = match st.kind {
+            OpKind::Read => SpanKind::Read,
+            OpKind::Write => SpanKind::Write,
+            OpKind::Reconfigure => SpanKind::Reconfigure,
+            OpKind::Transaction => SpanKind::Transaction,
+        };
+        let root = tr.start(kind, req.0, None, None, 0, now);
+        st.trace = Some(OpTrace {
+            op: req.0,
+            root,
+            phase: None,
+            rpcs: Vec::new(),
+            legs: Vec::new(),
+        });
+    }
+
+    /// Opens a phase span under the op's root, defensively closing any
+    /// phase still open (a retry abandoning a half-finished phase).
+    fn trace_begin_phase(&mut self, req: ReqId, kind: SpanKind, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        for (_, id) in t.rpcs.drain(..) {
+            tr.end(id, now, SpanOutcome::Unanswered);
+        }
+        for (_, id) in t.legs.drain(..) {
+            tr.end(id, now, SpanOutcome::Unanswered);
+        }
+        if let Some(p) = t.phase.take() {
+            tr.end(p, now, SpanOutcome::Unanswered);
+        }
+        t.phase = Some(tr.start(kind, t.op, Some(t.root), None, 0, now));
+    }
+
+    /// Opens a per-site request/response span under the current phase.
+    fn trace_add_rpc(&mut self, req: ReqId, site: SiteId, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        let id = tr.start(SpanKind::Rpc, t.op, t.phase, Some(site.0), 0, now);
+        t.rpcs.push((site, id));
+    }
+
+    /// Opens a content-fetch leg (`kind` is `Rpc` for a regular leg,
+    /// `Hedge` for a hedge) under the current phase.
+    fn trace_add_leg(&mut self, req: ReqId, site: SiteId, kind: SpanKind, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        let id = tr.start(kind, t.op, t.phase, Some(site.0), 0, now);
+        t.legs.push((site, id));
+    }
+
+    /// Closes the open request/response span aimed at `site`, if any.
+    fn trace_end_rpc(
+        &mut self,
+        req: ReqId,
+        site: SiteId,
+        now: SimTime,
+        outcome: SpanOutcome,
+        detail: u64,
+    ) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        if let Some(pos) = t.rpcs.iter().position(|(s, _)| *s == site) {
+            let (_, id) = t.rpcs.remove(pos);
+            tr.end_with_detail(id, now, outcome, detail);
+        }
+    }
+
+    /// Closes the open fetch leg aimed at `site`, if any.
+    fn trace_end_leg(
+        &mut self,
+        req: ReqId,
+        site: SiteId,
+        now: SimTime,
+        outcome: SpanOutcome,
+        detail: u64,
+    ) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        if let Some(pos) = t.legs.iter().position(|(s, _)| *s == site) {
+            let (_, id) = t.legs.remove(pos);
+            tr.end_with_detail(id, now, outcome, detail);
+        }
+    }
+
+    /// Closes every open leg with `outcome` (phase timeout hit the fetch).
+    fn trace_timeout_legs(&mut self, req: ReqId, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        for (_, id) in t.legs.drain(..) {
+            tr.end(id, now, SpanOutcome::Timeout);
+        }
+    }
+
+    /// Closes the current phase span; still-open RPCs and legs end with
+    /// `loose` (they never answered, or their answer no longer matters).
+    fn trace_close_phase(&mut self, req: ReqId, now: SimTime, outcome: SpanOutcome) {
+        let loose = match outcome {
+            SpanOutcome::Ok => SpanOutcome::Lost,
+            SpanOutcome::Timeout => SpanOutcome::Timeout,
+            _ => SpanOutcome::Unanswered,
+        };
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
+            return;
+        };
+        for (_, id) in t.rpcs.drain(..) {
+            tr.end(id, now, loose);
+        }
+        for (_, id) in t.legs.drain(..) {
+            tr.end(id, now, loose);
+        }
+        if let Some(p) = t.phase.take() {
+            tr.end(p, now, outcome);
+        }
+    }
+
+    /// Closes the phase span of an attempt whose `OpState` is already out
+    /// of the map (a retry in flight); the root stays open.
+    fn trace_close_attempt(&mut self, st: &mut OpState, now: SimTime, outcome: SpanOutcome) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = st.trace.as_mut() else {
+            return;
+        };
+        let loose = match outcome {
+            SpanOutcome::Ok => SpanOutcome::Lost,
+            SpanOutcome::Timeout => SpanOutcome::Timeout,
+            _ => SpanOutcome::Unanswered,
+        };
+        for (_, id) in t.rpcs.drain(..) {
+            tr.end(id, now, loose);
+        }
+        for (_, id) in t.legs.drain(..) {
+            tr.end(id, now, loose);
+        }
+        if let Some(p) = t.phase.take() {
+            tr.end(p, now, outcome);
+        }
+    }
+
+    /// Closes the phase and root spans of an operation that just finished
+    /// (the `OpState` is already out of the map).
+    fn trace_finish_op(&mut self, st: &mut OpState, now: SimTime, outcome: SpanOutcome) {
+        self.trace_close_attempt(st, now, outcome);
+        if let (Some(tr), Some(t)) = (self.tracer.as_mut(), st.trace.as_ref()) {
+            tr.end(t.root, now, outcome);
+        }
+    }
+
+    /// Records the durable decision-log append as an instantaneous
+    /// write-ahead-log event under the op's root.
+    fn trace_decision_logged(&mut self, req: ReqId, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get(&req).and_then(|st| st.trace.as_ref()) else {
+            return;
+        };
+        tr.event(SpanKind::WalWrite, t.op, Some(t.root), None, 0, now);
     }
 
     /// Per-decision costs: real costs for cheapest-first, fresh random
@@ -694,8 +953,10 @@ impl ClientNode {
             lock_ts: req.counter(),
             seq: 0,
             phase: Phase::RefreshConfig, // placeholder; begin_attempt resets
+            trace: None,
         };
         self.ops.insert(req, st);
+        self.trace_op_start(req, ctx.now());
         self.begin_attempt(req, ctx);
         req
     }
@@ -754,8 +1015,10 @@ impl ClientNode {
             lock_ts: req.counter(),
             seq: 0,
             phase: Phase::RefreshConfig, // placeholder; begin_attempt resets
+            trace: None,
         };
         self.ops.insert(req, st);
+        self.trace_op_start(req, ctx.now());
         self.begin_attempt(req, ctx);
         req
     }
@@ -817,6 +1080,15 @@ impl ClientNode {
             early: None,
         };
         let seq = st.seq;
+        if self.tracer.is_some() {
+            self.trace_begin_phase(req, SpanKind::Inquiry, ctx.now());
+            for site in &sites {
+                self.trace_add_rpc(req, *site, ctx.now());
+            }
+            if let Some(target) = guess {
+                self.trace_add_leg(req, target, SpanKind::Rpc, ctx.now());
+            }
+        }
         for site in sites {
             ctx.send(site, Msg::VersionReq { suite, req });
         }
@@ -845,6 +1117,14 @@ impl ClientNode {
             per_suite: suites.iter().map(|s| (*s, BTreeMap::new())).collect(),
         };
         let seq = st.seq;
+        if self.tracer.is_some() {
+            self.trace_begin_phase(req, SpanKind::Inquiry, ctx.now());
+            for suite in &suites {
+                for site in self.configs[suite].assignment.all_sites() {
+                    self.trace_add_rpc(req, site, ctx.now());
+                }
+            }
+        }
         for suite in suites {
             for site in self.configs[&suite].assignment.all_sites() {
                 ctx.send(site, Msg::VersionReq { suite, req });
@@ -872,6 +1152,7 @@ impl ClientNode {
         generation: u64,
         ctx: &mut NodeCtx<'_, Msg>,
     ) {
+        self.trace_end_rpc(req, from, ctx.now(), SpanOutcome::Ok, version.0);
         let my_gen = self.configs.get(&suite).map_or(0, |c| c.generation);
         if generation > my_gen {
             self.enter_refresh(req, from, ctx);
@@ -992,6 +1273,13 @@ impl ClientNode {
             participants: participants.clone(),
             yes: BTreeSet::new(),
         };
+        if self.tracer.is_some() {
+            self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
+            self.trace_begin_phase(req, SpanKind::Prepare, ctx.now());
+            for site in &participants {
+                self.trace_add_rpc(req, *site, ctx.now());
+            }
+        }
         for (site, writes) in per_site {
             ctx.send(
                 site,
@@ -1018,7 +1306,9 @@ impl ClientNode {
         let Some(mut st) = self.ops.remove(&req) else {
             return;
         };
+        let span_outcome = op_err_outcome(&err);
         if st.attempts >= self.options.max_attempts {
+            self.trace_finish_op(&mut st, ctx.now(), span_outcome);
             self.stats.attempts_exhausted += 1;
             self.completed.push(CompletedOp {
                 req,
@@ -1031,6 +1321,7 @@ impl ClientNode {
             });
             return;
         }
+        self.trace_close_attempt(&mut st, ctx.now(), span_outcome);
         // Fresh request id for the next attempt; late traffic for the old
         // id will find no operation and be ignored.
         self.stats.retries += 1;
@@ -1073,10 +1364,11 @@ impl ClientNode {
     /// Restart after adopting a fresh configuration (no backoff — the
     /// config is new information, not a suspected conflict).
     fn restart_op(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
-        let Some(st) = self.ops.remove(&req) else {
+        let Some(mut st) = self.ops.remove(&req) else {
             return;
         };
         if st.attempts >= self.options.max_attempts {
+            self.trace_finish_op(&mut st, ctx.now(), SpanOutcome::Conflict);
             self.stats.attempts_exhausted += 1;
             self.completed.push(CompletedOp {
                 req,
@@ -1089,6 +1381,7 @@ impl ClientNode {
             });
             return;
         }
+        self.trace_close_attempt(&mut st, ctx.now(), SpanOutcome::Stale);
         let new_req = self.fresh_req();
         self.ops.insert(new_req, st);
         self.begin_attempt(new_req, ctx);
@@ -1100,7 +1393,12 @@ impl ClientNode {
         outcome: Result<OpSuccess, OpError>,
         ctx: &mut NodeCtx<'_, Msg>,
     ) {
-        if let Some(st) = self.ops.remove(&req) {
+        if let Some(mut st) = self.ops.remove(&req) {
+            let span_outcome = match &outcome {
+                Ok(_) => SpanOutcome::Ok,
+                Err(e) => op_err_outcome(e),
+            };
+            self.trace_finish_op(&mut st, ctx.now(), span_outcome);
             self.completed.push(CompletedOp {
                 req,
                 kind: st.kind,
@@ -1114,6 +1412,7 @@ impl ClientNode {
     }
 
     fn enter_refresh(&mut self, req: ReqId, ask: SiteId, ctx: &mut NodeCtx<'_, Msg>) {
+        self.trace_close_phase(req, ctx.now(), SpanOutcome::Stale);
         let Some(st) = self.ops.get_mut(&req) else {
             return;
         };
@@ -1196,6 +1495,7 @@ impl ClientNode {
                 self.note_rtt(from, rtt);
             }
         }
+        self.trace_end_rpc(req, from, ctx.now(), SpanOutcome::Ok, version.0);
         // Fetch-candidate ranking is only needed on paths that fetch
         // (reads and reconfigurations); writes rank sites in `enter_prepare`.
         let wants_holders = self
@@ -1317,11 +1617,17 @@ impl ClientNode {
             Next::ToFetch {
                 current,
                 candidates,
-            } => self.enter_fetch(req, suite, current, candidates, ctx),
+            } => {
+                self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
+                self.enter_fetch(req, suite, current, candidates, ctx)
+            }
             Next::ToPrepare {
                 current,
                 responders,
-            } => self.enter_prepare(req, suite, current, responders, ctx),
+            } => {
+                self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
+                self.enter_prepare(req, suite, current, responders, ctx)
+            }
         }
     }
 
@@ -1396,6 +1702,10 @@ impl ClientNode {
             idx: 0,
             hedged: None,
         };
+        if self.tracer.is_some() {
+            self.trace_begin_phase(req, SpanKind::Fetch, ctx.now());
+            self.trace_add_leg(req, first, SpanKind::Rpc, ctx.now());
+        }
         ctx.send(first, Msg::ReadReq { suite, req });
         arm_timer(
             &mut self.timers,
@@ -1451,6 +1761,7 @@ impl ClientNode {
             (next, suite)
         };
         self.stats.hedges_fired += 1;
+        self.trace_add_leg(req, launched.0, SpanKind::Hedge, ctx.now());
         ctx.send(
             launched.0,
             Msg::ReadReq {
@@ -1529,6 +1840,12 @@ impl ClientNode {
             quorum: quorum.clone(),
             yes: BTreeSet::new(),
         };
+        if self.tracer.is_some() {
+            self.trace_begin_phase(req, SpanKind::Prepare, ctx.now());
+            for site in &quorum {
+                self.trace_add_rpc(req, *site, ctx.now());
+            }
+        }
         for site in &quorum {
             ctx.send(
                 *site,
@@ -1573,6 +1890,7 @@ impl ClientNode {
         ctx: &mut NodeCtx<'_, Msg>,
     ) {
         use std::collections::BTreeMap as Map;
+        self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
         let old_cfg = self.configs[&suite].clone();
         // Reconfiguration bypasses the plan cache: it ranks sites under two
         // assignments at once (the old one for the config quorum and the
@@ -1683,6 +2001,12 @@ impl ClientNode {
             quorum: participants.clone(),
             yes: BTreeSet::new(),
         };
+        if self.tracer.is_some() {
+            self.trace_begin_phase(req, SpanKind::Prepare, ctx.now());
+            for site in &participants {
+                self.trace_add_rpc(req, *site, ctx.now());
+            }
+        }
         for (site, writes) in per_site {
             ctx.send(
                 site,
@@ -1756,15 +2080,24 @@ impl ClientNode {
             }
         };
         match disposition {
-            Disposition::StoredEarly | Disposition::StaleStray => {}
+            Disposition::StoredEarly => {
+                self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Ok, version.0);
+            }
+            Disposition::StaleStray => {
+                self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Stale, version.0);
+            }
             // The candidate answered below what the quorum proved current
             // — a stale duplicate; move to the next candidate.
-            Disposition::StaleFromCandidate => self.try_next_candidate(req, ctx),
+            Disposition::StaleFromCandidate => {
+                self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Stale, version.0);
+                self.try_next_candidate(req, ctx)
+            }
             Disposition::Fresh { via_hedge } => {
                 if via_hedge {
                     self.stats.hedge_wins += 1;
                 }
                 self.stats.reads_fetched += 1;
+                self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Ok, version.0);
                 self.finish_read(req, suite, from, version, value, ctx);
             }
         }
@@ -1820,6 +2153,7 @@ impl ClientNode {
             } => {
                 let delay = self.phase_delay(&[site]);
                 let hedge = if more { self.hedge_delay(site) } else { None };
+                self.trace_add_leg(req, site, SpanKind::Rpc, ctx.now());
                 ctx.send(site, Msg::ReadReq { suite, req });
                 arm_timer(
                     &mut self.timers,
@@ -1860,6 +2194,11 @@ impl ClientNode {
             AbortAll(Vec<SiteId>),
             Decided(Vec<SiteId>),
         }
+        let vote_detail = match vote {
+            Vote::Yes => 1,
+            Vote::No => 0,
+        };
+        self.trace_end_rpc(req, from, ctx.now(), SpanOutcome::Ok, vote_detail);
         let next = {
             let Some(st) = self.ops.get_mut(&req) else {
                 return;
@@ -1931,6 +2270,14 @@ impl ClientNode {
                     }
                     st.seq
                 };
+                if self.tracer.is_some() {
+                    self.trace_decision_logged(req, ctx.now());
+                    self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
+                    self.trace_begin_phase(req, SpanKind::Commit, ctx.now());
+                    for site in &quorum {
+                        self.trace_add_rpc(req, *site, ctx.now());
+                    }
+                }
                 for site in &quorum {
                     ctx.send(*site, Msg::Commit { suite, req });
                 }
@@ -1958,6 +2305,7 @@ impl ClientNode {
         if !committed {
             return; // abort acks need no bookkeeping
         }
+        self.trace_end_rpc(req, from, ctx.now(), SpanOutcome::Ok, 1);
         let finished = {
             let Some(st) = self.ops.get_mut(&req) else {
                 return;
@@ -2189,7 +2537,10 @@ impl ClientNode {
             Next::FailUnavailable(kind) => {
                 self.fail_attempt(req, OpError::Unavailable { kind }, ctx)
             }
-            Next::NextCandidate => self.try_next_candidate(req, ctx),
+            Next::NextCandidate => {
+                self.trace_timeout_legs(req, ctx.now());
+                self.try_next_candidate(req, ctx)
+            }
             Next::AbortAndFail(quorum, suite, kind) => {
                 for site in quorum {
                     ctx.send(site, Msg::Abort { suite, req });
@@ -2241,7 +2592,10 @@ impl ClientNode {
                 version,
                 value,
             } => self.on_read_resp(from, suite, req, version, value, ctx),
-            Msg::Busy { req, .. } => self.try_next_candidate(req, ctx),
+            Msg::Busy { req, .. } => {
+                self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Refused, 0);
+                self.try_next_candidate(req, ctx)
+            }
             Msg::PrepareVote { suite, req, vote } => {
                 self.on_prepare_vote(from, suite, req, vote, ctx)
             }

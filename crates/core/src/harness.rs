@@ -743,6 +743,43 @@ impl Harness {
         }
     }
 
+    /// Turns on span recording at every client and server node.
+    /// Idempotent; recording never perturbs the protocol (tracers touch
+    /// neither the RNG nor the effect queue).
+    pub fn enable_tracing(&mut self) {
+        for node in &mut self.sim.world.nodes {
+            if let Some(c) = node.as_client_mut() {
+                c.enable_tracing();
+            }
+            if let Some(s) = node.as_server_mut() {
+                s.enable_tracing();
+            }
+        }
+    }
+
+    /// Drains every node's recorded spans, concatenated in site order
+    /// (the client half before the server half at a composite site) with
+    /// ids rebased to stay unique across nodes. The order is a pure
+    /// function of cluster topology, so traced runs are byte-identical
+    /// across processes and worker counts.
+    pub fn take_trace(&mut self) -> Vec<wv_sim::SpanRecord> {
+        let mut merged = Vec::new();
+        for node in &mut self.sim.world.nodes {
+            if let Some(c) = node.as_client_mut() {
+                wv_sim::trace::rebase_merge(&mut merged, c.take_trace());
+            }
+            if let Some(s) = node.as_server_mut() {
+                wv_sim::trace::rebase_merge(&mut merged, s.take_trace());
+            }
+        }
+        merged
+    }
+
+    /// Drains the trace and renders it as JSONL.
+    pub fn take_trace_jsonl(&mut self) -> String {
+        wv_sim::trace::to_jsonl(&self.take_trace())
+    }
+
     /// Immutable access to the underlying cluster (experiments).
     pub fn cluster(&self) -> &Cluster<SystemNode> {
         &self.sim.world
@@ -768,6 +805,51 @@ mod tests {
             .quorum(QuorumSpec::new(2, 2))
             .build()
             .expect("legal configuration")
+    }
+
+    #[test]
+    fn tracing_records_spans_without_changing_outcomes() {
+        use wv_sim::trace::{from_jsonl, to_jsonl, SpanKind, SpanOutcome};
+        let mut plain = three_server_harness(11);
+        let mut traced = three_server_harness(11);
+        traced.enable_tracing();
+        let suite = plain.suite_id();
+        for i in 0..5u8 {
+            let a = plain.write(suite, vec![i]).expect("write");
+            let b = traced.write(suite, vec![i]).expect("write");
+            assert_eq!(a.version, b.version);
+            assert_eq!(a.latency, b.latency, "tracing must not shift time");
+            let ra = plain.read(suite).expect("read");
+            let rb = traced.read(suite).expect("read");
+            assert_eq!(ra.version, rb.version);
+            assert_eq!(ra.latency, rb.latency);
+        }
+        assert!(plain.take_trace().is_empty(), "tracing off records nothing");
+        let spans = traced.take_trace();
+        let roots: Vec<_> = spans.iter().filter(|s| s.kind.is_op_root()).collect();
+        assert_eq!(roots.len(), 10, "one root per op");
+        assert!(roots.iter().all(|s| s.outcome == SpanOutcome::Ok));
+        for kind in [
+            SpanKind::Inquiry,
+            SpanKind::Rpc,
+            SpanKind::Prepare,
+            SpanKind::Commit,
+            SpanKind::WalWrite,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.kind == kind),
+                "expected a {kind:?} span"
+            );
+        }
+        // Ids are unique after the cross-node merge, and parents resolve.
+        let mut ids: Vec<u32> = spans.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), spans.len(), "rebased ids are unique");
+        let back = from_jsonl(&to_jsonl(&spans)).expect("round-trip");
+        assert_eq!(back, spans);
+        // A second drain is empty until new work happens.
+        assert!(traced.take_trace().is_empty());
     }
 
     #[test]

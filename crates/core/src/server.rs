@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 use wv_net::{Node, NodeCtx, SiteId};
+use wv_sim::trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};
 use wv_sim::SimDuration;
 use wv_storage::{Container, ObjectId, TxId, Version};
 use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
@@ -102,6 +103,12 @@ pub struct SuiteServer {
     repair_cursor: usize,
     /// Counters.
     pub stats: ServerStats,
+    /// Span recording; `None` (the default) keeps the hot path untouched.
+    /// The tracer never reads the RNG and never emits effects, so enabling
+    /// it cannot perturb the protocol.
+    tracer: Option<Tracer>,
+    /// Open lock-wait spans of queued prepares, keyed like `waiting`.
+    waiting_spans: HashMap<TxToken, SpanId>,
 }
 
 impl SuiteServer {
@@ -140,7 +147,27 @@ impl SuiteServer {
             repair_epoch: 0,
             repair_cursor: 0,
             stats: ServerStats::default(),
+            tracer: None,
+            waiting_spans: HashMap::new(),
         }
+    }
+
+    /// Turns on span recording. Idempotent; spans accumulate until drained
+    /// with [`Self::take_trace`].
+    pub fn enable_tracing(&mut self) {
+        if self.tracer.is_none() {
+            self.tracer = Some(Tracer::new(self.site.0));
+        }
+    }
+
+    /// Whether span recording is on.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracer.is_some()
+    }
+
+    /// Drains the recorded spans (empty when tracing is off).
+    pub fn take_trace(&mut self) -> Vec<SpanRecord> {
+        self.tracer.as_mut().map(Tracer::take).unwrap_or_default()
     }
 
     /// Overrides the in-doubt probe interval.
@@ -215,13 +242,18 @@ impl SuiteServer {
             let peer = peers[self.repair_cursor % peers.len()];
             self.repair_cursor = self.repair_cursor.wrapping_add(1);
             self.stats.repair_probes += 1;
-            ctx.send(
-                peer,
-                Msg::RepairPull {
-                    suite,
-                    have: self.data_version(suite),
-                },
-            );
+            let have = self.data_version(suite);
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.event(
+                    SpanKind::RepairPull,
+                    0,
+                    None,
+                    Some(peer.0),
+                    have.0,
+                    ctx.now(),
+                );
+            }
+            ctx.send(peer, Msg::RepairPull { suite, have });
         }
     }
 
@@ -234,6 +266,16 @@ impl SuiteServer {
             let have = self.data_version(suite);
             for peer in self.peers_of(suite) {
                 self.stats.repair_probes += 1;
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.event(
+                        SpanKind::RepairPull,
+                        0,
+                        None,
+                        Some(peer.0),
+                        have.0,
+                        ctx.now(),
+                    );
+                }
                 ctx.send(peer, Msg::RepairPull { suite, have });
             }
         }
@@ -322,6 +364,17 @@ impl SuiteServer {
         self.container
             .prepare_with_note(tx, w.req.0)
             .expect("prepare fresh tx");
+        if let Some(tr) = self.tracer.as_mut() {
+            let staged = w.writes.first().map(|pw| pw.version.0).unwrap_or(0);
+            tr.event(
+                SpanKind::WalWrite,
+                w.req.0,
+                None,
+                Some(w.from.0),
+                staged,
+                ctx.now(),
+            );
+        }
         self.pending.insert(
             w.req,
             PendingWrite {
@@ -346,6 +399,11 @@ impl SuiteServer {
 
     fn resume_waiter(&mut self, token: TxToken, ctx: &mut NodeCtx<'_, Msg>) {
         if let Some(w) = self.waiting.remove(&token) {
+            if let Some(id) = self.waiting_spans.remove(&token) {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.end(id, ctx.now(), SpanOutcome::Ok);
+                }
+            }
             self.finish_prepare(w, token, ctx);
         }
     }
@@ -355,6 +413,9 @@ impl SuiteServer {
             return false;
         };
         self.container.commit(p.tx).expect("commit prepared tx");
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.event(SpanKind::Apply, req.0, None, None, 1, ctx.now());
+        }
         for object in &p.objects {
             if let Some(suite) = suite_of_config_object(*object) {
                 self.reload_config(suite);
@@ -372,6 +433,9 @@ impl SuiteServer {
     fn apply_abort(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
         if let Some(p) = self.pending.remove(&req) {
             self.container.abort(p.tx).expect("abort prepared tx");
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.event(SpanKind::Apply, req.0, None, None, 0, ctx.now());
+            }
             self.stats.aborts += 1;
             let granted = self.locks.release_all(p.token);
             for g in granted {
@@ -382,6 +446,11 @@ impl SuiteServer {
         // Abort of a queued (not yet prepared) request.
         if let Some((&token, _)) = self.waiting.iter().find(|(_, w)| w.req == req) {
             self.waiting.remove(&token);
+            if let Some(id) = self.waiting_spans.remove(&token) {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.end(id, ctx.now(), SpanOutcome::Conflict);
+                }
+            }
             let granted = self.locks.release_all(token);
             for g in granted {
                 self.resume_waiter(g.tx, ctx);
@@ -538,6 +607,11 @@ impl SuiteServer {
                 }
                 let waiting = WaitingPrepare { from, req, writes };
                 if queued {
+                    if let Some(tr) = self.tracer.as_mut() {
+                        let id =
+                            tr.start(SpanKind::LockWait, req.0, None, Some(from.0), 0, ctx.now());
+                        self.waiting_spans.insert(token, id);
+                    }
                     self.waiting.insert(token, waiting);
                     return;
                 }
@@ -623,6 +697,16 @@ impl SuiteServer {
                         .expect("stage repair");
                     self.container.commit(tx).expect("commit repair");
                     self.stats.repairs_completed += 1;
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.event(
+                            SpanKind::RepairInstall,
+                            0,
+                            None,
+                            Some(from.0),
+                            version.0,
+                            ctx.now(),
+                        );
+                    }
                 }
             }
             // Client-bound messages that a composite node may mis-route
@@ -664,6 +748,9 @@ impl SuiteServer {
         self.locks = LockManager::new(self.policy);
         self.pending.clear();
         self.waiting.clear();
+        // Lock-wait spans of the cleared queue stay open in the record;
+        // an open span at a crashed site is itself evidence.
+        self.waiting_spans.clear();
         self.configs.clear();
         // Orphan any in-flight repair tick; recovery arms a fresh epoch.
         self.repair_epoch += 1;

@@ -17,6 +17,9 @@
 //!   and storage devices.
 //! * [`stats`] — streaming statistics and sample sets for reporting.
 //! * [`failure`] — crash/recovery schedules for availability experiments.
+//! * [`trace`] — deterministic per-operation spans stamped from sim time.
+//! * [`metrics`] — mergeable counters, gauges, and latency histograms.
+//! * [`vlog`] — verbosity-gated structured logging for bins.
 //!
 //! # Examples
 //!
@@ -37,14 +40,19 @@
 
 pub mod dist;
 pub mod failure;
+pub mod metrics;
 pub mod rng;
 pub mod sched;
 pub mod stats;
 pub mod time;
+pub mod trace;
+pub mod vlog;
 
 pub use dist::LatencyModel;
 pub use failure::{FailureSchedule, OutageWindow};
+pub use metrics::{MetricsRegistry, Percentiles};
 pub use rng::{derive_seed, DetRng};
 pub use sched::{Scheduler, Sim};
 pub use stats::{Histogram, SampleSet, Summary};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};

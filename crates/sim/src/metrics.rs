@@ -1,0 +1,219 @@
+//! A mergeable metrics registry: counters, gauges, and latency histograms.
+//!
+//! The registry is the aggregate companion to [`crate::trace`]: where a
+//! tracer records *one operation's* path, the registry accumulates
+//! *population* statistics — op counts, queue depths, and log-bucketed
+//! latency distributions answering p50/p90/p99/p999.
+//!
+//! # Determinism
+//!
+//! There is no global registry and no interior mutability. Each worker (a
+//! trial closure under `wv_bench::runner`) owns its own registry and returns
+//! it; the caller merges the per-trial registries **in trial-index order**
+//! with [`MetricsRegistry::merge`]. Counter addition and histogram bucket
+//! addition are associative over that fixed order, so the merged registry —
+//! and anything rendered from it — is bit-identical at any
+//! `WV_TRIAL_THREADS`.
+//!
+//! Metric names are `&'static str` by design: the set of metrics is a
+//! compile-time decision, and static names keep the hot path free of
+//! allocation.
+
+use std::collections::BTreeMap;
+
+use crate::stats::Histogram;
+
+/// The four fixed percentiles reported for every latency histogram.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+}
+
+/// Counters, gauges, and latency histograms keyed by static name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to a counter, creating it at zero on first use.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge to `value` (last write wins, including across merges).
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current gauge value, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records a latency observation in milliseconds; the histogram is
+    /// created lazily with the standard latency geometry
+    /// ([`Histogram::for_latency_ms`]).
+    pub fn observe_ms(&mut self, name: &'static str, ms: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::for_latency_ms)
+            .record(ms);
+    }
+
+    /// The named histogram, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// p50/p90/p99/p999 of a histogram; `None` if the histogram is missing
+    /// or holds fewer than two observations (a single sample is not a
+    /// distribution — see `stats::SampleSet::try_quantile`).
+    pub fn percentiles(&self, name: &str) -> Option<Percentiles> {
+        let h = self.histograms.get(name)?;
+        Some(Percentiles {
+            p50: h.try_quantile(0.50)?,
+            p90: h.try_quantile(0.90)?,
+            p99: h.try_quantile(0.99)?,
+            p999: h.try_quantile(0.999)?,
+        })
+    }
+
+    /// Iterates counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge bucket-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same histogram name was built with different geometry
+    /// (impossible via [`MetricsRegistry::observe_ms`], which pins the
+    /// geometry).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &other.gauges {
+            self.gauges.insert(name, v);
+        }
+        for (&name, h) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(name, h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_merge() {
+        let mut a = MetricsRegistry::new();
+        a.inc("ops");
+        a.add("ops", 4);
+        assert_eq!(a.counter("ops"), 5);
+        assert_eq!(a.counter("missing"), 0);
+
+        let mut b = MetricsRegistry::new();
+        b.add("ops", 10);
+        b.inc("other");
+        a.merge(&b);
+        assert_eq!(a.counter("ops"), 15);
+        assert_eq!(a.counter("other"), 1);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut a = MetricsRegistry::new();
+        a.set_gauge("depth", 3.0);
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("depth", 7.0);
+        a.merge(&b);
+        assert_eq!(a.gauge("depth"), Some(7.0));
+        assert_eq!(a.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histogram_percentiles_need_two_samples() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.percentiles("lat").is_none(), "missing histogram");
+        m.observe_ms("lat", 10.0);
+        assert!(m.percentiles("lat").is_none(), "single sample");
+        m.observe_ms("lat", 20.0);
+        let p = m.percentiles("lat").expect("two samples");
+        assert!(p.p50 > 0.0 && p.p999 >= p.p50);
+    }
+
+    #[test]
+    fn merge_order_independence_of_totals() {
+        // Totals are order-independent; the fixed merge order in the trial
+        // runner additionally makes float summaries bit-identical.
+        let mut trials: Vec<MetricsRegistry> = (0..4)
+            .map(|i| {
+                let mut m = MetricsRegistry::new();
+                m.add("ops", i + 1);
+                m.observe_ms("lat", 10.0 * (i + 1) as f64);
+                m
+            })
+            .collect();
+        let mut merged = MetricsRegistry::new();
+        for t in &trials {
+            merged.merge(t);
+        }
+        assert_eq!(merged.counter("ops"), 1 + 2 + 3 + 4);
+        assert_eq!(merged.histogram("lat").unwrap().len(), 4);
+        // Merging into the first trial gives the same totals.
+        let (first, rest) = trials.split_at_mut(1);
+        for t in rest.iter() {
+            first[0].merge(t);
+        }
+        assert_eq!(first[0].counter("ops"), merged.counter("ops"));
+    }
+}

@@ -99,7 +99,25 @@ impl SampleSet {
         var.sqrt()
     }
 
+    /// Exact quantile by the nearest-rank method, or `None` when the series
+    /// has fewer than two observations.
+    ///
+    /// A percentile of an empty series is undefined, and a percentile of a
+    /// single sample is just that sample dressed up as a distribution —
+    /// callers that would print either as a real quantile should show a
+    /// blank instead. Use [`SampleSet::quantile`] when a best-effort scalar
+    /// is acceptable.
+    pub fn try_quantile(&mut self, q: f64) -> Option<f64> {
+        if self.values.len() < 2 {
+            return None;
+        }
+        Some(self.quantile(q))
+    }
+
     /// Exact quantile by the nearest-rank method; `q` in `[0, 1]`.
+    ///
+    /// Returns 0 on an empty series; prefer [`SampleSet::try_quantile`] when
+    /// the caller can distinguish "no data" from a genuine zero.
     pub fn quantile(&mut self, q: f64) -> f64 {
         if self.values.is_empty() {
             return 0.0;
@@ -239,7 +257,19 @@ impl Histogram {
         }
     }
 
+    /// Approximate quantile, or `None` when the histogram holds fewer than
+    /// two observations (see [`SampleSet::try_quantile`] for the rationale).
+    pub fn try_quantile(&self, q: f64) -> Option<f64> {
+        if self.total < 2 {
+            return None;
+        }
+        Some(self.quantile(q))
+    }
+
     /// Approximate quantile; `q` in `[0, 1]`.
+    ///
+    /// Returns 0 on an empty histogram; prefer [`Histogram::try_quantile`]
+    /// when the caller can distinguish "no data" from a genuine zero.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
@@ -423,5 +453,23 @@ mod tests {
         assert!(h.is_empty());
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.summary().count, 0);
+    }
+
+    #[test]
+    fn try_quantile_is_none_on_empty_and_single_sample() {
+        let mut s = SampleSet::new();
+        assert_eq!(s.try_quantile(0.5), None, "empty series has no percentile");
+        s.record(42.0);
+        assert_eq!(s.try_quantile(0.99), None, "one sample is not a quantile");
+        s.record(43.0);
+        assert_eq!(s.try_quantile(0.0), Some(42.0));
+        assert_eq!(s.try_quantile(1.0), Some(43.0));
+
+        let mut h = Histogram::for_latency_ms();
+        assert_eq!(h.try_quantile(0.5), None);
+        h.record(10.0);
+        assert_eq!(h.try_quantile(0.5), None);
+        h.record(20.0);
+        assert!(h.try_quantile(0.5).is_some());
     }
 }

@@ -1,0 +1,103 @@
+//! Structured, verbosity-gated logging for bins.
+//!
+//! Experiment binaries used to scatter bare `eprintln!` calls; this module
+//! replaces them with one-line structured events on stderr, gated by the
+//! `WV_VERBOSE` environment variable:
+//!
+//! * `WV_VERBOSE=0` — silent;
+//! * unset or `WV_VERBOSE=1` — warnings only (the default);
+//! * `WV_VERBOSE=2` (or higher) — warnings and info.
+//!
+//! Each event is a single JSON object, e.g.
+//! `{"component":"e1","level":"warn","msg":"could not write results/e1.md"}`,
+//! so log output stays greppable and machine-splittable without a logging
+//! dependency.
+
+use std::io::Write as _;
+
+/// Event severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Progress and context; shown at `WV_VERBOSE>=2`.
+    Info,
+    /// Something degraded but survivable; shown unless `WV_VERBOSE=0`.
+    Warn,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+fn verbosity() -> u8 {
+    match std::env::var("WV_VERBOSE") {
+        Ok(v) => v.trim().parse::<u8>().unwrap_or(1),
+        Err(_) => 1,
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Emits one structured event to stderr if the verbosity level allows it.
+pub fn log(level: Level, component: &str, msg: &str) {
+    let threshold = match level {
+        Level::Warn => 1,
+        Level::Info => 2,
+    };
+    if verbosity() < threshold {
+        return;
+    }
+    let mut line = String::with_capacity(msg.len() + component.len() + 48);
+    line.push_str("{\"component\":\"");
+    escape(component, &mut line);
+    line.push_str("\",\"level\":\"");
+    line.push_str(level.name());
+    line.push_str("\",\"msg\":\"");
+    escape(msg, &mut line);
+    line.push_str("\"}\n");
+    // A failed stderr write has nowhere better to go; swallow it.
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Shorthand for [`log`] at [`Level::Warn`].
+pub fn warn(component: &str, msg: &str) {
+    log(Level::Warn, component, msg);
+}
+
+/// Shorthand for [`log`] at [`Level::Info`].
+pub fn info(component: &str, msg: &str) {
+    log(Level::Info, component, msg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        let mut out = String::new();
+        escape("a\"b\\c\nd\x01", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn levels_order_info_below_warn() {
+        assert!(Level::Info < Level::Warn);
+        assert_eq!(Level::Warn.name(), "warn");
+        assert_eq!(Level::Info.name(), "info");
+    }
+}
