@@ -6,6 +6,31 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wv_bench::topo;
+use wv_core::client::ClientOptions;
+use wv_core::harness::{Harness, SiteSpec};
+use wv_core::quorum::QuorumSpec;
+use wv_core::ObjectId;
+use wv_sim::SimDuration;
+
+/// A three-server majority cluster with one multi-suite pipelined client
+/// and (optionally) server-side WAL group commit.
+fn batching_cluster(suites: u64, group_commit: bool) -> Harness {
+    let mut b = Harness::builder()
+        .seed(9)
+        .quorum(QuorumSpec::majority(3))
+        .suites((1..=suites).map(ObjectId))
+        .client_options(ClientOptions {
+            pipeline_depth: Some(suites as usize),
+            ..ClientOptions::default()
+        });
+    if group_commit {
+        b = b.group_commit(SimDuration::from_millis(5));
+    }
+    for _ in 0..3 {
+        b = b.site(SiteSpec::server(1));
+    }
+    b.client().build().expect("legal cluster")
+}
 
 fn bench_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("quorum_ops");
@@ -31,6 +56,52 @@ fn bench_ops(c: &mut Criterion) {
     group.bench_function("harness_build_only", |b| {
         b.iter(|| criterion::black_box(topo::example_2(9).suite_id()));
     });
+    // Closed-loop pipelined client: 16 reads through an 8-deep window on
+    // example 1 — the wall cost of the E11 saturation workload's inner loop.
+    group.bench_function("pipelined_reads_depth8", |b| {
+        b.iter(|| {
+            let mut h = topo::example_1_with_options(
+                9,
+                ClientOptions {
+                    pipeline_depth: Some(8),
+                    ..ClientOptions::default()
+                },
+            );
+            let suite = h.suite_id();
+            h.write(suite, b"bench".to_vec()).expect("write");
+            let client = h.default_client();
+            let start = h.now();
+            for _ in 0..16 {
+                h.enqueue_read(client, suite, start);
+            }
+            h.run_until_quiet(1_000_000);
+            criterion::black_box(h.drain_completed(client).len())
+        });
+    });
+    // Six concurrent single-suite writes, with and without server-side WAL
+    // group commit batching the overlapping syncs into one durable write.
+    for &group_commit in &[false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("concurrent_writes_group_commit", group_commit),
+            &group_commit,
+            |b, &group_commit| {
+                b.iter(|| {
+                    let mut h = batching_cluster(6, group_commit);
+                    let client = h.default_client();
+                    for (i, &suite) in h.suite_ids().to_vec().iter().enumerate() {
+                        h.enqueue_write(
+                            client,
+                            suite,
+                            format!("w{i}").into_bytes(),
+                            wv_sim::SimTime::ZERO,
+                        );
+                    }
+                    h.run_until_quiet(1_000_000);
+                    criterion::black_box(h.drain_completed(client).len())
+                });
+            },
+        );
+    }
     group.finish();
 }
 

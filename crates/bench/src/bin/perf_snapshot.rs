@@ -6,22 +6,36 @@
 //! `BENCH_core.json` to the working directory (run it from the repo root).
 //! Later PRs regenerate the file on the same machine to track the perf
 //! trajectory; the absolute numbers are machine-dependent, the ratios are
-//! not.
+//! not. The two headline wall-clock rates (`sim_events_per_sec`, client
+//! `ops_per_sec`) are each the **median of 5** runs, so a single noisy
+//! run on a shared machine cannot skew the committed baseline.
 //!
 //! The trial throughput is measured twice over the *same* seeds, pinned to
 //! one worker and then to the machine's available parallelism, and the two
 //! result vectors are asserted identical — every snapshot doubles as a
 //! determinism check. On a single-core runner the two rates coincide; the
 //! ≥2× parallel speedup shows up on multi-core hardware.
+//!
+//! `perf_snapshot --check` is the CI regression guard: it re-measures the
+//! two headline medians and compares them against the committed
+//! `BENCH_core.json`, failing only on a >5× drop — coarse enough to ride
+//! out runner noise, tight enough to catch an accidental O(n²) or a debug
+//! build sneaking into the pipeline.
 
 use std::time::Instant;
 
 use wv_bench::{runner, topo};
-use wv_core::client::ClientStats;
+use wv_core::client::{ClientOptions, ClientStats};
 use wv_core::harness::{HarnessBuilder, SiteSpec};
 use wv_core::quorum::QuorumSpec;
 use wv_net::NetConfig;
 use wv_sim::{LatencyModel, MetricsRegistry, Scheduler, Sim, SimDuration};
+
+/// A fresh measurement may be this many times slower than the committed
+/// baseline before `--check` fails the build.
+const MAX_REGRESSION: f64 = 5.0;
+/// Runs per headline wall-clock rate; the median is reported.
+const MEDIAN_RUNS: usize = 5;
 
 /// Tracing must not cost more than this factor in client throughput; the
 /// real overhead is a few percent (span pushes on an in-memory Vec), the
@@ -173,13 +187,93 @@ fn faulted_client(rounds: usize) -> (u64, ClientStats) {
     (ok, stats)
 }
 
+/// Median of [`MEDIAN_RUNS`] samples of a wall-clock rate.
+fn median_of_runs(mut sample: impl FnMut() -> f64) -> f64 {
+    let mut rates: Vec<f64> = (0..MEDIAN_RUNS).map(|_| sample()).collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("rates are finite"));
+    rates[rates.len() / 2]
+}
+
+/// Closed-loop client throughput in *virtual* time: one example-1 client
+/// enqueues `ops` reads at once at window `depth`; returns committed
+/// operations per virtual second. Deterministic (no wall clock), so the
+/// pipelining speedup it reports is machine-independent.
+fn pipelined_ops_per_vsec(depth: usize, ops: usize) -> f64 {
+    let mut h = topo::example_1_with_options(
+        11,
+        ClientOptions {
+            pipeline_depth: Some(depth),
+            ..ClientOptions::default()
+        },
+    );
+    let suite = h.suite_id();
+    h.write(suite, b"throughput-seed".to_vec())
+        .expect("seeding write");
+    let client = h.default_client();
+    let start = h.now();
+    for _ in 0..ops {
+        h.enqueue_read(client, suite, start);
+    }
+    h.run_until_quiet(50_000_000);
+    let mut ok = 0u64;
+    let mut last = start;
+    for op in h.drain_completed(client) {
+        if op.outcome.is_ok() {
+            ok += 1;
+            last = last.max(op.finished);
+        }
+    }
+    assert_eq!(ok as usize, ops, "closed-loop reads must all commit");
+    ok as f64 / (last.since(start).as_millis_f64() / 1000.0)
+}
+
+/// Pulls `"key": <number>` out of a flat JSON document (first match).
+/// Good enough for the snapshot's own output; avoids a JSON dependency.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `--check`: re-measure the two headline medians and fail on a >5× drop
+/// against the committed `BENCH_core.json`.
+fn check_against_baseline() -> ! {
+    let doc = std::fs::read_to_string("BENCH_core.json")
+        .expect("--check needs BENCH_core.json in the working directory");
+    let mut failed = false;
+    let fresh = [
+        ("sim_events_per_sec", median_of_runs(sim_events_per_sec)),
+        ("ops_per_sec", median_of_runs(|| client_ops(200, false).0)),
+    ];
+    for (key, now) in fresh {
+        let committed = json_number(&doc, key)
+            .unwrap_or_else(|| panic!("BENCH_core.json has no numeric \"{key}\""));
+        let floor = committed / MAX_REGRESSION;
+        let verdict = if now < floor { "FAIL" } else { "ok" };
+        println!(
+            "perf-check {key}: committed {committed:.0}, fresh {now:.0}, floor {floor:.0} — {verdict}"
+        );
+        failed |= now < floor;
+    }
+    std::process::exit(i32::from(failed));
+}
+
 fn main() {
     const TRIALS: usize = 192;
     const ROUNDS: usize = 1_000;
     const FAULT_ROUNDS: usize = 250;
     const HEALING_TRIALS: usize = 4;
+    const PIPE_OPS: usize = 64;
 
-    let events_per_sec = sim_events_per_sec();
+    if std::env::args().any(|a| a == "--check") {
+        check_against_baseline();
+    }
+
+    let events_per_sec = median_of_runs(sim_events_per_sec);
     let (seq_rate, seq_out) = trial_throughput(1, TRIALS);
     let parallel_workers = std::thread::available_parallelism().map_or(1, usize::from);
     let (par_rate, par_out) = trial_throughput(parallel_workers, TRIALS);
@@ -187,8 +281,18 @@ fn main() {
         seq_out, par_out,
         "parallel trial results must be bit-identical to sequential"
     );
-    let (ops_per_sec, hits, misses, reg, _) = client_ops(ROUNDS, false);
+    let ops_per_sec = median_of_runs(|| client_ops(ROUNDS, false).0);
+    let (_, hits, misses, reg, _) = client_ops(ROUNDS, false);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    // Virtual-time pipelining curve: deterministic, so the ≥2× window
+    // speedup is a hard promise, not a flaky wall-clock observation.
+    let depth1_vsec = pipelined_ops_per_vsec(1, PIPE_OPS);
+    let depth8_vsec = pipelined_ops_per_vsec(8, PIPE_OPS);
+    let pipeline_speedup = depth8_vsec / depth1_vsec;
+    assert!(
+        pipeline_speedup >= 2.0,
+        "depth-8 pipelining must at least double closed-loop throughput, got {pipeline_speedup:.2}x"
+    );
     let (ops_per_sec_traced, _, _, _, spans_recorded) = client_ops(ROUNDS, true);
     let trace_overhead = ops_per_sec / ops_per_sec_traced;
     assert!(
@@ -203,7 +307,8 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"wv-perf-snapshot/2\",\n  \
+         \"schema\": \"wv-perf-snapshot/3\",\n  \
+         \"median_runs\": {MEDIAN_RUNS},\n  \
          \"sim_events_per_sec\": {events_per_sec:.0},\n  \
          \"trials\": {{\n    \
          \"workload\": \"example-1 cluster, 25 write+read rounds per trial\",\n    \
@@ -220,6 +325,12 @@ fn main() {
          \"plan_cache_hits\": {hits},\n    \
          \"plan_cache_misses\": {misses},\n    \
          \"plan_cache_hit_rate\": {hit_rate:.4}\n  \
+         }},\n  \
+         \"throughput\": {{\n    \
+         \"workload\": \"example-1 closed loop, {PIPE_OPS} reads enqueued at once, virtual-time rate\",\n    \
+         \"depth1_ops_per_vsec\": {depth1_vsec:.2},\n    \
+         \"depth8_ops_per_vsec\": {depth8_vsec:.2},\n    \
+         \"pipeline_speedup\": {pipeline_speedup:.2}\n  \
          }},\n  \
          \"latency_histograms\": {{\n    \
          \"source\": \"virtual-time op latencies, log-bucketed (MetricsRegistry)\",\n    \

@@ -5,6 +5,7 @@
 //! quoted access cost; an inquiry or fetch round trip then costs exactly
 //! the paper's number.
 
+use wv_core::client::ClientOptions;
 use wv_core::harness::{Harness, HarnessBuilder, SiteSpec};
 use wv_core::quorum::QuorumSpec;
 use wv_net::{NetConfig, SiteId};
@@ -39,6 +40,12 @@ pub fn client_star(access: &[f64], client_self: Option<f64>) -> NetConfig {
 /// representative (65 ms local access), and a second workstation with its
 /// own weak representative. `r = w = 1`.
 pub fn example_1(seed: u64) -> Harness {
+    example_1_with_options(seed, ClientOptions::default())
+}
+
+/// [`example_1`] with explicit client options — the throughput snapshots
+/// run the same topology at several pipeline depths.
+pub fn example_1_with_options(seed: u64, options: ClientOptions) -> Harness {
     // Sites: 0 = file server (1 vote), 1 = other workstation (weak),
     // 2 = client workstation (weak).
     let net = {
@@ -53,6 +60,7 @@ pub fn example_1(seed: u64) -> Harness {
         .site(SiteSpec::server(0))
         .site(SiteSpec::client_with_weak())
         .quorum(QuorumSpec::new(1, 1))
+        .client_options(options)
         .net(net)
         .build()
         .expect("example 1 is legal")

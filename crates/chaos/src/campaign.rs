@@ -87,6 +87,10 @@ pub struct Coverage {
     pub hedge_wins: u64,
     /// Anti-entropy repairs installed across all servers and trials.
     pub repairs_completed: u64,
+    /// Group-commit WAL sync batches flushed across all servers and trials.
+    pub wal_batches: u64,
+    /// WAL records made durable by those batched syncs.
+    pub wal_batched_records: u64,
 }
 
 impl Coverage {
@@ -113,6 +117,8 @@ impl Coverage {
         self.hedges_fired += c.hedges_fired;
         self.hedge_wins += c.hedge_wins;
         self.repairs_completed += c.repairs_completed;
+        self.wal_batches += c.wal_batches;
+        self.wal_batched_records += c.wal_batched_records;
     }
 
     /// True when every fault kind fired in at least one trial — the bar a

@@ -82,6 +82,10 @@ pub struct TrialCoverage {
     pub hedge_wins: u64,
     /// Anti-entropy repairs installed across all servers.
     pub repairs_completed: u64,
+    /// Group-commit sync batches across all servers (0 with batching off).
+    pub wal_batches: u64,
+    /// WAL records those batches made durable.
+    pub wal_batched_records: u64,
 }
 
 /// Everything a finished trial leaves behind for the oracle.
@@ -118,6 +122,11 @@ pub fn payload_bytes(seed: u64, tag: u64) -> Vec<u8> {
 /// clusters.
 pub const REPAIR_INTERVAL: SimDuration = SimDuration::from_millis(500);
 
+/// WAL sync latency used by group-commit-enabled chaos and bench
+/// clusters: long enough that concurrent prepares genuinely share
+/// batches, short against the 100 ms links.
+pub const GROUP_COMMIT_LATENCY: SimDuration = SimDuration::from_millis(5);
+
 /// Builds the harness a schedule runs against.
 fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
     let mut b = Harness::builder()
@@ -139,6 +148,9 @@ fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
                 health: Some(HealthOptions::default()),
                 ..ClientOptions::default()
             });
+    }
+    if spec.group_commit {
+        b = b.group_commit(GROUP_COMMIT_LATENCY);
     }
     b.build()
         .expect("chaos harness build only fails on illegal quorums, which are unchecked here")
@@ -308,6 +320,8 @@ fn run_schedule_inner(
     for s in 0..spec.servers {
         if let Some(stats) = h.server_stats(SiteId(s as u16)) {
             coverage.repairs_completed += stats.repairs_completed;
+            coverage.wal_batches += stats.wal_batches;
+            coverage.wal_batched_records += stats.wal_batched_records;
         }
     }
     for op in &ops {
@@ -452,6 +466,31 @@ mod tests {
         let again = run_schedule(&spec, &schedule);
         assert_eq!(run.replicas, again.replicas);
         assert_eq!(run.coverage, again.coverage);
+    }
+
+    #[test]
+    fn group_commit_trials_converge_and_satisfy_the_oracle() {
+        // The same generated fault timeline, batched and unbatched. The
+        // arms may commit different amounts of work (batching shifts
+        // response times, so ops meet the faults differently), but each
+        // must quiesce to an internally consistent state, the batched arm
+        // must actually sync through the group-commit path, and the full
+        // history oracle must stay clean over both.
+        let plain = ClusterSpec::majority(3, 1);
+        let batched = ClusterSpec::majority(3, 1).with_group_commit();
+        let schedule = generate(&plain, &ScheduleParams::default(), 17);
+        let a = run_schedule(&plain, &schedule);
+        let b = run_schedule(&batched, &schedule);
+        assert!(a.quiesced && b.quiesced);
+        assert!(b.coverage.wal_batches >= 1, "no sync used the batch path");
+        assert!(b.coverage.wal_batched_records >= b.coverage.wal_batches);
+        assert_eq!(a.coverage.wal_batches, 0, "batching off syncs inline");
+        assert!(crate::oracle::check_trial(&a, false).is_empty());
+        assert!(crate::oracle::check_trial(&b, false).is_empty());
+        // Replays of the batched arm stay deterministic.
+        let again = run_schedule(&batched, &schedule);
+        assert_eq!(b.replicas, again.replicas);
+        assert_eq!(b.coverage, again.coverage);
     }
 
     #[test]

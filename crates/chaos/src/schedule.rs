@@ -45,6 +45,11 @@ pub struct ClusterSpec {
     /// schedule generator, so repair-on and repair-off arms replay the
     /// exact same fault timeline.
     pub repair: bool,
+    /// Run every server with WAL group commit: records arriving during a
+    /// sync ride the next one in a single durable write. Like `repair`,
+    /// never consulted by the schedule generator, so batched and
+    /// unbatched arms replay the same fault timeline.
+    pub group_commit: bool,
 }
 
 impl ClusterSpec {
@@ -58,12 +63,19 @@ impl ClusterSpec {
             write_quorum: maj,
             unchecked_quorums: false,
             repair: false,
+            group_commit: false,
         }
     }
 
     /// The same cluster with the self-healing layer switched on.
     pub fn with_repair(mut self) -> Self {
         self.repair = true;
+        self
+    }
+
+    /// The same cluster with WAL group commit switched on.
+    pub fn with_group_commit(mut self) -> Self {
+        self.group_commit = true;
         self
     }
 
@@ -86,6 +98,7 @@ impl ClusterSpec {
             write_quorum: servers as u32 - read_quorum,
             unchecked_quorums: true,
             repair: false,
+            group_commit: false,
         }
     }
 
@@ -402,6 +415,7 @@ impl Schedule {
             Value::Bool(spec.unchecked_quorums),
         );
         cluster.insert("repair".to_string(), Value::Bool(spec.repair));
+        cluster.insert("group_commit".to_string(), Value::Bool(spec.group_commit));
         root.insert("cluster".to_string(), Value::Object(cluster));
         let events: Vec<Value> = self.events.iter().map(event_to_value).collect();
         root.insert("events".to_string(), Value::Array(events));
@@ -427,6 +441,11 @@ impl Schedule {
             // Absent in pre-repair artifacts: default off for back-compat.
             repair: cluster
                 .get("repair")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            // Same back-compat rule for pre-group-commit artifacts.
+            group_commit: cluster
+                .get("group_commit")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
         };
@@ -691,15 +710,42 @@ mod tests {
     }
 
     #[test]
+    fn the_group_commit_flag_round_trips_through_json() {
+        let spec = ClusterSpec::majority(5, 2).with_group_commit();
+        let s = generate(&spec, &ScheduleParams::default(), 4);
+        let (spec2, s2) = Schedule::from_json(&s.to_json(&spec)).expect("parses");
+        assert!(spec2.group_commit);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn artifacts_without_a_group_commit_key_replay_unbatched() {
+        // Replay artifacts written before group commit omit the key; they
+        // must keep parsing, with batching defaulted off.
+        let spec = ClusterSpec::majority(3, 1);
+        let s = generate(&spec, &ScheduleParams::default(), 8);
+        let legacy = s.to_json(&spec).replace(",\"group_commit\":false", "");
+        assert!(!legacy.contains("group_commit"), "key really was stripped");
+        let (spec2, s2) = Schedule::from_json(&legacy).expect("parses");
+        assert!(!spec2.group_commit);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
     fn repair_never_influences_schedule_generation() {
         // Repair-on and repair-off arms must share identical timelines so
         // a campaign can compare them trial for trial.
         let plain = ClusterSpec::majority(5, 2);
         let healing = ClusterSpec::majority(5, 2).with_repair();
+        let batched = ClusterSpec::majority(5, 2).with_group_commit();
         for seed in 0..20 {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
                 generate(&healing, &ScheduleParams::default(), seed),
+            );
+            assert_eq!(
+                generate(&plain, &ScheduleParams::default(), seed),
+                generate(&batched, &ScheduleParams::default(), seed),
             );
         }
     }

@@ -19,7 +19,8 @@
 //! attempt can never contaminate a live one) while keeping the operation's
 //! original wait-die age (so retries gain seniority instead of starving).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use wv_net::{Node, NodeCtx, SiteId};
@@ -69,6 +70,12 @@ pub struct ClientOptions {
     /// disables all of it, leaving the classic fixed-timeout behaviour
     /// byte-for-byte untouched.
     pub health: Option<HealthOptions>,
+    /// Outstanding-operation window. `Some(k)` lets at most `k` operations
+    /// progress over the net at once; further submissions queue (FIFO,
+    /// request ids allocated at submission) and launch as slots free up.
+    /// `None` — the default — never queues, leaving the classic
+    /// caller-paced behaviour byte-for-byte untouched.
+    pub pipeline_depth: Option<usize>,
 }
 
 /// Tunables for the client's self-healing layer.
@@ -135,6 +142,14 @@ pub enum QuorumPolicy {
     /// Choose uniformly at random — the ablation baseline showing what the
     /// cost-aware choice buys.
     Random,
+    /// Cheapest-first with deterministic round-robin rotation among
+    /// cost-equivalent sites, so read traffic spreads across equally cheap
+    /// representatives instead of hammering the one with the lowest id.
+    /// The rotated order stays sorted by cost, so every quorum it yields
+    /// is still minimal-cost; only tie-breaks move. Rotation is seeded via
+    /// [`wv_sim::derive_seed`] and advances once per decision — no RNG
+    /// draws, so runs stay bit-identical at any worker count.
+    LoadBalanced,
 }
 
 impl Default for ClientOptions {
@@ -150,6 +165,7 @@ impl Default for ClientOptions {
             optimistic_fetch: true,
             quorum_policy: QuorumPolicy::CheapestFirst,
             health: None,
+            pipeline_depth: None,
         }
     }
 }
@@ -376,7 +392,12 @@ pub const CLIENT_TIMER_TAG: u64 = 1 << 63;
 struct QuorumPlan {
     generation: u64,
     /// All sites of the assignment (weak included), cheapest-first.
-    site_order: Vec<SiteId>,
+    /// Shared, so handing it to a decision is one refcount bump instead
+    /// of a per-op `Vec` clone.
+    site_order: Arc<[SiteId]>,
+    /// Round-robin cursor for [`QuorumPolicy::LoadBalanced`]: seeded from
+    /// `(site, generation)` via `derive_seed`, advanced once per decision.
+    rr: u64,
 }
 
 /// A client node: starts operations, reacts to responses, records results.
@@ -396,6 +417,14 @@ pub struct ClientNode {
     next_timer: u64,
     ops: HashMap<ReqId, OpState>,
     timers: HashMap<u64, TimerEntry>,
+    /// Operations launched and not yet finished (excludes queued ones).
+    active: usize,
+    /// Submissions waiting for a pipeline slot, in submission order.
+    queue: VecDeque<ReqId>,
+    /// Per-site counters of data requests actually sent (fetch legs,
+    /// hedges, prepares), indexed like `costs` — the load the policy
+    /// choice distributes.
+    site_load: Vec<u64>,
     /// Durable commit-decision log (presumed abort for anything absent).
     decisions: Container,
     decided_commit: BTreeSet<ReqId>,
@@ -427,6 +456,30 @@ fn arm_timer(
 
 fn site_cost(costs: &[f64], site: SiteId) -> f64 {
     costs.get(site.index()).copied().unwrap_or(f64::MAX)
+}
+
+/// Seed salt for the load-balanced rotation cursor.
+const LB_SALT: u64 = 0x10AD_BA1A_7C3D_5EED;
+
+/// Rotates each maximal run of equal-cost sites in a cost-sorted order by
+/// `rr` positions. The result is still sorted by `(cost)` — only the
+/// tie-break order inside each run changes — so a greedy quorum over it is
+/// exactly as cheap as over the input.
+fn rotate_cost_ties(order: &[SiteId], costs: &[f64], rr: u64) -> Arc<[SiteId]> {
+    let mut out: Vec<SiteId> = Vec::with_capacity(order.len());
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i + 1;
+        while j < order.len() && site_cost(costs, order[j]) == site_cost(costs, order[i]) {
+            j += 1;
+        }
+        let run = &order[i..j];
+        let k = (rr % run.len() as u64) as usize;
+        out.extend_from_slice(&run[k..]);
+        out.extend_from_slice(&run[..k]);
+        i = j;
+    }
+    Arc::from(out)
 }
 
 /// Sites reporting `current`, sorted cheapest-first.
@@ -482,6 +535,7 @@ impl ClientNode {
                 suspected: false,
             })
             .collect();
+        let site_load = vec![0; costs.len()];
         ClientNode {
             site,
             configs: configs.into_iter().map(|c| (c.suite, c)).collect(),
@@ -493,6 +547,9 @@ impl ClientNode {
             next_timer: 1,
             ops: HashMap::new(),
             timers: HashMap::new(),
+            active: 0,
+            queue: VecDeque::new(),
+            site_load,
             decisions: Container::new(),
             decided_commit: BTreeSet::new(),
             completed: Vec::new(),
@@ -724,7 +781,7 @@ impl ClientNode {
     /// draws for the random-policy ablation.
     fn effective_costs(&self, ctx: &mut NodeCtx<'_, Msg>) -> Vec<f64> {
         match self.options.quorum_policy {
-            QuorumPolicy::CheapestFirst => self.costs.clone(),
+            QuorumPolicy::CheapestFirst | QuorumPolicy::LoadBalanced => self.costs.clone(),
             QuorumPolicy::Random => (0..self.costs.len()).map(|_| ctx.rng().f64()).collect(),
         }
     }
@@ -736,8 +793,8 @@ impl ClientNode {
     /// A plan built for an older generation is rebuilt (and counted as a
     /// miss), so a stale entry can never leak into a decision even if an
     /// invalidation point were missed.
-    fn cached_site_order(&mut self, suite: ObjectId) -> Option<Vec<SiteId>> {
-        if self.options.quorum_policy != QuorumPolicy::CheapestFirst {
+    fn cached_site_order(&mut self, suite: ObjectId) -> Option<Arc<[SiteId]>> {
+        if self.options.quorum_policy == QuorumPolicy::Random {
             return None;
         }
         let cfg = self.configs.get(&suite)?;
@@ -745,7 +802,9 @@ impl ClientNode {
         if let Some(plan) = self.plans.get(&suite) {
             if plan.generation == generation {
                 self.stats.plan_cache_hits += 1;
-                return Some(plan.site_order.clone());
+                // A refcount bump, not a `Vec` clone: the order is shared
+                // with the cache for the decision's lifetime.
+                return Some(Arc::clone(&plan.site_order));
             }
         }
         self.stats.plan_cache_misses += 1;
@@ -756,14 +815,34 @@ impl ClientNode {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.cmp(b))
         });
+        let site_order: Arc<[SiteId]> = Arc::from(site_order);
         self.plans.insert(
             suite,
             QuorumPlan {
                 generation,
-                site_order: site_order.clone(),
+                site_order: Arc::clone(&site_order),
+                rr: wv_sim::derive_seed(LB_SALT ^ u64::from(self.site.0), generation),
             },
         );
         Some(site_order)
+    }
+
+    /// The site order one decision should use: the cached plan as-is for
+    /// cheapest-first, the plan with its cost-ties rotated for the
+    /// load-balanced policy (each decision advances the rotation), `None`
+    /// for the random ablation.
+    fn decision_order(&mut self, suite: ObjectId) -> Option<Arc<[SiteId]>> {
+        let order = self.cached_site_order(suite)?;
+        if self.options.quorum_policy != QuorumPolicy::LoadBalanced {
+            return Some(order);
+        }
+        let rr = {
+            let plan = self.plans.get_mut(&suite).expect("plan just built");
+            let rr = plan.rr;
+            plan.rr = plan.rr.wrapping_add(1);
+            rr
+        };
+        Some(rotate_cost_ties(&order, &self.costs, rr))
     }
 
     /// Folds one RTT sample into a site's EWMA (no-op with health off).
@@ -813,8 +892,9 @@ impl ClientNode {
     /// suspected the order is left alone — routing around everyone is
     /// routing nowhere. Counts a reroute whenever the demotion changed
     /// the order a decision actually used.
-    fn reorder_by_health(&mut self, order: Vec<SiteId>) -> Vec<SiteId> {
+    fn reorder_by_health(&mut self, order: Arc<[SiteId]>) -> Arc<[SiteId]> {
         if self.options.health.is_none() {
+            // Shared order passes through untouched — no per-op clone.
             return order;
         }
         let suspected =
@@ -824,10 +904,10 @@ impl ClientNode {
             return order;
         }
         reordered.extend(order.iter().copied().filter(|&s| suspected(s)));
-        if reordered != order {
+        if reordered[..] != order[..] {
             self.stats.reroutes += 1;
         }
-        reordered
+        Arc::from(reordered)
     }
 
     /// The timeout for a phase contacting `sites`: with health tracking
@@ -876,9 +956,27 @@ impl ClientNode {
         self.configs.get(&suite)
     }
 
-    /// Number of operations still in flight.
+    /// Number of operations still in flight (launched or queued).
     pub fn in_flight(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Number of submissions still waiting for a pipeline slot.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Per-site counters of data requests (fetch legs, hedges, prepares)
+    /// this client sent, indexed by site — the load the selection policy
+    /// distributes across representatives.
+    pub fn site_load(&self) -> &[u64] {
+        &self.site_load
+    }
+
+    fn note_load(&mut self, site: SiteId) {
+        if let Some(c) = self.site_load.get_mut(site.index()) {
+            *c += 1;
+        }
     }
 
     /// Drains and returns the finished-operation log.
@@ -890,6 +988,46 @@ impl ClientNode {
         let c = self.next_counter;
         self.next_counter += 1;
         ReqId::new(c, self.site)
+    }
+
+    /// Launches a freshly submitted operation, or queues it when the
+    /// pipeline window is full. With no window configured this is exactly
+    /// the classic immediate launch.
+    fn submit(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        if let Some(depth) = self.options.pipeline_depth {
+            if self.active >= depth {
+                self.queue.push_back(req);
+                return;
+            }
+        }
+        self.active += 1;
+        self.trace_op_start(req, ctx.now());
+        self.begin_attempt(req, ctx);
+    }
+
+    /// Fills freed pipeline slots from the submission queue, in order.
+    fn launch_queued(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(depth) = self.options.pipeline_depth else {
+            return;
+        };
+        while self.active < depth {
+            let Some(req) = self.queue.pop_front() else {
+                return;
+            };
+            if !self.ops.contains_key(&req) {
+                continue; // lost to a crash while queued
+            }
+            self.active += 1;
+            self.trace_op_start(req, ctx.now());
+            self.begin_attempt(req, ctx);
+        }
+    }
+
+    /// Bookkeeping after an operation left the in-flight set: free its
+    /// pipeline slot and launch waiting submissions into it.
+    fn op_finished(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        self.active = self.active.saturating_sub(1);
+        self.launch_queued(ctx);
     }
 
     /// Starts a quorum read. Returns the operation's first request id.
@@ -956,8 +1094,7 @@ impl ClientNode {
             trace: None,
         };
         self.ops.insert(req, st);
-        self.trace_op_start(req, ctx.now());
-        self.begin_attempt(req, ctx);
+        self.submit(req, ctx);
         req
     }
 
@@ -1018,8 +1155,7 @@ impl ClientNode {
             trace: None,
         };
         self.ops.insert(req, st);
-        self.trace_op_start(req, ctx.now());
-        self.begin_attempt(req, ctx);
+        self.submit(req, ctx);
         req
     }
 
@@ -1046,7 +1182,7 @@ impl ClientNode {
         // max(inquiry, fetch) instead of inquiry + fetch. The cheapest host
         // is the first entry of the cached plan.
         let guess = if wants_guess {
-            match self.cached_site_order(suite) {
+            match self.decision_order(suite) {
                 Some(order) => self.reorder_by_health(order).first().copied(),
                 None => {
                     let eff_costs = self.effective_costs(ctx);
@@ -1093,6 +1229,7 @@ impl ClientNode {
             ctx.send(site, Msg::VersionReq { suite, req });
         }
         if let Some(target) = guess {
+            self.note_load(target);
             ctx.send(target, Msg::ReadReq { suite, req });
         }
         arm_timer(
@@ -1190,9 +1327,9 @@ impl ClientNode {
             };
             st.multi_payloads.iter().map(|(s, _)| *s).collect()
         };
-        let mut orders: Map<ObjectId, Vec<SiteId>> = Map::new();
+        let mut orders: Map<ObjectId, Arc<[SiteId]>> = Map::new();
         for suite in &touched {
-            if let Some(order) = self.cached_site_order(*suite) {
+            if let Some(order) = self.decision_order(*suite) {
                 orders.insert(*suite, order);
             }
         }
@@ -1281,6 +1418,7 @@ impl ClientNode {
             }
         }
         for (site, writes) in per_site {
+            self.note_load(site);
             ctx.send(
                 site,
                 Msg::Prepare {
@@ -1319,6 +1457,7 @@ impl ClientNode {
                 finished: ctx.now(),
                 attempts: st.attempts,
             });
+            self.op_finished(ctx);
             return;
         }
         self.trace_close_attempt(&mut st, ctx.now(), span_outcome);
@@ -1379,6 +1518,7 @@ impl ClientNode {
                 finished: ctx.now(),
                 attempts: st.attempts,
             });
+            self.op_finished(ctx);
             return;
         }
         self.trace_close_attempt(&mut st, ctx.now(), SpanOutcome::Stale);
@@ -1408,6 +1548,7 @@ impl ClientNode {
                 finished: ctx.now(),
                 attempts: st.attempts,
             });
+            self.op_finished(ctx);
         }
     }
 
@@ -1503,7 +1644,7 @@ impl ClientNode {
             .get(&req)
             .is_some_and(|st| matches!(st.kind, OpKind::Read | OpKind::Reconfigure));
         let plan = if wants_holders {
-            self.cached_site_order(suite)
+            self.decision_order(suite)
                 .map(|o| self.reorder_by_health(o))
         } else {
             None
@@ -1706,6 +1847,7 @@ impl ClientNode {
             self.trace_begin_phase(req, SpanKind::Fetch, ctx.now());
             self.trace_add_leg(req, first, SpanKind::Rpc, ctx.now());
         }
+        self.note_load(first);
         ctx.send(first, Msg::ReadReq { suite, req });
         arm_timer(
             &mut self.timers,
@@ -1762,6 +1904,7 @@ impl ClientNode {
         };
         self.stats.hedges_fired += 1;
         self.trace_add_leg(req, launched.0, SpanKind::Hedge, ctx.now());
+        self.note_load(launched.0);
         ctx.send(
             launched.0,
             Msg::ReadReq {
@@ -1800,7 +1943,7 @@ impl ClientNode {
             .filter(|s| cfg.assignment.votes_of(*s) > 0)
             .collect();
         let quorum = match self
-            .cached_site_order(suite)
+            .decision_order(suite)
             .map(|o| self.reorder_by_health(o))
         {
             Some(order) => {
@@ -1847,6 +1990,7 @@ impl ClientNode {
             }
         }
         for site in &quorum {
+            self.note_load(*site);
             ctx.send(
                 *site,
                 Msg::Prepare {
@@ -2008,6 +2152,7 @@ impl ClientNode {
             }
         }
         for (site, writes) in per_site {
+            self.note_load(site);
             ctx.send(
                 site,
                 Msg::Prepare {
@@ -2154,6 +2299,7 @@ impl ClientNode {
                 let delay = self.phase_delay(&[site]);
                 let hedge = if more { self.hedge_delay(site) } else { None };
                 self.trace_add_leg(req, site, SpanKind::Rpc, ctx.now());
+                self.note_load(site);
                 ctx.send(site, Msg::ReadReq { suite, req });
                 arm_timer(
                     &mut self.timers,
@@ -2649,6 +2795,8 @@ impl ClientNode {
     pub fn handle_crash(&mut self) {
         self.ops.clear();
         self.timers.clear();
+        self.queue.clear();
+        self.active = 0;
         self.decided_commit.clear();
         self.decisions.crash();
     }
@@ -3101,7 +3249,7 @@ mod tests {
         let cached = c.plans.get(&SUITE).expect("plan built");
         assert_eq!(cached.generation, 1);
         // Cheapest-first over costs [10, 20, 30]: 0 before 1 before 2.
-        assert_eq!(cached.site_order, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        assert_eq!(&cached.site_order[..], [SiteId(0), SiteId(1), SiteId(2)]);
         // Every inquiry response ranks fetch candidates from the cache.
         for s in 0..2u16 {
             let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
@@ -3179,6 +3327,152 @@ mod tests {
         assert!(c.plans.is_empty(), "random ablation must not memoize costs");
         assert_eq!(c.stats.plan_cache_hits, 0);
         assert_eq!(c.stats.plan_cache_misses, 0);
+    }
+
+    // ---- load-balanced selection, pipelining, per-site load ----
+
+    fn lb_client(costs: Vec<f64>) -> ClientNode {
+        ClientNode::new(
+            CLIENT,
+            vec![config()],
+            costs,
+            ClientOptions {
+                quorum_policy: QuorumPolicy::LoadBalanced,
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn rotate_cost_ties_rotates_only_within_equal_cost_runs() {
+        let costs = vec![5.0, 5.0, 5.0, 9.0];
+        let order = [SiteId(0), SiteId(1), SiteId(2), SiteId(3)];
+        let r0 = rotate_cost_ties(&order, &costs, 0);
+        assert_eq!(&r0[..], order);
+        let r1 = rotate_cost_ties(&order, &costs, 1);
+        assert_eq!(&r1[..], [SiteId(1), SiteId(2), SiteId(0), SiteId(3)]);
+        let r2 = rotate_cost_ties(&order, &costs, 2);
+        assert_eq!(&r2[..], [SiteId(2), SiteId(0), SiteId(1), SiteId(3)]);
+        // The cursor wraps around the run length.
+        let r3 = rotate_cost_ties(&order, &costs, 3);
+        assert_eq!(&r3[..], order);
+    }
+
+    #[test]
+    fn load_balanced_spreads_reads_across_cost_ties_deterministically() {
+        let run = || {
+            let mut c = lb_client(vec![10.0, 10.0, 10.0, 1.0]);
+            let mut rng = DetRng::new(13);
+            let mut targets = Vec::new();
+            for i in 0..6u64 {
+                let mut ctx = NodeCtx::new(SimTime::from_millis(i), CLIENT, &mut rng);
+                let _ = c.start_read(SUITE, &mut ctx);
+                let fetch: Vec<SiteId> = effects(&mut ctx)
+                    .into_iter()
+                    .filter(|(_, m)| matches!(m, Msg::ReadReq { .. }))
+                    .map(|(to, _)| to)
+                    .collect();
+                assert_eq!(fetch.len(), 1, "one optimistic fetch per read");
+                targets.push(fetch[0]);
+            }
+            (targets, c.stats.plan_cache_misses, c.stats.plan_cache_hits)
+        };
+        let (targets, misses, hits) = run();
+        let distinct: BTreeSet<SiteId> = targets.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            3,
+            "equal-cost representatives all take fetch load: {targets:?}"
+        );
+        assert_eq!(misses, 1, "rotation reuses the cached plan");
+        assert_eq!(hits, 5);
+        // Rebuilding the same client replays the exact same schedule.
+        assert_eq!(run(), (targets, misses, hits));
+    }
+
+    #[test]
+    fn load_balanced_keeps_expensive_sites_out_of_the_rotation() {
+        let mut c = lb_client(vec![10.0, 10.0, 30.0, 1.0]);
+        let mut rng = DetRng::new(14);
+        for i in 0..6u64 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(i), CLIENT, &mut rng);
+            let _ = c.start_read(SUITE, &mut ctx);
+            for (to, m) in effects(&mut ctx) {
+                if matches!(m, Msg::ReadReq { .. }) {
+                    assert_ne!(to, SiteId(2), "rotation must stay within cost ties");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_depth_one_queues_and_launches_in_fifo_order() {
+        let mut c = ClientNode::new(
+            CLIENT,
+            vec![config()],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions {
+                pipeline_depth: Some(1),
+                ..ClientOptions::default()
+            },
+        );
+        let mut rng = DetRng::new(15);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let first = c.start_read(SUITE, &mut ctx);
+        assert!(
+            !effects(&mut ctx).is_empty(),
+            "first op launches immediately"
+        );
+        let mut ctx = NodeCtx::new(SimTime::from_millis(1), CLIENT, &mut rng);
+        let second = c.start_read(SUITE, &mut ctx);
+        assert!(effects(&mut ctx).is_empty(), "window full: second op waits");
+        assert_eq!(c.queued(), 1);
+        assert_eq!(c.in_flight(), 2);
+        // Finish the first read: sites 1 and 2 report v1, then site 1 serves it.
+        for s in 1..3u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req: first,
+                    version: Version(1),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        let mut ctx = NodeCtx::new(SimTime::from_millis(8), CLIENT, &mut rng);
+        c.handle(
+            SiteId(1),
+            Msg::ReadResp {
+                suite: SUITE,
+                req: first,
+                version: Version(1),
+                value: Bytes::from_static(b"v"),
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert_eq!(c.completed.len(), 1);
+        assert_eq!(c.queued(), 0, "freed slot launches the queued op");
+        assert!(
+            out.iter()
+                .any(|(_, m)| matches!(m, Msg::VersionReq { req, .. } if *req == second)),
+            "second op's inquiries ride the completion turn"
+        );
+    }
+
+    #[test]
+    fn site_load_counts_data_requests_not_inquiries() {
+        let mut c = client();
+        let mut rng = DetRng::new(16);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let _ = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        // One optimistic fetch to the cheapest site; inquiries are free.
+        assert_eq!(c.site_load(), &[1, 0, 0, 0]);
     }
 
     // ---- health tracking, hedging, adaptive timeouts, backoff ----
@@ -3307,17 +3601,17 @@ mod tests {
         assert_eq!(c.stats.suspicions_raised, 0, "one strike is not enough");
         c.note_unanswered(&[SiteId(0)]);
         assert_eq!(c.stats.suspicions_raised, 1);
-        let order = c.reorder_by_health(vec![SiteId(0), SiteId(1), SiteId(2)]);
+        let order = c.reorder_by_health(Arc::from(vec![SiteId(0), SiteId(1), SiteId(2)]));
         assert_eq!(
-            order,
-            vec![SiteId(1), SiteId(2), SiteId(0)],
+            &order[..],
+            [SiteId(1), SiteId(2), SiteId(0)],
             "suspected site demoted, cost order kept within groups"
         );
         assert_eq!(c.stats.reroutes, 1);
         // Any message from the site clears the suspicion.
         c.note_response(SiteId(0));
-        let order = c.reorder_by_health(vec![SiteId(0), SiteId(1), SiteId(2)]);
-        assert_eq!(order, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        let order = c.reorder_by_health(Arc::from(vec![SiteId(0), SiteId(1), SiteId(2)]));
+        assert_eq!(&order[..], [SiteId(0), SiteId(1), SiteId(2)]);
         assert_eq!(c.stats.reroutes, 1, "no reroute when nothing moved");
     }
 
@@ -3328,8 +3622,8 @@ mod tests {
             c.note_unanswered(&[SiteId(0), SiteId(1), SiteId(2)]);
         }
         assert_eq!(c.stats.suspicions_raised, 3);
-        let order = c.reorder_by_health(vec![SiteId(0), SiteId(1), SiteId(2)]);
-        assert_eq!(order, vec![SiteId(0), SiteId(1), SiteId(2)]);
+        let order = c.reorder_by_health(Arc::from(vec![SiteId(0), SiteId(1), SiteId(2)]));
+        assert_eq!(&order[..], [SiteId(0), SiteId(1), SiteId(2)]);
         assert_eq!(c.stats.reroutes, 0);
     }
 

@@ -94,6 +94,7 @@ pub struct HarnessBuilder {
     policy: DeadlockPolicy,
     unchecked_quorums: bool,
     anti_entropy: Option<SimDuration>,
+    group_commit: Option<SimDuration>,
 }
 
 impl Default for HarnessBuilder {
@@ -115,6 +116,7 @@ impl HarnessBuilder {
             policy: DeadlockPolicy::WaitDie,
             unchecked_quorums: false,
             anti_entropy: None,
+            group_commit: None,
         }
     }
 
@@ -186,6 +188,18 @@ impl HarnessBuilder {
         self
     }
 
+    /// Enables WAL group commit on every representative: log records
+    /// arriving while a sync is in flight ride the next one, so
+    /// concurrent prepares and commits share a single durable write that
+    /// settles `latency` after the first record of the batch. Responses
+    /// (votes, acks) leave only once their records are durable, so
+    /// recovery semantics are unchanged — batching trades `latency` of
+    /// response delay for fewer syncs.
+    pub fn group_commit(mut self, latency: SimDuration) -> Self {
+        self.group_commit = Some(latency);
+        self
+    }
+
     /// Skips the quorum intersection check when building suite configs.
     ///
     /// Fault-injection only: the chaos campaign builds deliberately broken
@@ -254,6 +268,9 @@ impl HarnessBuilder {
                     let mut s = SuiteServer::new(site, configs.clone(), self.policy);
                     if let Some(interval) = self.anti_entropy {
                         s.set_anti_entropy(interval);
+                    }
+                    if let Some(latency) = self.group_commit {
+                        s.set_group_commit(latency);
                     }
                     s
                 };
@@ -731,6 +748,23 @@ impl Harness {
             .map(|s| s.stats)
     }
 
+    /// The metrics registry of the server at `site` — histograms such as
+    /// `wal_batch_size` live here (None if the site hosts no
+    /// representative).
+    pub fn server_metrics(&self, site: SiteId) -> Option<&wv_sim::MetricsRegistry> {
+        self.sim.world.nodes[site.index()]
+            .as_server()
+            .map(|s| s.metrics())
+    }
+
+    /// Per-site data-request counters of the client at `site` — the load
+    /// its quorum policy placed on each representative.
+    pub fn client_site_load(&self, site: SiteId) -> Option<Vec<u64>> {
+        self.sim.world.nodes[site.index()]
+            .as_client()
+            .map(|c| c.site_load().to_vec())
+    }
+
     /// Silences every representative's anti-entropy probe from now on.
     ///
     /// Call before draining the event queue to quiescence — the periodic
@@ -850,6 +884,207 @@ mod tests {
         assert_eq!(back, spans);
         // A second drain is empty until new work happens.
         assert!(traced.take_trace().is_empty());
+    }
+
+    #[test]
+    fn pipeline_depth_one_matches_the_classic_client_exactly() {
+        // The throughput knobs off (no group commit, cheapest-first) and
+        // the window at depth 1 must replay the classic client's history
+        // bit for bit: same versions, same virtual-time latencies, same
+        // wire traffic.
+        use crate::client::QuorumPolicy;
+        let mut classic = three_server_harness(71);
+        let mut piped = HarnessBuilder::new()
+            .seed(71)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .client_options(ClientOptions {
+                pipeline_depth: Some(1),
+                quorum_policy: QuorumPolicy::CheapestFirst,
+                ..ClientOptions::default()
+            })
+            .build()
+            .expect("legal");
+        let suite = classic.suite_id();
+        for i in 0..5u8 {
+            let wa = classic.write(suite, vec![i]).expect("write");
+            let wb = piped.write(suite, vec![i]).expect("write");
+            assert_eq!(wa.version, wb.version);
+            assert_eq!(wa.latency, wb.latency, "depth 1 must not shift time");
+            let ra = classic.read(suite).expect("read");
+            let rb = piped.read(suite).expect("read");
+            assert_eq!(ra.version, rb.version);
+            assert_eq!(ra.latency, rb.latency);
+        }
+        assert_eq!(
+            classic.net_stats(),
+            piped.net_stats(),
+            "identical wire history"
+        );
+        assert_eq!(
+            classic.client_stats(SiteId(3)),
+            piped.client_stats(SiteId(3))
+        );
+    }
+
+    #[test]
+    fn group_commit_batches_concurrent_writes_into_fewer_syncs() {
+        let suites: Vec<ObjectId> = (1..=6).map(ObjectId).collect();
+        let mut h = HarnessBuilder::new()
+            .seed(72)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .suites(suites.clone())
+            .client_options(ClientOptions {
+                pipeline_depth: Some(6),
+                ..ClientOptions::default()
+            })
+            .group_commit(SimDuration::from_millis(5))
+            .build()
+            .expect("legal");
+        let client = h.default_client();
+        for (i, &suite) in suites.iter().enumerate() {
+            h.enqueue_write(client, suite, format!("v{i}").into_bytes(), SimTime::ZERO);
+        }
+        h.run_until_quiet(1_000_000);
+        let done = h.drain_completed(client);
+        assert_eq!(done.len(), 6);
+        assert!(done.iter().all(|op| op.outcome.is_ok()));
+        for (i, &suite) in suites.iter().enumerate() {
+            let r = h.read(suite).expect("read");
+            assert_eq!(r.value, format!("v{i}").into_bytes());
+            assert_eq!(r.version, Version(1));
+        }
+        // Batching evidence: six concurrent prepares arrive at a server in
+        // the same instant, so at least one sync covered several records.
+        let batches: u64 = SiteId::all(3)
+            .map(|s| h.server_stats(s).expect("server").wal_batches)
+            .sum();
+        let records: u64 = SiteId::all(3)
+            .map(|s| h.server_stats(s).expect("server").wal_batched_records)
+            .sum();
+        assert!(batches >= 1);
+        assert!(
+            records > batches,
+            "expected a multi-record batch: {records} records over {batches} batches"
+        );
+        // The histogram mirrors the counters.
+        let hist = SiteId::all(3)
+            .find_map(|s| {
+                h.server_metrics(s)
+                    .and_then(|m| m.histogram("wal_batch_size"))
+            })
+            .expect("at least one server recorded a batch");
+        assert!(!hist.is_empty());
+    }
+
+    #[test]
+    fn load_balanced_policy_spreads_fetch_load_across_equal_sites() {
+        use crate::client::QuorumPolicy;
+        let build = |policy: QuorumPolicy| {
+            HarnessBuilder::new()
+                .seed(73)
+                .site(SiteSpec::server(1))
+                .site(SiteSpec::server(1))
+                .site(SiteSpec::server(1))
+                .client()
+                .quorum(QuorumSpec::new(2, 2))
+                .client_options(ClientOptions {
+                    quorum_policy: policy,
+                    ..ClientOptions::default()
+                })
+                .build()
+                .expect("legal")
+        };
+        let drive = |h: &mut Harness| {
+            let suite = h.suite_id();
+            h.write(suite, b"seed".to_vec()).expect("write");
+            // Count only the read fetches: diff against the post-write load.
+            let base = h.client_site_load(h.default_client()).expect("client");
+            for _ in 0..12 {
+                h.read(suite).expect("read");
+            }
+            let load = h.client_site_load(h.default_client()).expect("client");
+            load.iter()
+                .zip(&base)
+                .map(|(l, b)| l - b)
+                .collect::<Vec<_>>()
+        };
+        // Cheapest-first piles every fetch onto one representative (all
+        // links cost the same, ties broken by site id)…
+        let mut cheap = build(QuorumPolicy::CheapestFirst);
+        let load = drive(&mut cheap);
+        let busy = load.iter().filter(|&&l| l > 0).count();
+        assert_eq!(busy, 1, "cheapest-first hammers one site: {load:?}");
+        // …while load-balanced rotation spreads it across all three
+        // cost-equivalent representatives.
+        let mut lb = build(QuorumPolicy::LoadBalanced);
+        let load = drive(&mut lb);
+        let busy = load.iter().take(3).filter(|&&l| l > 0).count();
+        assert_eq!(busy, 3, "rotation shares the read load: {load:?}");
+    }
+
+    #[test]
+    fn hedged_read_beats_a_crashed_primary_in_a_live_trial() {
+        use crate::client::{HealthOptions, QuorumPolicy};
+        use wv_sim::trace::{SpanKind, SpanOutcome};
+        // Asymmetric links from the client (site 3): s0 closest, then s1,
+        // with s2 far enough that only the hedge reaches it in time.
+        let mut net = NetConfig::uniform(4, LatencyModel::constant_millis(50));
+        net.set_link_symmetric(SiteId(3), SiteId(0), LatencyModel::constant_millis(10));
+        net.set_link_symmetric(SiteId(3), SiteId(1), LatencyModel::constant_millis(20));
+        net.set_link_symmetric(SiteId(3), SiteId(2), LatencyModel::constant_millis(75));
+        let mut h = HarnessBuilder::new()
+            .seed(74)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 3))
+            .net(net)
+            .client_options(ClientOptions {
+                quorum_policy: QuorumPolicy::CheapestFirst,
+                health: Some(HealthOptions::default()),
+                ..ClientOptions::default()
+            })
+            .build()
+            .expect("legal");
+        h.enable_tracing();
+        let suite = h.suite_id();
+        let client = h.default_client();
+        // w = 3 installs v1 everywhere and seeds every site's RTT EWMA.
+        h.write(suite, b"v1".to_vec()).expect("write");
+        let _ = h.take_trace();
+        // s0 (the optimistic-fetch guess) is already down when the read
+        // starts, so the fetch goes to s1 — which dies after answering
+        // the version inquiry but before the fetch reaches it. The hedge
+        // fires at 3× s1's EWMA RTT and s2 serves the read.
+        h.crash(SiteId(0));
+        h.enqueue_read(client, suite, h.now());
+        h.advance(SimDuration::from_millis(100));
+        h.crash(SiteId(1));
+        h.run_until_quiet(1_000_000);
+        let done = h.drain_completed(client);
+        assert_eq!(done.len(), 1);
+        let op = &done[0];
+        let ok = op.outcome.as_ref().expect("hedge completed the read");
+        assert_eq!(ok.version, Version(1));
+        assert_eq!(ok.value.as_deref(), Some(&b"v1"[..]));
+        let stats = h.client_stats(client).expect("client");
+        assert_eq!(stats.hedges_fired, 1, "{stats:?}");
+        assert_eq!(stats.hedge_wins, 1, "the hedge leg answered first");
+        // The hedge span records the win: aimed at s2, closed Ok.
+        let spans = h.take_trace();
+        let hedge: Vec<_> = spans.iter().filter(|s| s.kind == SpanKind::Hedge).collect();
+        assert_eq!(hedge.len(), 1);
+        assert_eq!(hedge[0].peer, SiteId(2).0);
+        assert_eq!(hedge[0].outcome, SpanOutcome::Ok);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use bytes::Bytes;
 use wv_net::{Node, NodeCtx, SiteId};
 use wv_sim::trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};
-use wv_sim::SimDuration;
+use wv_sim::{MetricsRegistry, SimDuration};
 use wv_storage::{Container, ObjectId, TxId, Version};
 use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
 use wv_txn::Vote;
@@ -25,6 +25,11 @@ use crate::suite::{config_object, data_object, suite_of_config_object, SuiteConf
 /// timers live behind bit 63 ([`crate::client::CLIENT_TIMER_TAG`]), so bit
 /// 62 is free for the repair daemon.
 pub const REPAIR_TIMER_TAG: u64 = 1 << 62;
+
+/// Tag bit marking group-commit sync timer tokens (see
+/// [`SuiteServer::set_group_commit`]); bit 61 keeps them disjoint from
+/// repair ticks (bit 62), client timers (bit 63), and raw request ids.
+pub const WAL_SYNC_TIMER_TAG: u64 = 1 << 61;
 
 /// Server-side counters for the experiments.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,6 +66,10 @@ pub struct ServerStats {
     pub repair_serves: u64,
     /// Newer committed state installed from a peer's repair answer.
     pub repairs_completed: u64,
+    /// Group-commit syncs performed (one durable write each).
+    pub wal_batches: u64,
+    /// Deferred records (votes + commit applies) that rode those syncs.
+    pub wal_batched_records: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -76,6 +85,36 @@ struct WaitingPrepare {
     from: SiteId,
     req: ReqId,
     writes: Vec<PrepareWrite>,
+}
+
+/// A response held back until the in-flight group-commit sync lands. The
+/// WAL record backing it is already appended (volatile); the response may
+/// only leave once that record is durable.
+#[derive(Clone, Debug)]
+enum Deferred {
+    /// A Yes vote whose prepare record awaits the flush.
+    Vote {
+        to: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+    },
+    /// A commit decision to apply at flush time: the commit record joins
+    /// the batch and the ack leaves after the single durable write. The
+    /// object's commit lock stays held meanwhile, so no read can observe
+    /// the not-yet-durable install.
+    Commit {
+        to: SiteId,
+        suite: ObjectId,
+        req: ReqId,
+    },
+}
+
+impl Deferred {
+    fn req(&self) -> ReqId {
+        match self {
+            Deferred::Vote { req, .. } | Deferred::Commit { req, .. } => *req,
+        }
+    }
 }
 
 /// A representative server node.
@@ -109,6 +148,18 @@ pub struct SuiteServer {
     tracer: Option<Tracer>,
     /// Open lock-wait spans of queued prepares, keyed like `waiting`.
     waiting_spans: HashMap<TxToken, SpanId>,
+    /// Group-commit sync latency; `None` (the default) flushes every
+    /// prepare and commit inline, byte-identical to the classic path.
+    group_commit: Option<SimDuration>,
+    /// Whether a durable sync is in flight right now.
+    sync_active: bool,
+    /// Responses (and commit applies) awaiting the in-flight sync.
+    sync_queue: Vec<Deferred>,
+    /// Sync timers cannot be cancelled; a crash bumps this epoch so an
+    /// orphaned in-flight sync dies quietly when its timer fires.
+    sync_epoch: u64,
+    /// Batched-sync observability (`wal_batch_size` histogram).
+    metrics: MetricsRegistry,
 }
 
 impl SuiteServer {
@@ -149,6 +200,11 @@ impl SuiteServer {
             stats: ServerStats::default(),
             tracer: None,
             waiting_spans: HashMap::new(),
+            group_commit: None,
+            sync_active: false,
+            sync_queue: Vec::new(),
+            sync_epoch: 0,
+            metrics: MetricsRegistry::new(),
         }
     }
 
@@ -200,6 +256,27 @@ impl SuiteServer {
     /// Whether the repair daemon is configured.
     pub fn anti_entropy_enabled(&self) -> bool {
         self.anti_entropy.is_some()
+    }
+
+    /// Enables group commit: WAL appends for prepares and commit applies
+    /// are left volatile and batched into one durable sync that completes
+    /// `latency` after the first record queues. Responses (votes, acks)
+    /// leave only once their records are durable, so the promise a reply
+    /// carries is exactly as strong as on the classic path.
+    pub fn set_group_commit(&mut self, latency: SimDuration) {
+        assert!(latency > SimDuration::ZERO, "sync latency must be positive");
+        self.group_commit = Some(latency);
+    }
+
+    /// Whether group commit is configured.
+    pub fn group_commit_enabled(&self) -> bool {
+        self.group_commit.is_some()
+    }
+
+    /// Batched-sync observability: the `wal_batch_size` histogram plus
+    /// whatever later layers record. Empty unless group commit is on.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Arms the periodic repair timer. Each call starts a fresh epoch,
@@ -361,9 +438,15 @@ impl SuiteServer {
                 .stage_put(tx, pw.object, pw.version, pw.value.clone())
                 .expect("stage into fresh tx");
         }
-        self.container
-            .prepare_with_note(tx, w.req.0)
-            .expect("prepare fresh tx");
+        if self.group_commit.is_some() {
+            self.container
+                .prepare_with_note_unflushed(tx, w.req.0)
+                .expect("prepare fresh tx");
+        } else {
+            self.container
+                .prepare_with_note(tx, w.req.0)
+                .expect("prepare fresh tx");
+        }
         if let Some(tr) = self.tracer.as_mut() {
             let staged = w.writes.first().map(|pw| pw.version.0).unwrap_or(0);
             tr.event(
@@ -384,6 +467,19 @@ impl SuiteServer {
                 suite,
             },
         );
+        if self.group_commit.is_some() {
+            // The prepare record is still volatile; the yes vote (and the
+            // decision-probe timer that guards it) waits for the sync.
+            self.defer(
+                Deferred::Vote {
+                    to: w.from,
+                    suite,
+                    req: w.req,
+                },
+                ctx,
+            );
+            return;
+        }
         // Probe the coordinator if the decision takes too long.
         ctx.set_timer(self.resolve_after, w.req.0);
         self.stats.votes_yes += 1;
@@ -395,6 +491,117 @@ impl SuiteServer {
                 vote: Vote::Yes,
             },
         );
+    }
+
+    /// Arms the sync-completion timer for the batch now accumulating.
+    fn arm_sync(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        let latency = self.group_commit.expect("group commit enabled");
+        self.sync_active = true;
+        ctx.set_timer(latency, WAL_SYNC_TIMER_TAG | self.sync_epoch);
+    }
+
+    /// Queues a response behind the durable sync, starting one if none is
+    /// in flight. Records arriving while a sync runs ride the next batch.
+    fn defer(&mut self, d: Deferred, ctx: &mut NodeCtx<'_, Msg>) {
+        self.sync_queue.push(d);
+        if !self.sync_active {
+            self.arm_sync(ctx);
+        }
+    }
+
+    /// Completes one group-commit sync: applies deferred commit decisions
+    /// (still unflushed), makes the whole batch durable with a single WAL
+    /// flush, and only then releases the responses and the commit locks.
+    /// Prepares resumed by those lock releases defer into the next batch.
+    fn run_sync(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        let batch = std::mem::take(&mut self.sync_queue);
+        if batch.is_empty() {
+            // Everything queued was aborted away before the sync fired.
+            self.sync_active = false;
+            return;
+        }
+        // Apply commit decisions before the flush so their Commit records
+        // ride the same durable write as the batch's Prepare records. The
+        // commit locks stay held until after the flush: reads keep
+        // answering Busy, so no observer sees un-durable state.
+        let mut unlocks = Vec::new();
+        for d in &batch {
+            let Deferred::Commit { req, .. } = d else {
+                continue;
+            };
+            let Some(p) = self.pending.remove(req) else {
+                // Duplicate commit; the first already applied. Ack only.
+                continue;
+            };
+            self.container
+                .commit_unflushed(p.tx)
+                .expect("commit prepared tx");
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.event(SpanKind::Apply, req.0, None, None, 1, ctx.now());
+            }
+            for object in &p.objects {
+                if let Some(suite) = suite_of_config_object(*object) {
+                    self.reload_config(suite);
+                }
+            }
+            self.stats.commits += 1;
+            unlocks.push(p.token);
+        }
+        self.container.flush().expect("server container is up");
+        self.stats.wal_batches += 1;
+        self.stats.wal_batched_records += batch.len() as u64;
+        self.metrics
+            .observe_ms("wal_batch_size", batch.len() as f64);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.event(
+                SpanKind::WalBatch,
+                0,
+                None,
+                None,
+                batch.len() as u64,
+                ctx.now(),
+            );
+        }
+        // Everything in the batch is durable; release responses in queue
+        // (arrival) order.
+        for d in batch {
+            match d {
+                Deferred::Vote { to, suite, req } => {
+                    ctx.set_timer(self.resolve_after, req.0);
+                    self.stats.votes_yes += 1;
+                    ctx.send(
+                        to,
+                        Msg::PrepareVote {
+                            suite,
+                            req,
+                            vote: Vote::Yes,
+                        },
+                    );
+                }
+                Deferred::Commit { to, suite, req } => {
+                    ctx.send(
+                        to,
+                        Msg::Ack {
+                            suite,
+                            req,
+                            committed: true,
+                        },
+                    );
+                }
+            }
+        }
+        // `sync_active` is still set, so prepares resumed here defer
+        // without arming a timer of their own.
+        for token in unlocks {
+            for g in self.locks.release_all(token) {
+                self.resume_waiter(g.tx, ctx);
+            }
+        }
+        self.maybe_checkpoint();
+        self.sync_active = false;
+        if !self.sync_queue.is_empty() {
+            self.arm_sync(ctx);
+        }
     }
 
     fn resume_waiter(&mut self, token: TxToken, ctx: &mut NodeCtx<'_, Msg>) {
@@ -431,6 +638,10 @@ impl SuiteServer {
     }
 
     fn apply_abort(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        // Purge any deferred response for this request: a queued yes vote
+        // must not escape after the abort, and a queued commit apply for
+        // an aborted tx would be a protocol error upstream anyway.
+        self.sync_queue.retain(|d| d.req() != req);
         if let Some(p) = self.pending.remove(&req) {
             self.container.abort(p.tx).expect("abort prepared tx");
             if let Some(tr) = self.tracer.as_mut() {
@@ -633,6 +844,21 @@ impl SuiteServer {
                 }
             }
             Msg::Commit { suite, req } => {
+                if self.group_commit.is_some() {
+                    // Both the apply and the ack wait for the sync so the
+                    // Commit record is durable before the coordinator can
+                    // forget the decision. Duplicates defer too; run_sync
+                    // finds nothing pending and just re-acks.
+                    self.defer(
+                        Deferred::Commit {
+                            to: from,
+                            suite,
+                            req,
+                        },
+                        ctx,
+                    );
+                    return;
+                }
                 self.apply_commit(req, ctx);
                 // Idempotent ack either way: a duplicate commit means the
                 // decision was commit.
@@ -728,6 +954,14 @@ impl SuiteServer {
             }
             return;
         }
+        if token & WAL_SYNC_TIMER_TAG != 0 {
+            // A crash bumps `sync_epoch`, so a sync armed before it lands
+            // here and dies without flushing post-recovery state early.
+            if self.sync_active && (token & !WAL_SYNC_TIMER_TAG) == self.sync_epoch {
+                self.run_sync(ctx);
+            }
+            return;
+        }
         let req = ReqId(token);
         if let Some(p) = self.pending.get(&req) {
             self.stats.decision_probes += 1;
@@ -754,6 +988,11 @@ impl SuiteServer {
         self.configs.clear();
         // Orphan any in-flight repair tick; recovery arms a fresh epoch.
         self.repair_epoch += 1;
+        // Un-synced responses die with the crash: their records were
+        // volatile (now truncated) and nothing was promised to anyone.
+        self.sync_queue.clear();
+        self.sync_active = false;
+        self.sync_epoch += 1;
     }
 
     /// Recovery: replay the log, restore configurations, re-lock in-doubt
@@ -1569,5 +1808,235 @@ mod tests {
         s.handle_timer(REPAIR_TIMER_TAG | 1, &mut ctx);
         assert!(sent(&mut ctx).is_empty());
         assert!(!s.anti_entropy_enabled());
+    }
+
+    fn gc_server() -> SuiteServer {
+        let mut s = server();
+        s.set_group_commit(SimDuration::from_millis(5));
+        s
+    }
+
+    /// Fires the sync timer for the server's current epoch.
+    fn fire_sync(s: &mut SuiteServer, rng: &mut DetRng) -> Vec<(SiteId, Msg)> {
+        let token = WAL_SYNC_TIMER_TAG | s.sync_epoch;
+        let mut ctx = ctx_pair(rng);
+        s.handle_timer(token, &mut ctx);
+        sent(&mut ctx)
+    }
+
+    #[test]
+    fn group_commit_defers_vote_and_ack_until_sync() {
+        let mut s = gc_server();
+        let base = s.container.wal().flushes();
+        let mut rng = DetRng::new(40);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"new"), &mut ctx);
+        assert!(sent(&mut ctx).is_empty(), "vote waits for the sync");
+        assert_eq!(s.container.wal().flushes(), base, "record still volatile");
+        let out = fire_sync(&mut s, &mut rng);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
+        assert_eq!(s.container.wal().flushes(), base + 1);
+        // The commit decision defers the same way.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
+        assert!(sent(&mut ctx).is_empty(), "ack waits for the sync");
+        assert_eq!(s.data_version(SUITE), Version(0), "apply waits too");
+        let out = fire_sync(&mut s, &mut rng);
+        assert!(matches!(
+            &out[0].1,
+            Msg::Ack {
+                committed: true,
+                ..
+            }
+        ));
+        assert_eq!(s.data_version(SUITE), Version(1));
+        assert_eq!(s.container.wal().flushes(), base + 2);
+        assert_eq!(s.stats.wal_batches, 2);
+        assert_eq!(s.stats.wal_batched_records, 2);
+        assert_eq!(s.stats.commits, 1);
+        let h = s.metrics().histogram("wal_batch_size").expect("recorded");
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn batched_prepares_ride_one_flush() {
+        // Two suites so the prepares do not contend on one data object.
+        let cfg2 = SuiteConfig::new(
+            ObjectId(2),
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 2),
+        )
+        .expect("legal");
+        let mut s = SuiteServer::new(
+            SiteId(0),
+            vec![test_config(), cfg2],
+            DeadlockPolicy::WaitDie,
+        );
+        s.set_group_commit(SimDuration::from_millis(5));
+        let base = s.container.wal().flushes();
+        let mut rng = DetRng::new(41);
+        for (n, suite) in [(1, ObjectId(1)), (2, ObjectId(2))] {
+            let r = req(n);
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(
+                CLIENT,
+                Msg::Prepare {
+                    req: r,
+                    writes: vec![PrepareWrite {
+                        suite,
+                        object: data_object(suite),
+                        version: Version(1),
+                        value: Bytes::from_static(b"v"),
+                        generation: 1,
+                    }],
+                    lock_ts: r.0,
+                },
+                &mut ctx,
+            );
+            assert!(sent(&mut ctx).is_empty());
+        }
+        let out = fire_sync(&mut s, &mut rng);
+        assert_eq!(out.len(), 2, "both votes leave together");
+        assert!(out.iter().all(|(_, m)| matches!(
+            m,
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
+        )));
+        assert_eq!(s.container.wal().flushes(), base + 1, "one durable write");
+        assert_eq!(s.stats.wal_batches, 1);
+        assert_eq!(s.stats.wal_batched_records, 2);
+    }
+
+    #[test]
+    fn reads_stay_busy_while_commit_awaits_sync() {
+        let mut s = gc_server();
+        let mut rng = DetRng::new(42);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let _ = fire_sync(&mut s, &mut rng);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::Commit {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
+        let _ = sent(&mut ctx);
+        // The commit is applied only at sync time and holds its lock until
+        // then, so no reader can observe un-durable state.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::ReadReq {
+                suite: SUITE,
+                req: req(2),
+            },
+            &mut ctx,
+        );
+        assert!(matches!(&sent(&mut ctx)[0].1, Msg::Busy { .. }));
+        let _ = fire_sync(&mut s, &mut rng);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::ReadReq {
+                suite: SUITE,
+                req: req(3),
+            },
+            &mut ctx,
+        );
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::ReadResp { version, .. } if *version == Version(1)
+        ));
+    }
+
+    #[test]
+    fn abort_purges_deferred_vote() {
+        let mut s = gc_server();
+        let mut rng = DetRng::new(43);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        let _ = sent(&mut ctx);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::Abort {
+                suite: SUITE,
+                req: r,
+            },
+            &mut ctx,
+        );
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::Ack {
+                committed: false,
+                ..
+            }
+        ));
+        assert_eq!(s.pending_writes(), 0);
+        // The sync fires on an emptied queue: no late yes vote escapes.
+        let out = fire_sync(&mut s, &mut rng);
+        assert!(out.is_empty());
+        assert_eq!(s.stats.wal_batches, 0, "empty batches are not counted");
+    }
+
+    #[test]
+    fn crash_during_sync_window_loses_nothing_promised() {
+        let mut s = gc_server();
+        let mut rng = DetRng::new(44);
+        let base = s.container.wal().flushes();
+        let r = req(1);
+        let stale_token = WAL_SYNC_TIMER_TAG | s.sync_epoch;
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"x"), &mut ctx);
+        assert!(sent(&mut ctx).is_empty(), "nothing was promised");
+        s.handle_crash();
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        let _ = sent(&mut ctx);
+        // The volatile prepare record died with the crash: nothing is in
+        // doubt, and the pre-crash sync timer lands in a dead epoch.
+        assert_eq!(s.pending_writes(), 0);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_timer(stale_token, &mut ctx);
+        assert!(sent(&mut ctx).is_empty());
+        assert_eq!(s.container.wal().flushes(), base);
+        assert_eq!(s.data_version(SUITE), Version(0));
+        // The server is fully live on a fresh epoch.
+        let r2 = req(2);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r2, 1, b"y"), &mut ctx);
+        assert!(sent(&mut ctx).is_empty());
+        let out = fire_sync(&mut s, &mut rng);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
     }
 }

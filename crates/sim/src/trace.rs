@@ -62,6 +62,9 @@ pub enum SpanKind {
     LockWait,
     /// Server-side WAL append for a prepared write; `detail` is the version.
     WalWrite,
+    /// Server-side group-commit flush: one durable write covering a batch
+    /// of deferred records; `detail` is the batch size.
+    WalBatch,
     /// Server-side apply of a commit or abort decision.
     Apply,
     /// Server-side anti-entropy pull round.
@@ -86,6 +89,7 @@ impl SpanKind {
             SpanKind::Commit => "commit",
             SpanKind::LockWait => "lock_wait",
             SpanKind::WalWrite => "wal_write",
+            SpanKind::WalBatch => "wal_batch",
             SpanKind::Apply => "apply",
             SpanKind::RepairPull => "repair_pull",
             SpanKind::RepairInstall => "repair_install",
@@ -107,6 +111,7 @@ impl SpanKind {
             "commit" => SpanKind::Commit,
             "lock_wait" => SpanKind::LockWait,
             "wal_write" => SpanKind::WalWrite,
+            "wal_batch" => SpanKind::WalBatch,
             "apply" => SpanKind::Apply,
             "repair_pull" => SpanKind::RepairPull,
             "repair_install" => SpanKind::RepairInstall,
@@ -526,6 +531,7 @@ mod tests {
             SpanKind::Commit,
             SpanKind::LockWait,
             SpanKind::WalWrite,
+            SpanKind::WalBatch,
             SpanKind::Apply,
             SpanKind::RepairPull,
             SpanKind::RepairInstall,

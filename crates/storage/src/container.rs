@@ -226,6 +226,22 @@ impl Container {
         Ok(())
     }
 
+    /// Like [`Container::prepare_with_note`] but *without* the durability
+    /// flush: the promise sits in the volatile log tail until the caller
+    /// flushes (group commit). Until then a crash aborts the transaction —
+    /// which is safe exactly as long as no vote has left the site.
+    pub fn prepare_with_note_unflushed(&mut self, tx: TxId, note: u64) -> Result<(), StorageError> {
+        self.check_up()?;
+        let st = self.live.get_mut(&tx).ok_or(StorageError::UnknownTx(tx))?;
+        if st.phase != TxPhase::Active {
+            return Err(StorageError::WrongPhase { tx, op: "prepare" });
+        }
+        st.phase = TxPhase::Prepared;
+        st.note = note;
+        self.wal.append(Record::Prepare { tx, note });
+        Ok(())
+    }
+
     /// Commits `tx`: its staged writes become visible atomically and
     /// durably (the log is flushed through the commit record).
     ///
@@ -239,6 +255,29 @@ impl Container {
         for (obj, vv) in st.writes {
             self.committed.insert(obj, vv);
         }
+        Ok(())
+    }
+
+    /// Like [`Container::commit`] but *without* the durability flush: the
+    /// commit record sits in the volatile tail until the caller flushes
+    /// (group commit), and many such records can ride one [`Container::
+    /// flush`]. The in-memory state is installed immediately; the caller
+    /// must not acknowledge the commit until after the flush.
+    pub fn commit_unflushed(&mut self, tx: TxId) -> Result<(), StorageError> {
+        self.check_up()?;
+        let st = self.live.remove(&tx).ok_or(StorageError::UnknownTx(tx))?;
+        self.wal.append(Record::Commit { tx });
+        for (obj, vv) in st.writes {
+            self.committed.insert(obj, vv);
+        }
+        Ok(())
+    }
+
+    /// Advances the log's durability horizon over everything appended so
+    /// far — the single durable write a group-commit batch rides on.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        self.check_up()?;
+        self.wal.flush();
         Ok(())
     }
 
@@ -681,6 +720,68 @@ mod tests {
         c.recover();
         let t2 = c.begin().expect("begin");
         assert!(t2.0 > t1.0, "tx id {t2:?} reused after checkpoint");
+    }
+
+    #[test]
+    fn unflushed_commit_is_lost_to_a_crash_until_flushed() {
+        let mut c = Container::new();
+        let tx = c.begin().expect("begin");
+        c.stage_put(tx, ObjectId(1), Version(1), b("batched"))
+            .expect("stage");
+        c.commit_unflushed(tx).expect("commit");
+        // Visible in memory immediately...
+        assert_eq!(c.read(ObjectId(1)).expect("r").version, Version(1));
+        // ...but a crash before the flush loses it.
+        let mut lost = c.clone();
+        lost.crash();
+        lost.recover();
+        assert_eq!(
+            lost.read(ObjectId(1)).expect("r"),
+            VersionedValue::initial()
+        );
+        // After the flush it survives.
+        c.flush().expect("flush");
+        c.crash();
+        c.recover();
+        assert_eq!(c.read(ObjectId(1)).expect("r").value, b("batched"));
+    }
+
+    #[test]
+    fn unflushed_prepare_aborts_on_crash_until_flushed() {
+        let mut c = Container::new();
+        let tx = c.begin().expect("begin");
+        c.stage_put(tx, ObjectId(1), Version(2), b("promise"))
+            .expect("stage");
+        c.prepare_with_note_unflushed(tx, 42).expect("prepare");
+        assert_eq!(c.phase(tx), Some(TxPhase::Prepared));
+        let mut lost = c.clone();
+        lost.crash();
+        lost.recover();
+        assert!(
+            lost.in_doubt().is_empty(),
+            "unflushed promise must not bind"
+        );
+        c.flush().expect("flush");
+        c.crash();
+        c.recover();
+        assert_eq!(c.in_doubt_notes(), vec![(tx, 42)]);
+    }
+
+    #[test]
+    fn many_unflushed_commits_ride_one_flush() {
+        let mut c = Container::new();
+        for i in 0..8u64 {
+            let tx = c.begin().expect("begin");
+            c.stage_put(tx, ObjectId(i), Version(1), b("v"))
+                .expect("stage");
+            c.commit_unflushed(tx).expect("commit");
+        }
+        assert_eq!(c.wal().flushes(), 0);
+        c.flush().expect("flush");
+        assert_eq!(c.wal().flushes(), 1, "eight commits, one durable write");
+        c.crash();
+        c.recover();
+        assert_eq!(c.len(), 8);
     }
 
     #[test]
