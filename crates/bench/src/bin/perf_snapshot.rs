@@ -17,10 +17,10 @@
 //! ≥2× parallel speedup shows up on multi-core hardware.
 //!
 //! `perf_snapshot --check` is the CI regression guard: it re-measures the
-//! two headline medians and compares them against the committed
-//! `BENCH_core.json`, failing only on a >5× drop — coarse enough to ride
-//! out runner noise, tight enough to catch an accidental O(n²) or a debug
-//! build sneaking into the pipeline.
+//! two headline medians plus the deterministic cache-tier throughput and
+//! compares them against the committed `BENCH_core.json`, failing only on
+//! a >5× drop — coarse enough to ride out runner noise, tight enough to
+//! catch an accidental O(n²) or a debug build sneaking into the pipeline.
 
 use std::time::Instant;
 
@@ -248,6 +248,12 @@ fn check_against_baseline() -> ! {
     let fresh = [
         ("sim_events_per_sec", median_of_runs(sim_events_per_sec)),
         ("ops_per_sec", median_of_runs(|| client_ops(200, false).0)),
+        // Virtual-time, so this one is deterministic: a drop past the
+        // floor is a real regression in the cache tier, never noise.
+        (
+            "cache_lease_ops_per_vsec",
+            wv_bench::e13::throughput_summary(64).2,
+        ),
     ];
     for (key, now) in fresh {
         let committed = json_number(&doc, key)
@@ -268,6 +274,7 @@ fn main() {
     const FAULT_ROUNDS: usize = 250;
     const HEALING_TRIALS: usize = 4;
     const PIPE_OPS: usize = 64;
+    const CACHE_OPS: usize = 64;
 
     if std::env::args().any(|a| a == "--check") {
         check_against_baseline();
@@ -293,6 +300,15 @@ fn main() {
         pipeline_speedup >= 2.0,
         "depth-8 pipelining must at least double closed-loop throughput, got {pipeline_speedup:.2}x"
     );
+    // Cache-tier throughput off the E13 depth-4 cells: virtual-time, so
+    // the ≥5× quorum-free speedup is a hard promise of the lease mode.
+    let (cache_uncached, cache_validated, cache_lease) =
+        wv_bench::e13::throughput_summary(CACHE_OPS);
+    let cache_speedup = cache_lease / cache_uncached;
+    assert!(
+        cache_speedup >= 5.0,
+        "lease-mode cache tier must beat the uncached arm 5x, got {cache_speedup:.2}x"
+    );
     let (ops_per_sec_traced, _, _, _, spans_recorded) = client_ops(ROUNDS, true);
     let trace_overhead = ops_per_sec / ops_per_sec_traced;
     assert!(
@@ -307,7 +323,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"wv-perf-snapshot/3\",\n  \
+         \"schema\": \"wv-perf-snapshot/4\",\n  \
          \"median_runs\": {MEDIAN_RUNS},\n  \
          \"sim_events_per_sec\": {events_per_sec:.0},\n  \
          \"trials\": {{\n    \
@@ -331,6 +347,13 @@ fn main() {
          \"depth1_ops_per_vsec\": {depth1_vsec:.2},\n    \
          \"depth8_ops_per_vsec\": {depth8_vsec:.2},\n    \
          \"pipeline_speedup\": {pipeline_speedup:.2}\n  \
+         }},\n  \
+         \"cache_tier\": {{\n    \
+         \"workload\": \"E13 read-dominant zipfian sweep, depth-4 cells, {CACHE_OPS} ops per client, virtual-time rate\",\n    \
+         \"cache_uncached_ops_per_vsec\": {cache_uncached:.2},\n    \
+         \"cache_validated_ops_per_vsec\": {cache_validated:.2},\n    \
+         \"cache_lease_ops_per_vsec\": {cache_lease:.2},\n    \
+         \"cache_speedup\": {cache_speedup:.2}\n  \
          }},\n  \
          \"latency_histograms\": {{\n    \
          \"source\": \"virtual-time op latencies, log-bucketed (MetricsRegistry)\",\n    \

@@ -17,12 +17,14 @@
 //! | E8 | `e8_txn_scaling` | write contention and deadlock-policy ablation |
 //! | E10 | `e10_self_healing` | self-healing (health tracking, hedging, anti-entropy) vs classic clients under crash/recovery churn |
 //! | E11 | `e11_throughput` | closed-loop saturation: pipelined clients and load-balanced quorum selection |
+//! | E13 | `e13_cache_tier` | weak-representative cache tier: validated and lease modes under read-dominant zipfian load |
 
 #![warn(missing_docs)]
 
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e13;
 pub mod e2;
 pub mod e3;
 pub mod e4;

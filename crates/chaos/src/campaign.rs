@@ -91,6 +91,14 @@ pub struct Coverage {
     pub wal_batches: u64,
     /// WAL records made durable by those batched syncs.
     pub wal_batched_records: u64,
+    /// Reads served from an attached weak representative.
+    pub cache_hits: u64,
+    /// Cache-tier reads that fell through to a data fetch.
+    pub cache_misses: u64,
+    /// Lease-mode reads that found their lease expired.
+    pub lease_expiries: u64,
+    /// Version inquiries answered by piggybacking on an in-flight one.
+    pub piggybacked_inquiries: u64,
 }
 
 impl Coverage {
@@ -119,6 +127,10 @@ impl Coverage {
         self.repairs_completed += c.repairs_completed;
         self.wal_batches += c.wal_batches;
         self.wal_batched_records += c.wal_batched_records;
+        self.cache_hits += c.cache_hits;
+        self.cache_misses += c.cache_misses;
+        self.lease_expiries += c.lease_expiries;
+        self.piggybacked_inquiries += c.piggybacked_inquiries;
     }
 
     /// True when every fault kind fired in at least one trial — the bar a
@@ -253,6 +265,38 @@ mod tests {
         assert!(
             report.coverage.repairs_completed > 0,
             "eight chaotic trials with crashes and recoveries must trigger repair"
+        );
+    }
+
+    #[test]
+    fn a_cache_tier_campaign_is_clean_and_actually_serves_from_cache() {
+        // Same seeds again, with a validated-mode weak representative on
+        // every client: quorum-confirmed cache serves must not introduce
+        // violations — including the staleness-bound invariant the arm
+        // switches on — and must actually serve something from cache.
+        let cfg = CampaignConfig {
+            master_seed: 0xC0FFEE,
+            trials: 8,
+            spec: ClusterSpec::majority(5, 2).with_cache_tier(),
+            params: ScheduleParams::default(),
+        };
+        let report = run_campaign(&cfg);
+        assert!(
+            report.clean(),
+            "cache tier must not break invariants; failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (f.seed, f.violations.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.coverage.cache_hits > 0,
+            "read-bearing chaos trials must land at least one cache hit"
+        );
+        assert!(
+            report.coverage.cache_misses > 0,
+            "cold caches mean the first fetch per suite is a miss"
         );
     }
 

@@ -9,7 +9,7 @@
 
 use std::collections::HashSet;
 
-use wv_core::client::{ClientOptions, CompletedOp, HealthOptions};
+use wv_core::client::{ClientOptions, CompletedOp, HealthOptions, WeakRepOptions};
 use wv_core::harness::SiteSpec;
 use wv_core::{Harness, OpError, QuorumSpec, VoteAssignment};
 use wv_net::sim_net::NetStats;
@@ -86,6 +86,14 @@ pub struct TrialCoverage {
     pub wal_batches: u64,
     /// WAL records those batches made durable.
     pub wal_batched_records: u64,
+    /// Reads served from an attached weak representative (cache tier).
+    pub cache_hits: u64,
+    /// Reads that fell through to a data fetch with the cache tier on.
+    pub cache_misses: u64,
+    /// Leases found expired at read time.
+    pub lease_expiries: u64,
+    /// Reads that coalesced onto another read's in-flight inquiry.
+    pub piggybacked_inquiries: u64,
 }
 
 /// Everything a finished trial leaves behind for the oracle.
@@ -109,6 +117,11 @@ pub struct TrialRun {
     pub coverage: TrialCoverage,
     /// Transport counters at end of run.
     pub net: NetStats,
+    /// `Some(bound)` when the cluster ran the client cache tier: the
+    /// oracle's staleness-bound invariant lets cache-served reads lag the
+    /// committed frontier by at most this much. Validated mode's bound is
+    /// zero — exactly as fresh as a classic quorum read.
+    pub cache_lease: Option<SimDuration>,
 }
 
 /// The payload bytes a [`EventKind::Write`] event produces. Deterministic
@@ -142,12 +155,17 @@ fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
         b = b.allow_illegal_quorums();
     }
     if spec.repair {
-        b = b
-            .anti_entropy(REPAIR_INTERVAL)
-            .client_options(ClientOptions {
-                health: Some(HealthOptions::default()),
-                ..ClientOptions::default()
-            });
+        b = b.anti_entropy(REPAIR_INTERVAL);
+    }
+    let mut copts = ClientOptions::default();
+    if spec.repair {
+        copts.health = Some(HealthOptions::default());
+    }
+    if spec.cache_tier {
+        copts.weak_rep = Some(WeakRepOptions::validated());
+    }
+    if spec.repair || spec.cache_tier {
+        b = b.client_options(copts);
     }
     if spec.group_commit {
         b = b.group_commit(GROUP_COMMIT_LATENCY);
@@ -315,6 +333,10 @@ fn run_schedule_inner(
             coverage.reroutes += stats.reroutes;
             coverage.hedges_fired += stats.hedges_fired;
             coverage.hedge_wins += stats.hedge_wins;
+            coverage.cache_hits += stats.cache_hits;
+            coverage.cache_misses += stats.cache_misses;
+            coverage.lease_expiries += stats.lease_expiries;
+            coverage.piggybacked_inquiries += stats.piggybacked_inquiries;
         }
     }
     for s in 0..spec.servers {
@@ -352,6 +374,9 @@ fn run_schedule_inner(
             quiesced,
             coverage,
             net,
+            // Validated mode: the bound is zero — a cache serve carries
+            // the same quorum evidence as a classic read.
+            cache_lease: spec.cache_tier.then_some(SimDuration::ZERO),
         },
         trace,
     )
@@ -489,6 +514,33 @@ mod tests {
         assert!(crate::oracle::check_trial(&b, false).is_empty());
         // Replays of the batched arm stay deterministic.
         let again = run_schedule(&batched, &schedule);
+        assert_eq!(b.replicas, again.replicas);
+        assert_eq!(b.coverage, again.coverage);
+    }
+
+    #[test]
+    fn cache_tier_trials_converge_and_satisfy_the_oracle() {
+        // The same generated fault timeline, cached and uncached. The
+        // cached arm carries the zero staleness bound, so `check_trial`
+        // also runs invariant 11 over it — cache serves must be exactly
+        // as fresh as classic quorum reads, faults and all.
+        let plain = ClusterSpec::majority(3, 1);
+        let cached = ClusterSpec::majority(3, 1).with_cache_tier();
+        let schedule = generate(&plain, &ScheduleParams::default(), 23);
+        let a = run_schedule(&plain, &schedule);
+        let b = run_schedule(&cached, &schedule);
+        assert!(a.quiesced && b.quiesced);
+        assert!(a.cache_lease.is_none());
+        assert_eq!(b.cache_lease, Some(SimDuration::ZERO));
+        assert_eq!(
+            a.coverage.cache_hits + a.coverage.cache_misses,
+            0,
+            "uncached arm never touches the tier"
+        );
+        assert!(crate::oracle::check_trial(&a, false).is_empty());
+        assert!(crate::oracle::check_trial(&b, false).is_empty());
+        // Replays of the cached arm stay deterministic.
+        let again = run_schedule(&cached, &schedule);
         assert_eq!(b.replicas, again.replicas);
         assert_eq!(b.coverage, again.coverage);
     }

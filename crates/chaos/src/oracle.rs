@@ -43,13 +43,21 @@
 //! 10. **Repair version bound** — a replica's version is explicable by
 //!     acknowledged plus in-doubt writes; repair never mints versions,
 //!     so gap-freedom reasoning survives it.
+//!
+//! With the client cache tier on ([`check_staleness_bound`]):
+//!
+//! 11. **Staleness bound** — every successful read returns a version at
+//!     least as new as anything acknowledged `lease` or more before the
+//!     read began. Validated mode runs with a zero bound: a cache serve
+//!     carries quorum evidence, so it must be exactly as fresh as a
+//!     classic quorum read.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use wv_core::client::CompletedOp;
 use wv_core::{OpError, OpKind};
-use wv_sim::SimTime;
+use wv_sim::{SimDuration, SimTime};
 
 use crate::exec::TrialRun;
 
@@ -97,6 +105,15 @@ pub enum Violation {
         /// The version the read returned.
         returned: u64,
         /// The newest version acknowledged before the read started.
+        floor: u64,
+    },
+    /// With the cache tier on, a read exceeded the staleness bound: it
+    /// missed a write acknowledged at least the lease before it began.
+    StaleCachedRead {
+        /// The version the read returned.
+        returned: u64,
+        /// The newest version acknowledged `lease` or more before the
+        /// read started.
         floor: u64,
     },
     /// After quiesce, a client's final read missed an acknowledged write.
@@ -171,6 +188,10 @@ impl fmt::Display for Violation {
                 f,
                 "stale read: returned v{returned} after v{floor} was acknowledged"
             ),
+            Violation::StaleCachedRead { returned, floor } => write!(
+                f,
+                "cache-tier read returned v{returned}, beyond the staleness bound (floor v{floor})"
+            ),
             Violation::MissedAckedWrite {
                 client,
                 final_version,
@@ -219,6 +240,7 @@ impl Violation {
             Violation::ForeignValue { .. } => "foreign_value",
             Violation::DivergentRead { .. } => "divergent_read",
             Violation::StaleRead { .. } => "stale_read",
+            Violation::StaleCachedRead { .. } => "stale_cached_read",
             Violation::MissedAckedWrite { .. } => "missed_acked_write",
             Violation::FinalStateDivergence => "final_state_divergence",
             Violation::PostHealUnavailable { .. } => "post_heal_unavailable",
@@ -363,6 +385,49 @@ pub fn check_log(
     violations
 }
 
+/// Checks invariant 11, the cache tier's staleness bound: every
+/// successful read returns a version at least as new as anything
+/// acknowledged `lease` or more before the read began.
+///
+/// With `lease == 0` this floor coincides with invariant 7's, so a
+/// validated-mode arm asserts that serving from the attached weak
+/// representative is exactly as fresh as a classic quorum read; a lease
+/// arm relaxes the floor by precisely its configured TTL and nothing more.
+pub fn check_staleness_bound(ops: &[CompletedOp], lease: SimDuration) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    // Earliest acknowledgement per committed version, as in `check_log`.
+    let mut committed_at: BTreeMap<u64, SimTime> = BTreeMap::new();
+    for o in ops {
+        let acked: Vec<u64> = match (o.kind, &o.outcome) {
+            (OpKind::Write, Ok(okk)) => vec![okk.version.0],
+            (OpKind::Reconfigure, Ok(okk)) => okk.multi.iter().map(|(_, v)| v.0).collect(),
+            _ => Vec::new(),
+        };
+        for v in acked {
+            let fin = committed_at.entry(v).or_insert(o.finished);
+            if o.finished < *fin {
+                *fin = o.finished;
+            }
+        }
+    }
+    for o in ops.iter().filter(|o| o.kind == OpKind::Read) {
+        let Ok(okk) = &o.outcome else { continue };
+        let floor = committed_at
+            .iter()
+            .filter(|(_, fin)| **fin + lease <= o.started)
+            .map(|(v, _)| *v)
+            .max()
+            .unwrap_or(0);
+        if okk.version.0 < floor {
+            violations.push(Violation::StaleCachedRead {
+                returned: okk.version.0,
+                floor,
+            });
+        }
+    }
+    violations
+}
+
 /// Checks invariant 8 over a quiesced trial's final state.
 pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
     let mut violations = Vec::new();
@@ -441,6 +506,9 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
 /// the convergence checks (there is no settled final state to judge).
 pub fn check_trial(run: &TrialRun, strict: bool) -> Vec<Violation> {
     let mut violations = check_log(&run.ops, Some(&run.sent_payloads), strict);
+    if let Some(lease) = run.cache_lease {
+        violations.extend(check_staleness_bound(&run.ops, lease));
+    }
     if run.quiesced {
         violations.extend(check_convergence(run));
     } else {
@@ -607,6 +675,30 @@ mod tests {
         assert!(v.contains(&Violation::DivergentRead { version: 1 }));
     }
 
+    #[test]
+    fn the_staleness_bound_tracks_the_lease() {
+        // A write acked at 100ms; a read starting at 150ms returns v0.
+        let ops = vec![write_ok(1, 0, 100), read_ok(0, b"", 150, 160)];
+        // Zero bound (validated mode): flagged — same floor as invariant 7.
+        let v = check_staleness_bound(&ops, SimDuration::ZERO);
+        assert!(v.contains(&Violation::StaleCachedRead {
+            returned: 0,
+            floor: 1
+        }));
+        // A 100ms lease forgives a read inside the bound…
+        assert!(check_staleness_bound(&ops, SimDuration::from_millis(100)).is_empty());
+        // …but not one starting past acknowledgement + lease.
+        let ops = vec![write_ok(1, 0, 100), read_ok(0, b"", 201, 210)];
+        let v = check_staleness_bound(&ops, SimDuration::from_millis(100));
+        assert_eq!(
+            v,
+            vec![Violation::StaleCachedRead {
+                returned: 0,
+                floor: 1
+            }]
+        );
+    }
+
     /// A quiesced run whose single client acked the given ops, read back
     /// `final_state`, and left the given per-server replicas behind.
     fn quiet_run(
@@ -627,6 +719,7 @@ mod tests {
             quiesced: true,
             coverage: crate::exec::TrialCoverage::default(),
             net: Default::default(),
+            cache_lease: None,
         }
     }
 

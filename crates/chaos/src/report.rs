@@ -1,6 +1,6 @@
 //! E9 — the chaos campaign report.
 //!
-//! Three campaigns back to back:
+//! Five campaigns back to back:
 //!
 //! 1. **Shipped protocol** — a majority-quorum cluster under the full
 //!    fault repertoire for `trials` seeds. Expected verdict: zero
@@ -12,7 +12,16 @@
 //!    verdict: still zero violations, including the repair-specific
 //!    invariants (provenance, version bounds), with the activity table
 //!    proving repair actually ran.
-//! 3. **Deliberately broken protocol** — `r + w = N`, so quorums need
+//! 3. **Group-commit arm** — the same trials with batched WAL syncs;
+//!    still zero violations over the batched durability path.
+//! 4. **Cache-tier arm** — the same trials with a validated-mode weak
+//!    representative attached to every client. The oracle adds the
+//!    staleness-bound invariant (every cache-served read returns a
+//!    version at least as new as the floor its lease permits; validated
+//!    mode means a zero-length lease, i.e. exact freshness); expected
+//!    verdict: still zero violations, with the activity table proving
+//!    reads actually came from cache.
+//! 5. **Deliberately broken protocol** — `r + w = N`, so quorums need
 //!    not intersect. The campaign finds a violation, the shrinker
 //!    delta-debugs it to a handful of events, and the minimal schedule is
 //!    emitted as a replayable JSON artifact.
@@ -289,6 +298,58 @@ pub fn run(trials: usize) -> E9Output {
         g.wal_batched_records, g.wal_batches
     ));
 
+    // Campaign 1d: the same trials once more with a validated-mode weak
+    // representative on every client. The flag never reaches the
+    // schedule generator, so the fault timelines are identical; the
+    // oracle adds the staleness-bound invariant for this arm (validated
+    // mode = zero-length lease, so cache serves must be exactly fresh).
+    let cached = CampaignConfig {
+        spec: ClusterSpec::majority(5, 2).with_cache_tier(),
+        ..healthy
+    };
+    let report = run_campaign(&cached);
+    out.push_str(&format!(
+        "### Cache-tier arm: the same {} trials with a validated weak representative on every client\n\n",
+        report.trials
+    ));
+    out.push_str(&format!(
+        "Invariant violations: **{}**.\n\n",
+        report.failures.len()
+    ));
+    if !report.clean() {
+        let mut t = Table::new("Violations", &["trial seed", "violation"]);
+        for f in &report.failures {
+            for v in &f.violations {
+                t.row(&[format!("0x{:016x}", f.seed), v.to_string()]);
+            }
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    let w = report.coverage;
+    let mut t = Table::new(
+        "Cache-tier activity (oracle also checks the staleness bound on every cache serve)",
+        &["counter", "value"],
+    );
+    t.row(&["cache hits".into(), w.cache_hits.to_string()]);
+    t.row(&["cache misses".into(), w.cache_misses.to_string()]);
+    t.row(&[
+        "piggybacked inquiries".into(),
+        w.piggybacked_inquiries.to_string(),
+    ]);
+    t.row(&["operations committed".into(), w.ops_ok.to_string()]);
+    t.row(&["phase timeouts".into(), w.timeouts.to_string()]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    out.push_str(&format!(
+        "Of the arm's successful reads, {} were served from the local \
+         weak representative after a version-inquiry quorum confirmed \
+         currency and {} fell through to a data fetch; every cache serve \
+         satisfied the staleness bound (validated mode: exactly as fresh \
+         as a classic read).\n\n",
+        w.cache_hits, w.cache_misses
+    ));
+
     // Campaign 2: break quorum intersection, find it, shrink it.
     out.push_str(
         "### Broken protocol: r = 2, w = 3 on 5 servers (r + w = N, quorums need not intersect)\n\n",
@@ -396,13 +457,15 @@ mod tests {
         assert!(artifact.contains("\"trace\":["), "artifact embeds trace");
         assert!(artifact.contains("\"kind\":"), "trace has span records");
         assert!(Schedule::from_json(artifact).is_some());
-        // The plain, self-healing, and group-commit arms all come back clean.
+        // The plain, self-healing, group-commit, and cache-tier arms
+        // all come back clean.
         assert!(a.report.contains("### Self-healing arm"));
         assert!(a.report.contains("### Group-commit arm"));
+        assert!(a.report.contains("### Cache-tier arm"));
         assert_eq!(
             a.report.matches("Invariant violations: **0**").count(),
-            3,
-            "all three healthy arms must be violation-free"
+            4,
+            "all four healthy arms must be violation-free"
         );
     }
 }

@@ -50,6 +50,11 @@ pub struct ClusterSpec {
     /// never consulted by the schedule generator, so batched and
     /// unbatched arms replay the same fault timeline.
     pub group_commit: bool,
+    /// Attach a validated-mode weak representative (the client cache
+    /// tier) to every client. Like the other arm flags, never consulted
+    /// by the schedule generator, so cached and uncached arms replay the
+    /// same fault timeline.
+    pub cache_tier: bool,
 }
 
 impl ClusterSpec {
@@ -64,6 +69,7 @@ impl ClusterSpec {
             unchecked_quorums: false,
             repair: false,
             group_commit: false,
+            cache_tier: false,
         }
     }
 
@@ -76,6 +82,12 @@ impl ClusterSpec {
     /// The same cluster with WAL group commit switched on.
     pub fn with_group_commit(mut self) -> Self {
         self.group_commit = true;
+        self
+    }
+
+    /// The same cluster with the client cache tier switched on.
+    pub fn with_cache_tier(mut self) -> Self {
+        self.cache_tier = true;
         self
     }
 
@@ -99,6 +111,7 @@ impl ClusterSpec {
             unchecked_quorums: true,
             repair: false,
             group_commit: false,
+            cache_tier: false,
         }
     }
 
@@ -416,6 +429,7 @@ impl Schedule {
         );
         cluster.insert("repair".to_string(), Value::Bool(spec.repair));
         cluster.insert("group_commit".to_string(), Value::Bool(spec.group_commit));
+        cluster.insert("cache_tier".to_string(), Value::Bool(spec.cache_tier));
         root.insert("cluster".to_string(), Value::Object(cluster));
         let events: Vec<Value> = self.events.iter().map(event_to_value).collect();
         root.insert("events".to_string(), Value::Array(events));
@@ -446,6 +460,11 @@ impl Schedule {
             // Same back-compat rule for pre-group-commit artifacts.
             group_commit: cluster
                 .get("group_commit")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
+            // And for pre-cache-tier artifacts.
+            cache_tier: cluster
+                .get("cache_tier")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
         };
@@ -732,12 +751,35 @@ mod tests {
     }
 
     #[test]
+    fn the_cache_tier_flag_round_trips_through_json() {
+        let spec = ClusterSpec::majority(5, 2).with_cache_tier();
+        let s = generate(&spec, &ScheduleParams::default(), 4);
+        let (spec2, s2) = Schedule::from_json(&s.to_json(&spec)).expect("parses");
+        assert!(spec2.cache_tier);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn artifacts_without_a_cache_tier_key_replay_uncached() {
+        // Replay artifacts written before the cache tier omit the key;
+        // they must keep parsing, with the tier defaulted off.
+        let spec = ClusterSpec::majority(3, 1);
+        let s = generate(&spec, &ScheduleParams::default(), 8);
+        let legacy = s.to_json(&spec).replace("\"cache_tier\":false,", "");
+        assert!(!legacy.contains("cache_tier"), "key really was stripped");
+        let (spec2, s2) = Schedule::from_json(&legacy).expect("parses");
+        assert!(!spec2.cache_tier);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
     fn repair_never_influences_schedule_generation() {
         // Repair-on and repair-off arms must share identical timelines so
         // a campaign can compare them trial for trial.
         let plain = ClusterSpec::majority(5, 2);
         let healing = ClusterSpec::majority(5, 2).with_repair();
         let batched = ClusterSpec::majority(5, 2).with_group_commit();
+        let cached = ClusterSpec::majority(5, 2).with_cache_tier();
         for seed in 0..20 {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
@@ -746,6 +788,10 @@ mod tests {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
                 generate(&batched, &ScheduleParams::default(), seed),
+            );
+            assert_eq!(
+                generate(&plain, &ScheduleParams::default(), seed),
+                generate(&cached, &ScheduleParams::default(), seed),
             );
         }
     }

@@ -76,6 +76,50 @@ pub struct ClientOptions {
     /// `None` — the default — never queues, leaving the classic
     /// caller-paced behaviour byte-for-byte untouched.
     pub pipeline_depth: Option<usize>,
+    /// Attached weak representative: a client-side cache tier holding one
+    /// committed `(version, contents)` per suite (zero votes, zero quorum
+    /// weight — the paper's weak representative, attached to the client
+    /// itself). See [`WeakRepOptions`] for the validated and lease modes.
+    /// `None` — the default — disables the tier and leaves the classic
+    /// read path byte-for-byte untouched.
+    pub weak_rep: Option<WeakRepOptions>,
+}
+
+/// Tunables for the client's attached weak representative (cache tier).
+///
+/// Two serving modes:
+///
+/// * **Validated** (`lease: None`): a read still runs its version-inquiry
+///   quorum, but when the quorum confirms the cached copy is current the
+///   read completes from the local copy with **zero data RPCs** — and
+///   concurrent pipelined reads to the same suite piggyback on one
+///   in-flight inquiry, so a single round of version checks amortises
+///   over the whole window. Quorum intersection makes this exactly as
+///   fresh as a classic quorum read.
+/// * **Lease** (`lease: Some(ttl)`): a quorum-validated read grants the
+///   cache entry a sim-clock lease; until it expires, reads on the suite
+///   are served locally with **no network traffic at all**. The lease is
+///   the staleness bound: a served value can lag the newest commit by at
+///   most `ttl`. Leases are invalidated by any local write to the suite
+///   and by configuration adoption, and are *not* extended by lease-served
+///   reads (only a fresh quorum validation re-arms one).
+#[derive(Clone, Debug)]
+pub struct WeakRepOptions {
+    /// Lease TTL: `None` — validated mode; `Some(ttl)` — lease mode with a
+    /// staleness bound of `ttl`.
+    pub lease: Option<SimDuration>,
+}
+
+impl WeakRepOptions {
+    /// Validated mode: quorum-confirmed currency, zero data RPCs on a hit.
+    pub fn validated() -> Self {
+        WeakRepOptions { lease: None }
+    }
+
+    /// Lease mode: fully quorum-free reads within a `ttl` staleness bound.
+    pub fn lease(ttl: SimDuration) -> Self {
+        WeakRepOptions { lease: Some(ttl) }
+    }
 }
 
 /// Tunables for the client's self-healing layer.
@@ -166,6 +210,7 @@ impl Default for ClientOptions {
             quorum_policy: QuorumPolicy::CheapestFirst,
             health: None,
             pipeline_depth: None,
+            weak_rep: None,
         }
     }
 }
@@ -202,6 +247,19 @@ pub struct ClientStats {
     /// Reads completed by the hedge target rather than the original
     /// fetch candidate.
     pub hedge_wins: u64,
+    /// Reads served from the attached weak representative: the local copy
+    /// was quorum-confirmed current (validated mode) or inside a live
+    /// lease (lease mode). Zero data RPCs each.
+    pub cache_hits: u64,
+    /// Cache-tier reads that had to fetch contents over the network (cold
+    /// or stale entry, or an expired lease).
+    pub cache_misses: u64,
+    /// Lease-mode serves refused because the lease had lapsed by the time
+    /// the read started (the read then re-validated over the network).
+    pub lease_expiries: u64,
+    /// Reads that coalesced onto another read's in-flight version inquiry
+    /// for the same suite instead of fanning out their own `VersionReq`s.
+    pub piggybacked_inquiries: u64,
 }
 
 /// What a finished operation produced.
@@ -272,6 +330,14 @@ enum Phase {
         resends: u32,
     },
     RefreshConfig,
+    /// Cache-tier read waiting on another read's in-flight version
+    /// inquiry for the same suite (the piggybacked/coalesced inquiry).
+    /// Resolved when the leader's quorum settles; failed over to a fresh
+    /// attempt if the leader dies first.
+    Piggyback {
+        /// The read whose inquiry this one joined.
+        leader: ReqId,
+    },
     /// Transaction: collecting version quorums for every suite.
     MultiInquire {
         per_suite: BTreeMap<ObjectId, BTreeMap<SiteId, Version>>,
@@ -400,6 +466,18 @@ struct QuorumPlan {
     rr: u64,
 }
 
+/// One suite's entry in the client's attached weak representative: the
+/// newest committed `(version, contents)` a quorum has vouched for, plus
+/// the lease deadline when lease mode granted one.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    version: Version,
+    value: Bytes,
+    /// Serve locally without any network until this instant (exclusive);
+    /// `None` — no live lease (validated mode, or lease lapsed/revoked).
+    lease_until: Option<SimTime>,
+}
+
 /// A client node: starts operations, reacts to responses, records results.
 pub struct ClientNode {
     site: SiteId,
@@ -425,6 +503,14 @@ pub struct ClientNode {
     /// hedges, prepares), indexed like `costs` — the load the policy
     /// choice distributes.
     site_load: Vec<u64>,
+    /// The attached weak representative's per-suite entries. Touched only
+    /// when `options.weak_rep` is set.
+    cache: HashMap<ObjectId, CacheEntry>,
+    /// Per suite, the read currently leading a version inquiry plus the
+    /// reads piggybacked on it. Touched only when `options.weak_rep` is
+    /// set; entries are validated against the live op table before use,
+    /// so a stale leader id can never capture a new read.
+    inquiry_leaders: HashMap<ObjectId, (ReqId, Vec<ReqId>)>,
     /// Durable commit-decision log (presumed abort for anything absent).
     decisions: Container,
     decided_commit: BTreeSet<ReqId>,
@@ -550,6 +636,8 @@ impl ClientNode {
             active: 0,
             queue: VecDeque::new(),
             site_load,
+            cache: HashMap::new(),
+            inquiry_leaders: HashMap::new(),
             decisions: Container::new(),
             decided_commit: BTreeSet::new(),
             completed: Vec::new(),
@@ -775,6 +863,209 @@ impl ClientNode {
             return;
         };
         tr.event(SpanKind::WalWrite, t.op, Some(t.root), None, 0, now);
+    }
+
+    /// Records an instantaneous cache-tier event (`CacheHit` on a local
+    /// serve, `CacheRefresh` on a fill from the network) under the op's
+    /// root span.
+    fn trace_cache_event(&mut self, req: ReqId, kind: SpanKind, detail: u64, now: SimTime) {
+        let Some(tr) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(t) = self.ops.get(&req).and_then(|st| st.trace.as_ref()) else {
+            return;
+        };
+        tr.event(kind, t.op, Some(t.root), None, detail, now);
+    }
+
+    // ---- attached weak representative (cache tier) ---------------------
+    //
+    // Every method below is reached only when `options.weak_rep` is set;
+    // with the tier off the maps stay empty and the classic read path is
+    // byte-for-byte untouched.
+
+    /// Re-arms the suite's lease after a quorum validation (no-op in
+    /// validated mode). Lease-served reads do not pass through here: only
+    /// fresh quorum evidence extends a lease.
+    fn grant_lease(&mut self, suite: ObjectId, now: SimTime) {
+        let Some(ttl) = self.options.weak_rep.as_ref().and_then(|w| w.lease) else {
+            return;
+        };
+        if let Some(entry) = self.cache.get_mut(&suite) {
+            entry.lease_until = Some(now + ttl);
+        }
+    }
+
+    /// Installs quorum-fresh contents into the attached weak
+    /// representative (monotonically — a late stale fill can never regress
+    /// the entry) and arms the lease in lease mode.
+    fn fill_cache(&mut self, suite: ObjectId, version: Version, value: &Bytes, now: SimTime) {
+        let Some(wr) = self.options.weak_rep.as_ref() else {
+            return;
+        };
+        let lease_until = wr.lease.map(|ttl| now + ttl);
+        match self.cache.get_mut(&suite) {
+            Some(entry) if entry.version > version => {}
+            Some(entry) => {
+                entry.version = version;
+                entry.value = value.clone();
+                entry.lease_until = lease_until;
+            }
+            None => {
+                self.cache.insert(
+                    suite,
+                    CacheEntry {
+                        version,
+                        value: value.clone(),
+                        lease_until,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Gossip refresh from a server's anti-entropy round: installs
+    /// strictly newer committed state into the attached weak
+    /// representative. The push carries single-server state, not a quorum
+    /// answer, so it never grants or extends a lease — it only raises the
+    /// version a later validated or lease-mode read will serve.
+    fn gossip_fill(
+        &mut self,
+        from: SiteId,
+        suite: ObjectId,
+        version: Version,
+        value: &Bytes,
+        now: SimTime,
+    ) {
+        if self.options.weak_rep.is_none() {
+            return;
+        }
+        let installed = match self.cache.get_mut(&suite) {
+            Some(entry) if entry.version >= version => false,
+            Some(entry) => {
+                entry.version = version;
+                entry.value = value.clone();
+                true
+            }
+            None => {
+                self.cache.insert(
+                    suite,
+                    CacheEntry {
+                        version,
+                        value: value.clone(),
+                        lease_until: None,
+                    },
+                );
+                true
+            }
+        };
+        if installed {
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.event(
+                    SpanKind::CacheRefresh,
+                    0,
+                    None,
+                    Some(from.0),
+                    version.0,
+                    now,
+                );
+            }
+        }
+    }
+
+    /// Completes a read from the attached weak representative: zero data
+    /// RPCs, counted as a cache hit.
+    fn serve_from_cache(&mut self, req: ReqId, suite: ObjectId, ctx: &mut NodeCtx<'_, Msg>) {
+        let Some(entry) = self.cache.get(&suite) else {
+            return;
+        };
+        let (version, value) = (entry.version, entry.value.clone());
+        self.stats.cache_hits += 1;
+        self.trace_cache_event(req, SpanKind::CacheHit, version.0, ctx.now());
+        self.complete(
+            req,
+            Ok(OpSuccess {
+                version,
+                value: Some(value),
+                multi: Vec::new(),
+            }),
+            ctx,
+        );
+    }
+
+    /// Called whenever an operation leaves the inquiry phase abnormally
+    /// (timeout, retry, config refresh, crash-side cleanup): if it was
+    /// leading a coalesced inquiry, detach its followers and restart each
+    /// on a fresh attempt (the first restarted read becomes the new
+    /// leader; the rest re-coalesce behind it).
+    fn leader_abandoned(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+        if self.options.weak_rep.is_none() {
+            return;
+        }
+        let Some(suite) = self
+            .inquiry_leaders
+            .iter()
+            .find(|(_, (leader, _))| *leader == req)
+            .map(|(s, _)| *s)
+        else {
+            return;
+        };
+        let (_, followers) = self
+            .inquiry_leaders
+            .remove(&suite)
+            .expect("entry just found");
+        for f in followers {
+            let live = self
+                .ops
+                .get(&f)
+                .is_some_and(|st| matches!(st.phase, Phase::Piggyback { leader } if leader == req));
+            if live {
+                self.begin_attempt(f, ctx);
+            }
+        }
+    }
+
+    /// The leader's inquiry quorum settled on `current`: resolve every
+    /// piggybacked read — from the cache when the entry proved current,
+    /// via a fetch from `candidates` otherwise.
+    fn settle_followers(
+        &mut self,
+        suite: ObjectId,
+        leader: ReqId,
+        current: Version,
+        candidates: &[SiteId],
+        ctx: &mut NodeCtx<'_, Msg>,
+    ) {
+        if self.options.weak_rep.is_none() {
+            return;
+        }
+        let followers = match self.inquiry_leaders.get(&suite) {
+            Some((l, _)) if *l == leader => {
+                self.inquiry_leaders
+                    .remove(&suite)
+                    .expect("entry present")
+                    .1
+            }
+            _ => return,
+        };
+        for f in followers {
+            let live = self.ops.get(&f).is_some_and(
+                |st| matches!(st.phase, Phase::Piggyback { leader: l } if l == leader),
+            );
+            if !live {
+                continue;
+            }
+            if self.cache.get(&suite).is_some_and(|e| e.version >= current) {
+                self.grant_lease(suite, ctx.now());
+                self.serve_from_cache(f, suite, ctx);
+            } else if candidates.is_empty() {
+                self.fail_attempt(f, OpError::Unavailable { kind: OpKind::Read }, ctx);
+            } else {
+                // The follower's cache can't serve this version; fetch it
+                // (the miss is counted when the fetch completes).
+                self.enter_fetch(f, suite, current, candidates.to_vec(), ctx);
+            }
+        }
     }
 
     /// Per-decision costs: real costs for cheapest-first, fresh random
@@ -1159,6 +1450,82 @@ impl ClientNode {
         req
     }
 
+    /// Cache-tier front end of [`Self::begin_attempt`]: serves the read
+    /// from a live lease (zero network) or piggybacks it on an in-flight
+    /// inquiry for the same suite. Returns `true` when the read was fully
+    /// handled here, `false` when the classic attempt should proceed.
+    fn try_cache_read(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) -> bool {
+        let Some(st) = self.ops.get(&req) else {
+            return true; // vanished (crash); nothing to begin
+        };
+        if st.kind != OpKind::Read {
+            return false;
+        }
+        let suite = st.suite;
+        // Live lease: serve locally. The deadline itself counts as
+        // expired — a lease is good strictly before `lease_until`.
+        if let Some(until) = self.cache.get(&suite).and_then(|e| e.lease_until) {
+            if ctx.now() < until {
+                let Some(st) = self.ops.get_mut(&req) else {
+                    return true;
+                };
+                st.attempts += 1;
+                st.seq += 1;
+                st.attempt_started = ctx.now();
+                self.serve_from_cache(req, suite, ctx);
+                return true;
+            }
+            self.stats.lease_expiries += 1;
+            if let Some(e) = self.cache.get_mut(&suite) {
+                e.lease_until = None;
+            }
+        }
+        // Coalesce: join a live in-flight inquiry for the same suite.
+        // Only within the pipelined-op window — a piggybacked read
+        // anchors its freshness at the *leader's* start, a relaxation
+        // bounded by one inquiry round that depth-k batching opts into;
+        // caller-paced reads keep the exact classic freshness anchor.
+        if self.options.pipeline_depth.is_none() {
+            return false;
+        }
+        let leader = self.inquiry_leaders.get(&suite).map(|(l, _)| *l);
+        if let Some(leader) = leader {
+            let live = leader != req
+                && self.ops.get(&leader).is_some_and(|ls| {
+                    ls.suite == suite && matches!(ls.phase, Phase::Inquire { .. })
+                });
+            if live {
+                let sites = self.configs[&suite].assignment.all_sites();
+                let delay = self.phase_delay(&sites);
+                let Some(st) = self.ops.get_mut(&req) else {
+                    return true;
+                };
+                st.attempts += 1;
+                st.seq += 1;
+                st.attempt_started = ctx.now();
+                st.phase = Phase::Piggyback { leader };
+                let seq = st.seq;
+                self.stats.piggybacked_inquiries += 1;
+                self.inquiry_leaders
+                    .get_mut(&suite)
+                    .expect("entry just read")
+                    .1
+                    .push(req);
+                arm_timer(
+                    &mut self.timers,
+                    &mut self.next_timer,
+                    req,
+                    seq,
+                    TimerKind::PhaseTimeout,
+                    delay,
+                    ctx,
+                );
+                return true;
+            }
+        }
+        false
+    }
+
     fn begin_attempt(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
         if self
             .ops
@@ -1168,15 +1535,29 @@ impl ClientNode {
             self.begin_multi_attempt(req, ctx);
             return;
         }
-        let (suite, wants_guess) = {
+        // Cache tier: a live lease serves locally, and a read arriving
+        // while another read's inquiry is in flight coalesces onto it.
+        // Entirely skipped with `weak_rep` off.
+        if self.options.weak_rep.is_some() && self.try_cache_read(req, ctx) {
+            return;
+        }
+        let (suite, is_read) = {
             let Some(st) = self.ops.get(&req) else {
                 return;
             };
-            (
-                st.suite,
-                st.kind == OpKind::Read && self.options.optimistic_fetch,
-            )
+            (st.suite, st.kind == OpKind::Read)
         };
+        // With a warm cache entry the local copy plays the optimistic
+        // fetch's part — pre-seeded into `early` below, so the inquiry
+        // quorum can confirm it without any speculative ReadReq.
+        let cached_early = if is_read && self.options.weak_rep.is_some() {
+            self.cache
+                .get(&suite)
+                .map(|e| (self.site, e.version, e.value.clone()))
+        } else {
+            None
+        };
+        let wants_guess = is_read && self.options.optimistic_fetch && cached_early.is_none();
         // Optimistic fetch: race a content read to the cheapest host
         // against the inquiry; a current answer completes the read at
         // max(inquiry, fetch) instead of inquiry + fetch. The cheapest host
@@ -1213,9 +1594,16 @@ impl ClientNode {
             versions: BTreeMap::new(),
             max_gen: 0,
             guess,
-            early: None,
+            early: cached_early,
         };
         let seq = st.seq;
+        if is_read && self.options.weak_rep.is_some() {
+            // This read now leads the suite's inquiry; later pipelined
+            // reads coalesce behind it. (A stale entry for a dead leader
+            // is simply overwritten — a live one would have captured this
+            // read in `try_cache_read`.)
+            self.inquiry_leaders.insert(suite, (req, Vec::new()));
+        }
         if self.tracer.is_some() {
             self.trace_begin_phase(req, SpanKind::Inquiry, ctx.now());
             for site in &sites {
@@ -1441,6 +1829,9 @@ impl ClientNode {
 
     /// Ends the current attempt with `err`, retrying if budget remains.
     fn fail_attempt(&mut self, req: ReqId, err: OpError, ctx: &mut NodeCtx<'_, Msg>) {
+        // A failing coalesced-inquiry leader must not strand its
+        // followers; restart them on fresh attempts of their own.
+        self.leader_abandoned(req, ctx);
         let Some(mut st) = self.ops.remove(&req) else {
             return;
         };
@@ -1553,6 +1944,9 @@ impl ClientNode {
     }
 
     fn enter_refresh(&mut self, req: ReqId, ask: SiteId, ctx: &mut NodeCtx<'_, Msg>) {
+        // A coalesced-inquiry leader that leaves for a config refresh
+        // hands its followers back to fresh attempts first.
+        self.leader_abandoned(req, ctx);
         self.trace_close_phase(req, ctx.now(), SpanOutcome::Stale);
         let Some(st) = self.ops.get_mut(&req) else {
             return;
@@ -1617,6 +2011,13 @@ impl ClientNode {
                 source: SiteId,
                 version: Version,
                 value: Bytes,
+                /// True when the early answer was the attached weak
+                /// representative's entry rather than an optimistic RPC.
+                from_cache: bool,
+                current: Version,
+                /// Current holders, for settling piggybacked reads that
+                /// need a fetch (computed only with the cache tier on).
+                candidates: Vec<SiteId>,
             },
             ToFetch {
                 current: Version,
@@ -1665,8 +2066,8 @@ impl ClientNode {
             let Phase::Inquire {
                 versions,
                 max_gen,
+                guess,
                 early,
-                ..
             } = &mut st.phase
             else {
                 return;
@@ -1688,13 +2089,24 @@ impl ClientNode {
                     match st.kind {
                         OpKind::Read => {
                             // The optimistic fetch wins if it proved
-                            // current (or newer — a racing commit).
+                            // current (or newer — a racing commit). With
+                            // the cache tier on, `early` may instead hold
+                            // the attached weak representative's entry
+                            // (`guess` is `None` then), which the quorum
+                            // has just confirmed the same way.
                             if let Some((source, v, val)) = early.clone() {
                                 if v >= current {
                                     Next::EarlyHit {
                                         source,
                                         version: v,
                                         value: val,
+                                        from_cache: guess.is_none(),
+                                        current,
+                                        candidates: if self.options.weak_rep.is_some() {
+                                            holders(versions, current)
+                                        } else {
+                                            Vec::new()
+                                        },
                                     }
                                 } else {
                                     Next::ToFetch {
@@ -1751,8 +2163,21 @@ impl ClientNode {
                 source,
                 version,
                 value,
+                from_cache,
+                current,
+                candidates,
             } => {
-                self.stats.reads_cache_hit += 1;
+                if from_cache {
+                    self.stats.cache_hits += 1;
+                    self.trace_cache_event(req, SpanKind::CacheHit, version.0, ctx.now());
+                    self.grant_lease(suite, ctx.now());
+                } else {
+                    self.stats.reads_cache_hit += 1;
+                    if self.options.weak_rep.is_some() {
+                        self.stats.cache_misses += 1;
+                    }
+                }
+                self.settle_followers(suite, req, current, &candidates, ctx);
                 self.finish_read(req, suite, source, version, value, ctx);
             }
             Next::ToFetch {
@@ -1760,6 +2185,7 @@ impl ClientNode {
                 candidates,
             } => {
                 self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
+                self.settle_followers(suite, req, current, &candidates, ctx);
                 self.enter_fetch(req, suite, current, candidates, ctx)
             }
             Next::ToPrepare {
@@ -1805,6 +2231,14 @@ impl ClientNode {
                     value: value.clone(),
                 },
             );
+        }
+        // Cache tier: every quorum-backed read refreshes the attached
+        // weak representative (and re-arms the lease in lease mode).
+        if self.options.weak_rep.is_some() {
+            if source != self.site {
+                self.trace_cache_event(req, SpanKind::CacheRefresh, version.0, ctx.now());
+            }
+            self.fill_cache(suite, version, &value, ctx.now());
         }
         self.complete(
             req,
@@ -2242,6 +2676,11 @@ impl ClientNode {
                     self.stats.hedge_wins += 1;
                 }
                 self.stats.reads_fetched += 1;
+                if self.options.weak_rep.is_some()
+                    && self.ops.get(&req).is_some_and(|st| st.kind == OpKind::Read)
+                {
+                    self.stats.cache_misses += 1;
+                }
                 self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Ok, version.0);
                 self.finish_read(req, suite, from, version, value, ctx);
             }
@@ -2514,6 +2953,15 @@ impl ClientNode {
             self.configs.insert(suite, next);
             self.plans.remove(&suite);
         }
+        // A local commit supersedes the attached weak representative's
+        // entry for every suite it touched: drop the entries (and their
+        // leases) so no later cache serve can return overwritten data.
+        if self.options.weak_rep.is_some() {
+            self.cache.remove(&suite);
+            for (s, _) in &multi {
+                self.cache.remove(s);
+            }
+        }
         // Optionally push the fresh value to weak representatives.
         if push {
             let value = payload.expect("write payload");
@@ -2556,6 +3004,12 @@ impl ClientNode {
             // The cached quorum plan ranks the old membership; rebuild it
             // lazily against the adopted configuration.
             self.plans.remove(&suite);
+            // An adopted configuration also invalidates the attached weak
+            // representative's entry and any live lease on it: the entry
+            // was vouched for under quorums that no longer govern.
+            if self.options.weak_rep.is_some() {
+                self.cache.remove(&suite);
+            }
         }
         if matches!(
             self.ops.get(&req).map(|st| &st.phase),
@@ -2600,6 +3054,10 @@ impl ClientNode {
                 Phase::RefreshConfig | Phase::MultiInquire { .. } => {
                     (Next::FailUnavailable(st.kind), Vec::new())
                 }
+                // A piggybacked read whose leader never resolved: fail
+                // the attempt and retry independently (the retry leads
+                // its own inquiry if none is in flight by then).
+                Phase::Piggyback { .. } => (Next::FailUnavailable(st.kind), Vec::new()),
                 Phase::Fetch {
                     candidates,
                     idx,
@@ -2768,6 +3226,13 @@ impl ClientNode {
                 };
                 ctx.send(from, msg);
             }
+            // The anti-entropy daemon pushing committed state at an
+            // attached weak representative (a no-op with the tier off).
+            Msg::UpdateWeak {
+                suite,
+                version,
+                value,
+            } => self.gossip_fill(from, suite, version, &value, ctx.now()),
             // Server-bound traffic mis-delivered to a pure client: ignore.
             _ => {}
         }
@@ -2792,11 +3257,15 @@ impl ClientNode {
     }
 
     /// Crash: in-flight operations are lost; the decision log survives.
+    /// The attached weak representative is volatile — a recovered client
+    /// restarts with a cold cache and no leases.
     pub fn handle_crash(&mut self) {
         self.ops.clear();
         self.timers.clear();
         self.queue.clear();
         self.active = 0;
+        self.cache.clear();
+        self.inquiry_leaders.clear();
         self.decided_commit.clear();
         self.decisions.crash();
     }
@@ -3679,5 +4148,266 @@ mod tests {
             c.retry_delay(ReqId::new(42, CLIENT), 3),
             c.retry_delay(ReqId::new(43, CLIENT), 3),
         );
+    }
+
+    // ---- attached weak representative (cache tier) ----
+
+    fn cache_client(lease: Option<SimDuration>) -> ClientNode {
+        let wr = match lease {
+            Some(ttl) => WeakRepOptions::lease(ttl),
+            None => WeakRepOptions::validated(),
+        };
+        ClientNode::new(
+            CLIENT,
+            vec![config()],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions {
+                weak_rep: Some(wr),
+                ..ClientOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn validated_cache_completes_from_local_copy_when_quorum_confirms() {
+        let mut c = cache_client(None);
+        c.fill_cache(
+            SUITE,
+            Version(2),
+            &Bytes::from_static(b"warm"),
+            SimTime::ZERO,
+        );
+        let mut rng = DetRng::new(10);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let out = effects(&mut ctx);
+        // A warm cache stands in for the optimistic fetch: inquiries only.
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|(_, m)| matches!(m, Msg::VersionReq { .. })));
+        // The quorum confirms v2 is current: the read completes locally.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(2),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            assert!(
+                effects(&mut ctx).is_empty(),
+                "a cache-served read costs zero data rpcs"
+            );
+        }
+        assert_eq!(c.completed.len(), 1);
+        let ok = c.completed[0].outcome.as_ref().expect("success");
+        assert_eq!(ok.version, Version(2));
+        assert_eq!(ok.value.as_deref(), Some(&b"warm"[..]));
+        assert_eq!(c.stats.cache_hits, 1);
+        assert_eq!(c.stats.cache_misses, 0);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn stale_cache_falls_through_to_fetch_and_counts_a_miss() {
+        let mut c = cache_client(None);
+        c.fill_cache(
+            SUITE,
+            Version(1),
+            &Bytes::from_static(b"old"),
+            SimTime::ZERO,
+        );
+        let mut rng = DetRng::new(11);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        // The quorum reports v2: the local copy is behind, so fetch.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(2),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+        }
+        let mut ctx = NodeCtx::new(SimTime::from_millis(30), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::ReadResp {
+                suite: SUITE,
+                req,
+                version: Version(2),
+                value: Bytes::from_static(b"new"),
+            },
+            &mut ctx,
+        );
+        assert_eq!(c.completed.len(), 1);
+        assert_eq!(c.stats.cache_hits, 0);
+        assert_eq!(c.stats.cache_misses, 1);
+        // The fetch refreshed the local copy for the next read.
+        assert_eq!(c.cache.get(&SUITE).map(|e| e.version), Some(Version(2)));
+    }
+
+    #[test]
+    fn lease_serves_quorum_free_and_expires_exactly_at_the_boundary() {
+        let mut c = cache_client(Some(SimDuration::from_millis(100)));
+        c.fill_cache(
+            SUITE,
+            Version(1),
+            &Bytes::from_static(b"leased"),
+            SimTime::ZERO,
+        );
+        let mut rng = DetRng::new(12);
+        // t = 99ms: inside the lease — served with zero messages.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(99), CLIENT, &mut rng);
+        c.start_read(SUITE, &mut ctx);
+        assert!(effects(&mut ctx).is_empty(), "lease reads are quorum-free");
+        assert_eq!(c.completed.len(), 1);
+        assert_eq!(c.stats.cache_hits, 1);
+        // t = 100ms: the lease expires *exactly* at read time — the read
+        // must fall back to the quorum path, not serve stale data.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(100), CLIENT, &mut rng);
+        c.start_read(SUITE, &mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(c.stats.lease_expiries, 1);
+        assert_eq!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, Msg::VersionReq { .. }))
+                .count(),
+            3,
+            "expired lease goes back to the inquiry quorum"
+        );
+    }
+
+    #[test]
+    fn pipelined_reads_piggyback_on_one_inquiry() {
+        let mut c = ClientNode::new(
+            CLIENT,
+            vec![config()],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions {
+                weak_rep: Some(WeakRepOptions::validated()),
+                pipeline_depth: Some(4),
+                ..ClientOptions::default()
+            },
+        );
+        c.fill_cache(
+            SUITE,
+            Version(1),
+            &Bytes::from_static(b"warm"),
+            SimTime::ZERO,
+        );
+        let mut rng = DetRng::new(13);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let leader = c.start_read(SUITE, &mut ctx);
+        let _follower = c.start_read(SUITE, &mut ctx);
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 3, "the second read rides the first's inquiry");
+        assert_eq!(c.stats.piggybacked_inquiries, 1);
+        // One quorum round settles both reads from the local copy.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req: leader,
+                    version: Version(1),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            assert!(effects(&mut ctx).is_empty());
+        }
+        assert_eq!(c.completed.len(), 2);
+        assert!(c.completed.iter().all(|op| op.outcome.is_ok()));
+        assert_eq!(c.stats.cache_hits, 2);
+        assert_eq!(c.in_flight(), 0);
+    }
+
+    #[test]
+    fn crash_during_refresh_cold_starts_the_cache() {
+        let mut c = cache_client(None);
+        let mut rng = DetRng::new(14);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        // The quorum answers; the refresh fetch is now in flight.
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(1),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+        }
+        c.handle_crash();
+        // The refresh lands after the crash: it belongs to a dead
+        // operation and must not fill the (now cold) cache.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(30), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::ReadResp {
+                suite: SUITE,
+                req,
+                version: Version(1),
+                value: Bytes::from_static(b"late"),
+            },
+            &mut ctx,
+        );
+        assert!(c.completed.is_empty());
+        assert!(c.cache.is_empty(), "no fill from a dead operation");
+        assert!(c.inquiry_leaders.is_empty());
+    }
+
+    #[test]
+    fn newer_config_invalidates_the_cache_mid_lease() {
+        let mut c = cache_client(Some(SimDuration::from_secs(10)));
+        c.fill_cache(
+            SUITE,
+            Version(3),
+            &Bytes::from_static(b"pre"),
+            SimTime::ZERO,
+        );
+        let next = config()
+            .evolve(
+                VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+                QuorumSpec::new(2, 2),
+            )
+            .expect("legal");
+        let mut rng = DetRng::new(15);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::ConfigResp {
+                suite: SUITE,
+                req: ReqId::new(999, CLIENT),
+                config: next,
+            },
+            &mut ctx,
+        );
+        // A read well inside the original lease window goes to quorum:
+        // the lease died with the configuration it was granted under.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+        c.start_read(SUITE, &mut ctx);
+        assert!(
+            !effects(&mut ctx).is_empty(),
+            "reconfiguration must invalidate the attached weak rep"
+        );
+        assert_eq!(c.stats.cache_hits, 0);
+        assert!(c.cache.is_empty());
     }
 }

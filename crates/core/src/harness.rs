@@ -257,6 +257,21 @@ impl HarnessBuilder {
             cfg
         });
         assert_eq!(net.sites(), sites, "network size must match site count");
+        // Sites whose client carries an attached weak representative: with
+        // anti-entropy on, servers push committed state at them on gossip
+        // rounds. Composite sites route `UpdateWeak` to their server half,
+        // so only pure clients register.
+        let cache_sites: Vec<SiteId> =
+            if self.anti_entropy.is_some() && self.options.weak_rep.is_some() {
+                self.specs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.is_client && !s.hosts_rep)
+                    .map(|(i, _)| SiteId::from(i))
+                    .collect()
+            } else {
+                Vec::new()
+            };
         let mut clients = Vec::new();
         let nodes: Vec<SystemNode> = self
             .specs
@@ -271,6 +286,9 @@ impl HarnessBuilder {
                     }
                     if let Some(latency) = self.group_commit {
                         s.set_group_commit(latency);
+                    }
+                    if !cache_sites.is_empty() {
+                        s.set_cache_refresh_targets(cache_sites.clone());
                     }
                     s
                 };
@@ -1578,5 +1596,155 @@ mod tests {
         h.advance(SimDuration::from_secs(2));
         assert_eq!(h.version_at(SiteId(2), suite), Some(Version(1)));
         assert_eq!(h.value_at(SiteId(2), suite).as_deref(), Some(&b"fresh"[..]));
+    }
+
+    #[test]
+    fn weak_rep_none_matches_the_classic_client_exactly() {
+        // The paired-harness pin for the cache tier: an explicit
+        // `weak_rep: None` replays the classic client's history bit for
+        // bit — same versions, same virtual-time latencies, same wire
+        // traffic, same counters.
+        let mut classic = three_server_harness(74);
+        let mut pinned = HarnessBuilder::new()
+            .seed(74)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .client_options(ClientOptions {
+                weak_rep: None,
+                ..ClientOptions::default()
+            })
+            .build()
+            .expect("legal");
+        let suite = classic.suite_id();
+        for i in 0..5u8 {
+            let wa = classic.write(suite, vec![i]).expect("write");
+            let wb = pinned.write(suite, vec![i]).expect("write");
+            assert_eq!(wa.version, wb.version);
+            assert_eq!(wa.latency, wb.latency, "weak_rep off must not shift time");
+            let ra = classic.read(suite).expect("read");
+            let rb = pinned.read(suite).expect("read");
+            assert_eq!(ra.version, rb.version);
+            assert_eq!(ra.latency, rb.latency);
+        }
+        assert_eq!(
+            classic.net_stats(),
+            pinned.net_stats(),
+            "identical wire history"
+        );
+        assert_eq!(
+            classic.client_stats(SiteId(3)),
+            pinned.client_stats(SiteId(3))
+        );
+    }
+
+    fn cache_tier_harness(seed: u64, wr: crate::client::WeakRepOptions) -> Harness {
+        HarnessBuilder::new()
+            .seed(seed)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .client_options(ClientOptions {
+                weak_rep: Some(wr),
+                ..ClientOptions::default()
+            })
+            .build()
+            .expect("legal configuration")
+    }
+
+    #[test]
+    fn validated_cache_serves_repeat_reads_without_data_fetches() {
+        use crate::client::WeakRepOptions;
+        let mut h = cache_tier_harness(75, WeakRepOptions::validated());
+        let suite = h.suite_id();
+        h.write(suite, b"hot".to_vec()).expect("write");
+        for _ in 0..4 {
+            let r = h.read(suite).expect("read");
+            assert_eq!(r.version, Version(1));
+            assert_eq!(r.value, b"hot".to_vec());
+        }
+        let stats = h.client_stats(SiteId(3)).expect("client");
+        // The first read fetched and filled the cache; every later read
+        // was quorum-confirmed and served locally, with zero data rpcs.
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 3);
+        assert_eq!(stats.reads_fetched, 1, "one data fetch across four reads");
+    }
+
+    #[test]
+    fn lease_reads_are_quorum_free_and_a_write_invalidates() {
+        use crate::client::WeakRepOptions;
+        let mut h = cache_tier_harness(76, WeakRepOptions::lease(SimDuration::from_secs(10)));
+        let suite = h.suite_id();
+        h.write(suite, b"v1".to_vec()).expect("write");
+        let r = h.read(suite).expect("read");
+        assert_eq!(r.value, b"v1".to_vec());
+        // Inside the lease: the read touches no wire at all.
+        let sent_before = h.net_stats().sent;
+        let r = h.read(suite).expect("read");
+        assert_eq!(r.value, b"v1".to_vec());
+        assert_eq!(r.latency, SimDuration::ZERO, "lease reads are local");
+        assert_eq!(h.net_stats().sent, sent_before, "zero messages sent");
+        // A local write invalidates the lease: the next read must see the
+        // new value, not serve the leased copy.
+        h.write(suite, b"v2".to_vec()).expect("write");
+        let r = h.read(suite).expect("read");
+        assert_eq!(r.version, Version(2));
+        assert_eq!(r.value, b"v2".to_vec());
+        let stats = h.client_stats(SiteId(3)).expect("client");
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.lease_expiries, 0);
+    }
+
+    #[test]
+    fn anti_entropy_gossip_refreshes_the_attached_weak_rep() {
+        use crate::client::WeakRepOptions;
+        // Two clients: a write by one leaves the other's attached cache
+        // behind; the gossip round pushes the committed state at it.
+        let mut h = HarnessBuilder::new()
+            .seed(77)
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .site(SiteSpec::server(1))
+            .client()
+            .client()
+            .quorum(QuorumSpec::new(2, 2))
+            .client_options(ClientOptions {
+                weak_rep: Some(WeakRepOptions::validated()),
+                ..ClientOptions::default()
+            })
+            .anti_entropy(SimDuration::from_millis(500))
+            .build()
+            .expect("legal configuration");
+        let suite = h.suite_id();
+        let (reader, writer) = (SiteId(3), SiteId(4));
+        h.write_from(writer, suite, b"w1".to_vec()).expect("write");
+        // The reader warms its cache at v1…
+        let r = h.read_from(reader, suite).expect("read");
+        assert_eq!(r.version, Version(1));
+        // …the writer moves on to v2…
+        h.write_from(writer, suite, b"w2".to_vec()).expect("write");
+        // …and a gossip round refreshes the reader's attached copy
+        // without the reader issuing any operation.
+        h.advance(SimDuration::from_secs(2));
+        let pushes: u64 = SiteId::all(3)
+            .map(|s| h.server_stats(s).expect("server").cache_pushes)
+            .sum();
+        assert!(pushes > 0, "gossip rounds push at attached weak reps");
+        // The refreshed entry serves the next validated read locally:
+        // a hit at v2 without any data fetch by the reader.
+        let before = h.client_stats(reader).expect("client");
+        let r = h.read_from(reader, suite).expect("read");
+        assert_eq!(r.version, Version(2));
+        assert_eq!(r.value, b"w2".to_vec());
+        let after = h.client_stats(reader).expect("client");
+        assert_eq!(after.cache_hits, before.cache_hits + 1);
+        assert_eq!(after.reads_fetched, before.reads_fetched);
+        h.stop_anti_entropy();
+        h.run_until_quiet(1_000_000);
     }
 }

@@ -64,6 +64,8 @@ pub struct ServerStats {
     pub repair_probes: u64,
     /// Anti-entropy answers served to stale peers.
     pub repair_serves: u64,
+    /// Gossip pushes of committed state at attached weak representatives.
+    pub cache_pushes: u64,
     /// Newer committed state installed from a peer's repair answer.
     pub repairs_completed: u64,
     /// Group-commit syncs performed (one durable write each).
@@ -140,6 +142,10 @@ pub struct SuiteServer {
     repair_epoch: u64,
     /// Round-robin position over peers for periodic probes.
     repair_cursor: usize,
+    /// Client sites with attached weak representatives (the cache tier);
+    /// each gossip round pushes committed state to them fire-and-forget.
+    /// Empty — the default — leaves the daemon byte-identical to before.
+    refresh_clients: Vec<SiteId>,
     /// Counters.
     pub stats: ServerStats,
     /// Span recording; `None` (the default) keeps the hot path untouched.
@@ -197,6 +203,7 @@ impl SuiteServer {
             anti_entropy: None,
             repair_epoch: 0,
             repair_cursor: 0,
+            refresh_clients: Vec::new(),
             stats: ServerStats::default(),
             tracer: None,
             waiting_spans: HashMap::new(),
@@ -256,6 +263,14 @@ impl SuiteServer {
     /// Whether the repair daemon is configured.
     pub fn anti_entropy_enabled(&self) -> bool {
         self.anti_entropy.is_some()
+    }
+
+    /// Registers client sites whose attached weak representatives the
+    /// gossip rounds refresh ([`Msg::UpdateWeak`] pushes of committed
+    /// state). The clients install monotonically, so a stale push is
+    /// harmless; an empty list (the default) changes nothing.
+    pub fn set_cache_refresh_targets(&mut self, sites: Vec<SiteId>) {
+        self.refresh_clients = sites;
     }
 
     /// Enables group commit: WAL appends for prepares and commit applies
@@ -331,6 +346,30 @@ impl SuiteServer {
                 );
             }
             ctx.send(peer, Msg::RepairPull { suite, have });
+        }
+        // The same round refreshes attached weak representatives: push
+        // committed state at every registered client site. Fire-and-forget
+        // and monotonic on the receiving end, like any weak update.
+        let targets = self.refresh_clients.clone();
+        if !targets.is_empty() {
+            for suite in self.hosted_suites() {
+                let version = self.data_version(suite);
+                if version == Version::INITIAL {
+                    continue;
+                }
+                let value = self.data_value(suite);
+                for &client in &targets {
+                    self.stats.cache_pushes += 1;
+                    ctx.send(
+                        client,
+                        Msg::UpdateWeak {
+                            suite,
+                            version,
+                            value: value.clone(),
+                        },
+                    );
+                }
+            }
         }
     }
 

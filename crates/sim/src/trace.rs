@@ -71,6 +71,12 @@ pub enum SpanKind {
     RepairPull,
     /// Server-side install of repaired state; `detail` is the version.
     RepairInstall,
+    /// Client read served from an attached weak representative; `detail`
+    /// is the served version.
+    CacheHit,
+    /// Attached weak representative (re)filled from a quorum read;
+    /// `detail` is the installed version.
+    CacheRefresh,
 }
 
 impl SpanKind {
@@ -93,6 +99,8 @@ impl SpanKind {
             SpanKind::Apply => "apply",
             SpanKind::RepairPull => "repair_pull",
             SpanKind::RepairInstall => "repair_install",
+            SpanKind::CacheHit => "cache_hit",
+            SpanKind::CacheRefresh => "cache_refresh",
         }
     }
 
@@ -115,6 +123,8 @@ impl SpanKind {
             "apply" => SpanKind::Apply,
             "repair_pull" => SpanKind::RepairPull,
             "repair_install" => SpanKind::RepairInstall,
+            "cache_hit" => SpanKind::CacheHit,
+            "cache_refresh" => SpanKind::CacheRefresh,
             _ => return None,
         })
     }
@@ -535,6 +545,8 @@ mod tests {
             SpanKind::Apply,
             SpanKind::RepairPull,
             SpanKind::RepairInstall,
+            SpanKind::CacheHit,
+            SpanKind::CacheRefresh,
         ] {
             assert_eq!(SpanKind::from_name(k.name()), Some(k));
         }
