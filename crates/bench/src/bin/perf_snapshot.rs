@@ -227,6 +227,37 @@ fn pipelined_ops_per_vsec(depth: usize, ops: usize) -> f64 {
     ok as f64 / (last.since(start).as_millis_f64() / 1000.0)
 }
 
+/// Recovery-scan throughput: commits `RECOVERY_TXS` one-put transactions
+/// into a container (three WAL records each), crashes it, and times the
+/// checksummed rescan + replay. Wall-clock records/sec; the scan CRCs
+/// every frame, so this is the faulty-disk model's hot path — a recovering
+/// replica cannot serve (or vote) until it finishes.
+fn recovery_scan_records_per_sec() -> f64 {
+    use wv_storage::{Container, ObjectId, Version};
+    const RECOVERY_TXS: usize = 20_000;
+    let mut c = Container::new();
+    for i in 0..RECOVERY_TXS {
+        let tx = c.begin().expect("healthy disk");
+        c.stage_put(
+            tx,
+            ObjectId(1 + (i as u64 % 16)),
+            Version(1 + i as u64),
+            format!("recovery-{i}").into_bytes(),
+        )
+        .expect("healthy disk");
+        c.commit(tx).expect("healthy disk");
+    }
+    c.crash();
+    let t = Instant::now();
+    let outcome = c.recover();
+    let secs = t.elapsed().as_secs_f64();
+    assert!(
+        !outcome.torn_tail && !outcome.corrupt_interior,
+        "an honest crash must rescan clean"
+    );
+    outcome.replayed_records as f64 / secs
+}
+
 /// Pulls `"key": <number>` out of a flat JSON document (first match).
 /// Good enough for the snapshot's own output; avoids a JSON dependency.
 fn json_number(doc: &str, key: &str) -> Option<f64> {
@@ -253,6 +284,10 @@ fn check_against_baseline() -> ! {
         (
             "cache_lease_ops_per_vsec",
             wv_bench::e13::throughput_summary(64).2,
+        ),
+        (
+            "recovery_scan_records_per_sec",
+            median_of_runs(recovery_scan_records_per_sec),
         ),
     ];
     for (key, now) in fresh {
@@ -316,6 +351,7 @@ fn main() {
         "tracing overhead ratio {trace_overhead:.2} exceeds the {MAX_TRACE_OVERHEAD}x bound"
     );
     let (fault_ok, fault_stats) = faulted_client(FAULT_ROUNDS);
+    let recovery_scan = median_of_runs(recovery_scan_records_per_sec);
     // Self-healing layer counters over a slice of the E10 churn workload
     // (healing-on arm): proves the tracker, the reroutes, the hedges and
     // the repair daemon all fire outside the test suite too.
@@ -323,7 +359,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"wv-perf-snapshot/4\",\n  \
+         \"schema\": \"wv-perf-snapshot/5\",\n  \
          \"median_runs\": {MEDIAN_RUNS},\n  \
          \"sim_events_per_sec\": {events_per_sec:.0},\n  \
          \"trials\": {{\n    \
@@ -367,6 +403,10 @@ fn main() {
          \"overhead_ratio\": {trace_overhead:.3},\n    \
          \"max_overhead_ratio\": {MAX_TRACE_OVERHEAD},\n    \
          \"spans_recorded\": {spans_recorded}\n  \
+         }},\n  \
+         \"disk_faults\": {{\n    \
+         \"workload\": \"crash + checksummed rescan of a 20000-transaction WAL (3 records/tx)\",\n    \
+         \"recovery_scan_records_per_sec\": {recovery_scan:.0}\n  \
          }},\n  \
          \"faulted_client\": {{\n    \
          \"workload\": \"3-server majority cluster, 25% link loss, write/read rounds x{FAULT_ROUNDS}\",\n    \

@@ -1,0 +1,24 @@
+//! Regenerates experiment E14 (see DESIGN.md §14): availability and
+//! read tail latency under faulty disks, with and without self-healing.
+//! Prints the markdown report to stdout and, when a `results/` directory
+//! exists in the working tree, mirrors it into `results/e14.md`.
+//!
+//! `WV_E14_TRIALS` overrides the per-cell trial count (default 12);
+//! `WV_TRIAL_THREADS` picks the worker count — the report bytes do not
+//! depend on it.
+
+fn main() {
+    let report = match std::env::var("WV_E14_TRIALS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(trials) => wv_chaos::e14::run_with(trials),
+        None => wv_chaos::e14::run(),
+    };
+    print!("{report}");
+    if std::path::Path::new("results").is_dir() {
+        if let Err(e) = std::fs::write("results/e14.md", &report) {
+            wv_sim::vlog::warn("chaos", &format!("could not write results/e14.md: {e}"));
+        }
+    }
+}

@@ -99,6 +99,28 @@ pub struct Coverage {
     pub lease_expiries: u64,
     /// Version inquiries answered by piggybacking on an in-flight one.
     pub piggybacked_inquiries: u64,
+    /// Trials that injected at least one disk fault (any kind).
+    pub trials_with_disk_fault: u64,
+    /// Torn-write arms injected across all trials.
+    pub torn_writes: u64,
+    /// Bit-flip arms injected.
+    pub bit_flips: u64,
+    /// Transient I/O error injections.
+    pub io_errors: u64,
+    /// Disk-stall injections.
+    pub disk_stalls: u64,
+    /// Torn tails truncated during recovery.
+    pub torn_truncations: u64,
+    /// WAL records lost to detected interior corruption.
+    pub corrupt_records_detected: u64,
+    /// Replicas quarantined after detecting corruption.
+    pub quarantines: u64,
+    /// Quarantined replicas healed via full anti-entropy pulls.
+    pub requarantine_repairs: u64,
+    /// CRC-collision tripwire (stays zero).
+    pub poison_escapes: u64,
+    /// Served-while-quarantined tripwire (stays zero).
+    pub served_while_quarantined: u64,
 }
 
 impl Coverage {
@@ -131,6 +153,18 @@ impl Coverage {
         self.cache_misses += c.cache_misses;
         self.lease_expiries += c.lease_expiries;
         self.piggybacked_inquiries += c.piggybacked_inquiries;
+        self.trials_with_disk_fault +=
+            u64::from(c.torn_writes + c.bit_flips + c.io_errors + c.disk_stalls > 0);
+        self.torn_writes += c.torn_writes;
+        self.bit_flips += c.bit_flips;
+        self.io_errors += c.io_errors;
+        self.disk_stalls += c.disk_stalls;
+        self.torn_truncations += c.torn_truncations;
+        self.corrupt_records_detected += c.corrupt_records_detected;
+        self.quarantines += c.quarantines;
+        self.requarantine_repairs += c.requarantine_repairs;
+        self.poison_escapes += c.poison_escapes;
+        self.served_while_quarantined += c.served_while_quarantined;
     }
 
     /// True when every fault kind fired in at least one trial — the bar a
@@ -298,6 +332,36 @@ mod tests {
             report.coverage.cache_misses > 0,
             "cold caches mean the first fetch per suite is a miss"
         );
+    }
+
+    #[test]
+    fn a_faulty_disk_campaign_is_clean_and_actually_injects() {
+        // Same seeds once more with disks faulty: torn writes, one bit
+        // flip per schedule, transient I/O errors, and sync stalls ride
+        // the identical timelines. Checksummed recovery plus quarantine
+        // must keep every invariant — and the tripwires must stay zero.
+        let cfg = CampaignConfig {
+            master_seed: 0xC0FFEE,
+            trials: 8,
+            spec: ClusterSpec::majority(5, 2).with_repair().with_disk_faults(),
+            params: ScheduleParams::default(),
+        };
+        let report = run_campaign(&cfg);
+        assert!(
+            report.clean(),
+            "faulty disks must not break invariants; failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (f.seed, f.violations.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.coverage.trials_with_disk_fault > 0,
+            "eight chaotic trials must inject at least one disk fault"
+        );
+        assert_eq!(report.coverage.poison_escapes, 0);
+        assert_eq!(report.coverage.served_while_quarantined, 0);
     }
 
     #[test]

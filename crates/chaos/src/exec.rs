@@ -94,6 +94,27 @@ pub struct TrialCoverage {
     pub lease_expiries: u64,
     /// Reads that coalesced onto another read's in-flight inquiry.
     pub piggybacked_inquiries: u64,
+    /// Torn-write arms applied (only counted when the arm injects them).
+    pub torn_writes: u64,
+    /// Bit-flip arms applied.
+    pub bit_flips: u64,
+    /// Transient I/O error injections applied.
+    pub io_errors: u64,
+    /// Disk-stall injections applied.
+    pub disk_stalls: u64,
+    /// Torn tails truncated during recovery across all servers.
+    pub torn_truncations: u64,
+    /// WAL records lost to detected interior corruption.
+    pub corrupt_records_detected: u64,
+    /// Replicas that entered quarantine after detecting corruption.
+    pub quarantines: u64,
+    /// Quarantined replicas that healed via full anti-entropy pulls.
+    pub requarantine_repairs: u64,
+    /// Corrupt frames whose checksum still matched (CRC collision
+    /// tripwire — stays zero).
+    pub poison_escapes: u64,
+    /// Requests served while quarantined (tripwire — stays zero).
+    pub served_while_quarantined: u64,
 }
 
 /// Everything a finished trial leaves behind for the oracle.
@@ -274,6 +295,32 @@ fn run_schedule_inner(
                     at,
                 );
             }
+            // Disk faults apply only on the faulty-disk arm; the clean
+            // arm replays the identical timeline with these as no-ops.
+            EventKind::TornWrite { site } => {
+                if spec.disk_faults {
+                    coverage.torn_writes += 1;
+                    h.arm_torn_write(SiteId(*site as u16));
+                }
+            }
+            EventKind::BitFlip { site } => {
+                if spec.disk_faults {
+                    coverage.bit_flips += 1;
+                    h.arm_bit_flip(SiteId(*site as u16));
+                }
+            }
+            EventKind::IoError { site, count } => {
+                if spec.disk_faults {
+                    coverage.io_errors += 1;
+                    h.inject_io_errors(SiteId(*site as u16), *count);
+                }
+            }
+            EventKind::DiskStall { site, ms } => {
+                if spec.disk_faults {
+                    coverage.disk_stalls += 1;
+                    h.disk_stall(SiteId(*site as u16), SimDuration::from_millis(*ms));
+                }
+            }
         }
     }
 
@@ -287,6 +334,12 @@ fn run_schedule_inner(
         if h.is_down(SiteId(site as u16)) {
             h.recover(SiteId(site as u16));
         }
+    }
+    // A replica quarantined by interior corruption heals only once the
+    // *periodic* probe pulls full state from every peer; give it a few
+    // probe rounds on the healed network before silencing the daemon.
+    if spec.repair && spec.disk_faults {
+        h.advance(SimDuration::from_secs(3));
     }
     // The recovery pulls above are in flight; silence the *periodic*
     // probes, which would otherwise re-arm forever and the queue would
@@ -344,6 +397,12 @@ fn run_schedule_inner(
             coverage.repairs_completed += stats.repairs_completed;
             coverage.wal_batches += stats.wal_batches;
             coverage.wal_batched_records += stats.wal_batched_records;
+            coverage.torn_truncations += stats.torn_truncations;
+            coverage.corrupt_records_detected += stats.corrupt_records_detected;
+            coverage.quarantines += stats.quarantines;
+            coverage.requarantine_repairs += stats.requarantine_repairs;
+            coverage.poison_escapes += stats.poison_escapes;
+            coverage.served_while_quarantined += stats.served_while_quarantined;
         }
     }
     for op in &ops {
@@ -543,6 +602,154 @@ mod tests {
         let again = run_schedule(&cached, &schedule);
         assert_eq!(b.replicas, again.replicas);
         assert_eq!(b.coverage, again.coverage);
+    }
+
+    #[test]
+    fn disk_fault_trials_converge_and_satisfy_the_oracle() {
+        // The same generated fault timeline with disks faulty and clean.
+        // The clean arm replays disk events as no-ops; the faulty arm
+        // must inject them, stay poison-free, and still satisfy the
+        // oracle — a quarantined replica surrenders its votes instead of
+        // serving suspect state.
+        let clean = ClusterSpec::majority(5, 2).with_repair();
+        let faulty = ClusterSpec::majority(5, 2).with_repair().with_disk_faults();
+        let mut injected = false;
+        for seed in 0..8u64 {
+            let schedule = generate(&clean, &ScheduleParams::default(), seed);
+            let a = run_schedule(&clean, &schedule);
+            let b = run_schedule(&faulty, &schedule);
+            assert_eq!(
+                a.coverage.torn_writes
+                    + a.coverage.bit_flips
+                    + a.coverage.io_errors
+                    + a.coverage.disk_stalls,
+                0,
+                "clean arm never injects"
+            );
+            assert_eq!(a.coverage.quarantines, 0);
+            injected |= b.coverage.torn_writes
+                + b.coverage.bit_flips
+                + b.coverage.io_errors
+                + b.coverage.disk_stalls
+                > 0;
+            assert_eq!(b.coverage.poison_escapes, 0, "seed {seed}: CRC collision");
+            assert_eq!(
+                b.coverage.served_while_quarantined, 0,
+                "seed {seed}: a quarantined replica served"
+            );
+            assert!(
+                crate::oracle::check_trial(&b, false).is_empty(),
+                "seed {seed}: faulty-disk arm broke an invariant"
+            );
+            // Replays of the faulty arm stay deterministic.
+            let again = run_schedule(&faulty, &schedule);
+            assert_eq!(b.replicas, again.replicas);
+            assert_eq!(b.coverage, again.coverage);
+        }
+        assert!(injected, "no seed in the window drew a disk fault");
+    }
+
+    #[test]
+    fn a_bit_flip_quarantines_the_replica_and_repair_heals_it() {
+        // Hand-crafted: write traffic makes site 2's WAL non-empty, a bit
+        // flip corrupts it at the crash, recovery quarantines it, and the
+        // anti-entropy daemon heals it with full pulls before quiesce.
+        let spec = ClusterSpec::majority(3, 1).with_repair().with_disk_faults();
+        let schedule = Schedule {
+            seed: 31,
+            events: vec![
+                FaultEvent {
+                    at_ms: 100,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 1,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 800,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 2,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 2_000,
+                    kind: EventKind::BitFlip { site: 2 },
+                },
+                FaultEvent {
+                    at_ms: 2_000,
+                    kind: EventKind::Crash { site: 2 },
+                },
+                FaultEvent {
+                    at_ms: 3_000,
+                    kind: EventKind::Recover { site: 2 },
+                },
+                FaultEvent {
+                    at_ms: 20_000,
+                    kind: EventKind::Read { client: 0 },
+                },
+            ],
+        };
+        let run = run_schedule(&spec, &schedule);
+        assert!(run.quiesced);
+        assert_eq!(run.coverage.bit_flips, 1);
+        assert!(
+            run.coverage.corrupt_records_detected >= 1,
+            "the flip landed in a durable frame and recovery must see it"
+        );
+        assert_eq!(run.coverage.quarantines, 1);
+        assert_eq!(
+            run.coverage.requarantine_repairs, 1,
+            "full pulls from both peers must heal the quarantine"
+        );
+        assert_eq!(run.coverage.poison_escapes, 0);
+        assert_eq!(run.coverage.served_while_quarantined, 0);
+        // Healed means fully caught up: every replica at the frontier.
+        for state in run.replicas.iter().flatten() {
+            assert_eq!(state.0, Version(2));
+            assert_eq!(state.1, payload_bytes(31, 2));
+        }
+        assert!(crate::oracle::check_trial(&run, false).is_empty());
+    }
+
+    #[test]
+    fn a_torn_write_truncates_the_tail_without_quarantine() {
+        // A tear at crash time loses only unsynced suffix records — the
+        // replica recovers, truncates, and keeps its votes.
+        let spec = ClusterSpec::majority(3, 1).with_disk_faults();
+        let schedule = Schedule {
+            seed: 12,
+            events: vec![
+                FaultEvent {
+                    at_ms: 100,
+                    kind: EventKind::Write {
+                        client: 0,
+                        payload: 1,
+                    },
+                },
+                FaultEvent {
+                    at_ms: 900,
+                    kind: EventKind::TornWrite { site: 1 },
+                },
+                FaultEvent {
+                    at_ms: 900,
+                    kind: EventKind::Crash { site: 1 },
+                },
+                FaultEvent {
+                    at_ms: 2_000,
+                    kind: EventKind::Recover { site: 1 },
+                },
+                FaultEvent {
+                    at_ms: 10_000,
+                    kind: EventKind::Read { client: 0 },
+                },
+            ],
+        };
+        let run = run_schedule(&spec, &schedule);
+        assert!(run.quiesced);
+        assert_eq!(run.coverage.torn_writes, 1);
+        assert_eq!(run.coverage.quarantines, 0, "a torn tail is not corruption");
+        assert!(crate::oracle::check_trial(&run, false).is_empty());
     }
 
     #[test]

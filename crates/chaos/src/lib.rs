@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod e14;
 pub mod exec;
 pub mod json;
 pub mod oracle;

@@ -51,6 +51,17 @@
 //!     read began. Validated mode runs with a zero bound: a cache serve
 //!     carries quorum evidence, so it must be exactly as fresh as a
 //!     classic quorum read.
+//!
+//! Under disk faults ([`check_no_poison`]):
+//!
+//! 12. **No poisoned read** — corrupt durable state never reaches a
+//!     client. Two server-side tripwires enforce it: a corrupt frame
+//!     whose checksum still matched (a CRC collision slipping past
+//!     recovery), and any request served while quarantined (suspect
+//!     state escaping the quarantine fence). Both must stay zero in
+//!     every trial; the scan-stop-at-first-bad-frame rule makes the
+//!     invariant hold by construction, so a nonzero counter is a bug in
+//!     the recovery path itself.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -157,6 +168,18 @@ pub enum Violation {
         /// The largest version explicable by acked + in-doubt writes.
         bound: u64,
     },
+    /// A corrupt WAL frame's checksum matched anyway: recovery replayed
+    /// poisoned bytes (CRC collision).
+    PoisonEscaped {
+        /// How many corrupt frames slipped past the checksum.
+        count: u64,
+    },
+    /// A quarantined replica answered a request instead of refusing —
+    /// suspect state escaped the quarantine fence.
+    QuarantineServed {
+        /// How many requests it served.
+        count: u64,
+    },
     /// The run failed to drain its event queue within the quiesce budget.
     NoQuiesce,
 }
@@ -222,6 +245,14 @@ impl fmt::Display for Violation {
                 f,
                 "replica {site} reached v{version}, beyond anything committed or in doubt (v{bound})"
             ),
+            Violation::PoisonEscaped { count } => write!(
+                f,
+                "{count} corrupt WAL frame(s) passed the checksum and replayed"
+            ),
+            Violation::QuarantineServed { count } => write!(
+                f,
+                "a quarantined replica served {count} request(s) instead of refusing"
+            ),
             Violation::NoQuiesce => {
                 write!(f, "event queue failed to drain within the quiesce budget")
             }
@@ -247,6 +278,8 @@ impl Violation {
             Violation::ReplicaDivergence { .. } => "replica_divergence",
             Violation::ReplicaForeignValue { .. } => "replica_foreign_value",
             Violation::ReplicaBeyondCommit { .. } => "replica_beyond_commit",
+            Violation::PoisonEscaped { .. } => "poison_escaped",
+            Violation::QuarantineServed { .. } => "quarantine_served",
             Violation::NoQuiesce => "no_quiesce",
         }
     }
@@ -500,6 +533,25 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
     violations
 }
 
+/// Checks invariant 12, "no poisoned read", from the trial's server-side
+/// tripwire counters. Cheap and unconditional: both counters are zero by
+/// construction on clean disks, so running it everywhere costs nothing
+/// and catches a recovery-path regression wherever it surfaces.
+pub fn check_no_poison(run: &TrialRun) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if run.coverage.poison_escapes > 0 {
+        violations.push(Violation::PoisonEscaped {
+            count: run.coverage.poison_escapes,
+        });
+    }
+    if run.coverage.served_while_quarantined > 0 {
+        violations.push(Violation::QuarantineServed {
+            count: run.coverage.served_while_quarantined,
+        });
+    }
+    violations
+}
+
 /// Runs every applicable check over a finished trial.
 ///
 /// A run that failed to quiesce yields [`Violation::NoQuiesce`] and skips
@@ -509,6 +561,7 @@ pub fn check_trial(run: &TrialRun, strict: bool) -> Vec<Violation> {
     if let Some(lease) = run.cache_lease {
         violations.extend(check_staleness_bound(&run.ops, lease));
     }
+    violations.extend(check_no_poison(run));
     if run.quiesced {
         violations.extend(check_convergence(run));
     } else {
@@ -789,6 +842,19 @@ mod tests {
     }
 
     #[test]
+    fn tripwire_counters_become_poison_violations() {
+        let mut run = quiet_run(vec![write_ok(1, 0, 100)], &[b"a"], (1, b"a"), vec![]);
+        assert!(check_no_poison(&run).is_empty());
+        run.coverage.poison_escapes = 2;
+        run.coverage.served_while_quarantined = 3;
+        let v = check_no_poison(&run);
+        assert!(v.contains(&Violation::PoisonEscaped { count: 2 }));
+        assert!(v.contains(&Violation::QuarantineServed { count: 3 }));
+        // And check_trial surfaces them alongside everything else.
+        assert!(check_trial(&run, false).contains(&Violation::PoisonEscaped { count: 2 }));
+    }
+
+    #[test]
     fn violations_render_human_readable() {
         let v = Violation::StaleRead {
             returned: 3,
@@ -818,5 +884,17 @@ mod tests {
             "replica 1 reached v9, beyond anything committed or in doubt (v7)"
         );
         assert_eq!(v.tag(), "replica_beyond_commit");
+        let v = Violation::PoisonEscaped { count: 1 };
+        assert_eq!(
+            v.to_string(),
+            "1 corrupt WAL frame(s) passed the checksum and replayed"
+        );
+        assert_eq!(v.tag(), "poison_escaped");
+        let v = Violation::QuarantineServed { count: 4 };
+        assert_eq!(
+            v.to_string(),
+            "a quarantined replica served 4 request(s) instead of refusing"
+        );
+        assert_eq!(v.tag(), "quarantine_served");
     }
 }

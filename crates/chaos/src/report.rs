@@ -1,6 +1,6 @@
 //! E9 — the chaos campaign report.
 //!
-//! Five campaigns back to back:
+//! Six campaigns back to back:
 //!
 //! 1. **Shipped protocol** — a majority-quorum cluster under the full
 //!    fault repertoire for `trials` seeds. Expected verdict: zero
@@ -21,7 +21,15 @@
 //!    mode means a zero-length lease, i.e. exact freshness); expected
 //!    verdict: still zero violations, with the activity table proving
 //!    reads actually came from cache.
-//! 5. **Deliberately broken protocol** — `r + w = N`, so quorums need
+//! 5. **Faulty-disk arm** — the same trials with the schedule's disk
+//!    faults injected (torn writes at crash, one bit flip per schedule,
+//!    transient I/O errors, sync stalls) and self-healing on. The oracle
+//!    adds the no-poisoned-read invariant: corrupt durable state must
+//!    never reach a client, replicas that detect interior corruption
+//!    quarantine themselves (votes surrendered) until anti-entropy pulls
+//!    full state from every peer. Expected verdict: zero violations,
+//!    with the activity table proving damage was injected and detected.
+//! 6. **Deliberately broken protocol** — `r + w = N`, so quorums need
 //!    not intersect. The campaign finds a violation, the shrinker
 //!    delta-debugs it to a handful of events, and the minimal schedule is
 //!    emitted as a replayable JSON artifact.
@@ -90,6 +98,16 @@ fn describe_event(e: &EventKind) -> String {
             read_quorum,
             write_quorum,
         } => format!("client {client} reconfigures to r={read_quorum}, w={write_quorum}"),
+        EventKind::TornWrite { site } => {
+            format!("server {site}'s next crash tears the unsynced WAL tail")
+        }
+        EventKind::BitFlip { site } => {
+            format!("server {site}'s next crash flips a durable WAL bit")
+        }
+        EventKind::IoError { site, count } => {
+            format!("server {site}'s next {count} WAL begin(s) fail with I/O errors")
+        }
+        EventKind::DiskStall { site, ms } => format!("server {site}'s disk stalls for {ms} ms"),
     }
 }
 
@@ -350,6 +368,80 @@ pub fn run(trials: usize) -> E9Output {
         w.cache_hits, w.cache_misses
     ));
 
+    // Campaign 1e: the same trials with the schedule's disk faults
+    // actually injected, plus self-healing so quarantined replicas can
+    // come back. Every schedule already carries the disk-fault timeline;
+    // the arm flag decides whether the executor applies it, so this arm
+    // and the four above replay byte-identical schedules.
+    let faulty = CampaignConfig {
+        spec: ClusterSpec::majority(5, 2).with_repair().with_disk_faults(),
+        ..healthy
+    };
+    let report = run_campaign(&faulty);
+    out.push_str(&format!(
+        "### Faulty-disk arm: the same {} trials with torn writes, bit flips, I/O errors, and stalls injected\n\n",
+        report.trials
+    ));
+    out.push_str(&format!(
+        "Invariant violations: **{}**.\n\n",
+        report.failures.len()
+    ));
+    if !report.clean() {
+        let mut t = Table::new("Violations", &["trial seed", "violation"]);
+        for f in &report.failures {
+            for v in &f.violations {
+                t.row(&[format!("0x{:016x}", f.seed), v.to_string()]);
+            }
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    let d = report.coverage;
+    let mut t = Table::new(
+        "Faulty-disk activity (oracle also checks the no-poisoned-read tripwires)",
+        &["counter", "value"],
+    );
+    t.row(&[
+        "trials with a disk fault".into(),
+        d.trials_with_disk_fault.to_string(),
+    ]);
+    t.row(&["torn writes injected".into(), d.torn_writes.to_string()]);
+    t.row(&["bit flips injected".into(), d.bit_flips.to_string()]);
+    t.row(&["I/O errors injected".into(), d.io_errors.to_string()]);
+    t.row(&["disk stalls injected".into(), d.disk_stalls.to_string()]);
+    t.row(&[
+        "torn tails truncated at recovery".into(),
+        d.torn_truncations.to_string(),
+    ]);
+    t.row(&[
+        "corrupt records detected".into(),
+        d.corrupt_records_detected.to_string(),
+    ]);
+    t.row(&["replicas quarantined".into(), d.quarantines.to_string()]);
+    t.row(&[
+        "quarantines healed by full pulls".into(),
+        d.requarantine_repairs.to_string(),
+    ]);
+    t.row(&[
+        "poison escapes (tripwire)".into(),
+        d.poison_escapes.to_string(),
+    ]);
+    t.row(&[
+        "served while quarantined (tripwire)".into(),
+        d.served_while_quarantined.to_string(),
+    ]);
+    t.row(&["operations committed".into(), d.ops_ok.to_string()]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    out.push_str(&format!(
+        "Every detected interior corruption quarantined its replica \
+         ({} detected, {} quarantines across the campaign); both \
+         no-poisoned-read tripwires stayed at zero, so no corrupt frame \
+         survived the checksum scan and no quarantined replica answered \
+         a request before anti-entropy rebuilt it from its peers.\n\n",
+        d.corrupt_records_detected, d.quarantines
+    ));
+
     // Campaign 2: break quorum intersection, find it, shrink it.
     out.push_str(
         "### Broken protocol: r = 2, w = 3 on 5 servers (r + w = N, quorums need not intersect)\n\n",
@@ -457,15 +549,16 @@ mod tests {
         assert!(artifact.contains("\"trace\":["), "artifact embeds trace");
         assert!(artifact.contains("\"kind\":"), "trace has span records");
         assert!(Schedule::from_json(artifact).is_some());
-        // The plain, self-healing, group-commit, and cache-tier arms
-        // all come back clean.
+        // The plain, self-healing, group-commit, cache-tier, and
+        // faulty-disk arms all come back clean.
         assert!(a.report.contains("### Self-healing arm"));
         assert!(a.report.contains("### Group-commit arm"));
         assert!(a.report.contains("### Cache-tier arm"));
+        assert!(a.report.contains("### Faulty-disk arm"));
         assert_eq!(
             a.report.matches("Invariant violations: **0**").count(),
-            4,
-            "all four healthy arms must be violation-free"
+            5,
+            "all five healthy arms must be violation-free"
         );
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! A [`Schedule`] is a sorted list of [`FaultEvent`]s — client operations,
 //! crashes and recoveries, partitions and heals, link-loss bursts, delay
-//! spikes, duplication windows, and mid-run reconfigurations — drawn by a
-//! pure function of `(cluster shape, generation parameters, seed)`. The
+//! spikes, duplication windows, disk faults (torn writes, bit flips, I/O
+//! errors, sync stalls), and mid-run reconfigurations — drawn by a pure
+//! function of `(cluster shape, generation parameters, seed)`. The
 //! executor in [`crate::exec`] replays a schedule against a live harness;
 //! because both generation and execution are deterministic, any seed
 //! replays its exact failure, and the shrinker can carve events out of a
@@ -55,6 +56,13 @@ pub struct ClusterSpec {
     /// by the schedule generator, so cached and uncached arms replay the
     /// same fault timeline.
     pub cache_tier: bool,
+    /// Apply the schedule's disk-fault events (torn writes, bit flips,
+    /// I/O errors, sync stalls). Like the other arm flags, never
+    /// consulted by the schedule generator — every schedule *carries*
+    /// the disk-fault timeline; this flag decides whether the executor
+    /// injects it, so faulty-disk and clean-disk arms replay the same
+    /// byte-identical schedule.
+    pub disk_faults: bool,
 }
 
 impl ClusterSpec {
@@ -70,6 +78,7 @@ impl ClusterSpec {
             repair: false,
             group_commit: false,
             cache_tier: false,
+            disk_faults: false,
         }
     }
 
@@ -88,6 +97,12 @@ impl ClusterSpec {
     /// The same cluster with the client cache tier switched on.
     pub fn with_cache_tier(mut self) -> Self {
         self.cache_tier = true;
+        self
+    }
+
+    /// The same cluster with disk-fault injection switched on.
+    pub fn with_disk_faults(mut self) -> Self {
+        self.disk_faults = true;
         self
     }
 
@@ -112,6 +127,7 @@ impl ClusterSpec {
             repair: false,
             group_commit: false,
             cache_tier: false,
+            disk_faults: false,
         }
     }
 
@@ -193,6 +209,38 @@ pub enum EventKind {
         /// New write quorum.
         write_quorum: u32,
     },
+    /// Arm a torn write on server `site`'s disk: its next crash persists
+    /// only a prefix of the unsynced WAL tail. The generator emits this
+    /// at the same instant as (and just before) a crash of the site.
+    TornWrite {
+        /// Server index.
+        site: usize,
+    },
+    /// Arm a bit flip on server `site`'s disk: its next crash corrupts
+    /// one durable WAL byte, so recovery detects interior corruption and
+    /// quarantines the replica. At most one per schedule — quarantine
+    /// surrenders the replica's votes, and vote-safety reasoning assumes
+    /// a single simultaneously-degraded disk.
+    BitFlip {
+        /// Server index.
+        site: usize,
+    },
+    /// Server `site`'s next `count` transaction begins fail with a
+    /// transient I/O error (prepares refuse, locks release).
+    IoError {
+        /// Server index.
+        site: usize,
+        /// How many begins fail.
+        count: u32,
+    },
+    /// Server `site`'s disk stalls for `ms`: prepares refuse until the
+    /// deadline passes (reads keep serving).
+    DiskStall {
+        /// Server index.
+        site: usize,
+        /// Stall length in milliseconds.
+        ms: u64,
+    },
 }
 
 impl EventKind {
@@ -210,6 +258,10 @@ impl EventKind {
             EventKind::DelaySpike { .. } => "delay_spike",
             EventKind::Duplication { .. } => "duplication",
             EventKind::Reconfigure { .. } => "reconfigure",
+            EventKind::TornWrite { .. } => "torn_write",
+            EventKind::BitFlip { .. } => "bit_flip",
+            EventKind::IoError { .. } => "io_error",
+            EventKind::DiskStall { .. } => "disk_stall",
         }
     }
 }
@@ -243,6 +295,11 @@ pub struct ScheduleParams {
     /// Sometimes overlay an mttf/mttr crash-recovery process (drawn via
     /// [`FailureSchedule::mttf_mttr`]) on top of the discrete events.
     pub mttf_overlay: bool,
+    /// Draw disk-fault events: torn writes and bit flips riding crashes,
+    /// plus transient I/O errors and sync stalls. Whether the executor
+    /// *applies* them is the [`ClusterSpec::disk_faults`] arm flag; this
+    /// knob controls generation, so it must agree across compared arms.
+    pub disk_faults: bool,
 }
 
 impl Default for ScheduleParams {
@@ -252,6 +309,7 @@ impl Default for ScheduleParams {
             max_gap_ms: 400,
             reconfigure: true,
             mttf_overlay: true,
+            disk_faults: true,
         }
     }
 }
@@ -260,16 +318,23 @@ impl Default for ScheduleParams {
 ///
 /// Operations dominate; crashes, recoveries, partitions, heals, network
 /// dials (loss/delay/duplication bursts with scheduled ends), and — when
-/// enabled — reconfigurations and an mttf/mttr outage overlay fill the
-/// rest. Every generated reconfiguration is *legal* (`r + w = N + 1`); the
-/// broken configurations the shrinker demo hunts come from the
-/// [`ClusterSpec`], not from events.
+/// enabled — disk faults, reconfigurations, and an mttf/mttr outage
+/// overlay fill the rest. Every generated reconfiguration is *legal*
+/// (`r + w = N + 1`); the broken configurations the shrinker demo hunts
+/// come from the [`ClusterSpec`], not from events.
+///
+/// Disk damage is latent until a crash materialises it, so torn writes
+/// and bit flips ride crash draws: they land at the same instant as (and
+/// sort just before) the crash they damage. At most one bit flip is armed
+/// per schedule — a flip quarantines its replica on recovery, and the
+/// vote-safety argument assumes one simultaneously-degraded disk.
 pub fn generate(spec: &ClusterSpec, params: &ScheduleParams, seed: u64) -> Schedule {
     let mut rng = DetRng::new(seed ^ GEN_SALT);
     let mut events: Vec<FaultEvent> = Vec::with_capacity(params.steps + 8);
     let mut t_ms = 0u64;
     let mut payload = 0u64;
     let mut down: HashSet<usize> = HashSet::new();
+    let mut flip_armed = false;
     let total = spec.total_sites();
 
     for _ in 0..params.steps {
@@ -291,6 +356,25 @@ pub fn generate(spec: &ClusterSpec, params: &ScheduleParams, seed: u64) -> Sched
                 match rng.choose(&up) {
                     Some(&site) => {
                         down.insert(site);
+                        if params.disk_faults {
+                            // Both chances are drawn unconditionally so
+                            // the draw stream does not depend on whether
+                            // a flip was already armed.
+                            let flip = rng.chance(0.2);
+                            let tear = rng.chance(0.35);
+                            if flip && !flip_armed {
+                                flip_armed = true;
+                                events.push(FaultEvent {
+                                    at_ms: t_ms,
+                                    kind: EventKind::BitFlip { site },
+                                });
+                            } else if tear {
+                                events.push(FaultEvent {
+                                    at_ms: t_ms,
+                                    kind: EventKind::TornWrite { site },
+                                });
+                            }
+                        }
                         EventKind::Crash { site }
                     }
                     None => EventKind::Heal,
@@ -343,6 +427,28 @@ pub fn generate(spec: &ClusterSpec, params: &ScheduleParams, seed: u64) -> Sched
                         });
                         EventKind::Duplication { permille }
                     }
+                }
+            }
+            94..=96 => {
+                // Transient disk trouble on a live server: a short run of
+                // failed begins or a sync stall. Neither damages durable
+                // bytes, so neither needs a crash to materialise.
+                if params.disk_faults {
+                    let site = rng.below(spec.servers as u64) as usize;
+                    if rng.chance(0.5) {
+                        EventKind::IoError {
+                            site,
+                            count: 1 + rng.below(3) as u32,
+                        }
+                    } else {
+                        EventKind::DiskStall {
+                            site,
+                            ms: 200 + rng.below(1_800),
+                        }
+                    }
+                } else {
+                    let client = rng.below(spec.clients.max(1) as u64) as usize;
+                    EventKind::Read { client }
                 }
             }
             _ => {
@@ -430,6 +536,7 @@ impl Schedule {
         cluster.insert("repair".to_string(), Value::Bool(spec.repair));
         cluster.insert("group_commit".to_string(), Value::Bool(spec.group_commit));
         cluster.insert("cache_tier".to_string(), Value::Bool(spec.cache_tier));
+        cluster.insert("disk_faults".to_string(), Value::Bool(spec.disk_faults));
         root.insert("cluster".to_string(), Value::Object(cluster));
         let events: Vec<Value> = self.events.iter().map(event_to_value).collect();
         root.insert("events".to_string(), Value::Array(events));
@@ -467,6 +574,11 @@ impl Schedule {
                 .get("cache_tier")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
+            // And for pre-disk-fault artifacts.
+            disk_faults: cluster
+                .get("disk_faults")
+                .and_then(|v| v.as_bool())
+                .unwrap_or(false),
         };
         let mut events = Vec::new();
         for ev in root.get("events")?.as_array()? {
@@ -488,7 +600,10 @@ fn event_to_value(e: &FaultEvent) -> Value {
         EventKind::Read { client } => {
             map.insert("client".to_string(), Value::Int(*client as u64));
         }
-        EventKind::Crash { site } | EventKind::Recover { site } => {
+        EventKind::Crash { site }
+        | EventKind::Recover { site }
+        | EventKind::TornWrite { site }
+        | EventKind::BitFlip { site } => {
             map.insert("site".to_string(), Value::Int(*site as u64));
         }
         EventKind::Partition { group_a } => {
@@ -518,6 +633,14 @@ fn event_to_value(e: &FaultEvent) -> Value {
                 "write_quorum".to_string(),
                 Value::Int(u64::from(*write_quorum)),
             );
+        }
+        EventKind::IoError { site, count } => {
+            map.insert("site".to_string(), Value::Int(*site as u64));
+            map.insert("count".to_string(), Value::Int(u64::from(*count)));
+        }
+        EventKind::DiskStall { site, ms } => {
+            map.insert("site".to_string(), Value::Int(*site as u64));
+            map.insert("ms".to_string(), Value::Int(*ms));
         }
     }
     Value::Object(map)
@@ -562,6 +685,20 @@ fn event_from_value(v: &Value) -> Option<FaultEvent> {
             read_quorum: v.get("read_quorum")?.as_int()? as u32,
             write_quorum: v.get("write_quorum")?.as_int()? as u32,
         },
+        "torn_write" => EventKind::TornWrite {
+            site: v.get("site")?.as_int()? as usize,
+        },
+        "bit_flip" => EventKind::BitFlip {
+            site: v.get("site")?.as_int()? as usize,
+        },
+        "io_error" => EventKind::IoError {
+            site: v.get("site")?.as_int()? as usize,
+            count: v.get("count")?.as_int()? as u32,
+        },
+        "disk_stall" => EventKind::DiskStall {
+            site: v.get("site")?.as_int()? as usize,
+            ms: v.get("ms")?.as_int()?,
+        },
         _ => return None,
     };
     Some(FaultEvent { at_ms, kind })
@@ -596,7 +733,12 @@ mod tests {
                     EventKind::Write { client, .. }
                     | EventKind::Read { client }
                     | EventKind::Reconfigure { client, .. } => assert!(*client < 2),
-                    EventKind::Crash { site } | EventKind::Recover { site } => assert!(*site < 5),
+                    EventKind::Crash { site }
+                    | EventKind::Recover { site }
+                    | EventKind::TornWrite { site }
+                    | EventKind::BitFlip { site }
+                    | EventKind::IoError { site, .. }
+                    | EventKind::DiskStall { site, .. } => assert!(*site < 5),
                     EventKind::Partition { group_a } => {
                         assert!(group_a.iter().all(|&s| s < 7));
                     }
@@ -689,8 +831,66 @@ mod tests {
             "delay_spike",
             "duplication",
             "reconfigure",
+            "torn_write",
+            "bit_flip",
+            "io_error",
+            "disk_stall",
         ] {
             assert!(seen.contains(kind), "no seed drew {kind}");
+        }
+    }
+
+    #[test]
+    fn at_most_one_bit_flip_per_schedule() {
+        for seed in 0..200u64 {
+            let s = generate(&spec(), &ScheduleParams::default(), seed);
+            let flips = s
+                .events
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::BitFlip { .. }))
+                .count();
+            assert!(flips <= 1, "seed {seed} armed {flips} bit flips");
+        }
+    }
+
+    #[test]
+    fn latent_damage_always_rides_a_crash_of_the_same_site() {
+        // A torn write or bit flip is armed at the same instant as the
+        // crash that materialises it, and sorts just before it.
+        for seed in 0..200u64 {
+            let s = generate(&spec(), &ScheduleParams::default(), seed);
+            for (i, e) in s.events.iter().enumerate() {
+                let (EventKind::TornWrite { site } | EventKind::BitFlip { site }) = e.kind else {
+                    continue;
+                };
+                let crash = s.events[i + 1..]
+                    .iter()
+                    .take_while(|n| n.at_ms == e.at_ms)
+                    .any(|n| n.kind == EventKind::Crash { site });
+                assert!(
+                    crash,
+                    "seed {seed}: damage at {}ms without its crash",
+                    e.at_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_disk_faults_draws_none() {
+        let params = ScheduleParams {
+            disk_faults: false,
+            ..Default::default()
+        };
+        for seed in 0..50u64 {
+            let s = generate(&spec(), &params, seed);
+            assert!(!s.events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::TornWrite { .. }
+                    | EventKind::BitFlip { .. }
+                    | EventKind::IoError { .. }
+                    | EventKind::DiskStall { .. }
+            )));
         }
     }
 
@@ -773,6 +973,32 @@ mod tests {
     }
 
     #[test]
+    fn the_disk_faults_flag_round_trips_through_json() {
+        let spec = ClusterSpec::majority(5, 2).with_disk_faults();
+        let s = generate(&spec, &ScheduleParams::default(), 4);
+        let (spec2, s2) = Schedule::from_json(&s.to_json(&spec)).expect("parses");
+        assert!(spec2.disk_faults);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
+    fn artifacts_without_a_disk_faults_key_replay_with_clean_disks() {
+        // Replay artifacts written before the faulty-disk model omit the
+        // key; they must keep parsing, with injection defaulted off.
+        let spec = ClusterSpec::majority(3, 1);
+        let params = ScheduleParams {
+            disk_faults: false,
+            ..Default::default()
+        };
+        let s = generate(&spec, &params, 8);
+        let legacy = s.to_json(&spec).replace(",\"disk_faults\":false", "");
+        assert!(!legacy.contains("disk_faults"), "key really was stripped");
+        let (spec2, s2) = Schedule::from_json(&legacy).expect("parses");
+        assert!(!spec2.disk_faults);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
     fn repair_never_influences_schedule_generation() {
         // Repair-on and repair-off arms must share identical timelines so
         // a campaign can compare them trial for trial.
@@ -780,6 +1006,7 @@ mod tests {
         let healing = ClusterSpec::majority(5, 2).with_repair();
         let batched = ClusterSpec::majority(5, 2).with_group_commit();
         let cached = ClusterSpec::majority(5, 2).with_cache_tier();
+        let faulty = ClusterSpec::majority(5, 2).with_disk_faults();
         for seed in 0..20 {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
@@ -792,6 +1019,10 @@ mod tests {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
                 generate(&cached, &ScheduleParams::default(), seed),
+            );
+            assert_eq!(
+                generate(&plain, &ScheduleParams::default(), seed),
+                generate(&faulty, &ScheduleParams::default(), seed),
             );
         }
     }

@@ -50,3 +50,14 @@ fn the_e9_report_bytes_are_identical_at_1_and_4_workers() {
     assert_eq!(one.report, four.report);
     assert_eq!(one.artifact, four.artifact);
 }
+
+#[test]
+fn the_e14_report_bytes_are_identical_at_1_2_and_8_workers() {
+    // The disk-fault sweep carries per-trial latency samples as well as
+    // counters, so this also pins the sample-aggregation order.
+    let one = with_workers(1, || wv_chaos::e14::run_with(3));
+    let two = with_workers(2, || wv_chaos::e14::run_with(3));
+    let eight = with_workers(8, || wv_chaos::e14::run_with(3));
+    assert_eq!(one, two, "2 workers diverged from sequential");
+    assert_eq!(one, eight, "8 workers diverged from sequential");
+}

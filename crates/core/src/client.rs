@@ -30,7 +30,7 @@ use wv_storage::{Container, ObjectId, Version};
 use wv_txn::Vote;
 
 use crate::error::{OpError, OpKind};
-use crate::msg::{Msg, PrepareWrite, ReqId};
+use crate::msg::{Msg, PrepareWrite, RefuseReason, ReqId};
 use crate::quorum::{cheapest_quorum, cheapest_quorum_presorted, QuorumSpec};
 use crate::suite::{config_object, data_object, SuiteConfig};
 use crate::votes::VoteAssignment;
@@ -260,6 +260,15 @@ pub struct ClientStats {
     /// Reads that coalesced onto another read's in-flight version inquiry
     /// for the same suite instead of fanning out their own `VersionReq`s.
     pub piggybacked_inquiries: u64,
+    /// `Busy` answers received (transient commit-lock conflicts; the
+    /// client retries the next candidate immediately).
+    pub refused_busy: u64,
+    /// `Refused(Quarantined)` answers: the site surrendered its votes
+    /// over disk corruption. Treated as long-dead — suspicion slams to
+    /// the threshold so routing demotes the site at once.
+    pub refused_quarantined: u64,
+    /// `Refused(Disk)` answers: transient I/O errors or sync stalls.
+    pub refused_disk: u64,
 }
 
 /// What a finished operation produced.
@@ -1157,6 +1166,22 @@ impl ClientNode {
         if let Some(sh) = self.health.get_mut(site.index()) {
             sh.suspicion = 0.0;
             sh.suspected = false;
+        }
+    }
+
+    /// A site announced its own quarantine: slam its suspicion straight
+    /// to the threshold so every cost-ranked order demotes it at once —
+    /// the refusal is long-lived, unlike a timeout's soft evidence.
+    fn mark_quarantined(&mut self, site: SiteId) {
+        let Some(h) = self.options.health.clone() else {
+            return;
+        };
+        if let Some(sh) = self.health.get_mut(site.index()) {
+            sh.suspicion = sh.suspicion.max(h.suspicion_threshold);
+            if !sh.suspected {
+                sh.suspected = true;
+                self.stats.suspicions_raised += 1;
+            }
         }
     }
 
@@ -2669,7 +2694,7 @@ impl ClientNode {
             // — a stale duplicate; move to the next candidate.
             Disposition::StaleFromCandidate => {
                 self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Stale, version.0);
-                self.try_next_candidate(req, ctx)
+                self.try_next_candidate(req, Some(from), ctx)
             }
             Disposition::Fresh { via_hedge } => {
                 if via_hedge {
@@ -2687,7 +2712,14 @@ impl ClientNode {
         }
     }
 
-    fn try_next_candidate(&mut self, req: ReqId, ctx: &mut NodeCtx<'_, Msg>) {
+    /// Advances a fetch to its next candidate. `from` is the site whose
+    /// answer (or refusal) triggered the advance, when one did: a reply
+    /// from a site that is not the current leg's target — typically a
+    /// late refusal of the *inquiry* sent under the same request id —
+    /// says nothing about the candidate actually being fetched from and
+    /// must not burn it. `None` means a phase timeout, which always
+    /// refers to the current leg.
+    fn try_next_candidate(&mut self, req: ReqId, from: Option<SiteId>, ctx: &mut NodeCtx<'_, Msg>) {
         enum Next {
             Exhausted,
             Try {
@@ -2711,6 +2743,11 @@ impl ClientNode {
             else {
                 return;
             };
+            if let Some(f) = from {
+                if candidates.get(*idx) != Some(&f) && *hedged != Some(f) {
+                    return;
+                }
+            }
             *idx += 1;
             if *idx >= candidates.len() {
                 Next::Exhausted
@@ -3143,7 +3180,7 @@ impl ClientNode {
             }
             Next::NextCandidate => {
                 self.trace_timeout_legs(req, ctx.now());
-                self.try_next_candidate(req, ctx)
+                self.try_next_candidate(req, None, ctx)
             }
             Next::AbortAndFail(quorum, suite, kind) => {
                 for site in quorum {
@@ -3197,8 +3234,32 @@ impl ClientNode {
                 value,
             } => self.on_read_resp(from, suite, req, version, value, ctx),
             Msg::Busy { req, .. } => {
+                self.stats.refused_busy += 1;
                 self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Refused, 0);
-                self.try_next_candidate(req, ctx)
+                self.try_next_candidate(req, Some(from), ctx)
+            }
+            Msg::Refused { suite, req, reason } => {
+                match reason {
+                    RefuseReason::Quarantined => {
+                        self.stats.refused_quarantined += 1;
+                        // The site said so itself: its votes are gone until
+                        // repair. Unlike Busy this is long-lived, so demote
+                        // it now instead of accruing timeout suspicion.
+                        self.mark_quarantined(from);
+                    }
+                    RefuseReason::Disk => self.stats.refused_disk += 1,
+                }
+                let in_prepare = self.ops.get(&req).is_some_and(|st| {
+                    matches!(st.phase, Phase::Prepare { .. } | Phase::MultiPrepare { .. })
+                });
+                if in_prepare {
+                    // A refused prepare is a no vote: the coordinator
+                    // aborts the round and retries on a healthier quorum.
+                    self.on_prepare_vote(from, suite, req, Vote::No, ctx);
+                } else {
+                    self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Refused, 0);
+                    self.try_next_candidate(req, Some(from), ctx)
+                }
             }
             Msg::PrepareVote { suite, req, vote } => {
                 self.on_prepare_vote(from, suite, req, vote, ctx)
@@ -3530,6 +3591,115 @@ mod tests {
         assert_eq!(c.completed.len(), 0);
         assert_eq!(c.in_flight(), 1);
         assert!(!c.ops.contains_key(&req), "retry must use a fresh req id");
+    }
+
+    #[test]
+    fn refused_prepare_counts_as_a_no_vote() {
+        let mut c = client();
+        let mut rng = DetRng::new(35);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_write(SUITE, &b"w"[..], &mut ctx);
+        let _ = effects(&mut ctx);
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(0),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        // One quorum member refuses: its disk is quarantined. The round
+        // aborts exactly as on a no vote and a retry is scheduled.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(10), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::Refused {
+                suite: SUITE,
+                req,
+                reason: RefuseReason::Quarantined,
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert!(
+            out.iter()
+                .filter(|(_, m)| matches!(m, Msg::Abort { .. }))
+                .count()
+                >= 2
+        );
+        assert_eq!(c.completed.len(), 0);
+        assert_eq!(c.in_flight(), 1, "retry pending");
+        assert_eq!(c.stats.refused_quarantined, 1);
+    }
+
+    #[test]
+    fn refused_fetch_moves_to_next_candidate() {
+        let mut c = client();
+        let mut rng = DetRng::new(36);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        for s in 0..2u16 {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+            c.handle(
+                SiteId(s),
+                Msg::VersionResp {
+                    suite: SUITE,
+                    req,
+                    version: Version(1),
+                    generation: 1,
+                },
+                &mut ctx,
+            );
+            let _ = effects(&mut ctx);
+        }
+        // Site 0's disk stalled; the client reads from site 1 instead.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(8), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::Refused {
+                suite: SUITE,
+                req,
+                reason: RefuseReason::Disk,
+            },
+            &mut ctx,
+        );
+        let out = effects(&mut ctx);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, SiteId(1));
+        assert!(matches!(out[0].1, Msg::ReadReq { .. }));
+        assert_eq!(c.stats.refused_disk, 1);
+    }
+
+    #[test]
+    fn quarantined_refusal_demotes_the_site_immediately() {
+        let mut c = health_client();
+        let mut rng = DetRng::new(37);
+        let mut ctx = NodeCtx::new(SimTime::ZERO, CLIENT, &mut rng);
+        let req = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        assert_eq!(c.stats.suspicions_raised, 0);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(5), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::Refused {
+                suite: SUITE,
+                req,
+                reason: RefuseReason::Quarantined,
+            },
+            &mut ctx,
+        );
+        let _ = effects(&mut ctx);
+        // One refusal is enough — no timeout accrual needed.
+        assert_eq!(c.stats.suspicions_raised, 1);
+        assert_eq!(c.stats.refused_quarantined, 1);
+        assert!(c.health[0].suspected, "site 0 demoted");
     }
 
     #[test]

@@ -56,6 +56,20 @@ pub struct PrepareWrite {
     pub generation: u64,
 }
 
+/// Why a representative refused to serve (see [`Msg::Refused`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefuseReason {
+    /// Recovery detected interior WAL corruption: the replica's
+    /// acknowledged state may have regressed, so it has surrendered its
+    /// votes (reads, inquiries, and prepares all refuse) until
+    /// anti-entropy repair completes a full state pull. Long-lived —
+    /// clients should treat the site as dead, not busy.
+    Quarantined,
+    /// A transient disk problem (injected I/O error or sync stall) made
+    /// the site unable to log the request. Short-lived.
+    Disk,
+}
+
 /// Protocol messages.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Msg {
@@ -105,6 +119,18 @@ pub enum Msg {
         suite: ObjectId,
         /// The turned-away operation.
         req: ReqId,
+    },
+    /// The representative cannot serve at all right now — its disk is
+    /// degraded. Unlike [`Msg::Busy`] (a transient lock conflict worth an
+    /// immediate retry elsewhere), a refusal tells the client something is
+    /// wrong with the *site*: treat it as a non-vote and route around it.
+    Refused {
+        /// The suite the request targeted.
+        suite: ObjectId,
+        /// The refused operation.
+        req: ReqId,
+        /// Why the site refused.
+        reason: RefuseReason,
     },
 
     // ---- write (client-coordinated two-phase commit over the quorum) ----
@@ -212,8 +238,13 @@ pub enum Msg {
         /// The suite whose state is wanted.
         suite: ObjectId,
         /// The puller's committed version; the peer only answers when it
-        /// holds something newer.
+        /// holds something newer (unless `full`).
         have: Version,
+        /// A quarantined replica rebuilding from scratch sets this: the
+        /// peer answers with its state unconditionally, even when it holds
+        /// nothing newer, because the answer itself is the puller's
+        /// evidence that it has absorbed this peer's state.
+        full: bool,
     },
     /// The peer's committed `(version, contents)` for the suite. Only
     /// committed state ever travels — a prepared-but-undecided write stays
@@ -226,6 +257,14 @@ pub enum Msg {
         version: Version,
         /// The committed contents at that version.
         value: Bytes,
+        /// The sender's committed configuration object — `(version,
+        /// encoded bytes)` — included when answering a `full` pull. A
+        /// replica rebuilding after losing its log to corruption may
+        /// also have lost the suite's quorum geometry; rejoining with a
+        /// pre-reconfiguration assignment would let non-intersecting
+        /// quorums form, so the full sweep restores the configuration
+        /// alongside the data.
+        config: Option<(Version, Bytes)>,
     },
 }
 
@@ -291,6 +330,16 @@ mod tests {
             },
             Msg::ReadReq { suite, req },
             Msg::Busy { suite, req },
+            Msg::Refused {
+                suite,
+                req,
+                reason: RefuseReason::Quarantined,
+            },
+            Msg::Refused {
+                suite,
+                req,
+                reason: RefuseReason::Disk,
+            },
             Msg::Commit { suite, req },
             Msg::Ack {
                 suite,
@@ -306,11 +355,13 @@ mod tests {
             Msg::RepairPull {
                 suite,
                 have: Version(0),
+                full: false,
             },
             Msg::RepairState {
                 suite,
                 version: Version(1),
                 value: Bytes::new(),
+                config: None,
             },
         ];
         for m in msgs {

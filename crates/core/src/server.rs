@@ -7,17 +7,17 @@
 //! applies fire-and-forget weak-representative updates monotonically, and
 //! resolves in-doubt transactions after a crash by asking the coordinator.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bytes::Bytes;
 use wv_net::{Node, NodeCtx, SiteId};
 use wv_sim::trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};
-use wv_sim::{MetricsRegistry, SimDuration};
+use wv_sim::{MetricsRegistry, SimDuration, SimTime};
 use wv_storage::{Container, ObjectId, TxId, Version};
 use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
 use wv_txn::Vote;
 
-use crate::msg::{Msg, PrepareWrite, ReqId};
+use crate::msg::{Msg, PrepareWrite, RefuseReason, ReqId};
 use crate::suite::{config_object, data_object, suite_of_config_object, SuiteConfig};
 
 /// Tag bit marking anti-entropy repair timer tokens. Pending-write probe
@@ -72,6 +72,22 @@ pub struct ServerStats {
     pub wal_batches: u64,
     /// Deferred records (votes + commit applies) that rode those syncs.
     pub wal_batched_records: u64,
+    /// Torn WAL tails truncated during recovery scans (normal crash wear;
+    /// only un-acknowledged volatile records are lost).
+    pub torn_truncations: u64,
+    /// Durable records lost to detected interior WAL corruption.
+    pub corrupt_records_detected: u64,
+    /// Recoveries that entered quarantine over interior corruption.
+    pub quarantines: u64,
+    /// Quarantines healed by absorbing a full state pull from every peer.
+    pub requarantine_repairs: u64,
+    /// Requests refused over transient disk trouble (I/O errors, stalls).
+    pub disk_refusals: u64,
+    /// Tripwire: corrupted bytes accepted by a recovery scan. Stays zero
+    /// unless injected damage collides with CRC-32.
+    pub poison_escapes: u64,
+    /// Tripwire: responses served while quarantined. Stays zero.
+    pub served_while_quarantined: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -166,6 +182,29 @@ pub struct SuiteServer {
     sync_epoch: u64,
     /// Batched-sync observability (`wal_batch_size` histogram).
     metrics: MetricsRegistry,
+    /// Set when recovery detected interior WAL corruption: acknowledged
+    /// state may have regressed, so this replica has surrendered its votes
+    /// (inquiries, reads, and prepares all refuse) until anti-entropy
+    /// repair absorbs a full state pull from every peer.
+    quarantined: bool,
+    /// Peers whose state the quarantined replica has not yet absorbed, per
+    /// hosted suite. A [`Msg::RepairState`] from a peer removes it (any
+    /// answer carries the peer's full committed state); draining the whole
+    /// map heals the quarantine.
+    quarantine_pending: BTreeMap<ObjectId, BTreeSet<SiteId>>,
+    /// Injected sync stall: prepares refuse with [`RefuseReason::Disk`]
+    /// until this deadline passes. Committed state is intact, so reads
+    /// and inquiries keep serving.
+    stall_until: Option<SimTime>,
+    /// Open quarantine span, when tracing.
+    quarantine_span: Option<SpanId>,
+    /// The construction-time suite assignments — the deployment manifest.
+    /// A recovery that finds a hosted suite's configuration object gone
+    /// (interior corruption can truncate the entire log) falls back to
+    /// this so the replica still knows which peers to rebuild from; the
+    /// possibly-stale geometry is only ever used under quarantine, and
+    /// the healing full pulls replace it with the peers' current one.
+    seed_configs: Vec<SuiteConfig>,
 }
 
 impl SuiteServer {
@@ -177,6 +216,7 @@ impl SuiteServer {
     pub fn new(site: SiteId, configs: Vec<SuiteConfig>, policy: DeadlockPolicy) -> Self {
         let mut container = Container::new();
         let mut map = HashMap::new();
+        let seed_configs = configs.clone();
         for cfg in configs {
             let tx = container.begin().expect("fresh container");
             container
@@ -212,6 +252,11 @@ impl SuiteServer {
             sync_queue: Vec::new(),
             sync_epoch: 0,
             metrics: MetricsRegistry::new(),
+            quarantined: false,
+            quarantine_pending: BTreeMap::new(),
+            stall_until: None,
+            quarantine_span: None,
+            seed_configs,
         }
     }
 
@@ -304,6 +349,66 @@ impl SuiteServer {
         }
     }
 
+    /// Seeds this server's disk-damage placement stream (see
+    /// [`wv_storage::DiskFaults`]). The harness derives one seed per site
+    /// from the master seed so campaigns stay bit-identical.
+    pub fn set_disk_fault_seed(&mut self, seed: u64) {
+        self.container.disk_faults().seed(seed);
+    }
+
+    /// Arms a torn write: the next crash persists a partial prefix of the
+    /// volatile WAL tail instead of dropping it cleanly.
+    pub fn arm_torn_write(&mut self) {
+        self.container.disk_faults().arm_torn_write();
+    }
+
+    /// Arms one bit flip of durable WAL bytes, applied at the next crash.
+    pub fn arm_bit_flip(&mut self) {
+        self.container.disk_faults().arm_bit_flip();
+    }
+
+    /// The next `n` new transactions fail to start with an I/O error.
+    pub fn inject_io_errors(&mut self, n: u32) {
+        self.container.disk_faults().inject_io_errors(n);
+    }
+
+    /// Injected sync stall: prepares refuse with [`RefuseReason::Disk`]
+    /// until `d` past `now`. Overlapping stalls keep the later deadline.
+    pub fn disk_stall(&mut self, d: SimDuration, now: SimTime) {
+        let until = now + d;
+        self.stall_until = Some(match self.stall_until {
+            Some(t) if t > until => t,
+            _ => until,
+        });
+    }
+
+    /// Whether this replica is quarantined (votes surrendered pending a
+    /// full anti-entropy repair).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// True while an injected sync stall holds the WAL device; lazily
+    /// clears once the deadline passes.
+    fn stalled(&mut self, now: SimTime) -> bool {
+        match self.stall_until {
+            Some(t) if now < t => true,
+            Some(_) => {
+                self.stall_until = None;
+                false
+            }
+            None => false,
+        }
+    }
+
+    /// Tripwire for the chaos oracle: every serving send site calls this.
+    /// A quarantined replica must have refused long before reaching one.
+    fn note_serving(&mut self) {
+        if self.quarantined {
+            self.stats.served_while_quarantined += 1;
+        }
+    }
+
     /// Hosted suites in deterministic order.
     fn hosted_suites(&self) -> Vec<ObjectId> {
         let mut suites: Vec<ObjectId> = self.configs.keys().copied().collect();
@@ -326,6 +431,41 @@ impl SuiteServer {
     /// round-robin order, announcing the version already held so an
     /// up-to-date peer answers nothing.
     fn run_repair_probe(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        if self.quarantined {
+            // Degraded mode: keep pulling full state from every peer not
+            // yet absorbed, and push nothing — this replica's own state is
+            // suspect until the quarantine heals.
+            let pending: Vec<(ObjectId, Vec<SiteId>)> = self
+                .quarantine_pending
+                .iter()
+                .map(|(s, peers)| (*s, peers.iter().copied().collect()))
+                .collect();
+            for (suite, peers) in pending {
+                let have = self.data_version(suite);
+                for peer in peers {
+                    self.stats.repair_probes += 1;
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.event(
+                            SpanKind::RepairPull,
+                            0,
+                            None,
+                            Some(peer.0),
+                            have.0,
+                            ctx.now(),
+                        );
+                    }
+                    ctx.send(
+                        peer,
+                        Msg::RepairPull {
+                            suite,
+                            have,
+                            full: true,
+                        },
+                    );
+                }
+            }
+            return;
+        }
         for suite in self.hosted_suites() {
             let peers = self.peers_of(suite);
             if peers.is_empty() {
@@ -345,7 +485,14 @@ impl SuiteServer {
                     ctx.now(),
                 );
             }
-            ctx.send(peer, Msg::RepairPull { suite, have });
+            ctx.send(
+                peer,
+                Msg::RepairPull {
+                    suite,
+                    have,
+                    full: false,
+                },
+            );
         }
         // The same round refreshes attached weak representatives: push
         // committed state at every registered client site. Fire-and-forget
@@ -378,6 +525,7 @@ impl SuiteServer {
     /// stale, and fan-out makes catch-up latency one round-trip to the
     /// nearest live up-to-date peer.
     fn pull_from_all_peers(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
+        let full = self.quarantined;
         for suite in self.hosted_suites() {
             let have = self.data_version(suite);
             for peer in self.peers_of(suite) {
@@ -392,7 +540,7 @@ impl SuiteServer {
                         ctx.now(),
                     );
                 }
-                ctx.send(peer, Msg::RepairPull { suite, have });
+                ctx.send(peer, Msg::RepairPull { suite, have, full });
             }
         }
     }
@@ -471,7 +619,27 @@ impl SuiteServer {
             );
             return;
         }
-        let tx = self.container.begin().expect("server container is up");
+        let tx = match self.container.begin() {
+            Ok(tx) => tx,
+            Err(_) => {
+                // An injected I/O error kept the prepare record off the
+                // log. Nothing was promised; release the locks and tell
+                // the coordinator the disk (not the data) said no.
+                for g in self.locks.release_all(token) {
+                    self.resume_waiter(g.tx, ctx);
+                }
+                self.stats.disk_refusals += 1;
+                ctx.send(
+                    w.from,
+                    Msg::Refused {
+                        suite,
+                        req: w.req,
+                        reason: RefuseReason::Disk,
+                    },
+                );
+                return;
+            }
+        };
         for pw in &w.writes {
             self.container
                 .stage_put(tx, pw.object, pw.version, pw.value.clone())
@@ -521,6 +689,7 @@ impl SuiteServer {
         }
         // Probe the coordinator if the decision takes too long.
         ctx.set_timer(self.resolve_after, w.req.0);
+        self.note_serving();
         self.stats.votes_yes += 1;
         ctx.send(
             w.from,
@@ -607,6 +776,7 @@ impl SuiteServer {
             match d {
                 Deferred::Vote { to, suite, req } => {
                     ctx.set_timer(self.resolve_after, req.0);
+                    self.note_serving();
                     self.stats.votes_yes += 1;
                     ctx.send(
                         to,
@@ -709,6 +879,76 @@ impl SuiteServer {
         }
     }
 
+    /// Marks `peer`'s state for `suite` absorbed by the quarantined
+    /// replica. Once every peer of every hosted suite has confirmed, the
+    /// quarantine heals: any acknowledged version has an intact holder
+    /// among the peers (the chaos layer injects at most one corruption per
+    /// schedule and r + w > N), so a full sweep provably restored it.
+    fn confirm_repair(&mut self, suite: ObjectId, peer: SiteId, ctx: &mut NodeCtx<'_, Msg>) {
+        if !self.quarantined {
+            return;
+        }
+        if let Some(pending) = self.quarantine_pending.get_mut(&suite) {
+            pending.remove(&peer);
+            if pending.is_empty() {
+                self.quarantine_pending.remove(&suite);
+            }
+        }
+        if self.quarantine_pending.is_empty() {
+            self.quarantined = false;
+            self.stats.requarantine_repairs += 1;
+            if let Some(id) = self.quarantine_span.take() {
+                if let Some(tr) = self.tracer.as_mut() {
+                    tr.end(id, ctx.now(), SpanOutcome::Ok);
+                }
+            }
+            // Re-announce: a fresh gossip epoch resumes normal probing
+            // (and the suppressed cache pushes).
+            self.start_anti_entropy(ctx);
+        }
+    }
+
+    /// Installs a peer-supplied configuration object when strictly newer
+    /// than the durably held one, then re-bases the quarantine ledger for
+    /// the suite on the new peer set: confirmations gathered under the old
+    /// geometry may have come from sites that no longer represent the
+    /// suite, and peers the reconfiguration added have not been absorbed
+    /// at all.
+    fn absorb_repair_config(&mut self, suite: ObjectId, version: Version, bytes: Bytes) {
+        let object = config_object(suite);
+        let held = self
+            .container
+            .read_version(object)
+            .unwrap_or(Version::INITIAL);
+        if version <= held {
+            return;
+        }
+        let Some(cfg) = SuiteConfig::decode(&bytes) else {
+            return;
+        };
+        if self.locks.exclusive_holder(object).is_some() {
+            // An in-flight reconfiguration holds the object; whatever it
+            // decides supersedes the pulled copy anyway.
+            return;
+        }
+        let Ok(tx) = self.container.begin() else {
+            return; // injected I/O error: the next probe round retries
+        };
+        self.container
+            .stage_put(tx, object, version, bytes)
+            .expect("stage repaired config");
+        self.container.commit(tx).expect("commit repaired config");
+        self.configs.insert(suite, cfg);
+        if self.quarantined && self.quarantine_pending.contains_key(&suite) {
+            let peers: BTreeSet<SiteId> = self.peers_of(suite).into_iter().collect();
+            if peers.is_empty() {
+                self.quarantine_pending.remove(&suite);
+            } else {
+                self.quarantine_pending.insert(suite, peers);
+            }
+        }
+    }
+
     fn reload_config(&mut self, suite: ObjectId) {
         if let Ok(vv) = self.container.read(config_object(suite)) {
             if let Some(cfg) = SuiteConfig::decode(&vv.value) {
@@ -722,6 +962,21 @@ impl SuiteServer {
     pub fn handle(&mut self, from: SiteId, msg: Msg, ctx: &mut NodeCtx<'_, Msg>) {
         match msg {
             Msg::VersionReq { suite, req } => {
+                // A quarantined replica's committed state may have
+                // regressed; answering a version inquiry would let a
+                // reader count its vote toward a quorum that misses a
+                // decided write. Its votes are surrendered until repair.
+                if self.quarantined {
+                    ctx.send(
+                        from,
+                        Msg::Refused {
+                            suite,
+                            req,
+                            reason: RefuseReason::Quarantined,
+                        },
+                    );
+                    return;
+                }
                 // An exclusive holder has a superseding version staged;
                 // answering with the committed one would let a reader
                 // assemble a quorum that misses a decided write. Across a
@@ -735,6 +990,7 @@ impl SuiteServer {
                     ctx.send(from, Msg::Busy { suite, req });
                     return;
                 }
+                self.note_serving();
                 self.stats.inquiries += 1;
                 let version = self.data_version(suite);
                 ctx.send(
@@ -748,12 +1004,24 @@ impl SuiteServer {
                 );
             }
             Msg::ReadReq { suite, req } => {
+                if self.quarantined {
+                    ctx.send(
+                        from,
+                        Msg::Refused {
+                            suite,
+                            req,
+                            reason: RefuseReason::Quarantined,
+                        },
+                    );
+                    return;
+                }
                 let object = data_object(suite);
                 if self.locks.exclusive_holder(object).is_some() {
                     self.stats.busy += 1;
                     ctx.send(from, Msg::Busy { suite, req });
                     return;
                 }
+                self.note_serving();
                 self.stats.reads += 1;
                 let vv = self.container.read(object).expect("server container is up");
                 ctx.send(
@@ -791,7 +1059,11 @@ impl SuiteServer {
                 // Monotonic install: never regress the cache, and never
                 // overwrite while a write transaction holds the object.
                 if version > committed && self.locks.exclusive_holder(object).is_none() {
-                    let tx = self.container.begin().expect("up");
+                    let Ok(tx) = self.container.begin() else {
+                        // An injected I/O error dropped this
+                        // fire-and-forget refresh; a later push retries.
+                        return;
+                    };
                     self.container
                         .stage_put(tx, object, version, value)
                         .expect("stage weak update");
@@ -806,6 +1078,35 @@ impl SuiteServer {
             } => {
                 self.stats.prepares += 1;
                 let suite = writes.first().map(|pw| pw.suite).unwrap_or(ObjectId(0));
+                // A quarantined replica must not promise an install it may
+                // not be able to keep durable; its vote is surrendered.
+                if self.quarantined {
+                    ctx.send(
+                        from,
+                        Msg::Refused {
+                            suite,
+                            req,
+                            reason: RefuseReason::Quarantined,
+                        },
+                    );
+                    return;
+                }
+                // An injected sync stall holds the WAL device: the prepare
+                // record could not become durable in time, so refuse up
+                // front rather than promise on a stuck disk. Reads keep
+                // serving — committed state is intact.
+                if self.stalled(ctx.now()) {
+                    self.stats.disk_refusals += 1;
+                    ctx.send(
+                        from,
+                        Msg::Refused {
+                            suite,
+                            req,
+                            reason: RefuseReason::Disk,
+                        },
+                    );
+                    return;
+                }
                 // Configuration staleness check per entry.
                 for pw in &writes {
                     let my_gen = self.generation_of(pw.suite);
@@ -824,6 +1125,7 @@ impl SuiteServer {
                 }
                 if self.pending.contains_key(&req) {
                     // Duplicate prepare (network duplication); re-vote yes.
+                    self.note_serving();
                     self.stats.votes_yes += 1;
                     ctx.send(
                         from,
@@ -921,19 +1223,54 @@ impl SuiteServer {
                     },
                 );
             }
-            Msg::RepairPull { suite, have } => {
+            Msg::RepairPull { suite, have, full } => {
                 if !self.configs.contains_key(&suite) {
                     return;
                 }
+                // A quarantined replica must not seed peers: its committed
+                // state is exactly what is under suspicion.
+                if self.quarantined {
+                    return;
+                }
+                // A full pull's answer is the puller's proof that this
+                // peer's state is wholly absorbed — but a prepared,
+                // undecided write on the suite means the committed answer
+                // may be missing a version that in fact committed: the
+                // quarantined puller itself may have applied that commit
+                // before losing its log, and healing without it would let
+                // the same version number commit twice. Stay silent; the
+                // puller's next probe round retries after the doubt
+                // resolves.
+                if full && self.pending.values().any(|p| p.suite == suite) {
+                    return;
+                }
                 let version = self.data_version(suite);
-                if version > have {
+                // A `full` pull (a quarantined peer rebuilding) is always
+                // answered — the answer itself is the puller's evidence it
+                // absorbed this peer's state, even when nothing is newer.
+                if full || version > have {
                     self.stats.repair_serves += 1;
+                    // A full pull rebuilds a replica that may have lost
+                    // everything, geometry included: ship the committed
+                    // configuration object alongside the data so the
+                    // puller rejoins under the current quorum assignment
+                    // rather than whatever generation its seed manifest
+                    // remembers.
+                    let config = if full {
+                        self.container
+                            .read(config_object(suite))
+                            .ok()
+                            .map(|vv| (vv.version, vv.value))
+                    } else {
+                        None
+                    };
                     ctx.send(
                         from,
                         Msg::RepairState {
                             suite,
                             version,
                             value: self.data_value(suite),
+                            config,
                         },
                     );
                 }
@@ -942,9 +1279,18 @@ impl SuiteServer {
                 suite,
                 version,
                 value,
+                config,
             } => {
                 if !self.configs.contains_key(&suite) {
                     return;
+                }
+                // Absorb the peer's configuration first: if this replica
+                // rejoined on its seed manifest after losing the log, the
+                // data below must be judged under the current geometry,
+                // and the quarantine ledger must drain against the
+                // current peer set, not the manifest's.
+                if let Some((cfg_version, cfg_bytes)) = config {
+                    self.absorb_repair_config(suite, cfg_version, cfg_bytes);
                 }
                 let object = data_object(suite);
                 let committed = self
@@ -955,23 +1301,39 @@ impl SuiteServer {
                 // committed state, and never underneath a commit lock. The
                 // sender only ships committed state, so repair can neither
                 // resurrect an undecided write nor regress a version.
-                if version > committed && self.locks.exclusive_holder(object).is_none() {
-                    let tx = self.container.begin().expect("up");
-                    self.container
-                        .stage_put(tx, object, version, value)
-                        .expect("stage repair");
-                    self.container.commit(tx).expect("commit repair");
-                    self.stats.repairs_completed += 1;
-                    if let Some(tr) = self.tracer.as_mut() {
-                        tr.event(
-                            SpanKind::RepairInstall,
-                            0,
-                            None,
-                            Some(from.0),
-                            version.0,
-                            ctx.now(),
-                        );
+                let absorbed = if version > committed {
+                    if self.locks.exclusive_holder(object).is_some() {
+                        // An in-doubt transaction still holds the object;
+                        // the next probe round pulls again.
+                        false
+                    } else if let Ok(tx) = self.container.begin() {
+                        self.container
+                            .stage_put(tx, object, version, value)
+                            .expect("stage repair");
+                        self.container.commit(tx).expect("commit repair");
+                        self.stats.repairs_completed += 1;
+                        if let Some(tr) = self.tracer.as_mut() {
+                            tr.event(
+                                SpanKind::RepairInstall,
+                                0,
+                                None,
+                                Some(from.0),
+                                version.0,
+                                ctx.now(),
+                            );
+                        }
+                        true
+                    } else {
+                        // Injected I/O error: the peer's state was not
+                        // absorbed, so it stays on the pending list.
+                        false
                     }
+                } else {
+                    // Already at or past the peer's state.
+                    true
+                };
+                if absorbed {
+                    self.confirm_repair(suite, from, ctx);
                 }
             }
             // Client-bound messages that a composite node may mis-route
@@ -1032,13 +1394,29 @@ impl SuiteServer {
         self.sync_queue.clear();
         self.sync_active = false;
         self.sync_epoch += 1;
+        // A stalled device does not survive the restart; quarantine state
+        // does (it reflects durable damage, re-derived at recovery).
+        self.stall_until = None;
     }
 
     /// Recovery: replay the log, restore configurations, re-lock in-doubt
     /// transactions, and ask coordinators for their decisions.
     pub fn handle_recover(&mut self, ctx: &mut NodeCtx<'_, Msg>) {
-        self.container.recover();
+        let outcome = self.container.recover();
         self.stats.recoveries += 1;
+        self.stats.torn_truncations += u64::from(outcome.torn_tail);
+        self.stats.corrupt_records_detected += outcome.lost_records;
+        self.stats.poison_escapes += u64::from(outcome.poison_escaped);
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.event(
+                SpanKind::DiskRecovery,
+                0,
+                None,
+                None,
+                outcome.replayed_records,
+                ctx.now(),
+            );
+        }
         // Restore configuration cache from committed config objects.
         let config_suites: Vec<ObjectId> = self
             .container
@@ -1047,6 +1425,49 @@ impl SuiteServer {
             .collect();
         for suite in config_suites {
             self.reload_config(suite);
+        }
+        // A hosted suite whose configuration object did not survive the
+        // scan (corruption can truncate the log back past the bootstrap
+        // records) falls back to the deployment manifest: without *some*
+        // geometry the replica would not even know which peers to rebuild
+        // from, and the quarantine below could never drain. The seed is
+        // volatile state only — the healing full pulls install the peers'
+        // current configuration durably, superseding it.
+        let missing: Vec<SuiteConfig> = self
+            .seed_configs
+            .iter()
+            .filter(|cfg| !self.configs.contains_key(&cfg.suite))
+            .cloned()
+            .collect();
+        for cfg in missing {
+            self.configs.insert(cfg.suite, cfg);
+        }
+        // Interior corruption (as opposed to a torn tail, which only loses
+        // un-acknowledged records): acknowledged state may have regressed,
+        // so surrender the replica's votes until a full anti-entropy sweep
+        // has pulled state from every peer of every hosted suite. With no
+        // repair daemon configured, the quarantine never heals — the
+        // replica is as good as dead, which is the safe default.
+        if outcome.corrupt_interior {
+            if !self.quarantined {
+                self.quarantined = true;
+                self.stats.quarantines += 1;
+                let hosted = self.hosted_suites().len() as u64;
+                if let Some(tr) = self.tracer.as_mut() {
+                    let id = tr.start(SpanKind::Quarantine, 0, None, None, hosted, ctx.now());
+                    self.quarantine_span = Some(id);
+                }
+            }
+            // (Re)build the confirmation ledger from scratch: anything
+            // absorbed before this recovery is void, the damage is new.
+            self.quarantine_pending = self
+                .hosted_suites()
+                .into_iter()
+                .filter_map(|s| {
+                    let peers: BTreeSet<SiteId> = self.peers_of(s).into_iter().collect();
+                    (!peers.is_empty()).then_some((s, peers))
+                })
+                .collect();
         }
         // Re-arm in-doubt transactions: take back their locks and ask the
         // coordinators how things ended.
@@ -1698,6 +2119,7 @@ mod tests {
             Msg::RepairPull {
                 suite: SUITE,
                 have: Version(3),
+                full: false,
             },
             &mut ctx,
         );
@@ -1709,6 +2131,7 @@ mod tests {
             Msg::RepairPull {
                 suite: SUITE,
                 have: Version(1),
+                full: false,
             },
             &mut ctx,
         );
@@ -1736,6 +2159,7 @@ mod tests {
                 suite: SUITE,
                 version: Version(5),
                 value: Bytes::from_static(b"v5"),
+                config: None,
             },
             &mut ctx,
         );
@@ -1749,6 +2173,7 @@ mod tests {
                 suite: SUITE,
                 version: Version(4),
                 value: Bytes::from_static(b"v4"),
+                config: None,
             },
             &mut ctx,
         );
@@ -1774,6 +2199,7 @@ mod tests {
                 suite: SUITE,
                 version: Version(7),
                 value: Bytes::from_static(b"v7"),
+                config: None,
             },
             &mut ctx,
         );
@@ -2077,5 +2503,332 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    // ---- disk faults and quarantine ----
+
+    fn ctx_at(now: SimTime, rng: &mut DetRng) -> NodeCtx<'_, Msg> {
+        NodeCtx::new(now, SiteId(0), rng)
+    }
+
+    /// Builds a server with committed history, arms one bit flip with the
+    /// given seed, and crash-recovers it. Returns the server.
+    fn corrupted_server(seed: u64) -> SuiteServer {
+        let mut s = server();
+        s.set_anti_entropy(SimDuration::from_secs(1));
+        for v in 1..=5 {
+            install(&mut s, v, b"payload");
+        }
+        s.set_disk_fault_seed(seed);
+        s.arm_bit_flip();
+        s.handle_crash();
+        let mut rng = DetRng::new(seed);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        s
+    }
+
+    /// A seed whose bit flip lands in a data record, so the config object
+    /// survives and the quarantine can heal through data pulls.
+    fn quarantined_server() -> SuiteServer {
+        for seed in 0..64 {
+            let s = corrupted_server(seed);
+            if s.is_quarantined() && s.config(SUITE).is_some() {
+                return s;
+            }
+        }
+        panic!("no seed in 0..64 corrupted a data record past the config");
+    }
+
+    #[test]
+    fn interior_corruption_quarantines_and_refuses_everything() {
+        let mut s = quarantined_server();
+        assert_eq!(s.stats.quarantines, 1);
+        assert!(s.stats.corrupt_records_detected > 0);
+        assert_eq!(s.stats.poison_escapes, 0);
+        let mut rng = DetRng::new(50);
+        for msg in [
+            Msg::VersionReq {
+                suite: SUITE,
+                req: req(1),
+            },
+            Msg::ReadReq {
+                suite: SUITE,
+                req: req(2),
+            },
+            prepare_msg(req(3), 9, b"w"),
+        ] {
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(CLIENT, msg, &mut ctx);
+            let out = sent(&mut ctx);
+            assert_eq!(out.len(), 1);
+            assert!(
+                matches!(
+                    &out[0].1,
+                    Msg::Refused {
+                        reason: RefuseReason::Quarantined,
+                        ..
+                    }
+                ),
+                "quarantined server must refuse, got {:?}",
+                out[0].1
+            );
+        }
+        assert_eq!(s.stats.served_while_quarantined, 0);
+    }
+
+    #[test]
+    fn quarantined_recovery_pulls_full_state_from_every_peer() {
+        for seed in 0..64 {
+            let mut s = server();
+            s.set_anti_entropy(SimDuration::from_secs(1));
+            for v in 1..=5 {
+                install(&mut s, v, b"payload");
+            }
+            s.set_disk_fault_seed(seed);
+            s.arm_bit_flip();
+            s.handle_crash();
+            let mut rng = DetRng::new(seed);
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle_recover(&mut ctx);
+            if !(s.is_quarantined() && s.config(SUITE).is_some()) {
+                continue;
+            }
+            let pulls: Vec<_> = sent(&mut ctx)
+                .into_iter()
+                .filter(|(_, m)| matches!(m, Msg::RepairPull { full: true, .. }))
+                .collect();
+            assert_eq!(pulls.len(), 2, "one full pull per peer");
+            return;
+        }
+        panic!("no seed in 0..64 produced a healable quarantine");
+    }
+
+    #[test]
+    fn quarantine_heals_only_after_every_peer_confirms() {
+        let mut s = quarantined_server();
+        let mut rng = DetRng::new(51);
+        let state = |v: u64| Msg::RepairState {
+            suite: SUITE,
+            version: Version(v),
+            value: Bytes::from_static(b"repair"),
+            config: None,
+        };
+        // First peer's answer installs but does not heal.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(SiteId(1), state(9), &mut ctx);
+        let _ = sent(&mut ctx);
+        assert!(s.is_quarantined(), "one of two peers is not enough");
+        assert_eq!(s.data_version(SUITE), Version(9));
+        // A quarantined replica never seeds peers, even when asked.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            SiteId(2),
+            Msg::RepairPull {
+                suite: SUITE,
+                have: Version(0),
+                full: false,
+            },
+            &mut ctx,
+        );
+        assert!(sent(&mut ctx).is_empty(), "suspect state must not spread");
+        // The second peer holds nothing newer; its answer still counts —
+        // it proves this replica is at or past that peer's state.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(SiteId(2), state(9), &mut ctx);
+        let _ = sent(&mut ctx);
+        assert!(!s.is_quarantined(), "full sweep completed");
+        assert_eq!(s.stats.requarantine_repairs, 1);
+        // Votes are live again.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::VersionReq {
+                suite: SUITE,
+                req: req(1),
+            },
+            &mut ctx,
+        );
+        let out = sent(&mut ctx);
+        assert!(matches!(&out[0].1, Msg::VersionResp { version, .. } if *version == Version(9)));
+        assert_eq!(s.stats.served_while_quarantined, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_without_quarantine() {
+        let mut s = gc_server();
+        s.set_disk_fault_seed(7);
+        let mut rng = DetRng::new(52);
+        let r = req(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(r, 1, b"volatile"), &mut ctx);
+        assert!(sent(&mut ctx).is_empty(), "vote deferred behind the sync");
+        s.arm_torn_write();
+        s.handle_crash();
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle_recover(&mut ctx);
+        let _ = sent(&mut ctx);
+        // A tear only shortens the un-acknowledged volatile tail: normal
+        // crash wear, not corruption. The replica keeps its votes.
+        assert!(!s.is_quarantined());
+        assert_eq!(s.stats.torn_truncations, 1);
+        assert_eq!(s.stats.corrupt_records_detected, 0);
+        assert_eq!(s.data_version(SUITE), Version(0));
+    }
+
+    #[test]
+    fn stalled_disk_refuses_prepares_but_keeps_serving_reads() {
+        let mut s = server();
+        let mut rng = DetRng::new(53);
+        install(&mut s, 1, b"v1");
+        s.disk_stall(SimDuration::from_secs(5), SimTime::ZERO);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(req(1), 2, b"w"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::Refused {
+                reason: RefuseReason::Disk,
+                ..
+            }
+        ));
+        assert_eq!(s.stats.disk_refusals, 1);
+        // Committed state is intact; reads keep flowing.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(
+            CLIENT,
+            Msg::ReadReq {
+                suite: SUITE,
+                req: req(2),
+            },
+            &mut ctx,
+        );
+        let out = sent(&mut ctx);
+        assert!(matches!(&out[0].1, Msg::ReadResp { .. }));
+        // Past the deadline the device is healthy again.
+        let later = SimTime::ZERO + SimDuration::from_secs(6);
+        let mut ctx = ctx_at(later, &mut rng);
+        s.handle(CLIENT, prepare_msg(req(3), 2, b"w"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn io_error_refuses_the_prepare_and_releases_its_locks() {
+        let mut s = server();
+        let mut rng = DetRng::new(54);
+        s.inject_io_errors(1);
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(req(1), 1, b"w"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::Refused {
+                reason: RefuseReason::Disk,
+                ..
+            }
+        ));
+        assert_eq!(s.stats.disk_refusals, 1);
+        assert_eq!(s.pending_writes(), 0);
+        // The lock was released: a retry (fresh error-free disk) succeeds.
+        let mut ctx = ctx_pair(&mut rng);
+        s.handle(CLIENT, prepare_msg(req(2), 1, b"w"), &mut ctx);
+        let out = sent(&mut ctx);
+        assert!(matches!(
+            &out[0].1,
+            Msg::PrepareVote {
+                vote: Vote::Yes,
+                ..
+            }
+        ));
+    }
+
+    /// Satellite regression: a torn tail can retroactively persist a
+    /// complete-but-unsynced prepare (the vote never left). Recovery
+    /// surfaces it as in doubt and the decision probe resolves it.
+    #[test]
+    fn decision_probe_resolves_in_doubt_surfaced_by_torn_tail() {
+        let cfg2 = SuiteConfig::new(
+            ObjectId(2),
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 2),
+        )
+        .expect("legal");
+        let suite2 = ObjectId(2);
+        for seed in 0..64u64 {
+            let mut s = SuiteServer::new(
+                SiteId(0),
+                vec![test_config(), cfg2.clone()],
+                DeadlockPolicy::WaitDie,
+            );
+            s.set_group_commit(SimDuration::from_millis(5));
+            s.set_disk_fault_seed(seed);
+            let mut rng = DetRng::new(seed);
+            let r1 = req(1);
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(CLIENT, prepare_msg(r1, 1, b"first"), &mut ctx);
+            assert!(sent(&mut ctx).is_empty(), "vote rides the sync");
+            // A second volatile prepare (other suite) extends the tail so
+            // the tear can land beyond the first prepare's frames.
+            let r2 = req(2);
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(
+                CLIENT,
+                Msg::Prepare {
+                    req: r2,
+                    writes: vec![PrepareWrite {
+                        suite: suite2,
+                        object: data_object(suite2),
+                        version: Version(1),
+                        value: Bytes::from_static(b"second"),
+                        generation: 1,
+                    }],
+                    lock_ts: r2.0,
+                },
+                &mut ctx,
+            );
+            assert!(sent(&mut ctx).is_empty());
+            s.arm_torn_write();
+            s.handle_crash();
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle_recover(&mut ctx);
+            let out = sent(&mut ctx);
+            // Hunt for a tear that kept exactly the first prepare.
+            if s.pending_writes() != 1 {
+                continue;
+            }
+            assert!(!s.is_quarantined(), "a tear is wear, not corruption");
+            assert_eq!(s.stats.torn_truncations, 1);
+            let probes: Vec<_> = out
+                .iter()
+                .filter(|(to, m)| {
+                    *to == CLIENT && matches!(m, Msg::DecisionReq { req, .. } if *req == r1)
+                })
+                .collect();
+            assert_eq!(probes.len(), 1, "one probe for the surfaced tx");
+            // The coordinator answers commit; the decision rides the next
+            // group-commit sync and the write lands after all.
+            let mut ctx = ctx_pair(&mut rng);
+            s.handle(
+                CLIENT,
+                Msg::Commit {
+                    suite: SUITE,
+                    req: r1,
+                },
+                &mut ctx,
+            );
+            let _ = sent(&mut ctx);
+            let _ = fire_sync(&mut s, &mut rng);
+            assert_eq!(s.data_value(SUITE), Bytes::from_static(b"first"));
+            assert_eq!(s.data_version(suite2), Version(0), "torn tx died");
+            return;
+        }
+        panic!("no seed in 0..64 tore between the two prepares");
     }
 }

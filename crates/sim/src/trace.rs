@@ -77,6 +77,13 @@ pub enum SpanKind {
     /// Attached weak representative (re)filled from a quorum read;
     /// `detail` is the installed version.
     CacheRefresh,
+    /// Server-side scanning WAL recovery; `detail` is the number of
+    /// records replayed.
+    DiskRecovery,
+    /// The span of a replica's quarantine: opened when recovery detects
+    /// interior corruption, closed when a full repair pull completes.
+    /// `detail` is the number of suites awaiting confirmation at entry.
+    Quarantine,
 }
 
 impl SpanKind {
@@ -101,6 +108,8 @@ impl SpanKind {
             SpanKind::RepairInstall => "repair_install",
             SpanKind::CacheHit => "cache_hit",
             SpanKind::CacheRefresh => "cache_refresh",
+            SpanKind::DiskRecovery => "disk_recovery",
+            SpanKind::Quarantine => "quarantine",
         }
     }
 
@@ -125,6 +134,8 @@ impl SpanKind {
             "repair_install" => SpanKind::RepairInstall,
             "cache_hit" => SpanKind::CacheHit,
             "cache_refresh" => SpanKind::CacheRefresh,
+            "disk_recovery" => SpanKind::DiskRecovery,
+            "quarantine" => SpanKind::Quarantine,
             _ => return None,
         })
     }
@@ -547,6 +558,8 @@ mod tests {
             SpanKind::RepairInstall,
             SpanKind::CacheHit,
             SpanKind::CacheRefresh,
+            SpanKind::DiskRecovery,
+            SpanKind::Quarantine,
         ] {
             assert_eq!(SpanKind::from_name(k.name()), Some(k));
         }

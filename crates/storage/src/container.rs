@@ -20,6 +20,7 @@ use std::fmt;
 use bytes::Bytes;
 
 use crate::error::StorageError;
+use crate::faults::DiskFaults;
 use crate::object::{ObjectId, Version, VersionedValue};
 use crate::wal::{Record, Wal};
 
@@ -51,6 +52,40 @@ struct TxState {
     note: u64,
 }
 
+/// What a scanning recovery found and decided.
+///
+/// The caller (a suite server) uses this to distinguish the two damage
+/// classes: a torn tail is business as usual, interior corruption means
+/// acknowledged state regressed and the replica must be quarantined until
+/// repair restores it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryOutcome {
+    /// Records replayed into the recovered state.
+    pub replayed_records: u64,
+    /// The log ended in an incomplete frame (torn write) — truncated,
+    /// nothing acknowledged was lost.
+    pub torn_tail: bool,
+    /// A complete, acknowledged record failed its checksum — the log was
+    /// truncated at the damage and the suffix (`lost_records` of them) is
+    /// gone. The replica's committed state may have regressed.
+    pub corrupt_interior: bool,
+    /// Durable records lost to interior corruption.
+    pub lost_records: u64,
+    /// In-flight (never-flushed) records a torn write happened to persist;
+    /// they replay normally — prepares among them surface as in-doubt.
+    pub recovered_volatile: u64,
+    /// Bytes the recovery scan examined.
+    pub bytes_scanned: u64,
+    /// The scan accepted bytes past a fault-injected corruption point (a
+    /// checksum collision). Must never be true; the chaos oracle turns it
+    /// into an invariant violation.
+    pub poison_escaped: bool,
+    /// Prepared-but-undecided transactions restored by the scan, with the
+    /// notes recorded at prepare time — the coordinator request ids the
+    /// decision-probe path must resolve.
+    pub in_doubt: Vec<(TxId, u64)>,
+}
+
 /// A crash-recoverable versioned object store.
 #[derive(Clone, Debug, Default)]
 pub struct Container {
@@ -59,6 +94,7 @@ pub struct Container {
     live: BTreeMap<TxId, TxState>,
     next_tx: u64,
     crashed: bool,
+    faults: DiskFaults,
 }
 
 impl Container {
@@ -74,8 +110,17 @@ impl Container {
     /// Transactions with a durable `Prepare` but no outcome record are
     /// restored as in-doubt ([`TxPhase::Prepared`]); everything else that
     /// didn't commit is implicitly aborted.
-    pub fn recover_from(mut wal: Wal) -> Self {
-        wal.crash(); // drop any volatile tail
+    pub fn recover_from(wal: Wal) -> Self {
+        Container::recover_from_scan(wal).0
+    }
+
+    /// Scanning recovery: like [`Container::recover_from`], but first
+    /// reconciles the log's byte image — truncating at the first torn or
+    /// bad-checksum frame — and reports what the scan found alongside the
+    /// recovered container.
+    pub fn recover_from_scan(mut wal: Wal) -> (Self, RecoveryOutcome) {
+        wal.crash(); // drop any volatile tail (keeps injected damage)
+        let report = wal.rescan();
         let mut committed = BTreeMap::new();
         let mut live: BTreeMap<TxId, TxState> = BTreeMap::new();
         let mut next_tx = 0u64;
@@ -137,13 +182,25 @@ impl Container {
         }
         // Unprepared work does not survive a crash.
         live.retain(|_, st| st.phase == TxPhase::Prepared);
-        Container {
+        let container = Container {
             wal,
             committed,
             live,
             next_tx,
             crashed: false,
-        }
+            faults: DiskFaults::default(),
+        };
+        let outcome = RecoveryOutcome {
+            replayed_records: report.recovered as u64,
+            torn_tail: report.torn_tail,
+            corrupt_interior: report.corrupt,
+            lost_records: report.lost_durable as u64,
+            recovered_volatile: report.recovered_volatile as u64,
+            bytes_scanned: report.bytes_scanned as u64,
+            poison_escaped: report.poison_escaped,
+            in_doubt: container.in_doubt_notes(),
+        };
+        (container, outcome)
     }
 
     fn check_up(&self) -> Result<(), StorageError> {
@@ -155,8 +212,16 @@ impl Container {
     }
 
     /// Starts a transaction.
+    ///
+    /// This is where injected transient I/O errors surface: new work is
+    /// refused at admission with [`StorageError::Io`], while decided
+    /// outcomes (commit/abort of an already-prepared transaction) always
+    /// apply — a participant never half-fails a promise it made.
     pub fn begin(&mut self) -> Result<TxId, StorageError> {
         self.check_up()?;
+        if self.faults.take_io_error() {
+            return Err(StorageError::Io);
+        }
         let tx = TxId(self.next_tx);
         self.next_tx += 1;
         self.wal.append(Record::Begin { tx });
@@ -356,16 +421,30 @@ impl Container {
 
     /// Simulates a machine crash: the volatile log tail and all unprepared
     /// transaction state are lost; every operation fails until
-    /// [`Container::recover`] runs.
+    /// [`Container::recover`] runs. Any armed disk damage (torn write,
+    /// bit flips) materializes now — this is the instant the write cache
+    /// and the platter part ways.
     pub fn crash(&mut self) {
-        self.wal.crash();
+        let (tear, flips) = self.faults.take_crash_damage();
+        self.wal.crash_with_faults(tear, &flips);
         self.crashed = true;
     }
 
-    /// Recovers from a crash by replaying the durable log.
-    pub fn recover(&mut self) {
+    /// Recovers from a crash by scanning and replaying the durable log,
+    /// reporting what the scan found. The fault injector (with its seed
+    /// and any pending I/O errors) survives recovery.
+    pub fn recover(&mut self) -> RecoveryOutcome {
         let wal = std::mem::take(&mut self.wal);
-        *self = Container::recover_from(wal);
+        let faults = std::mem::take(&mut self.faults);
+        let (mut fresh, outcome) = Container::recover_from_scan(wal);
+        fresh.faults = faults;
+        *self = fresh;
+        outcome
+    }
+
+    /// The disk-fault injector for this container.
+    pub fn disk_faults(&mut self) -> &mut DiskFaults {
+        &mut self.faults
     }
 
     /// True while crashed (between [`Container::crash`] and recovery).
@@ -799,6 +878,183 @@ mod tests {
 }
 
 #[cfg(test)]
+mod disk_fault_tests {
+    //! WAL framing and scan-recovery edge cases under injected faults:
+    //! empty logs, checkpoint boundaries, corruption inside the
+    //! checkpoint itself, and a seeded randomized
+    //! append/flush/crash/recover round-trip.
+
+    use super::*;
+    use wv_sim::derive_seed;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn commit_one(c: &mut Container, obj: u64, ver: u64, val: &str) {
+        let tx = c.begin().expect("begin");
+        c.stage_put(tx, ObjectId(obj), Version(ver), b(val))
+            .expect("stage");
+        c.commit(tx).expect("commit");
+    }
+
+    #[test]
+    fn empty_log_recovers_clean_even_with_faults_armed() {
+        let mut c = Container::new();
+        c.disk_faults().seed(derive_seed(0xD15C, 1));
+        c.disk_faults().arm_torn_write();
+        c.disk_faults().arm_bit_flip();
+        c.crash();
+        let outcome = c.recover();
+        assert_eq!(outcome, RecoveryOutcome::default());
+        assert!(c.is_empty());
+        assert!(!c.is_crashed());
+    }
+
+    #[test]
+    fn torn_tail_after_a_checkpoint_boundary_keeps_the_checkpoint() {
+        let mut c = Container::new();
+        commit_one(&mut c, 1, 1, "alpha");
+        commit_one(&mut c, 2, 1, "beta");
+        c.checkpoint().expect("checkpoint");
+        // An in-flight (unflushed) commit rides the volatile tail when the
+        // torn crash hits.
+        let tx = c.begin().expect("begin");
+        c.stage_put(tx, ObjectId(3), Version(1), b("inflight"))
+            .expect("stage");
+        c.commit_unflushed(tx).expect("commit");
+        c.disk_faults().seed(derive_seed(0xD15C, 2));
+        c.disk_faults().arm_torn_write();
+        c.crash();
+        let outcome = c.recover();
+        assert!(!outcome.corrupt_interior, "a torn tail is not corruption");
+        assert_eq!(outcome.lost_records, 0);
+        // The checkpointed state is intact whatever the tear kept.
+        assert_eq!(c.read(ObjectId(1)).expect("r").value, b("alpha"));
+        assert_eq!(c.read(ObjectId(2)).expect("r").value, b("beta"));
+    }
+
+    #[test]
+    fn corruption_inside_the_checkpoint_record_loses_everything_loudly() {
+        let mut c = Container::new();
+        commit_one(&mut c, 1, 1, "alpha");
+        commit_one(&mut c, 2, 1, "beta");
+        c.checkpoint().expect("checkpoint");
+        // The compacted log is a single checkpoint frame; every bit flip
+        // lands inside it.
+        assert_eq!(c.wal().len(), 1);
+        c.disk_faults().seed(derive_seed(0xD15C, 3));
+        c.disk_faults().arm_bit_flip();
+        c.crash();
+        let outcome = c.recover();
+        assert!(outcome.corrupt_interior, "damage must be detected");
+        assert!(!outcome.poison_escaped);
+        assert_eq!(outcome.lost_records, 1);
+        assert_eq!(outcome.replayed_records, 0);
+        assert!(c.is_empty(), "nothing valid precedes the checkpoint");
+    }
+
+    #[test]
+    fn torn_tail_can_surface_new_in_doubt_transactions() {
+        // A prepare that was appended but never flushed can persist via a
+        // torn write — recovery must surface it as in-doubt so the
+        // decision-probe path can resolve it (the PR 2 bug class).
+        // Hunt a seed whose tear keeps the whole prepare frame.
+        let mut found = false;
+        for salt in 0..64u64 {
+            let mut c = Container::new();
+            commit_one(&mut c, 1, 1, "base");
+            let tx = c.begin().expect("begin");
+            c.stage_put(tx, ObjectId(1), Version(2), b("promised"))
+                .expect("stage");
+            c.prepare_with_note_unflushed(tx, 99).expect("prepare");
+            // A later append gives the tear room to land *after* the
+            // complete prepare frame (a tear always loses at least one
+            // byte of the in-flight write).
+            c.begin().expect("begin trailing");
+            c.disk_faults().seed(derive_seed(0xD15C ^ salt, 4));
+            c.disk_faults().arm_torn_write();
+            c.crash();
+            let outcome = c.recover();
+            assert!(!outcome.corrupt_interior);
+            if outcome.in_doubt == vec![(tx, 99)] {
+                assert!(outcome.recovered_volatile >= 3, "begin+put+prepare");
+                assert_eq!(c.in_doubt_notes(), vec![(tx, 99)]);
+                // The coordinator's decision still resolves it.
+                c.abort(tx).expect("abort in-doubt");
+                assert_eq!(c.read(ObjectId(1)).expect("r").version, Version(1));
+                found = true;
+                break;
+            }
+            // Otherwise the tear cut the prepare frame short: the
+            // transaction must have vanished entirely, never half-applied.
+            assert!(outcome.in_doubt.is_empty());
+        }
+        assert!(found, "no tear in 64 seeds persisted the prepare frame");
+    }
+
+    #[test]
+    fn randomized_append_flush_crash_recover_round_trip() {
+        // Random mixed histories under random faults: recovery must always
+        // terminate with a consistent, poison-free container whose
+        // committed state is a prefix of the honest one.
+        for case in 0..64u64 {
+            let seed = derive_seed(0xF4417, case);
+            let mut c = Container::new();
+            c.disk_faults().seed(seed);
+            let mut draw = seed | 1;
+            let mut next = || {
+                draw = draw.wrapping_mul(6364136223846793005).wrapping_add(1);
+                draw >> 33
+            };
+            for step in 0..40 {
+                match next() % 10 {
+                    0..=5 => {
+                        let tx = match c.begin() {
+                            Ok(tx) => tx,
+                            Err(StorageError::Io) => continue,
+                            Err(e) => panic!("case {case} step {step}: {e}"),
+                        };
+                        c.stage_put(tx, ObjectId(next() % 4), Version(step + 1), b("v"))
+                            .expect("stage");
+                        if next() % 3 == 0 {
+                            c.commit_unflushed(tx).expect("commit");
+                        } else {
+                            c.commit(tx).expect("commit");
+                        }
+                    }
+                    6 => c.flush().expect("flush"),
+                    7 => c.checkpoint().expect("checkpoint"),
+                    8 => {
+                        if next() % 2 == 0 {
+                            c.disk_faults().arm_torn_write();
+                        } else {
+                            c.disk_faults().arm_bit_flip();
+                        }
+                        if next() % 4 == 0 {
+                            c.disk_faults().inject_io_errors(2);
+                        }
+                    }
+                    _ => {
+                        c.crash();
+                        let outcome = c.recover();
+                        assert!(!outcome.poison_escaped, "case {case} step {step}");
+                        assert!(
+                            !outcome.corrupt_interior || outcome.lost_records > 0,
+                            "case {case}: corruption must lose something"
+                        );
+                        // A recovered log always re-recovers cleanly.
+                        let (again, second) = Container::recover_from_scan(c.wal().clone());
+                        assert!(!second.torn_tail && !second.corrupt_interior);
+                        assert_eq!(again.len(), c.len(), "case {case}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod crash_point_props {
     //! Crash-point property tests: for a random committed history, recovery
     //! from *any* durable prefix yields a state equal to replaying some
@@ -980,6 +1236,27 @@ mod crash_point_props {
                 .collect();
             let recovered = Container::recover_from(full.wal().clone());
             assert_eq!(recovered.in_doubt(), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn recovery_reports_clean_scans_for_honest_crashes() {
+        // The scanning recovery must be invisible on the fault-free path:
+        // no torn tails, no corruption, no in-doubt surprises.
+        for seed in 0..16u64 {
+            let scripts = random_scripts(seed.wrapping_add(3000));
+            let full = run_scripts(&scripts);
+            let (recovered, outcome) = Container::recover_from_scan(full.wal().clone());
+            assert!(!outcome.torn_tail, "seed {seed}");
+            assert!(!outcome.corrupt_interior, "seed {seed}");
+            assert!(!outcome.poison_escaped, "seed {seed}");
+            assert_eq!(outcome.lost_records, 0, "seed {seed}");
+            assert_eq!(
+                outcome.replayed_records,
+                full.wal().durable().len() as u64,
+                "seed {seed}"
+            );
+            assert_eq!(outcome.in_doubt, recovered.in_doubt_notes(), "seed {seed}");
         }
     }
 

@@ -20,6 +20,11 @@ pub enum StorageError {
     /// The container is simulating a crash; all operations fail until
     /// recovery runs.
     Crashed,
+    /// The disk returned an I/O error (injected by
+    /// [`crate::DiskFaults`]). Transient by construction: the fault
+    /// injector arms a countdown, and operations succeed again once it
+    /// drains.
+    Io,
 }
 
 impl fmt::Display for StorageError {
@@ -30,6 +35,7 @@ impl fmt::Display for StorageError {
                 write!(f, "operation `{op}` illegal in current phase of {tx:?}")
             }
             StorageError::Crashed => write!(f, "container is crashed"),
+            StorageError::Io => write!(f, "disk i/o error"),
         }
     }
 }
@@ -50,5 +56,6 @@ mod tests {
         };
         assert!(e.to_string().contains("stage_put"));
         assert!(StorageError::Crashed.to_string().contains("crashed"));
+        assert!(StorageError::Io.to_string().contains("i/o"));
     }
 }

@@ -1,0 +1,128 @@
+//! Deterministic disk-fault injection.
+//!
+//! [`DiskFaults`] is the per-container hook the chaos layer arms. Faults
+//! are *latent*: arming a torn write or bit flip records intent, and the
+//! damage materializes at the next crash — exactly when a real disk's
+//! write cache and platter part ways. I/O errors are a countdown consumed
+//! by the next mutating operations.
+//!
+//! All randomness comes from an internal splitmix64 stream seeded by the
+//! caller (the harness derives the seed via `wv_sim::derive_seed`, one
+//! stream per site), so campaigns stay bit-identical at any worker count.
+//! This crate deliberately has no dependency on the simulation kernel.
+
+/// Latent disk damage, armed by the fault injector and applied at crash.
+#[derive(Clone, Debug, Default)]
+pub struct DiskFaults {
+    /// Splitmix64 state for damage placement draws.
+    rng: u64,
+    /// The next crash tears the in-flight write (partial final record).
+    torn_write: bool,
+    /// Bit flips to apply to durable bytes at the next crash.
+    bit_flips: u32,
+    /// Mutating operations left to fail with [`crate::StorageError::Io`].
+    io_errors: u32,
+}
+
+impl DiskFaults {
+    /// Seeds the damage-placement stream. Arming methods before the first
+    /// `seed` call draw from a zero state — deterministic but shared, so
+    /// harnesses should seed every container at construction.
+    pub fn seed(&mut self, seed: u64) {
+        self.rng = seed;
+    }
+
+    /// Arms a torn write: the next crash persists a partial prefix of the
+    /// volatile tail instead of dropping it cleanly.
+    pub fn arm_torn_write(&mut self) {
+        self.torn_write = true;
+    }
+
+    /// Arms one bit flip of durable bytes, applied at the next crash.
+    pub fn arm_bit_flip(&mut self) {
+        self.bit_flips += 1;
+    }
+
+    /// The next `n` mutating operations fail with an I/O error.
+    pub fn inject_io_errors(&mut self, n: u32) {
+        self.io_errors = self.io_errors.saturating_add(n);
+    }
+
+    /// True if anything is armed or pending.
+    pub fn is_armed(&self) -> bool {
+        self.torn_write || self.bit_flips > 0 || self.io_errors > 0
+    }
+
+    /// Consumes one pending I/O error, if any.
+    pub(crate) fn take_io_error(&mut self) -> bool {
+        if self.io_errors > 0 {
+            self.io_errors -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Takes the armed crash damage as draws for `Wal::crash_with_faults`:
+    /// an optional tear draw and one draw per bit flip.
+    pub(crate) fn take_crash_damage(&mut self) -> (Option<u64>, Vec<u64>) {
+        let tear = self.torn_write.then(|| self.next());
+        self.torn_write = false;
+        let flips = (0..self.bit_flips).map(|_| self.next()).collect();
+        self.bit_flips = 0;
+        (tear, flips)
+    }
+
+    /// Splitmix64 — the same generator the crash-point property tests use.
+    fn next(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_errors_count_down() {
+        let mut f = DiskFaults::default();
+        f.inject_io_errors(2);
+        assert!(f.is_armed());
+        assert!(f.take_io_error());
+        assert!(f.take_io_error());
+        assert!(!f.take_io_error());
+        assert!(!f.is_armed());
+    }
+
+    #[test]
+    fn crash_damage_is_taken_once() {
+        let mut f = DiskFaults::default();
+        f.seed(42);
+        f.arm_torn_write();
+        f.arm_bit_flip();
+        f.arm_bit_flip();
+        let (tear, flips) = f.take_crash_damage();
+        assert!(tear.is_some());
+        assert_eq!(flips.len(), 2);
+        let (tear, flips) = f.take_crash_damage();
+        assert!(tear.is_none());
+        assert!(flips.is_empty());
+    }
+
+    #[test]
+    fn same_seed_same_draws() {
+        let draws = |seed: u64| {
+            let mut f = DiskFaults::default();
+            f.seed(seed);
+            f.arm_torn_write();
+            f.arm_bit_flip();
+            f.take_crash_damage()
+        };
+        assert_eq!(draws(7), draws(7));
+        assert_ne!(draws(7), draws(8));
+    }
+}

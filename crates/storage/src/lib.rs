@@ -23,10 +23,13 @@
 
 pub mod container;
 pub mod error;
+pub mod faults;
+pub mod frame;
 pub mod object;
 pub mod wal;
 
-pub use container::{Container, TxId, TxPhase};
+pub use container::{Container, RecoveryOutcome, TxId, TxPhase};
 pub use error::StorageError;
+pub use faults::DiskFaults;
 pub use object::{ObjectId, Version, VersionedValue};
-pub use wal::{Record, Wal};
+pub use wal::{Record, ScanReport, Wal};

@@ -6,12 +6,21 @@
 //! [`Wal::crash`] discards the unflushed tail — exactly the failure model
 //! of a disk with a volatile write cache and explicit fsync.
 //!
+//! Alongside the typed record list the log maintains the *byte image* the
+//! records would occupy on a real platter, framed and checksummed by
+//! [`crate::frame`]. The image is what disk faults damage: a torn write
+//! persists a partial prefix of the volatile tail, a bit flip corrupts a
+//! durable byte. Damage is reconciled by [`Wal::rescan`], which accepts
+//! the longest valid frame prefix and reports what was lost — the scanning
+//! recovery `Container::recover_from` is built on.
+//!
 //! Property tests in `crate::container` crash the log at *every* record
 //! boundary and assert recovery yields a prefix-consistent state.
 
 use bytes::Bytes;
 
 use crate::container::TxId;
+use crate::frame::{self, ScanEnd};
 use crate::object::{ObjectId, Version};
 
 /// One log record.
@@ -82,12 +91,42 @@ impl Record {
     }
 }
 
+/// What [`Wal::rescan`] found while reconciling the byte image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Records accepted by the scan (the new log length).
+    pub recovered: usize,
+    /// Durable records dropped because a complete frame failed its
+    /// checksum. Non-zero only under interior corruption.
+    pub lost_durable: usize,
+    /// Volatile records a torn write happened to persist completely —
+    /// work that was in flight at the crash but never acknowledged.
+    pub recovered_volatile: usize,
+    /// The image ended in an incomplete frame (normal torn tail).
+    pub torn_tail: bool,
+    /// A complete frame was damaged — acknowledged bytes are gone.
+    pub corrupt: bool,
+    /// Bytes examined by the scan.
+    pub bytes_scanned: usize,
+    /// True if the scan accepted bytes at or past a fault-injected
+    /// corruption point — a checksum collision. Must never happen; the
+    /// chaos oracle turns this into an invariant violation.
+    pub poison_escaped: bool,
+}
+
 /// An in-memory write-ahead log with fsync semantics.
 #[derive(Clone, Debug, Default)]
 pub struct Wal {
     records: Vec<Record>,
     durable_len: usize,
     flushes: u64,
+    /// The framed byte image of `records`, damage and all.
+    image: Vec<u8>,
+    /// Byte offset where each record's frame starts in `image`.
+    offsets: Vec<usize>,
+    /// Lowest image byte damaged by fault injection since the last
+    /// rescan/replace — the poison line for the escape tripwire.
+    corrupted_from: Option<usize>,
 }
 
 impl Wal {
@@ -98,6 +137,8 @@ impl Wal {
 
     /// Appends a record to the volatile tail.
     pub fn append(&mut self, r: Record) {
+        self.offsets.push(self.image.len());
+        frame::encode_into(&mut self.image, &r);
         self.records.push(r);
     }
 
@@ -109,9 +150,95 @@ impl Wal {
         }
     }
 
-    /// Simulates a crash: the volatile tail is lost.
+    /// Simulates a clean crash: the volatile tail is lost.
     pub fn crash(&mut self) {
+        self.crash_with_faults(None, &[]);
+    }
+
+    /// Simulates a crash with disk faults applied.
+    ///
+    /// * `tear` — if set, a prefix of the volatile tail's *bytes* persists
+    ///   (the write in flight at power-cut made it partway to the
+    ///   platter), usually ending mid-frame. The draw picks how many.
+    /// * `flips` — each draw flips one bit inside a durable frame's
+    ///   crc/payload region, so the damage always fails the checksum
+    ///   instead of masquerading as a short frame.
+    ///
+    /// The typed view (`records`/`durable`) still shows the pre-damage
+    /// durable prefix; only [`Wal::rescan`] reconciles it with the image.
+    pub(crate) fn crash_with_faults(&mut self, tear: Option<u64>, flips: &[u64]) {
+        for &draw in flips {
+            self.flip_durable_bit(draw);
+        }
+        let durable_bytes = self.frame_start(self.durable_len);
+        let volatile_bytes = self.image.len() - durable_bytes;
+        let keep = match tear {
+            Some(draw) if volatile_bytes > 0 => (draw as usize) % volatile_bytes,
+            _ => 0,
+        };
+        self.image.truncate(durable_bytes + keep);
         self.records.truncate(self.durable_len);
+        self.offsets.truncate(self.durable_len);
+    }
+
+    /// Byte offset where frame `n` starts (== total image length for the
+    /// one-past-the-end index when no damage is outstanding).
+    fn frame_start(&self, n: usize) -> usize {
+        self.offsets.get(n).copied().unwrap_or(self.image.len())
+    }
+
+    /// Flips one bit in the checksummed region of a durable frame.
+    fn flip_durable_bit(&mut self, draw: u64) {
+        if self.durable_len == 0 {
+            return;
+        }
+        let idx = (draw as usize) % self.durable_len;
+        let start = self.offsets[idx];
+        let end = self.frame_start(idx + 1);
+        // Skip magic/version/len (6 bytes): damage lands in crc or payload
+        // where the checksum is guaranteed to catch it.
+        let region = end - start - 6;
+        debug_assert!(region > 0, "frame too small to damage");
+        let bit = ((draw >> 16) as usize) % (region * 8);
+        let byte = start + 6 + bit / 8;
+        self.image[byte] ^= 1 << (bit % 8);
+        self.corrupted_from = Some(self.corrupted_from.map_or(byte, |c| c.min(byte)));
+    }
+
+    /// Scanning recovery over the byte image: accepts the longest valid
+    /// frame prefix, rebuilds the typed view from it, and reports what was
+    /// lost and why. After a rescan the log is clean (all accepted records
+    /// durable, damage markers cleared).
+    pub(crate) fn rescan(&mut self) -> ScanReport {
+        let pre_durable = self.durable_len;
+        let bytes_scanned = self.image.len();
+        let scan = frame::scan(&self.image);
+        let recovered = scan.records.len();
+        let report = ScanReport {
+            recovered,
+            lost_durable: pre_durable.saturating_sub(recovered),
+            recovered_volatile: recovered.saturating_sub(pre_durable),
+            torn_tail: scan.end == ScanEnd::Torn,
+            corrupt: scan.end == ScanEnd::Corrupt,
+            bytes_scanned,
+            poison_escaped: self.corrupted_from.is_some_and(|c| scan.accepted_bytes > c),
+        };
+        self.records = scan.records;
+        self.durable_len = self.records.len();
+        self.rebuild_image();
+        self.corrupted_from = None;
+        report
+    }
+
+    fn rebuild_image(&mut self) {
+        self.image.clear();
+        self.offsets.clear();
+        let records = std::mem::take(&mut self.records);
+        for r in &records {
+            self.offsets.push(self.image.len());
+            frame::encode_into(&mut self.image, r);
+        }
+        self.records = records;
     }
 
     /// All records, durable and volatile.
@@ -134,6 +261,11 @@ impl Wal {
         self.records.is_empty()
     }
 
+    /// Size of the framed byte image, damage included.
+    pub fn image_bytes(&self) -> usize {
+        self.image.len()
+    }
+
     /// How many times the durability horizon advanced — the "fsync count",
     /// the dominant cost of a commit on 1979 hardware and still the number
     /// a storage benchmark cares about.
@@ -152,6 +284,8 @@ impl Wal {
         self.records = records;
         self.durable_len = durable;
         self.flushes += 1;
+        self.rebuild_image();
+        self.corrupted_from = None;
     }
 
     /// A copy of the log truncated to its first `n` records, all durable —
@@ -160,11 +294,13 @@ impl Wal {
     /// property tests.
     pub fn durable_prefix(&self, n: usize) -> Wal {
         let n = n.min(self.records.len());
-        Wal {
+        let mut w = Wal {
             records: self.records[..n].to_vec(),
             durable_len: n,
-            flushes: 0,
-        }
+            ..Wal::default()
+        };
+        w.rebuild_image();
+        w
     }
 }
 
@@ -276,5 +412,104 @@ mod tests {
         let w = Wal::new();
         assert!(w.is_empty());
         assert_eq!(w.durable().len(), 0);
+        assert_eq!(w.image_bytes(), 0);
+    }
+
+    #[test]
+    fn clean_rescan_is_a_no_op() {
+        let mut w = Wal::new();
+        w.append(Record::Begin { tx: TxId(1) });
+        w.append(put(1, 7, 1));
+        w.flush();
+        let before = w.records().to_vec();
+        w.crash();
+        let report = w.rescan();
+        assert_eq!(w.records(), &before[..]);
+        assert_eq!(
+            report,
+            ScanReport {
+                recovered: 2,
+                bytes_scanned: w.image_bytes(),
+                ..ScanReport::default()
+            }
+        );
+    }
+
+    #[test]
+    fn torn_crash_persists_a_partial_tail_and_rescan_truncates_it() {
+        let mut w = Wal::new();
+        w.append(Record::Begin { tx: TxId(1) });
+        w.flush();
+        let durable_bytes = w.image_bytes();
+        w.append(put(1, 7, 1));
+        w.append(Record::Commit { tx: TxId(1) });
+        // A draw landing mid-frame: keep a handful of volatile bytes.
+        w.crash_with_faults(Some(durable_bytes as u64 + 5), &[]);
+        assert!(w.image_bytes() > durable_bytes, "some torn bytes persisted");
+        let report = w.rescan();
+        assert!(report.torn_tail);
+        assert!(!report.corrupt);
+        assert_eq!(report.lost_durable, 0, "torn tails never lose acked data");
+        assert!(!w.is_empty(), "durable prefix survives");
+        assert_eq!(w.durable().first(), Some(&Record::Begin { tx: TxId(1) }));
+    }
+
+    #[test]
+    fn a_tear_can_persist_whole_volatile_records() {
+        let mut w = Wal::new();
+        w.append(Record::Begin { tx: TxId(1) });
+        w.flush();
+        w.append(put(1, 7, 1));
+        let full = w.image_bytes();
+        w.append(Record::Commit { tx: TxId(1) });
+        // Keep exactly through the end of the Put frame plus 3 bytes of
+        // the Commit frame: the Put becomes durable, the Commit is torn.
+        let durable_bytes = {
+            let p = w.durable_prefix(1);
+            p.image_bytes()
+        };
+        let volatile = w.image_bytes() - durable_bytes;
+        let keep = full - durable_bytes + 3;
+        assert!(keep < volatile);
+        w.crash_with_faults(Some(keep as u64), &[]);
+        let report = w.rescan();
+        assert!(report.torn_tail);
+        assert_eq!(report.recovered_volatile, 1, "the Put frame persisted");
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn a_bit_flip_corrupts_a_durable_record_and_rescan_detects_it() {
+        let mut w = Wal::new();
+        for i in 0..4 {
+            w.append(Record::Begin { tx: TxId(i) });
+        }
+        w.flush();
+        // Draw 1 targets frame 1 of 4; the scan must stop there.
+        w.crash_with_faults(None, &[1]);
+        let report = w.rescan();
+        assert!(report.corrupt);
+        assert!(!report.poison_escaped, "checksum must catch the flip");
+        assert_eq!(report.recovered, 1);
+        assert_eq!(report.lost_durable, 3, "everything after the damage goes");
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn rescan_leaves_a_clean_log_behind() {
+        let mut w = Wal::new();
+        for i in 0..4 {
+            w.append(Record::Begin { tx: TxId(i) });
+        }
+        w.flush();
+        w.crash_with_faults(None, &[2]);
+        let first = w.rescan();
+        assert!(first.corrupt);
+        // A second crash/rescan cycle sees no damage at all.
+        w.crash();
+        let second = w.rescan();
+        assert!(!second.corrupt && !second.torn_tail);
+        assert_eq!(second.recovered, first.recovered);
+        assert_eq!(second.lost_durable, 0);
     }
 }
