@@ -13,12 +13,14 @@
 
 pub mod availability;
 pub mod cost;
+pub mod critpath;
 pub mod latency;
 pub mod model;
 pub mod optimal;
 
 pub use availability::{quorum_availability, simulate_quorum_availability};
 pub use cost::{read_messages_bounds, read_messages_sequential, write_messages};
+pub use critpath::{extract, OpPath, PathSegment, Profile};
 pub use latency::{read_latency_optimistic, read_latency_verified, write_latency};
 pub use model::SystemModel;
 pub use optimal::{search_optimal, OptimalChoice, ReadMetric, Workload};

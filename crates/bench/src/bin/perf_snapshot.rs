@@ -42,6 +42,12 @@ const MEDIAN_RUNS: usize = 5;
 /// bound is generous because wall-clock rates on shared runners are noisy.
 const MAX_TRACE_OVERHEAD: f64 = 3.0;
 
+/// Auditing + telemetry must not cost more than this factor over the
+/// traced arm: decisions append to an in-memory Vec and telemetry
+/// increments window counters, both strictly cheaper than span
+/// recording, so 1.5× already contains plenty of runner noise.
+const MAX_AUDIT_OVERHEAD: f64 = 1.5;
+
 /// Chained-event simulator throughput: `CHAINS` self-rescheduling events
 /// keep a realistically sized heap busy for `EVENTS` pops.
 fn sim_events_per_sec() -> f64 {
@@ -95,12 +101,21 @@ fn trial_throughput(workers: usize, trials: usize) -> (f64, Vec<(u64, u64)>) {
 /// Client operations/sec, plan-cache counters, and the virtual-time
 /// latency histograms over the E1 measurement workload (write / miss-read
 /// / hit-read rounds on one live cluster). With `traced` the same workload
-/// runs with span recording on; the final element is the span count (zero
-/// untraced).
-fn client_ops(rounds: usize, traced: bool) -> (f64, u64, u64, MetricsRegistry, usize) {
+/// runs with span recording on; the final element is the recorded trace
+/// (empty untraced). With `audited` the quorum-decision audit log and
+/// windowed telemetry ride along too — the fully instrumented arm.
+fn client_ops(
+    rounds: usize,
+    traced: bool,
+    audited: bool,
+) -> (f64, u64, u64, MetricsRegistry, Vec<wv_sim::SpanRecord>) {
     let mut h = topo::example_1(7);
     if traced {
         h.enable_tracing();
+    }
+    if audited {
+        h.enable_audit();
+        h.enable_telemetry(wv_sim::TelemetryOptions::default());
     }
     let suite = h.suite_id();
     let mut reg = MetricsRegistry::new();
@@ -126,14 +141,31 @@ fn client_ops(rounds: usize, traced: bool) -> (f64, u64, u64, MetricsRegistry, u
     let stats = h
         .client_stats(h.default_client())
         .expect("default client exists");
-    let spans = if traced { h.take_trace().len() } else { 0 };
+    let trace = if traced { h.take_trace() } else { Vec::new() };
     (
         rate,
         stats.plan_cache_hits,
         stats.plan_cache_misses,
         reg,
-        spans,
+        trace,
     )
+}
+
+/// Critical-path extraction throughput over a real trace: spans consumed
+/// per wall-clock second by `wv_analysis::critpath::extract`.
+fn critpath_spans_per_sec(trace: &[wv_sim::SpanRecord]) -> f64 {
+    const ITERS: usize = 20;
+    assert!(!trace.is_empty(), "need a trace to profile");
+    let t = Instant::now();
+    let mut ops = 0usize;
+    for _ in 0..ITERS {
+        ops += std::hint::black_box(wv_analysis::critpath::extract(trace))
+            .ops
+            .len();
+    }
+    let secs = t.elapsed().as_secs_f64();
+    assert!(ops > 0, "extraction found no ops");
+    (trace.len() * ITERS) as f64 / secs
 }
 
 /// One histogram's fixed percentiles as a JSON object (`null` when the
@@ -278,7 +310,14 @@ fn check_against_baseline() -> ! {
     let mut failed = false;
     let fresh = [
         ("sim_events_per_sec", median_of_runs(sim_events_per_sec)),
-        ("ops_per_sec", median_of_runs(|| client_ops(200, false).0)),
+        (
+            "ops_per_sec",
+            median_of_runs(|| client_ops(200, false, false).0),
+        ),
+        ("critpath_spans_per_sec", {
+            let trace = client_ops(200, true, false).4;
+            median_of_runs(|| critpath_spans_per_sec(&trace))
+        }),
         // Virtual-time, so this one is deterministic: a drop past the
         // floor is a real regression in the cache tier, never noise.
         (
@@ -323,8 +362,8 @@ fn main() {
         seq_out, par_out,
         "parallel trial results must be bit-identical to sequential"
     );
-    let ops_per_sec = median_of_runs(|| client_ops(ROUNDS, false).0);
-    let (_, hits, misses, reg, _) = client_ops(ROUNDS, false);
+    let ops_per_sec = median_of_runs(|| client_ops(ROUNDS, false, false).0);
+    let (_, hits, misses, reg, _) = client_ops(ROUNDS, false, false);
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
     // Virtual-time pipelining curve: deterministic, so the ≥2× window
     // speedup is a hard promise, not a flaky wall-clock observation.
@@ -344,12 +383,25 @@ fn main() {
         cache_speedup >= 5.0,
         "lease-mode cache tier must beat the uncached arm 5x, got {cache_speedup:.2}x"
     );
-    let (ops_per_sec_traced, _, _, _, spans_recorded) = client_ops(ROUNDS, true);
+    let ops_per_sec_traced = median_of_runs(|| client_ops(ROUNDS, true, false).0);
+    let trace = client_ops(ROUNDS, true, false).4;
+    let spans_recorded = trace.len();
     let trace_overhead = ops_per_sec / ops_per_sec_traced;
     assert!(
         trace_overhead <= MAX_TRACE_OVERHEAD,
         "tracing overhead ratio {trace_overhead:.2} exceeds the {MAX_TRACE_OVERHEAD}x bound"
     );
+    // Analytics layer: full instrumentation (trace + audit + telemetry)
+    // vs tracing alone, and critical-path extraction throughput over the
+    // trace the workload just produced.
+    let ops_per_sec_instrumented = median_of_runs(|| client_ops(ROUNDS, true, true).0);
+    let audit_overhead = ops_per_sec_traced / ops_per_sec_instrumented;
+    assert!(
+        audit_overhead <= MAX_AUDIT_OVERHEAD,
+        "audit overhead ratio {audit_overhead:.2} exceeds the {MAX_AUDIT_OVERHEAD}x bound"
+    );
+    let critpath_rate = median_of_runs(|| critpath_spans_per_sec(&trace));
+    let critpath_ops = wv_analysis::critpath::extract(&trace).ops.len();
     let (fault_ok, fault_stats) = faulted_client(FAULT_ROUNDS);
     let recovery_scan = median_of_runs(recovery_scan_records_per_sec);
     // Self-healing layer counters over a slice of the E10 churn workload
@@ -359,7 +411,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"wv-perf-snapshot/5\",\n  \
+         \"schema\": \"wv-perf-snapshot/6\",\n  \
          \"median_runs\": {MEDIAN_RUNS},\n  \
          \"sim_events_per_sec\": {events_per_sec:.0},\n  \
          \"trials\": {{\n    \
@@ -403,6 +455,14 @@ fn main() {
          \"overhead_ratio\": {trace_overhead:.3},\n    \
          \"max_overhead_ratio\": {MAX_TRACE_OVERHEAD},\n    \
          \"spans_recorded\": {spans_recorded}\n  \
+         }},\n  \
+         \"analytics\": {{\n    \
+         \"workload\": \"critical-path extraction + audit/telemetry over the traced client workload\",\n    \
+         \"critpath_spans_per_sec\": {critpath_rate:.0},\n    \
+         \"critpath_ops_profiled\": {critpath_ops},\n    \
+         \"ops_per_sec_instrumented\": {ops_per_sec_instrumented:.2},\n    \
+         \"audit_overhead_ratio\": {audit_overhead:.3},\n    \
+         \"max_audit_overhead_ratio\": {MAX_AUDIT_OVERHEAD}\n  \
          }},\n  \
          \"disk_faults\": {{\n    \
          \"workload\": \"crash + checksummed rescan of a 20000-transaction WAL (3 records/tx)\",\n    \

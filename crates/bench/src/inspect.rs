@@ -1,0 +1,391 @@
+//! Trace-analytics reports behind the `wv-inspect` binary.
+//!
+//! Everything here is a pure function from ingested records to rendered
+//! text, so reports over the same trace are byte-identical regardless of
+//! worker count or host — the same contract the tracer itself keeps.
+//!
+//! Ingestion accepts two shapes and auto-detects which it got:
+//!
+//! * a **replay artifact** (`results/e9_repro.json` style): one JSON
+//!   object whose `"trace"` / `"audit"` keys hold arrays of records;
+//! * **raw JSONL**: one record per line, as exported by
+//!   `Harness::take_trace_jsonl` / `take_audit_jsonl`.
+
+use std::collections::BTreeMap;
+
+use wv_core::harness::Harness;
+use wv_sim::audit::AuditRecord;
+use wv_sim::json::Value;
+use wv_sim::trace::{SpanOutcome, SpanRecord, OPEN_END};
+use wv_sim::{SimDuration, TelemetryOptions};
+
+use crate::{runner, topo};
+
+/// Records ingested from one input document.
+#[derive(Clone, Debug, Default)]
+pub struct Ingested {
+    /// Span records (empty when the input held none).
+    pub spans: Vec<SpanRecord>,
+    /// Audit records (empty when the input held none).
+    pub audit: Vec<AuditRecord>,
+}
+
+/// Parses an input document into spans and audit records.
+///
+/// A whole-document JSON object is treated as a replay artifact and its
+/// `"trace"` / `"audit"` arrays extracted; anything else is parsed line
+/// by line, each line classified by its keys (`"kind"` ⇒ span,
+/// `"policy"` ⇒ audit decision).
+pub fn ingest(input: &str) -> Result<Ingested, String> {
+    if let Some(doc) = wv_sim::json::parse(input) {
+        if let Value::Object(_) = doc {
+            let mut out = Ingested::default();
+            if let Some(Value::Array(items)) = doc.get("trace") {
+                let jsonl: Vec<String> = items.iter().map(Value::to_json).collect();
+                out.spans = wv_sim::trace::from_jsonl(&jsonl.join("\n"))
+                    .map_err(|e| format!("artifact trace: {e}"))?;
+            }
+            if let Some(Value::Array(items)) = doc.get("audit") {
+                for (i, item) in items.iter().enumerate() {
+                    out.audit.push(
+                        AuditRecord::from_value(item)
+                            .ok_or_else(|| format!("artifact audit record {i}: malformed"))?,
+                    );
+                }
+            }
+            if out.spans.is_empty() && out.audit.is_empty() {
+                return Err("artifact has neither \"trace\" nor \"audit\"".into());
+            }
+            return Ok(out);
+        }
+    }
+    // JSONL: classify by the first non-empty line.
+    let first = input.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    let probe = wv_sim::json::parse(first).ok_or("input is neither an artifact nor JSONL")?;
+    let mut out = Ingested::default();
+    if probe.get("policy").is_some() {
+        out.audit = wv_sim::audit::from_jsonl(input)?;
+    } else {
+        out.spans = wv_sim::trace::from_jsonl(input)?;
+    }
+    Ok(out)
+}
+
+/// Renders the critical-path report: per-op gates, the site × phase
+/// blame table, and the folded-stack profile.
+pub fn critpath_report(spans: &[SpanRecord]) -> String {
+    let profile = wv_analysis::critpath::extract(spans);
+    let mut out = String::from("== per-op critical paths ==\n");
+    out.push_str(&profile.render_ops());
+    out.push_str("\n== critical-path blame (site x phase) ==\n");
+    out.push_str(&profile.render_blame());
+    out.push_str("\n== folded stacks ==\n");
+    out.push_str(&profile.folded());
+    out
+}
+
+/// Fixed-point milli value rendered with three decimals (no floats).
+fn milli(v: u64) -> String {
+    format!("{}.{:03}", v / 1000, v % 1000)
+}
+
+/// Renders quorum-decision explains, optionally for one operation only.
+///
+/// Each audited decision prints its inputs — per-site access cost,
+/// health EWMA, suspicion, live load — and the sites the planner chose,
+/// answering "why did this op go to those representatives?".
+pub fn explain_report(records: &[AuditRecord], op: Option<u64>) -> String {
+    let mut out = String::from("== quorum decision explain ==\n");
+    let mut shown = 0usize;
+    for r in records {
+        if op.is_some_and(|want| want != r.op) {
+            continue;
+        }
+        shown += 1;
+        let chosen: Vec<String> = r.chosen.iter().map(|s| format!("s{s}")).collect();
+        out.push_str(&format!(
+            "op {:#x} at {}us: {} by client s{} suite={} policy={} gen={} cursor={}{}\n",
+            r.op,
+            r.at_us,
+            r.kind.name(),
+            r.site,
+            r.suite,
+            r.policy,
+            r.generation,
+            r.cursor,
+            if r.rerouted { " [rerouted]" } else { "" },
+        ));
+        out.push_str(&format!("  chose: {}\n", chosen.join(", ")));
+        for i in &r.inputs {
+            out.push_str(&format!(
+                "  s{} cost={}us rtt={}us susp={} load={}{}{}\n",
+                i.site,
+                i.cost_us,
+                i.rtt_us,
+                milli(i.suspicion_milli),
+                i.load,
+                if i.suspected { " [suspected]" } else { "" },
+                if r.chosen.contains(&i.site) {
+                    "  <- chosen"
+                } else {
+                    ""
+                },
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{} decision(s){}\n",
+        shown,
+        match op {
+            Some(o) => format!(" for op {o:#x}"),
+            None => String::new(),
+        }
+    ));
+    out
+}
+
+/// Renders the SLO burn summary from op-root spans.
+///
+/// Ops bucket into windows of `window_ms` by start time. Per window the
+/// report shows availability (ops that ended `ok`) and latency
+/// attainment (ok ops that finished within `target_ms`); a window
+/// breaching either burns error budget and is marked `BURN`.
+pub fn slo_report(spans: &[SpanRecord], target_ms: u64, window_ms: u64) -> String {
+    let window_us = window_ms.max(1) * 1000;
+    let target_us = target_ms * 1000;
+    #[derive(Default)]
+    struct Cell {
+        ops: u64,
+        ok: u64,
+        fast: u64,
+    }
+    let mut windows: BTreeMap<u64, Cell> = BTreeMap::new();
+    for s in spans {
+        if !s.kind.is_op_root() || s.end_us == OPEN_END {
+            continue;
+        }
+        let cell = windows.entry(s.start_us / window_us).or_default();
+        cell.ops += 1;
+        if s.outcome == SpanOutcome::Ok {
+            cell.ok += 1;
+            if s.end_us - s.start_us <= target_us {
+                cell.fast += 1;
+            }
+        }
+    }
+    let pct = |part: u64, whole: u64| {
+        let pm = part.saturating_mul(1000) / whole.max(1);
+        format!("{}.{}%", pm / 10, pm % 10)
+    };
+    let mut out = format!(
+        "== SLO burn summary (target {target_ms}ms, window {window_ms}ms) ==\n\
+         window            ops    ok  avail   fast  latency\n"
+    );
+    let (mut ops, mut ok, mut fast, mut burned) = (0u64, 0u64, 0u64, 0u64);
+    for (idx, c) in &windows {
+        let burn = c.ok < c.ops || c.fast < c.ops;
+        if burn {
+            burned += 1;
+        }
+        out.push_str(&format!(
+            "[{:>8}..{:>8}ms) {:>4} {:>5} {:>6} {:>6} {:>8}{}\n",
+            idx * window_ms,
+            (idx + 1) * window_ms,
+            c.ops,
+            c.ok,
+            pct(c.ok, c.ops),
+            c.fast,
+            pct(c.fast, c.ops),
+            if burn { "  BURN" } else { "" },
+        ));
+        ops += c.ops;
+        ok += c.ok;
+        fast += c.fast;
+    }
+    out.push_str(&format!(
+        "overall: {ops} ops, availability {}, latency attainment {}, {burned}/{} window(s) burned budget\n",
+        pct(ok, ops),
+        pct(fast, ops),
+        windows.len(),
+    ));
+    out
+}
+
+/// Exports spans as a Chrome-trace / Perfetto JSON document.
+///
+/// Complete events (`"ph":"X"`) with `pid` = recording site and `tid` =
+/// operation id, so the per-site lanes line up with the audit log. Open
+/// spans export with zero duration.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut events = Vec::with_capacity(spans.len());
+    for s in spans {
+        let mut args = BTreeMap::new();
+        args.insert("detail".to_string(), Value::Int(s.detail));
+        if s.peer != wv_sim::trace::NO_PEER {
+            args.insert("peer".to_string(), Value::Int(u64::from(s.peer)));
+        }
+        let mut ev = BTreeMap::new();
+        ev.insert("args".to_string(), Value::Object(args));
+        ev.insert("cat".to_string(), Value::Str(s.outcome.name().to_string()));
+        let dur = if s.end_us == OPEN_END {
+            0
+        } else {
+            s.end_us - s.start_us
+        };
+        ev.insert("dur".to_string(), Value::Int(dur));
+        ev.insert("name".to_string(), Value::Str(s.kind.name().to_string()));
+        ev.insert("ph".to_string(), Value::Str("X".to_string()));
+        ev.insert("pid".to_string(), Value::Int(u64::from(s.site)));
+        ev.insert("tid".to_string(), Value::Int(s.op));
+        ev.insert("ts".to_string(), Value::Int(s.start_us));
+        events.push(Value::Object(ev));
+    }
+    let mut doc = BTreeMap::new();
+    doc.insert("displayTimeUnit".to_string(), Value::Str("ms".to_string()));
+    doc.insert("traceEvents".to_string(), Value::Array(events));
+    Value::Object(doc).to_json()
+}
+
+/// Output of a fresh instrumented capture run.
+#[derive(Clone, Debug)]
+pub struct Capture {
+    /// Concatenated per-trial trace JSONL, trials in index order.
+    pub trace_jsonl: String,
+    /// Concatenated per-trial audit JSONL, trials in index order.
+    pub audit_jsonl: String,
+    /// Concatenated per-trial telemetry renders, trials in index order.
+    pub telemetry: String,
+}
+
+/// Runs an instrumented Example-1 workload and exports all three
+/// analytics products.
+///
+/// Trials fan out on the worker pool and merge in index order, so the
+/// exported bytes are identical for any `WV_TRIAL_THREADS` — the
+/// property `tests/analytics_determinism.rs` pins.
+pub fn capture_e1(master_seed: u64, trials: usize, rounds: u32) -> Capture {
+    let per = runner::run_trials(master_seed, trials, |seed| {
+        let mut h = topo::example_1(seed);
+        h.enable_tracing();
+        h.enable_audit();
+        h.enable_telemetry(TelemetryOptions::default());
+        drive_rounds(&mut h, rounds);
+        let telemetry = h
+            .telemetry_snapshot()
+            .map(|s| s.render())
+            .unwrap_or_default();
+        (h.take_trace_jsonl(), h.take_audit_jsonl(), telemetry)
+    });
+    let mut cap = Capture {
+        trace_jsonl: String::new(),
+        audit_jsonl: String::new(),
+        telemetry: String::new(),
+    };
+    for (i, (trace, audit, telemetry)) in per.into_iter().enumerate() {
+        cap.trace_jsonl.push_str(&trace);
+        cap.audit_jsonl.push_str(&audit);
+        cap.telemetry.push_str(&format!("trial {i}\n{telemetry}"));
+    }
+    cap
+}
+
+fn drive_rounds(h: &mut Harness, rounds: u32) {
+    let suite = h.suite_id();
+    for i in 0..rounds {
+        h.write(suite, format!("inspect-{i}").into_bytes())
+            .expect("write succeeds on a healthy cluster");
+        h.advance(SimDuration::from_secs(2));
+        h.read(suite).expect("read succeeds");
+        h.advance(SimDuration::from_secs(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture() -> Capture {
+        capture_e1(0x1257EC7, 2, 3)
+    }
+
+    #[test]
+    fn ingest_classifies_jsonl_and_artifacts() {
+        let cap = capture();
+        let spans = ingest(&cap.trace_jsonl).expect("trace jsonl");
+        assert!(!spans.spans.is_empty() && spans.audit.is_empty());
+        let audit = ingest(&cap.audit_jsonl).expect("audit jsonl");
+        assert!(audit.spans.is_empty() && !audit.audit.is_empty());
+        // A synthetic artifact with both keys round-trips both.
+        let trace_items: Vec<String> = cap
+            .trace_jsonl
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(String::from)
+            .collect();
+        let audit_items: Vec<String> = cap
+            .audit_jsonl
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(String::from)
+            .collect();
+        let artifact = format!(
+            "{{\"schema\":\"test/1\",\"trace\":[{}],\"audit\":[{}]}}",
+            trace_items.join(","),
+            audit_items.join(","),
+        );
+        let both = ingest(&artifact).expect("artifact");
+        assert_eq!(both.spans, spans.spans);
+        assert_eq!(both.audit, audit.audit);
+        assert!(ingest("not json").is_err());
+    }
+
+    #[test]
+    fn reports_render_all_sections() {
+        let cap = capture();
+        let spans = ingest(&cap.trace_jsonl).unwrap().spans;
+        let audit = ingest(&cap.audit_jsonl).unwrap().audit;
+
+        let cp = critpath_report(&spans);
+        assert!(cp.contains("== per-op critical paths =="), "{cp}");
+        assert!(cp.contains("== critical-path blame (site x phase) =="));
+        assert!(cp.contains("== folded stacks =="));
+        assert!(cp.contains("write;"), "folded stacks name the op root");
+
+        let ex = explain_report(&audit, None);
+        assert!(ex.contains("== quorum decision explain =="));
+        assert!(ex.contains("<- chosen"), "{ex}");
+        // Filtering to one op shows exactly that op's decisions.
+        let op = audit[0].op;
+        let one = explain_report(&audit, Some(op));
+        assert!(one.contains(&format!("op {op:#x}")));
+        let none = explain_report(&audit, Some(u64::MAX));
+        assert!(none.contains("0 decision(s)"));
+
+        let slo = slo_report(&spans, 500, 4000);
+        assert!(slo.contains("== SLO burn summary"), "{slo}");
+        assert!(slo.contains("overall:"), "{slo}");
+
+        assert!(!cap.telemetry.is_empty());
+        assert!(cap.telemetry.contains("window_us="), "{}", cap.telemetry);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_span() {
+        let cap = capture();
+        let spans = ingest(&cap.trace_jsonl).unwrap().spans;
+        let doc = chrome_trace(&spans);
+        let parsed = wv_sim::json::parse(&doc).expect("chrome export parses");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), spans.len());
+        assert_eq!(
+            parsed.get("displayTimeUnit").and_then(Value::as_str),
+            Some("ms")
+        );
+        let first = &events[0];
+        assert_eq!(first.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(first.get("ts").and_then(Value::as_int).is_some());
+    }
+}

@@ -32,6 +32,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod inspect;
 pub mod mc;
 pub mod runner;
 pub mod table;

@@ -176,6 +176,19 @@ pub fn waterfall(spans: &[SpanRecord]) -> String {
         }
         out.push('\n');
     }
+    // Per-kind span census, so a glance at the tail answers "did this
+    // run hedge / repair / group-commit at all?" without scrolling.
+    if !spans.is_empty() {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for s in spans {
+            *counts.entry(s.kind.name()).or_insert(0) += 1;
+        }
+        out.push_str(&format!("spans: {} total |", spans.len()));
+        for (name, n) in &counts {
+            out.push_str(&format!(" {name}={n}"));
+        }
+        out.push('\n');
+    }
     out
 }
 

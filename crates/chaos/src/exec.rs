@@ -208,6 +208,18 @@ pub fn run_schedule_traced(
     spec: &ClusterSpec,
     schedule: &Schedule,
 ) -> (TrialRun, Vec<wv_sim::SpanRecord>) {
+    let (run, trace, _) = run_schedule_inner(spec, schedule, true);
+    (run, trace)
+}
+
+/// [`run_schedule_traced`] plus the quorum-decision audit log: the full
+/// evidence bundle for a replay artifact. Instrumentation never touches
+/// the protocol, so the [`TrialRun`] is identical to the untraced
+/// replay's.
+pub fn run_schedule_instrumented(
+    spec: &ClusterSpec,
+    schedule: &Schedule,
+) -> (TrialRun, Vec<wv_sim::SpanRecord>, Vec<wv_sim::AuditRecord>) {
     run_schedule_inner(spec, schedule, true)
 }
 
@@ -215,10 +227,11 @@ fn run_schedule_inner(
     spec: &ClusterSpec,
     schedule: &Schedule,
     traced: bool,
-) -> (TrialRun, Vec<wv_sim::SpanRecord>) {
+) -> (TrialRun, Vec<wv_sim::SpanRecord>, Vec<wv_sim::AuditRecord>) {
     let mut h = build_harness(spec, schedule.seed);
     if traced {
         h.enable_tracing();
+        h.enable_audit();
     }
     let mut coverage = TrialCoverage::default();
     let mut sent_payloads: HashSet<Vec<u8>> = HashSet::new();
@@ -423,6 +436,7 @@ fn run_schedule_inner(
     coverage.duplicated_msgs = net.duplicated;
 
     let trace = if traced { h.take_trace() } else { Vec::new() };
+    let audit = if traced { h.take_audit() } else { Vec::new() };
     (
         TrialRun {
             seed: schedule.seed,
@@ -438,6 +452,7 @@ fn run_schedule_inner(
             cache_lease: spec.cache_tier.then_some(SimDuration::ZERO),
         },
         trace,
+        audit,
     )
 }
 

@@ -25,14 +25,18 @@
 pub mod campaign;
 pub mod e14;
 pub mod exec;
-pub mod json;
 pub mod oracle;
 pub mod report;
 pub mod schedule;
 pub mod shrink;
 
+// The artifact JSON implementation moved into `wv_sim` so the analysis
+// and bench layers can parse replay artifacts without depending on the
+// chaos engine; re-export it so `wv_chaos::json` paths keep working.
+pub use wv_sim::json;
+
 pub use campaign::{run_campaign, CampaignConfig, CampaignReport, Coverage};
-pub use exec::{run_schedule, TrialCoverage, TrialRun};
+pub use exec::{run_schedule, run_schedule_instrumented, TrialCoverage, TrialRun};
 pub use oracle::{check_convergence, check_log, check_trial, Violation};
 pub use schedule::{generate, ClusterSpec, EventKind, FaultEvent, Schedule, ScheduleParams};
 pub use shrink::{shrink, ShrinkResult};

@@ -40,7 +40,7 @@
 use wv_bench::table::Table;
 
 use crate::campaign::{run_campaign, trial_schedule, CampaignConfig};
-use crate::exec::run_schedule_traced;
+use crate::exec::run_schedule_instrumented;
 use crate::oracle::check_trial;
 use crate::schedule::{ClusterSpec, EventKind, Schedule, ScheduleParams};
 use crate::shrink::{shrink, DEFAULT_BUDGET};
@@ -498,28 +498,58 @@ pub fn run(trials: usize) -> E9Output {
             // violation's evidence and ships inside the artifact.
             let text = shrunk.schedule.to_json(&broken.spec);
             let (spec2, schedule2) = Schedule::from_json(&text).expect("artifact round-trips");
-            let (rerun, trace) = run_schedule_traced(&spec2, &schedule2);
+            let (rerun, trace, audit) = run_schedule_instrumented(&spec2, &schedule2);
             let replayed = check_trial(&rerun, false);
             let span_objs: Vec<String> = wv_sim::trace::to_jsonl(&trace)
                 .lines()
                 .map(str::to_string)
                 .collect();
+            let audit_objs: Vec<String> = wv_sim::audit::to_jsonl(&audit)
+                .lines()
+                .map(str::to_string)
+                .collect();
+            // The critical-path profile of the reproducer, folded-stack
+            // form: which site and phase each microsecond of the
+            // violating ops waited on.
+            let profile = wv_analysis::critpath::extract(&trace);
+            let critpath_objs: Vec<String> = profile
+                .folded()
+                .lines()
+                .map(|l| format!("{:?}", l))
+                .collect();
             let mut with_trace = text.trim_end().to_string();
             with_trace.pop(); // drop the closing brace
-            with_trace.push_str(&format!(",\"trace\":[{}]}}\n", span_objs.join(",")));
-            // The extra key is ignored by the parser: the artifact must
+            with_trace.push_str(&format!(
+                ",\"trace\":[{}],\"audit\":[{}],\"critpath\":[{}]}}\n",
+                span_objs.join(","),
+                audit_objs.join(","),
+                critpath_objs.join(","),
+            ));
+            // The extra keys are ignored by the parser: the artifact must
             // still round-trip.
             assert!(
                 Schedule::from_json(&with_trace).is_some(),
                 "trace-bearing artifact must stay parseable"
             );
             out.push_str(&format!(
-                "Replay artifact: `results/e9_repro.json` ({} bytes); parsing and replaying it reproduces the same {} violation(s): **{}**. The artifact embeds the replay's {}-span operation trace (render with `trace2txt`).\n",
+                "Replay artifact: `results/e9_repro.json` ({} bytes); parsing and replaying it reproduces the same {} violation(s): **{}**. The artifact embeds the replay's {}-span operation trace (render with `trace2txt`), its {}-decision quorum audit log (render with `wv-inspect explain`), and its {}-frame critical-path profile.\n",
                 with_trace.len(),
                 shrunk.violations.len(),
                 if replayed == shrunk.violations { "yes" } else { "NO" },
                 span_objs.len(),
+                audit_objs.len(),
+                critpath_objs.len(),
             ));
+
+            // Critical-path + explain sections: the analytics view of the
+            // reproducer, straight from the same instrumented replay.
+            out.push_str("\n### Critical path of the reproducer\n\n```text\n");
+            out.push_str(&profile.render_ops());
+            out.push_str(&profile.render_blame());
+            out.push_str("```\n");
+            out.push_str("\n### Quorum decisions of the reproducer\n\n```text\n");
+            out.push_str(&wv_bench::inspect::explain_report(&audit, None));
+            out.push_str("```\n");
             artifact = Some(with_trace);
         }
     }

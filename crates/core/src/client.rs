@@ -24,6 +24,8 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use wv_net::{Node, NodeCtx, SiteId};
+use wv_sim::audit::{AuditLog, AuditRecord, DecisionKind, SiteInput};
+use wv_sim::telemetry::{TelemetryHub, TelemetryOptions};
 use wv_sim::trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};
 use wv_sim::{SimDuration, SimTime};
 use wv_storage::{Container, ObjectId, Version};
@@ -532,6 +534,21 @@ pub struct ClientNode {
     /// ever reads the virtual clock — never the RNG, never the effects —
     /// so a traced run stays message-identical to an untraced one.
     tracer: Option<Tracer>,
+    /// Quorum-decision audit log; `None` (the default) disables auditing
+    /// under the same contract as `tracer`: hooks read only planner state
+    /// that is already computed, so an audited run stays
+    /// message-identical to an unaudited one.
+    audit: Option<AuditLog>,
+    /// Windowed per-site telemetry; `None` (the default) disables it,
+    /// same contract as `tracer` and `audit`.
+    telemetry: Option<TelemetryHub>,
+    /// Scratch for auditing: the rotation cursor the last
+    /// [`Self::decision_order`] call decided under (0 outside the
+    /// load-balanced policy).
+    last_cursor: u64,
+    /// Scratch for auditing: whether the last [`Self::reorder_by_health`]
+    /// call actually changed the order.
+    last_reroute: bool,
 }
 
 fn arm_timer(
@@ -652,6 +669,10 @@ impl ClientNode {
             completed: Vec::new(),
             stats: ClientStats::default(),
             tracer: None,
+            audit: None,
+            telemetry: None,
+            last_cursor: 0,
+            last_reroute: false,
         }
     }
 
@@ -671,6 +692,42 @@ impl ClientNode {
     /// Drains the recorded spans (empty when tracing is off).
     pub fn take_trace(&mut self) -> Vec<SpanRecord> {
         self.tracer.as_mut().map(Tracer::take).unwrap_or_default()
+    }
+
+    /// Turns on quorum-decision auditing. Idempotent; records accumulate
+    /// until drained with [`Self::take_audit`].
+    pub fn enable_audit(&mut self) {
+        if self.audit.is_none() {
+            self.audit = Some(AuditLog::new(self.site.0));
+        }
+    }
+
+    /// Whether decision auditing is on.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit.is_some()
+    }
+
+    /// Drains the recorded decisions (empty when auditing is off).
+    pub fn take_audit(&mut self) -> Vec<AuditRecord> {
+        self.audit.as_mut().map(AuditLog::take).unwrap_or_default()
+    }
+
+    /// Turns on windowed telemetry. Idempotent; windows accumulate until
+    /// drained with [`Self::take_telemetry`].
+    pub fn enable_telemetry(&mut self, options: TelemetryOptions) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(TelemetryHub::new(options));
+        }
+    }
+
+    /// Whether telemetry collection is on.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Takes the telemetry hub for merging (None when telemetry is off).
+    pub fn take_telemetry(&mut self) -> Option<TelemetryHub> {
+        self.telemetry.take()
     }
 
     // ---- tracing hooks -------------------------------------------------
@@ -1132,6 +1189,8 @@ impl ClientNode {
     /// load-balanced policy (each decision advances the rotation), `None`
     /// for the random ablation.
     fn decision_order(&mut self, suite: ObjectId) -> Option<Arc<[SiteId]>> {
+        self.last_cursor = 0;
+        self.last_reroute = false;
         let order = self.cached_site_order(suite)?;
         if self.options.quorum_policy != QuorumPolicy::LoadBalanced {
             return Some(order);
@@ -1142,6 +1201,7 @@ impl ClientNode {
             plan.rr = plan.rr.wrapping_add(1);
             rr
         };
+        self.last_cursor = rr;
         Some(rotate_cost_ties(&order, &self.costs, rr))
     }
 
@@ -1222,8 +1282,72 @@ impl ClientNode {
         reordered.extend(order.iter().copied().filter(|&s| suspected(s)));
         if reordered[..] != order[..] {
             self.stats.reroutes += 1;
+            self.last_reroute = true;
         }
         Arc::from(reordered)
+    }
+
+    /// Stable lowercase name of the active quorum policy, for the audit
+    /// log and its human-readable explain.
+    fn policy_name(&self) -> &'static str {
+        match self.options.quorum_policy {
+            QuorumPolicy::CheapestFirst => "cheapest_first",
+            QuorumPolicy::Random => "random",
+            QuorumPolicy::LoadBalanced => "load_balanced",
+        }
+    }
+
+    /// Appends one decision to the audit log (no-op with auditing off).
+    /// Reads only planner state that is already computed — never the RNG,
+    /// never the effect queue — so auditing cannot perturb the protocol.
+    /// `considered` is the candidate order the decision ranked; per-site
+    /// inputs are captured for exactly those sites, in that order.
+    #[allow(clippy::too_many_arguments)]
+    fn audit_decision(
+        &mut self,
+        kind: DecisionKind,
+        req: ReqId,
+        suite: ObjectId,
+        chosen: &[SiteId],
+        considered: &[SiteId],
+        cursor: u64,
+        rerouted: bool,
+        now: SimTime,
+    ) {
+        if self.audit.is_none() {
+            return;
+        }
+        let health_on = self.options.health.is_some();
+        let to_fixed = |v: f64, scale: f64| (v.clamp(0.0, 1e15) * scale).round() as u64;
+        let inputs: Vec<SiteInput> = considered
+            .iter()
+            .map(|&s| {
+                let h = self.health.get(s.index()).filter(|_| health_on);
+                SiteInput {
+                    site: s.0,
+                    cost_us: to_fixed(site_cost(&self.costs, s), 1000.0),
+                    rtt_us: h.map_or(0, |sh| to_fixed(sh.rtt_ms, 1000.0)),
+                    suspicion_milli: h.map_or(0, |sh| to_fixed(sh.suspicion, 1000.0)),
+                    suspected: h.is_some_and(|sh| sh.suspected),
+                    load: self.site_load.get(s.index()).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        let policy = self.policy_name();
+        let generation = self.configs.get(&suite).map_or(0, |c| c.generation);
+        let log = self.audit.as_mut().expect("checked above");
+        log.record(
+            kind,
+            req.0,
+            suite.0,
+            policy,
+            generation,
+            cursor,
+            rerouted,
+            chosen.iter().map(|s| s.0).collect(),
+            inputs,
+            now,
+        );
     }
 
     /// The timeout for a phase contacting `sites`: with health tracking
@@ -1292,6 +1416,15 @@ impl ClientNode {
     fn note_load(&mut self, site: SiteId) {
         if let Some(c) = self.site_load.get_mut(site.index()) {
             *c += 1;
+        }
+    }
+
+    /// [`Self::note_load`] plus a telemetry request mark: every call site
+    /// that counts load also counts a windowed request.
+    fn note_load_at(&mut self, site: SiteId, now: SimTime) {
+        self.note_load(site);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.note_request(site.0, now);
         }
     }
 
@@ -1589,10 +1722,28 @@ impl ClientNode {
         // is the first entry of the cached plan.
         let guess = if wants_guess {
             match self.decision_order(suite) {
-                Some(order) => self.reorder_by_health(order).first().copied(),
+                Some(order) => {
+                    let ranked = self.reorder_by_health(order);
+                    let g = ranked.first().copied();
+                    if self.audit.is_some() {
+                        let chosen: Vec<SiteId> = g.into_iter().collect();
+                        let (cursor, rerouted) = (self.last_cursor, self.last_reroute);
+                        self.audit_decision(
+                            DecisionKind::OptimisticFetch,
+                            req,
+                            suite,
+                            &chosen,
+                            &ranked,
+                            cursor,
+                            rerouted,
+                            ctx.now(),
+                        );
+                    }
+                    g
+                }
                 None => {
                     let eff_costs = self.effective_costs(ctx);
-                    self.configs[&suite]
+                    let g = self.configs[&suite]
                         .assignment
                         .all_sites()
                         .into_iter()
@@ -1601,7 +1752,22 @@ impl ClientNode {
                                 .partial_cmp(&site_cost(&eff_costs, *b))
                                 .unwrap_or(std::cmp::Ordering::Equal)
                                 .then(a.cmp(b))
-                        })
+                        });
+                    if self.audit.is_some() {
+                        let chosen: Vec<SiteId> = g.into_iter().collect();
+                        let all = self.configs[&suite].assignment.all_sites();
+                        self.audit_decision(
+                            DecisionKind::OptimisticFetch,
+                            req,
+                            suite,
+                            &chosen,
+                            &all,
+                            0,
+                            false,
+                            ctx.now(),
+                        );
+                    }
+                    g
                 }
             }
         } else {
@@ -1642,7 +1808,7 @@ impl ClientNode {
             ctx.send(site, Msg::VersionReq { suite, req });
         }
         if let Some(target) = guess {
-            self.note_load(target);
+            self.note_load_at(target, ctx.now());
             ctx.send(target, Msg::ReadReq { suite, req });
         }
         arm_timer(
@@ -1741,9 +1907,11 @@ impl ClientNode {
             st.multi_payloads.iter().map(|(s, _)| *s).collect()
         };
         let mut orders: Map<ObjectId, Arc<[SiteId]>> = Map::new();
+        let mut cursors: Map<ObjectId, u64> = Map::new();
         for suite in &touched {
             if let Some(order) = self.decision_order(*suite) {
                 orders.insert(*suite, order);
+                cursors.insert(*suite, self.last_cursor);
             }
         }
         // Random ablation: one fresh cost draw covers the whole transaction,
@@ -1797,6 +1965,24 @@ impl ClientNode {
             }
             plan
         };
+        if self.audit.is_some() {
+            for (suite, _version, quorum, _payload, _generation) in &plan {
+                let considered: Vec<SiteId> = orders
+                    .get(suite)
+                    .map_or_else(|| quorum.clone(), |o| o.to_vec());
+                let cursor = cursors.get(suite).copied().unwrap_or(0);
+                self.audit_decision(
+                    DecisionKind::TxnQuorum,
+                    req,
+                    *suite,
+                    quorum,
+                    &considered,
+                    cursor,
+                    false,
+                    ctx.now(),
+                );
+            }
+        }
         // Group the prepare entries per participant site.
         let mut per_site: Map<SiteId, Vec<PrepareWrite>> = Map::new();
         for (suite, version, quorum, value, generation) in &plan {
@@ -1831,7 +2017,7 @@ impl ClientNode {
             }
         }
         for (site, writes) in per_site {
-            self.note_load(site);
+            self.note_load_at(site, ctx.now());
             ctx.send(
                 site,
                 Msg::Prepare {
@@ -2058,8 +2244,11 @@ impl ClientNode {
         // round trip; feed it to the health tracker.
         if let Some(st) = self.ops.get(&req) {
             if matches!(st.phase, Phase::Inquire { .. }) {
-                let rtt = ctx.now().since(st.attempt_started).as_millis_f64();
-                self.note_rtt(from, rtt);
+                let rtt = ctx.now().since(st.attempt_started);
+                self.note_rtt(from, rtt.as_millis_f64());
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.note_rtt(from.0, rtt, ctx.now());
+                }
             }
         }
         self.trace_end_rpc(req, from, ctx.now(), SpanOutcome::Ok, version.0);
@@ -2210,6 +2399,22 @@ impl ClientNode {
                 candidates,
             } => {
                 self.trace_close_phase(req, ctx.now(), SpanOutcome::Ok);
+                if self.audit.is_some() {
+                    let considered: Vec<SiteId> = plan
+                        .as_deref()
+                        .map_or_else(|| candidates.clone(), <[SiteId]>::to_vec);
+                    let (cursor, rerouted) = (self.last_cursor, self.last_reroute);
+                    self.audit_decision(
+                        DecisionKind::FetchPlan,
+                        req,
+                        suite,
+                        &candidates,
+                        &considered,
+                        cursor,
+                        rerouted,
+                        ctx.now(),
+                    );
+                }
                 self.settle_followers(suite, req, current, &candidates, ctx);
                 self.enter_fetch(req, suite, current, candidates, ctx)
             }
@@ -2306,7 +2511,7 @@ impl ClientNode {
             self.trace_begin_phase(req, SpanKind::Fetch, ctx.now());
             self.trace_add_leg(req, first, SpanKind::Rpc, ctx.now());
         }
-        self.note_load(first);
+        self.note_load_at(first, ctx.now());
         ctx.send(first, Msg::ReadReq { suite, req });
         arm_timer(
             &mut self.timers,
@@ -2363,7 +2568,19 @@ impl ClientNode {
         };
         self.stats.hedges_fired += 1;
         self.trace_add_leg(req, launched.0, SpanKind::Hedge, ctx.now());
-        self.note_load(launched.0);
+        if self.audit.is_some() {
+            self.audit_decision(
+                DecisionKind::Hedge,
+                req,
+                launched.1,
+                &[launched.0],
+                &[launched.0],
+                0,
+                false,
+                ctx.now(),
+            );
+        }
+        self.note_load_at(launched.0, ctx.now());
         ctx.send(
             launched.0,
             Msg::ReadReq {
@@ -2401,10 +2618,10 @@ impl ClientNode {
             .copied()
             .filter(|s| cfg.assignment.votes_of(*s) > 0)
             .collect();
-        let quorum = match self
+        let ranked = self
             .decision_order(suite)
-            .map(|o| self.reorder_by_health(o))
-        {
+            .map(|o| self.reorder_by_health(o));
+        let quorum = match &ranked {
             Some(order) => {
                 // The cached plan already ranks every site; restricting it
                 // to the strong responders preserves the cost order (health
@@ -2429,6 +2646,22 @@ impl ClientNode {
             // Cannot happen once the vote threshold passed; be defensive.
             return;
         };
+        if self.audit.is_some() {
+            let considered: Vec<SiteId> = ranked
+                .as_deref()
+                .map_or_else(|| strong_responders.clone(), <[SiteId]>::to_vec);
+            let (cursor, rerouted) = (self.last_cursor, self.last_reroute);
+            self.audit_decision(
+                DecisionKind::WriteQuorum,
+                req,
+                suite,
+                &quorum,
+                &considered,
+                cursor,
+                rerouted,
+                ctx.now(),
+            );
+        }
         let delay = self.phase_delay(&quorum);
         let Some(st) = self.ops.get_mut(&req) else {
             return;
@@ -2449,7 +2682,7 @@ impl ClientNode {
             }
         }
         for site in &quorum {
-            self.note_load(*site);
+            self.note_load_at(*site, ctx.now());
             ctx.send(
                 *site,
                 Msg::Prepare {
@@ -2611,7 +2844,7 @@ impl ClientNode {
             }
         }
         for (site, writes) in per_site {
-            self.note_load(site);
+            self.note_load_at(site, ctx.now());
             ctx.send(
                 site,
                 Msg::Prepare {
@@ -2775,7 +3008,19 @@ impl ClientNode {
                 let delay = self.phase_delay(&[site]);
                 let hedge = if more { self.hedge_delay(site) } else { None };
                 self.trace_add_leg(req, site, SpanKind::Rpc, ctx.now());
-                self.note_load(site);
+                if self.audit.is_some() {
+                    self.audit_decision(
+                        DecisionKind::FetchFailover,
+                        req,
+                        suite,
+                        &[site],
+                        &[site],
+                        0,
+                        false,
+                        ctx.now(),
+                    );
+                }
+                self.note_load_at(site, ctx.now());
                 ctx.send(site, Msg::ReadReq { suite, req });
                 arm_timer(
                     &mut self.timers,
@@ -3235,10 +3480,16 @@ impl ClientNode {
             } => self.on_read_resp(from, suite, req, version, value, ctx),
             Msg::Busy { req, .. } => {
                 self.stats.refused_busy += 1;
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.note_refusal(from.0, ctx.now());
+                }
                 self.trace_end_leg(req, from, ctx.now(), SpanOutcome::Refused, 0);
                 self.try_next_candidate(req, Some(from), ctx)
             }
             Msg::Refused { suite, req, reason } => {
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.note_refusal(from.0, ctx.now());
+                }
                 match reason {
                     RefuseReason::Quarantined => {
                         self.stats.refused_quarantined += 1;

@@ -903,6 +903,68 @@ impl Harness {
         wv_sim::trace::to_jsonl(&self.take_trace())
     }
 
+    /// Turns on quorum-decision auditing at every client node.
+    /// Idempotent; auditing never perturbs the protocol (the log touches
+    /// neither the RNG nor the effect queue).
+    pub fn enable_audit(&mut self) {
+        for node in &mut self.sim.world.nodes {
+            if let Some(c) = node.as_client_mut() {
+                c.enable_audit();
+            }
+        }
+    }
+
+    /// Drains every client's audit records, concatenated in site order.
+    /// Records carry their originating site, so no id rebasing is needed;
+    /// the order is a pure function of cluster topology.
+    pub fn take_audit(&mut self) -> Vec<wv_sim::AuditRecord> {
+        let mut merged = Vec::new();
+        for node in &mut self.sim.world.nodes {
+            if let Some(c) = node.as_client_mut() {
+                merged.extend(c.take_audit());
+            }
+        }
+        merged
+    }
+
+    /// Drains the audit log and renders it as JSONL.
+    pub fn take_audit_jsonl(&mut self) -> String {
+        wv_sim::audit::to_jsonl(&self.take_audit())
+    }
+
+    /// Turns on windowed telemetry at every node. Clients record request
+    /// counts, refusals, and RTT samples; servers record repair installs
+    /// and quarantine state.
+    pub fn enable_telemetry(&mut self, options: wv_sim::TelemetryOptions) {
+        for node in &mut self.sim.world.nodes {
+            if let Some(c) = node.as_client_mut() {
+                c.enable_telemetry(options);
+            }
+            if let Some(s) = node.as_server_mut() {
+                s.enable_telemetry(options);
+            }
+        }
+    }
+
+    /// Drains every node's telemetry, merges the hubs in site order, and
+    /// returns the combined snapshot (None when telemetry is off).
+    pub fn telemetry_snapshot(&mut self) -> Option<wv_sim::TelemetrySnapshot> {
+        let mut merged: Option<wv_sim::TelemetryHub> = None;
+        for node in &mut self.sim.world.nodes {
+            let taken = [
+                node.as_client_mut().and_then(ClientNode::take_telemetry),
+                node.as_server_mut().and_then(SuiteServer::take_telemetry),
+            ];
+            for hub in taken.into_iter().flatten() {
+                match merged.as_mut() {
+                    Some(m) => m.merge(&hub),
+                    None => merged = Some(hub),
+                }
+            }
+        }
+        merged.map(|mut m| m.snapshot())
+    }
+
     /// Immutable access to the underlying cluster (experiments).
     pub fn cluster(&self) -> &Cluster<SystemNode> {
         &self.sim.world
@@ -973,6 +1035,56 @@ mod tests {
         assert_eq!(back, spans);
         // A second drain is empty until new work happens.
         assert!(traced.take_trace().is_empty());
+    }
+
+    #[test]
+    fn audit_and_telemetry_never_change_outcomes() {
+        use wv_sim::audit::DecisionKind;
+        use wv_sim::TelemetryOptions;
+        let mut plain = three_server_harness(23);
+        let mut observed = three_server_harness(23);
+        observed.enable_audit();
+        observed.enable_telemetry(TelemetryOptions::default());
+        let suite = plain.suite_id();
+        for i in 0..6u8 {
+            let a = plain.write(suite, vec![i]).expect("write");
+            let b = observed.write(suite, vec![i]).expect("write");
+            assert_eq!(a.version, b.version);
+            assert_eq!(a.latency, b.latency, "observation must not shift time");
+            let ra = plain.read(suite).expect("read");
+            let rb = observed.read(suite).expect("read");
+            assert_eq!(ra.version, rb.version);
+            assert_eq!(ra.latency, rb.latency);
+        }
+        assert!(
+            plain.take_audit().is_empty(),
+            "auditing off records nothing"
+        );
+        assert!(plain.telemetry_snapshot().is_none());
+        let records = observed.take_audit();
+        assert!(!records.is_empty(), "audited run records decisions");
+        assert!(records
+            .iter()
+            .any(|r| r.kind == DecisionKind::OptimisticFetch));
+        assert!(records.iter().any(|r| r.kind == DecisionKind::WriteQuorum));
+        // Every record names at least one chosen site, with inputs for
+        // every site the planner considered.
+        for r in &records {
+            assert!(!r.chosen.is_empty(), "decision chose no site: {r:?}");
+            assert!(r.inputs.len() >= r.chosen.len());
+            assert_eq!(r.policy, "cheapest_first");
+        }
+        let snap = observed
+            .telemetry_snapshot()
+            .expect("telemetry hub present");
+        let requests: u64 = (0..3)
+            .flat_map(|s| snap.windows(s).iter())
+            .map(|w| w.requests)
+            .sum();
+        assert!(requests > 0, "telemetry saw client requests");
+        // A second drain is empty / gone until re-enabled.
+        assert!(observed.take_audit().is_empty());
+        assert!(observed.telemetry_snapshot().is_none());
     }
 
     #[test]

@@ -168,6 +168,9 @@ pub struct SuiteServer {
     /// The tracer never reads the RNG and never emits effects, so enabling
     /// it cannot perturb the protocol.
     tracer: Option<Tracer>,
+    /// Windowed telemetry (repair installs, quarantine state); `None`
+    /// (the default) disables it, under the same contract as `tracer`.
+    telemetry: Option<wv_sim::TelemetryHub>,
     /// Open lock-wait spans of queued prepares, keyed like `waiting`.
     waiting_spans: HashMap<TxToken, SpanId>,
     /// Group-commit sync latency; `None` (the default) flushes every
@@ -246,6 +249,7 @@ impl SuiteServer {
             refresh_clients: Vec::new(),
             stats: ServerStats::default(),
             tracer: None,
+            telemetry: None,
             waiting_spans: HashMap::new(),
             group_commit: None,
             sync_active: false,
@@ -276,6 +280,20 @@ impl SuiteServer {
     /// Drains the recorded spans (empty when tracing is off).
     pub fn take_trace(&mut self) -> Vec<SpanRecord> {
         self.tracer.as_mut().map(Tracer::take).unwrap_or_default()
+    }
+
+    /// Turns on windowed telemetry (repair installs and quarantine
+    /// state). Idempotent; windows accumulate until drained with
+    /// [`Self::take_telemetry`].
+    pub fn enable_telemetry(&mut self, options: wv_sim::TelemetryOptions) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(wv_sim::TelemetryHub::new(options));
+        }
+    }
+
+    /// Takes the telemetry hub for merging (None when telemetry is off).
+    pub fn take_telemetry(&mut self) -> Option<wv_sim::TelemetryHub> {
+        self.telemetry.take()
     }
 
     /// Overrides the in-doubt probe interval.
@@ -902,6 +920,9 @@ impl SuiteServer {
                     tr.end(id, ctx.now(), SpanOutcome::Ok);
                 }
             }
+            if let Some(t) = self.telemetry.as_mut() {
+                t.mark_quarantined(self.site.0, false, ctx.now());
+            }
             // Re-announce: a fresh gossip epoch resumes normal probing
             // (and the suppressed cache pushes).
             self.start_anti_entropy(ctx);
@@ -1322,6 +1343,9 @@ impl SuiteServer {
                                 ctx.now(),
                             );
                         }
+                        if let Some(t) = self.telemetry.as_mut() {
+                            t.note_repair(self.site.0, ctx.now());
+                        }
                         true
                     } else {
                         // Injected I/O error: the peer's state was not
@@ -1456,6 +1480,9 @@ impl SuiteServer {
                 if let Some(tr) = self.tracer.as_mut() {
                     let id = tr.start(SpanKind::Quarantine, 0, None, None, hosted, ctx.now());
                     self.quarantine_span = Some(id);
+                }
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.mark_quarantined(self.site.0, true, ctx.now());
                 }
             }
             // (Re)build the confirmation ledger from scratch: anything

@@ -456,6 +456,89 @@ mod tests {
     }
 
     #[test]
+    fn merge_empty_and_nonempty_commutes() {
+        // empty ⊕ nonempty and nonempty ⊕ empty must agree: trial merging
+        // folds whatever the workers produced, including idle workers.
+        let mut filled = SampleSet::new();
+        for v in [4.0, 1.0, 9.0] {
+            filled.record(v);
+        }
+        let mut left = SampleSet::new();
+        left.merge(&filled);
+        let mut right = filled.clone();
+        right.merge(&SampleSet::new());
+        assert_eq!(left.summary(), right.summary());
+        assert_eq!(left.len(), 3);
+
+        let mut hf = Histogram::new(1.0, 100.0, 10);
+        hf.record(2.0);
+        hf.record(60.0);
+        let mut hl = Histogram::new(1.0, 100.0, 10);
+        hl.merge(&hf);
+        let mut hr = hf.clone();
+        hr.merge(&Histogram::new(1.0, 100.0, 10));
+        assert_eq!(hl.summary(), hr.summary());
+        assert_eq!(hl.len(), 2);
+
+        // Merging two empties stays empty and quantile-less.
+        let mut ee = SampleSet::new();
+        ee.merge(&SampleSet::new());
+        assert!(ee.is_empty());
+        assert_eq!(ee.try_quantile(0.5), None);
+    }
+
+    #[test]
+    fn single_sample_quantiles_after_merge() {
+        // Two single-sample sets merge into a real two-point distribution;
+        // each alone still refuses to fake a percentile.
+        let mut a = SampleSet::new();
+        let mut b = SampleSet::new();
+        a.record(10.0);
+        b.record(30.0);
+        assert_eq!(a.try_quantile(0.5), None);
+        assert_eq!(b.try_quantile(0.5), None);
+        a.merge(&b);
+        assert_eq!(a.try_quantile(0.0), Some(10.0));
+        assert_eq!(a.try_quantile(1.0), Some(30.0));
+        assert_eq!(a.quantile(0.5), 10.0); // nearest-rank on n=2
+
+        let mut ha = Histogram::new(1.0, 100.0, 10);
+        let mut hb = Histogram::new(1.0, 100.0, 10);
+        ha.record(10.0);
+        hb.record(30.0);
+        assert_eq!(ha.try_quantile(0.5), None);
+        ha.merge(&hb);
+        let q = ha.try_quantile(0.5).expect("two samples after merge");
+        assert!((10.0..=30.0).contains(&q), "p50 {q} outside observed range");
+    }
+
+    #[test]
+    fn merge_order_does_not_change_results() {
+        // Workers may finish in any order; the runner merges in trial
+        // index order, but the collectors themselves must not care.
+        let chunks: [&[f64]; 3] = [&[5.0, 2.0], &[], &[8.0, 2.0, 11.0]];
+        let build = |order: &[usize]| {
+            let mut s = SampleSet::new();
+            let mut h = Histogram::for_latency_ms();
+            for &i in order {
+                let mut cs = SampleSet::new();
+                let mut ch = Histogram::for_latency_ms();
+                for &v in chunks[i] {
+                    cs.record(v);
+                    ch.record(v);
+                }
+                s.merge(&cs);
+                h.merge(&ch);
+            }
+            (s.summary(), h.summary())
+        };
+        let forward = build(&[0, 1, 2]);
+        for order in [[2, 1, 0], [1, 2, 0], [2, 0, 1], [0, 2, 1], [1, 0, 2]] {
+            assert_eq!(build(&order), forward, "merge order {order:?} diverged");
+        }
+    }
+
+    #[test]
     fn try_quantile_is_none_on_empty_and_single_sample() {
         let mut s = SampleSet::new();
         assert_eq!(s.try_quantile(0.5), None, "empty series has no percentile");

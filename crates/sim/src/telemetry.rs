@@ -1,0 +1,391 @@
+//! Windowed per-site time-series telemetry in virtual time.
+//!
+//! A [`TelemetryHub`] slices sim time into fixed windows and keeps, per
+//! site, a bounded ring of [`SiteWindow`] cells: request counts,
+//! refusals, RTT samples, repair installs, and quarantine state. Clients
+//! feed the hub from their existing health/load notification points;
+//! servers mark repair and quarantine transitions. The harness merges
+//! per-node hubs in site order and exposes a [`TelemetrySnapshot`] — the
+//! stable surface a vote-assignment controller can poll to learn how
+//! each site behaved over the last N windows without replaying a trace.
+//!
+//! Determinism contract: like tracing and auditing, a telemetry hook
+//! only reads values the protocol already computed plus the node's
+//! virtual clock. No randomness, no effects; an instrumented run is
+//! message-for-message identical to a bare one, and snapshots are
+//! byte-identical at any worker count because merging is keyed by
+//! `(site, window index)` with order-insensitive cell arithmetic.
+
+use crate::stats::SampleSet;
+use crate::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// Sizing for a [`TelemetryHub`].
+#[derive(Clone, Copy, Debug)]
+pub struct TelemetryOptions {
+    /// Width of one window in virtual time.
+    pub window: SimDuration,
+    /// Number of windows retained per site; older windows fall off.
+    pub capacity: usize,
+}
+
+impl Default for TelemetryOptions {
+    /// 100 ms windows, 64 retained — ~6.4 s of history per site.
+    fn default() -> Self {
+        TelemetryOptions {
+            window: SimDuration::from_millis(100),
+            capacity: 64,
+        }
+    }
+}
+
+/// One site's accumulators for one time window.
+#[derive(Clone, Debug)]
+pub struct SiteWindow {
+    /// Absolute window index: `start_us / window_us`.
+    pub index: u64,
+    /// Requests sent to (or served by) the site in the window.
+    pub requests: u64,
+    /// Requests the site refused (busy, quarantined, disk-faulted).
+    pub refusals: u64,
+    /// Round-trip samples observed toward the site, microseconds.
+    pub rtt_us: SampleSet,
+    /// Repair installs completed on the site.
+    pub repairs: u64,
+    /// Quarantine entries observed in the window.
+    pub quarantine_enters: u64,
+    /// Quarantine state as of the last mark in the window.
+    pub quarantined: bool,
+}
+
+impl SiteWindow {
+    fn new(index: u64, quarantined: bool) -> Self {
+        SiteWindow {
+            index,
+            requests: 0,
+            refusals: 0,
+            rtt_us: SampleSet::new(),
+            repairs: 0,
+            quarantine_enters: 0,
+            quarantined,
+        }
+    }
+
+    fn absorb(&mut self, other: &SiteWindow) {
+        self.requests += other.requests;
+        self.refusals += other.refusals;
+        self.rtt_us.merge(&other.rtt_us);
+        self.repairs += other.repairs;
+        self.quarantine_enters += other.quarantine_enters;
+        self.quarantined |= other.quarantined;
+    }
+}
+
+/// Per-node telemetry collector; see the module docs for the contract.
+#[derive(Clone, Debug)]
+pub struct TelemetryHub {
+    window_us: u64,
+    capacity: usize,
+    sites: BTreeMap<u16, VecDeque<SiteWindow>>,
+}
+
+impl TelemetryHub {
+    /// Creates an empty hub with the given sizing.
+    pub fn new(options: TelemetryOptions) -> Self {
+        let window_us = options.window.as_micros().max(1);
+        TelemetryHub {
+            window_us,
+            capacity: options.capacity.max(1),
+            sites: BTreeMap::new(),
+        }
+    }
+
+    /// Window width in microseconds.
+    pub fn window_us(&self) -> u64 {
+        self.window_us
+    }
+
+    fn cell(&mut self, site: u16, now: SimTime) -> &mut SiteWindow {
+        let index = now.as_micros() / self.window_us;
+        let capacity = self.capacity;
+        let ring = self.sites.entry(site).or_default();
+        // Node clocks are monotone, so the common case is "same window as
+        // last time" or "a newer window"; an older index can only arrive
+        // via merge-order quirks and lands in the matching cell if it is
+        // still retained, else in the oldest one we have.
+        let need_push = match ring.back() {
+            None => true,
+            Some(back) => back.index < index,
+        };
+        if need_push {
+            let carried = ring.back().map(|w| w.quarantined).unwrap_or(false);
+            ring.push_back(SiteWindow::new(index, carried));
+            while ring.len() > capacity {
+                ring.pop_front();
+            }
+        }
+        let pos = ring.iter().rposition(|w| w.index <= index).unwrap_or(0);
+        &mut ring[pos]
+    }
+
+    /// Counts one request toward `site`.
+    pub fn note_request(&mut self, site: u16, now: SimTime) {
+        self.cell(site, now).requests += 1;
+    }
+
+    /// Counts one refusal from `site`.
+    pub fn note_refusal(&mut self, site: u16, now: SimTime) {
+        self.cell(site, now).refusals += 1;
+    }
+
+    /// Records one observed round trip toward `site`.
+    pub fn note_rtt(&mut self, site: u16, rtt: SimDuration, now: SimTime) {
+        self.cell(site, now).rtt_us.record(rtt.as_micros() as f64);
+    }
+
+    /// Counts one completed repair install on `site`.
+    pub fn note_repair(&mut self, site: u16, now: SimTime) {
+        self.cell(site, now).repairs += 1;
+    }
+
+    /// Marks a quarantine transition on `site`.
+    pub fn mark_quarantined(&mut self, site: u16, quarantined: bool, now: SimTime) {
+        let cell = self.cell(site, now);
+        if quarantined && !cell.quarantined {
+            cell.quarantine_enters += 1;
+        }
+        cell.quarantined = quarantined;
+    }
+
+    /// True if no site has any window yet.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Merges another hub into this one, aligning cells by
+    /// `(site, window index)`. Cell arithmetic is order-insensitive, so
+    /// folding hubs in any order yields the same snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hubs were built with different window widths.
+    pub fn merge(&mut self, other: &TelemetryHub) {
+        assert_eq!(self.window_us, other.window_us, "window width mismatch");
+        for (&site, ring) in &other.sites {
+            let mine = self.sites.entry(site).or_default();
+            for w in ring {
+                match mine.iter_mut().find(|m| m.index == w.index) {
+                    Some(cell) => cell.absorb(w),
+                    None => {
+                        let at = mine.partition_point(|m| m.index < w.index);
+                        let mut cell = SiteWindow::new(w.index, false);
+                        cell.absorb(w);
+                        mine.insert(at, cell);
+                    }
+                }
+            }
+            while mine.len() > self.capacity {
+                mine.pop_front();
+            }
+        }
+    }
+
+    /// Drains the hub into a [`TelemetrySnapshot`].
+    pub fn snapshot(&mut self) -> TelemetrySnapshot {
+        let window_us = self.window_us;
+        let sites = std::mem::take(&mut self.sites)
+            .into_iter()
+            .map(|(site, ring)| {
+                let windows = ring
+                    .into_iter()
+                    .map(|mut w| WindowStats {
+                        index: w.index,
+                        start_us: w.index * window_us,
+                        requests: w.requests,
+                        refusals: w.refusals,
+                        repairs: w.repairs,
+                        quarantine_enters: w.quarantine_enters,
+                        quarantined: w.quarantined,
+                        rtt_samples: w.rtt_us.len() as u64,
+                        rtt_p50_us: w.rtt_us.try_quantile(0.50).map(|v| v.round() as u64),
+                        rtt_p99_us: w.rtt_us.try_quantile(0.99).map(|v| v.round() as u64),
+                    })
+                    .collect();
+                (site, windows)
+            })
+            .collect();
+        TelemetrySnapshot { window_us, sites }
+    }
+}
+
+/// Frozen per-window statistics for one site; see [`TelemetrySnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Absolute window index.
+    pub index: u64,
+    /// Window start, microseconds of virtual time.
+    pub start_us: u64,
+    /// Requests sent to the site in the window.
+    pub requests: u64,
+    /// Refusals from the site in the window.
+    pub refusals: u64,
+    /// Repair installs completed on the site.
+    pub repairs: u64,
+    /// Quarantine entries observed in the window.
+    pub quarantine_enters: u64,
+    /// Quarantine state at the end of the window.
+    pub quarantined: bool,
+    /// Number of RTT samples behind the quantiles.
+    pub rtt_samples: u64,
+    /// Median observed round trip, microseconds; `None` under 2 samples.
+    pub rtt_p50_us: Option<u64>,
+    /// 99th-percentile round trip, microseconds; `None` under 2 samples.
+    pub rtt_p99_us: Option<u64>,
+}
+
+/// The stable read surface for controllers: per-site windows in index
+/// order, sites in id order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Window width in microseconds.
+    pub window_us: u64,
+    /// Per-site windows, oldest first.
+    pub sites: BTreeMap<u16, Vec<WindowStats>>,
+}
+
+impl TelemetrySnapshot {
+    /// Windows recorded for `site`, oldest first (empty slice if none).
+    pub fn windows(&self, site: u16) -> &[WindowStats] {
+        self.sites.get(&site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Renders the snapshot as a deterministic table, one line per
+    /// `(site, window)` — the form the determinism tests pin.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "window_us={}", self.window_us);
+        for (&site, windows) in &self.sites {
+            for w in windows {
+                let fmt_q = |q: Option<u64>| q.map_or("-".to_string(), |v| v.to_string());
+                let _ = writeln!(
+                    out,
+                    "site={} win={} req={} refuse={} repair={} qenter={} q={} rtt_n={} p50us={} p99us={}",
+                    site,
+                    w.index,
+                    w.requests,
+                    w.refusals,
+                    w.repairs,
+                    w.quarantine_enters,
+                    w.quarantined as u8,
+                    w.rtt_samples,
+                    fmt_q(w.rtt_p50_us),
+                    fmt_q(w.rtt_p99_us),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn hub() -> TelemetryHub {
+        TelemetryHub::new(TelemetryOptions {
+            window: SimDuration::from_millis(1),
+            capacity: 4,
+        })
+    }
+
+    #[test]
+    fn windows_advance_with_time_and_evict() {
+        let mut h = hub();
+        for i in 0..6u64 {
+            h.note_request(3, t(i * 1000 + 10));
+        }
+        let snap = h.snapshot();
+        let w = snap.windows(3);
+        // Capacity 4: windows 0 and 1 fell off.
+        assert_eq!(w.len(), 4);
+        assert_eq!(w[0].index, 2);
+        assert_eq!(w[3].index, 5);
+        assert!(w.iter().all(|x| x.requests == 1));
+    }
+
+    #[test]
+    fn rtt_quantiles_and_refusals() {
+        let mut h = hub();
+        h.note_rtt(1, SimDuration::from_micros(400), t(100));
+        h.note_rtt(1, SimDuration::from_micros(600), t(200));
+        h.note_refusal(1, t(300));
+        let snap = h.snapshot();
+        let w = snap.windows(1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].refusals, 1);
+        assert_eq!(w[0].rtt_samples, 2);
+        assert_eq!(w[0].rtt_p50_us, Some(400));
+        assert_eq!(w[0].rtt_p99_us, Some(600));
+    }
+
+    #[test]
+    fn quarantine_state_carries_into_new_windows() {
+        let mut h = hub();
+        h.mark_quarantined(2, true, t(100));
+        h.note_request(2, t(1100)); // next window inherits the state
+        h.mark_quarantined(2, false, t(2100));
+        let snap = h.snapshot();
+        let w = snap.windows(2);
+        assert_eq!(w.len(), 3);
+        assert!(w[0].quarantined);
+        assert_eq!(w[0].quarantine_enters, 1);
+        assert!(w[1].quarantined);
+        assert_eq!(
+            w[1].quarantine_enters, 0,
+            "carried state is not a new entry"
+        );
+        assert!(!w[2].quarantined);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive() {
+        let build = |first_a: bool| {
+            let mut a = hub();
+            a.note_request(0, t(100));
+            a.note_rtt(0, SimDuration::from_micros(500), t(150));
+            let mut b = hub();
+            b.note_request(0, t(120));
+            b.note_rtt(0, SimDuration::from_micros(700), t(180));
+            b.note_refusal(1, t(1200));
+            let mut merged = hub();
+            if first_a {
+                merged.merge(&a);
+                merged.merge(&b);
+            } else {
+                merged.merge(&b);
+                merged.merge(&a);
+            }
+            merged.snapshot()
+        };
+        let ab = build(true);
+        let ba = build(false);
+        assert_eq!(ab.render(), ba.render());
+        assert_eq!(ab.windows(0)[0].requests, 2);
+        assert_eq!(ab.windows(0)[0].rtt_p99_us, Some(700));
+        assert_eq!(ab.windows(1)[0].refusals, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window width mismatch")]
+    fn merge_rejects_mismatched_windows() {
+        let mut a = hub();
+        let b = TelemetryHub::new(TelemetryOptions::default());
+        a.merge(&b);
+    }
+}

@@ -87,6 +87,34 @@ pub enum SpanKind {
 }
 
 impl SpanKind {
+    /// Every variant, in declaration order. [`SpanKind::from_name`]
+    /// searches this table, so a variant listed here can never be
+    /// emitted by `to_jsonl` and then rejected by `from_jsonl`; the
+    /// exhaustive-match guard in the round-trip test turns a forgotten
+    /// entry into a test failure instead of a silent import error.
+    pub const ALL: [SpanKind; 20] = [
+        SpanKind::Read,
+        SpanKind::Write,
+        SpanKind::Reconfigure,
+        SpanKind::Transaction,
+        SpanKind::Inquiry,
+        SpanKind::Rpc,
+        SpanKind::Fetch,
+        SpanKind::Hedge,
+        SpanKind::Prepare,
+        SpanKind::Commit,
+        SpanKind::LockWait,
+        SpanKind::WalWrite,
+        SpanKind::WalBatch,
+        SpanKind::Apply,
+        SpanKind::RepairPull,
+        SpanKind::RepairInstall,
+        SpanKind::CacheHit,
+        SpanKind::CacheRefresh,
+        SpanKind::DiskRecovery,
+        SpanKind::Quarantine,
+    ];
+
     /// Stable lowercase name used in the JSONL form.
     pub fn name(self) -> &'static str {
         match self {
@@ -113,31 +141,10 @@ impl SpanKind {
         }
     }
 
-    /// Inverse of [`SpanKind::name`].
+    /// Inverse of [`SpanKind::name`], driven by [`SpanKind::ALL`] so the
+    /// reader and writer can never disagree about the name set.
     pub fn from_name(s: &str) -> Option<SpanKind> {
-        Some(match s {
-            "read" => SpanKind::Read,
-            "write" => SpanKind::Write,
-            "reconfigure" => SpanKind::Reconfigure,
-            "transaction" => SpanKind::Transaction,
-            "inquiry" => SpanKind::Inquiry,
-            "rpc" => SpanKind::Rpc,
-            "fetch" => SpanKind::Fetch,
-            "hedge" => SpanKind::Hedge,
-            "prepare" => SpanKind::Prepare,
-            "commit" => SpanKind::Commit,
-            "lock_wait" => SpanKind::LockWait,
-            "wal_write" => SpanKind::WalWrite,
-            "wal_batch" => SpanKind::WalBatch,
-            "apply" => SpanKind::Apply,
-            "repair_pull" => SpanKind::RepairPull,
-            "repair_install" => SpanKind::RepairInstall,
-            "cache_hit" => SpanKind::CacheHit,
-            "cache_refresh" => SpanKind::CacheRefresh,
-            "disk_recovery" => SpanKind::DiskRecovery,
-            "quarantine" => SpanKind::Quarantine,
-            _ => return None,
-        })
+        SpanKind::ALL.into_iter().find(|k| k.name() == s)
     }
 
     /// True for the kinds that root a client operation.
@@ -173,6 +180,19 @@ pub enum SpanOutcome {
 }
 
 impl SpanOutcome {
+    /// Every variant, in declaration order; see [`SpanKind::ALL`].
+    pub const ALL: [SpanOutcome; 9] = [
+        SpanOutcome::Open,
+        SpanOutcome::Ok,
+        SpanOutcome::Err,
+        SpanOutcome::Timeout,
+        SpanOutcome::Conflict,
+        SpanOutcome::Stale,
+        SpanOutcome::Refused,
+        SpanOutcome::Unanswered,
+        SpanOutcome::Lost,
+    ];
+
     /// Stable lowercase name used in the JSONL form.
     pub fn name(self) -> &'static str {
         match self {
@@ -188,20 +208,9 @@ impl SpanOutcome {
         }
     }
 
-    /// Inverse of [`SpanOutcome::name`].
+    /// Inverse of [`SpanOutcome::name`], driven by [`SpanOutcome::ALL`].
     pub fn from_name(s: &str) -> Option<SpanOutcome> {
-        Some(match s {
-            "open" => SpanOutcome::Open,
-            "ok" => SpanOutcome::Ok,
-            "err" => SpanOutcome::Err,
-            "timeout" => SpanOutcome::Timeout,
-            "conflict" => SpanOutcome::Conflict,
-            "stale" => SpanOutcome::Stale,
-            "refused" => SpanOutcome::Refused,
-            "unanswered" => SpanOutcome::Unanswered,
-            "lost" => SpanOutcome::Lost,
-            _ => return None,
-        })
+        SpanOutcome::ALL.into_iter().find(|o| o.name() == s)
     }
 }
 
@@ -537,45 +546,77 @@ mod tests {
         assert_eq!(back, tr.records());
     }
 
+    // One arm per variant, no wildcard: adding a `SpanKind` is a compile
+    // error here until it gets a slot, and the round-trip test below then
+    // forces that slot to exist in `ALL` (bump `N_KINDS` alongside).
+    const N_KINDS: usize = 20;
+    fn kind_slot(k: SpanKind) -> usize {
+        match k {
+            SpanKind::Read => 0,
+            SpanKind::Write => 1,
+            SpanKind::Reconfigure => 2,
+            SpanKind::Transaction => 3,
+            SpanKind::Inquiry => 4,
+            SpanKind::Rpc => 5,
+            SpanKind::Fetch => 6,
+            SpanKind::Hedge => 7,
+            SpanKind::Prepare => 8,
+            SpanKind::Commit => 9,
+            SpanKind::LockWait => 10,
+            SpanKind::WalWrite => 11,
+            SpanKind::WalBatch => 12,
+            SpanKind::Apply => 13,
+            SpanKind::RepairPull => 14,
+            SpanKind::RepairInstall => 15,
+            SpanKind::CacheHit => 16,
+            SpanKind::CacheRefresh => 17,
+            SpanKind::DiskRecovery => 18,
+            SpanKind::Quarantine => 19,
+        }
+    }
+
+    const N_OUTCOMES: usize = 9;
+    fn outcome_slot(o: SpanOutcome) -> usize {
+        match o {
+            SpanOutcome::Open => 0,
+            SpanOutcome::Ok => 1,
+            SpanOutcome::Err => 2,
+            SpanOutcome::Timeout => 3,
+            SpanOutcome::Conflict => 4,
+            SpanOutcome::Stale => 5,
+            SpanOutcome::Refused => 6,
+            SpanOutcome::Unanswered => 7,
+            SpanOutcome::Lost => 8,
+        }
+    }
+
     #[test]
-    fn kind_and_outcome_names_round_trip() {
-        for k in [
-            SpanKind::Read,
-            SpanKind::Write,
-            SpanKind::Reconfigure,
-            SpanKind::Transaction,
-            SpanKind::Inquiry,
-            SpanKind::Rpc,
-            SpanKind::Fetch,
-            SpanKind::Hedge,
-            SpanKind::Prepare,
-            SpanKind::Commit,
-            SpanKind::LockWait,
-            SpanKind::WalWrite,
-            SpanKind::WalBatch,
-            SpanKind::Apply,
-            SpanKind::RepairPull,
-            SpanKind::RepairInstall,
-            SpanKind::CacheHit,
-            SpanKind::CacheRefresh,
-            SpanKind::DiskRecovery,
-            SpanKind::Quarantine,
-        ] {
-            assert_eq!(SpanKind::from_name(k.name()), Some(k));
+    fn every_kind_and_outcome_round_trips_through_its_name() {
+        assert_eq!(SpanKind::ALL.len(), N_KINDS);
+        for (i, k) in SpanKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind_slot(k), i, "ALL out of declaration order at {i}");
+            assert_eq!(SpanKind::from_name(k.name()), Some(k), "kind {}", k.name());
         }
-        for o in [
-            SpanOutcome::Open,
-            SpanOutcome::Ok,
-            SpanOutcome::Err,
-            SpanOutcome::Timeout,
-            SpanOutcome::Conflict,
-            SpanOutcome::Stale,
-            SpanOutcome::Refused,
-            SpanOutcome::Unanswered,
-            SpanOutcome::Lost,
-        ] {
-            assert_eq!(SpanOutcome::from_name(o.name()), Some(o));
+        let mut names: Vec<_> = SpanKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_KINDS, "duplicate kind name");
+
+        assert_eq!(SpanOutcome::ALL.len(), N_OUTCOMES);
+        for (i, o) in SpanOutcome::ALL.into_iter().enumerate() {
+            assert_eq!(outcome_slot(o), i, "ALL out of declaration order at {i}");
+            assert_eq!(
+                SpanOutcome::from_name(o.name()),
+                Some(o),
+                "outcome {}",
+                o.name()
+            );
         }
+        let mut names: Vec<_> = SpanOutcome::ALL.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), N_OUTCOMES, "duplicate outcome name");
+
         assert_eq!(SpanKind::from_name("bogus"), None);
         assert_eq!(SpanOutcome::from_name("bogus"), None);
     }
