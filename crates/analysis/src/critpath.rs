@@ -288,6 +288,7 @@ mod tests {
             parent,
             kind,
             site,
+            suite: 1,
             peer,
             op,
             start_us,

@@ -1,11 +1,15 @@
 //! Criterion bench: the lock manager's hot paths.
 //!
-//! Uncontended grant/release, contended queueing with promotion, and the
-//! wait-die vs no-wait policy cost under a conflict storm.
+//! Uncontended grant/release, contended queueing with promotion, the
+//! wait-die vs no-wait policy cost under a conflict storm, and the
+//! suite-sharded table's hot paths: suite-map lookup, per-suite lock
+//! acquisition as the same storm spreads over more suites, and the
+//! multi-shard release of a cross-suite transaction.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use wv_storage::ObjectId;
 use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, TxToken};
+use wv_txn::{shard_key, ShardedLockManager};
 
 fn bench_locks(c: &mut Criterion) {
     let mut group = c.benchmark_group("lock_manager");
@@ -71,5 +75,69 @@ fn bench_locks(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_locks);
+fn bench_sharded(c: &mut Criterion) {
+    /// Mirrors `wv_core::suite::CONFIG_TAG`: the top-bit tag that sends a
+    /// suite's config object to the same shard as its data object.
+    const CONFIG_TAG: u64 = 1 << 63;
+
+    let mut group = c.benchmark_group("sharded_lock_manager");
+
+    // Suite-map lookup: strip the config tag, hash into the shard map,
+    // probe the shard — the path every server request crosses before it
+    // can touch a lock, over a 64-suite table.
+    group.bench_function("suite_map_lookup", |b| {
+        let mut lm = ShardedLockManager::default();
+        for s in 1..=64u64 {
+            lm.lock(TxToken::new(s, s), ObjectId(s), LockMode::Shared);
+        }
+        b.iter(|| {
+            let mut held = 0usize;
+            for s in 1..=64u64 {
+                let data = shard_key(criterion::black_box(ObjectId(s)));
+                let cfg = shard_key(criterion::black_box(ObjectId(s | CONFIG_TAG)));
+                held += lm.holder_count(data) + lm.holder_count(cfg);
+            }
+            criterion::black_box(held)
+        });
+    });
+
+    // Per-suite acquisition: the identical 256-grant exclusive storm
+    // against one shared suite vs spread over 8 shards. The spread pays
+    // extra shard-map entries but each grant works a smaller table.
+    for (name, suites) in [
+        ("per_suite_acquire_1_suite", 1u64),
+        ("per_suite_acquire_8_suites", 8u64),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut lm = ShardedLockManager::default();
+                for i in 0..256u64 {
+                    let t = TxToken::new(i, i);
+                    lm.lock(t, ObjectId(1 + i % suites), LockMode::Exclusive);
+                    lm.release_all(t);
+                }
+                criterion::black_box(lm.shard_count())
+            });
+        });
+    }
+
+    // Cross-suite release: one transaction holding a lock in each of 8
+    // shards, with a waiter queued behind every one — release must visit
+    // all touched shards and merge the promotions into global order.
+    group.bench_function("cross_suite_release", |b| {
+        b.iter(|| {
+            let mut lm = ShardedLockManager::default();
+            let holder = TxToken::new(0, 0);
+            for s in 1..=8u64 {
+                lm.lock(holder, ObjectId(s), LockMode::Exclusive);
+                lm.lock(TxToken::new(s, s), ObjectId(s), LockMode::Shared);
+            }
+            let granted = lm.release_all(holder);
+            criterion::black_box(granted.len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_locks, bench_sharded);
 criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerates experiment E15 (see DESIGN.md §4). Prints the markdown
+//! report to stdout and mirrors it into `results/e15.md` when a
+//! `results/` directory exists in the working tree.
+
+fn main() {
+    let report = wv_bench::e15::run();
+    print!("{report}");
+    if std::path::Path::new("results").is_dir() {
+        if let Err(e) = std::fs::write("results/e15.md", &report) {
+            wv_sim::vlog::warn("bench", &format!("could not write results/e15.md: {e}"));
+        }
+    }
+}

@@ -17,10 +17,11 @@
 //! ≥2× parallel speedup shows up on multi-core hardware.
 //!
 //! `perf_snapshot --check` is the CI regression guard: it re-measures the
-//! two headline medians plus the deterministic cache-tier throughput and
-//! compares them against the committed `BENCH_core.json`, failing only on
-//! a >5× drop — coarse enough to ride out runner noise, tight enough to
-//! catch an accidental O(n²) or a debug build sneaking into the pipeline.
+//! two headline medians plus the deterministic cache-tier and multi-suite
+//! throughputs and compares them against the committed `BENCH_core.json`,
+//! failing only on a >5× drop — coarse enough to ride out runner noise,
+//! tight enough to catch an accidental O(n²) or a debug build sneaking
+//! into the pipeline.
 
 use std::time::Instant;
 
@@ -36,6 +37,18 @@ use wv_sim::{LatencyModel, MetricsRegistry, Scheduler, Sim, SimDuration};
 const MAX_REGRESSION: f64 = 5.0;
 /// Runs per headline wall-clock rate; the median is reported.
 const MEDIAN_RUNS: usize = 5;
+
+/// Per-client op budget for the E15 multi-suite cells the snapshot
+/// replays (virtual-time, deterministic). The full E15 budget: at this
+/// load the 8-way split's scaling sits well clear of the 4× floor.
+const MULTI_SUITE_OPS: usize = 64;
+
+/// Sharding the keyspace into 8 suites must multiply balanced-skew
+/// aggregate throughput by at least this factor over one suite. E15
+/// measures ≈6× on the same cells; the floor leaves slack so workload
+/// retuning doesn't flap the snapshot, while still catching a suite
+/// map that quietly stopped sharding the lock tables.
+const MIN_SUITE_SCALING: f64 = 4.0;
 
 /// Tracing must not cost more than this factor in client throughput; the
 /// real overhead is a few percent (span pushes on an in-memory Vec), the
@@ -324,6 +337,12 @@ fn check_against_baseline() -> ! {
             "cache_lease_ops_per_vsec",
             wv_bench::e13::throughput_summary(64).2,
         ),
+        // Also virtual-time: the 8-suite aggregate rate only drops if
+        // sharding itself regressed.
+        (
+            "eight_suite_ops_per_vsec",
+            wv_bench::e15::scaling_summary(MULTI_SUITE_OPS).1,
+        ),
         (
             "recovery_scan_records_per_sec",
             median_of_runs(recovery_scan_records_per_sec),
@@ -383,6 +402,18 @@ fn main() {
         cache_speedup >= 5.0,
         "lease-mode cache tier must beat the uncached arm 5x, got {cache_speedup:.2}x"
     );
+    // Multi-suite sharding off the E15 balanced cells: virtual-time, so
+    // the ≥4× aggregate-scaling floor is a hard promise of the sharded
+    // lock tables, and the group-commit probe reports how many records
+    // (and distinct suites) one durable flush absorbs.
+    let (suite1_vsec, suite8_vsec) = wv_bench::e15::scaling_summary(MULTI_SUITE_OPS);
+    let suite_scaling = suite8_vsec / suite1_vsec;
+    assert!(
+        suite_scaling >= MIN_SUITE_SCALING,
+        "8-suite sharding must scale aggregate throughput {MIN_SUITE_SCALING}x, got {suite_scaling:.2}x"
+    );
+    let (wal_records_per_batch, wal_suites_per_batch) =
+        wv_bench::e15::wal_batch_summary(MULTI_SUITE_OPS);
     let ops_per_sec_traced = median_of_runs(|| client_ops(ROUNDS, true, false).0);
     let trace = client_ops(ROUNDS, true, false).4;
     let spans_recorded = trace.len();
@@ -411,7 +442,7 @@ fn main() {
 
     let json = format!(
         "{{\n  \
-         \"schema\": \"wv-perf-snapshot/6\",\n  \
+         \"schema\": \"wv-perf-snapshot/7\",\n  \
          \"median_runs\": {MEDIAN_RUNS},\n  \
          \"sim_events_per_sec\": {events_per_sec:.0},\n  \
          \"trials\": {{\n    \
@@ -442,6 +473,15 @@ fn main() {
          \"cache_validated_ops_per_vsec\": {cache_validated:.2},\n    \
          \"cache_lease_ops_per_vsec\": {cache_lease:.2},\n    \
          \"cache_speedup\": {cache_speedup:.2}\n  \
+         }},\n  \
+         \"multi_suite\": {{\n    \
+         \"workload\": \"E15 balanced-skew cells, 3 servers, 16 clients, {MULTI_SUITE_OPS} ops per client, virtual-time rate\",\n    \
+         \"single_suite_ops_per_vsec\": {suite1_vsec:.2},\n    \
+         \"eight_suite_ops_per_vsec\": {suite8_vsec:.2},\n    \
+         \"suite_scaling\": {suite_scaling:.2},\n    \
+         \"min_suite_scaling\": {MIN_SUITE_SCALING},\n    \
+         \"wal_records_per_batch\": {wal_records_per_batch:.2},\n    \
+         \"wal_suites_per_batch\": {wal_suites_per_batch:.2}\n  \
          }},\n  \
          \"latency_histograms\": {{\n    \
          \"source\": \"virtual-time op latencies, log-bucketed (MetricsRegistry)\",\n    \

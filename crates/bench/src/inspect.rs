@@ -224,6 +224,9 @@ pub fn chrome_trace(spans: &[SpanRecord]) -> String {
         if s.peer != wv_sim::trace::NO_PEER {
             args.insert("peer".to_string(), Value::Int(u64::from(s.peer)));
         }
+        if s.suite != 0 {
+            args.insert("suite".to_string(), Value::Int(s.suite));
+        }
         let mut ev = BTreeMap::new();
         ev.insert("args".to_string(), Value::Object(args));
         ev.insert("cat".to_string(), Value::Str(s.outcome.name().to_string()));
@@ -354,6 +357,9 @@ mod tests {
         let ex = explain_report(&audit, None);
         assert!(ex.contains("== quorum decision explain =="));
         assert!(ex.contains("<- chosen"), "{ex}");
+        assert!(ex.contains("suite="), "explain names the suite: {ex}");
+        // The span records carry the suite dimension end to end.
+        assert!(spans.iter().any(|s| s.suite != 0), "spans carry suites");
         // Filtering to one op shows exactly that op's decisions.
         let op = audit[0].op;
         let one = explain_report(&audit, Some(op));

@@ -18,6 +18,7 @@
 //! | E10 | `e10_self_healing` | self-healing (health tracking, hedging, anti-entropy) vs classic clients under crash/recovery churn |
 //! | E11 | `e11_throughput` | closed-loop saturation: pipelined clients and load-balanced quorum selection |
 //! | E13 | `e13_cache_tier` | weak-representative cache tier: validated and lease modes under read-dominant zipfian load |
+//! | E15 | `e15_multi_suite` | multi-suite sharded keyspace: aggregate throughput scaling and hot-key saturation under zipfian multi-key load |
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub mod e1;
 pub mod e10;
 pub mod e11;
 pub mod e13;
+pub mod e15;
 pub mod e2;
 pub mod e3;
 pub mod e4;

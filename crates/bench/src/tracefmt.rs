@@ -206,28 +206,52 @@ mod tests {
     /// commit, plus a server lock wait and WAL write.
     fn sample() -> Vec<SpanRecord> {
         let mut client = Tracer::new(3);
-        let root = client.start(SpanKind::Write, 0x30001, None, None, 0, t(0));
-        let inq = client.start(SpanKind::Inquiry, 0x30001, Some(root), None, 0, t(0));
-        let r0 = client.start(SpanKind::Rpc, 0x30001, Some(inq), Some(0), 0, t(0));
-        let r1 = client.start(SpanKind::Rpc, 0x30001, Some(inq), Some(1), 0, t(0));
+        let root = client.start(SpanKind::Write, 1, 0x30001, None, None, 0, t(0));
+        let inq = client.start(SpanKind::Inquiry, 1, 0x30001, Some(root), None, 0, t(0));
+        let r0 = client.start(SpanKind::Rpc, 1, 0x30001, Some(inq), Some(0), 0, t(0));
+        let r1 = client.start(SpanKind::Rpc, 1, 0x30001, Some(inq), Some(1), 0, t(0));
         client.end_with_detail(r0, t(150_000), SpanOutcome::Ok, 4);
         client.end_with_detail(r1, t(152_000), SpanOutcome::Ok, 4);
         client.end(inq, t(152_000), SpanOutcome::Ok);
-        let prep = client.start(SpanKind::Prepare, 0x30001, Some(root), None, 0, t(152_000));
-        let p0 = client.start(SpanKind::Rpc, 0x30001, Some(prep), Some(0), 0, t(152_000));
+        let prep = client.start(
+            SpanKind::Prepare,
+            1,
+            0x30001,
+            Some(root),
+            None,
+            0,
+            t(152_000),
+        );
+        let p0 = client.start(
+            SpanKind::Rpc,
+            1,
+            0x30001,
+            Some(prep),
+            Some(0),
+            0,
+            t(152_000),
+        );
         client.end_with_detail(p0, t(300_000), SpanOutcome::Ok, 1);
         client.end(prep, t(300_000), SpanOutcome::Ok);
-        let com = client.start(SpanKind::Commit, 0x30001, Some(root), None, 0, t(300_000));
-        let c0 = client.start(SpanKind::Rpc, 0x30001, Some(com), Some(0), 0, t(300_000));
+        let com = client.start(
+            SpanKind::Commit,
+            1,
+            0x30001,
+            Some(root),
+            None,
+            0,
+            t(300_000),
+        );
+        let c0 = client.start(SpanKind::Rpc, 1, 0x30001, Some(com), Some(0), 0, t(300_000));
         client.end_with_detail(c0, t(450_000), SpanOutcome::Ok, 1);
         client.end(com, t(450_000), SpanOutcome::Ok);
         client.end(root, t(450_000), SpanOutcome::Ok);
 
         let mut server = Tracer::new(0);
-        let lw = server.start(SpanKind::LockWait, 0x30001, None, Some(3), 0, t(160_000));
+        let lw = server.start(SpanKind::LockWait, 1, 0x30001, None, Some(3), 0, t(160_000));
         server.end(lw, t(220_000), SpanOutcome::Ok);
-        server.event(SpanKind::WalWrite, 0x30001, None, Some(3), 5, t(228_000));
-        server.event(SpanKind::RepairPull, 0, None, Some(1), 4, t(500_000));
+        server.event(SpanKind::WalWrite, 1, 0x30001, None, Some(3), 5, t(228_000));
+        server.event(SpanKind::RepairPull, 1, 0, None, Some(1), 4, t(500_000));
 
         let mut merged = Vec::new();
         wv_sim::trace::rebase_merge(&mut merged, client.take());
@@ -259,7 +283,7 @@ mod tests {
     #[test]
     fn open_spans_render_without_panicking() {
         let mut tr = Tracer::new(1);
-        tr.start(SpanKind::Read, 7, None, None, 0, t(10));
+        tr.start(SpanKind::Read, 1, 7, None, None, 0, t(10));
         let rendered = waterfall(&tr.take());
         assert!(rendered.contains("open"));
         assert!(rendered.contains('~'));

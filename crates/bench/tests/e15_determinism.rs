@@ -1,0 +1,27 @@
+//! Worker-count invariance of the E15 multi-suite sharding report.
+//!
+//! E15 fans its (servers × skew × suites) sweep over
+//! `wv_bench::runner::run_trials_indexed`, whose contract is bit-identical
+//! output at any worker count; each cell's workload is drawn from the
+//! cell seed before the harness exists and its throughput metric is
+//! virtual-time, so the whole report is a pure function of the master
+//! seed. One `#[test]` covers the 1/2/8 sweep because the worker
+//! override is a process-global environment variable and the test
+//! harness runs `#[test]` functions concurrently.
+
+fn with_workers<T>(workers: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("WV_TRIAL_THREADS", workers.to_string());
+    let out = f();
+    std::env::remove_var("WV_TRIAL_THREADS");
+    out
+}
+
+#[test]
+fn the_e15_report_bytes_are_identical_at_1_2_and_8_workers() {
+    let one = with_workers(1, || wv_bench::e15::run_with(16));
+    let two = with_workers(2, || wv_bench::e15::run_with(16));
+    let eight = with_workers(8, || wv_bench::e15::run_with(16));
+    assert_eq!(one, two, "2 workers diverged from sequential");
+    assert_eq!(one, eight, "8 workers diverged from sequential");
+    assert!(one.contains("## E15 — Multi-suite sharded keyspace"));
+}

@@ -57,6 +57,11 @@ pub struct Coverage {
     pub trials_with_duplication: u64,
     /// Trials that ran a mid-run reconfiguration.
     pub trials_with_reconfigure: u64,
+    /// Trials that started at least one cross-suite transaction
+    /// (multi-suite arms only).
+    pub trials_with_cross_suite_txn: u64,
+    /// Cross-suite transactions started across all trials.
+    pub cross_suite_txns: u64,
     /// Trials where at least one operation was quorum-blocked.
     pub trials_with_quorum_block: u64,
     /// Operations attempted across all trials.
@@ -132,6 +137,8 @@ impl Coverage {
         self.trials_with_delay += u64::from(c.delay_spikes > 0);
         self.trials_with_duplication += u64::from(c.duplications > 0);
         self.trials_with_reconfigure += u64::from(c.reconfigures > 0);
+        self.trials_with_cross_suite_txn += u64::from(c.cross_suite_txns > 0);
+        self.cross_suite_txns += c.cross_suite_txns;
         self.trials_with_quorum_block += u64::from(c.quorum_blocked > 0);
         self.ops_total += c.ops_ok + c.ops_failed;
         self.ops_ok += c.ops_ok;
@@ -362,6 +369,34 @@ mod tests {
         );
         assert_eq!(report.coverage.poison_escapes, 0);
         assert_eq!(report.coverage.served_while_quarantined, 0);
+    }
+
+    #[test]
+    fn a_multi_suite_campaign_is_clean_and_actually_crosses_suites() {
+        // Same seeds, keyspace sharded four ways: per-suite traffic plus
+        // cross-suite transactions ride identical fault timelines. The
+        // per-suite oracle and the atomicity invariant must stay clean.
+        let cfg = CampaignConfig {
+            master_seed: 0xC0FFEE,
+            trials: 8,
+            spec: ClusterSpec::majority(5, 2).with_suites(4),
+            params: ScheduleParams::default(),
+        };
+        let report = run_campaign(&cfg);
+        assert!(
+            report.clean(),
+            "sharding must not break invariants; failures: {:?}",
+            report
+                .failures
+                .iter()
+                .map(|f| (f.seed, f.violations.clone()))
+                .collect::<Vec<_>>()
+        );
+        assert!(
+            report.coverage.cross_suite_txns > 0,
+            "eight trials must start at least one cross-suite transaction"
+        );
+        assert!(report.coverage.trials_with_cross_suite_txn > 0);
     }
 
     #[test]

@@ -11,11 +11,11 @@ use std::collections::HashSet;
 
 use wv_core::client::{ClientOptions, CompletedOp, HealthOptions, WeakRepOptions};
 use wv_core::harness::SiteSpec;
-use wv_core::{Harness, OpError, QuorumSpec, VoteAssignment};
+use wv_core::{Harness, OpError, OpKind, QuorumSpec, VoteAssignment};
 use wv_net::sim_net::NetStats;
 use wv_net::{Partition, SiteId};
 use wv_sim::{SimDuration, SimTime};
-use wv_storage::Version;
+use wv_storage::{ObjectId, Version};
 
 use crate::schedule::{ClusterSpec, EventKind, Schedule};
 
@@ -53,6 +53,9 @@ pub struct TrialCoverage {
     pub duplications: u64,
     /// Reconfiguration operations started.
     pub reconfigures: u64,
+    /// Cross-suite transactions started (multi-suite clusters only;
+    /// every fifth write tag becomes a two-suite atomic transaction).
+    pub cross_suite_txns: u64,
     /// Operations that failed `Unavailable` — a quorum could not be
     /// assembled (the paper's "blocked" outcome).
     pub quorum_blocked: u64,
@@ -117,6 +120,33 @@ pub struct TrialCoverage {
     pub served_while_quarantined: u64,
 }
 
+/// The executor-side record of one cross-suite transaction: the payload
+/// every branch wrote, the suites it spanned, and how it ended. The
+/// oracle's atomicity invariant judges these — a definitely-aborted
+/// transaction's payload must never surface in any suite.
+#[derive(Clone, Debug)]
+pub struct TxnOutcome {
+    /// The payload bytes every branch of the transaction wrote.
+    pub payload: Vec<u8>,
+    /// The suites the transaction spanned, in lock-acquisition order.
+    pub suites: Vec<ObjectId>,
+    /// When the matched operation started (the enqueue instant when the
+    /// client never completed it).
+    pub started: SimTime,
+    /// When the matched operation finished (the enqueue instant when the
+    /// client never completed it).
+    pub finished: SimTime,
+    /// `Ok` with the per-suite committed versions, a definite error, or
+    /// `None` when the client never reported the operation (its site was
+    /// down at the enqueue instant).
+    pub outcome: Option<Result<Vec<(ObjectId, Version)>, OpError>>,
+}
+
+/// One post-quiesce `(version, value)` observation — a client's final
+/// read or a replica's durable state; `None` when the read failed or
+/// the replica holds nothing.
+pub type FinalState = Option<(Version, Vec<u8>)>;
+
 /// Everything a finished trial leaves behind for the oracle.
 #[derive(Clone, Debug)]
 pub struct TrialRun {
@@ -127,11 +157,25 @@ pub struct TrialRun {
     pub ops: Vec<CompletedOp>,
     /// Every payload the schedule wrote, for provenance checks.
     pub sent_payloads: HashSet<Vec<u8>>,
-    /// One post-quiesce read per client: `(version, value)` on success.
-    /// Empty when the run failed to quiesce.
-    pub finals: Vec<Option<(Version, Vec<u8>)>>,
-    /// Post-quiesce `(version, value)` per server replica.
-    pub replicas: Vec<Option<(Version, Vec<u8>)>>,
+    /// The suites the cluster hosted, in id order. Single-suite clusters
+    /// list exactly the default suite.
+    pub suites: Vec<ObjectId>,
+    /// One post-quiesce read per client *of the first suite*:
+    /// `(version, value)` on success. Empty when the run failed to
+    /// quiesce. The per-suite views live in
+    /// [`TrialRun::suite_finals`]; this flat field keeps the
+    /// single-suite call sites (and their byte-for-byte pins) unchanged.
+    pub finals: Vec<FinalState>,
+    /// Post-quiesce `(version, value)` per server replica, first suite.
+    pub replicas: Vec<FinalState>,
+    /// Post-quiesce final reads indexed `[suite][client]`, aligned with
+    /// [`TrialRun::suites`]. Empty when the run failed to quiesce.
+    pub suite_finals: Vec<Vec<FinalState>>,
+    /// Post-quiesce replica states indexed `[suite][server]`.
+    pub suite_replicas: Vec<Vec<FinalState>>,
+    /// Every cross-suite transaction the schedule started, with its
+    /// outcome (empty on single-suite clusters).
+    pub txns: Vec<TxnOutcome>,
     /// Whether the quiesce phase drained the event queue within budget.
     pub quiesced: bool,
     /// Fault and protocol counters.
@@ -166,6 +210,15 @@ fn build_harness(spec: &ClusterSpec, seed: u64) -> Harness {
     let mut b = Harness::builder()
         .quorum(QuorumSpec::new(spec.read_quorum, spec.write_quorum))
         .seed(seed);
+    if spec.suites > 1 {
+        // Shard the keyspace: every suite shares the vote assignment and
+        // quorum sizes but keeps its own versions, locks, and WAL records
+        // (one WAL per server, interleaved and group-committed across
+        // suites). `suites == 1` leaves the builder's default suite in
+        // place, so single-suite replays are byte-identical to the
+        // pre-sharding executor.
+        b = b.suites((1..=spec.suites as u64).map(ObjectId));
+    }
     for _ in 0..spec.servers {
         b = b.site(SiteSpec::server(1));
     }
@@ -236,8 +289,23 @@ fn run_schedule_inner(
     let mut coverage = TrialCoverage::default();
     let mut sent_payloads: HashSet<Vec<u8>> = HashSet::new();
     let clients = h.clients().to_vec();
-    let suite = h.suite_id();
+    let suites = h.suite_ids().to_vec();
     let total = spec.total_sites();
+
+    // Deterministic executor-side routing over fields the schedule
+    // already carries: a write lands in the suite its payload tag picks,
+    // reads round-robin across suites, and (multi-suite only) every
+    // fifth write tag becomes a two-suite atomic transaction. With one
+    // suite every rule collapses to "the suite", so the same schedule
+    // replays byte-identically against a pre-sharding cluster.
+    struct TxnRecord {
+        client: SiteId,
+        at: SimTime,
+        payload: Vec<u8>,
+        suites: Vec<ObjectId>,
+    }
+    let mut txn_records: Vec<TxnRecord> = Vec::new();
+    let mut read_rr = 0usize;
 
     for event in &schedule.events {
         // Advance to the event's instant, letting in-flight work run.
@@ -251,11 +319,36 @@ fn run_schedule_inner(
                 coverage.writes += 1;
                 let bytes = payload_bytes(schedule.seed, *payload);
                 sent_payloads.insert(bytes.clone());
-                h.enqueue_write(clients[client % clients.len()], suite, bytes, at);
+                let c = clients[client % clients.len()];
+                let home = suites[*payload as usize % suites.len()];
+                if suites.len() > 1 && *payload % 5 == 0 {
+                    // Cross-suite transaction: the home suite plus its
+                    // neighbour, both branches carrying the same payload
+                    // so the oracle can trace either back to this txn.
+                    // Writes sorted by suite id — the deterministic
+                    // global lock-acquisition order.
+                    coverage.cross_suite_txns += 1;
+                    let sibling = suites[(*payload as usize + 1) % suites.len()];
+                    let mut span = vec![home, sibling];
+                    span.sort();
+                    let writes: Vec<(ObjectId, Vec<u8>)> =
+                        span.iter().map(|&s| (s, bytes.clone())).collect();
+                    txn_records.push(TxnRecord {
+                        client: c,
+                        at,
+                        payload: bytes,
+                        suites: span,
+                    });
+                    h.enqueue_transaction(c, writes, at);
+                } else {
+                    h.enqueue_write(c, home, bytes, at);
+                }
             }
             EventKind::Read { client } => {
                 coverage.reads += 1;
-                h.enqueue_read(clients[client % clients.len()], suite, at);
+                let s = suites[read_rr % suites.len()];
+                read_rr += 1;
+                h.enqueue_read(clients[client % clients.len()], s, at);
             }
             EventKind::Crash { site } => {
                 coverage.crashes += 1;
@@ -300,9 +393,13 @@ fn run_schedule_inner(
                 write_quorum,
             } => {
                 coverage.reconfigures += 1;
+                // Reconfigurations always target the first suite: the
+                // directory adopts the new generation for it and the
+                // sibling suites keep their configs — exactly the
+                // per-suite invalidation the directory cache promises.
                 h.enqueue_reconfigure(
                     clients[client % clients.len()],
-                    suite,
+                    suites[0],
                     VoteAssignment::equal(spec.servers),
                     QuorumSpec::new(*read_quorum, *write_quorum),
                     at,
@@ -362,33 +459,74 @@ fn run_schedule_inner(
     let executed = h.run_until_quiet(QUIESCE_CAP);
     let quiesced = executed < QUIESCE_CAP;
 
+    // Drain completion logs, matching each cross-suite transaction
+    // record to its completed operation (same client, same start
+    // instant) so the oracle can judge atomicity without guessing which
+    // op was which.
     let mut ops: Vec<CompletedOp> = Vec::new();
+    let mut txns: Vec<TxnOutcome> = Vec::new();
     for &c in &clients {
-        ops.extend(h.drain_completed(c));
+        let completed = h.drain_completed(c);
+        let mut taken = vec![false; completed.len()];
+        for rec in txn_records.iter().filter(|r| r.client == c) {
+            let mut outcome = None;
+            let mut times = (rec.at, rec.at);
+            for (i, o) in completed.iter().enumerate() {
+                if !taken[i] && o.kind == OpKind::Transaction && o.started == rec.at {
+                    taken[i] = true;
+                    outcome = Some(match &o.outcome {
+                        Ok(okk) => Ok(okk.multi.clone()),
+                        Err(e) => Err(e.clone()),
+                    });
+                    times = (o.started, o.finished);
+                    break;
+                }
+            }
+            txns.push(TxnOutcome {
+                payload: rec.payload.clone(),
+                suites: rec.suites.clone(),
+                started: times.0,
+                finished: times.1,
+                outcome,
+            });
+        }
+        ops.extend(completed);
     }
 
-    // Post-quiesce final reads (only meaningful if the system drained).
-    let mut finals = Vec::new();
+    // Post-quiesce final reads, per suite then per client (only
+    // meaningful if the system drained). Suite-major order keeps the
+    // single-suite read sequence — and therefore its RNG draws —
+    // identical to the pre-sharding executor.
+    let mut suite_finals: Vec<Vec<FinalState>> = Vec::new();
     if quiesced {
-        for &c in &clients {
-            let result = h.read_from(c, suite).ok();
-            finals.push(result.map(|r| (r.version, r.value.to_vec())));
+        for &s in &suites {
+            let mut per_client = Vec::new();
+            for &c in &clients {
+                let result = h.read_from(c, s).ok();
+                per_client.push(result.map(|r| (r.version, r.value.to_vec())));
+            }
+            suite_finals.push(per_client);
         }
     }
+    let finals = suite_finals.first().cloned().unwrap_or_default();
 
-    let replicas: Vec<Option<(Version, Vec<u8>)>> = (0..spec.servers)
-        .map(|s| {
-            let site = SiteId(s as u16);
-            h.version_at(site, suite).map(|v| {
-                (
-                    v,
-                    h.value_at(site, suite)
-                        .map(|b| b.to_vec())
-                        .unwrap_or_default(),
-                )
-            })
+    let suite_replicas: Vec<Vec<FinalState>> = suites
+        .iter()
+        .map(|&su| {
+            (0..spec.servers)
+                .map(|s| {
+                    let site = SiteId(s as u16);
+                    h.version_at(site, su).map(|v| {
+                        (
+                            v,
+                            h.value_at(site, su).map(|b| b.to_vec()).unwrap_or_default(),
+                        )
+                    })
+                })
+                .collect()
         })
         .collect();
+    let replicas = suite_replicas[0].clone();
 
     for &c in &clients {
         if let Some(stats) = h.client_stats(c) {
@@ -442,8 +580,12 @@ fn run_schedule_inner(
             seed: schedule.seed,
             ops,
             sent_payloads,
+            suites,
             finals,
             replicas,
+            suite_finals,
+            suite_replicas,
+            txns,
             quiesced,
             coverage,
             net,
@@ -765,6 +907,44 @@ mod tests {
         assert_eq!(run.coverage.torn_writes, 1);
         assert_eq!(run.coverage.quarantines, 0, "a torn tail is not corruption");
         assert!(crate::oracle::check_trial(&run, false).is_empty());
+    }
+
+    #[test]
+    fn multi_suite_trials_shard_traffic_and_satisfy_the_oracle() {
+        // The same generated fault timeline, flat and sharded four ways.
+        // The suites flag never reaches the schedule generator, so both
+        // arms replay identical fault timelines; the sharded arm routes
+        // writes by payload tag, round-robins reads, turns every fifth
+        // write tag into a cross-suite transaction, and must satisfy the
+        // per-suite oracle plus the atomicity invariant.
+        let plain = ClusterSpec::majority(5, 2);
+        let sharded = ClusterSpec::majority(5, 2).with_suites(4);
+        let schedule = generate(&plain, &ScheduleParams::default(), 41);
+        let a = run_schedule(&plain, &schedule);
+        let b = run_schedule(&sharded, &schedule);
+        assert!(a.quiesced && b.quiesced);
+        assert_eq!(a.suites.len(), 1);
+        assert_eq!(b.suites.len(), 4);
+        assert_eq!(a.coverage.cross_suite_txns, 0, "flat arm never crosses");
+        assert!(a.txns.is_empty());
+        assert!(
+            b.coverage.cross_suite_txns >= 1,
+            "payload tags divisible by 5 must become transactions"
+        );
+        assert_eq!(b.txns.len() as u64, b.coverage.cross_suite_txns);
+        assert_eq!(b.suite_finals.len(), 4);
+        assert_eq!(b.suite_replicas.len(), 4);
+        assert!(crate::oracle::check_trial(&a, false).is_empty());
+        assert!(
+            crate::oracle::check_trial(&b, false).is_empty(),
+            "sharded arm broke an invariant: {:?}",
+            crate::oracle::check_trial(&b, false)
+        );
+        // Replays of the sharded arm stay deterministic.
+        let again = run_schedule(&sharded, &schedule);
+        assert_eq!(b.suite_replicas, again.suite_replicas);
+        assert_eq!(b.suite_finals, again.suite_finals);
+        assert_eq!(b.coverage, again.coverage);
     }
 
     #[test]

@@ -62,13 +62,31 @@
 //!     every trial; the scan-stop-at-first-bad-frame rule makes the
 //!     invariant hold by construction, so a nonzero counter is a bug in
 //!     the recovery path itself.
+//!
+//! Over sharded (multi-suite) trials ([`check_cross_suite`]):
+//!
+//! 13. **Cross-suite atomicity** — a cross-suite transaction commits in
+//!     every suite it wrote or in none: a committed outcome must report
+//!     a version for each branch, and a definitely-aborted transaction's
+//!     payload must never surface in any suite's reads, final states, or
+//!     replicas. In-doubt transactions are exempt (they may have
+//!     committed without their client learning so) but count against
+//!     each touched suite's version-gap and replica-bound budgets.
+//!
+//! Multi-suite trials run invariants 1–11 *per suite*: versions are
+//! per-suite counters, so the log is partitioned by suite first, with
+//! committed cross-suite transactions exploded into one synthetic write
+//! per branch (the version each branch installed) and in-doubt ones
+//! surfacing as one in-doubt write per touched suite.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
-use wv_core::client::CompletedOp;
+use wv_core::client::{CompletedOp, OpSuccess};
+use wv_core::msg::ReqId;
 use wv_core::{OpError, OpKind};
 use wv_sim::{SimDuration, SimTime};
+use wv_storage::ObjectId;
 
 use crate::exec::TrialRun;
 
@@ -180,6 +198,19 @@ pub enum Violation {
         /// How many requests it served.
         count: u64,
     },
+    /// A cross-suite transaction reported success but committed no
+    /// version in one of its suites — a branch silently vanished.
+    CrossSuitePartialCommit {
+        /// The suite the committed outcome skipped.
+        suite: u64,
+    },
+    /// A definitely-aborted cross-suite transaction's payload surfaced
+    /// in a suite's reads, final state, or replicas — one branch
+    /// committed while its sibling aborted.
+    CrossSuiteAbortLeak {
+        /// The suite where the aborted payload surfaced.
+        suite: u64,
+    },
     /// The run failed to drain its event queue within the quiesce budget.
     NoQuiesce,
 }
@@ -253,6 +284,14 @@ impl fmt::Display for Violation {
                 f,
                 "a quarantined replica served {count} request(s) instead of refusing"
             ),
+            Violation::CrossSuitePartialCommit { suite } => write!(
+                f,
+                "cross-suite transaction committed without a version in suite {suite}"
+            ),
+            Violation::CrossSuiteAbortLeak { suite } => write!(
+                f,
+                "aborted cross-suite transaction's payload surfaced in suite {suite}"
+            ),
             Violation::NoQuiesce => {
                 write!(f, "event queue failed to drain within the quiesce budget")
             }
@@ -280,6 +319,8 @@ impl Violation {
             Violation::ReplicaBeyondCommit { .. } => "replica_beyond_commit",
             Violation::PoisonEscaped { .. } => "poison_escaped",
             Violation::QuarantineServed { .. } => "quarantine_served",
+            Violation::CrossSuitePartialCommit { .. } => "cross_suite_partial_commit",
+            Violation::CrossSuiteAbortLeak { .. } => "cross_suite_abort_leak",
             Violation::NoQuiesce => "no_quiesce",
         }
     }
@@ -461,11 +502,22 @@ pub fn check_staleness_bound(ops: &[CompletedOp], lease: SimDuration) -> Vec<Vio
     violations
 }
 
-/// Checks invariant 8 over a quiesced trial's final state.
+/// Checks invariant 8 over a quiesced trial's final state (the first
+/// suite's view — multi-suite trials run the same checks per suite via
+/// [`check_trial`]).
 pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
+    check_convergence_of(&run.ops, &run.sent_payloads, &run.finals, &run.replicas)
+}
+
+/// Invariants 8–10 over one suite's completion log and final state.
+fn check_convergence_of(
+    ops: &[CompletedOp],
+    sent: &HashSet<Vec<u8>>,
+    finals: &[Option<(wv_storage::Version, Vec<u8>)>],
+    replicas: &[Option<(wv_storage::Version, Vec<u8>)>],
+) -> Vec<Violation> {
     let mut violations = Vec::new();
-    let max_acked = run
-        .ops
+    let max_acked = ops
         .iter()
         .filter_map(|o| match (o.kind, &o.outcome) {
             (OpKind::Write, Ok(okk)) => Some(okk.version.0),
@@ -476,7 +528,7 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
         })
         .max()
         .unwrap_or(0);
-    for (client, outcome) in run.finals.iter().enumerate() {
+    for (client, outcome) in finals.iter().enumerate() {
         match outcome {
             Some((v, _)) => {
                 if v.0 < max_acked {
@@ -490,12 +542,12 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
             None => violations.push(Violation::PostHealUnavailable { client }),
         }
     }
-    let states: Vec<&(wv_storage::Version, Vec<u8>)> = run.finals.iter().flatten().collect();
+    let states: Vec<&(wv_storage::Version, Vec<u8>)> = finals.iter().flatten().collect();
     if states.windows(2).any(|p| p[0] != p[1]) {
         violations.push(Violation::FinalStateDivergence);
     }
     let mut replica_at: HashMap<u64, &Vec<u8>> = HashMap::new();
-    for state in run.replicas.iter().flatten() {
+    for state in replicas.iter().flatten() {
         let (v, bytes) = state;
         if let Some(prev) = replica_at.insert(v.0, bytes) {
             if prev != bytes {
@@ -508,8 +560,7 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
     // version must be explicable by acked plus in-doubt writes — only an
     // in-doubt write can commit a version the log never acknowledged, so
     // `max_acked + in_doubt` bounds every legitimate replica.
-    let in_doubt = run
-        .ops
+    let in_doubt = ops
         .iter()
         .filter(|o| {
             matches!(o.kind, OpKind::Write | OpKind::Reconfigure)
@@ -517,9 +568,9 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
         })
         .count() as u64;
     let bound = max_acked + in_doubt;
-    for (site, state) in run.replicas.iter().enumerate() {
+    for (site, state) in replicas.iter().enumerate() {
         let Some((v, bytes)) = state else { continue };
-        if !bytes.is_empty() && !run.sent_payloads.contains(bytes) {
+        if !bytes.is_empty() && !sent.contains(bytes) {
             violations.push(Violation::ReplicaForeignValue { site, version: v.0 });
         }
         if v.0 > bound {
@@ -528,6 +579,101 @@ pub fn check_convergence(run: &TrialRun) -> Vec<Violation> {
                 version: v.0,
                 bound,
             });
+        }
+    }
+    violations
+}
+
+/// One suite's completion log: plain operations filtered by suite,
+/// committed cross-suite transactions exploded into synthetic per-suite
+/// writes (each branch at the version it installed), and in-doubt
+/// transactions surfaced as one synthetic in-doubt write per touched
+/// suite (any branch may have committed without the client learning so).
+/// Definitely-aborted transactions consume no version anywhere and are
+/// dropped; invariant 13 separately proves their payloads never surface.
+fn suite_log(run: &TrialRun, suite: ObjectId) -> Vec<CompletedOp> {
+    let mut out: Vec<CompletedOp> = Vec::new();
+    for o in &run.ops {
+        if o.kind == OpKind::Transaction {
+            if let Ok(okk) = &o.outcome {
+                if let Some(&(_, v)) = okk.multi.iter().find(|(s, _)| *s == suite) {
+                    let mut w = o.clone();
+                    w.kind = OpKind::Write;
+                    w.suite = suite;
+                    w.outcome = Ok(OpSuccess {
+                        version: v,
+                        value: None,
+                        multi: Vec::new(),
+                    });
+                    out.push(w);
+                }
+            }
+        } else if o.suite == suite {
+            out.push(o.clone());
+        }
+    }
+    for t in &run.txns {
+        let in_doubt = matches!(t.outcome, Some(Err(OpError::Indeterminate)) | None);
+        if in_doubt && t.suites.contains(&suite) {
+            out.push(CompletedOp {
+                req: ReqId(0),
+                kind: OpKind::Write,
+                suite,
+                outcome: Err(OpError::Indeterminate),
+                started: t.started,
+                finished: t.finished,
+                attempts: 1,
+            });
+        }
+    }
+    out
+}
+
+/// Checks invariant 13, cross-suite atomicity: a committed transaction
+/// reports a version for every suite it wrote, and a definitely-aborted
+/// transaction's payload never surfaces in any suite's reads, final
+/// states, or replicas.
+pub fn check_cross_suite(run: &TrialRun) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for t in &run.txns {
+        match &t.outcome {
+            Some(Ok(multi)) => {
+                let committed: HashSet<u64> = multi.iter().map(|(s, _)| s.0).collect();
+                for s in &t.suites {
+                    if !committed.contains(&s.0) {
+                        violations.push(Violation::CrossSuitePartialCommit { suite: s.0 });
+                    }
+                }
+            }
+            // An in-doubt (or never-reported) transaction may have gone
+            // either way; the per-suite logs already budget for it.
+            Some(Err(OpError::Indeterminate)) | None => {}
+            Some(Err(_)) => {
+                // Definitely aborted: payload tags are unique per
+                // schedule, so this payload appearing anywhere means a
+                // branch committed while its sibling aborted.
+                for (idx, suite) in run.suites.iter().enumerate() {
+                    let in_reads = run.ops.iter().any(|o| {
+                        o.kind == OpKind::Read
+                            && o.suite == *suite
+                            && matches!(
+                                &o.outcome,
+                                Ok(okk) if okk.value.as_deref() == Some(t.payload.as_slice())
+                            )
+                    });
+                    let in_finals = run
+                        .suite_finals
+                        .get(idx)
+                        .is_some_and(|f| f.iter().flatten().any(|(_, b)| *b == t.payload));
+                    let in_replicas = run
+                        .suite_replicas
+                        .get(idx)
+                        .is_some_and(|r| r.iter().flatten().any(|(_, b)| *b == t.payload));
+                    if in_reads || in_finals || in_replicas {
+                        violations.push(Violation::CrossSuiteAbortLeak { suite: suite.0 });
+                    }
+                }
+            }
         }
     }
     violations
@@ -554,17 +700,48 @@ pub fn check_no_poison(run: &TrialRun) -> Vec<Violation> {
 
 /// Runs every applicable check over a finished trial.
 ///
+/// Single-suite trials (and hand-built runs that never fill the suite
+/// dimension) judge the flat log exactly as before. Multi-suite trials
+/// partition the evidence by suite — versions are per-suite counters —
+/// run invariants 1–11 over each partition, and add the cross-suite
+/// atomicity check (13).
+///
 /// A run that failed to quiesce yields [`Violation::NoQuiesce`] and skips
 /// the convergence checks (there is no settled final state to judge).
 pub fn check_trial(run: &TrialRun, strict: bool) -> Vec<Violation> {
-    let mut violations = check_log(&run.ops, Some(&run.sent_payloads), strict);
-    if let Some(lease) = run.cache_lease {
-        violations.extend(check_staleness_bound(&run.ops, lease));
+    if run.suites.len() <= 1 && run.txns.is_empty() {
+        let mut violations = check_log(&run.ops, Some(&run.sent_payloads), strict);
+        if let Some(lease) = run.cache_lease {
+            violations.extend(check_staleness_bound(&run.ops, lease));
+        }
+        violations.extend(check_no_poison(run));
+        if run.quiesced {
+            violations.extend(check_convergence(run));
+        } else {
+            violations.push(Violation::NoQuiesce);
+        }
+        return violations;
+    }
+    let mut violations = Vec::new();
+    for (idx, &suite) in run.suites.iter().enumerate() {
+        let log = suite_log(run, suite);
+        violations.extend(check_log(&log, Some(&run.sent_payloads), strict));
+        if let Some(lease) = run.cache_lease {
+            violations.extend(check_staleness_bound(&log, lease));
+        }
+        if run.quiesced {
+            let empty = Vec::new();
+            violations.extend(check_convergence_of(
+                &log,
+                &run.sent_payloads,
+                run.suite_finals.get(idx).unwrap_or(&empty),
+                run.suite_replicas.get(idx).unwrap_or(&empty),
+            ));
+        }
     }
     violations.extend(check_no_poison(run));
-    if run.quiesced {
-        violations.extend(check_convergence(run));
-    } else {
+    violations.extend(check_cross_suite(run));
+    if !run.quiesced {
         violations.push(Violation::NoQuiesce);
     }
     violations
@@ -760,15 +937,21 @@ mod tests {
         final_state: (u64, &[u8]),
         replicas: Vec<Option<(u64, &[u8])>>,
     ) -> crate::exec::TrialRun {
+        let finals = vec![Some((Version(final_state.0), final_state.1.to_vec()))];
+        let replicas: Vec<Option<(Version, Vec<u8>)>> = replicas
+            .into_iter()
+            .map(|r| r.map(|(v, b)| (Version(v), b.to_vec())))
+            .collect();
         crate::exec::TrialRun {
             seed: 1,
             ops,
             sent_payloads: sent.iter().map(|b| b.to_vec()).collect(),
-            finals: vec![Some((Version(final_state.0), final_state.1.to_vec()))],
-            replicas: replicas
-                .into_iter()
-                .map(|r| r.map(|(v, b)| (Version(v), b.to_vec())))
-                .collect(),
+            suites: vec![ObjectId(7)],
+            suite_finals: vec![finals.clone()],
+            suite_replicas: vec![replicas.clone()],
+            txns: Vec::new(),
+            finals,
+            replicas,
             quiesced: true,
             coverage: crate::exec::TrialCoverage::default(),
             net: Default::default(),
@@ -854,6 +1037,192 @@ mod tests {
         assert!(check_trial(&run, false).contains(&Violation::PoisonEscaped { count: 2 }));
     }
 
+    fn write_ok_in(suite: u64, version: u64, started_ms: u64, finished_ms: u64) -> CompletedOp {
+        let mut o = write_ok(version, started_ms, finished_ms);
+        o.suite = ObjectId(suite);
+        o
+    }
+
+    fn read_ok_in(
+        suite: u64,
+        version: u64,
+        value: &[u8],
+        started_ms: u64,
+        finished_ms: u64,
+    ) -> CompletedOp {
+        let mut o = read_ok(version, value, started_ms, finished_ms);
+        o.suite = ObjectId(suite);
+        o
+    }
+
+    /// A committed cross-suite transaction's completion record: `multi`
+    /// lists the `(suite, version)` each branch installed.
+    fn txn_op_ok(multi: &[(u64, u64)], started_ms: u64, finished_ms: u64) -> CompletedOp {
+        CompletedOp {
+            req: ReqId(77),
+            kind: OpKind::Transaction,
+            suite: ObjectId(multi[0].0),
+            outcome: Ok(OpSuccess {
+                version: Version(multi[0].1),
+                value: None,
+                multi: multi
+                    .iter()
+                    .map(|&(s, v)| (ObjectId(s), Version(v)))
+                    .collect(),
+            }),
+            started: SimTime::from_millis(started_ms),
+            finished: SimTime::from_millis(finished_ms),
+            attempts: 1,
+        }
+    }
+
+    /// A quiesced two-suite run (suites 1 and 2, one client, one server).
+    fn multi_run(
+        ops: Vec<CompletedOp>,
+        sent: &[&[u8]],
+        txns: Vec<crate::exec::TxnOutcome>,
+        suite_finals: Vec<Option<(u64, &[u8])>>,
+        suite_replicas: Vec<Option<(u64, &[u8])>>,
+    ) -> crate::exec::TrialRun {
+        let conv = |v: Vec<Option<(u64, &[u8])>>| -> Vec<Vec<crate::exec::FinalState>> {
+            v.into_iter()
+                .map(|r| vec![r.map(|(v, b)| (Version(v), b.to_vec()))])
+                .collect()
+        };
+        let suite_finals = conv(suite_finals);
+        let suite_replicas = conv(suite_replicas);
+        crate::exec::TrialRun {
+            seed: 1,
+            ops,
+            sent_payloads: sent.iter().map(|b| b.to_vec()).collect(),
+            suites: vec![ObjectId(1), ObjectId(2)],
+            finals: suite_finals.first().cloned().unwrap_or_default(),
+            replicas: suite_replicas.first().cloned().unwrap_or_default(),
+            suite_finals,
+            suite_replicas,
+            txns,
+            quiesced: true,
+            coverage: crate::exec::TrialCoverage::default(),
+            net: Default::default(),
+            cache_lease: None,
+        }
+    }
+
+    fn txn(
+        payload: &[u8],
+        suites: &[u64],
+        outcome: Option<Result<Vec<(u64, u64)>, OpError>>,
+        started_ms: u64,
+        finished_ms: u64,
+    ) -> crate::exec::TxnOutcome {
+        crate::exec::TxnOutcome {
+            payload: payload.to_vec(),
+            suites: suites.iter().map(|&s| ObjectId(s)).collect(),
+            started: SimTime::from_millis(started_ms),
+            finished: SimTime::from_millis(finished_ms),
+            outcome: outcome.map(|r| {
+                r.map(|multi| {
+                    multi
+                        .into_iter()
+                        .map(|(s, v)| (ObjectId(s), Version(v)))
+                        .collect()
+                })
+            }),
+        }
+    }
+
+    #[test]
+    fn a_clean_multi_suite_trial_passes_every_per_suite_check() {
+        // Each suite commits v1 on its own, then one cross-suite txn
+        // installs v2 in both; a later read of suite 1 sees it.
+        let ops = vec![
+            write_ok_in(1, 1, 0, 100),
+            write_ok_in(2, 1, 0, 100),
+            txn_op_ok(&[(1, 2), (2, 2)], 200, 300),
+            read_ok_in(1, 2, b"t", 400, 500),
+        ];
+        let run = multi_run(
+            ops,
+            &[b"a", b"b", b"t"],
+            vec![txn(b"t", &[1, 2], Some(Ok(vec![(1, 2), (2, 2)])), 200, 300)],
+            vec![Some((2, b"t")), Some((2, b"t"))],
+            vec![Some((2, b"t")), Some((2, b"t"))],
+        );
+        assert_eq!(check_trial(&run, true), Vec::new());
+    }
+
+    #[test]
+    fn a_partial_cross_suite_commit_is_flagged() {
+        // The txn claims success but reports no version for suite 2.
+        let run = multi_run(
+            vec![txn_op_ok(&[(1, 1)], 0, 100)],
+            &[b"t"],
+            vec![txn(b"t", &[1, 2], Some(Ok(vec![(1, 1)])), 0, 100)],
+            vec![Some((1, b"t")), None],
+            vec![Some((1, b"t")), None],
+        );
+        let v = check_cross_suite(&run);
+        assert!(v.contains(&Violation::CrossSuitePartialCommit { suite: 2 }));
+    }
+
+    #[test]
+    fn an_aborted_txn_payload_surfacing_in_a_sibling_suite_is_flagged() {
+        // The txn definitely aborted, yet suite 2's replica holds its
+        // payload: one branch committed while the other rolled back.
+        let run = multi_run(
+            vec![write_ok_in(2, 1, 0, 100)],
+            &[b"b", b"t"],
+            vec![txn(b"t", &[1, 2], Some(Err(OpError::Conflict)), 200, 300)],
+            vec![None, Some((1, b"b"))],
+            vec![None, Some((1, b"t"))],
+        );
+        let v = check_trial(&run, false);
+        assert!(v.contains(&Violation::CrossSuiteAbortLeak { suite: 2 }));
+        // Suite 1 stayed clean of the payload: exactly one leak flag.
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::CrossSuiteAbortLeak { .. }))
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn an_in_doubt_cross_suite_txn_explains_a_version_gap_in_each_touched_suite() {
+        // Both suites committed v1 and v3 with v2 missing; the in-doubt
+        // txn spanning both may have installed each v2.
+        let ops = vec![
+            write_ok_in(1, 1, 0, 100),
+            write_ok_in(2, 1, 0, 100),
+            write_ok_in(1, 3, 400, 500),
+            write_ok_in(2, 3, 400, 500),
+        ];
+        let run = multi_run(
+            ops,
+            &[b"a", b"b", b"c", b"d", b"t"],
+            vec![txn(
+                b"t",
+                &[1, 2],
+                Some(Err(OpError::Indeterminate)),
+                200,
+                300,
+            )],
+            vec![Some((3, b"c")), Some((3, b"d"))],
+            vec![Some((3, b"c")), Some((3, b"d"))],
+        );
+        assert_eq!(check_trial(&run, true), Vec::new());
+        // Without the in-doubt txn the same history has two gaps.
+        let mut bare = run.clone();
+        bare.txns.clear();
+        let v = check_trial(&bare, true);
+        assert_eq!(
+            v.iter()
+                .filter(|x| matches!(x, Violation::VersionGap { .. }))
+                .count(),
+            2
+        );
+    }
+
     #[test]
     fn violations_render_human_readable() {
         let v = Violation::StaleRead {
@@ -896,5 +1265,17 @@ mod tests {
             "a quarantined replica served 4 request(s) instead of refusing"
         );
         assert_eq!(v.tag(), "quarantine_served");
+        let v = Violation::CrossSuitePartialCommit { suite: 3 };
+        assert_eq!(
+            v.to_string(),
+            "cross-suite transaction committed without a version in suite 3"
+        );
+        assert_eq!(v.tag(), "cross_suite_partial_commit");
+        let v = Violation::CrossSuiteAbortLeak { suite: 2 };
+        assert_eq!(
+            v.to_string(),
+            "aborted cross-suite transaction's payload surfaced in suite 2"
+        );
+        assert_eq!(v.tag(), "cross_suite_abort_leak");
     }
 }

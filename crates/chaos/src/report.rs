@@ -1,6 +1,6 @@
 //! E9 — the chaos campaign report.
 //!
-//! Six campaigns back to back:
+//! Seven campaigns back to back:
 //!
 //! 1. **Shipped protocol** — a majority-quorum cluster under the full
 //!    fault repertoire for `trials` seeds. Expected verdict: zero
@@ -29,7 +29,14 @@
 //!    quarantine themselves (votes surrendered) until anti-entropy pulls
 //!    full state from every peer. Expected verdict: zero violations,
 //!    with the activity table proving damage was injected and detected.
-//! 6. **Deliberately broken protocol** — `r + w = N`, so quorums need
+//! 6. **Multi-suite arm** — the same trials with the keyspace sharded
+//!    across four suites: writes route by payload tag, reads round-robin,
+//!    and every fifth write tag becomes a cross-suite atomic transaction.
+//!    The oracle runs its log and convergence invariants per suite and
+//!    adds cross-suite atomicity (no suite commits while a sibling
+//!    aborts). Expected verdict: zero violations, with the activity
+//!    table proving transactions actually spanned suites.
+//! 7. **Deliberately broken protocol** — `r + w = N`, so quorums need
 //!    not intersect. The campaign finds a violation, the shrinker
 //!    delta-debugs it to a handful of events, and the minimal schedule is
 //!    emitted as a replayable JSON artifact.
@@ -442,6 +449,65 @@ pub fn run(trials: usize) -> E9Output {
         d.corrupt_records_detected, d.quarantines
     ));
 
+    // Campaign 1f: the same trials with the keyspace sharded across four
+    // suites. The suites flag never reaches the schedule generator, so
+    // the fault timelines are identical; the executor routes writes by
+    // payload tag, round-robins reads, and turns every fifth write tag
+    // into a cross-suite atomic transaction. The oracle judges each
+    // suite's history separately and adds the atomicity invariant.
+    let sharded = CampaignConfig {
+        spec: ClusterSpec::majority(5, 2).with_suites(4),
+        ..healthy
+    };
+    let report = run_campaign(&sharded);
+    out.push_str(&format!(
+        "### Multi-suite arm: the same {} trials sharded across 4 suites with cross-suite transactions\n\n",
+        report.trials
+    ));
+    out.push_str(&format!(
+        "Invariant violations: **{}**.\n\n",
+        report.failures.len()
+    ));
+    if !report.clean() {
+        let mut t = Table::new("Violations", &["trial seed", "violation"]);
+        for f in &report.failures {
+            for v in &f.violations {
+                t.row(&[format!("0x{:016x}", f.seed), v.to_string()]);
+            }
+        }
+        out.push_str(&t.to_markdown());
+        out.push('\n');
+    }
+    let m = report.coverage;
+    let mut t = Table::new(
+        "Multi-suite activity (oracle judges every suite separately, plus cross-suite atomicity)",
+        &["counter", "value"],
+    );
+    t.row(&[
+        "trials with a cross-suite transaction".into(),
+        m.trials_with_cross_suite_txn.to_string(),
+    ]);
+    t.row(&[
+        "cross-suite transactions started".into(),
+        m.cross_suite_txns.to_string(),
+    ]);
+    t.row(&["operations committed".into(), m.ops_ok.to_string()]);
+    t.row(&[
+        "operations ending in doubt".into(),
+        m.indeterminate.to_string(),
+    ]);
+    t.row(&["phase timeouts".into(), m.timeouts.to_string()]);
+    out.push_str(&t.to_markdown());
+    out.push('\n');
+    out.push_str(&format!(
+        "Disjoint suites never contend on a shared lock table, so the \
+         sharded arm replays the identical fault timelines with per-suite \
+         version counters; {} cross-suite transaction(s) rode the \
+         existing two-phase commit with locks acquired in global suite \
+         order, and no suite committed a branch whose sibling aborted.\n\n",
+        m.cross_suite_txns
+    ));
+
     // Campaign 2: break quorum intersection, find it, shrink it.
     out.push_str(
         "### Broken protocol: r = 2, w = 3 on 5 servers (r + w = N, quorums need not intersect)\n\n",
@@ -579,16 +645,17 @@ mod tests {
         assert!(artifact.contains("\"trace\":["), "artifact embeds trace");
         assert!(artifact.contains("\"kind\":"), "trace has span records");
         assert!(Schedule::from_json(artifact).is_some());
-        // The plain, self-healing, group-commit, cache-tier, and
-        // faulty-disk arms all come back clean.
+        // The plain, self-healing, group-commit, cache-tier, faulty-disk,
+        // and multi-suite arms all come back clean.
         assert!(a.report.contains("### Self-healing arm"));
         assert!(a.report.contains("### Group-commit arm"));
         assert!(a.report.contains("### Cache-tier arm"));
         assert!(a.report.contains("### Faulty-disk arm"));
+        assert!(a.report.contains("### Multi-suite arm"));
         assert_eq!(
             a.report.matches("Invariant violations: **0**").count(),
-            5,
-            "all five healthy arms must be violation-free"
+            6,
+            "all six healthy arms must be violation-free"
         );
     }
 }

@@ -63,6 +63,12 @@ pub struct ClusterSpec {
     /// injects it, so faulty-disk and clean-disk arms replay the same
     /// byte-identical schedule.
     pub disk_faults: bool,
+    /// Number of disjoint suites hosted on the cluster (at least 1).
+    /// Like the other arm flags, never consulted by the schedule
+    /// generator: the executor derives each operation's target suite
+    /// from fields the schedule already carries, so single-suite and
+    /// multi-suite arms replay the exact same fault timeline.
+    pub suites: usize,
 }
 
 impl ClusterSpec {
@@ -79,6 +85,7 @@ impl ClusterSpec {
             group_commit: false,
             cache_tier: false,
             disk_faults: false,
+            suites: 1,
         }
     }
 
@@ -106,6 +113,12 @@ impl ClusterSpec {
         self
     }
 
+    /// The same cluster hosting `suites` disjoint suites (minimum 1).
+    pub fn with_suites(mut self, suites: usize) -> Self {
+        self.suites = suites.max(1);
+        self
+    }
+
     /// A deliberately broken cluster: `read_quorum + write_quorum ==
     /// servers`, so quorums need not intersect and stale reads become
     /// possible once faults steer readers and writers apart.
@@ -128,6 +141,7 @@ impl ClusterSpec {
             group_commit: false,
             cache_tier: false,
             disk_faults: false,
+            suites: 1,
         }
     }
 
@@ -537,6 +551,7 @@ impl Schedule {
         cluster.insert("group_commit".to_string(), Value::Bool(spec.group_commit));
         cluster.insert("cache_tier".to_string(), Value::Bool(spec.cache_tier));
         cluster.insert("disk_faults".to_string(), Value::Bool(spec.disk_faults));
+        cluster.insert("suites".to_string(), Value::Int(spec.suites as u64));
         root.insert("cluster".to_string(), Value::Object(cluster));
         let events: Vec<Value> = self.events.iter().map(event_to_value).collect();
         root.insert("events".to_string(), Value::Array(events));
@@ -579,6 +594,13 @@ impl Schedule {
                 .get("disk_faults")
                 .and_then(|v| v.as_bool())
                 .unwrap_or(false),
+            // Absent in pre-multi-suite artifacts: the single default
+            // suite, so committed reproducers replay unchanged.
+            suites: cluster
+                .get("suites")
+                .and_then(|v| v.as_int())
+                .map(|n| (n as usize).max(1))
+                .unwrap_or(1),
         };
         let mut events = Vec::new();
         for ev in root.get("events")?.as_array()? {
@@ -999,6 +1021,30 @@ mod tests {
     }
 
     #[test]
+    fn the_suites_count_round_trips_through_json() {
+        let spec = ClusterSpec::majority(5, 2).with_suites(4);
+        let s = generate(&spec, &ScheduleParams::default(), 4);
+        let (spec2, s2) = Schedule::from_json(&s.to_json(&spec)).expect("parses");
+        assert_eq!(spec2.suites, 4);
+        assert_eq!(s, s2);
+        // And the bytes themselves are stable.
+        assert_eq!(s.to_json(&spec), s2.to_json(&spec2));
+    }
+
+    #[test]
+    fn artifacts_without_a_suites_key_replay_as_the_single_default_suite() {
+        // Replay artifacts written before the suite dimension omit the
+        // key; they must keep parsing, with exactly one suite.
+        let spec = ClusterSpec::majority(3, 1);
+        let s = generate(&spec, &ScheduleParams::default(), 8);
+        let legacy = s.to_json(&spec).replace(",\"suites\":1", "");
+        assert!(!legacy.contains("suites"), "key really was stripped");
+        let (spec2, s2) = Schedule::from_json(&legacy).expect("parses");
+        assert_eq!(spec2.suites, 1);
+        assert_eq!(s, s2);
+    }
+
+    #[test]
     fn repair_never_influences_schedule_generation() {
         // Repair-on and repair-off arms must share identical timelines so
         // a campaign can compare them trial for trial.
@@ -1007,6 +1053,7 @@ mod tests {
         let batched = ClusterSpec::majority(5, 2).with_group_commit();
         let cached = ClusterSpec::majority(5, 2).with_cache_tier();
         let faulty = ClusterSpec::majority(5, 2).with_disk_faults();
+        let sharded = ClusterSpec::majority(5, 2).with_suites(8);
         for seed in 0..20 {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
@@ -1023,6 +1070,10 @@ mod tests {
             assert_eq!(
                 generate(&plain, &ScheduleParams::default(), seed),
                 generate(&faulty, &ScheduleParams::default(), seed),
+            );
+            assert_eq!(
+                generate(&plain, &ScheduleParams::default(), seed),
+                generate(&sharded, &ScheduleParams::default(), seed),
             );
         }
     }

@@ -411,6 +411,8 @@ struct OpTrace {
     /// The op's identity in the trace: the *first* attempt's request id,
     /// stable across retries.
     op: u64,
+    /// The suite the op targets, stamped on every span under the root.
+    suite: u64,
     /// The root span, open from start to completion.
     root: SpanId,
     /// The current phase span (inquiry / fetch / prepare / commit).
@@ -749,9 +751,10 @@ impl ClientNode {
             OpKind::Reconfigure => SpanKind::Reconfigure,
             OpKind::Transaction => SpanKind::Transaction,
         };
-        let root = tr.start(kind, req.0, None, None, 0, now);
+        let root = tr.start(kind, st.suite.0, req.0, None, None, 0, now);
         st.trace = Some(OpTrace {
             op: req.0,
+            suite: st.suite.0,
             root,
             phase: None,
             rpcs: Vec::new(),
@@ -777,7 +780,7 @@ impl ClientNode {
         if let Some(p) = t.phase.take() {
             tr.end(p, now, SpanOutcome::Unanswered);
         }
-        t.phase = Some(tr.start(kind, t.op, Some(t.root), None, 0, now));
+        t.phase = Some(tr.start(kind, t.suite, t.op, Some(t.root), None, 0, now));
     }
 
     /// Opens a per-site request/response span under the current phase.
@@ -788,7 +791,7 @@ impl ClientNode {
         let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
             return;
         };
-        let id = tr.start(SpanKind::Rpc, t.op, t.phase, Some(site.0), 0, now);
+        let id = tr.start(SpanKind::Rpc, t.suite, t.op, t.phase, Some(site.0), 0, now);
         t.rpcs.push((site, id));
     }
 
@@ -801,7 +804,7 @@ impl ClientNode {
         let Some(t) = self.ops.get_mut(&req).and_then(|st| st.trace.as_mut()) else {
             return;
         };
-        let id = tr.start(kind, t.op, t.phase, Some(site.0), 0, now);
+        let id = tr.start(kind, t.suite, t.op, t.phase, Some(site.0), 0, now);
         t.legs.push((site, id));
     }
 
@@ -928,7 +931,15 @@ impl ClientNode {
         let Some(t) = self.ops.get(&req).and_then(|st| st.trace.as_ref()) else {
             return;
         };
-        tr.event(SpanKind::WalWrite, t.op, Some(t.root), None, 0, now);
+        tr.event(
+            SpanKind::WalWrite,
+            t.suite,
+            t.op,
+            Some(t.root),
+            None,
+            0,
+            now,
+        );
     }
 
     /// Records an instantaneous cache-tier event (`CacheHit` on a local
@@ -941,7 +952,7 @@ impl ClientNode {
         let Some(t) = self.ops.get(&req).and_then(|st| st.trace.as_ref()) else {
             return;
         };
-        tr.event(kind, t.op, Some(t.root), None, detail, now);
+        tr.event(kind, t.suite, t.op, Some(t.root), None, detail, now);
     }
 
     // ---- attached weak representative (cache tier) ---------------------
@@ -1029,6 +1040,7 @@ impl ClientNode {
             if let Some(tr) = self.tracer.as_mut() {
                 tr.event(
                     SpanKind::CacheRefresh,
+                    suite.0,
                     0,
                     None,
                     Some(from.0),
@@ -1420,11 +1432,12 @@ impl ClientNode {
     }
 
     /// [`Self::note_load`] plus a telemetry request mark: every call site
-    /// that counts load also counts a windowed request.
-    fn note_load_at(&mut self, site: SiteId, now: SimTime) {
+    /// that counts load also counts a windowed request, attributed to the
+    /// suite the request serves.
+    fn note_load_at(&mut self, site: SiteId, suite: ObjectId, now: SimTime) {
         self.note_load(site);
         if let Some(t) = self.telemetry.as_mut() {
-            t.note_request(site.0, now);
+            t.note_suite_request(site.0, suite.0, now);
         }
     }
 
@@ -1808,7 +1821,7 @@ impl ClientNode {
             ctx.send(site, Msg::VersionReq { suite, req });
         }
         if let Some(target) = guess {
-            self.note_load_at(target, ctx.now());
+            self.note_load_at(target, suite, ctx.now());
             ctx.send(target, Msg::ReadReq { suite, req });
         }
         arm_timer(
@@ -2004,6 +2017,7 @@ impl ClientNode {
         st.seq += 1;
         let seq = st.seq;
         let lock_ts = st.lock_ts;
+        let home_suite = st.suite;
         st.phase = Phase::MultiPrepare {
             versions,
             participants: participants.clone(),
@@ -2017,7 +2031,7 @@ impl ClientNode {
             }
         }
         for (site, writes) in per_site {
-            self.note_load_at(site, ctx.now());
+            self.note_load_at(site, home_suite, ctx.now());
             ctx.send(
                 site,
                 Msg::Prepare {
@@ -2511,7 +2525,7 @@ impl ClientNode {
             self.trace_begin_phase(req, SpanKind::Fetch, ctx.now());
             self.trace_add_leg(req, first, SpanKind::Rpc, ctx.now());
         }
-        self.note_load_at(first, ctx.now());
+        self.note_load_at(first, suite, ctx.now());
         ctx.send(first, Msg::ReadReq { suite, req });
         arm_timer(
             &mut self.timers,
@@ -2580,7 +2594,7 @@ impl ClientNode {
                 ctx.now(),
             );
         }
-        self.note_load_at(launched.0, ctx.now());
+        self.note_load_at(launched.0, launched.1, ctx.now());
         ctx.send(
             launched.0,
             Msg::ReadReq {
@@ -2682,7 +2696,7 @@ impl ClientNode {
             }
         }
         for site in &quorum {
-            self.note_load_at(*site, ctx.now());
+            self.note_load_at(*site, suite, ctx.now());
             ctx.send(
                 *site,
                 Msg::Prepare {
@@ -2844,7 +2858,7 @@ impl ClientNode {
             }
         }
         for (site, writes) in per_site {
-            self.note_load_at(site, ctx.now());
+            self.note_load_at(site, suite, ctx.now());
             ctx.send(
                 site,
                 Msg::Prepare {
@@ -3020,7 +3034,7 @@ impl ClientNode {
                         ctx.now(),
                     );
                 }
-                self.note_load_at(site, ctx.now());
+                self.note_load_at(site, suite, ctx.now());
                 ctx.send(site, Msg::ReadReq { suite, req });
                 arm_timer(
                     &mut self.timers,
@@ -4182,6 +4196,72 @@ mod tests {
         let _ = c.start_read(SUITE, &mut ctx);
         let _ = effects(&mut ctx);
         assert_eq!(c.stats.plan_cache_misses, 2, "rebuild counts as a miss");
+        assert_eq!(c.plans.get(&SUITE).expect("rebuilt").generation, 2);
+    }
+
+    #[test]
+    fn plan_cache_is_per_suite_and_adoption_never_evicts_siblings() {
+        // Two suites on the same client: plans are keyed by (suite,
+        // generation), so adopting a new configuration for one suite must
+        // leave the sibling's cached plan untouched — same generation,
+        // same shared site-order allocation.
+        const SUITE2: ObjectId = ObjectId(2);
+        let cfg2 = SuiteConfig::new(
+            SUITE2,
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 2),
+        )
+        .expect("legal");
+        let mut c = ClientNode::new(
+            CLIENT,
+            vec![config(), cfg2],
+            vec![10.0, 20.0, 30.0, 1.0],
+            ClientOptions::default(),
+        );
+        let mut rng = DetRng::new(21);
+        for (i, suite) in [SUITE, SUITE2, SUITE, SUITE2].into_iter().enumerate() {
+            let mut ctx = NodeCtx::new(SimTime::from_millis(i as u64), CLIENT, &mut rng);
+            let _ = c.start_read(suite, &mut ctx);
+            let _ = effects(&mut ctx);
+        }
+        assert_eq!(c.stats.plan_cache_misses, 2, "one build per suite");
+        assert_eq!(c.stats.plan_cache_hits, 2, "repeat decisions hit per suite");
+        let sibling_order = Arc::clone(&c.plans.get(&SUITE2).expect("plan").site_order);
+        // Suite 1 adopts generation 2 (e.g. a ConfigResp from a refresh).
+        let adopted = config()
+            .evolve(VoteAssignment::equal(3), QuorumSpec::new(1, 3))
+            .expect("legal");
+        let mut ctx = NodeCtx::new(SimTime::from_millis(9), CLIENT, &mut rng);
+        c.handle(
+            SiteId(0),
+            Msg::ConfigResp {
+                suite: SUITE,
+                req: ReqId(999),
+                config: adopted,
+            },
+            &mut ctx,
+        );
+        let _ = effects(&mut ctx);
+        assert!(
+            !c.plans.contains_key(&SUITE),
+            "adopted suite's plan dropped"
+        );
+        let sibling = c.plans.get(&SUITE2).expect("sibling survives");
+        assert_eq!(sibling.generation, 1);
+        assert!(
+            Arc::ptr_eq(&sibling.site_order, &sibling_order),
+            "sibling plan's shared order allocation is untouched"
+        );
+        // Next decisions: suite 1 rebuilds (miss, generation 2); suite 2
+        // still hits its generation-1 plan.
+        let mut ctx = NodeCtx::new(SimTime::from_millis(20), CLIENT, &mut rng);
+        let _ = c.start_read(SUITE, &mut ctx);
+        let _ = effects(&mut ctx);
+        let mut ctx = NodeCtx::new(SimTime::from_millis(21), CLIENT, &mut rng);
+        let _ = c.start_read(SUITE2, &mut ctx);
+        let _ = effects(&mut ctx);
+        assert_eq!(c.stats.plan_cache_misses, 3);
+        assert_eq!(c.stats.plan_cache_hits, 3);
         assert_eq!(c.plans.get(&SUITE).expect("rebuilt").generation, 2);
     }
 

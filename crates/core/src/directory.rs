@@ -1,0 +1,330 @@
+//! The directory layer: hierarchical names over suite configurations.
+//!
+//! Gifford's suites are named objects in a file system; with many suites
+//! per cluster something has to map human-meaningful names onto suite ids
+//! and their replication parameters. The directory is that map — a
+//! `tenant/app/environment`-style hierarchy of slash-separated paths,
+//! each leaf binding a name to a [`SuiteConfig`] (vote assignment,
+//! quorum thresholds, generation).
+//!
+//! Two pieces:
+//!
+//! * [`Directory`] — the authoritative registry. Registration validates
+//!   paths; [`Directory::adopt`] records a reconfiguration (the new
+//!   assignment, quorum, and bumped generation) against every name bound
+//!   to the suite.
+//! * [`DirectoryCache`] — a client-side memo of `name → (suite,
+//!   generation)`. Lookups consult the cache first and fall back to the
+//!   authority on a miss; an adoption invalidates every cached binding
+//!   for the reconfigured suite, so a later resolve re-reads the
+//!   authority and sees the new generation. Hit/miss/invalidation
+//!   counters feed the plan-cache experiments.
+//!
+//! The cache deliberately mirrors the quorum-plan cache's lifecycle: both
+//! are built lazily, keyed by suite, and dropped on adoption — and both
+//! are strictly per suite, so reconfiguring one suite never disturbs
+//! another's cached state.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use wv_storage::ObjectId;
+
+use crate::quorum::QuorumSpec;
+use crate::suite::SuiteConfig;
+use crate::votes::VoteAssignment;
+
+/// Why a registration was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DirectoryError {
+    /// The path is empty, has empty segments, or starts/ends with `/`.
+    MalformedPath(String),
+    /// The path is already bound to a different suite.
+    NameTaken(String),
+}
+
+impl fmt::Display for DirectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirectoryError::MalformedPath(p) => write!(f, "malformed directory path {p:?}"),
+            DirectoryError::NameTaken(p) => write!(f, "directory path {p:?} already bound"),
+        }
+    }
+}
+
+fn valid_path(path: &str) -> bool {
+    !path.is_empty() && path.split('/').all(|seg| !seg.is_empty())
+}
+
+/// The authoritative name → suite-configuration registry.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: BTreeMap<String, SuiteConfig>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Binds `path` to `config`. Re-registering the same path for the
+    /// same suite updates the entry; binding it to another suite fails.
+    pub fn register(&mut self, path: &str, config: SuiteConfig) -> Result<(), DirectoryError> {
+        if !valid_path(path) {
+            return Err(DirectoryError::MalformedPath(path.to_string()));
+        }
+        if let Some(existing) = self.entries.get(path) {
+            if existing.suite != config.suite {
+                return Err(DirectoryError::NameTaken(path.to_string()));
+            }
+        }
+        self.entries.insert(path.to_string(), config);
+        Ok(())
+    }
+
+    /// The configuration bound to `path`, if any.
+    pub fn resolve(&self, path: &str) -> Option<&SuiteConfig> {
+        self.entries.get(path)
+    }
+
+    /// Every binding under `prefix` (a hierarchy level: `"tenant0"`,
+    /// `"tenant0/app1"`, …), in path order. An empty prefix lists all.
+    pub fn list(&self, prefix: &str) -> Vec<(&str, ObjectId)> {
+        self.entries
+            .iter()
+            .filter(|(path, _)| {
+                prefix.is_empty()
+                    || path
+                        .strip_prefix(prefix)
+                        .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+            })
+            .map(|(path, cfg)| (path.as_str(), cfg.suite))
+            .collect()
+    }
+
+    /// Records a committed reconfiguration of `suite`: every name bound
+    /// to it now reports the new assignment, quorum, and generation.
+    /// Returns how many bindings changed.
+    pub fn adopt(
+        &mut self,
+        suite: ObjectId,
+        assignment: VoteAssignment,
+        quorum: QuorumSpec,
+        generation: u64,
+    ) -> usize {
+        let mut changed = 0;
+        for cfg in self.entries.values_mut().filter(|c| c.suite == suite) {
+            if generation > cfg.generation {
+                cfg.assignment = assignment.clone();
+                cfg.quorum = quorum;
+                cfg.generation = generation;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Lookup counters for the directory cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirectoryCacheStats {
+    /// Resolves served from the cache.
+    pub hits: u64,
+    /// Resolves that consulted the authority.
+    pub misses: u64,
+    /// Cached bindings dropped by adoptions.
+    pub invalidations: u64,
+}
+
+/// A client-side memo of resolved bindings, invalidated on adoption.
+#[derive(Clone, Debug, Default)]
+pub struct DirectoryCache {
+    /// `path → (suite, generation)` — the generation the binding was
+    /// resolved under, so stale plans are detectable at a glance.
+    entries: HashMap<String, (ObjectId, u64)>,
+    stats: DirectoryCacheStats,
+}
+
+impl DirectoryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        DirectoryCache::default()
+    }
+
+    /// Resolves `path` through the cache, consulting `authority` on a
+    /// miss. Returns the bound suite and the generation it was cached at.
+    pub fn resolve(&mut self, path: &str, authority: &Directory) -> Option<(ObjectId, u64)> {
+        if let Some(&hit) = self.entries.get(path) {
+            self.stats.hits += 1;
+            return Some(hit);
+        }
+        let cfg = authority.resolve(path)?;
+        self.stats.misses += 1;
+        let binding = (cfg.suite, cfg.generation);
+        self.entries.insert(path.to_string(), binding);
+        Some(binding)
+    }
+
+    /// Drops every cached binding for `suite` — called when a
+    /// reconfiguration of that suite is adopted. Bindings for other
+    /// suites are untouched.
+    pub fn invalidate_suite(&mut self, suite: ObjectId) {
+        let before = self.entries.len();
+        self.entries.retain(|_, (s, _)| *s != suite);
+        self.stats.invalidations += (before - self.entries.len()) as u64;
+    }
+
+    /// The cached binding for `path`, without touching the counters.
+    pub fn peek(&self, path: &str) -> Option<(ObjectId, u64)> {
+        self.entries.get(path).copied()
+    }
+
+    /// Lookup counters.
+    pub fn stats(&self) -> DirectoryCacheStats {
+        self.stats
+    }
+
+    /// Number of live bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wv_net::SiteId;
+
+    fn config(suite: u64) -> SuiteConfig {
+        SuiteConfig::new(
+            ObjectId(suite),
+            VoteAssignment::new([(SiteId(0), 1), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 2),
+        )
+        .expect("legal")
+    }
+
+    #[test]
+    fn register_validates_paths() {
+        let mut d = Directory::new();
+        assert!(d.register("tenant0/app0/staging", config(1)).is_ok());
+        for bad in ["", "/x", "x/", "a//b"] {
+            assert_eq!(
+                d.register(bad, config(2)),
+                Err(DirectoryError::MalformedPath(bad.to_string()))
+            );
+        }
+        // Rebinding to a different suite is refused; same suite updates.
+        assert_eq!(
+            d.register("tenant0/app0/staging", config(2)),
+            Err(DirectoryError::NameTaken("tenant0/app0/staging".into()))
+        );
+        assert!(d.register("tenant0/app0/staging", config(1)).is_ok());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn resolve_and_hierarchical_list() {
+        let mut d = Directory::new();
+        d.register("t0/app0/prod", config(1)).unwrap();
+        d.register("t0/app0/staging", config(2)).unwrap();
+        d.register("t0/app1/prod", config(3)).unwrap();
+        d.register("t1/app0/prod", config(4)).unwrap();
+        assert_eq!(d.resolve("t0/app1/prod").unwrap().suite, ObjectId(3));
+        assert!(
+            d.resolve("t0/app1").is_none(),
+            "interior nodes are not leaves"
+        );
+        let t0: Vec<ObjectId> = d.list("t0").into_iter().map(|(_, s)| s).collect();
+        assert_eq!(t0, vec![ObjectId(1), ObjectId(2), ObjectId(3)]);
+        let app0: Vec<&str> = d.list("t0/app0").into_iter().map(|(p, _)| p).collect();
+        assert_eq!(app0, vec!["t0/app0/prod", "t0/app0/staging"]);
+        // Prefixes match whole segments, not substrings.
+        assert!(d.list("t0/app").is_empty());
+        assert_eq!(d.list("").len(), 4);
+    }
+
+    #[test]
+    fn adopt_updates_every_binding_of_the_suite() {
+        let mut d = Directory::new();
+        d.register("t0/a/prod", config(1)).unwrap();
+        d.register("t0/a/alias", config(1)).unwrap();
+        d.register("t0/b/prod", config(2)).unwrap();
+        let next = VoteAssignment::new([(SiteId(0), 2), (SiteId(1), 1), (SiteId(2), 1)]);
+        assert_eq!(
+            d.adopt(ObjectId(1), next.clone(), QuorumSpec::new(2, 3), 2),
+            2
+        );
+        assert_eq!(d.resolve("t0/a/prod").unwrap().generation, 2);
+        assert_eq!(
+            d.resolve("t0/a/alias").unwrap().quorum,
+            QuorumSpec::new(2, 3)
+        );
+        assert_eq!(
+            d.resolve("t0/b/prod").unwrap().generation,
+            1,
+            "unrelated suite"
+        );
+        // Stale adoptions (generation not newer) are ignored.
+        assert_eq!(d.adopt(ObjectId(1), next, QuorumSpec::new(2, 2), 2), 0);
+    }
+
+    #[test]
+    fn cache_hits_after_one_miss_and_invalidates_per_suite() {
+        let mut d = Directory::new();
+        d.register("t0/a/prod", config(1)).unwrap();
+        d.register("t0/b/prod", config(2)).unwrap();
+        let mut c = DirectoryCache::new();
+        assert_eq!(c.resolve("t0/a/prod", &d), Some((ObjectId(1), 1)));
+        assert_eq!(c.resolve("t0/a/prod", &d), Some((ObjectId(1), 1)));
+        assert_eq!(c.resolve("t0/b/prod", &d), Some((ObjectId(2), 1)));
+        assert_eq!(c.resolve("missing", &d), None);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 0));
+        // Suite 1 reconfigures; only its binding drops.
+        d.adopt(
+            ObjectId(1),
+            VoteAssignment::new([(SiteId(0), 2), (SiteId(1), 1), (SiteId(2), 1)]),
+            QuorumSpec::new(2, 3),
+            2,
+        );
+        c.invalidate_suite(ObjectId(1));
+        assert_eq!(c.peek("t0/a/prod"), None);
+        assert_eq!(c.peek("t0/b/prod"), Some((ObjectId(2), 1)), "sibling kept");
+        // The re-resolve is a miss and sees the adopted generation.
+        assert_eq!(c.resolve("t0/a/prod", &d), Some((ObjectId(1), 2)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 3, 1));
+        // Invalidating an uncached suite is a no-op.
+        c.invalidate_suite(ObjectId(99));
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn errors_render() {
+        assert_eq!(
+            DirectoryError::MalformedPath("a//b".into()).to_string(),
+            "malformed directory path \"a//b\""
+        );
+        assert_eq!(
+            DirectoryError::NameTaken("x/y".into()).to_string(),
+            "directory path \"x/y\" already bound"
+        );
+    }
+}

@@ -14,7 +14,8 @@ use wv_net::{Node, NodeCtx, SiteId};
 use wv_sim::trace::{SpanId, SpanKind, SpanOutcome, SpanRecord, Tracer};
 use wv_sim::{MetricsRegistry, SimDuration, SimTime};
 use wv_storage::{Container, ObjectId, TxId, Version};
-use wv_txn::lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
+use wv_txn::lock::{DeadlockPolicy, LockMode, LockReply, TxToken};
+use wv_txn::shard::ShardedLockManager;
 use wv_txn::Vote;
 
 use crate::msg::{Msg, PrepareWrite, RefuseReason, ReqId};
@@ -72,6 +73,10 @@ pub struct ServerStats {
     pub wal_batches: u64,
     /// Deferred records (votes + commit applies) that rode those syncs.
     pub wal_batched_records: u64,
+    /// Distinct suites represented across those syncs (sum of per-batch
+    /// distinct-suite counts): exceeds `wal_batches` exactly when one
+    /// flush absorbed concurrent writes to several suites.
+    pub wal_batch_suites: u64,
     /// Torn WAL tails truncated during recovery scans (normal crash wear;
     /// only un-acknowledged volatile records are lost).
     pub torn_truncations: u64,
@@ -133,13 +138,19 @@ impl Deferred {
             Deferred::Vote { req, .. } | Deferred::Commit { req, .. } => *req,
         }
     }
+
+    fn suite(&self) -> ObjectId {
+        match self {
+            Deferred::Vote { suite, .. } | Deferred::Commit { suite, .. } => *suite,
+        }
+    }
 }
 
 /// A representative server node.
 pub struct SuiteServer {
     site: SiteId,
     container: Container,
-    locks: LockManager,
+    locks: ShardedLockManager,
     policy: DeadlockPolicy,
     configs: HashMap<ObjectId, SuiteConfig>,
     pending: HashMap<ReqId, PendingWrite>,
@@ -236,7 +247,7 @@ impl SuiteServer {
         SuiteServer {
             site,
             container,
-            locks: LockManager::new(policy),
+            locks: ShardedLockManager::new(policy),
             policy,
             configs: map,
             pending: HashMap::new(),
@@ -465,6 +476,7 @@ impl SuiteServer {
                     if let Some(tr) = self.tracer.as_mut() {
                         tr.event(
                             SpanKind::RepairPull,
+                            suite.0,
                             0,
                             None,
                             Some(peer.0),
@@ -496,6 +508,7 @@ impl SuiteServer {
             if let Some(tr) = self.tracer.as_mut() {
                 tr.event(
                     SpanKind::RepairPull,
+                    suite.0,
                     0,
                     None,
                     Some(peer.0),
@@ -551,6 +564,7 @@ impl SuiteServer {
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.event(
                         SpanKind::RepairPull,
+                        suite.0,
                         0,
                         None,
                         Some(peer.0),
@@ -676,6 +690,7 @@ impl SuiteServer {
             let staged = w.writes.first().map(|pw| pw.version.0).unwrap_or(0);
             tr.event(
                 SpanKind::WalWrite,
+                suite.0,
                 w.req.0,
                 None,
                 Some(w.from.0),
@@ -763,7 +778,7 @@ impl SuiteServer {
                 .commit_unflushed(p.tx)
                 .expect("commit prepared tx");
             if let Some(tr) = self.tracer.as_mut() {
-                tr.event(SpanKind::Apply, req.0, None, None, 1, ctx.now());
+                tr.event(SpanKind::Apply, p.suite.0, req.0, None, None, 1, ctx.now());
             }
             for object in &p.objects {
                 if let Some(suite) = suite_of_config_object(*object) {
@@ -776,11 +791,22 @@ impl SuiteServer {
         self.container.flush().expect("server container is up");
         self.stats.wal_batches += 1;
         self.stats.wal_batched_records += batch.len() as u64;
+        let batch_suites = batch
+            .iter()
+            .map(|d| d.suite())
+            .collect::<BTreeSet<ObjectId>>()
+            .len() as u64;
+        self.stats.wal_batch_suites += batch_suites;
         self.metrics
             .observe_ms("wal_batch_size", batch.len() as f64);
+        self.metrics
+            .observe_ms("wal_batch_suites", batch_suites as f64);
         if let Some(tr) = self.tracer.as_mut() {
+            // A batch can span suites; the flush itself is suite 0 (not
+            // scoped), with the absorbed-suite count in the server stats.
             tr.event(
                 SpanKind::WalBatch,
+                0,
                 0,
                 None,
                 None,
@@ -848,7 +874,7 @@ impl SuiteServer {
         };
         self.container.commit(p.tx).expect("commit prepared tx");
         if let Some(tr) = self.tracer.as_mut() {
-            tr.event(SpanKind::Apply, req.0, None, None, 1, ctx.now());
+            tr.event(SpanKind::Apply, p.suite.0, req.0, None, None, 1, ctx.now());
         }
         for object in &p.objects {
             if let Some(suite) = suite_of_config_object(*object) {
@@ -872,7 +898,7 @@ impl SuiteServer {
         if let Some(p) = self.pending.remove(&req) {
             self.container.abort(p.tx).expect("abort prepared tx");
             if let Some(tr) = self.tracer.as_mut() {
-                tr.event(SpanKind::Apply, req.0, None, None, 0, ctx.now());
+                tr.event(SpanKind::Apply, p.suite.0, req.0, None, None, 0, ctx.now());
             }
             self.stats.aborts += 1;
             let granted = self.locks.release_all(p.token);
@@ -1181,8 +1207,15 @@ impl SuiteServer {
                 let waiting = WaitingPrepare { from, req, writes };
                 if queued {
                     if let Some(tr) = self.tracer.as_mut() {
-                        let id =
-                            tr.start(SpanKind::LockWait, req.0, None, Some(from.0), 0, ctx.now());
+                        let id = tr.start(
+                            SpanKind::LockWait,
+                            suite.0,
+                            req.0,
+                            None,
+                            Some(from.0),
+                            0,
+                            ctx.now(),
+                        );
                         self.waiting_spans.insert(token, id);
                     }
                     self.waiting.insert(token, waiting);
@@ -1336,6 +1369,7 @@ impl SuiteServer {
                         if let Some(tr) = self.tracer.as_mut() {
                             tr.event(
                                 SpanKind::RepairInstall,
+                                suite.0,
                                 0,
                                 None,
                                 Some(from.0),
@@ -1404,7 +1438,7 @@ impl SuiteServer {
     /// Crash: volatile state is lost; the container keeps its durable log.
     pub fn handle_crash(&mut self) {
         self.container.crash();
-        self.locks = LockManager::new(self.policy);
+        self.locks = ShardedLockManager::new(self.policy);
         self.pending.clear();
         self.waiting.clear();
         // Lock-wait spans of the cleared queue stay open in the record;
@@ -1434,6 +1468,7 @@ impl SuiteServer {
         if let Some(tr) = self.tracer.as_mut() {
             tr.event(
                 SpanKind::DiskRecovery,
+                0,
                 0,
                 None,
                 None,
@@ -1478,7 +1513,7 @@ impl SuiteServer {
                 self.stats.quarantines += 1;
                 let hosted = self.hosted_suites().len() as u64;
                 if let Some(tr) = self.tracer.as_mut() {
-                    let id = tr.start(SpanKind::Quarantine, 0, None, None, hosted, ctx.now());
+                    let id = tr.start(SpanKind::Quarantine, 0, 0, None, None, hosted, ctx.now());
                     self.quarantine_span = Some(id);
                 }
                 if let Some(t) = self.telemetry.as_mut() {
@@ -2359,6 +2394,8 @@ mod tests {
         assert_eq!(s.container.wal().flushes(), base + 2);
         assert_eq!(s.stats.wal_batches, 2);
         assert_eq!(s.stats.wal_batched_records, 2);
+        // Two single-suite batches: one distinct suite each.
+        assert_eq!(s.stats.wal_batch_suites, 2);
         assert_eq!(s.stats.commits, 1);
         let h = s.metrics().histogram("wal_batch_size").expect("recorded");
         assert_eq!(h.len(), 2);
@@ -2413,6 +2450,10 @@ mod tests {
         assert_eq!(s.container.wal().flushes(), base + 1, "one durable write");
         assert_eq!(s.stats.wal_batches, 1);
         assert_eq!(s.stats.wal_batched_records, 2);
+        // The single flush absorbed writes to two distinct suites.
+        assert_eq!(s.stats.wal_batch_suites, 2);
+        let h = s.metrics().histogram("wal_batch_suites").expect("recorded");
+        assert_eq!(h.len(), 1);
     }
 
     #[test]

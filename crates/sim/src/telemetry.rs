@@ -51,6 +51,9 @@ pub struct SiteWindow {
     pub refusals: u64,
     /// Round-trip samples observed toward the site, microseconds.
     pub rtt_us: SampleSet,
+    /// Requests broken down by the suite they targeted (raw suite id);
+    /// suite-agnostic marks land only in the `requests` total.
+    pub suite_requests: BTreeMap<u64, u64>,
     /// Repair installs completed on the site.
     pub repairs: u64,
     /// Quarantine entries observed in the window.
@@ -66,6 +69,7 @@ impl SiteWindow {
             requests: 0,
             refusals: 0,
             rtt_us: SampleSet::new(),
+            suite_requests: BTreeMap::new(),
             repairs: 0,
             quarantine_enters: 0,
             quarantined,
@@ -76,6 +80,9 @@ impl SiteWindow {
         self.requests += other.requests;
         self.refusals += other.refusals;
         self.rtt_us.merge(&other.rtt_us);
+        for (&suite, &n) in &other.suite_requests {
+            *self.suite_requests.entry(suite).or_insert(0) += n;
+        }
         self.repairs += other.repairs;
         self.quarantine_enters += other.quarantine_enters;
         self.quarantined |= other.quarantined;
@@ -132,6 +139,14 @@ impl TelemetryHub {
     /// Counts one request toward `site`.
     pub fn note_request(&mut self, site: u16, now: SimTime) {
         self.cell(site, now).requests += 1;
+    }
+
+    /// Counts one request toward `site` on behalf of `suite` (raw suite
+    /// id): the total and the per-suite breakdown both advance.
+    pub fn note_suite_request(&mut self, site: u16, suite: u64, now: SimTime) {
+        let cell = self.cell(site, now);
+        cell.requests += 1;
+        *cell.suite_requests.entry(suite).or_insert(0) += 1;
     }
 
     /// Counts one refusal from `site`.
@@ -204,6 +219,7 @@ impl TelemetryHub {
                         start_us: w.index * window_us,
                         requests: w.requests,
                         refusals: w.refusals,
+                        suite_requests: w.suite_requests.iter().map(|(&s, &n)| (s, n)).collect(),
                         repairs: w.repairs,
                         quarantine_enters: w.quarantine_enters,
                         quarantined: w.quarantined,
@@ -220,7 +236,7 @@ impl TelemetryHub {
 }
 
 /// Frozen per-window statistics for one site; see [`TelemetrySnapshot`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct WindowStats {
     /// Absolute window index.
     pub index: u64,
@@ -230,6 +246,10 @@ pub struct WindowStats {
     pub requests: u64,
     /// Refusals from the site in the window.
     pub refusals: u64,
+    /// Per-suite request counts `(suite, requests)`, suite id order.
+    /// Suite-agnostic marks are absent here, so the pairs need not sum
+    /// to `requests`.
+    pub suite_requests: Vec<(u64, u64)>,
     /// Repair installs completed on the site.
     pub repairs: u64,
     /// Quarantine entries observed in the window.
@@ -269,9 +289,18 @@ impl TelemetrySnapshot {
         for (&site, windows) in &self.sites {
             for w in windows {
                 let fmt_q = |q: Option<u64>| q.map_or("-".to_string(), |v| v.to_string());
+                let suites = if w.suite_requests.is_empty() {
+                    "-".to_string()
+                } else {
+                    w.suite_requests
+                        .iter()
+                        .map(|(s, n)| format!("{s}:{n}"))
+                        .collect::<Vec<_>>()
+                        .join(";")
+                };
                 let _ = writeln!(
                     out,
-                    "site={} win={} req={} refuse={} repair={} qenter={} q={} rtt_n={} p50us={} p99us={}",
+                    "site={} win={} req={} refuse={} repair={} qenter={} q={} rtt_n={} p50us={} p99us={} suites={}",
                     site,
                     w.index,
                     w.requests,
@@ -282,6 +311,7 @@ impl TelemetrySnapshot {
                     w.rtt_samples,
                     fmt_q(w.rtt_p50_us),
                     fmt_q(w.rtt_p99_us),
+                    suites,
                 );
             }
         }
@@ -354,13 +384,28 @@ mod tests {
     }
 
     #[test]
+    fn suite_breakdown_counts_alongside_the_total() {
+        let mut h = hub();
+        h.note_suite_request(4, 10, t(100));
+        h.note_suite_request(4, 10, t(200));
+        h.note_suite_request(4, 11, t(300));
+        h.note_request(4, t(400)); // suite-agnostic: total only
+        let snap = h.snapshot();
+        let w = snap.windows(4);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].requests, 4);
+        assert_eq!(w[0].suite_requests, vec![(10, 2), (11, 1)]);
+        assert!(snap.render().contains("suites=10:2;11:1"));
+    }
+
+    #[test]
     fn merge_is_order_insensitive() {
         let build = |first_a: bool| {
             let mut a = hub();
-            a.note_request(0, t(100));
+            a.note_suite_request(0, 7, t(100));
             a.note_rtt(0, SimDuration::from_micros(500), t(150));
             let mut b = hub();
-            b.note_request(0, t(120));
+            b.note_suite_request(0, 8, t(120));
             b.note_rtt(0, SimDuration::from_micros(700), t(180));
             b.note_refusal(1, t(1200));
             let mut merged = hub();
@@ -377,6 +422,7 @@ mod tests {
         let ba = build(false);
         assert_eq!(ab.render(), ba.render());
         assert_eq!(ab.windows(0)[0].requests, 2);
+        assert_eq!(ab.windows(0)[0].suite_requests, vec![(7, 1), (8, 1)]);
         assert_eq!(ab.windows(0)[0].rtt_p99_us, Some(700));
         assert_eq!(ab.windows(1)[0].refusals, 1);
     }

@@ -234,6 +234,9 @@ pub struct SpanRecord {
     /// Operation identifier (the raw request id) the span belongs to;
     /// 0 for spans outside any client op (e.g. repair).
     pub op: u64,
+    /// Raw suite id the span concerns, or 0 for spans not scoped to one
+    /// suite (a cross-suite group-commit flush, a quarantine, recovery).
+    pub suite: u64,
     /// Virtual start time, microseconds.
     pub start_us: u64,
     /// Virtual end time, microseconds; [`OPEN_END`] while open.
@@ -271,10 +274,13 @@ impl Tracer {
         }
     }
 
-    /// Opens a span at `now`; close it with [`Tracer::end`].
+    /// Opens a span at `now`; close it with [`Tracer::end`]. `suite` is
+    /// the raw suite id the span concerns (0 when not suite-scoped).
+    #[allow(clippy::too_many_arguments)]
     pub fn start(
         &mut self,
         kind: SpanKind,
+        suite: u64,
         op: u64,
         parent: Option<SpanId>,
         peer: Option<u16>,
@@ -289,6 +295,7 @@ impl Tracer {
             site: self.site,
             peer: peer.unwrap_or(NO_PEER),
             op,
+            suite,
             start_us: now.as_micros(),
             end_us: OPEN_END,
             detail,
@@ -316,16 +323,18 @@ impl Tracer {
     }
 
     /// Records an instantaneous event: a zero-duration `Ok` span.
+    #[allow(clippy::too_many_arguments)]
     pub fn event(
         &mut self,
         kind: SpanKind,
+        suite: u64,
         op: u64,
         parent: Option<SpanId>,
         peer: Option<u16>,
         detail: u64,
         now: SimTime,
     ) -> SpanId {
-        let id = self.start(kind, op, parent, peer, detail, now);
+        let id = self.start(kind, suite, op, parent, peer, detail, now);
         self.end(id, now, SpanOutcome::Ok);
         id
     }
@@ -403,7 +412,8 @@ pub fn to_jsonl(spans: &[SpanRecord]) -> String {
             let _ = write!(out, "{}", s.peer);
         }
         let _ = write!(out, ",\"site\":{}", s.site);
-        let _ = write!(out, ",\"start_us\":{}}}", s.start_us);
+        let _ = write!(out, ",\"start_us\":{}", s.start_us);
+        let _ = write!(out, ",\"suite\":{}}}", s.suite);
         out.push('\n');
     }
     out
@@ -432,6 +442,7 @@ pub fn from_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
             site: 0,
             peer: NO_PEER,
             op: 0,
+            suite: 0,
             start_us: 0,
             end_us: OPEN_END,
             detail: 0,
@@ -482,6 +493,9 @@ pub fn from_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
                 }
                 "site" => rec.site = parse_u64(value)? as u16,
                 "start_us" => rec.start_us = parse_u64(value)?,
+                // Absent in traces written before the suite dimension
+                // existed; the default 0 ("not suite-scoped") applies.
+                "suite" => rec.suite = parse_u64(value)?,
                 other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
             }
         }
@@ -502,9 +516,9 @@ mod tests {
     #[test]
     fn spans_nest_and_close_in_order() {
         let mut tr = Tracer::new(3);
-        let root = tr.start(SpanKind::Read, 77, None, None, 0, t(0));
-        let inq = tr.start(SpanKind::Inquiry, 77, Some(root), None, 0, t(0));
-        let rpc = tr.start(SpanKind::Rpc, 77, Some(inq), Some(1), 0, t(0));
+        let root = tr.start(SpanKind::Read, 5, 77, None, None, 0, t(0));
+        let inq = tr.start(SpanKind::Inquiry, 5, 77, Some(root), None, 0, t(0));
+        let rpc = tr.start(SpanKind::Rpc, 5, 77, Some(inq), Some(1), 0, t(0));
         tr.end_with_detail(rpc, t(150), SpanOutcome::Ok, 9);
         tr.end(inq, t(150), SpanOutcome::Ok);
         tr.end(root, t(200), SpanOutcome::Ok);
@@ -519,12 +533,13 @@ mod tests {
         assert_eq!(recs[2].duration_us(), Some(150));
         assert_eq!(recs[0].duration_us(), Some(200));
         assert!(recs.iter().all(|r| r.site == 3));
+        assert!(recs.iter().all(|r| r.suite == 5));
     }
 
     #[test]
     fn double_end_keeps_first_outcome() {
         let mut tr = Tracer::new(0);
-        let s = tr.start(SpanKind::Fetch, 1, None, None, 0, t(0));
+        let s = tr.start(SpanKind::Fetch, 0, 1, None, None, 0, t(0));
         tr.end(s, t(10), SpanOutcome::Timeout);
         tr.end(s, t(20), SpanOutcome::Ok);
         assert_eq!(tr.records()[0].outcome, SpanOutcome::Timeout);
@@ -534,16 +549,29 @@ mod tests {
     #[test]
     fn jsonl_round_trips() {
         let mut tr = Tracer::new(2);
-        let root = tr.start(SpanKind::Write, 0x1_0002, None, None, 0, t(5));
-        let rpc = tr.start(SpanKind::Rpc, 0x1_0002, Some(root), Some(4), 0, t(5));
+        let root = tr.start(SpanKind::Write, 9, 0x1_0002, None, None, 0, t(5));
+        let rpc = tr.start(SpanKind::Rpc, 9, 0x1_0002, Some(root), Some(4), 0, t(5));
         tr.end_with_detail(rpc, t(80), SpanOutcome::Refused, 3);
         tr.end(root, t(90), SpanOutcome::Err);
-        let open = tr.start(SpanKind::Hedge, 0x1_0002, Some(root), None, 0, t(95));
+        let open = tr.start(SpanKind::Hedge, 9, 0x1_0002, Some(root), None, 0, t(95));
         assert!(tr.is_open(open));
 
         let text = to_jsonl(tr.records());
+        assert!(text.lines().all(|l| l.contains("\"suite\":9")));
         let back = from_jsonl(&text).expect("parse");
         assert_eq!(back, tr.records());
+    }
+
+    #[test]
+    fn traces_without_a_suite_key_parse_as_suite_zero() {
+        // A line written before the suite dimension existed.
+        let old = "{\"detail\":0,\"end_us\":90,\"id\":0,\"kind\":\"read\",\"op\":7,\
+                   \"outcome\":\"ok\",\"parent\":null,\"peer\":null,\"site\":2,\
+                   \"start_us\":5}\n";
+        let back = from_jsonl(old).expect("parse");
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].suite, 0);
+        assert_eq!(back[0].op, 7);
     }
 
     // One arm per variant, no wildcard: adding a `SpanKind` is a compile
@@ -624,11 +652,11 @@ mod tests {
     #[test]
     fn take_drains_and_restarts_ids() {
         let mut tr = Tracer::new(0);
-        tr.event(SpanKind::WalWrite, 0, None, None, 7, t(1));
+        tr.event(SpanKind::WalWrite, 0, 0, None, None, 7, t(1));
         let drained = tr.take();
         assert_eq!(drained.len(), 1);
         assert!(tr.is_empty());
-        let s = tr.start(SpanKind::Apply, 0, None, None, 0, t(2));
+        let s = tr.start(SpanKind::Apply, 0, 0, None, None, 0, t(2));
         assert_eq!(s, SpanId(0));
     }
 }

@@ -9,6 +9,9 @@
 //!   with other writers), and `Exclusive` taken at commit point. Deadlocks
 //!   are handled by wait-die (with a no-wait variant for the ablation
 //!   bench).
+//! * [`shard`] — a suite-sharded wrapper around the lock manager: one
+//!   table per suite so disjoint suites never contend, with the flat
+//!   table's grant order preserved exactly.
 //! * [`twopc`] — pure coordinator/participant state machines for two-phase
 //!   commit, used by the suite servers to install a write at a quorum of
 //!   containers atomically, plus a synchronous helper for co-located
@@ -17,7 +20,9 @@
 #![warn(missing_docs)]
 
 pub mod lock;
+pub mod shard;
 pub mod twopc;
 
 pub use lock::{DeadlockPolicy, LockManager, LockMode, LockReply, TxToken};
+pub use shard::{shard_key, ShardedLockManager};
 pub use twopc::{commit_across, Coordinator, Decision, Vote};
